@@ -1,0 +1,47 @@
+//! Regenerates **Fig. 4** (point persistent relative error, proposed vs
+//! benchmark, t = 5 and t = 10) and benchmarks both estimators on a
+//! representative workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptm_bench::{print_artifact, BENCH_RUNS};
+use ptm_core::encoding::{EncodingScheme, LocationId};
+use ptm_core::params::SystemParams;
+use ptm_core::point::{NaiveAndEstimator, PointEstimator};
+use ptm_sim::fig4::{self, Fig4Config};
+use ptm_sim::workload::build_point_records;
+use ptm_traffic::generate::PointScenario;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn bench_fig4(c: &mut Criterion) {
+    for t in [5usize, 10] {
+        let config = Fig4Config {
+            runs_per_point: BENCH_RUNS,
+            threads: 1,
+            // Coarser sweep for bench-time regeneration (CLI runs all 50).
+            fractions: (1..=10).map(|i| i as f64 * 0.05).collect(),
+            ..Fig4Config::panel(t)
+        };
+        let panel = fig4::run(&config);
+        print_artifact(&format!("Fig. 4, t = {t}"), &fig4::render(&panel));
+    }
+
+    // Kernel benchmark: estimate from t = 10 records of ~6000 vehicles.
+    let params = SystemParams::paper_default();
+    let mut rng = ChaCha12Rng::seed_from_u64(5);
+    let scheme = EncodingScheme::new(5, 3);
+    let scenario = PointScenario::synthetic(&mut rng, 10, 0.2);
+    let records = build_point_records(&scheme, &params, &scenario, LocationId::new(1), &mut rng);
+
+    let mut group = c.benchmark_group("fig4");
+    group.bench_function("proposed_estimator_t10", |b| {
+        b.iter(|| PointEstimator::new().estimate(&records).expect("no saturation"))
+    });
+    group.bench_function("benchmark_estimator_t10", |b| {
+        b.iter(|| NaiveAndEstimator::new().estimate(&records).expect("no saturation"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

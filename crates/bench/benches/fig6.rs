@@ -1,0 +1,36 @@
+//! Regenerates **Fig. 6** (actual-vs-estimated scatters at f = 3) and
+//! benchmarks the f = 3 measurement path; together with the `fig5` target
+//! this quantifies the accuracy side of the f dial.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptm_bench::print_artifact;
+use ptm_sim::scatter::{self, ScatterConfig};
+
+fn bench_fig6(c: &mut Criterion) {
+    let config = ScatterConfig {
+        threads: 1,
+        fractions: (1..=25).map(|i| i as f64 * 0.02).collect(),
+        ..ScatterConfig::paper(3.0)
+    };
+    let result = scatter::run(&config);
+    print_artifact("Fig. 6 (f = 3)", &scatter::render(&result));
+    println!(
+        "rms relative deviation from y = x: point {:.4}, p2p {:.4}",
+        scatter::ScatterResult::rms_relative_deviation(&result.point),
+        scatter::ScatterResult::rms_relative_deviation(&result.p2p),
+    );
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    let single = ScatterConfig {
+        threads: 1,
+        fractions: vec![0.2],
+        runs_per_fraction: 1,
+        ..ScatterConfig::paper(3.0)
+    };
+    group.bench_function("one_scatter_measurement_f3", |b| b.iter(|| scatter::run(&single)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

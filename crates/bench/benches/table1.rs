@@ -1,0 +1,81 @@
+//! Regenerates **Table I** (point-to-point persistent traffic on Sioux
+//! Falls) and benchmarks its pipeline: record construction + two-level
+//! join + estimation at full paper scale for one location pair.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ptm_bench::{print_artifact, BENCH_RUNS};
+use ptm_core::encoding::{EncodingScheme, LocationId};
+use ptm_core::p2p::PointToPointEstimator;
+use ptm_core::params::SystemParams;
+use ptm_sim::table1::{self, Table1Config};
+use ptm_sim::workload::build_p2p_records;
+use ptm_traffic::generate::P2pScenario;
+use ptm_traffic::network::NodeId;
+use ptm_traffic::sioux_falls;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn bench_table1(c: &mut Criterion) {
+    // Regenerate the table at reduced run count and print it.
+    let config = Table1Config { runs: BENCH_RUNS, threads: 1, ..Table1Config::default() };
+    let result = table1::run(&config);
+    print_artifact("Table I", &table1::render(&result));
+
+    // Kernel benchmark: one full run of the heaviest column (node 15 vs
+    // node 10: 213k + 451k vehicles over 10 periods).
+    let params = SystemParams::paper_default();
+    let table = sioux_falls::paper_trip_table();
+    let scenario =
+        P2pScenario::from_trip_table(&table, NodeId::new(14), NodeId::new(9), 10);
+    let estimator = PointToPointEstimator::new(3);
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("build_records_node15_vs_node10_t10", |b| {
+        let mut seed = 0u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                (
+                    ChaCha12Rng::seed_from_u64(seed),
+                    EncodingScheme::new(seed, 3),
+                )
+            },
+            |(mut rng, scheme)| {
+                build_p2p_records(
+                    &scheme,
+                    &params,
+                    &scenario,
+                    LocationId::new(15),
+                    LocationId::new(10),
+                    None,
+                    &mut rng,
+                )
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    let mut rng = ChaCha12Rng::seed_from_u64(7);
+    let scheme = EncodingScheme::new(7, 3);
+    let records = build_p2p_records(
+        &scheme,
+        &params,
+        &scenario,
+        LocationId::new(15),
+        LocationId::new(10),
+        None,
+        &mut rng,
+    );
+    group.bench_function("estimate_p2p_t10", |b| {
+        b.iter(|| {
+            estimator
+                .estimate(&records.records_l, &records.records_lp)
+                .expect("paper-scale records never saturate")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerates **Table II** (the privacy grid) and benchmarks the analytic
+//! evaluation and the Monte-Carlo cross-check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptm_bench::print_artifact;
+use ptm_core::privacy;
+use ptm_sim::table2::{self, Table2Config};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn bench_table2(c: &mut Criterion) {
+    let result = table2::run(&Table2Config::default());
+    print_artifact("Table II", &table2::render(&result));
+
+    let mut group = c.benchmark_group("table2");
+    group.bench_function("analytic_grid_28_cells", |b| {
+        b.iter(|| {
+            privacy::privacy_table(
+                &[1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0],
+                &[2, 3, 4, 5],
+            )
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("monte_carlo_cell_1000_trials", |b| {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        b.iter(|| privacy::simulate_noise_information(&mut rng, 2_000, 4_096, 3, 1_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Shared scaffolding for the benchmark harness.
+//!
+//! Each bench target regenerates one paper table/figure (printing the
+//! result so `cargo bench` doubles as the reproduction driver) and then
+//! times its computational kernel with Criterion. Bench-time regeneration
+//! uses reduced run counts — the `ptm` CLI runs the full-scale versions.
+
+/// Run counts used inside `cargo bench` so a full sweep stays fast on one
+/// core; the CLI defaults are an order of magnitude higher.
+pub const BENCH_RUNS: usize = 4;
+
+/// Prints a regenerated artifact with a banner, once per bench invocation.
+pub fn print_artifact(name: &str, body: &str) {
+    println!("\n================ regenerated: {name} ================");
+    println!("{body}");
+    println!("====================================================\n");
+}

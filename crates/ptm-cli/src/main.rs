@@ -1,0 +1,486 @@
+//! `ptm` — regenerate every table and figure of the ICDCS 2017 persistent
+//! traffic measurement paper from the command line.
+//!
+//! ```text
+//! ptm table1 [--runs N] [--seed S] [--csv DIR]
+//! ptm table2 [--csv DIR]
+//! ptm fig4   [--t 5|10|both] [--runs N] [--seed S] [--csv DIR]
+//! ptm fig5   [--runs N] [--seed S] [--csv DIR]
+//! ptm fig6   [--runs N] [--seed S] [--csv DIR]
+//! ptm ablations [--runs N] [--seed S]
+//! ptm all    [--runs N] [--seed S] [--csv DIR]
+//! ```
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ptm_core::params::SystemParams;
+use ptm_sim::{ablation, fig4, scatter, table1, table2};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, options)) = parse(&args) else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    match run_command(&command, &options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+ptm — persistent traffic measurement experiments (ICDCS 2017 reproduction)
+
+USAGE:
+    ptm <COMMAND> [OPTIONS]
+
+COMMANDS:
+    table1      Table I: p2p persistent traffic on Sioux Falls + same-size baseline
+    table2      Table II: privacy noise-to-information grid + Monte-Carlo check
+    fig4        Fig. 4: point persistent relative error, proposed vs benchmark
+    fig5        Fig. 5: actual-vs-estimated scatters (f = 2)
+    fig6        Fig. 6: actual-vs-estimated scatters (f = 3)
+    ablations   Split strategy, f-frontier, s-sweep, k-way, channel loss
+    pair        Estimate p2p persistent traffic for any Sioux Falls node pair
+                (--from N --to N [--t T] [--runs N])
+    errors      Error-distribution study: bias, CI, histogram per estimator
+    matrix      City-wide p2p persistent sweep over all Sioux Falls pairs
+    demo        End-to-end V2I protocol demo on the Sioux Falls network
+    all         Everything above in sequence
+
+OPTIONS:
+    --runs N    Simulation runs per data point (defaults per experiment)
+    --seed S    Base RNG seed (default 42)
+    --t T       fig4 only: 5, 10, or both (default both)
+    --sizing P  fig4 only: campaign-mean (default) or per-period
+    --threads N Worker threads (default: all cores)
+    --csv DIR   Also write machine-readable CSV/JSON into DIR
+";
+
+type Options = HashMap<String, String>;
+
+fn parse(args: &[String]) -> Option<(String, Options)> {
+    let mut iter = args.iter();
+    let command = iter.next()?.clone();
+    if command == "--help" || command == "-h" || command == "help" {
+        return None;
+    }
+    let mut options = Options::new();
+    while let Some(flag) = iter.next() {
+        let key = flag.strip_prefix("--")?;
+        let value = iter.next()?;
+        options.insert(key.to_owned(), value.clone());
+    }
+    Some((command, options))
+}
+
+fn opt_usize(options: &Options, key: &str) -> Result<Option<usize>, String> {
+    options
+        .get(key)
+        .map(|v| v.parse().map_err(|_| format!("--{key} expects an integer, got {v:?}")))
+        .transpose()
+}
+
+fn opt_u64(options: &Options, key: &str) -> Result<Option<u64>, String> {
+    options
+        .get(key)
+        .map(|v| v.parse().map_err(|_| format!("--{key} expects an integer, got {v:?}")))
+        .transpose()
+}
+
+fn csv_dir(options: &Options) -> Result<Option<PathBuf>, String> {
+    match options.get("csv") {
+        None => Ok(None),
+        Some(dir) => {
+            let path = PathBuf::from(dir);
+            std::fs::create_dir_all(&path)
+                .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+            Ok(Some(path))
+        }
+    }
+}
+
+fn write_artifact(dir: &Path, name: &str, contents: &str) -> Result<(), String> {
+    let path = dir.join(name);
+    std::fs::write(&path, contents).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn run_command(command: &str, options: &Options) -> Result<(), String> {
+    let seed = opt_u64(options, "seed")?.unwrap_or(42);
+    let runs = opt_usize(options, "runs")?;
+    let threads = opt_usize(options, "threads")?.unwrap_or_else(ptm_sim::runner::default_threads);
+    let csv = csv_dir(options)?;
+
+    match command {
+        "table1" => cmd_table1(seed, runs, threads, csv.as_deref()),
+        "table2" => cmd_table2(csv.as_deref()),
+        "fig4" => cmd_fig4(seed, runs, threads, options, csv.as_deref()),
+        "fig5" => cmd_scatter(2.0, seed, runs, threads, csv.as_deref()),
+        "fig6" => cmd_scatter(3.0, seed, runs, threads, csv.as_deref()),
+        "ablations" => cmd_ablations(seed, runs, threads),
+        "pair" => cmd_pair(seed, runs, threads, options),
+        "errors" => cmd_errors(seed, runs, threads),
+        "matrix" => cmd_matrix(seed, threads, csv.as_deref()),
+        "demo" => cmd_demo(seed),
+        "all" => {
+            cmd_table1(seed, runs, threads, csv.as_deref())?;
+            cmd_fig4(seed, runs, threads, options, csv.as_deref())?;
+            cmd_scatter(2.0, seed, runs, threads, csv.as_deref())?;
+            cmd_scatter(3.0, seed, runs, threads, csv.as_deref())?;
+            cmd_table2(csv.as_deref())?;
+            cmd_ablations(seed, runs, threads)
+        }
+        other => Err(format!("unknown command {other:?}; run `ptm --help`")),
+    }
+}
+
+fn cmd_table1(seed: u64, runs: Option<usize>, threads: usize, csv: Option<&Path>) -> Result<(), String> {
+    let config = table1::Table1Config {
+        runs: runs.unwrap_or(50),
+        seed,
+        threads,
+        ..table1::Table1Config::default()
+    };
+    eprintln!("running Table I ({} runs x 8 locations)...", config.runs);
+    let result = table1::run(&config);
+    println!("{}", table1::render(&result));
+    if let Some(dir) = csv {
+        let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
+        write_artifact(dir, "table1.json", &json)?;
+    }
+    Ok(())
+}
+
+fn cmd_table2(csv: Option<&Path>) -> Result<(), String> {
+    let result = table2::run(&table2::Table2Config::default());
+    println!("{}", table2::render(&result));
+    if let Some(dir) = csv {
+        let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
+        write_artifact(dir, "table2.json", &json)?;
+    }
+    Ok(())
+}
+
+fn cmd_fig4(
+    seed: u64,
+    runs: Option<usize>,
+    threads: usize,
+    options: &Options,
+    csv: Option<&Path>,
+) -> Result<(), String> {
+    let ts: Vec<usize> = match options.get("t").map(String::as_str).unwrap_or("both") {
+        "5" => vec![5],
+        "10" => vec![10],
+        "both" => vec![5, 10],
+        other => return Err(format!("--t expects 5, 10 or both, got {other:?}")),
+    };
+    let sizing = match options.get("sizing").map(String::as_str).unwrap_or("campaign-mean") {
+        "campaign-mean" => ptm_sim::workload::SizingPolicy::CampaignMean,
+        "per-period" => ptm_sim::workload::SizingPolicy::PerPeriod,
+        other => {
+            return Err(format!("--sizing expects campaign-mean or per-period, got {other:?}"))
+        }
+    };
+    for t in ts {
+        let config = fig4::Fig4Config {
+            runs_per_point: runs.unwrap_or(25),
+            seed,
+            threads,
+            sizing,
+            ..fig4::Fig4Config::panel(t)
+        };
+        eprintln!(
+            "running Fig. 4 panel t = {t} ({} fractions x {} runs)...",
+            config.fractions.len(),
+            config.runs_per_point
+        );
+        let panel = fig4::run(&config);
+        println!("{}", fig4::render(&panel));
+        if let Some(dir) = csv {
+            write_artifact(dir, &format!("fig4_t{t}.csv"), &fig4::to_csv(&panel))?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_scatter(
+    load_factor: f64,
+    seed: u64,
+    runs: Option<usize>,
+    threads: usize,
+    csv: Option<&Path>,
+) -> Result<(), String> {
+    let fig = if load_factor == 2.0 { 5 } else { 6 };
+    let config = scatter::ScatterConfig {
+        runs_per_fraction: runs.unwrap_or(1).max(1),
+        seed,
+        threads,
+        ..scatter::ScatterConfig::paper(load_factor)
+    };
+    eprintln!("running Fig. {fig} (f = {load_factor})...");
+    let result = scatter::run(&config);
+    println!("Fig. {fig}:");
+    println!("{}", scatter::render(&result));
+    println!(
+        "rms relative deviation from y = x: point {:.4}, p2p {:.4}\n",
+        scatter::ScatterResult::rms_relative_deviation(&result.point),
+        scatter::ScatterResult::rms_relative_deviation(&result.p2p),
+    );
+    if let Some(dir) = csv {
+        write_artifact(dir, &format!("fig{fig}.csv"), &scatter::to_csv(&result))?;
+    }
+    Ok(())
+}
+
+fn cmd_ablations(seed: u64, runs: Option<usize>, threads: usize) -> Result<(), String> {
+    let runs = runs.unwrap_or(20);
+    eprintln!("running ablations ({runs} runs each)...");
+
+    let split = ablation::split_strategy(8, runs, threads, seed);
+    println!("Ablation 1 — split strategy on trending volumes (t = 8):");
+    println!("  halves (paper): mean relative error {:.4}", split.halves);
+    println!("  interleaved:    mean relative error {:.4}\n", split.interleaved);
+
+    let frontier = ablation::tradeoff_frontier(&[1.0, 1.5, 2.0, 2.5, 3.0, 4.0], 5, runs, threads, seed);
+    println!("Ablation 2 — accuracy-privacy frontier (s = 3, t = 5):");
+    let mut table = ptm_report::TextTable::new(vec![
+        "f".into(),
+        "point rel err".into(),
+        "p2p rel err".into(),
+        "privacy ratio".into(),
+    ]);
+    for p in &frontier {
+        table.add_row(vec![
+            format!("{}", p.load_factor),
+            format!("{:.4}", p.point_rel_err),
+            format!("{:.4}", p.p2p_rel_err),
+            format!("{:.4}", p.privacy_ratio),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let sweep = ablation::s_sweep(&[1, 2, 3, 4, 5], 5, runs, threads, seed);
+    println!("Ablation 3 — s sweep (f = 2, t = 5, p2p):");
+    let mut table = ptm_report::TextTable::new(vec![
+        "s".into(),
+        "p2p rel err".into(),
+        "privacy ratio".into(),
+    ]);
+    for p in &sweep {
+        table.add_row(vec![
+            p.s.to_string(),
+            format!("{:.4}", p.p2p_rel_err),
+            format!("{:.4}", p.privacy_ratio),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let sizing = ablation::sizing_policy(5, runs, threads, seed);
+    println!("Ablation 4 — bitmap sizing policy (t = 5, point persistent):");
+    println!("  per-period sizing (paper Fig. 3): mean relative error {:.4}", sizing.per_period);
+    println!("  campaign-mean sizing:             mean relative error {:.4}\n", sizing.campaign_mean);
+
+    let kway = ablation::kway_sweep(&[2, 3, 4, 6], 12, runs, threads, seed);
+    println!("Ablation 5 — k-way split of Π (t = 12, point persistent):");
+    let mut table = ptm_report::TextTable::new(vec!["k".into(), "point rel err".into()]);
+    for p in &kway {
+        table.add_row(vec![p.k.to_string(), format!("{:.4}", p.rel_err)]);
+    }
+    println!("{}", table.render());
+
+    let losses = ablation::loss_sensitivity(&[0.0, 0.3, 0.6, 0.9], seed);
+    println!("Ablation 6 — channel loss sensitivity (full V2I protocol, 2 s dwell):");
+    let mut table = ptm_report::TextTable::new(vec![
+        "frame loss".into(),
+        "capture rate".into(),
+        "truth".into(),
+        "estimate".into(),
+    ]);
+    for p in &losses {
+        table.add_row(vec![
+            format!("{:.1}", p.loss),
+            format!("{:.3}", p.capture_rate),
+            format!("{:.0}", p.truth),
+            format!("{:.1}", p.estimate),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_matrix(seed: u64, threads: usize, csv: Option<&Path>) -> Result<(), String> {
+    use ptm_sim::matrix::{self, MatrixConfig};
+    let config = MatrixConfig { seed, threads, ..MatrixConfig::default() };
+    eprintln!("sweeping all Sioux Falls pairs (t = {})...", config.t);
+    let result = matrix::run(&config);
+    println!("{}", matrix::render(&result));
+    if let Some(dir) = csv {
+        write_artifact(dir, "matrix.csv", &matrix::to_csv(&result))?;
+    }
+    Ok(())
+}
+
+fn cmd_errors(seed: u64, runs: Option<usize>, threads: usize) -> Result<(), String> {
+    use ptm_sim::distribution::{self, DistributionConfig, Target};
+    for target in [Target::Point, Target::PointToPoint] {
+        let config = DistributionConfig {
+            runs: runs.unwrap_or(200),
+            seed,
+            threads,
+            ..DistributionConfig::paper(target)
+        };
+        eprintln!("sampling {:?} error distribution ({} runs)...", target, config.runs);
+        let result = distribution::run(&config);
+        println!("{}", distribution::render(&result));
+    }
+    Ok(())
+}
+
+fn cmd_pair(
+    seed: u64,
+    runs: Option<usize>,
+    threads: usize,
+    options: &Options,
+) -> Result<(), String> {
+    use ptm_core::encoding::{EncodingScheme, LocationId};
+    use ptm_core::p2p::PointToPointEstimator;
+    use ptm_sim::workload::build_p2p_records;
+    use ptm_traffic::generate::P2pScenario;
+    use ptm_traffic::network::NodeId;
+    use ptm_traffic::sioux_falls;
+
+    let parse_node = |key: &str| -> Result<usize, String> {
+        let raw = options.get(key).ok_or(format!("pair requires --{key} <node 1-24>"))?;
+        let n: usize = raw.parse().map_err(|_| format!("--{key} expects a node label"))?;
+        if (1..=sioux_falls::NUM_NODES).contains(&n) {
+            Ok(n)
+        } else {
+            Err(format!("--{key} must be in 1..=24, got {n}"))
+        }
+    };
+    let from = parse_node("from")?;
+    let to = parse_node("to")?;
+    if from == to {
+        return Err("pair needs two distinct nodes".to_owned());
+    }
+    let t = opt_usize(options, "t")?.unwrap_or(5);
+    let runs = runs.unwrap_or(20);
+
+    let table = sioux_falls::paper_trip_table();
+    let params = SystemParams::paper_default();
+    let scenario =
+        P2pScenario::from_trip_table(&table, NodeId::new(from - 1), NodeId::new(to - 1), t);
+    if scenario.persistent == 0 {
+        return Err(format!("nodes {from} and {to} share no trip-table demand"));
+    }
+    println!(
+        "pair {from} <-> {to}: volumes n = {}, n' = {}, true persistent n'' = {}",
+        scenario.volumes_l[0], scenario.volumes_lp[0], scenario.persistent
+    );
+    let truth = scenario.persistent as f64;
+    let errors = ptm_sim::runner::run_trials(runs, threads, |run_idx| {
+        let s = ptm_sim::trial_seed(seed, &[from as u64, to as u64, run_idx as u64]);
+        let mut rng = rand_chacha_seed(s);
+        let scheme = EncodingScheme::new(s, params.num_representatives());
+        let records = build_p2p_records(
+            &scheme,
+            &params,
+            &scenario,
+            LocationId::new(from as u64),
+            LocationId::new(to as u64),
+            None,
+            &mut rng,
+        );
+        let est = PointToPointEstimator::new(params.num_representatives())
+            .estimate(&records.records_l, &records.records_lp)
+            .expect("paper-scale records never saturate");
+        ptm_sim::stats::relative_error(truth, est)
+    });
+    let summary = ptm_sim::stats::Summary::from_slice(&errors);
+    println!(
+        "relative error over {} runs (t = {t}): mean {:.4}, std {:.4}, min {:.4}, max {:.4}",
+        runs, summary.mean, summary.std_dev, summary.min, summary.max
+    );
+    Ok(())
+}
+
+fn rand_chacha_seed(seed: u64) -> impl rand::Rng {
+    use rand::SeedableRng;
+    rand_chacha::ChaCha12Rng::seed_from_u64(seed)
+}
+
+fn cmd_demo(seed: u64) -> Result<(), String> {
+    use ptm_core::encoding::{EncodingScheme, LocationId};
+    use ptm_core::record::PeriodId;
+    use ptm_net::{SimConfig, SimDuration, V2iSimulator};
+    use ptm_traffic::network::NodeId;
+    use ptm_traffic::sioux_falls;
+
+    println!("V2I protocol demo: two RSUs on the Sioux Falls network\n");
+    let network = sioux_falls::road_network();
+    let table = sioux_falls::trip_table();
+    let l = NodeId::new(14); // node 15
+    let lp = table.busiest_node(); // node 10
+    let path = network.shortest_path(l, lp).ok_or("sioux falls is connected")?;
+    println!(
+        "route node {} -> node {}: {} hops, {:.0} min free-flow",
+        l,
+        lp,
+        path.nodes.len() - 1,
+        path.travel_time
+    );
+
+    let params = SystemParams::paper_default();
+    let scheme = EncodingScheme::new(seed, params.num_representatives());
+    let spec = [
+        (LocationId::new(15), params.bitmap_size(600.0)),
+        (LocationId::new(10), params.bitmap_size(900.0)),
+    ];
+    let mut sim = V2iSimulator::new(SimConfig::default(), scheme, &spec, seed);
+
+    let commons: Vec<usize> = (0..120).map(|_| sim.add_vehicle()).collect();
+    let periods: Vec<PeriodId> = (0..5).map(PeriodId::new).collect();
+    for &p in &periods {
+        for (k, &v) in commons.iter().enumerate() {
+            sim.schedule_pass(v, 0, SimDuration::from_millis(40 * k as u64));
+            sim.schedule_pass(v, 1, SimDuration::from_millis(8000 + 40 * k as u64));
+        }
+        for k in 0..300usize {
+            let t = sim.add_vehicle();
+            sim.schedule_pass(t, k % 2, SimDuration::from_millis(20 * k as u64));
+        }
+        sim.run_period(p).map_err(|e| e.to_string())?;
+    }
+
+    let stats = sim.stats();
+    println!(
+        "\nprotocol: {} beacons, {} reports sent, {} accepted, {} acks, {} frames lost",
+        stats.beacons_broadcast,
+        stats.reports_sent,
+        stats.reports_accepted,
+        stats.acks_delivered,
+        stats.frames_lost
+    );
+
+    let (a, b) = (LocationId::new(15), LocationId::new(10));
+    let truth_point = sim.presence().point_persistent(a, &periods);
+    let truth_p2p = sim.presence().p2p_persistent(a, b, &periods);
+    let est_point = sim
+        .server()
+        .estimate_point_persistent(a, &periods)
+        .map_err(|e| e.to_string())?;
+    let est_p2p = sim
+        .server()
+        .estimate_p2p_persistent(a, b, &periods)
+        .map_err(|e| e.to_string())?;
+    println!("\npoint persistent at node 15:  truth {truth_point}, estimate {est_point:.1}");
+    println!("p2p persistent 15 -> 10:      truth {truth_p2p}, estimate {est_p2p:.1}");
+    Ok(())
+}

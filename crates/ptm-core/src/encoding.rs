@@ -1,0 +1,371 @@
+//! Privacy-preserving vehicle encoding (paper Sec. II-D).
+//!
+//! When a vehicle `v` passes the RSU at location `L`, it computes
+//!
+//! ```text
+//! h_v = H(v ⊕ K_v ⊕ C[H(L ⊕ v) mod s]) mod m
+//! ```
+//!
+//! where `K_v` is a private key known only to the vehicle and `C` is a
+//! per-vehicle array of `s` secret random constants. The inner hash picks one
+//! of the vehicle's `s` *representative bits* as a function of the location;
+//! the outer hash maps that representative to a bit index. Two properties
+//! follow (and are property-tested below):
+//!
+//! 1. different vehicles may collide on the same bit (mixing), and
+//! 2. the same vehicle may set different bits at different locations
+//!    (unlinkability), but always the *same* bit at the same location in
+//!    every period (which is what makes AND-joins retain persistent traffic).
+
+use ptm_crypto::SipHash24;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A vehicle's public identity (e.g. derived from its VIN).
+///
+/// The identity itself is never transmitted; it only enters hashes together
+/// with the vehicle's secret material.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VehicleId(u64);
+
+impl VehicleId {
+    /// Wraps a raw 64-bit identity.
+    pub fn new(id: u64) -> Self {
+        Self(id)
+    }
+
+    /// The raw value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A location identity: the coordinates `L` broadcast in RSU beacons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LocationId(u64);
+
+impl LocationId {
+    /// Wraps a raw location code.
+    pub fn new(id: u64) -> Self {
+        Self(id)
+    }
+
+    /// The raw value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Everything a vehicle keeps on board: its ID, private key `K_v`, and the
+/// secret constant array `C` of length `s`.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VehicleSecrets {
+    id: VehicleId,
+    private_key: u64,
+    constants: Vec<u64>,
+}
+
+impl std::fmt::Debug for VehicleSecrets {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The ID is fine to show in debug output; the key and constants are
+        // the privacy-critical material and stay hidden.
+        f.debug_struct("VehicleSecrets")
+            .field("id", &self.id)
+            .field("private_key", &"<redacted>")
+            .field("constants", &format_args!("<{} redacted>", self.constants.len()))
+            .finish()
+    }
+}
+
+impl VehicleSecrets {
+    /// Assembles secrets from explicit parts (useful in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `constants` is empty — `s >= 1` is required.
+    pub fn from_parts(id: VehicleId, private_key: u64, constants: Vec<u64>) -> Self {
+        assert!(!constants.is_empty(), "constant array C must have s >= 1 entries");
+        Self { id, private_key, constants }
+    }
+
+    /// Generates a fresh vehicle with random ID, key, and `s` constants.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, s: u32) -> Self {
+        let id = VehicleId::new(rng.gen());
+        Self::generate_with_id(rng, id, s)
+    }
+
+    /// Generates secret material for a vehicle with a known ID.
+    pub fn generate_with_id<R: Rng + ?Sized>(rng: &mut R, id: VehicleId, s: u32) -> Self {
+        assert!(s >= 1, "s must be at least 1");
+        Self {
+            id,
+            private_key: rng.gen(),
+            constants: (0..s).map(|_| rng.gen()).collect(),
+        }
+    }
+
+    /// The vehicle's identity.
+    pub fn id(&self) -> VehicleId {
+        self.id
+    }
+
+    /// `s`, the number of representative bits.
+    pub fn num_representatives(&self) -> u32 {
+        self.constants.len() as u32
+    }
+}
+
+/// The public hash scheme shared by all vehicles and RSUs.
+///
+/// `H` is instantiated with SipHash-2-4 under a system-wide key; the key is
+/// public (it only provides hash-universe separation between simulations),
+/// the per-vehicle material is what carries the privacy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodingScheme {
+    hasher: SipHash24,
+    s: u32,
+}
+
+impl EncodingScheme {
+    /// Creates a scheme from a system-wide hash seed and the representative
+    /// count `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is zero.
+    pub fn new(hash_seed: u64, s: u32) -> Self {
+        assert!(s >= 1, "s must be at least 1");
+        Self {
+            hasher: SipHash24::new(hash_seed, hash_seed.rotate_left(31) ^ 0x9e37_79b9_7f4a_7c15),
+            s,
+        }
+    }
+
+    /// `s`, the number of representative bits per vehicle.
+    pub fn num_representatives(&self) -> u32 {
+        self.s
+    }
+
+    /// The location-dependent representative choice `i = H(L ⊕ v) mod s`.
+    pub fn representative_choice(&self, vehicle: VehicleId, location: LocationId) -> u32 {
+        (self.hasher.hash_u64(location.get() ^ vehicle.get()) % self.s as u64) as u32
+    }
+
+    /// The full 64-bit hash of representative `i`,
+    /// `H(v ⊕ K_v ⊕ C[i])` **before** the final `mod m` reduction.
+    ///
+    /// Keeping the pre-reduction value around is what lets records of
+    /// different sizes stay consistent: reducing modulo any power of two
+    /// divides out compatibly (`(h mod m) mod l = h mod l` when `l | m`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range for the vehicle's constant array.
+    pub fn representative_hash(&self, vehicle: &VehicleSecrets, i: u32) -> u64 {
+        let c = vehicle.constants[i as usize];
+        self.hasher.hash_u64(vehicle.id.get() ^ vehicle.private_key ^ c)
+    }
+
+    /// The paper's `h_v` before the `mod m` reduction: the hash of the
+    /// representative chosen for `location`.
+    pub fn encode(&self, vehicle: &VehicleSecrets, location: LocationId) -> u64 {
+        let i = self.representative_choice(vehicle.id, location);
+        self.representative_hash(vehicle, i)
+    }
+
+    /// The bit index the vehicle reports to an RSU with bitmap size `m`:
+    /// `h_v mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn encode_index(&self, vehicle: &VehicleSecrets, location: LocationId, m: usize) -> usize {
+        assert!(m > 0, "bitmap size must be positive");
+        (self.encode(vehicle, location) % m as u64) as usize
+    }
+
+    /// All `s` representative bit indices of a vehicle in a bitmap of size
+    /// `m` (the bits `B[h_v(i)]` of Sec. II-D).
+    pub fn representative_bits(&self, vehicle: &VehicleSecrets, m: usize) -> Vec<usize> {
+        (0..vehicle.num_representatives())
+            .map(|i| (self.representative_hash(vehicle, i) % m as u64) as usize)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn scheme(s: u32) -> EncodingScheme {
+        EncodingScheme::new(0xABCD_EF01, s)
+    }
+
+    fn vehicle(seed: u64, s: u32) -> VehicleSecrets {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        VehicleSecrets::generate(&mut rng, s)
+    }
+
+    #[test]
+    fn same_vehicle_same_location_is_deterministic() {
+        let sch = scheme(3);
+        let v = vehicle(1, 3);
+        let l = LocationId::new(42);
+        assert_eq!(sch.encode(&v, l), sch.encode(&v, l));
+        assert_eq!(sch.encode_index(&v, l, 1024), sch.encode_index(&v, l, 1024));
+    }
+
+    #[test]
+    fn representative_choice_in_range() {
+        let sch = scheme(5);
+        let v = vehicle(2, 5);
+        for loc in 0..100u64 {
+            let i = sch.representative_choice(v.id(), LocationId::new(loc));
+            assert!(i < 5);
+        }
+    }
+
+    #[test]
+    fn encoding_consistent_across_record_sizes() {
+        // The power-of-two consistency that makes expansion sound:
+        // (h mod m) mod l == h mod l for l | m.
+        let sch = scheme(3);
+        let v = vehicle(3, 3);
+        let l = LocationId::new(9);
+        let idx_large = sch.encode_index(&v, l, 4096);
+        let idx_small = sch.encode_index(&v, l, 512);
+        assert_eq!(idx_large % 512, idx_small);
+    }
+
+    #[test]
+    fn different_locations_usually_differ() {
+        // With s = 3 representatives, encoding should vary across locations
+        // for most vehicles.
+        let sch = scheme(3);
+        let v = vehicle(4, 3);
+        let indices: std::collections::BTreeSet<u64> =
+            (0..50).map(|loc| sch.encode(&v, LocationId::new(loc))).collect();
+        // At most s distinct values, and (overwhelmingly likely) more than 1.
+        assert!(indices.len() <= 3);
+        assert!(indices.len() > 1, "vehicle never changed bits across 50 locations");
+    }
+
+    #[test]
+    fn at_most_s_distinct_hashes_across_locations() {
+        for s in [1u32, 2, 4, 8] {
+            let sch = scheme(s);
+            let v = vehicle(5, s);
+            let distinct: std::collections::BTreeSet<u64> =
+                (0..500).map(|loc| sch.encode(&v, LocationId::new(loc))).collect();
+            assert!(
+                distinct.len() <= s as usize,
+                "s={s}: {} distinct encodings",
+                distinct.len()
+            );
+        }
+    }
+
+    #[test]
+    fn s_equals_one_pins_a_single_bit_everywhere() {
+        let sch = scheme(1);
+        let v = vehicle(6, 1);
+        let first = sch.encode(&v, LocationId::new(0));
+        for loc in 1..100u64 {
+            assert_eq!(sch.encode(&v, LocationId::new(loc)), first);
+        }
+    }
+
+    #[test]
+    fn encode_matches_representative_bits() {
+        let sch = scheme(4);
+        let v = vehicle(7, 4);
+        let m = 1 << 14;
+        let reps = sch.representative_bits(&v, m);
+        assert_eq!(reps.len(), 4);
+        for loc in 0..20u64 {
+            let idx = sch.encode_index(&v, LocationId::new(loc), m);
+            assert!(reps.contains(&idx), "encoded index must be one of the representatives");
+        }
+    }
+
+    #[test]
+    fn vehicles_mix_onto_shared_bits() {
+        // In a tiny bitmap, different vehicles must collide (pigeonhole),
+        // demonstrating property (1) of Sec. II-D.
+        let sch = scheme(3);
+        let l = LocationId::new(1);
+        let mut seen = std::collections::HashMap::new();
+        let mut collision = false;
+        for seed in 0..64u64 {
+            let v = vehicle(seed + 100, 3);
+            let idx = sch.encode_index(&v, l, 16);
+            if seen.insert(idx, v.id()).is_some() {
+                collision = true;
+            }
+        }
+        assert!(collision);
+    }
+
+    #[test]
+    fn secrets_debug_redacted() {
+        let v = vehicle(8, 3);
+        let text = format!("{v:?}");
+        assert!(text.contains("redacted"));
+        // The ID is deliberately shown (it is not the secret material).
+        assert!(text.contains(&format!("{}", v.id().get())));
+    }
+
+    #[test]
+    #[should_panic(expected = "s >= 1")]
+    fn empty_constants_panics() {
+        let _ = VehicleSecrets::from_parts(VehicleId::new(1), 2, vec![]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let v = vehicle(9, 3);
+        let json = serde_json::to_string(&v).expect("serialize");
+        let back: VehicleSecrets = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, v);
+    }
+
+    proptest! {
+        /// Uniformity smoke test: across many vehicles, bit indices should
+        /// cover the space without gross skew.
+        #[test]
+        fn indices_cover_small_space(seed in any::<u64>()) {
+            let sch = scheme(3);
+            let l = LocationId::new(77);
+            let mut counts = [0usize; 8];
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            for _ in 0..400 {
+                let v = VehicleSecrets::generate(&mut rng, 3);
+                counts[sch.encode_index(&v, l, 8)] += 1;
+            }
+            // Expected 50 per bucket; require every bucket nonempty and no
+            // bucket hoarding more than half the mass.
+            for (i, &c) in counts.iter().enumerate() {
+                prop_assert!(c > 0, "bucket {i} empty");
+                prop_assert!(c < 200, "bucket {i} holds {c} of 400");
+            }
+        }
+
+        /// mod-compatibility across arbitrary power-of-two pairs.
+        #[test]
+        fn mod_compatibility(seed in any::<u64>(), small_pow in 0u32..10, extra in 0u32..6) {
+            let sch = scheme(3);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let v = VehicleSecrets::generate(&mut rng, 3);
+            let l = LocationId::new(5);
+            let small = 1usize << small_pow;
+            let large = small << extra;
+            prop_assert_eq!(
+                sch.encode_index(&v, l, large) % small,
+                sch.encode_index(&v, l, small)
+            );
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Error types for estimation and record manipulation.
+
+use std::fmt;
+
+/// Why an estimate (or a join) could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EstimateError {
+    /// No traffic records were supplied.
+    NoRecords,
+    /// The operation needs at least `required` records but only `actual`
+    /// were supplied (e.g. the point persistent estimator needs two halves).
+    TooFewRecords {
+        /// Minimum number of records the operation needs.
+        required: usize,
+        /// Number of records actually supplied.
+        actual: usize,
+    },
+    /// A bitmap had no zero bits left, so the zero-fraction estimators are
+    /// undefined; the record was undersized for the observed traffic.
+    Saturated {
+        /// Which joined bitmap saturated (diagnostic label, e.g. `"E_a"`).
+        which: &'static str,
+    },
+    /// The measured fractions fell outside the estimator's domain
+    /// (`V*,1 + V_a,0 + V_b,0 - 1 <= 0` for the point estimator); statistical
+    /// noise overwhelmed the signal.
+    Degenerate,
+    /// A bitmap length was not a power of two, so replication-expansion is
+    /// not defined for it.
+    NotPowerOfTwo {
+        /// The offending length.
+        len: usize,
+    },
+    /// Bitmaps could not be joined because one length does not divide the
+    /// other.
+    IncompatibleSizes {
+        /// Smaller length involved in the join.
+        small: usize,
+        /// Larger length involved in the join.
+        large: usize,
+    },
+    /// Records from different locations were mixed into a single-location
+    /// operation.
+    LocationMismatch,
+    /// The two location record sets cover different numbers of periods.
+    PeriodMismatch {
+        /// Periods covered at the first location.
+        left: usize,
+        /// Periods covered at the second location.
+        right: usize,
+    },
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoRecords => write!(f, "no traffic records supplied"),
+            Self::TooFewRecords { required, actual } => {
+                write!(f, "need at least {required} records, got {actual}")
+            }
+            Self::Saturated { which } => {
+                write!(f, "joined bitmap {which} has no zero bits; record undersized")
+            }
+            Self::Degenerate => {
+                write!(f, "measured fractions outside the estimator domain")
+            }
+            Self::NotPowerOfTwo { len } => {
+                write!(f, "bitmap length {len} is not a power of two")
+            }
+            Self::IncompatibleSizes { small, large } => {
+                write!(f, "bitmap length {small} does not divide {large}")
+            }
+            Self::LocationMismatch => {
+                write!(f, "records from different locations mixed in a single-location join")
+            }
+            Self::PeriodMismatch { left, right } => {
+                write!(f, "locations cover different period counts ({left} vs {right})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let cases: Vec<(EstimateError, &str)> = vec![
+            (EstimateError::NoRecords, "no traffic records"),
+            (EstimateError::TooFewRecords { required: 2, actual: 1 }, "at least 2"),
+            (EstimateError::Saturated { which: "E_a" }, "E_a"),
+            (EstimateError::Degenerate, "domain"),
+            (EstimateError::NotPowerOfTwo { len: 3 }, "3"),
+            (EstimateError::IncompatibleSizes { small: 8, large: 12 }, "8"),
+            (EstimateError::LocationMismatch, "locations"),
+            (EstimateError::PeriodMismatch { left: 3, right: 5 }, "3"),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text:?} should mention {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_trait_object_safe() {
+        fn take(_: &dyn std::error::Error) {}
+        take(&EstimateError::NoRecords);
+    }
+}

@@ -1,0 +1,237 @@
+//! Joining traffic records: expansion to a common size followed by bitwise
+//! AND (Sec. III-A) or OR (Sec. IV-A second level).
+
+use crate::bitmap::Bitmap;
+use crate::error::EstimateError;
+use crate::record::TrafficRecord;
+
+/// How a set of records is split into the two halves `Π_a` / `Π_b` that the
+/// point persistent estimator joins separately (Sec. III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitStrategy {
+    /// The paper's split: `Π_a` is the first `⌈t/2⌉` records, `Π_b` the rest.
+    #[default]
+    Halves,
+    /// Ablation: even-indexed records in `Π_a`, odd-indexed in `Π_b`.
+    /// Useful when traffic volume trends over time, so both halves see a
+    /// mixture of light and heavy periods.
+    Interleaved,
+}
+
+impl SplitStrategy {
+    /// Partitions indices `0..t` into the two subsets.
+    pub fn split(&self, t: usize) -> (Vec<usize>, Vec<usize>) {
+        match self {
+            Self::Halves => {
+                let cut = t.div_ceil(2);
+                ((0..cut).collect(), (cut..t).collect())
+            }
+            Self::Interleaved => (
+                (0..t).filter(|i| i % 2 == 0).collect(),
+                (0..t).filter(|i| i % 2 == 1).collect(),
+            ),
+        }
+    }
+}
+
+/// AND-joins bitmaps after expanding each to the largest size present.
+///
+/// # Errors
+///
+/// * [`EstimateError::NoRecords`] for an empty input;
+/// * [`EstimateError::NotPowerOfTwo`] if any bitmap length is not a power of
+///   two (expansion undefined).
+pub fn and_join<'a, I>(bitmaps: I) -> Result<Bitmap, EstimateError>
+where
+    I: IntoIterator<Item = &'a Bitmap>,
+{
+    join_with(bitmaps, Bitmap::and_assign)
+}
+
+/// OR-joins bitmaps after expanding each to the largest size present.
+///
+/// # Errors
+///
+/// Same conditions as [`and_join`].
+pub fn or_join<'a, I>(bitmaps: I) -> Result<Bitmap, EstimateError>
+where
+    I: IntoIterator<Item = &'a Bitmap>,
+{
+    join_with(bitmaps, Bitmap::or_assign)
+}
+
+fn join_with<'a, I, F>(bitmaps: I, mut combine: F) -> Result<Bitmap, EstimateError>
+where
+    I: IntoIterator<Item = &'a Bitmap>,
+    F: FnMut(&mut Bitmap, &Bitmap) -> Result<(), EstimateError>,
+{
+    let maps: Vec<&Bitmap> = bitmaps.into_iter().collect();
+    if maps.is_empty() {
+        return Err(EstimateError::NoRecords);
+    }
+    let mut target = 0usize;
+    for map in &maps {
+        if !map.is_power_of_two() {
+            return Err(EstimateError::NotPowerOfTwo { len: map.len() });
+        }
+        target = target.max(map.len());
+    }
+    let mut joined = maps[0].expand_to(target)?;
+    for map in &maps[1..] {
+        let expanded = map.expand_to(target)?;
+        combine(&mut joined, &expanded)?;
+    }
+    Ok(joined)
+}
+
+/// AND-joins the bitmaps of a record set from a single location, checking
+/// that the records really are from one location.
+///
+/// # Errors
+///
+/// * [`EstimateError::LocationMismatch`] if locations differ;
+/// * plus the [`and_join`] conditions.
+pub fn and_join_records(records: &[TrafficRecord]) -> Result<Bitmap, EstimateError> {
+    if records.is_empty() {
+        return Err(EstimateError::NoRecords);
+    }
+    let location = records[0].location();
+    if records.iter().any(|r| r.location() != location) {
+        return Err(EstimateError::LocationMismatch);
+    }
+    and_join(records.iter().map(TrafficRecord::bitmap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bm(len: usize, ones: &[usize]) -> Bitmap {
+        let mut b = Bitmap::new(len);
+        for &i in ones {
+            b.set(i);
+        }
+        b
+    }
+
+    #[test]
+    fn and_join_same_size_is_plain_and() {
+        // Fig. 1: equal-size AND.
+        let a = bm(8, &[0, 2, 5]);
+        let b = bm(8, &[2, 5, 7]);
+        let joined = and_join([&a, &b]).expect("join");
+        assert_eq!(joined.iter_ones().collect::<Vec<_>>(), vec![2, 5]);
+    }
+
+    #[test]
+    fn and_join_mixed_sizes_expands() {
+        // Fig. 2: the 4-bit map expands to 8 bits before the AND.
+        let small = bm(4, &[1]);
+        let large = bm(8, &[1, 5, 6]);
+        let joined = and_join([&small, &large]).expect("join");
+        // small expands to ones at {1, 5}; AND with {1,5,6} = {1,5}.
+        assert_eq!(joined.iter_ones().collect::<Vec<_>>(), vec![1, 5]);
+    }
+
+    #[test]
+    fn or_join_mixed_sizes() {
+        let small = bm(4, &[0]);
+        let large = bm(8, &[3]);
+        let joined = or_join([&small, &large]).expect("join");
+        assert_eq!(joined.iter_ones().collect::<Vec<_>>(), vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn empty_join_is_error() {
+        assert_eq!(and_join(std::iter::empty()), Err(EstimateError::NoRecords));
+        assert_eq!(or_join(std::iter::empty()), Err(EstimateError::NoRecords));
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        let bad = bm(6, &[0]);
+        let good = bm(8, &[0]);
+        assert!(matches!(
+            and_join([&bad, &good]),
+            Err(EstimateError::NotPowerOfTwo { len: 6 })
+        ));
+    }
+
+    #[test]
+    fn single_map_join_is_identity() {
+        let a = bm(16, &[3, 9]);
+        assert_eq!(and_join([&a]).expect("join"), a);
+        assert_eq!(or_join([&a]).expect("join"), a);
+    }
+
+    #[test]
+    fn halves_split() {
+        assert_eq!(SplitStrategy::Halves.split(5), (vec![0, 1, 2], vec![3, 4]));
+        assert_eq!(SplitStrategy::Halves.split(4), (vec![0, 1], vec![2, 3]));
+        assert_eq!(SplitStrategy::Halves.split(2), (vec![0], vec![1]));
+    }
+
+    #[test]
+    fn interleaved_split() {
+        assert_eq!(SplitStrategy::Interleaved.split(5), (vec![0, 2, 4], vec![1, 3]));
+    }
+
+    #[test]
+    fn record_join_checks_location() {
+        use crate::encoding::LocationId;
+        use crate::params::BitmapSize;
+        use crate::record::{PeriodId, TrafficRecord};
+        let size = BitmapSize::new(8).expect("pow2");
+        let a = TrafficRecord::new(LocationId::new(1), PeriodId::new(0), size);
+        let b = TrafficRecord::new(LocationId::new(2), PeriodId::new(0), size);
+        assert_eq!(
+            and_join_records(&[a.clone(), b]),
+            Err(EstimateError::LocationMismatch)
+        );
+        assert!(and_join_records(&[a]).is_ok());
+        assert_eq!(and_join_records(&[]), Err(EstimateError::NoRecords));
+    }
+
+    proptest! {
+        /// AND result never has more ones than any input (after accounting
+        /// for expansion, which preserves the ones *fraction*).
+        #[test]
+        fn and_fraction_bounded_by_min_input(
+            lens in proptest::collection::vec(3u32..8, 2..5),
+            seed in any::<u64>(),
+        ) {
+            let mut state = seed;
+            let maps: Vec<Bitmap> = lens.iter().map(|&p| {
+                let len = 1usize << p;
+                let mut b = Bitmap::new(len);
+                for i in 0..len {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    if state >> 62 == 0 {
+                        b.set(i);
+                    }
+                }
+                b
+            }).collect();
+            let joined = and_join(maps.iter()).expect("join");
+            let min_frac = maps
+                .iter()
+                .map(|m| m.fraction_ones())
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(joined.fraction_ones() <= min_frac + 1e-12);
+        }
+
+        /// Splits partition the index set exactly.
+        #[test]
+        fn splits_partition(t in 2usize..50) {
+            for strategy in [SplitStrategy::Halves, SplitStrategy::Interleaved] {
+                let (a, b) = strategy.split(t);
+                let mut all: Vec<usize> = a.iter().chain(b.iter()).copied().collect();
+                all.sort_unstable();
+                prop_assert_eq!(all, (0..t).collect::<Vec<_>>());
+                prop_assert!(!a.is_empty());
+                prop_assert!(!b.is_empty());
+            }
+        }
+    }
+}

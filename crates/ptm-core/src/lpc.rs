@@ -1,0 +1,194 @@
+//! Linear probabilistic counting (Whang–Vander-Zanden–Taylor), the base
+//! estimator the paper builds on (Eq. 1 / Eq. 3).
+//!
+//! From a bitmap of `m` bits in which `n` items each set one uniformly
+//! random bit, the zero fraction concentrates around `(1 - 1/m)^n ≈ e^{-n/m}`,
+//! so `n` can be recovered from the observed zero fraction `V_0`:
+//!
+//! ```text
+//! n̂ = ln V_0 / ln(1 - 1/m)
+//! ```
+//!
+//! The module uses the exact `(1 - 1/m)` base (the paper's Eq. 3) rather
+//! than the `-m ln V_0` approximation (Eq. 1); the two agree to `O(1/m)`
+//! and a unit test pins the difference.
+
+use crate::bitmap::Bitmap;
+use crate::error::EstimateError;
+
+/// Estimates the number of distinct items encoded in `bitmap`.
+///
+/// # Errors
+///
+/// Returns [`EstimateError::Saturated`] if the bitmap has no zero bits: the
+/// zero fraction carries no information once the map fills up.
+pub fn estimate_cardinality(bitmap: &Bitmap) -> Result<f64, EstimateError> {
+    from_zero_fraction(bitmap.fraction_zeros(), bitmap.len(), "bitmap")
+}
+
+/// Estimates cardinality from an already-measured zero fraction.
+///
+/// `which` labels the bitmap in error messages (the persistent estimators
+/// apply this to several joined maps).
+///
+/// # Errors
+///
+/// Returns [`EstimateError::Saturated`] when `fraction_zeros` is zero.
+pub fn from_zero_fraction(
+    fraction_zeros: f64,
+    m: usize,
+    which: &'static str,
+) -> Result<f64, EstimateError> {
+    debug_assert!(m >= 1);
+    debug_assert!((0.0..=1.0).contains(&fraction_zeros));
+    if fraction_zeros <= 0.0 {
+        return Err(EstimateError::Saturated { which });
+    }
+    if m == 1 {
+        // A single-bit map that still has a zero encoded nothing.
+        return Ok(0.0);
+    }
+    Ok(fraction_zeros.ln() / (1.0 - 1.0 / m as f64).ln())
+}
+
+/// The paper's Eq. (1) form, `n̂ = -m ln V_0`.
+///
+/// Exposed for comparison benches; production code uses the exact base.
+///
+/// # Errors
+///
+/// Returns [`EstimateError::Saturated`] when the bitmap has no zeros.
+pub fn estimate_cardinality_approx(bitmap: &Bitmap) -> Result<f64, EstimateError> {
+    let v0 = bitmap.fraction_zeros();
+    if v0 <= 0.0 {
+        return Err(EstimateError::Saturated { which: "bitmap" });
+    }
+    Ok(-(bitmap.len() as f64) * v0.ln())
+}
+
+/// Standard error of the LPC estimate at load `t = n/m` (Whang et al. 1990):
+/// `StdErr(n̂)/n ≈ sqrt(m) (e^t - t - 1)^{1/2} / n`.
+///
+/// Useful for choosing the load factor: at the paper's `f = 2`
+/// (i.e. `t ≈ 0.5`) the relative standard error for `n = 10⁴` is well under
+/// 1 %.
+pub fn relative_standard_error(n: f64, m: usize) -> f64 {
+    assert!(n > 0.0 && m > 0, "n and m must be positive");
+    let t = n / m as f64;
+    (m as f64).sqrt() * (t.exp() - t - 1.0).sqrt() / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn fill_random(m: usize, n: usize, seed: u64) -> Bitmap {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut b = Bitmap::new(m);
+        for _ in 0..n {
+            b.set(rng.gen_range(0..m));
+        }
+        b
+    }
+
+    #[test]
+    fn empty_bitmap_estimates_zero() {
+        let b = Bitmap::new(1024);
+        assert_eq!(estimate_cardinality(&b).expect("not saturated"), 0.0);
+    }
+
+    #[test]
+    fn single_item() {
+        let mut b = Bitmap::new(1024);
+        b.set(5);
+        let est = estimate_cardinality(&b).expect("not saturated");
+        assert!((est - 1.0).abs() < 0.01, "estimate {est}");
+    }
+
+    #[test]
+    fn accuracy_at_paper_load() {
+        // n = m/2 is the paper's f = 2 operating point.
+        let m = 1 << 16;
+        let n = m / 2;
+        let b = fill_random(m, n, 42);
+        let est = estimate_cardinality(&b).expect("not saturated");
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 0.02, "relative error {rel}");
+    }
+
+    #[test]
+    fn accuracy_at_high_load() {
+        // Even at n = 2m the estimator works (with more variance).
+        let m = 1 << 16;
+        let n = 2 * m;
+        let b = fill_random(m, n, 43);
+        let est = estimate_cardinality(&b).expect("not saturated");
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 0.05, "relative error {rel}");
+    }
+
+    #[test]
+    fn saturated_is_error() {
+        let mut b = Bitmap::new(2);
+        b.set(0);
+        b.set(1);
+        assert_eq!(
+            estimate_cardinality(&b),
+            Err(EstimateError::Saturated { which: "bitmap" })
+        );
+        assert!(estimate_cardinality_approx(&b).is_err());
+    }
+
+    #[test]
+    fn exact_and_approx_forms_agree_for_large_m() {
+        let m = 1 << 18;
+        let b = fill_random(m, m / 2, 44);
+        let exact = estimate_cardinality(&b).expect("ok");
+        let approx = estimate_cardinality_approx(&b).expect("ok");
+        assert!(
+            (exact - approx).abs() / exact < 1e-4,
+            "exact {exact} vs approx {approx}"
+        );
+    }
+
+    #[test]
+    fn single_bit_map() {
+        let b = Bitmap::new(1);
+        assert_eq!(estimate_cardinality(&b).expect("zero"), 0.0);
+    }
+
+    #[test]
+    fn relative_standard_error_shrinks_with_m() {
+        let loose = relative_standard_error(1000.0, 1024);
+        let tight = relative_standard_error(1000.0, 8192);
+        assert!(tight < loose);
+        // At the paper's operating point the error is small.
+        assert!(relative_standard_error(10_000.0, 32_768) < 0.01);
+    }
+
+    proptest! {
+        /// Inversion property: encoding exactly k distinct bits yields an
+        /// estimate that is at least k-consistent (the estimator inverts the
+        /// expectation, so the estimate from `z` zero bits is exact for the
+        /// "expected" bitmap).
+        #[test]
+        fn estimate_increases_with_ones(m_pow in 6u32..12, ones in 1usize..60) {
+            let m = 1usize << m_pow;
+            prop_assume!(ones < m);
+            let mut b = Bitmap::new(m);
+            for i in 0..ones {
+                b.set(i);
+            }
+            let mut b_more = b.clone();
+            b_more.set(ones);
+            let est = estimate_cardinality(&b).expect("ok");
+            let est_more = estimate_cardinality(&b_more).expect("ok");
+            prop_assert!(est_more > est, "monotone in observed ones");
+            // k distinct ones estimate at least k (collisions only subtract).
+            prop_assert!(est >= ones as f64 * 0.999);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! System-wide parameters: the load factor `f`, the representative-bit count
+//! `s`, and the power-of-two bitmap sizing rule (paper Eq. 2).
+
+use serde::{Deserialize, Serialize};
+
+/// A bitmap size constrained to be a power of two.
+///
+/// The paper sets every record size as `m = 2^⌈log2(n̄·f)⌉` (Eq. 2) so that
+/// records of different sizes can be joined by replication-expansion
+/// (Sec. III-A). The newtype makes "power of two" a compile-time-visible
+/// invariant instead of a runtime convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(try_from = "usize", into = "usize")]
+pub struct BitmapSize(usize);
+
+impl BitmapSize {
+    /// Wraps a length that is already a power of two.
+    ///
+    /// # Errors
+    ///
+    /// Returns the raw value back if it is zero or not a power of two.
+    pub fn new(len: usize) -> Result<Self, usize> {
+        if len.is_power_of_two() {
+            Ok(Self(len))
+        } else {
+            Err(len)
+        }
+    }
+
+    /// Paper Eq. (2): the smallest power of two that is at least
+    /// `expected_volume × load_factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product is non-positive or non-finite — expected
+    /// volumes come from historical averages and must be positive.
+    pub fn for_expected_volume(expected_volume: f64, load_factor: f64) -> Self {
+        let target = expected_volume * load_factor;
+        assert!(
+            target.is_finite() && target > 0.0,
+            "expected volume x load factor must be positive and finite, got {target}"
+        );
+        let bits = target.log2().ceil() as u32;
+        Self(1usize << bits.min(usize::BITS - 1))
+    }
+
+    /// The raw length in bits.
+    pub fn get(&self) -> usize {
+        self.0
+    }
+}
+
+impl TryFrom<usize> for BitmapSize {
+    type Error = String;
+
+    fn try_from(value: usize) -> Result<Self, Self::Error> {
+        Self::new(value).map_err(|v| format!("{v} is not a power of two"))
+    }
+}
+
+impl From<BitmapSize> for usize {
+    fn from(value: BitmapSize) -> usize {
+        value.0
+    }
+}
+
+impl std::fmt::Display for BitmapSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The two tunables the paper exposes: accuracy–privacy is traded off by the
+/// load factor `f` and the representative-bit count `s` (Sec. VI-C).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemParams {
+    load_factor: f64,
+    num_representatives: u32,
+}
+
+impl SystemParams {
+    /// Creates parameters after validating them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load_factor` is not positive and finite or `s` is zero.
+    pub fn new(load_factor: f64, num_representatives: u32) -> Self {
+        assert!(
+            load_factor.is_finite() && load_factor > 0.0,
+            "load factor must be positive, got {load_factor}"
+        );
+        assert!(num_representatives >= 1, "s must be at least 1");
+        Self { load_factor, num_representatives }
+    }
+
+    /// The paper's recommended compromise: `f = 2`, `s = 3` ("we believe
+    /// f = 2 and s = 3 make a good compromise", Sec. VI-C).
+    pub fn paper_default() -> Self {
+        Self::new(2.0, 3)
+    }
+
+    /// Load factor `f`: ratio of bitmap size to expected traffic volume.
+    pub fn load_factor(&self) -> f64 {
+        self.load_factor
+    }
+
+    /// Representative-bit count `s`: how many bit positions a vehicle may
+    /// occupy across locations.
+    pub fn num_representatives(&self) -> u32 {
+        self.num_representatives
+    }
+
+    /// Sizes a bitmap for the expected per-period volume at an RSU (Eq. 2).
+    pub fn bitmap_size(&self, expected_volume: f64) -> BitmapSize {
+        BitmapSize::for_expected_volume(expected_volume, self.load_factor)
+    }
+}
+
+impl Default for SystemParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizing_matches_table_one() {
+        // Table I of the paper lists the m produced by Eq. (2) with f = 2
+        // for the Sioux Falls location volumes. Reproduce every row.
+        let params = SystemParams::paper_default();
+        let rows = [
+            (213_000.0, 524_288),
+            (140_000.0, 524_288),
+            (121_000.0, 262_144),
+            (78_000.0, 262_144),
+            (76_000.0, 262_144),
+            (47_000.0, 131_072),
+            (40_000.0, 131_072),
+            (28_000.0, 65_536),
+            (451_000.0, 1_048_576), // L' in the same experiment
+        ];
+        for (volume, expected_m) in rows {
+            assert_eq!(params.bitmap_size(volume).get(), expected_m, "volume {volume}");
+        }
+    }
+
+    #[test]
+    fn exact_powers_stay_exact() {
+        // n̄·f already a power of two: ceil(log2) keeps it.
+        assert_eq!(BitmapSize::for_expected_volume(512.0, 2.0).get(), 1024);
+        assert_eq!(BitmapSize::for_expected_volume(1024.0, 1.0).get(), 1024);
+    }
+
+    #[test]
+    fn small_volumes() {
+        assert_eq!(BitmapSize::for_expected_volume(1.0, 1.0).get(), 1);
+        assert_eq!(BitmapSize::for_expected_volume(1.5, 1.0).get(), 2);
+        assert_eq!(BitmapSize::for_expected_volume(3.0, 1.0).get(), 4);
+    }
+
+    #[test]
+    fn fractional_load_factors() {
+        // f = 1.5 as in the Table II sweep.
+        assert_eq!(BitmapSize::for_expected_volume(1000.0, 1.5).get(), 2048);
+        assert_eq!(BitmapSize::for_expected_volume(1000.0, 2.5).get(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_volume_panics() {
+        let _ = BitmapSize::for_expected_volume(0.0, 2.0);
+    }
+
+    #[test]
+    fn new_rejects_non_powers() {
+        assert!(BitmapSize::new(0).is_err());
+        assert!(BitmapSize::new(3).is_err());
+        assert!(BitmapSize::new(12).is_err());
+        assert_eq!(BitmapSize::new(16).map(|s| s.get()), Ok(16));
+    }
+
+    #[test]
+    fn serde_roundtrip_and_rejects_bad_values() {
+        let size = BitmapSize::new(4096).expect("power of two");
+        let json = serde_json::to_string(&size).expect("serialize");
+        assert_eq!(json, "4096");
+        let back: BitmapSize = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, size);
+        assert!(serde_json::from_str::<BitmapSize>("4095").is_err());
+    }
+
+    #[test]
+    fn params_accessors() {
+        let p = SystemParams::new(3.0, 5);
+        assert_eq!(p.load_factor(), 3.0);
+        assert_eq!(p.num_representatives(), 5);
+        let d = SystemParams::default();
+        assert_eq!(d.load_factor(), 2.0);
+        assert_eq!(d.num_representatives(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "s must be at least 1")]
+    fn zero_s_panics() {
+        let _ = SystemParams::new(2.0, 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(BitmapSize::new(64).unwrap().to_string(), "64");
+    }
+}

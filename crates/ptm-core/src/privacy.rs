@@ -1,0 +1,281 @@
+//! Privacy analysis (paper Sec. V): how much can traffic records reveal
+//! about an individual vehicle's trajectory?
+//!
+//! Setting: a tracker somehow learns that vehicle `v` set bit `i` at
+//! location `L` and checks whether bit `i` is also set at another location
+//! `L'` (`n'` vehicles, bitmap size `m'`).
+//!
+//! * **noise** `p` — probability the bit is one even though `v` never passed
+//!   `L'` (Eq. 22): `p = 1 − (1 − 1/m')^{n'}`;
+//! * **signal** `p' − p = (1 − p)/s` — the extra probability contributed by
+//!   `v` actually passing (Eq. 23), diluted by the `s` representative bits;
+//! * **noise-to-information ratio** `p / (p' − p)` (Eq. 24) — the paper's
+//!   privacy metric; ≥ 1 means the noise outweighs the evidence.
+//!
+//! With the sizing rule `m' ≈ f·n'` the ratio converges to the closed form
+//! `s·(e^{1/f} − 1)` and the noise to `1 − e^{−1/f}`, which is how the
+//! paper's Table II is computed.
+
+use rand::Rng;
+
+/// Eq. (22): probability that other traffic sets the observed bit.
+///
+/// # Panics
+///
+/// Panics if `m_prime` is zero.
+pub fn noise_probability(n_prime: u64, m_prime: usize) -> f64 {
+    assert!(m_prime > 0, "bitmap size must be positive");
+    1.0 - (1.0 - 1.0 / m_prime as f64).powf(n_prime as f64)
+}
+
+/// Eq. (23): probability the bit shows one when the vehicle *did* pass.
+///
+/// # Panics
+///
+/// Panics if `s` is zero or `noise` is outside `[0, 1]`.
+pub fn tracking_probability(noise: f64, s: u32) -> f64 {
+    assert!(s >= 1, "s must be at least 1");
+    assert!((0.0..=1.0).contains(&noise), "noise must be a probability");
+    noise + (1.0 - noise) / s as f64
+}
+
+/// Eq. (24): the probabilistic noise-to-information ratio
+/// `p / (p' − p) = s·p / (1 − p)`.
+///
+/// Returns `f64::INFINITY` when the bitmap is certain to be full (`p = 1`).
+pub fn noise_to_information_ratio(n_prime: u64, m_prime: usize, s: u32) -> f64 {
+    let p = noise_probability(n_prime, m_prime);
+    if p >= 1.0 {
+        return f64::INFINITY;
+    }
+    s as f64 * p / (1.0 - p)
+}
+
+/// Asymptotic noise under the sizing rule `m' = f·n'` (large `n'`):
+/// `p = 1 − e^{−1/f}`. The paper's Table II bottom row.
+///
+/// # Panics
+///
+/// Panics if `load_factor` is not positive.
+pub fn asymptotic_noise(load_factor: f64) -> f64 {
+    assert!(load_factor > 0.0, "load factor must be positive");
+    1.0 - (-1.0 / load_factor).exp()
+}
+
+/// Asymptotic noise-to-information ratio under `m' = f·n'`:
+/// `s·(e^{1/f} − 1)`. The paper's Table II body.
+///
+/// # Panics
+///
+/// Panics if `load_factor` is not positive or `s` is zero.
+pub fn asymptotic_ratio(load_factor: f64, s: u32) -> f64 {
+    assert!(load_factor > 0.0, "load factor must be positive");
+    assert!(s >= 1, "s must be at least 1");
+    s as f64 * ((1.0 / load_factor).exp() - 1.0)
+}
+
+/// Empirical estimate of `(p, p')` by Monte-Carlo simulation of the actual
+/// encoding process, for cross-checking the closed forms.
+///
+/// Each trial builds the bitmap of `n_prime` independent vehicles at `L'`
+/// (each setting one uniform bit) and checks the tracked index twice: once
+/// without `v` (noise) and once with `v` re-encoding at `L'` by picking one
+/// of its `s` representative bits uniformly (information).
+pub fn simulate_noise_information<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_prime: u64,
+    m_prime: usize,
+    s: u32,
+    trials: u32,
+) -> (f64, f64) {
+    assert!(m_prime > 0 && s >= 1 && trials > 0);
+    let mut hits_without = 0u32;
+    let mut hits_with = 0u32;
+    for _ in 0..trials {
+        // v's representative bit indices at this bitmap size; index 0 is the
+        // representative the tracker observed at L.
+        let reps: Vec<usize> = (0..s).map(|_| rng.gen_range(0..m_prime)).collect();
+        let tracked = reps[0];
+        // Other traffic at L'.
+        let mut bit_set = false;
+        for _ in 0..n_prime {
+            if rng.gen_range(0..m_prime) == tracked {
+                bit_set = true;
+                break;
+            }
+        }
+        if bit_set {
+            hits_without += 1;
+        }
+        // Now v passes L' and picks one representative uniformly.
+        let choice = reps[rng.gen_range(0..s as usize)];
+        if bit_set || choice == tracked {
+            hits_with += 1;
+        }
+    }
+    (
+        hits_without as f64 / trials as f64,
+        hits_with as f64 / trials as f64,
+    )
+}
+
+/// One cell of the paper's Table II: `(ratio, noise)` for a `(f, s)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PrivacyCell {
+    /// Load factor `f`.
+    pub load_factor: f64,
+    /// Representative count `s`.
+    pub s: u32,
+    /// Noise-to-information ratio.
+    pub ratio: f64,
+    /// Noise probability `p`.
+    pub noise: f64,
+}
+
+/// Generates the full Table II grid for the given parameter sweeps.
+pub fn privacy_table(load_factors: &[f64], s_values: &[u32]) -> Vec<PrivacyCell> {
+    let mut cells = Vec::with_capacity(load_factors.len() * s_values.len());
+    for &s in s_values {
+        for &f in load_factors {
+            cells.push(PrivacyCell {
+                load_factor: f,
+                s,
+                ratio: asymptotic_ratio(f, s),
+                noise: asymptotic_noise(f),
+            });
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn table_two_reference_values() {
+        // Spot-check the published Table II grid (4-decimal rounding; the
+        // paper's f = 1 column is off by ~2e-4 from the closed form, so the
+        // tolerance is 3e-4 relative).
+        let cases = [
+            (1.0, 2, 3.4368),
+            (1.5, 2, 1.8956),
+            (2.0, 2, 1.2975),
+            (4.0, 2, 0.5681),
+            (1.0, 3, 5.1553),
+            (2.0, 3, 1.9462),
+            (3.0, 3, 1.1869),
+            (2.0, 4, 2.5950),
+            (2.5, 5, 2.4592),
+            (4.0, 5, 1.4201),
+        ];
+        for (f, s, expected) in cases {
+            let got = asymptotic_ratio(f, s);
+            let rel = (got - expected).abs() / expected;
+            assert!(rel < 3e-4, "f={f} s={s}: got {got}, paper {expected}");
+        }
+    }
+
+    #[test]
+    fn table_two_noise_row() {
+        let cases = [
+            (1.0, 0.6321),
+            (1.5, 0.4866),
+            (2.0, 0.3935),
+            (2.5, 0.3297),
+            (3.0, 0.2835),
+            (3.5, 0.2485),
+            (4.0, 0.2212),
+        ];
+        for (f, expected) in cases {
+            let got = asymptotic_noise(f);
+            assert!(
+                (got - expected).abs() < 5e-5,
+                "f={f}: got {got}, paper {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn finite_n_converges_to_asymptotic() {
+        let f = 2.0;
+        for n in [1_000u64, 100_000, 10_000_000] {
+            let m = (n as f64 * f) as usize;
+            let finite = noise_probability(n, m);
+            let asym = asymptotic_noise(f);
+            assert!(
+                (finite - asym).abs() < 2.0 / n as f64 + 1e-6,
+                "n={n}: finite {finite} vs asymptotic {asym}"
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_monotone_in_s_and_antitone_in_f() {
+        assert!(asymptotic_ratio(2.0, 4) > asymptotic_ratio(2.0, 3));
+        assert!(asymptotic_ratio(3.0, 3) < asymptotic_ratio(2.0, 3));
+    }
+
+    #[test]
+    fn tracking_probability_formula() {
+        let p = 0.4;
+        let p_prime = tracking_probability(p, 3);
+        assert!((p_prime - (0.4 + 0.6 / 3.0)).abs() < 1e-12);
+        // s = 1 (no representative diversity): passing always sets the bit.
+        assert_eq!(tracking_probability(0.25, 1), 1.0);
+    }
+
+    #[test]
+    fn ratio_matches_p_over_information() {
+        let n = 50_000u64;
+        let m = 100_000usize;
+        let s = 3u32;
+        let p = noise_probability(n, m);
+        let p_prime = tracking_probability(p, s);
+        let direct = p / (p_prime - p);
+        assert!((noise_to_information_ratio(n, m, s) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_bitmap_gives_infinite_ratio() {
+        // m' = 1: every vehicle sets the single bit, p = 1.
+        assert_eq!(noise_to_information_ratio(10, 1, 3), f64::INFINITY);
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_closed_form() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let n = 2_000u64;
+        let m = 4_096usize;
+        let s = 3u32;
+        let (p_hat, p_prime_hat) = simulate_noise_information(&mut rng, n, m, s, 20_000);
+        let p = noise_probability(n, m);
+        let p_prime = tracking_probability(p, s);
+        assert!((p_hat - p).abs() < 0.02, "p {p} vs empirical {p_hat}");
+        assert!(
+            (p_prime_hat - p_prime).abs() < 0.02,
+            "p' {p_prime} vs empirical {p_prime_hat}"
+        );
+    }
+
+    #[test]
+    fn privacy_table_shape() {
+        let cells = privacy_table(&[1.0, 2.0], &[2, 3, 4]);
+        assert_eq!(cells.len(), 6);
+        // Rows grouped by s, then ordered by f.
+        assert_eq!(cells[0].s, 2);
+        assert_eq!(cells[0].load_factor, 1.0);
+        assert_eq!(cells[5].s, 4);
+        assert_eq!(cells[5].load_factor, 2.0);
+    }
+
+    #[test]
+    fn paper_recommended_point_has_ratio_about_two() {
+        // Sec. VI-C: "the probabilistic noise-to-information ratio is about 2"
+        // at f = 2, s = 3.
+        let ratio = asymptotic_ratio(2.0, 3);
+        assert!((1.9..2.0).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Modular arithmetic and a small prime-order group for the Schnorr-style
+//! signatures used by the simulated PKI.
+//!
+//! Rather than hardcoding unverifiable magic constants, the module derives
+//! its group parameters at first use: it searches for a *safe prime*
+//! `p = 2q + 1` just above `2^60` using a deterministic Miller–Rabin test,
+//! then takes the order-`q` quadratic-residue subgroup of `Z_p^*`. The search
+//! is deterministic, so every build of the simulator agrees on the
+//! parameters, and a unit test re-verifies primality independently.
+
+use std::sync::OnceLock;
+
+/// Multiplies two residues modulo `m` without overflow.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Computes `base^exp mod m` by square-and-multiply.
+pub fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    debug_assert!(m > 1);
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64` inputs.
+///
+/// The base set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}` is known to be
+/// deterministic for n < 3.3 × 10^24, which covers `u64` entirely.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // Write n - 1 = d * 2^r with d odd.
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d & 1 == 0 {
+        d >>= 1;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..r {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// A cyclic group of prime order `q` inside `Z_p^*` where `p = 2q + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Group {
+    /// Safe-prime modulus.
+    pub p: u64,
+    /// Prime subgroup order, `q = (p - 1) / 2`.
+    pub q: u64,
+    /// Generator of the order-`q` quadratic-residue subgroup.
+    pub g: u64,
+}
+
+impl Group {
+    /// Finds the group deterministically: the smallest safe prime `p ≥ 2^60`
+    /// with generator `g = 4` (a quadratic residue, hence order `q` in the
+    /// subgroup unless it degenerates to 1, which cannot happen for p > 5).
+    pub fn simulation_default() -> &'static Group {
+        static GROUP: OnceLock<Group> = OnceLock::new();
+        GROUP.get_or_init(|| {
+            let mut q = (1u64 << 59) + 1;
+            loop {
+                // p = 2q + 1 must be prime together with q.
+                if is_prime(q) {
+                    let p = 2 * q + 1;
+                    if is_prime(p) {
+                        let g = 4u64; // 2^2: a quadratic residue generator.
+                        debug_assert_eq!(pow_mod(g, q, p), 1);
+                        return Group { p, q, g };
+                    }
+                }
+                q += 2;
+            }
+        })
+    }
+
+    /// Raises the generator to `exp`, i.e. computes `g^exp mod p`.
+    pub fn gen_pow(&self, exp: u64) -> u64 {
+        pow_mod(self.g, exp % self.q, self.p)
+    }
+
+    /// Multiplies two group elements.
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        mul_mod(a, b, self.p)
+    }
+
+    /// Raises an arbitrary group element to a power.
+    pub fn pow(&self, base: u64, exp: u64) -> u64 {
+        pow_mod(base, exp % self.q, self.p)
+    }
+
+    /// Reduces a 64-bit scalar into the exponent field `[0, q)`.
+    pub fn scalar(&self, raw: u64) -> u64 {
+        raw % self.q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 7919, 2_147_483_647];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        let composites = [0u64, 1, 4, 9, 15, 91, 561, 2_147_483_649, 3_215_031_751];
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 825_265] {
+            assert!(!is_prime(c), "Carmichael number {c} must be rejected");
+        }
+    }
+
+    #[test]
+    fn pow_mod_basics() {
+        assert_eq!(pow_mod(2, 10, 1_000_000_007), 1024);
+        assert_eq!(pow_mod(5, 0, 13), 1);
+        assert_eq!(pow_mod(7, 13 - 1, 13), 1, "Fermat little theorem");
+    }
+
+    #[test]
+    fn mul_mod_no_overflow() {
+        let near_max = (1u64 << 61) - 1;
+        let r = mul_mod(near_max - 1, near_max - 2, near_max);
+        // (p-1)(p-2) mod p = 2 for prime-like modulus arithmetic: (-1)(-2)=2.
+        assert_eq!(r, 2);
+    }
+
+    #[test]
+    fn default_group_is_safe_prime() {
+        let g = Group::simulation_default();
+        assert!(is_prime(g.p));
+        assert!(is_prime(g.q));
+        assert_eq!(g.p, 2 * g.q + 1);
+        assert!(g.p >= 1u64 << 60);
+        // Generator has order exactly q: g^q = 1 and g != 1.
+        assert_eq!(pow_mod(g.g, g.q, g.p), 1);
+        assert_ne!(g.g, 1);
+    }
+
+    #[test]
+    fn group_exponent_laws() {
+        let g = Group::simulation_default();
+        let a = 123_456_789u64;
+        let b = 987_654_321u64;
+        let lhs = g.gen_pow(a + b);
+        let rhs = g.mul(g.gen_pow(a), g.gen_pow(b));
+        assert_eq!(lhs, rhs, "g^(a+b) = g^a * g^b");
+        assert_eq!(
+            g.pow(g.gen_pow(a), b),
+            g.pow(g.gen_pow(b), a),
+            "(g^a)^b = (g^b)^a"
+        );
+    }
+}

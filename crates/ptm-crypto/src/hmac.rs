@@ -1,0 +1,161 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1), built on [`crate::sha256`].
+//!
+//! Used by the V2I substrate for session-key derivation and message
+//! authentication after the RSU/vehicle handshake, and by [`crate::stream`]
+//! to derive keystream blocks.
+
+use crate::sha256::Sha256;
+
+const BLOCK_LEN: usize = 64;
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// # Example
+///
+/// ```
+/// use ptm_crypto::hmac::hmac_sha256;
+///
+/// let tag = hmac_sha256(b"key", b"message");
+/// assert_eq!(tag.len(), 32);
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let mut mac = HmacSha256::new(key);
+    mac.update(message);
+    mac.finalize()
+}
+
+/// Incremental HMAC-SHA256.
+#[derive(Debug, Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    /// Outer-pad key block, applied at finalization.
+    opad_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates a MAC instance keyed with `key` (any length; keys longer than
+    /// one block are hashed first, per the RFC).
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            key_block[..32].copy_from_slice(&Sha256::digest(key));
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = key_block[i] ^ 0x36;
+            opad[i] = key_block[i] ^ 0x5c;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        Self { inner, opad_key: opad }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Returns the 32-byte authentication tag.
+    pub fn finalize(self) -> [u8; 32] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// Constant-time-ish tag comparison.
+    ///
+    /// Inside the simulator timing side channels are irrelevant, but the
+    /// interface mirrors real MAC APIs so callers never use `==` on tags.
+    pub fn verify(self, expected: &[u8; 32]) -> bool {
+        let tag = self.finalize();
+        let mut diff = 0u8;
+        for (a, b) in tag.iter().zip(expected.iter()) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(tag: &[u8; 32]) -> String {
+        tag.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test cases.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0b; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaa; 20];
+        let data = [0xdd; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaa; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let mut mac = HmacSha256::new(b"split-key");
+        mac.update(b"hello ");
+        mac.update(b"world");
+        assert_eq!(mac.finalize(), hmac_sha256(b"split-key", b"hello world"));
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha256(b"k", b"m");
+        assert!(HmacSha256::new(b"k").tap(b"m").verify(&tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!HmacSha256::new(b"k").tap(b"m").verify(&bad));
+    }
+
+    trait Tap {
+        fn tap(self, data: &[u8]) -> Self;
+    }
+    impl Tap for HmacSha256 {
+        fn tap(mut self, data: &[u8]) -> Self {
+            self.update(data);
+            self
+        }
+    }
+}

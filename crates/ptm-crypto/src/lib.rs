@@ -1,0 +1,69 @@
+//! Simulation-grade cryptographic substrate for the persistent traffic
+//! measurement system.
+//!
+//! The ICDCS 2017 paper assumes three cryptographic building blocks:
+//!
+//! 1. a hash function `H` "that provides good randomness" used for vehicle
+//!    encoding (Sec. II-D) — provided here by a from-scratch
+//!    [SipHash-2-4](siphash) implementation (a keyed 64-bit PRF with
+//!    published reference test vectors);
+//! 2. PKI-based authentication between vehicles and road-side units
+//!    (Sec. II-B) — provided by [SHA-256](sha256), [HMAC-SHA256](hmac) and a
+//!    [Schnorr-style signature scheme](schnorr) over a 61-bit prime-order
+//!    group, wrapped into a [certificate authority](cert);
+//! 3. encrypted data exchanges — modelled by a keyed stream cipher derived
+//!    from HMAC output blocks ([`stream`]).
+//!
+//! # Security disclaimer
+//!
+//! Everything in this crate is **simulation-grade**: the Schnorr group uses a
+//! 61-bit modulus so that the full protocol (key generation, certificate
+//! issuance, signature verification, rogue-RSU rejection) can run inside a
+//! discrete-event simulator at scale. The *structure* is faithful — a rogue
+//! RSU without an authority-issued certificate fails verification — but the
+//! parameters are far too small for real deployments. Do not reuse outside
+//! the simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use ptm_crypto::cert::TrustedAuthority;
+//!
+//! # fn main() {
+//! let mut authority = TrustedAuthority::from_seed(7);
+//! let rsu = authority.issue("rsu-42");
+//! assert!(authority.root().verify_certificate(rsu.certificate()).is_ok());
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cert;
+pub mod group;
+pub mod hmac;
+pub mod schnorr;
+pub mod sha256;
+pub mod siphash;
+pub mod stream;
+
+pub use cert::{Certificate, TrustedAuthority};
+pub use schnorr::{KeyPair, PublicKey, SecretKey, Signature};
+pub use sha256::Sha256;
+pub use siphash::SipHash24;
+
+/// A 64-bit keyed hash used as the paper's hash function `H`.
+///
+/// The paper's encoding step (Sec. II-D) needs a single uniform hash
+/// `H : bytes -> u64`. Abstracting it behind a trait lets the core crate and
+/// the tests substitute deterministic or adversarial hashes.
+pub trait Hash64 {
+    /// Hash an arbitrary byte string to 64 bits.
+    fn hash64(&self, data: &[u8]) -> u64;
+}
+
+impl Hash64 for SipHash24 {
+    fn hash64(&self, data: &[u8]) -> u64 {
+        self.hash(data)
+    }
+}

@@ -1,0 +1,227 @@
+//! Schnorr-style signatures over the simulation group from [`crate::group`].
+//!
+//! This supplies the sign/verify primitive behind the RSU certificates
+//! (Sec. II-B of the paper: vehicles verify an RSU's public-key certificate
+//! before interacting with it). Signatures are deterministic: the nonce is
+//! derived from the secret key and the message via HMAC-SHA256, so the
+//! simulator needs no signing-side randomness.
+//!
+//! The scheme is the classic `(e, s)` variant:
+//!
+//! * sign: `k = PRF(x, m)`, `R = g^k`, `e = H(R ‖ X ‖ m) mod q`,
+//!   `s = k + e·x mod q`;
+//! * verify: recompute `R' = g^s · X^{q−e}` and accept iff
+//!   `H(R' ‖ X ‖ m) mod q = e`.
+
+use crate::group::Group;
+use crate::hmac::hmac_sha256;
+use crate::sha256::Sha256;
+use serde::{Deserialize, Serialize};
+
+/// A signing (secret) key: an exponent in `[1, q)`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SecretKey {
+    x: u64,
+}
+
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print secret material, even in debug logs.
+        f.debug_struct("SecretKey").field("x", &"<redacted>").finish()
+    }
+}
+
+/// A verification (public) key: the group element `X = g^x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PublicKey {
+    element: u64,
+}
+
+impl PublicKey {
+    /// Raw group element, used when serializing into certificates.
+    pub fn element(&self) -> u64 {
+        self.element
+    }
+
+    /// Rebuilds a key from its raw group element (wire decoding). A bogus
+    /// element simply fails every verification.
+    pub fn from_element(element: u64) -> Self {
+        Self { element }
+    }
+}
+
+/// A Schnorr signature `(e, s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    e: u64,
+    s: u64,
+}
+
+impl Signature {
+    /// Splits into the raw `(e, s)` scalars for wire encoding.
+    pub fn to_parts(&self) -> (u64, u64) {
+        (self.e, self.s)
+    }
+
+    /// Rebuilds from raw scalars (wire decoding). Out-of-range scalars are
+    /// accepted here and rejected at verification time.
+    pub fn from_parts(e: u64, s: u64) -> Self {
+        Self { e, s }
+    }
+}
+
+/// Error returned when signature verification fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyError;
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("signature verification failed")
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// A secret/public key pair.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyPair {
+    secret: SecretKey,
+    public: PublicKey,
+}
+
+impl KeyPair {
+    /// Derives a key pair deterministically from a 64-bit seed.
+    ///
+    /// The seed is stretched through SHA-256 so structurally close seeds do
+    /// not produce related exponents.
+    pub fn from_seed(seed: u64) -> Self {
+        let group = Group::simulation_default();
+        let digest = Sha256::digest(&seed.to_le_bytes());
+        let raw = u64::from_le_bytes(digest[..8].try_into().expect("8 bytes"));
+        let x = 1 + raw % (group.q - 1);
+        let public = PublicKey { element: group.gen_pow(x) };
+        Self { secret: SecretKey { x }, public }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Signs `message` deterministically.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let group = Group::simulation_default();
+        // Deterministic nonce (RFC 6979 in spirit): PRF over the message
+        // keyed with the secret exponent.
+        let tag = hmac_sha256(&self.secret.x.to_le_bytes(), message);
+        let raw_k = u64::from_le_bytes(tag[..8].try_into().expect("8 bytes"));
+        let k = 1 + raw_k % (group.q - 1);
+        let r = group.gen_pow(k);
+        let e = challenge(group, r, self.public, message);
+        let s = (k as u128 + (e as u128 * self.secret.x as u128) % group.q as u128)
+            % group.q as u128;
+        Signature { e, s: s as u64 }
+    }
+}
+
+impl PublicKey {
+    /// Verifies `signature` over `message`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] when the recomputed challenge does not match —
+    /// i.e. the signature was not produced by the holder of the matching
+    /// secret key.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), VerifyError> {
+        let group = Group::simulation_default();
+        if signature.e >= group.q || signature.s >= group.q {
+            return Err(VerifyError);
+        }
+        // R' = g^s * X^{-e}  (inverse via exponent q - e, X has order q).
+        let neg_e = (group.q - signature.e) % group.q;
+        let r = group.mul(group.gen_pow(signature.s), group.pow(self.element, neg_e));
+        if challenge(group, r, *self, message) == signature.e {
+            Ok(())
+        } else {
+            Err(VerifyError)
+        }
+    }
+}
+
+/// Fiat–Shamir challenge `H(R ‖ X ‖ m) mod q`.
+fn challenge(group: &Group, r: u64, public: PublicKey, message: &[u8]) -> u64 {
+    let mut hasher = Sha256::new();
+    hasher.update(&r.to_le_bytes());
+    hasher.update(&public.element.to_le_bytes());
+    hasher.update(message);
+    let digest = hasher.finalize();
+    let raw = u64::from_le_bytes(digest[..8].try_into().expect("8 bytes"));
+    group.scalar(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let pair = KeyPair::from_seed(1);
+        let sig = pair.sign(b"rsu location 7");
+        assert!(pair.public().verify(b"rsu location 7", &sig).is_ok());
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let pair = KeyPair::from_seed(2);
+        let sig = pair.sign(b"genuine");
+        assert_eq!(pair.public().verify(b"forged", &sig), Err(VerifyError));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let signer = KeyPair::from_seed(3);
+        let other = KeyPair::from_seed(4);
+        let sig = signer.sign(b"msg");
+        assert_eq!(other.public().verify(b"msg", &sig), Err(VerifyError));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let pair = KeyPair::from_seed(5);
+        let sig = pair.sign(b"msg");
+        let tampered = Signature { e: sig.e ^ 1, s: sig.s };
+        assert!(pair.public().verify(b"msg", &tampered).is_err());
+        let tampered = Signature { e: sig.e, s: sig.s ^ 1 };
+        assert!(pair.public().verify(b"msg", &tampered).is_err());
+    }
+
+    #[test]
+    fn out_of_range_scalars_rejected() {
+        let pair = KeyPair::from_seed(6);
+        let sig = Signature { e: u64::MAX, s: 0 };
+        assert!(pair.public().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn deterministic_signing() {
+        let pair = KeyPair::from_seed(7);
+        assert_eq!(pair.sign(b"same"), pair.sign(b"same"));
+        assert_ne!(pair.sign(b"one"), pair.sign(b"two"));
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_keys() {
+        let keys: Vec<u64> = (0..100).map(|s| KeyPair::from_seed(s).public().element()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), keys.len(), "collision among 100 seeded keys");
+    }
+
+    #[test]
+    fn secret_key_debug_is_redacted() {
+        let pair = KeyPair::from_seed(8);
+        let text = format!("{:?}", pair);
+        assert!(text.contains("redacted"));
+    }
+}

@@ -1,0 +1,103 @@
+//! A keyed stream cipher built from HMAC-SHA256 output blocks (CTR-style).
+//!
+//! The paper requires "all data exchanges encrypted" after the RSU/vehicle
+//! authentication (Sec. II-B). Inside the simulator the cipher only needs to
+//! model that property: ciphertexts are unintelligible without the session
+//! key, and encryption is symmetric (encrypting twice restores the
+//! plaintext). HMAC-CTR gives that with the primitives already in the crate.
+
+use crate::hmac::HmacSha256;
+
+/// A symmetric stream cipher keyed by a session key and a message nonce.
+///
+/// # Example
+///
+/// ```
+/// use ptm_crypto::stream::StreamCipher;
+///
+/// let cipher = StreamCipher::new(b"session-key", 7);
+/// let ct = cipher.apply(b"index=42");
+/// assert_ne!(ct, b"index=42");
+/// assert_eq!(cipher.apply(&ct), b"index=42");
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamCipher {
+    key: Vec<u8>,
+    nonce: u64,
+}
+
+impl StreamCipher {
+    /// Creates a cipher for one message direction.
+    ///
+    /// `nonce` must be unique per message under the same key; the V2I layer
+    /// uses its per-message sequence number.
+    pub fn new(key: &[u8], nonce: u64) -> Self {
+        Self { key: key.to_vec(), nonce }
+    }
+
+    /// XORs `data` with the keystream; applying twice round-trips.
+    pub fn apply(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len());
+        let mut counter = 0u64;
+        let mut block = self.keystream_block(counter);
+        let mut offset = 0usize;
+        for &byte in data {
+            if offset == block.len() {
+                counter += 1;
+                block = self.keystream_block(counter);
+                offset = 0;
+            }
+            out.push(byte ^ block[offset]);
+            offset += 1;
+        }
+        out
+    }
+
+    fn keystream_block(&self, counter: u64) -> [u8; 32] {
+        let mut mac = HmacSha256::new(&self.key);
+        mac.update(&self.nonce.to_le_bytes());
+        mac.update(&counter.to_le_bytes());
+        mac.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let cipher = StreamCipher::new(b"k", 1);
+        let plaintext = b"hello, rsu".to_vec();
+        assert_eq!(cipher.apply(&cipher.apply(&plaintext)), plaintext);
+    }
+
+    #[test]
+    fn long_message_crosses_block_boundary() {
+        let cipher = StreamCipher::new(b"k", 2);
+        let plaintext: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+        let ciphertext = cipher.apply(&plaintext);
+        assert_ne!(ciphertext, plaintext);
+        assert_eq!(cipher.apply(&ciphertext), plaintext);
+    }
+
+    #[test]
+    fn different_nonces_different_keystreams() {
+        let a = StreamCipher::new(b"k", 1).apply(&[0u8; 64]);
+        let b = StreamCipher::new(b"k", 2).apply(&[0u8; 64]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_keys_different_keystreams() {
+        let a = StreamCipher::new(b"k1", 1).apply(&[0u8; 64]);
+        let b = StreamCipher::new(b"k2", 1).apply(&[0u8; 64]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_message() {
+        let cipher = StreamCipher::new(b"k", 3);
+        assert!(cipher.apply(&[]).is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! Property tests for the crypto substrate.
+
+use proptest::prelude::*;
+use ptm_crypto::hmac::hmac_sha256;
+use ptm_crypto::stream::StreamCipher;
+use ptm_crypto::Sha256;
+
+proptest! {
+    /// The stream cipher is an involution under a fixed (key, nonce).
+    #[test]
+    fn stream_cipher_involution(
+        key in proptest::collection::vec(any::<u8>(), 0..48),
+        nonce in any::<u64>(),
+        plaintext in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let cipher = StreamCipher::new(&key, nonce);
+        prop_assert_eq!(cipher.apply(&cipher.apply(&plaintext)), plaintext);
+    }
+
+    /// SHA-256 streaming matches one-shot across arbitrary chunkings.
+    #[test]
+    fn sha256_chunking_invariance(
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+        cuts in proptest::collection::vec(any::<proptest::sample::Index>(), 0..4),
+    ) {
+        let mut points: Vec<usize> = cuts.iter().map(|c| c.index(data.len() + 1)).collect();
+        points.sort_unstable();
+        let mut hasher = Sha256::new();
+        let mut start = 0usize;
+        for &p in &points {
+            hasher.update(&data[start..p.max(start)]);
+            start = p.max(start);
+        }
+        hasher.update(&data[start..]);
+        prop_assert_eq!(hasher.finalize(), Sha256::digest(&data));
+    }
+
+    /// HMAC differs whenever the key differs (no trivial key collisions in
+    /// the sampled space).
+    #[test]
+    fn hmac_keys_separate(
+        key_a in proptest::collection::vec(any::<u8>(), 1..32),
+        key_b in proptest::collection::vec(any::<u8>(), 1..32),
+        message in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        prop_assume!(key_a != key_b);
+        prop_assert_ne!(hmac_sha256(&key_a, &message), hmac_sha256(&key_b, &message));
+    }
+}

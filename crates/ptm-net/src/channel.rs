@@ -1,0 +1,96 @@
+//! The wireless channel model: per-message loss and propagation delay.
+//!
+//! DSRC contacts are short and lossy; the estimators' robustness to lost
+//! beacons/reports is one of this repo's ablation experiments. The model is
+//! deliberately simple — independent Bernoulli loss plus a fixed propagation
+//! delay — because the estimator only cares whether a vehicle's single bit
+//! report eventually lands.
+
+use crate::time::SimDuration;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Loss/delay parameters for one hop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelModel {
+    /// Probability an individual frame is lost.
+    pub loss_probability: f64,
+    /// One-way propagation + processing delay.
+    pub delay: SimDuration,
+}
+
+impl ChannelModel {
+    /// A perfect channel: no loss, 100 µs delay.
+    pub fn lossless() -> Self {
+        Self { loss_probability: 0.0, delay: SimDuration::from_micros(100) }
+    }
+
+    /// A lossy channel with the given frame-loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_probability` is outside `[0, 1]`.
+    pub fn with_loss(loss_probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&loss_probability),
+            "loss probability must be in [0, 1]"
+        );
+        Self { loss_probability, delay: SimDuration::from_micros(100) }
+    }
+
+    /// Samples one transmission: `Some(delay)` when the frame gets through,
+    /// `None` when it is lost.
+    pub fn transmit<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<SimDuration> {
+        if self.loss_probability > 0.0 && rng.gen::<f64>() < self.loss_probability {
+            None
+        } else {
+            Some(self.delay)
+        }
+    }
+}
+
+impl Default for ChannelModel {
+    fn default() -> Self {
+        Self::lossless()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn lossless_always_delivers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ch = ChannelModel::lossless();
+        for _ in 0..1000 {
+            assert_eq!(ch.transmit(&mut rng), Some(SimDuration::from_micros(100)));
+        }
+    }
+
+    #[test]
+    fn total_loss_never_delivers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let ch = ChannelModel::with_loss(1.0);
+        for _ in 0..1000 {
+            assert_eq!(ch.transmit(&mut rng), None);
+        }
+    }
+
+    #[test]
+    fn loss_rate_is_calibrated() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let ch = ChannelModel::with_loss(0.3);
+        let delivered = (0..100_000).filter(|_| ch.transmit(&mut rng).is_some()).count();
+        let rate = delivered as f64 / 100_000.0;
+        assert!((rate - 0.7).abs() < 0.01, "delivery rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_rejected() {
+        let _ = ChannelModel::with_loss(1.5);
+    }
+}

@@ -1,0 +1,42 @@
+//! Discrete-event vehicle-to-infrastructure (V2I) substrate.
+//!
+//! The paper's system model (Sec. II) assumes DSRC-style wireless exchanges
+//! between vehicles and road-side units: RSUs broadcast beacons carrying
+//! their location, bitmap size and public-key certificate; vehicles verify
+//! the certificate against a pre-installed authority key, authenticate, and
+//! report a single encrypted bit index under a one-time MAC address. This
+//! crate simulates that whole path:
+//!
+//! * [`time`] / [`event`] — the discrete-event engine;
+//! * [`channel`] — a lossy, delayed broadcast channel;
+//! * [`message`] — the over-the-air protocol messages;
+//! * [`mac`] — SpoofMAC-style one-time MAC addresses;
+//! * [`rsu`] / [`obu`] — the road-side unit and on-board unit state
+//!   machines (beacon → verify → Diffie–Hellman → encrypted report → ack);
+//! * [`server`] — the central server that collects traffic records and
+//!   answers persistent-traffic queries;
+//! * [`sim`] — the simulator that wires everything together.
+//!
+//! The estimator experiments in `ptm-sim` use a fast direct-encoding path;
+//! an integration test drives this full protocol stack and checks that the
+//! records that reach the central server are *bit-identical* to directly
+//! encoded ones when the channel is lossless.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod event;
+pub mod mac;
+pub mod message;
+pub mod obu;
+pub mod rsu;
+pub mod server;
+pub mod sim;
+pub mod time;
+pub mod wire;
+
+pub use channel::ChannelModel;
+pub use server::CentralServer;
+pub use sim::{SimConfig, SimStats, V2iSimulator};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,95 @@
+//! SpoofMAC-style anonymous MAC addresses (paper Sec. II-B).
+//!
+//! "Before a vehicle communicates with an RSU, it picks a temporary MAC
+//! address randomly from a large space for one-time use, which prevents the
+//! MAC address from serving as an identifier of the vehicle."
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A one-time 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TempMac([u8; 6]);
+
+impl TempMac {
+    /// Draws a fresh random address with the locally-administered bit set
+    /// and the multicast bit cleared, as SpoofMAC does.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut bytes = [0u8; 6];
+        rng.fill(&mut bytes);
+        bytes[0] = (bytes[0] | 0b0000_0010) & 0b1111_1110;
+        Self(bytes)
+    }
+
+    /// The raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 6] {
+        &self.0
+    }
+
+    /// Reconstructs an address from raw bytes (wire decoding).
+    pub fn from_bytes(bytes: [u8; 6]) -> Self {
+        Self(bytes)
+    }
+
+    /// Whether the locally-administered bit is set (true for all
+    /// SpoofMAC-style addresses).
+    pub fn is_locally_administered(&self) -> bool {
+        self.0[0] & 0b0000_0010 != 0
+    }
+
+    /// Whether the address is unicast.
+    pub fn is_unicast(&self) -> bool {
+        self.0[0] & 0b0000_0001 == 0
+    }
+}
+
+impl std::fmt::Display for TempMac {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn random_macs_are_well_formed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let mac = TempMac::random(&mut rng);
+            assert!(mac.is_locally_administered());
+            assert!(mac.is_unicast());
+        }
+    }
+
+    #[test]
+    fn consecutive_macs_differ() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let a = TempMac::random(&mut rng);
+        let b = TempMac::random(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_format() {
+        let mac = TempMac([0x02, 0xab, 0x00, 0x01, 0x02, 0xff]);
+        assert_eq!(mac.to_string(), "02:ab:00:01:02:ff");
+    }
+
+    #[test]
+    fn collision_rate_is_negligible() {
+        // 10_000 draws from a 2^46 space: expect zero collisions.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            assert!(seen.insert(TempMac::random(&mut rng)));
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Over-the-air protocol messages.
+//!
+//! The exchange per vehicle–RSU contact (Sec. II-B/II-D of the paper):
+//!
+//! ```text
+//! RSU  ──beacon──▶  vehicle     location, bitmap size, period,
+//!                               certificate, DH share, signature
+//! vehicle ──report──▶ RSU       one-time MAC, DH share,
+//!                               encrypted bit index + integrity tag
+//! RSU  ──ack──▶  vehicle        one-time MAC echoed
+//! ```
+//!
+//! The session key is `SHA-256(g^{ab})`; the bit index travels encrypted
+//! with the HMAC-CTR stream cipher and is authenticated with HMAC-SHA256.
+
+use crate::mac::TempMac;
+use ptm_core::encoding::LocationId;
+use ptm_core::record::PeriodId;
+use ptm_crypto::cert::Certificate;
+use ptm_crypto::group::Group;
+use ptm_crypto::hmac::hmac_sha256;
+use ptm_crypto::schnorr::Signature;
+use ptm_crypto::sha256::Sha256;
+use ptm_crypto::stream::StreamCipher;
+
+/// The signed body of a beacon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BeaconPayload {
+    /// The RSU's location `L`, included in the vehicle's encoding hash.
+    pub location: LocationId,
+    /// The RSU's bitmap size `m`.
+    pub bitmap_size: usize,
+    /// Current measurement period.
+    pub period: PeriodId,
+    /// The RSU's ephemeral Diffie–Hellman share `g^b`.
+    pub dh_public: u64,
+}
+
+impl BeaconPayload {
+    /// Canonical byte encoding covered by the beacon signature.
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(28);
+        bytes.extend_from_slice(&self.location.get().to_le_bytes());
+        bytes.extend_from_slice(&(self.bitmap_size as u64).to_le_bytes());
+        bytes.extend_from_slice(&self.period.get().to_le_bytes());
+        bytes.extend_from_slice(&self.dh_public.to_le_bytes());
+        bytes
+    }
+}
+
+/// An RSU beacon: payload + certificate + signature by the certified key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Beacon {
+    /// Signed body.
+    pub payload: BeaconPayload,
+    /// The RSU's authority-issued certificate.
+    pub certificate: Certificate,
+    /// Signature over [`BeaconPayload::signing_bytes`].
+    pub signature: Signature,
+}
+
+/// A vehicle's encrypted bit report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// One-time MAC address identifying this contact (not the vehicle).
+    pub mac: TempMac,
+    /// The vehicle's ephemeral Diffie–Hellman share `g^a`.
+    pub dh_public: u64,
+    /// Cipher nonce.
+    pub nonce: u64,
+    /// Encrypted little-endian `u64` bit index (8 bytes).
+    pub ciphertext: Vec<u8>,
+    /// `HMAC(session key, mac ‖ dh ‖ nonce ‖ ciphertext)`.
+    pub tag: [u8; 32],
+}
+
+/// RSU acknowledgement of a report, addressed by the one-time MAC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ack {
+    /// The one-time MAC from the acknowledged report.
+    pub mac: TempMac,
+}
+
+/// Any over-the-air message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// RSU → broadcast.
+    Beacon(Beacon),
+    /// Vehicle → RSU.
+    Report(Report),
+    /// RSU → vehicle.
+    Ack(Ack),
+}
+
+/// Derives the symmetric session key from the DH shared secret.
+pub fn session_key(shared_secret: u64) -> [u8; 32] {
+    let mut hasher = Sha256::new();
+    hasher.update(b"ptm-v2i-session-v1");
+    hasher.update(&shared_secret.to_le_bytes());
+    hasher.finalize()
+}
+
+/// Computes the report integrity tag.
+pub fn report_tag(key: &[u8; 32], mac: TempMac, dh_public: u64, nonce: u64, ciphertext: &[u8]) -> [u8; 32] {
+    let mut data = Vec::with_capacity(6 + 16 + ciphertext.len());
+    data.extend_from_slice(mac.as_bytes());
+    data.extend_from_slice(&dh_public.to_le_bytes());
+    data.extend_from_slice(&nonce.to_le_bytes());
+    data.extend_from_slice(ciphertext);
+    hmac_sha256(key, &data)
+}
+
+/// Encrypts a bit index under the session key.
+pub fn encrypt_index(key: &[u8; 32], nonce: u64, index: u64) -> Vec<u8> {
+    StreamCipher::new(key, nonce).apply(&index.to_le_bytes())
+}
+
+/// Decrypts a bit index; `None` if the ciphertext is malformed.
+pub fn decrypt_index(key: &[u8; 32], nonce: u64, ciphertext: &[u8]) -> Option<u64> {
+    if ciphertext.len() != 8 {
+        return None;
+    }
+    let plain = StreamCipher::new(key, nonce).apply(ciphertext);
+    Some(u64::from_le_bytes(plain.try_into().expect("8 bytes")))
+}
+
+/// Computes both DH shares' agreement: `peer^mine mod p` on the simulation
+/// group.
+pub fn dh_shared(peer_public: u64, my_secret: u64) -> u64 {
+    Group::simulation_default().pow(peer_public, my_secret)
+}
+
+/// Derives a fresh DH key pair `(secret, public)` from a raw random scalar.
+pub fn dh_keypair(raw_secret: u64) -> (u64, u64) {
+    let group = Group::simulation_default();
+    let secret = 1 + raw_secret % (group.q - 1);
+    (secret, group.gen_pow(secret))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dh_agreement() {
+        let (a_sec, a_pub) = dh_keypair(123);
+        let (b_sec, b_pub) = dh_keypair(456);
+        assert_eq!(dh_shared(b_pub, a_sec), dh_shared(a_pub, b_sec));
+        let (c_sec, _) = dh_keypair(789);
+        assert_ne!(dh_shared(b_pub, a_sec), dh_shared(b_pub, c_sec));
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let key = session_key(42);
+        let ct = encrypt_index(&key, 7, 123_456);
+        assert_eq!(decrypt_index(&key, 7, &ct), Some(123_456));
+        // Wrong key garbles; wrong nonce garbles.
+        let other = session_key(43);
+        assert_ne!(decrypt_index(&other, 7, &ct), Some(123_456));
+        assert_ne!(decrypt_index(&key, 8, &ct), Some(123_456));
+    }
+
+    #[test]
+    fn malformed_ciphertext_rejected() {
+        let key = session_key(1);
+        assert_eq!(decrypt_index(&key, 0, &[0u8; 7]), None);
+        assert_eq!(decrypt_index(&key, 0, &[]), None);
+    }
+
+    #[test]
+    fn tag_binds_all_fields() {
+        let key = session_key(9);
+        let mac = TempMac::random(&mut rand::rngs::mock::StepRng::new(1, 1));
+        let ct = encrypt_index(&key, 5, 77);
+        let tag = report_tag(&key, mac, 100, 5, &ct);
+        assert_ne!(tag, report_tag(&key, mac, 101, 5, &ct));
+        assert_ne!(tag, report_tag(&key, mac, 100, 6, &ct));
+        let other_key = session_key(10);
+        assert_ne!(tag, report_tag(&other_key, mac, 100, 5, &ct));
+    }
+
+    #[test]
+    fn signing_bytes_are_injective_on_fields() {
+        let base = BeaconPayload {
+            location: LocationId::new(1),
+            bitmap_size: 1024,
+            period: PeriodId::new(0),
+            dh_public: 5,
+        };
+        let mut other = base.clone();
+        other.period = PeriodId::new(1);
+        assert_ne!(base.signing_bytes(), other.signing_bytes());
+        let mut other = base.clone();
+        other.bitmap_size = 2048;
+        assert_ne!(base.signing_bytes(), other.signing_bytes());
+    }
+
+    #[test]
+    fn ciphertext_hides_index() {
+        // Same index under two nonces yields unrelated ciphertexts, so the
+        // RSU log cannot link two reports with equal indices.
+        let key = session_key(77);
+        assert_ne!(encrypt_index(&key, 1, 42), encrypt_index(&key, 2, 42));
+    }
+}

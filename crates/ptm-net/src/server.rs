@@ -1,0 +1,294 @@
+//! The central server: collects traffic records from RSUs and answers
+//! persistent-traffic queries (paper Sec. II-A: "all RSUs are connected …
+//! to a central server, where data are collected and processed").
+
+use ptm_core::encoding::LocationId;
+use ptm_core::error::EstimateError;
+use ptm_core::p2p::PointToPointEstimator;
+use ptm_core::point::{NaiveAndEstimator, PointEstimator};
+use ptm_core::record::{PeriodId, TrafficRecord};
+use std::collections::HashMap;
+
+/// Errors from server-side query processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// A record for this `(location, period)` was already uploaded.
+    DuplicateRecord {
+        /// Location of the duplicate upload.
+        location: LocationId,
+        /// Period of the duplicate upload.
+        period: PeriodId,
+    },
+    /// The query needs a record the server never received.
+    MissingRecord {
+        /// Location with the gap.
+        location: LocationId,
+        /// Period with the gap.
+        period: PeriodId,
+    },
+    /// The underlying estimator failed.
+    Estimate(EstimateError),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DuplicateRecord { location, period } => write!(
+                f,
+                "duplicate record for location {} period {}",
+                location.get(),
+                period.get()
+            ),
+            Self::MissingRecord { location, period } => write!(
+                f,
+                "missing record for location {} period {}",
+                location.get(),
+                period.get()
+            ),
+            Self::Estimate(err) => write!(f, "estimation failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Estimate(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<EstimateError> for ServerError {
+    fn from(err: EstimateError) -> Self {
+        Self::Estimate(err)
+    }
+}
+
+/// The record store plus query engine.
+#[derive(Debug, Default)]
+pub struct CentralServer {
+    records: HashMap<(LocationId, PeriodId), TrafficRecord>,
+    /// Representative-bit count `s`, needed by the point-to-point estimator.
+    s: u32,
+}
+
+impl CentralServer {
+    /// Creates a server for a system configured with `s` representative
+    /// bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is zero.
+    pub fn new(s: u32) -> Self {
+        assert!(s >= 1, "s must be at least 1");
+        Self { records: HashMap::new(), s }
+    }
+
+    /// Accepts an uploaded record.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::DuplicateRecord`] when the `(location, period)` slot
+    /// is already filled.
+    pub fn submit(&mut self, record: TrafficRecord) -> Result<(), ServerError> {
+        let key = (record.location(), record.period());
+        if self.records.contains_key(&key) {
+            return Err(ServerError::DuplicateRecord { location: key.0, period: key.1 });
+        }
+        self.records.insert(key, record);
+        Ok(())
+    }
+
+    /// Number of stored records.
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Fetches one record.
+    pub fn record(&self, location: LocationId, period: PeriodId) -> Option<&TrafficRecord> {
+        self.records.get(&(location, period))
+    }
+
+    fn gather(
+        &self,
+        location: LocationId,
+        periods: &[PeriodId],
+    ) -> Result<Vec<TrafficRecord>, ServerError> {
+        periods
+            .iter()
+            .map(|&period| {
+                self.records
+                    .get(&(location, period))
+                    .cloned()
+                    .ok_or(ServerError::MissingRecord { location, period })
+            })
+            .collect()
+    }
+
+    /// Plain traffic volume at one location in one period (paper Eq. 1).
+    ///
+    /// # Errors
+    ///
+    /// Missing record or saturated bitmap.
+    pub fn estimate_volume(
+        &self,
+        location: LocationId,
+        period: PeriodId,
+    ) -> Result<f64, ServerError> {
+        let record = self
+            .records
+            .get(&(location, period))
+            .ok_or(ServerError::MissingRecord { location, period })?;
+        Ok(ptm_core::lpc::estimate_cardinality(record.bitmap())?)
+    }
+
+    /// Point persistent traffic over the listed periods (paper Eq. 12).
+    ///
+    /// # Errors
+    ///
+    /// Missing records or estimator failure.
+    pub fn estimate_point_persistent(
+        &self,
+        location: LocationId,
+        periods: &[PeriodId],
+    ) -> Result<f64, ServerError> {
+        let records = self.gather(location, periods)?;
+        Ok(PointEstimator::new().estimate(&records)?)
+    }
+
+    /// The naive AND benchmark for point persistent traffic.
+    ///
+    /// # Errors
+    ///
+    /// Missing records or estimator failure.
+    pub fn estimate_point_persistent_naive(
+        &self,
+        location: LocationId,
+        periods: &[PeriodId],
+    ) -> Result<f64, ServerError> {
+        let records = self.gather(location, periods)?;
+        Ok(NaiveAndEstimator::new().estimate(&records)?)
+    }
+
+    /// Point-to-point persistent traffic between two locations (Eq. 21).
+    ///
+    /// # Errors
+    ///
+    /// Missing records or estimator failure.
+    pub fn estimate_p2p_persistent(
+        &self,
+        location_a: LocationId,
+        location_b: LocationId,
+        periods: &[PeriodId],
+    ) -> Result<f64, ServerError> {
+        let records_a = self.gather(location_a, periods)?;
+        let records_b = self.gather(location_b, periods)?;
+        Ok(PointToPointEstimator::new(self.s).estimate(&records_a, &records_b)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptm_core::encoding::{EncodingScheme, VehicleSecrets};
+    use ptm_core::params::BitmapSize;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn record_with(
+        location: LocationId,
+        period: PeriodId,
+        m: usize,
+        vehicles: &[VehicleSecrets],
+        scheme: &EncodingScheme,
+    ) -> TrafficRecord {
+        let mut r = TrafficRecord::new(location, period, BitmapSize::new(m).expect("pow2"));
+        for v in vehicles {
+            r.encode(scheme, v);
+        }
+        r
+    }
+
+    #[test]
+    fn submit_and_query_roundtrip() {
+        let mut server = CentralServer::new(3);
+        let scheme = EncodingScheme::new(7, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let fleet: Vec<VehicleSecrets> =
+            (0..500).map(|_| VehicleSecrets::generate(&mut rng, 3)).collect();
+        let loc = LocationId::new(1);
+        for p in 0..4u32 {
+            let rec = record_with(loc, PeriodId::new(p), 4096, &fleet, &scheme);
+            server.submit(rec).expect("first upload");
+        }
+        assert_eq!(server.record_count(), 4);
+        let periods: Vec<PeriodId> = (0..4).map(PeriodId::new).collect();
+        let est = server.estimate_point_persistent(loc, &periods).expect("estimate");
+        assert!((est - 500.0).abs() / 500.0 < 0.1, "estimate {est}");
+        let vol = server.estimate_volume(loc, PeriodId::new(0)).expect("volume");
+        assert!((vol - 500.0).abs() / 500.0 < 0.1, "volume {vol}");
+    }
+
+    #[test]
+    fn duplicate_upload_rejected() {
+        let mut server = CentralServer::new(3);
+        let loc = LocationId::new(2);
+        let rec = TrafficRecord::new(loc, PeriodId::new(0), BitmapSize::new(64).expect("pow2"));
+        server.submit(rec.clone()).expect("first");
+        assert_eq!(
+            server.submit(rec),
+            Err(ServerError::DuplicateRecord { location: loc, period: PeriodId::new(0) })
+        );
+    }
+
+    #[test]
+    fn missing_record_reported() {
+        let server = CentralServer::new(3);
+        let loc = LocationId::new(3);
+        let err = server
+            .estimate_point_persistent(loc, &[PeriodId::new(0), PeriodId::new(1)])
+            .expect_err("missing");
+        assert_eq!(
+            err,
+            ServerError::MissingRecord { location: loc, period: PeriodId::new(0) }
+        );
+    }
+
+    #[test]
+    fn p2p_query() {
+        let mut server = CentralServer::new(3);
+        let scheme = EncodingScheme::new(9, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let commons: Vec<VehicleSecrets> =
+            (0..800).map(|_| VehicleSecrets::generate(&mut rng, 3)).collect();
+        let (a, b) = (LocationId::new(10), LocationId::new(20));
+        for p in 0..3u32 {
+            server
+                .submit(record_with(a, PeriodId::new(p), 8192, &commons, &scheme))
+                .expect("upload");
+            server
+                .submit(record_with(b, PeriodId::new(p), 8192, &commons, &scheme))
+                .expect("upload");
+        }
+        let periods: Vec<PeriodId> = (0..3).map(PeriodId::new).collect();
+        let est = server.estimate_p2p_persistent(a, b, &periods).expect("estimate");
+        assert!((est - 800.0).abs() / 800.0 < 0.15, "estimate {est}");
+    }
+
+    #[test]
+    fn estimate_error_wrapped() {
+        let mut server = CentralServer::new(3);
+        let loc = LocationId::new(5);
+        server
+            .submit(TrafficRecord::new(loc, PeriodId::new(0), BitmapSize::new(64).expect("pow2")))
+            .expect("upload");
+        let err = server
+            .estimate_point_persistent(loc, &[PeriodId::new(0)])
+            .expect_err("too few records");
+        assert!(matches!(err, ServerError::Estimate(EstimateError::TooFewRecords { .. })));
+        // Display and source() behave.
+        assert!(err.to_string().contains("estimation failed"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

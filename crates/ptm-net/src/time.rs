@@ -1,0 +1,168 @@
+//! Simulation time: microsecond-resolution instants and durations.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulation time (microseconds since the simulation epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulation time in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from raw microseconds.
+    pub fn from_micros(micros: u64) -> Self {
+        Self(micros)
+    }
+
+    /// Microseconds since the epoch.
+    pub fn as_micros(&self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch (lossy, for display).
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from microseconds.
+    pub fn from_micros(micros: u64) -> Self {
+        Self(micros)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub fn from_millis(millis: u64) -> Self {
+        Self(millis * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        Self(secs * 1_000_000)
+    }
+
+    /// The raw microsecond count.
+    pub fn as_micros(&self) -> u64 {
+        self.0
+    }
+
+    /// Multiplies the duration by an integer factor.
+    pub fn saturating_mul(&self, factor: u64) -> Self {
+        Self(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    /// Time since an earlier instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("subtracting a later instant from an earlier one"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl std::fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}s", self.0 as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_micros(1_000);
+        let d = SimDuration::from_millis(2);
+        assert_eq!((t + d).as_micros(), 3_000);
+        assert_eq!((t + d) - t, SimDuration::from_micros(2_000));
+        assert_eq!(SimDuration::from_secs(1).as_micros(), 1_000_000);
+        assert_eq!(d + d, SimDuration::from_micros(4_000));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
+        assert_eq!(SimTime::ZERO, SimTime::from_micros(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "later instant")]
+    fn negative_duration_panics() {
+        let _ = SimTime::from_micros(1) - SimTime::from_micros(2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_secs_helper(1).to_string(), "1.000000s");
+        assert_eq!(SimDuration::from_millis(1500).to_string(), "1.500000s");
+    }
+
+    impl SimTime {
+        fn from_secs_helper(secs: u64) -> Self {
+            SimTime::from_micros(secs * 1_000_000)
+        }
+    }
+
+    #[test]
+    fn saturating_mul() {
+        assert_eq!(SimDuration::from_secs(2).saturating_mul(3), SimDuration::from_secs(6));
+        assert_eq!(
+            SimDuration::from_micros(u64::MAX).saturating_mul(2),
+            SimDuration::from_micros(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn add_assign() {
+        let mut t = SimTime::ZERO;
+        t += SimDuration::from_secs(5);
+        assert_eq!(t.as_secs_f64(), 5.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Property tests for the wire codec: any syntactically valid message
+//! round-trips, and no input buffer can panic the decoder.
+
+use proptest::prelude::*;
+use ptm_net::mac::TempMac;
+use ptm_net::message::{Ack, Message, Report};
+use ptm_net::wire::{decode, encode};
+
+fn arb_report() -> impl Strategy<Value = Report> {
+    (
+        any::<[u8; 6]>(),
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..64),
+        any::<[u8; 32]>(),
+    )
+        .prop_map(|(mac, dh_public, nonce, ciphertext, tag)| Report {
+            mac: TempMac::from_bytes(mac),
+            dh_public,
+            nonce,
+            ciphertext,
+            tag,
+        })
+}
+
+proptest! {
+    #[test]
+    fn report_roundtrip(report in arb_report()) {
+        let bytes = encode(&Message::Report(report.clone()));
+        prop_assert_eq!(decode(&bytes), Ok(Message::Report(report)));
+    }
+
+    #[test]
+    fn ack_roundtrip(mac in any::<[u8; 6]>()) {
+        let ack = Ack { mac: TempMac::from_bytes(mac) };
+        let bytes = encode(&Message::Ack(ack));
+        prop_assert_eq!(decode(&bytes), Ok(Message::Ack(ack)));
+    }
+
+    /// The decoder must reject or accept arbitrary bytes without panicking,
+    /// and anything it accepts must re-encode to the same bytes.
+    #[test]
+    fn decoder_is_total_and_canonical(bytes in proptest::collection::vec(any::<u8>(), 0..160)) {
+        if let Ok(message) = decode(&bytes) {
+            prop_assert_eq!(encode(&message), bytes);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Minimal CSV emission (RFC 4180 quoting) for handing experiment data to
+//! external plotting tools.
+
+/// Builds a CSV document in memory.
+#[derive(Debug, Clone, Default)]
+pub struct CsvWriter {
+    buffer: String,
+    columns: Option<usize>,
+}
+
+impl CsvWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes one row; the first row fixes the column count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a later row has a different number of fields.
+    pub fn write_row<I, S>(&mut self, fields: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut count = 0;
+        let mut first = true;
+        for field in fields {
+            if !first {
+                self.buffer.push(',');
+            }
+            first = false;
+            self.buffer.push_str(&escape(field.as_ref()));
+            count += 1;
+        }
+        match self.columns {
+            None => self.columns = Some(count),
+            Some(expected) => {
+                assert_eq!(count, expected, "row has {count} fields, expected {expected}")
+            }
+        }
+        self.buffer.push('\n');
+        self
+    }
+
+    /// The document so far.
+    pub fn as_str(&self) -> &str {
+        &self.buffer
+    }
+
+    /// Consumes the writer, returning the document.
+    pub fn into_string(self) -> String {
+        self.buffer
+    }
+}
+
+/// RFC 4180 field escaping.
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// One-shot: serializes `(x, y)` pairs with a header.
+pub fn xy_csv(header: (&str, &str), points: &[(f64, f64)]) -> String {
+    let mut w = CsvWriter::new();
+    w.write_row([header.0, header.1]);
+    for &(x, y) in points {
+        w.write_row([x.to_string(), y.to_string()]);
+    }
+    w.into_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_rows() {
+        let mut w = CsvWriter::new();
+        w.write_row(["a", "b"]).write_row(["1", "2"]);
+        assert_eq!(w.as_str(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn quoting() {
+        let mut w = CsvWriter::new();
+        w.write_row(["has,comma", "has\"quote", "has\nnewline"]);
+        assert_eq!(w.as_str(), "\"has,comma\",\"has\"\"quote\",\"has\nnewline\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn ragged_rows_panic() {
+        let mut w = CsvWriter::new();
+        w.write_row(["a", "b"]);
+        w.write_row(["only"]);
+    }
+
+    #[test]
+    fn xy_helper() {
+        let csv = xy_csv(("actual", "estimated"), &[(1.0, 1.5), (2.0, 2.25)]);
+        assert_eq!(csv, "actual,estimated\n1,1.5\n2,2.25\n");
+    }
+
+    #[test]
+    fn into_string() {
+        let mut w = CsvWriter::new();
+        w.write_row(["x"]);
+        assert_eq!(w.into_string(), "x\n");
+    }
+}

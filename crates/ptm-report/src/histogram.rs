@@ -1,0 +1,138 @@
+//! ASCII histograms for error distributions.
+
+/// A binned histogram over `f64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+    overflow: usize,
+    underflow: usize,
+    total: usize,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero or the range is empty/non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins >= 1, "need at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && hi > lo, "bad range [{lo}, {hi})");
+        Self { lo, hi, counts: vec![0; bins], overflow: 0, underflow: 0, total: 0 }
+    }
+
+    /// Builds a histogram spanning the sample range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or non-finite sample.
+    pub fn from_samples(samples: &[f64], bins: usize) -> Self {
+        assert!(!samples.is_empty(), "histogram of an empty sample");
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(lo.is_finite() && hi.is_finite(), "non-finite samples");
+        // Widen degenerate ranges so every value lands in a bin.
+        let (lo, hi) = if hi > lo { (lo, hi + (hi - lo) * 1e-9) } else { (lo - 0.5, hi + 0.5) };
+        let mut h = Self::new(lo, hi, bins);
+        for &v in samples {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, value: f64) {
+        self.total += 1;
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = (((value - self.lo) / width) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Total samples added.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Samples outside the range.
+    pub fn outliers(&self) -> usize {
+        self.underflow + self.overflow
+    }
+
+    /// Renders horizontal bars, one line per bin.
+    pub fn render(&self, max_width: usize) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut out = String::new();
+        for (i, &count) in self.counts.iter().enumerate() {
+            let bin_lo = self.lo + i as f64 * width;
+            let bar = "#".repeat(count * max_width / peak);
+            out.push_str(&format!("[{bin_lo:>9.4}) {bar} {count}\n"));
+        }
+        if self.outliers() > 0 {
+            out.push_str(&format!("(outliers: {})\n", self.outliers()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_counts() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for v in [0.1, 0.1, 0.3, 0.6, 0.9, 0.99] {
+            h.add(v);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.outliers(), 0);
+        let text = h.render(10);
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("2"));
+    }
+
+    #[test]
+    fn out_of_range_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-5.0);
+        h.add(2.0);
+        h.add(1.0); // hi is exclusive
+        assert_eq!(h.outliers(), 3);
+        assert!(h.render(10).contains("outliers: 3"));
+    }
+
+    #[test]
+    fn from_samples_spans_range() {
+        let h = Histogram::from_samples(&[1.0, 2.0, 3.0, 4.0], 3);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.outliers(), 0);
+    }
+
+    #[test]
+    fn constant_samples() {
+        let h = Histogram::from_samples(&[5.0; 10], 3);
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.outliers(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = Histogram::from_samples(&[], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn inverted_range_panics() {
+        let _ = Histogram::new(1.0, 0.0, 3);
+    }
+}

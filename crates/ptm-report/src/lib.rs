@@ -1,0 +1,22 @@
+//! Result rendering: text tables, CSV emitters, and ASCII plots.
+//!
+//! The paper reports results as two tables and three two-panel figures.
+//! This crate renders the regenerated data in three interchangeable forms:
+//!
+//! * [`table`] — aligned monospace tables for terminal output;
+//! * [`csv`] — CSV strings for external plotting tools;
+//! * [`plot`] — ASCII scatter/line plots so the *shape* of every figure is
+//!   visible directly in the terminal (clustering around `y = x`, crossover
+//!   points, relative ordering of curves).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod histogram;
+pub mod plot;
+pub mod table;
+
+pub use histogram::Histogram;
+pub use plot::{Plot, Series};
+pub use table::TextTable;

@@ -1,0 +1,219 @@
+//! ASCII scatter/line plots.
+//!
+//! Enough fidelity to eyeball the paper's figures in a terminal: multiple
+//! series with distinct glyphs, axis ranges and labels, and an optional
+//! `y = x` reference diagonal (Figs. 5–6 cluster their points around it).
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Plot glyph.
+    pub glyph: char,
+    /// The data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, glyph: char, points: Vec<(f64, f64)>) -> Self {
+        Self { label: label.into(), glyph, points }
+    }
+}
+
+/// An ASCII plot under construction.
+#[derive(Debug, Clone)]
+pub struct Plot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    width: usize,
+    height: usize,
+    series: Vec<Series>,
+    diagonal: bool,
+}
+
+impl Plot {
+    /// Creates a plot with the given title and axis labels.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            width: 64,
+            height: 20,
+            series: Vec::new(),
+            diagonal: false,
+        }
+    }
+
+    /// Sets the character-grid size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 8.
+    pub fn size(mut self, width: usize, height: usize) -> Self {
+        assert!(width >= 8 && height >= 8, "plot must be at least 8x8");
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Adds a data series.
+    pub fn series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Draws the `y = x` reference line (for actual-vs-estimated scatters).
+    pub fn with_diagonal(mut self) -> Self {
+        self.diagonal = true;
+        self
+    }
+
+    /// Renders the plot.
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if all.is_empty() {
+            return format!("{}\n(no data)\n", self.title);
+        }
+        let (mut x_min, mut x_max) = min_max(all.iter().map(|p| p.0));
+        let (mut y_min, mut y_max) = min_max(all.iter().map(|p| p.1));
+        if self.diagonal {
+            // Make the diagonal meaningful by sharing the ranges.
+            let lo = x_min.min(y_min);
+            let hi = x_max.max(y_max);
+            x_min = lo;
+            x_max = hi;
+            y_min = lo;
+            y_max = hi;
+        }
+        if (x_max - x_min).abs() < f64::EPSILON {
+            x_max = x_min + 1.0;
+        }
+        if (y_max - y_min).abs() < f64::EPSILON {
+            y_max = y_min + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        let to_cell = |x: f64, y: f64| -> (usize, usize) {
+            let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
+            let cy = ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
+            (cx.min(self.width - 1), self.height - 1 - cy.min(self.height - 1))
+        };
+        if self.diagonal {
+            for i in 0..self.width.max(self.height) * 2 {
+                let t = i as f64 / (self.width.max(self.height) * 2 - 1) as f64;
+                let v = x_min + t * (x_max - x_min);
+                let (cx, cy) = to_cell(v, v);
+                grid[cy][cx] = '·';
+            }
+        }
+        for series in &self.series {
+            for &(x, y) in &series.points {
+                if x.is_finite() && y.is_finite() {
+                    let (cx, cy) = to_cell(x, y);
+                    grid[cy][cx] = series.glyph;
+                }
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        out.push_str(&format!("{} (vertical), range [{:.4}, {:.4}]\n", self.y_label, y_min, y_max));
+        for row in &grid {
+            out.push('|');
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push('+');
+        out.extend(std::iter::repeat_n('-', self.width));
+        out.push('\n');
+        out.push_str(&format!("{} (horizontal), range [{:.4}, {:.4}]\n", self.x_label, x_min, x_max));
+        for series in &self.series {
+            out.push_str(&format!("  {} {}\n", series.glyph, series.label));
+        }
+        if self.diagonal {
+            out.push_str("  · y = x\n");
+        }
+        out
+    }
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points() {
+        let plot = Plot::new("demo", "x", "y")
+            .size(20, 10)
+            .series(Series::new("data", '*', vec![(0.0, 0.0), (1.0, 1.0)]));
+        let text = plot.render();
+        assert!(text.contains('*'));
+        assert!(text.contains("demo"));
+        assert!(text.contains("data"));
+    }
+
+    #[test]
+    fn empty_plot_degrades_gracefully() {
+        let plot = Plot::new("empty", "x", "y");
+        assert!(plot.render().contains("no data"));
+    }
+
+    #[test]
+    fn diagonal_reference() {
+        let plot = Plot::new("scatter", "actual", "estimated")
+            .size(20, 10)
+            .with_diagonal()
+            .series(Series::new("points", 'o', vec![(10.0, 11.0), (50.0, 48.0)]));
+        let text = plot.render();
+        assert!(text.contains('·'));
+        assert!(text.contains("y = x"));
+    }
+
+    #[test]
+    fn multiple_series_distinct_glyphs() {
+        let plot = Plot::new("two", "x", "y")
+            .size(30, 10)
+            .series(Series::new("a", 'a', vec![(0.0, 0.0)]))
+            .series(Series::new("b", 'b', vec![(1.0, 1.0)]));
+        let text = plot.render();
+        assert!(text.contains('a') && text.contains('b'));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let plot = Plot::new("flat", "x", "y")
+            .size(10, 8)
+            .series(Series::new("c", 'c', vec![(5.0, 2.0), (5.0, 2.0)]));
+        let text = plot.render();
+        assert!(text.contains('c'));
+    }
+
+    #[test]
+    fn non_finite_points_skipped() {
+        let plot = Plot::new("nan", "x", "y")
+            .size(10, 8)
+            .series(Series::new("n", 'n', vec![(f64::NAN, 1.0), (1.0, 2.0)]));
+        let text = plot.render();
+        assert!(text.contains('n'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8x8")]
+    fn tiny_plot_rejected() {
+        let _ = Plot::new("t", "x", "y").size(2, 2);
+    }
+}

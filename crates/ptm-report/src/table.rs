@@ -1,0 +1,178 @@
+//! Aligned monospace tables.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Align {
+    /// Left-aligned (labels).
+    #[default]
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple text table builder.
+///
+/// # Example
+///
+/// ```
+/// use ptm_report::TextTable;
+///
+/// let mut table = TextTable::new(vec!["L".into(), "n".into()]);
+/// table.add_row(vec!["1".into(), "213000".into()]);
+/// let text = table.render();
+/// assert!(text.contains("213000"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    aligns: Vec<Align>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers (all right-aligned
+    /// except the first column).
+    pub fn new(header: Vec<String>) -> Self {
+        let mut aligns = vec![Align::Right; header.len()];
+        if let Some(first) = aligns.first_mut() {
+            *first = Align::Left;
+        }
+        Self { header, rows: Vec::new(), aligns }
+    }
+
+    /// Overrides the per-column alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the header length.
+    pub fn set_aligns(&mut self, aligns: Vec<Align>) -> &mut Self {
+        assert_eq!(aligns.len(), self.header.len(), "one alignment per column");
+        self.aligns = aligns;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header length.
+    pub fn add_row(&mut self, row: Vec<String>) -> &mut Self {
+        assert_eq!(row.len(), self.header.len(), "one cell per column");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for i in 0..cols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let cell = &cells[i];
+                let pad = widths[i] - cell.chars().count();
+                match self.aligns[i] {
+                    Align::Left => {
+                        out.push_str(cell);
+                        out.extend(std::iter::repeat_n(' ', pad));
+                    }
+                    Align::Right => {
+                        out.extend(std::iter::repeat_n(' ', pad));
+                        out.push_str(cell);
+                    }
+                }
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.extend(std::iter::repeat_n('-', total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimal places.
+pub fn fmt_f64(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name".into(), "value".into()]);
+        t.add_row(vec!["alpha".into(), "1".into()]);
+        t.add_row(vec!["b".into(), "12345".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Numbers right-aligned: "1" ends at same column as "12345".
+        let col_end = lines[3].len();
+        assert_eq!(lines[2].len(), col_end);
+        assert!(lines[2].ends_with('1'));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one cell per column")]
+    fn wrong_arity_panics() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into()]);
+        t.add_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn custom_alignment() {
+        let mut t = TextTable::new(vec!["x".into(), "y".into()]);
+        t.set_aligns(vec![Align::Right, Align::Left]);
+        t.add_row(vec!["10".into(), "left".into()]);
+        let text = t.render();
+        assert!(text.contains(" x"), "header right-aligned with data");
+    }
+
+    #[test]
+    fn fmt_helper() {
+        assert_eq!(fmt_f64(0.123456, 4), "0.1235");
+        assert_eq!(fmt_f64(2.0, 1), "2.0");
+    }
+
+    #[test]
+    fn num_rows() {
+        let mut t = TextTable::new(vec!["a".into()]);
+        assert_eq!(t.num_rows(), 0);
+        t.add_row(vec!["1".into()]);
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn unicode_width_by_chars() {
+        let mut t = TextTable::new(vec!["α".into(), "β".into()]);
+        t.add_row(vec!["γγ".into(), "δ".into()]);
+        let text = t.render();
+        assert!(text.contains("γγ"));
+    }
+}

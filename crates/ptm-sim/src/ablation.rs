@@ -1,0 +1,407 @@
+//! Ablation experiments beyond the paper's evaluation.
+//!
+//! * [`split_strategy`] — the paper splits `Π` into first/second halves;
+//!   does an interleaved split help when traffic trends over the periods?
+//! * [`tradeoff_frontier`] — the accuracy–privacy frontier: estimation
+//!   error and noise-to-information ratio side by side across `f`
+//!   (quantifying the paper's Sec. VI-C tradeoff discussion).
+//! * [`s_sweep`] — the paper evaluates `s` only on the privacy side;
+//!   this measures the accuracy cost of larger `s` for point-to-point
+//!   estimation.
+//! * [`loss_sensitivity`] — drives the full V2I protocol simulator under
+//!   increasing frame loss and measures the induced estimation bias
+//!   (vehicles whose reports never land disappear from the records).
+
+use crate::runner::run_trials;
+use crate::stats::mean;
+use crate::workload::{build_p2p_records, build_point_records};
+use crate::{stats, trial_seed};
+use ptm_core::encoding::{EncodingScheme, LocationId};
+use ptm_core::join::SplitStrategy;
+use ptm_core::p2p::PointToPointEstimator;
+use ptm_core::params::{BitmapSize, SystemParams};
+use ptm_core::point::PointEstimator;
+use ptm_core::privacy;
+use ptm_core::record::PeriodId;
+use ptm_net::{ChannelModel, SimConfig, SimDuration, V2iSimulator};
+use ptm_traffic::generate::{P2pScenario, PointScenario};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::Serialize;
+
+/// Result of the split-strategy ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct SplitAblation {
+    /// Mean relative error with the paper's halves split.
+    pub halves: f64,
+    /// Mean relative error with the interleaved split.
+    pub interleaved: f64,
+    /// Runs averaged.
+    pub runs: usize,
+}
+
+/// Compares split strategies on a workload whose per-period volume grows
+/// linearly (e.g. weekday traffic ramping up), which makes the two halves
+/// of the paper's split unbalanced.
+pub fn split_strategy(t: usize, runs: usize, threads: usize, seed: u64) -> SplitAblation {
+    let params = SystemParams::paper_default();
+    let location = LocationId::new(1);
+    let trials = run_trials(runs, threads, |run_idx| {
+        let s = trial_seed(seed, &[run_idx as u64]);
+        let mut rng = ChaCha12Rng::seed_from_u64(s);
+        let scheme = EncodingScheme::new(s ^ 0xAB1E, params.num_representatives());
+        // Trending volumes: 3000 climbing to 9000 across the periods.
+        let volumes: Vec<u64> = (0..t)
+            .map(|j| 3000 + (6000 * j as u64) / (t.max(2) as u64 - 1))
+            .collect();
+        let scenario = PointScenario { volumes, persistent: 600 };
+        let records = build_point_records(&scheme, &params, &scenario, location, &mut rng);
+        let halves = PointEstimator::with_split(SplitStrategy::Halves)
+            .estimate(&records)
+            .expect("no saturation at f = 2");
+        let inter = PointEstimator::with_split(SplitStrategy::Interleaved)
+            .estimate(&records)
+            .expect("no saturation at f = 2");
+        (
+            stats::relative_error(600.0, halves),
+            stats::relative_error(600.0, inter),
+        )
+    });
+    SplitAblation {
+        halves: mean(&trials.iter().map(|t| t.0).collect::<Vec<_>>()),
+        interleaved: mean(&trials.iter().map(|t| t.1).collect::<Vec<_>>()),
+        runs,
+    }
+}
+
+/// One point on the accuracy–privacy frontier.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct FrontierPoint {
+    /// Load factor `f`.
+    pub load_factor: f64,
+    /// Mean relative error of point persistent estimation.
+    pub point_rel_err: f64,
+    /// Mean relative error of point-to-point estimation.
+    pub p2p_rel_err: f64,
+    /// Noise-to-information ratio at this `f` (s fixed).
+    pub privacy_ratio: f64,
+}
+
+/// Sweeps `f`, reporting accuracy and privacy together — the quantified
+/// version of the paper's "tradeoff through parameter setting".
+pub fn tradeoff_frontier(
+    load_factors: &[f64],
+    t: usize,
+    runs: usize,
+    threads: usize,
+    seed: u64,
+) -> Vec<FrontierPoint> {
+    load_factors
+        .iter()
+        .map(|&f| {
+            let params = SystemParams::new(f, 3);
+            let trials = run_trials(runs, threads, |run_idx| {
+                let s = trial_seed(seed, &[(f * 10.0) as u64, run_idx as u64]);
+                let mut rng = ChaCha12Rng::seed_from_u64(s);
+                let scheme = EncodingScheme::new(s ^ 0xF00D, 3);
+                let point_sc = PointScenario::synthetic(&mut rng, t, 0.2);
+                let records =
+                    build_point_records(&scheme, &params, &point_sc, LocationId::new(1), &mut rng);
+                let point_est =
+                    PointEstimator::new().estimate(&records).expect("no saturation for f >= 1");
+                let p2p_sc = P2pScenario::synthetic(&mut rng, t, 0.2);
+                let p2p_records = build_p2p_records(
+                    &scheme,
+                    &params,
+                    &p2p_sc,
+                    LocationId::new(1),
+                    LocationId::new(2),
+                    None,
+                    &mut rng,
+                );
+                let p2p_est = PointToPointEstimator::new(3)
+                    .estimate(&p2p_records.records_l, &p2p_records.records_lp)
+                    .expect("no saturation for f >= 1");
+                (
+                    stats::relative_error(point_sc.persistent as f64, point_est),
+                    stats::relative_error(p2p_sc.persistent as f64, p2p_est),
+                )
+            });
+            FrontierPoint {
+                load_factor: f,
+                point_rel_err: mean(&trials.iter().map(|t| t.0).collect::<Vec<_>>()),
+                p2p_rel_err: mean(&trials.iter().map(|t| t.1).collect::<Vec<_>>()),
+                privacy_ratio: privacy::asymptotic_ratio(f, 3),
+            }
+        })
+        .collect()
+}
+
+/// One point of the `s` sweep.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SSweepPoint {
+    /// Representative count `s`.
+    pub s: u32,
+    /// Mean relative error of point-to-point estimation.
+    pub p2p_rel_err: f64,
+    /// Privacy ratio at `f = 2` for this `s`.
+    pub privacy_ratio: f64,
+}
+
+/// Accuracy cost of the representative count `s` (p2p estimation, f = 2).
+pub fn s_sweep(s_values: &[u32], t: usize, runs: usize, threads: usize, seed: u64) -> Vec<SSweepPoint> {
+    s_values
+        .iter()
+        .map(|&s| {
+            let params = SystemParams::new(2.0, s);
+            let trials = run_trials(runs, threads, |run_idx| {
+                let sd = trial_seed(seed, &[s as u64, run_idx as u64]);
+                let mut rng = ChaCha12Rng::seed_from_u64(sd);
+                let scheme = EncodingScheme::new(sd ^ 0x5EE5, s);
+                let scenario = P2pScenario::synthetic(&mut rng, t, 0.2);
+                let records = build_p2p_records(
+                    &scheme,
+                    &params,
+                    &scenario,
+                    LocationId::new(1),
+                    LocationId::new(2),
+                    None,
+                    &mut rng,
+                );
+                let est = PointToPointEstimator::new(s)
+                    .estimate(&records.records_l, &records.records_lp)
+                    .expect("no saturation at f = 2");
+                stats::relative_error(scenario.persistent as f64, est)
+            });
+            SSweepPoint {
+                s,
+                p2p_rel_err: mean(&trials),
+                privacy_ratio: privacy::asymptotic_ratio(2.0, s),
+            }
+        })
+        .collect()
+}
+
+/// Result of the sizing-policy ablation.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SizingAblation {
+    /// Mean relative error with per-period sizing (paper Fig. 3 style).
+    pub per_period: f64,
+    /// Mean relative error with one campaign-wide size per location.
+    pub campaign_mean: f64,
+    /// Runs averaged.
+    pub runs: usize,
+}
+
+/// Quantifies the cost of per-period bitmap sizing: records of different
+/// sizes at one location join through replication-expansion, whose
+/// correlated replica bits add noise relative to a single campaign-wide
+/// size (see the calibration note in DESIGN.md).
+pub fn sizing_policy(t: usize, runs: usize, threads: usize, seed: u64) -> SizingAblation {
+    use crate::workload::{build_point_records_with, SizingPolicy};
+    let params = SystemParams::paper_default();
+    let location = LocationId::new(1);
+    let trials = run_trials(runs, threads, |run_idx| {
+        let s = trial_seed(seed, &[run_idx as u64]);
+        let scheme = EncodingScheme::new(s ^ 0x512E, params.num_representatives());
+        let mut errs = [0.0f64; 2];
+        for (slot, policy) in [SizingPolicy::PerPeriod, SizingPolicy::CampaignMean]
+            .into_iter()
+            .enumerate()
+        {
+            // Same scenario and seed for both policies.
+            let mut rng = ChaCha12Rng::seed_from_u64(s);
+            let scenario = PointScenario::synthetic(&mut rng, t, 0.1);
+            let records = build_point_records_with(
+                &scheme, &params, &scenario, location, policy, &mut rng,
+            );
+            let est = PointEstimator::new().estimate(&records).expect("no saturation");
+            errs[slot] = stats::relative_error(scenario.persistent as f64, est);
+        }
+        errs
+    });
+    SizingAblation {
+        per_period: mean(&trials.iter().map(|e| e[0]).collect::<Vec<_>>()),
+        campaign_mean: mean(&trials.iter().map(|e| e[1]).collect::<Vec<_>>()),
+        runs,
+    }
+}
+
+/// One point of the k-way split sweep.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct KwayPoint {
+    /// Number of groups the records are split into.
+    pub k: usize,
+    /// Mean relative error of the k-way estimator.
+    pub rel_err: f64,
+}
+
+/// Tests the paper's Sec. III-B remark that "dividing Π into more than two
+/// sets is possible \[but\] the two-set solution … works effectively":
+/// sweeps the group count `k` of [`ptm_core::kway::KwayEstimator`] on the
+/// synthetic point workload.
+pub fn kway_sweep(
+    k_values: &[usize],
+    t: usize,
+    runs: usize,
+    threads: usize,
+    seed: u64,
+) -> Vec<KwayPoint> {
+    let params = SystemParams::paper_default();
+    k_values
+        .iter()
+        .map(|&k| {
+            let trials = run_trials(runs, threads, |run_idx| {
+                let s = trial_seed(seed, &[k as u64, run_idx as u64]);
+                let mut rng = ChaCha12Rng::seed_from_u64(s);
+                let scheme = EncodingScheme::new(s ^ 0x4A1, 3);
+                let scenario = PointScenario::synthetic(&mut rng, t, 0.1);
+                let records =
+                    build_point_records(&scheme, &params, &scenario, LocationId::new(1), &mut rng);
+                let est = ptm_core::kway::KwayEstimator::new(k)
+                    .estimate(&records)
+                    .expect("no saturation at f = 2");
+                stats::relative_error(scenario.persistent as f64, est)
+            });
+            KwayPoint { k, rel_err: mean(&trials) }
+        })
+        .collect()
+}
+
+/// One point of the loss-sensitivity sweep.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LossPoint {
+    /// Frame loss probability.
+    pub loss: f64,
+    /// True persistent volume.
+    pub truth: f64,
+    /// Estimated persistent volume from records collected over the lossy
+    /// protocol.
+    pub estimate: f64,
+    /// Fraction of physical passes whose report reached an RSU record.
+    pub capture_rate: f64,
+}
+
+/// Drives the full V2I event simulator at increasing frame-loss rates and
+/// measures how much persistent traffic the estimator loses when reports
+/// never land. Dwell time is short (2 s) so that retries cannot fully mask
+/// the loss.
+pub fn loss_sensitivity(losses: &[f64], seed: u64) -> Vec<LossPoint> {
+    losses
+        .iter()
+        .map(|&loss| {
+            let config = SimConfig {
+                channel: ChannelModel::with_loss(loss),
+                dwell_time: SimDuration::from_secs(2),
+                beacon_interval: SimDuration::from_secs(1),
+                period_length: SimDuration::from_secs(60),
+            };
+            let scheme = EncodingScheme::new(trial_seed(seed, &[(loss * 100.0) as u64]), 3);
+            let location = LocationId::new(1);
+            let size = BitmapSize::new(2048).expect("power of two");
+            let mut sim = V2iSimulator::new(config, scheme, &[(location, size)], seed);
+            let commons: Vec<usize> = (0..150).map(|_| sim.add_vehicle()).collect();
+            let periods: Vec<PeriodId> = (0..4).map(PeriodId::new).collect();
+            let mut passes = 0u64;
+            for &p in &periods {
+                for (k, &v) in commons.iter().enumerate() {
+                    sim.schedule_pass(v, 0, SimDuration::from_millis(50 * k as u64));
+                    passes += 1;
+                }
+                for k in 0..200usize {
+                    let tr = sim.add_vehicle();
+                    sim.schedule_pass(tr, 0, SimDuration::from_millis(100 + 50 * k as u64));
+                    passes += 1;
+                }
+                sim.run_period(p).expect("unique period ids");
+            }
+            let truth = sim.presence().point_persistent(location, &periods) as f64;
+            let estimate = sim
+                .server()
+                .estimate_point_persistent(location, &periods)
+                .unwrap_or(0.0);
+            let capture_rate = sim.stats().reports_accepted.min(passes) as f64 / passes as f64;
+            LossPoint { loss, truth, estimate, capture_rate }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ablation_both_strategies_work() {
+        let result = split_strategy(6, 6, 1, 11);
+        assert!(result.halves < 0.2, "halves error {}", result.halves);
+        assert!(result.interleaved < 0.2, "interleaved error {}", result.interleaved);
+    }
+
+    #[test]
+    fn frontier_error_decreases_with_f_and_privacy_too() {
+        let frontier = tradeoff_frontier(&[1.0, 2.0, 4.0], 5, 6, 1, 12);
+        assert_eq!(frontier.len(), 3);
+        // Accuracy improves (error falls) with f...
+        assert!(
+            frontier[2].point_rel_err < frontier[0].point_rel_err,
+            "f=4 err {} vs f=1 err {}",
+            frontier[2].point_rel_err,
+            frontier[0].point_rel_err
+        );
+        // ...while privacy (the ratio) falls: that is the tradeoff.
+        assert!(frontier[2].privacy_ratio < frontier[0].privacy_ratio);
+    }
+
+    #[test]
+    fn s_sweep_privacy_grows_with_s() {
+        let sweep = s_sweep(&[2, 5], 5, 6, 1, 13);
+        assert!(sweep[1].privacy_ratio > sweep[0].privacy_ratio);
+        // Accuracy stays usable at both ends.
+        for p in &sweep {
+            assert!(p.p2p_rel_err < 0.5, "s={} err {}", p.s, p.p2p_rel_err);
+        }
+    }
+
+    #[test]
+    fn sizing_policy_campaign_mean_is_tighter() {
+        let result = sizing_policy(5, 8, 1, 21);
+        assert!(result.per_period < 0.6, "per-period error {}", result.per_period);
+        assert!(
+            result.campaign_mean <= result.per_period,
+            "campaign-mean {} should not exceed per-period {}",
+            result.campaign_mean,
+            result.per_period
+        );
+    }
+
+    #[test]
+    fn kway_sweep_two_groups_hold_up() {
+        let sweep = kway_sweep(&[2, 3, 4], 12, 5, 1, 15);
+        assert_eq!(sweep.len(), 3);
+        for p in &sweep {
+            assert!(p.rel_err < 0.25, "k={}: error {}", p.k, p.rel_err);
+        }
+        // The paper's claim: k = 2 is already effective — more groups must
+        // not be dramatically better.
+        assert!(
+            sweep[0].rel_err < 3.0 * sweep[2].rel_err + 0.05,
+            "k=2 err {} vs k=4 err {}",
+            sweep[0].rel_err,
+            sweep[2].rel_err
+        );
+    }
+
+    #[test]
+    fn loss_sweep_degrades_gracefully() {
+        let sweep = loss_sensitivity(&[0.0, 0.9], 14);
+        let clean = &sweep[0];
+        let lossy = &sweep[1];
+        assert_eq!(clean.truth, 150.0);
+        // Lossless: estimator sees everything.
+        assert!((clean.estimate - clean.truth).abs() / clean.truth < 0.35);
+        assert!(clean.capture_rate > 0.99);
+        // Heavy loss with short dwell: fewer captures, estimate biased low.
+        assert!(lossy.capture_rate < clean.capture_rate);
+        assert!(lossy.estimate < clean.estimate + 1.0);
+    }
+}

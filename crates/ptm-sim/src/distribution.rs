@@ -1,0 +1,191 @@
+//! Error-distribution analysis for the estimators.
+//!
+//! The paper reports *mean* relative errors; this module characterises the
+//! full error distribution at a configuration — signed relative error
+//! samples, bootstrap confidence intervals for the mean, and an ASCII
+//! histogram — to show the estimators are unbiased rather than merely
+//! small-on-average.
+
+use crate::runner::run_trials;
+use crate::stats::{bootstrap_mean_ci, mean, std_dev};
+use crate::workload::{build_p2p_records, build_point_records};
+use crate::trial_seed;
+use ptm_core::encoding::{EncodingScheme, LocationId};
+use ptm_core::p2p::PointToPointEstimator;
+use ptm_core::params::SystemParams;
+use ptm_core::point::PointEstimator;
+use ptm_traffic::generate::{P2pScenario, PointScenario};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::Serialize;
+
+/// Which estimator to characterise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Target {
+    /// Point persistent estimation (Sec. III).
+    Point,
+    /// Point-to-point persistent estimation (Sec. IV).
+    PointToPoint,
+}
+
+/// Configuration of a distribution study.
+#[derive(Debug, Clone, Serialize)]
+pub struct DistributionConfig {
+    /// Which estimator.
+    pub target: Target,
+    /// Number of periods.
+    pub t: usize,
+    /// Persistent-core fraction of `n_min`.
+    pub fraction: f64,
+    /// System parameters.
+    pub params: SystemParams,
+    /// Sample size (independent runs).
+    pub runs: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl DistributionConfig {
+    /// Paper-default settings for the given estimator.
+    pub fn paper(target: Target) -> Self {
+        Self {
+            target,
+            t: 5,
+            fraction: 0.2,
+            params: SystemParams::paper_default(),
+            runs: 200,
+            seed: 777,
+            threads: crate::runner::default_threads(),
+        }
+    }
+}
+
+/// The resulting sample and its summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct DistributionResult {
+    /// Configuration echo.
+    pub config: DistributionConfig,
+    /// Signed relative errors `(n̂ − n) / n`, one per run.
+    pub signed_errors: Vec<f64>,
+    /// Mean signed error (bias).
+    pub bias: f64,
+    /// Standard deviation of the signed error.
+    pub std_dev: f64,
+    /// 95 % bootstrap CI for the bias.
+    pub bias_ci: (f64, f64),
+}
+
+impl DistributionResult {
+    /// Whether zero bias is inside the 95 % confidence interval.
+    pub fn unbiased_at_95(&self) -> bool {
+        self.bias_ci.0 <= 0.0 && 0.0 <= self.bias_ci.1
+    }
+}
+
+/// Runs the study.
+pub fn run(config: &DistributionConfig) -> DistributionResult {
+    let signed_errors = run_trials(config.runs, config.threads, |run_idx| {
+        let seed = trial_seed(config.seed, &[run_idx as u64]);
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let scheme = EncodingScheme::new(seed ^ 0xD157, config.params.num_representatives());
+        match config.target {
+            Target::Point => {
+                let scenario = PointScenario::synthetic(&mut rng, config.t, config.fraction);
+                let records = build_point_records(
+                    &scheme,
+                    &config.params,
+                    &scenario,
+                    LocationId::new(1),
+                    &mut rng,
+                );
+                let est = PointEstimator::new().estimate(&records).expect("no saturation");
+                (est - scenario.persistent as f64) / scenario.persistent as f64
+            }
+            Target::PointToPoint => {
+                let scenario = P2pScenario::synthetic(&mut rng, config.t, config.fraction);
+                let records = build_p2p_records(
+                    &scheme,
+                    &config.params,
+                    &scenario,
+                    LocationId::new(1),
+                    LocationId::new(2),
+                    None,
+                    &mut rng,
+                );
+                let est = PointToPointEstimator::new(config.params.num_representatives())
+                    .estimate(&records.records_l, &records.records_lp)
+                    .expect("no saturation");
+                (est - scenario.persistent as f64) / scenario.persistent as f64
+            }
+        }
+    });
+    let bias = mean(&signed_errors);
+    let sd = std_dev(&signed_errors);
+    let bias_ci = bootstrap_mean_ci(&signed_errors, 0.95, 1_000, config.seed ^ 0xB007);
+    DistributionResult { config: config.clone(), signed_errors, bias, std_dev: sd, bias_ci }
+}
+
+/// Renders the histogram plus the summary line.
+pub fn render(result: &DistributionResult) -> String {
+    let hist = ptm_report::Histogram::from_samples(&result.signed_errors, 15);
+    format!(
+        "signed relative error distribution ({:?}, t = {}, fraction = {}, {} runs)\n{}\nbias {:+.4} (95% CI [{:+.4}, {:+.4}]), std {:.4}{}\n",
+        result.config.target,
+        result.config.t,
+        result.config.fraction,
+        result.config.runs,
+        hist.render(40),
+        result.bias,
+        result.bias_ci.0,
+        result.bias_ci.1,
+        result.std_dev,
+        if result.unbiased_at_95() { " — unbiased at 95%" } else { "" },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(target: Target) -> DistributionConfig {
+        DistributionConfig { runs: 40, threads: 1, seed: 3, ..DistributionConfig::paper(target) }
+    }
+
+    #[test]
+    fn point_estimator_is_roughly_unbiased() {
+        let result = run(&small(Target::Point));
+        assert_eq!(result.signed_errors.len(), 40);
+        // Bias should be small relative to spread at these settings.
+        assert!(
+            result.bias.abs() < 0.1,
+            "bias {} (CI {:?})",
+            result.bias,
+            result.bias_ci
+        );
+        assert!(result.std_dev < 0.2, "std {}", result.std_dev);
+    }
+
+    #[test]
+    fn p2p_estimator_spread_is_bounded() {
+        let result = run(&small(Target::PointToPoint));
+        assert!(result.bias.abs() < 0.15, "bias {}", result.bias);
+        assert!(result.std_dev < 0.3, "std {}", result.std_dev);
+    }
+
+    #[test]
+    fn render_mentions_bias_and_histogram() {
+        let result = run(&DistributionConfig { runs: 20, ..small(Target::Point) });
+        let text = render(&result);
+        assert!(text.contains("bias"));
+        assert!(text.contains('#'));
+        assert!(text.contains("95% CI"));
+    }
+
+    #[test]
+    fn ci_brackets_bias() {
+        let result = run(&small(Target::Point));
+        assert!(result.bias_ci.0 <= result.bias && result.bias <= result.bias_ci.1);
+    }
+}

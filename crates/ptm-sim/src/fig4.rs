@@ -1,0 +1,224 @@
+//! Reproduces **Fig. 4**: relative error of point persistent traffic
+//! estimation vs the actual persistent volume — the proposed estimator
+//! (Eq. 12) against the naive-AND benchmark, at `t = 5` (left panel) and
+//! `t = 10` (right panel).
+//!
+//! Workload per Sec. VI-B: per-period volumes uniform in `(2000, 10000]`,
+//! persistent core swept from `0.01·n_min` to `0.5·n_min` in steps of
+//! `0.01·n_min`; `s = 3`, `f = 2`.
+
+use crate::runner::run_trials;
+use crate::stats::mean;
+use crate::workload::{build_point_records_with, SizingPolicy};
+use crate::{stats, trial_seed};
+use ptm_core::encoding::{EncodingScheme, LocationId};
+use ptm_core::params::SystemParams;
+use ptm_core::point::{NaiveAndEstimator, PointEstimator};
+use ptm_traffic::generate::PointScenario;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::Serialize;
+
+/// The paper's sweep: fractions 0.01, 0.02, …, 0.50 of `n_min`.
+pub fn paper_fractions() -> Vec<f64> {
+    (1..=50).map(|i| i as f64 / 100.0).collect()
+}
+
+/// Configuration for one Fig. 4 panel.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Config {
+    /// Number of measurement periods (paper: 5 for the left panel, 10 for
+    /// the right).
+    pub t: usize,
+    /// Persistent-core fractions of `n_min` to sweep.
+    pub fractions: Vec<f64>,
+    /// Runs averaged per fraction.
+    pub runs_per_point: usize,
+    /// System parameters (paper: f = 2, s = 3).
+    pub params: SystemParams,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// How records are sized across periods (see the DESIGN.md calibration
+    /// note); serialized by name.
+    #[serde(skip)]
+    pub sizing: SizingPolicy,
+}
+
+impl Fig4Config {
+    /// The paper's panel at the given `t`.
+    pub fn panel(t: usize) -> Self {
+        Self {
+            t,
+            fractions: paper_fractions(),
+            runs_per_point: 25,
+            params: SystemParams::paper_default(),
+            seed: 4242,
+            threads: crate::runner::default_threads(),
+            sizing: SizingPolicy::default(),
+        }
+    }
+}
+
+/// One swept point.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Fig4Point {
+    /// Persistent-core fraction of `n_min`.
+    pub fraction: f64,
+    /// Mean actual persistent volume across runs (the x-coordinate).
+    pub actual_volume: f64,
+    /// Mean relative error of the proposed estimator.
+    pub proposed: f64,
+    /// Mean relative error of the naive-AND benchmark.
+    pub benchmark: f64,
+}
+
+/// One full panel.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Panel {
+    /// Configuration echo.
+    pub config: Fig4Config,
+    /// Points ordered by fraction.
+    pub points: Vec<Fig4Point>,
+}
+
+/// Runs one panel.
+pub fn run(config: &Fig4Config) -> Fig4Panel {
+    let location = LocationId::new(1);
+    let points = config
+        .fractions
+        .iter()
+        .map(|&fraction| {
+            let key = (fraction * 1000.0).round() as u64;
+            let trials = run_trials(config.runs_per_point, config.threads, |run_idx| {
+                let seed = trial_seed(config.seed, &[config.t as u64, key, run_idx as u64]);
+                let mut rng = ChaCha12Rng::seed_from_u64(seed);
+                let scheme = EncodingScheme::new(seed ^ 0xF1C4, config.params.num_representatives());
+                let scenario = PointScenario::synthetic(&mut rng, config.t, fraction);
+                // A zero persistent core cannot produce a relative error;
+                // the smallest swept fraction keeps it positive.
+                let truth = scenario.persistent.max(1) as f64;
+                let records = build_point_records_with(
+                    &scheme,
+                    &config.params,
+                    &scenario,
+                    location,
+                    config.sizing,
+                    &mut rng,
+                );
+                let proposed = PointEstimator::new()
+                    .estimate(&records)
+                    .expect("synthetic records never saturate at f = 2");
+                let benchmark = NaiveAndEstimator::new()
+                    .estimate(&records)
+                    .expect("synthetic records never saturate at f = 2");
+                (
+                    scenario.persistent as f64,
+                    stats::relative_error(truth, proposed),
+                    stats::relative_error(truth, benchmark),
+                )
+            });
+            Fig4Point {
+                fraction,
+                actual_volume: mean(&trials.iter().map(|t| t.0).collect::<Vec<_>>()),
+                proposed: mean(&trials.iter().map(|t| t.1).collect::<Vec<_>>()),
+                benchmark: mean(&trials.iter().map(|t| t.2).collect::<Vec<_>>()),
+            }
+        })
+        .collect();
+    Fig4Panel { config: config.clone(), points }
+}
+
+/// Renders a panel as an ASCII plot plus CSV.
+pub fn render(panel: &Fig4Panel) -> String {
+    let proposed: Vec<(f64, f64)> =
+        panel.points.iter().map(|p| (p.actual_volume, p.proposed)).collect();
+    let benchmark: Vec<(f64, f64)> =
+        panel.points.iter().map(|p| (p.actual_volume, p.benchmark)).collect();
+    let plot = ptm_report::Plot::new(
+        format!("Fig. 4 (t = {}): relative error vs persistent volume", panel.config.t),
+        "actual persistent traffic volume",
+        "relative error",
+    )
+    .series(ptm_report::Series::new("Proposed", 'P', proposed))
+    .series(ptm_report::Series::new("Benchmark", 'B', benchmark));
+    plot.render()
+}
+
+/// Serializes a panel as CSV (`fraction,actual,proposed,benchmark`).
+pub fn to_csv(panel: &Fig4Panel) -> String {
+    let mut w = ptm_report::csv::CsvWriter::new();
+    w.write_row(["fraction", "actual_volume", "proposed_rel_err", "benchmark_rel_err"]);
+    for p in &panel.points {
+        w.write_row([
+            p.fraction.to_string(),
+            p.actual_volume.to_string(),
+            p.proposed.to_string(),
+            p.benchmark.to_string(),
+        ]);
+    }
+    w.into_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(t: usize) -> Fig4Config {
+        Fig4Config {
+            t,
+            fractions: vec![0.02, 0.1, 0.3, 0.5],
+            runs_per_point: 4,
+            params: SystemParams::paper_default(),
+            seed: 1,
+            threads: 1,
+            sizing: SizingPolicy::default(),
+        }
+    }
+
+    #[test]
+    fn proposed_beats_benchmark_at_small_volumes() {
+        let panel = run(&small_config(5));
+        // Headline claim of Fig. 4: at small persistent volume the benchmark
+        // (transient collisions) is far off while the proposed estimator
+        // stays accurate.
+        let smallest = &panel.points[0];
+        assert!(
+            smallest.benchmark > 2.0 * smallest.proposed,
+            "at fraction {}: proposed {} vs benchmark {}",
+            smallest.fraction,
+            smallest.proposed,
+            smallest.benchmark
+        );
+        // Both converge as the persistent core grows.
+        let largest = panel.points.last().expect("non-empty");
+        assert!(largest.proposed < 0.15);
+        assert!(largest.benchmark < 0.5);
+    }
+
+    #[test]
+    fn more_periods_reduce_benchmark_error() {
+        let p5 = run(&small_config(5));
+        let p10 = run(&small_config(10));
+        // AND of 10 bitmaps filters transients harder than AND of 5.
+        let b5: f64 = p5.points.iter().map(|p| p.benchmark).sum();
+        let b10: f64 = p10.points.iter().map(|p| p.benchmark).sum();
+        assert!(b10 < b5, "t=10 total benchmark err {b10} vs t=5 {b5}");
+    }
+
+    #[test]
+    fn render_and_csv() {
+        let panel = run(&Fig4Config {
+            fractions: vec![0.1, 0.4],
+            runs_per_point: 2,
+            ..small_config(5)
+        });
+        let text = render(&panel);
+        assert!(text.contains("Fig. 4"));
+        assert!(text.contains('P') && text.contains('B'));
+        let csv = to_csv(&panel);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("fraction,"));
+    }
+}

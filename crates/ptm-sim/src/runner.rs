@@ -1,0 +1,115 @@
+//! Parallel trial execution.
+//!
+//! Every experiment is a set of independent seeded trials; this module fans
+//! them across threads with crossbeam's scoped threads. Results come back
+//! in trial order regardless of scheduling, so a run is reproducible on any
+//! core count.
+
+use std::num::NonZeroUsize;
+
+/// Chooses a sensible thread count: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Runs `trials` independent evaluations of `f(trial_index)` on up to
+/// `threads` worker threads, returning results in trial order.
+///
+/// `f` must derive all randomness from the trial index (see
+/// [`crate::trial_seed`]), so results are independent of the thread count.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero, or propagates a panic from `f`.
+pub fn run_trials<T, F>(trials: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(threads >= 1, "need at least one thread");
+    if trials == 0 {
+        return Vec::new();
+    }
+    if threads == 1 || trials == 1 {
+        return (0..trials).map(f).collect();
+    }
+    let workers = threads.min(trials);
+    let mut slots: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+    {
+        // Hand each worker an interleaved set of trial indices; a shared
+        // atomic counter would also work but static striping keeps the
+        // code free of coordination entirely.
+        let mut remaining: &mut [Option<T>] = &mut slots;
+        let mut chunks: Vec<(usize, &mut [Option<T>])> = Vec::with_capacity(workers);
+        let base = trials / workers;
+        let extra = trials % workers;
+        let mut start = 0usize;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            let (head, tail) = remaining.split_at_mut(len);
+            chunks.push((start, head));
+            remaining = tail;
+            start += len;
+        }
+        crossbeam::thread::scope(|scope| {
+            for (offset, chunk) in chunks {
+                let f = &f;
+                scope.spawn(move |_| {
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        *slot = Some(f(offset + i));
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+    }
+    slots.into_iter().map(|s| s.expect("every trial filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_trial_order() {
+        let out = run_trials(17, 4, |i| i * 10);
+        assert_eq!(out, (0..17).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = run_trials(5, 1, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn zero_trials() {
+        let out: Vec<u32> = run_trials(0, 8, |_| unreachable!("no trials"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_trials() {
+        let out = run_trials(2, 16, |i| i);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let work = |i: usize| crate::trial_seed(99, &[i as u64]);
+        let seq = run_trials(32, 1, work);
+        let par = run_trials(32, 8, work);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = run_trials(1, 0, |i| i);
+    }
+}

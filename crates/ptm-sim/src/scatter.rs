@@ -1,0 +1,215 @@
+//! Reproduces **Fig. 5** and **Fig. 6**: actual-vs-estimated scatter plots
+//! for point persistent traffic (left panels) and point-to-point persistent
+//! traffic (right panels), at `t = 5` with `f = 2` (Fig. 5) and `f = 3`
+//! (Fig. 6).
+//!
+//! Each plotted point is one measurement: x = the true persistent volume,
+//! y = the estimate. Accuracy shows as clustering around the `y = x` line;
+//! the paper's claim is that the f = 3 cloud hugs the line visibly tighter
+//! than the f = 2 cloud.
+
+use crate::runner::run_trials;
+use crate::workload::{build_p2p_records, build_point_records};
+use crate::trial_seed;
+use ptm_core::encoding::{EncodingScheme, LocationId};
+use ptm_core::p2p::PointToPointEstimator;
+use ptm_core::params::SystemParams;
+use ptm_core::point::PointEstimator;
+use ptm_traffic::generate::{P2pScenario, PointScenario};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::Serialize;
+
+/// Configuration for one figure (both panels).
+#[derive(Debug, Clone, Serialize)]
+pub struct ScatterConfig {
+    /// Number of measurement periods (paper: 5).
+    pub t: usize,
+    /// System parameters; Fig. 5 uses f = 2, Fig. 6 uses f = 3.
+    pub params: SystemParams,
+    /// Persistent-core fractions; each contributes `runs_per_fraction`
+    /// scatter points.
+    pub fractions: Vec<f64>,
+    /// Measurements per fraction.
+    pub runs_per_fraction: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl ScatterConfig {
+    /// The paper's figure at the given load factor (2.0 → Fig. 5,
+    /// 3.0 → Fig. 6).
+    pub fn paper(load_factor: f64) -> Self {
+        Self {
+            t: 5,
+            params: SystemParams::new(load_factor, 3),
+            fractions: crate::fig4::paper_fractions(),
+            runs_per_fraction: 1,
+            seed: 5656,
+            threads: crate::runner::default_threads(),
+        }
+    }
+}
+
+/// Both panels of one figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScatterResult {
+    /// Configuration echo.
+    pub config: ScatterConfig,
+    /// `(actual, estimated)` for point persistent traffic.
+    pub point: Vec<(f64, f64)>,
+    /// `(actual, estimated)` for point-to-point persistent traffic.
+    pub p2p: Vec<(f64, f64)>,
+}
+
+impl ScatterResult {
+    /// Root-mean-square relative deviation from the `y = x` line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the panel is empty.
+    pub fn rms_relative_deviation(points: &[(f64, f64)]) -> f64 {
+        assert!(!points.is_empty(), "empty panel");
+        let sum: f64 = points
+            .iter()
+            .map(|&(actual, est)| {
+                let rel = (est - actual) / actual.max(1.0);
+                rel * rel
+            })
+            .sum();
+        (sum / points.len() as f64).sqrt()
+    }
+}
+
+/// Runs both panels.
+pub fn run(config: &ScatterConfig) -> ScatterResult {
+    let total = config.fractions.len() * config.runs_per_fraction;
+    let measurements = run_trials(total, config.threads, |idx| {
+        let fraction = config.fractions[idx / config.runs_per_fraction];
+        let seed = trial_seed(config.seed, &[(config.params.load_factor() * 10.0) as u64, idx as u64]);
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let scheme = EncodingScheme::new(seed ^ 0x5CA7, config.params.num_representatives());
+
+        // Left panel: point persistent.
+        let point_scenario = PointScenario::synthetic(&mut rng, config.t, fraction);
+        let records = build_point_records(
+            &scheme,
+            &config.params,
+            &point_scenario,
+            LocationId::new(1),
+            &mut rng,
+        );
+        let point_est = PointEstimator::new()
+            .estimate(&records)
+            .expect("synthetic records never saturate");
+        let point_pair = (point_scenario.persistent as f64, point_est);
+
+        // Right panel: point-to-point persistent.
+        let p2p_scenario = P2pScenario::synthetic(&mut rng, config.t, fraction);
+        let p2p_records = build_p2p_records(
+            &scheme,
+            &config.params,
+            &p2p_scenario,
+            LocationId::new(1),
+            LocationId::new(2),
+            None,
+            &mut rng,
+        );
+        let p2p_est = PointToPointEstimator::new(config.params.num_representatives())
+            .estimate(&p2p_records.records_l, &p2p_records.records_lp)
+            .expect("synthetic records never saturate");
+        let p2p_pair = (p2p_scenario.persistent as f64, p2p_est);
+
+        (point_pair, p2p_pair)
+    });
+    ScatterResult {
+        config: config.clone(),
+        point: measurements.iter().map(|m| m.0).collect(),
+        p2p: measurements.iter().map(|m| m.1).collect(),
+    }
+}
+
+/// Renders both panels as ASCII scatters with the `y = x` reference.
+pub fn render(result: &ScatterResult) -> String {
+    let f = result.config.params.load_factor();
+    let t = result.config.t;
+    let left = ptm_report::Plot::new(
+        format!("point persistent traffic (t = {t}, f = {f})"),
+        "actual persistent traffic volume",
+        "estimated volume",
+    )
+    .with_diagonal()
+    .series(ptm_report::Series::new("measurements", 'o', result.point.clone()));
+    let right = ptm_report::Plot::new(
+        format!("point-to-point persistent traffic (t = {t}, f = {f})"),
+        "actual persistent traffic volume",
+        "estimated volume",
+    )
+    .with_diagonal()
+    .series(ptm_report::Series::new("measurements", 'o', result.p2p.clone()));
+    format!("{}\n{}", left.render(), right.render())
+}
+
+/// CSV form: `panel,actual,estimated`.
+pub fn to_csv(result: &ScatterResult) -> String {
+    let mut w = ptm_report::csv::CsvWriter::new();
+    w.write_row(["panel", "actual", "estimated"]);
+    for &(a, e) in &result.point {
+        w.write_row(["point".to_owned(), a.to_string(), e.to_string()]);
+    }
+    for &(a, e) in &result.p2p {
+        w.write_row(["p2p".to_owned(), a.to_string(), e.to_string()]);
+    }
+    w.into_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(load_factor: f64) -> ScatterConfig {
+        ScatterConfig {
+            t: 5,
+            params: SystemParams::new(load_factor, 3),
+            fractions: vec![0.05, 0.15, 0.3, 0.45],
+            runs_per_fraction: 3,
+            seed: 2,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn points_cluster_on_diagonal() {
+        let result = run(&small(2.0));
+        assert_eq!(result.point.len(), 12);
+        assert_eq!(result.p2p.len(), 12);
+        let point_dev = ScatterResult::rms_relative_deviation(&result.point);
+        let p2p_dev = ScatterResult::rms_relative_deviation(&result.p2p);
+        assert!(point_dev < 0.25, "point panel deviation {point_dev}");
+        assert!(p2p_dev < 0.35, "p2p panel deviation {p2p_dev}");
+    }
+
+    #[test]
+    fn higher_load_factor_is_tighter() {
+        // Fig. 5 vs Fig. 6: f = 3 clusters tighter than f = 2. Use the
+        // point panel, aggregated over the sweep, with shared seeds.
+        let f2 = run(&small(2.0));
+        let f3 = run(&small(3.0));
+        let d2 = ScatterResult::rms_relative_deviation(&f2.point);
+        let d3 = ScatterResult::rms_relative_deviation(&f3.point);
+        assert!(d3 < d2, "f=3 deviation {d3} should beat f=2 deviation {d2}");
+    }
+
+    #[test]
+    fn render_and_csv() {
+        let result = run(&ScatterConfig { fractions: vec![0.2], runs_per_fraction: 2, ..small(2.0) });
+        let text = render(&result);
+        assert!(text.contains("point persistent traffic"));
+        assert!(text.contains("point-to-point persistent traffic"));
+        assert!(text.contains("y = x"));
+        let csv = to_csv(&result);
+        assert_eq!(csv.lines().count(), 1 + 2 + 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! Aggregation statistics for experiment results.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator); 0 for fewer than 2 values.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// The paper's accuracy metric: `|n̂ − n| / n` (Sec. II-C).
+///
+/// # Panics
+///
+/// Panics if `actual` is not positive — relative error against a zero
+/// ground truth is undefined; callers with `n = 0` should report the
+/// absolute error instead.
+pub fn relative_error(actual: f64, estimated: f64) -> f64 {
+    assert!(actual > 0.0, "relative error needs a positive ground truth");
+    (estimated - actual).abs() / actual
+}
+
+/// Linear-interpolated percentile (`p` in `[0, 100]`).
+///
+/// # Panics
+///
+/// Panics on an empty slice or out-of-range `p`.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of an empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// A two-sided bootstrap confidence interval for the sample mean.
+///
+/// Resamples the data `resamples` times with replacement (deterministic,
+/// seeded) and returns the `(lo, hi)` percentile interval at the given
+/// confidence level. Used to report uncertainty bands on the per-cell
+/// relative errors without distributional assumptions.
+///
+/// # Panics
+///
+/// Panics on an empty sample, zero resamples, or a confidence level
+/// outside `(0, 1)`.
+pub fn bootstrap_mean_ci(
+    values: &[f64],
+    confidence: f64,
+    resamples: u32,
+    seed: u64,
+) -> (f64, f64) {
+    assert!(!values.is_empty(), "bootstrap over an empty sample");
+    assert!(resamples >= 1, "need at least one resample");
+    assert!((0.0..1.0).contains(&confidence) && confidence > 0.0, "confidence in (0, 1)");
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+    let mut means = Vec::with_capacity(resamples as usize);
+    for _ in 0..resamples {
+        let sum: f64 = (0..values.len())
+            .map(|_| values[rng.gen_range(0..values.len())])
+            .sum();
+        means.push(sum / values.len() as f64);
+    }
+    let alpha = (1.0 - confidence) / 2.0;
+    (
+        percentile(&means, alpha * 100.0),
+        percentile(&means, (1.0 - alpha) * 100.0),
+    )
+}
+
+/// Five-number summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn from_slice(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "summary of an empty slice");
+        Self {
+            count: values.len(),
+            mean: mean(values),
+            std_dev: std_dev(values),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((std_dev(&xs) - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn relative_error_matches_paper_metric() {
+        assert_eq!(relative_error(100.0, 110.0), 0.1);
+        assert_eq!(relative_error(100.0, 90.0), 0.1);
+        assert_eq!(relative_error(100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive ground truth")]
+    fn zero_truth_panics() {
+        let _ = relative_error(0.0, 5.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 50.0), 2.5);
+    }
+
+    #[test]
+    fn summary() {
+        let s = Summary::from_slice(&[1.0, 3.0, 5.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0];
+        assert_eq!(percentile(&xs, 50.0), 5.0);
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_true_mean() {
+        // Deterministic sample around 10.0.
+        let xs: Vec<f64> = (0..100).map(|i| 10.0 + ((i % 7) as f64 - 3.0) * 0.5).collect();
+        let m = mean(&xs);
+        let (lo, hi) = bootstrap_mean_ci(&xs, 0.95, 500, 7);
+        assert!(lo <= m && m <= hi, "[{lo}, {hi}] should bracket {m}");
+        assert!(hi - lo < 1.0, "interval [{lo}, {hi}] too wide for this sample");
+        // Higher confidence widens the interval.
+        let (lo99, hi99) = bootstrap_mean_ci(&xs, 0.99, 500, 7);
+        assert!(hi99 - lo99 >= hi - lo);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(
+            bootstrap_mean_ci(&xs, 0.9, 200, 42),
+            bootstrap_mean_ci(&xs, 0.9, 200, 42)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn bootstrap_empty_panics() {
+        let _ = bootstrap_mean_ci(&[], 0.9, 10, 1);
+    }
+}

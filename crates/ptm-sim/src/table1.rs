@@ -1,0 +1,277 @@
+//! Reproduces **Table I**: relative error of point-to-point persistent
+//! traffic estimation in the Sioux Falls network.
+//!
+//! The paper's setup (Sec. VI-A): `L'` is the location with the largest
+//! total volume (node 10, `n' = 451,000` at trip-table scale 5); eight other
+//! locations serve as `L`; `s = 3`, `f = 2`; 10 measurement periods with
+//! freshly generated transient vehicles; results averaged over 1000 runs
+//! (configurable here — the shape stabilises far earlier). The last row is
+//! the *same-size bitmaps* baseline (`m' = m`) at `t = 5`.
+
+use crate::runner::run_trials;
+use crate::stats::mean;
+use crate::workload::{build_p2p_records, sizing};
+use crate::{stats, trial_seed};
+use ptm_core::encoding::{EncodingScheme, LocationId};
+use ptm_core::p2p::PointToPointEstimator;
+use ptm_core::params::SystemParams;
+use ptm_traffic::generate::P2pScenario;
+use ptm_traffic::network::NodeId;
+use ptm_traffic::sioux_falls;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::Serialize;
+
+/// The paper's eight `L` locations (1-based Sioux Falls node labels), in
+/// Table I column order. Decoded from the published `n` and `n''` values,
+/// which match these nodes' involving volumes and pair volumes with node 10
+/// exactly (see `ptm_traffic::sioux_falls` tests).
+pub const PAPER_LOCATIONS: [usize; 8] = [15, 12, 7, 24, 6, 18, 2, 3];
+
+/// The paper's `L'`: node 10, the busiest location.
+pub const PAPER_L_PRIME: usize = 10;
+
+/// Configuration for the Table I experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Config {
+    /// Period counts to evaluate (paper: 3, 5, 7, 10).
+    pub t_values: Vec<usize>,
+    /// Period count for the same-size baseline row (paper: 5).
+    pub baseline_t: usize,
+    /// Simulation runs to average per cell (paper: 1000).
+    pub runs: usize,
+    /// System parameters (paper: f = 2, s = 3).
+    pub params: SystemParams,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for Table1Config {
+    fn default() -> Self {
+        Self {
+            t_values: vec![3, 5, 7, 10],
+            baseline_t: 5,
+            runs: 50,
+            params: SystemParams::paper_default(),
+            seed: 42,
+            threads: crate::runner::default_threads(),
+        }
+    }
+}
+
+/// One Table I column (one location `L`).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// 1-based Sioux Falls node label.
+    pub node: usize,
+    /// Total volume `n` at `L`.
+    pub n: u64,
+    /// Bitmap size `m` at `L`.
+    pub m: usize,
+    /// Size ratio `m' / m`.
+    pub m_ratio: usize,
+    /// True common-vehicle count `n''`.
+    pub n_common: u64,
+    /// Mean relative error for each configured `t`.
+    pub rel_err_by_t: Vec<f64>,
+    /// Mean relative error of the same-size baseline at `baseline_t`.
+    pub rel_err_same_size: f64,
+}
+
+/// The full Table I result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Result {
+    /// Configuration echo.
+    pub config: Table1Config,
+    /// Volume `n'` at `L'`.
+    pub n_prime: u64,
+    /// Bitmap size `m'` at `L'`.
+    pub m_prime: usize,
+    /// One row per location.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Runs the experiment.
+pub fn run(config: &Table1Config) -> Table1Result {
+    let table = sioux_falls::paper_trip_table();
+    let l_prime = NodeId::new(PAPER_L_PRIME - 1);
+    let n_prime = table.involving_volume(l_prime);
+    let m_prime = config.params.bitmap_size(n_prime as f64).get();
+    let t_max = config
+        .t_values
+        .iter()
+        .copied()
+        .chain([config.baseline_t])
+        .max()
+        .expect("non-empty t values");
+
+    let rows = PAPER_LOCATIONS
+        .iter()
+        .map(|&node_label| {
+            let node = NodeId::new(node_label - 1);
+            let scenario = P2pScenario::from_trip_table(&table, node, l_prime, t_max);
+            let n = table.involving_volume(node);
+            let m = sizing(&config.params, &scenario.volumes_l);
+            let estimator = PointToPointEstimator::new(config.params.num_representatives());
+            let truth = scenario.persistent as f64;
+
+            // One trial = fresh fleet + transients; measures every t plus
+            // the baseline so record generation is shared.
+            let trials = run_trials(config.runs, config.threads, |run_idx| {
+                let seed = trial_seed(config.seed, &[node_label as u64, run_idx as u64]);
+                let mut rng = ChaCha12Rng::seed_from_u64(seed);
+                let scheme = EncodingScheme::new(seed ^ 0xABCD, config.params.num_representatives());
+                let loc_l = LocationId::new(node_label as u64);
+                let loc_lp = LocationId::new(PAPER_L_PRIME as u64);
+                let records =
+                    build_p2p_records(&scheme, &config.params, &scenario, loc_l, loc_lp, None, &mut rng);
+                let per_t: Vec<f64> = config
+                    .t_values
+                    .iter()
+                    .map(|&t| {
+                        let est = estimator
+                            .estimate(&records.records_l[..t], &records.records_lp[..t])
+                            .expect("paper-scale records never saturate");
+                        stats::relative_error(truth, est)
+                    })
+                    .collect();
+
+                // Same-size baseline: L' encoded into bitmaps of size m.
+                let baseline_records = build_p2p_records(
+                    &scheme,
+                    &config.params,
+                    &scenario,
+                    loc_l,
+                    loc_lp,
+                    Some(m),
+                    &mut rng,
+                );
+                let baseline_est = estimator
+                    .estimate(
+                        &baseline_records.records_l[..config.baseline_t],
+                        &baseline_records.records_lp[..config.baseline_t],
+                    )
+                    .expect("baseline records never saturate at paper scale");
+                (per_t, stats::relative_error(truth, baseline_est))
+            });
+
+            let rel_err_by_t: Vec<f64> = (0..config.t_values.len())
+                .map(|k| mean(&trials.iter().map(|(per_t, _)| per_t[k]).collect::<Vec<_>>()))
+                .collect();
+            let rel_err_same_size =
+                mean(&trials.iter().map(|&(_, baseline)| baseline).collect::<Vec<_>>());
+
+            Table1Row {
+                node: node_label,
+                n,
+                m: m.get(),
+                m_ratio: m_prime / m.get(),
+                n_common: scenario.persistent,
+                rel_err_by_t,
+                rel_err_same_size,
+            }
+        })
+        .collect();
+
+    Table1Result { config: config.clone(), n_prime, m_prime, rows }
+}
+
+/// Renders the result in the paper's layout (locations as columns).
+pub fn render(result: &Table1Result) -> String {
+    use ptm_report::table::fmt_f64;
+    let mut header = vec!["L".to_owned()];
+    header.extend((1..=result.rows.len()).map(|i| i.to_string()));
+    let mut table = ptm_report::TextTable::new(header);
+    let row_of = |label: &str, cells: Vec<String>| {
+        let mut row = vec![label.to_owned()];
+        row.extend(cells);
+        row
+    };
+    table.add_row(row_of("node", result.rows.iter().map(|r| r.node.to_string()).collect()));
+    table.add_row(row_of("n", result.rows.iter().map(|r| r.n.to_string()).collect()));
+    table.add_row(row_of("m", result.rows.iter().map(|r| r.m.to_string()).collect()));
+    table.add_row(row_of("m'/m", result.rows.iter().map(|r| r.m_ratio.to_string()).collect()));
+    table.add_row(row_of("n''", result.rows.iter().map(|r| r.n_common.to_string()).collect()));
+    for (k, &t) in result.config.t_values.iter().enumerate() {
+        table.add_row(row_of(
+            &format!("relative error (t = {t})"),
+            result.rows.iter().map(|r| fmt_f64(r.rel_err_by_t[k], 4)).collect(),
+        ));
+    }
+    table.add_row(row_of(
+        &format!("same-size bitmaps (t = {})", result.config.baseline_t),
+        result.rows.iter().map(|r| fmt_f64(r.rel_err_same_size, 4)).collect(),
+    ));
+    format!(
+        "Table I: point-to-point persistent traffic, Sioux Falls (L' = node {}, n' = {}, m' = {}, {} runs)\n{}",
+        PAPER_L_PRIME,
+        result.n_prime,
+        result.m_prime,
+        result.config.runs,
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reduced-size smoke run; the full-scale assertions live in the
+    /// integration suite.
+    #[test]
+    fn small_run_matches_paper_shape() {
+        let config = Table1Config { runs: 3, threads: 1, ..Table1Config::default() };
+        let result = run(&config);
+        assert_eq!(result.n_prime, 451_000);
+        assert_eq!(result.m_prime, 1_048_576);
+        assert_eq!(result.rows.len(), 8);
+
+        // Published metadata columns must match exactly.
+        let expected_n = [213_000, 140_000, 121_000, 78_000, 76_000, 47_000, 40_000, 28_000];
+        let expected_m = [524_288, 524_288, 262_144, 262_144, 262_144, 131_072, 131_072, 65_536];
+        let expected_ratio = [2, 2, 4, 4, 4, 8, 8, 16];
+        let expected_common = [40_000, 20_000, 19_000, 8_000, 8_000, 7_000, 6_000, 3_000];
+        for (i, row) in result.rows.iter().enumerate() {
+            assert_eq!(row.n, expected_n[i], "n at column {i}");
+            assert_eq!(row.m, expected_m[i], "m at column {i}");
+            assert_eq!(row.m_ratio, expected_ratio[i], "ratio at column {i}");
+            assert_eq!(row.n_common, expected_common[i], "n'' at column {i}");
+            // Errors are small even at 3 runs; the paper's worst cell is ~0.1.
+            for (&err, &t) in row.rel_err_by_t.iter().zip(&config.t_values) {
+                assert!(err < 0.35, "node {} t={t}: error {err}", row.node);
+            }
+        }
+        // The same-size baseline degrades with the size ratio: the last
+        // column (ratio 16) must be far worse than the first (ratio 2).
+        let first = &result.rows[0];
+        let last = &result.rows[7];
+        assert!(
+            last.rel_err_same_size > 5.0 * first.rel_err_same_size,
+            "baseline: ratio-16 err {} vs ratio-2 err {}",
+            last.rel_err_same_size,
+            first.rel_err_same_size
+        );
+        // And it is much worse than the proposed estimator at the same t.
+        let t5 = config.t_values.iter().position(|&t| t == 5).expect("t=5 present");
+        assert!(last.rel_err_same_size > 5.0 * last.rel_err_by_t[t5]);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let config = Table1Config {
+            runs: 1,
+            threads: 1,
+            t_values: vec![3],
+            baseline_t: 3,
+            ..Table1Config::default()
+        };
+        let result = run(&config);
+        let text = render(&result);
+        assert!(text.contains("Table I"));
+        assert!(text.contains("relative error (t = 3)"));
+        assert!(text.contains("same-size bitmaps"));
+        assert!(text.contains("451000"));
+    }
+}

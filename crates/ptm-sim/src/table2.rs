@@ -1,0 +1,238 @@
+//! Reproduces **Table II**: the probabilistic noise-to-information ratio
+//! over the `(f, s)` grid, plus the noise row `p`.
+//!
+//! The grid itself is analytic (Sec. V closed forms under the sizing rule
+//! `m' = f·n'`); the driver optionally cross-checks a cell empirically by
+//! Monte-Carlo simulation of the actual encoding process.
+
+use ptm_core::privacy::{self, PrivacyCell};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::Serialize;
+
+/// Optional Monte-Carlo cross-check settings.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct MonteCarloCheck {
+    /// Traffic volume `n'` at the checked location.
+    pub n_prime: u64,
+    /// Trials per checked cell.
+    pub trials: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MonteCarloCheck {
+    fn default() -> Self {
+        // Cost is O(n_prime x trials); these defaults keep the check at
+        // ~10^7 encode simulations while leaving sampling error well below
+        // the 4th decimal of the grid cells being checked.
+        Self { n_prime: 2_000, trials: 5_000, seed: 7 }
+    }
+}
+
+/// Configuration for the Table II reproduction.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Config {
+    /// Load factors (paper: 1, 1.5, …, 4).
+    pub load_factors: Vec<f64>,
+    /// Representative counts (paper: 2..5).
+    pub s_values: Vec<u32>,
+    /// Cross-check the analytic values against simulation.
+    pub monte_carlo: Option<MonteCarloCheck>,
+}
+
+impl Default for Table2Config {
+    fn default() -> Self {
+        Self {
+            load_factors: vec![1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0],
+            s_values: vec![2, 3, 4, 5],
+            monte_carlo: Some(MonteCarloCheck::default()),
+        }
+    }
+}
+
+/// A Monte-Carlo cross-check outcome for one `(f, s)` cell.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct McOutcome {
+    /// Load factor.
+    pub load_factor: f64,
+    /// Representative count.
+    pub s: u32,
+    /// Analytic ratio.
+    pub analytic_ratio: f64,
+    /// Empirical ratio from simulated encodings.
+    pub empirical_ratio: f64,
+    /// Analytic noise `p`.
+    pub analytic_noise: f64,
+    /// Empirical noise.
+    pub empirical_noise: f64,
+}
+
+/// The full Table II result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Result {
+    /// Configuration echo.
+    pub config: Table2Config,
+    /// Ratio cells, grouped by `s` then `f` (paper layout).
+    pub cells: Vec<PrivacyCell>,
+    /// Monte-Carlo outcomes (diagonal cells of the grid), if requested.
+    pub monte_carlo: Vec<McOutcome>,
+}
+
+/// Runs the reproduction.
+pub fn run(config: &Table2Config) -> Table2Result {
+    let cells = privacy::privacy_table(&config.load_factors, &config.s_values);
+    let monte_carlo = config
+        .monte_carlo
+        .map(|mc| {
+            let mut rng = ChaCha12Rng::seed_from_u64(mc.seed);
+            // Check the paper's recommended cell plus the grid corners.
+            let mut targets = vec![(2.0, 3u32)];
+            if let (Some(&f_lo), Some(&f_hi)) =
+                (config.load_factors.first(), config.load_factors.last())
+            {
+                if let (Some(&s_lo), Some(&s_hi)) = (config.s_values.first(), config.s_values.last())
+                {
+                    targets.push((f_lo, s_lo));
+                    targets.push((f_hi, s_hi));
+                }
+            }
+            targets
+                .into_iter()
+                .map(|(f, s)| {
+                    let m_prime = (mc.n_prime as f64 * f).round() as usize;
+                    let (p_hat, p_prime_hat) = privacy::simulate_noise_information(
+                        &mut rng, mc.n_prime, m_prime, s, mc.trials,
+                    );
+                    let info = (p_prime_hat - p_hat).max(1e-9);
+                    McOutcome {
+                        load_factor: f,
+                        s,
+                        analytic_ratio: privacy::asymptotic_ratio(f, s),
+                        empirical_ratio: p_hat / info,
+                        analytic_noise: privacy::asymptotic_noise(f),
+                        empirical_noise: p_hat,
+                    }
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    Table2Result { config: config.clone(), cells, monte_carlo }
+}
+
+/// Renders the paper-layout grid (rows `s`, columns `f`, final row `p`).
+pub fn render(result: &Table2Result) -> String {
+    use ptm_report::table::fmt_f64;
+    let mut header = vec!["s \\ f".to_owned()];
+    header.extend(result.config.load_factors.iter().map(|f| format!("f = {f}")));
+    let mut table = ptm_report::TextTable::new(header);
+    for &s in &result.config.s_values {
+        let mut row = vec![format!("s = {s}")];
+        for &f in &result.config.load_factors {
+            let cell = result
+                .cells
+                .iter()
+                .find(|c| c.s == s && (c.load_factor - f).abs() < 1e-9)
+                .expect("cell generated for every (f, s)");
+            row.push(fmt_f64(cell.ratio, 4));
+        }
+        table.add_row(row);
+    }
+    let mut noise_row = vec!["p".to_owned()];
+    for &f in &result.config.load_factors {
+        noise_row.push(fmt_f64(ptm_core::privacy::asymptotic_noise(f), 4));
+    }
+    table.add_row(noise_row);
+
+    let mut out = format!(
+        "Table II: probabilistic noise-to-information ratio and noise p\n{}",
+        table.render()
+    );
+    if !result.monte_carlo.is_empty() {
+        out.push_str("\nMonte-Carlo cross-check (simulated encodings):\n");
+        let mut mc_table = ptm_report::TextTable::new(vec![
+            "cell".into(),
+            "ratio (analytic)".into(),
+            "ratio (simulated)".into(),
+            "p (analytic)".into(),
+            "p (simulated)".into(),
+        ]);
+        for mc in &result.monte_carlo {
+            mc_table.add_row(vec![
+                format!("f = {}, s = {}", mc.load_factor, mc.s),
+                fmt_f64(mc.analytic_ratio, 4),
+                fmt_f64(mc.empirical_ratio, 4),
+                fmt_f64(mc.analytic_noise, 4),
+                fmt_f64(mc.empirical_noise, 4),
+            ]);
+        }
+        out.push_str(&mc_table.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_matches_published_values() {
+        let result = run(&Table2Config { monte_carlo: None, ..Table2Config::default() });
+        assert_eq!(result.cells.len(), 28);
+        // The paper's published grid, rows s = 2..5, columns f = 1..4.
+        #[rustfmt::skip]
+        let published: [[f64; 7]; 4] = [
+            [3.4368, 1.8956, 1.2975, 0.9837, 0.7912, 0.6614, 0.5681],
+            [5.1553, 2.8433, 1.9462, 1.4755, 1.1869, 0.9922, 0.8520],
+            [6.8737, 3.7911, 2.5950, 1.9673, 1.5825, 1.3229, 1.1361],
+            [8.5921, 4.7389, 3.2437, 2.4592, 1.9781, 1.6536, 1.4201],
+        ];
+        for (si, row) in published.iter().enumerate() {
+            for (fi, &expected) in row.iter().enumerate() {
+                let cell = &result.cells[si * 7 + fi];
+                let rel = (cell.ratio - expected).abs() / expected;
+                assert!(
+                    rel < 3e-4,
+                    "s = {}, f = {}: computed {} vs paper {}",
+                    cell.s,
+                    cell.load_factor,
+                    cell.ratio,
+                    expected
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monte_carlo_confirms_analytics() {
+        let result = run(&Table2Config {
+            monte_carlo: Some(MonteCarloCheck { n_prime: 4_000, trials: 10_000, seed: 3 }),
+            ..Table2Config::default()
+        });
+        assert_eq!(result.monte_carlo.len(), 3);
+        for mc in &result.monte_carlo {
+            let ratio_rel = (mc.empirical_ratio - mc.analytic_ratio).abs() / mc.analytic_ratio;
+            assert!(
+                ratio_rel < 0.1,
+                "cell f={} s={}: simulated ratio {} vs analytic {}",
+                mc.load_factor,
+                mc.s,
+                mc.empirical_ratio,
+                mc.analytic_ratio
+            );
+            assert!((mc.empirical_noise - mc.analytic_noise).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn render_layout() {
+        let result = run(&Table2Config::default());
+        let text = render(&result);
+        assert!(text.contains("Table II"));
+        assert!(text.contains("s = 2"));
+        assert!(text.contains("f = 4"));
+        assert!(text.contains("1.9462")); // the paper's recommended cell
+        assert!(text.contains("0.3935")); // p at f = 2
+        assert!(text.contains("Monte-Carlo"));
+    }
+}

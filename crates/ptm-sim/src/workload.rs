@@ -1,0 +1,344 @@
+//! Builds traffic records from scenarios: the bridge between the workload
+//! generators in `ptm-traffic` and the estimators in `ptm-core`.
+
+use ptm_core::encoding::{EncodingScheme, LocationId};
+use ptm_core::params::{BitmapSize, SystemParams};
+use ptm_core::record::{PeriodId, TrafficRecord};
+use ptm_traffic::generate::{fill_transients, CommonFleet, P2pScenario, PointScenario};
+use rand::Rng;
+
+use crate::stats::mean;
+
+/// Record sets for one point-to-point run.
+#[derive(Debug, Clone)]
+pub struct P2pRecords {
+    /// Per-period records at `L`.
+    pub records_l: Vec<TrafficRecord>,
+    /// Per-period records at `L'`.
+    pub records_lp: Vec<TrafficRecord>,
+}
+
+/// Bitmap size per the paper's rule (Eq. 2): the "expected traffic volume"
+/// is the historical average — modelled as the mean of the scenario's
+/// per-period volumes.
+pub fn sizing(params: &SystemParams, volumes: &[u64]) -> BitmapSize {
+    let avg = mean(&volumes.iter().map(|&v| v as f64).collect::<Vec<_>>());
+    params.bitmap_size(avg)
+}
+
+/// How per-period record sizes are chosen for a location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SizingPolicy {
+    /// Eq. (2) applied per period with that period's expected volume — the
+    /// paper's Fig. 3 scenario, where one location's records differ in size
+    /// across periods. Kept as an ablation: cross-size replication
+    /// correlations add a small positive bias to the point estimator.
+    PerPeriod,
+    /// Eq. (2) applied once with the campaign-average volume: all of a
+    /// location's records share one size. Default — unbiased.
+    #[default]
+    CampaignMean,
+}
+
+/// Builds the `t` records of a single-location scenario.
+///
+/// Persistent vehicles run through the real encoding chain (their bit is
+/// identical across periods *modulo each record's size*, which is the
+/// signal the estimator extracts); transients use the documented
+/// uniform-bit shortcut.
+///
+/// # Panics
+///
+/// Panics if any period volume is below the persistent core.
+pub fn build_point_records<R: Rng + ?Sized>(
+    scheme: &EncodingScheme,
+    params: &SystemParams,
+    scenario: &PointScenario,
+    location: LocationId,
+    rng: &mut R,
+) -> Vec<TrafficRecord> {
+    build_point_records_with(scheme, params, scenario, location, SizingPolicy::default(), rng)
+}
+
+/// [`build_point_records`] with an explicit sizing policy.
+///
+/// # Panics
+///
+/// Panics if any period volume is below the persistent core.
+pub fn build_point_records_with<R: Rng + ?Sized>(
+    scheme: &EncodingScheme,
+    params: &SystemParams,
+    scenario: &PointScenario,
+    location: LocationId,
+    policy: SizingPolicy,
+    rng: &mut R,
+) -> Vec<TrafficRecord> {
+    let campaign_size = sizing(params, &scenario.volumes);
+    let fleet = CommonFleet::generate(rng, scenario.persistent, scheme.num_representatives());
+    // Precompute the full-width indices once; reducing modulo each record's
+    // size preserves the power-of-two consistency (Sec. II-D).
+    let max_size = scenario
+        .volumes
+        .iter()
+        .map(|&v| params.bitmap_size(v as f64))
+        .max()
+        .unwrap_or(campaign_size)
+        .max(campaign_size);
+    let wide_indices = fleet.indices_at(scheme, location, max_size.get());
+    scenario
+        .volumes
+        .iter()
+        .enumerate()
+        .map(|(j, &volume)| {
+            let m = match policy {
+                SizingPolicy::PerPeriod => params.bitmap_size(volume as f64),
+                SizingPolicy::CampaignMean => campaign_size,
+            };
+            let mut record = TrafficRecord::new(location, PeriodId::new(j as u32), m);
+            for &idx in &wide_indices {
+                record.set_reported_index(idx % m.get());
+            }
+            let transients = volume
+                .checked_sub(scenario.persistent)
+                .expect("period volume below persistent core");
+            fill_transients(&mut record, transients, rng);
+            record
+        })
+        .collect()
+}
+
+/// Builds the two record sets of a point-to-point scenario.
+///
+/// `lp_size_override` forces the `L'` bitmap size — used by the paper's
+/// *same-size bitmaps* baseline (Table I last row), which sets `m' = m`
+/// instead of sizing `L'` for its own volume.
+///
+/// # Panics
+///
+/// Panics if any period volume is below the persistent core.
+pub fn build_p2p_records<R: Rng + ?Sized>(
+    scheme: &EncodingScheme,
+    params: &SystemParams,
+    scenario: &P2pScenario,
+    location_l: LocationId,
+    location_lp: LocationId,
+    lp_size_override: Option<BitmapSize>,
+    rng: &mut R,
+) -> P2pRecords {
+    build_p2p_records_with(
+        scheme,
+        params,
+        scenario,
+        location_l,
+        location_lp,
+        lp_size_override,
+        SizingPolicy::default(),
+        rng,
+    )
+}
+
+/// [`build_p2p_records`] with an explicit sizing policy.
+///
+/// # Panics
+///
+/// Panics if any period volume is below the persistent core.
+#[allow(clippy::too_many_arguments)]
+pub fn build_p2p_records_with<R: Rng + ?Sized>(
+    scheme: &EncodingScheme,
+    params: &SystemParams,
+    scenario: &P2pScenario,
+    location_l: LocationId,
+    location_lp: LocationId,
+    lp_size_override: Option<BitmapSize>,
+    policy: SizingPolicy,
+    rng: &mut R,
+) -> P2pRecords {
+    let size_of = |volumes: &[u64], j: usize, campaign: BitmapSize| match policy {
+        SizingPolicy::PerPeriod => params.bitmap_size(volumes[j] as f64),
+        SizingPolicy::CampaignMean => campaign,
+    };
+    let campaign_l = sizing(params, &scenario.volumes_l);
+    let campaign_lp = lp_size_override.unwrap_or_else(|| sizing(params, &scenario.volumes_lp));
+    let max_l = (0..scenario.num_periods())
+        .map(|j| size_of(&scenario.volumes_l, j, campaign_l))
+        .max()
+        .expect("at least one period");
+    let max_lp = if lp_size_override.is_some() {
+        campaign_lp
+    } else {
+        (0..scenario.num_periods())
+            .map(|j| size_of(&scenario.volumes_lp, j, campaign_lp))
+            .max()
+            .expect("at least one period")
+    };
+    let fleet = CommonFleet::generate(rng, scenario.persistent, scheme.num_representatives());
+    let idx_l = fleet.indices_at(scheme, location_l, max_l.get());
+    let idx_lp = fleet.indices_at(scheme, location_lp, max_lp.get());
+
+    let t = scenario.num_periods();
+    let mut records_l = Vec::with_capacity(t);
+    let mut records_lp = Vec::with_capacity(t);
+    for j in 0..t {
+        let m_l = size_of(&scenario.volumes_l, j, campaign_l);
+        let mut rl = TrafficRecord::new(location_l, PeriodId::new(j as u32), m_l);
+        for &idx in &idx_l {
+            rl.set_reported_index(idx % m_l.get());
+        }
+        fill_transients(&mut rl, scenario.transients_l(j), rng);
+        records_l.push(rl);
+
+        let m_lp = if lp_size_override.is_some() {
+            campaign_lp
+        } else {
+            size_of(&scenario.volumes_lp, j, campaign_lp)
+        };
+        let mut rlp = TrafficRecord::new(location_lp, PeriodId::new(j as u32), m_lp);
+        for &idx in &idx_lp {
+            rlp.set_reported_index(idx % m_lp.get());
+        }
+        fill_transients(&mut rlp, scenario.transients_lp(j), rng);
+        records_lp.push(rlp);
+    }
+    P2pRecords { records_l, records_lp }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptm_core::point::PointEstimator;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn sizing_uses_mean_volume() {
+        let params = SystemParams::paper_default();
+        // mean 6000 * f 2 = 12000 -> 16384.
+        assert_eq!(sizing(&params, &[4000, 8000]).get(), 16_384);
+        // Table I row: constant volume 213000 * 2 -> 524288.
+        assert_eq!(sizing(&params, &[213_000; 5]).get(), 524_288);
+    }
+
+    #[test]
+    fn point_records_have_scenario_shape() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let scheme = EncodingScheme::new(5, 3);
+        let params = SystemParams::paper_default();
+        let scenario = PointScenario { volumes: vec![3000, 4000, 5000], persistent: 500 };
+        let records =
+            build_point_records(&scheme, &params, &scenario, LocationId::new(1), &mut rng);
+        assert_eq!(records.len(), 3);
+        // Default campaign-mean sizing: mean 4000 x f 2 = 8000 -> 8192.
+        for (j, r) in records.iter().enumerate() {
+            assert_eq!(r.period(), PeriodId::new(j as u32));
+            assert_eq!(r.location(), LocationId::new(1));
+            assert_eq!(r.len(), 8192, "period {j}");
+            // Ones are at most the vehicle count (collisions only reduce).
+            assert!(r.bitmap().count_ones() <= scenario.volumes[j] as usize);
+            // And at least half of it at this load (sanity).
+            assert!(r.bitmap().count_ones() >= scenario.volumes[j] as usize / 2);
+        }
+    }
+
+    #[test]
+    fn per_period_policy_varies_sizes() {
+        let mut rng = ChaCha12Rng::seed_from_u64(9);
+        let scheme = EncodingScheme::new(5, 3);
+        let params = SystemParams::paper_default();
+        let scenario = PointScenario { volumes: vec![3000, 4000, 5000], persistent: 500 };
+        let records = build_point_records_with(
+            &scheme,
+            &params,
+            &scenario,
+            LocationId::new(1),
+            SizingPolicy::PerPeriod,
+            &mut rng,
+        );
+        assert_eq!(
+            records.iter().map(|r| r.len()).collect::<Vec<_>>(),
+            vec![8192, 8192, 16384]
+        );
+    }
+
+    #[test]
+    fn per_period_commons_consistent_across_sizes() {
+        // A common vehicle's bit in a small record must be its large-record
+        // bit reduced modulo the smaller size (what the AND-join relies on).
+        let mut rng = ChaCha12Rng::seed_from_u64(10);
+        let scheme = EncodingScheme::new(6, 3);
+        let params = SystemParams::paper_default();
+        let scenario = PointScenario { volumes: vec![3000, 9000], persistent: 50 };
+        let records = build_point_records_with(
+            &scheme,
+            &params,
+            &scenario,
+            LocationId::new(3),
+            SizingPolicy::PerPeriod,
+            &mut rng,
+        );
+        let (small, large) = (&records[0], &records[1]);
+        assert!(small.len() < large.len());
+        // Every bit of the small record's expansion that came from a common
+        // vehicle is covered: AND of expanded small with large keeps >= 50
+        // ones (the commons), minus collisions.
+        let expanded = small.bitmap().expand_to(large.len()).expect("pow2");
+        let mut joined = expanded.clone();
+        joined.and_assign(large.bitmap()).expect("same size");
+        assert!(joined.count_ones() >= 40, "commons must survive the join");
+    }
+
+    #[test]
+    fn point_records_estimate_close_to_truth() {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let scheme = EncodingScheme::new(6, 3);
+        let params = SystemParams::paper_default();
+        let scenario = PointScenario { volumes: vec![8000; 5], persistent: 2000 };
+        let records =
+            build_point_records(&scheme, &params, &scenario, LocationId::new(2), &mut rng);
+        let est = PointEstimator::new().estimate(&records).expect("estimate");
+        assert!((est - 2000.0).abs() / 2000.0 < 0.1, "estimate {est}");
+    }
+
+    #[test]
+    fn p2p_records_respect_override() {
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let scheme = EncodingScheme::new(7, 3);
+        let params = SystemParams::paper_default();
+        let scenario = P2pScenario {
+            volumes_l: vec![4000; 3],
+            volumes_lp: vec![16_000; 3],
+            persistent: 300,
+        };
+        let natural = build_p2p_records(
+            &scheme,
+            &params,
+            &scenario,
+            LocationId::new(1),
+            LocationId::new(2),
+            None,
+            &mut rng,
+        );
+        assert_eq!(natural.records_l[0].len(), 8192);
+        assert_eq!(natural.records_lp[0].len(), 32_768);
+
+        let same_size = build_p2p_records(
+            &scheme,
+            &params,
+            &scenario,
+            LocationId::new(1),
+            LocationId::new(2),
+            Some(BitmapSize::new(8192).expect("pow2")),
+            &mut rng,
+        );
+        assert_eq!(same_size.records_lp[0].len(), 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "below persistent core")]
+    fn oversized_core_panics() {
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        let scheme = EncodingScheme::new(8, 3);
+        let params = SystemParams::paper_default();
+        let scenario = PointScenario { volumes: vec![100], persistent: 500 };
+        let _ = build_point_records(&scheme, &params, &scenario, LocationId::new(1), &mut rng);
+    }
+}

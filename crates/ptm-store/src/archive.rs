@@ -1,0 +1,387 @@
+//! The append-only record archive.
+//!
+//! File layout:
+//!
+//! ```text
+//! header:  "PTMA" (4) | version u16 = 1 | reserved u16
+//! frame:   payload length u32 | crc32(payload) u32 | payload bytes
+//! ```
+//!
+//! Recovery semantics distinguish two failure shapes:
+//!
+//! * a **torn tail** — the process died mid-append; the final frame is
+//!   incomplete. Recovery keeps everything before it and reports the number
+//!   of truncated bytes.
+//! * **mid-file corruption** — a checksum fails with complete frames after
+//!   it; that is media damage, surfaced as [`StoreError::CorruptFrame`]
+//!   rather than silently dropped.
+
+use crate::codec::{decode_record, encode_record, StoreError};
+use crate::crc32::crc32;
+use ptm_core::record::TrafficRecord;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: [u8; 4] = *b"PTMA";
+const VERSION: u16 = 1;
+/// Upper bound on a single frame payload (largest sane record is a 2^26-bit
+/// bitmap = 8 MiB).
+const MAX_PAYLOAD: u32 = 32 * 1024 * 1024;
+
+/// An open archive, ready for appends.
+#[derive(Debug)]
+pub struct Archive {
+    path: PathBuf,
+    writer: BufWriter<File>,
+}
+
+/// The result of opening an existing archive file.
+#[derive(Debug)]
+pub struct RecoveredArchive {
+    /// The archive, positioned for further appends.
+    pub archive: Archive,
+    /// Records recovered from intact frames.
+    pub records: Vec<TrafficRecord>,
+    /// Bytes discarded from a torn final frame (0 for a clean shutdown).
+    pub torn_bytes: u64,
+}
+
+impl Archive {
+    /// Creates a new, empty archive (truncating any existing file).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::create(&path)?;
+        file.write_all(&MAGIC)?;
+        file.write_all(&VERSION.to_le_bytes())?;
+        file.write_all(&0u16.to_le_bytes())?;
+        file.flush()?;
+        Ok(Self { path, writer: BufWriter::new(file) })
+    }
+
+    /// Opens an existing archive, validating every frame and recovering
+    /// from a torn tail.
+    ///
+    /// # Errors
+    ///
+    /// * [`StoreError::BadHeader`] if the file is not a v1 archive;
+    /// * [`StoreError::CorruptFrame`] on mid-file checksum failure;
+    /// * I/O failures.
+    pub fn open(path: impl AsRef<Path>) -> Result<RecoveredArchive, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)?;
+        let file_len = file.metadata()?.len();
+        let mut reader = BufReader::new(file);
+
+        let mut header = [0u8; 8];
+        reader.read_exact(&mut header).map_err(|_| StoreError::BadHeader)?;
+        if header[0..4] != MAGIC
+            || u16::from_le_bytes(header[4..6].try_into().expect("2 bytes")) != VERSION
+        {
+            return Err(StoreError::BadHeader);
+        }
+
+        let mut records = Vec::new();
+        let mut offset = 8u64;
+        let mut torn_bytes = 0u64;
+        loop {
+            let mut frame_header = [0u8; 8];
+            match read_exact_or_eof(&mut reader, &mut frame_header)? {
+                ReadOutcome::Eof => break,
+                ReadOutcome::Partial(n) => {
+                    torn_bytes = file_len - offset;
+                    debug_assert!(n < 8);
+                    break;
+                }
+                ReadOutcome::Full => {}
+            }
+            let len = u32::from_le_bytes(frame_header[0..4].try_into().expect("4 bytes"));
+            let expected_crc = u32::from_le_bytes(frame_header[4..8].try_into().expect("4 bytes"));
+            if len > MAX_PAYLOAD {
+                // An absurd length is corruption of the header itself.
+                return Err(StoreError::CorruptFrame { offset });
+            }
+            let mut payload = vec![0u8; len as usize];
+            match read_exact_or_eof(&mut reader, &mut payload)? {
+                ReadOutcome::Full => {}
+                ReadOutcome::Eof | ReadOutcome::Partial(_) => {
+                    torn_bytes = file_len - offset;
+                    break;
+                }
+            }
+            if crc32(&payload) != expected_crc {
+                // Distinguish a torn tail (nothing after this frame) from
+                // mid-file damage: if this frame reaches EOF exactly, treat
+                // it as torn; otherwise it is corruption.
+                let frame_end = offset + 8 + len as u64;
+                if frame_end >= file_len {
+                    torn_bytes = file_len - offset;
+                    break;
+                }
+                return Err(StoreError::CorruptFrame { offset });
+            }
+            records.push(decode_record(&payload)?);
+            offset += 8 + len as u64;
+        }
+
+        // Truncate any torn tail so future appends start on a clean frame
+        // boundary.
+        let file = OpenOptions::new().write(true).open(&path)?;
+        file.set_len(offset)?;
+        let mut file = OpenOptions::new().append(true).open(&path)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(RecoveredArchive {
+            archive: Self { path, writer: BufWriter::new(file) },
+            records,
+            torn_bytes,
+        })
+    }
+
+    /// The file this archive writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends a record frame.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn append(&mut self, record: &TrafficRecord) -> Result<(), StoreError> {
+        let payload = encode_record(record);
+        self.writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&crc32(&payload).to_le_bytes())?;
+        self.writer.write_all(&payload)?;
+        Ok(())
+    }
+
+    /// Flushes buffered frames to the OS.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Flushes and fsyncs (durability point).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_all()?;
+        Ok(())
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    Partial(usize),
+    Eof,
+}
+
+fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<ReadOutcome, StoreError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        let n = reader.read(&mut buf[filled..])?;
+        if n == 0 {
+            return Ok(if filled == 0 { ReadOutcome::Eof } else { ReadOutcome::Partial(filled) });
+        }
+        filled += n;
+    }
+    Ok(ReadOutcome::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptm_core::encoding::{EncodingScheme, LocationId, VehicleSecrets};
+    use ptm_core::params::BitmapSize;
+    use ptm_core::record::PeriodId;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ptm-store-test-{}-{name}", std::process::id()));
+        path
+    }
+
+    fn sample_records(count: u32) -> Vec<TrafficRecord> {
+        let scheme = EncodingScheme::new(9, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        (0..count)
+            .map(|p| {
+                let mut record = TrafficRecord::new(
+                    LocationId::new(7),
+                    PeriodId::new(p),
+                    BitmapSize::new(1024).expect("pow2"),
+                );
+                for _ in 0..200 {
+                    let v = VehicleSecrets::generate(&mut rng, 3);
+                    record.encode(&scheme, &v);
+                }
+                record
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_then_recover_roundtrip() {
+        let path = temp_path("roundtrip");
+        let records = sample_records(5);
+        {
+            let mut archive = Archive::create(&path).expect("create");
+            for record in &records {
+                archive.append(record).expect("append");
+            }
+            archive.sync().expect("sync");
+        }
+        let recovered = Archive::open(&path).expect("open");
+        assert_eq!(recovered.records, records);
+        assert_eq!(recovered.torn_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_after_recovery() {
+        let path = temp_path("append-after");
+        let records = sample_records(4);
+        {
+            let mut archive = Archive::create(&path).expect("create");
+            for record in &records[..2] {
+                archive.append(record).expect("append");
+            }
+            archive.sync().expect("sync");
+        }
+        {
+            let mut recovered = Archive::open(&path).expect("open");
+            assert_eq!(recovered.records.len(), 2);
+            for record in &records[2..] {
+                recovered.archive.append(record).expect("append");
+            }
+            recovered.archive.sync().expect("sync");
+        }
+        let all = Archive::open(&path).expect("reopen");
+        assert_eq!(all.records, records);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_recovered() {
+        let path = temp_path("torn");
+        let records = sample_records(3);
+        {
+            let mut archive = Archive::create(&path).expect("create");
+            for record in &records {
+                archive.append(record).expect("append");
+            }
+            archive.sync().expect("sync");
+        }
+        // Chop 10 bytes off the final frame (simulated crash mid-write).
+        let len = std::fs::metadata(&path).expect("meta").len();
+        let file = OpenOptions::new().write(true).open(&path).expect("open rw");
+        file.set_len(len - 10).expect("truncate");
+        drop(file);
+
+        let recovered = Archive::open(&path).expect("open survives torn tail");
+        assert_eq!(recovered.records, records[..2].to_vec());
+        assert!(recovered.torn_bytes > 0);
+        // The file is now clean: reopening reports no tear.
+        drop(recovered);
+        let clean = Archive::open(&path).expect("reopen");
+        assert_eq!(clean.torn_bytes, 0);
+        assert_eq!(clean.records.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error_not_a_skip() {
+        let path = temp_path("corrupt");
+        let records = sample_records(3);
+        {
+            let mut archive = Archive::create(&path).expect("create");
+            for record in &records {
+                archive.append(record).expect("append");
+            }
+            archive.sync().expect("sync");
+        }
+        // Flip a payload byte in the FIRST frame (complete frames follow).
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[30] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("write");
+        match Archive::open(&path) {
+            Err(StoreError::CorruptFrame { offset }) => assert_eq!(offset, 8),
+            other => panic!("expected CorruptFrame, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"NOTANARCHIVE").expect("write");
+        assert!(matches!(Archive::open(&path), Err(StoreError::BadHeader)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_archive_roundtrip() {
+        let path = temp_path("empty");
+        {
+            Archive::create(&path).expect("create");
+        }
+        let recovered = Archive::open(&path).expect("open");
+        assert!(recovered.records.is_empty());
+        assert_eq!(recovered.torn_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn estimates_survive_persistence() {
+        // Archive a whole campaign, reload it, and estimate from the
+        // reloaded records: byte-identical behaviour.
+        let path = temp_path("estimate");
+        let scheme = EncodingScheme::new(11, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let commons: Vec<VehicleSecrets> =
+            (0..300).map(|_| VehicleSecrets::generate(&mut rng, 3)).collect();
+        let mut originals = Vec::new();
+        {
+            let mut archive = Archive::create(&path).expect("create");
+            for p in 0..5u32 {
+                let mut record = TrafficRecord::new(
+                    LocationId::new(3),
+                    PeriodId::new(p),
+                    BitmapSize::new(4096).expect("pow2"),
+                );
+                for v in &commons {
+                    record.encode(&scheme, v);
+                }
+                for _ in 0..1500 {
+                    let v = VehicleSecrets::generate(&mut rng, 3);
+                    record.encode(&scheme, &v);
+                }
+                archive.append(&record).expect("append");
+                originals.push(record);
+            }
+            archive.sync().expect("sync");
+        }
+        let recovered = Archive::open(&path).expect("open");
+        let from_disk = ptm_core::point::PointEstimator::new()
+            .estimate(&recovered.records)
+            .expect("estimate");
+        let from_memory = ptm_core::point::PointEstimator::new()
+            .estimate(&originals)
+            .expect("estimate");
+        assert_eq!(from_disk, from_memory);
+        std::fs::remove_file(&path).ok();
+    }
+}

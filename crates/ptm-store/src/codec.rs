@@ -1,0 +1,159 @@
+//! Binary encoding of traffic records (version 1).
+//!
+//! ```text
+//! u64 location | u32 period | u64 bitmap length (bits) | packed bitmap bytes
+//! ```
+//!
+//! All integers little-endian. The bitmap bytes use
+//! [`ptm_core::Bitmap::to_bytes`]'s stable layout.
+
+use ptm_core::bitmap::Bitmap;
+use ptm_core::encoding::LocationId;
+use ptm_core::params::BitmapSize;
+use ptm_core::record::{PeriodId, TrafficRecord};
+
+/// Storage-layer errors.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A frame failed its CRC check at the given byte offset.
+    CorruptFrame {
+        /// Byte offset of the frame header in the file.
+        offset: u64,
+    },
+    /// The record payload inside a (checksum-valid) frame is malformed.
+    MalformedRecord {
+        /// Why the payload could not be decoded.
+        reason: String,
+    },
+    /// The file does not start with the archive magic/version.
+    BadHeader,
+    /// A record size in the payload is not a power of two.
+    BadBitmapSize(usize),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(err) => write!(f, "archive i/o error: {err}"),
+            Self::CorruptFrame { offset } => write!(f, "corrupt frame at offset {offset}"),
+            Self::MalformedRecord { reason } => write!(f, "malformed record: {reason}"),
+            Self::BadHeader => write!(f, "not a ptm archive (bad magic or version)"),
+            Self::BadBitmapSize(size) => write!(f, "bitmap size {size} is not a power of two"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(err: std::io::Error) -> Self {
+        Self::Io(err)
+    }
+}
+
+/// Encodes a record payload (no framing).
+pub fn encode_record(record: &TrafficRecord) -> Vec<u8> {
+    let bitmap_bytes = record.bitmap().to_bytes();
+    let mut out = Vec::with_capacity(20 + bitmap_bytes.len());
+    out.extend_from_slice(&record.location().get().to_le_bytes());
+    out.extend_from_slice(&record.period().get().to_le_bytes());
+    out.extend_from_slice(&(record.len() as u64).to_le_bytes());
+    out.extend_from_slice(&bitmap_bytes);
+    out
+}
+
+/// Decodes a record payload.
+///
+/// # Errors
+///
+/// [`StoreError::MalformedRecord`] for truncated or inconsistent payloads;
+/// [`StoreError::BadBitmapSize`] for non-power-of-two record sizes.
+pub fn decode_record(payload: &[u8]) -> Result<TrafficRecord, StoreError> {
+    if payload.len() < 20 {
+        return Err(StoreError::MalformedRecord { reason: format!("{} byte payload", payload.len()) });
+    }
+    let location = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
+    let period = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes"));
+    let len = u64::from_le_bytes(payload[12..20].try_into().expect("8 bytes")) as usize;
+    let size = BitmapSize::new(len).map_err(StoreError::BadBitmapSize)?;
+    let expected_bytes = len.div_ceil(8);
+    let rest = &payload[20..];
+    if rest.len() != expected_bytes {
+        return Err(StoreError::MalformedRecord {
+            reason: format!("bitmap needs {expected_bytes} bytes, found {}", rest.len()),
+        });
+    }
+    let bitmap = Bitmap::from_bytes(len, rest).map_err(|err| StoreError::MalformedRecord {
+        reason: format!("bitmap rejected: {err}"),
+    })?;
+    let mut record = TrafficRecord::new(LocationId::new(location), PeriodId::new(period), size);
+    for idx in bitmap.iter_ones() {
+        record.set_reported_index(idx);
+    }
+    Ok(record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptm_core::encoding::{EncodingScheme, VehicleSecrets};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample_record(seed: u64) -> TrafficRecord {
+        let scheme = EncodingScheme::new(seed, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut record = TrafficRecord::new(
+            LocationId::new(12),
+            PeriodId::new(3),
+            BitmapSize::new(2048).expect("pow2"),
+        );
+        for _ in 0..500 {
+            let v = VehicleSecrets::generate(&mut rng, 3);
+            record.encode(&scheme, &v);
+        }
+        record
+    }
+
+    #[test]
+    fn roundtrip() {
+        let record = sample_record(1);
+        let bytes = encode_record(&record);
+        let back = decode_record(&bytes).expect("roundtrip");
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let record = sample_record(2);
+        let bytes = encode_record(&record);
+        for cut in [0usize, 10, 19, bytes.len() - 1] {
+            assert!(decode_record(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_size_rejected() {
+        let record = sample_record(3);
+        let mut bytes = encode_record(&record);
+        bytes[12..20].copy_from_slice(&1000u64.to_le_bytes());
+        assert!(matches!(decode_record(&bytes), Err(StoreError::BadBitmapSize(1000))));
+    }
+
+    #[test]
+    fn error_display() {
+        let err = StoreError::CorruptFrame { offset: 42 };
+        assert!(err.to_string().contains("42"));
+        let err = StoreError::BadHeader;
+        assert!(err.to_string().contains("magic"));
+    }
+}

@@ -1,0 +1,110 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+//!
+//! Implemented from scratch like the rest of the substrates; validated
+//! against the standard check value (`crc32("123456789") = 0xCBF43926`).
+
+/// Reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Computes the CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Incremental CRC-32 for multi-part frames.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Starts a new checksum.
+    pub fn new() -> Self {
+        Self { state: !0u32 }
+    }
+
+    /// Absorbs bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        for &byte in data {
+            self.state = (self.state >> 8) ^ TABLE[((self.state ^ byte as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// Finishes and returns the checksum.
+    pub fn finalize(self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"abc"), 0x3524_41C2);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"split into several pieces for the incremental api";
+        for cut in 0..data.len() {
+            let mut crc = Crc32::new();
+            crc.update(&data[..cut]);
+            crc.update(&data[cut..]);
+            assert_eq!(crc.finalize(), crc32(data), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let data = vec![0x5Au8; 64];
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            let mut corrupted = data.clone();
+            corrupted[i] ^= 1;
+            assert_ne!(crc32(&corrupted), base, "flip at byte {i} undetected");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Durable storage for traffic records.
+//!
+//! The paper's central server accumulates one record per RSU per period
+//! indefinitely ("at a later time, other people … may gain access to the
+//! records", Sec. II-B — i.e. records outlive the collection process). This
+//! crate provides the archive that makes that real:
+//!
+//! * [`codec`] — a compact, versioned binary encoding of
+//!   [`ptm_core::record::TrafficRecord`];
+//! * [`crc32`] — a from-scratch CRC-32 (IEEE) for frame integrity;
+//! * [`archive`] — an append-only log file with per-frame checksums,
+//!   streaming reads, and crash-tolerant recovery (a torn final frame is
+//!   detected and ignored; mid-file corruption is reported, not silently
+//!   skipped).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod archive;
+pub mod codec;
+pub mod crc32;
+
+pub use archive::{Archive, RecoveredArchive};
+pub use codec::StoreError;

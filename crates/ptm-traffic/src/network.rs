@@ -1,0 +1,323 @@
+//! A directed road network graph with shortest-path routing.
+//!
+//! RSUs sit at network nodes ("locations of interest, such as street
+//! intersections", paper Sec. II-A); trips route between nodes along
+//! shortest free-flow-time paths, which determines which RSUs a vehicle
+//! passes in the event-driven simulation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+
+/// A node (intersection) in the road network. Indices are zero-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Wraps a zero-based node index.
+    pub fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The zero-based index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Display 1-based, matching the transportation literature.
+        write!(f, "{}", self.0 + 1)
+    }
+}
+
+/// A directed road link with a free-flow travel time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Head node.
+    pub to: NodeId,
+    /// Free-flow travel time in minutes.
+    pub travel_time: f64,
+}
+
+/// A directed road network.
+///
+/// # Example
+///
+/// ```
+/// use ptm_traffic::network::{NodeId, RoadNetwork};
+///
+/// let mut net = RoadNetwork::new(3);
+/// net.add_bidirectional(NodeId::new(0), NodeId::new(1), 4.0);
+/// net.add_bidirectional(NodeId::new(1), NodeId::new(2), 3.0);
+/// let path = net.shortest_path(NodeId::new(0), NodeId::new(2)).expect("connected");
+/// assert_eq!(path.nodes.len(), 3);
+/// assert_eq!(path.travel_time, 7.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoadNetwork {
+    adjacency: Vec<Vec<Link>>,
+}
+
+/// A routed path: the node sequence and its total travel time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Nodes visited, origin first, destination last.
+    pub nodes: Vec<NodeId>,
+    /// Total free-flow travel time in minutes.
+    pub travel_time: f64,
+}
+
+impl RoadNetwork {
+    /// Creates a network with `num_nodes` isolated nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Self { adjacency: vec![Vec::new(); num_nodes] }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of directed links.
+    pub fn num_links(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum()
+    }
+
+    /// Adds a directed link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range or the travel time is not
+    /// positive and finite.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId, travel_time: f64) {
+        assert!(from.index() < self.num_nodes(), "from node out of range");
+        assert!(to.index() < self.num_nodes(), "to node out of range");
+        assert!(
+            travel_time.is_finite() && travel_time > 0.0,
+            "travel time must be positive"
+        );
+        self.adjacency[from.index()].push(Link { to, travel_time });
+    }
+
+    /// Adds a link in both directions with the same travel time.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`RoadNetwork::add_link`].
+    pub fn add_bidirectional(&mut self, a: NodeId, b: NodeId, travel_time: f64) {
+        self.add_link(a, b, travel_time);
+        self.add_link(b, a, travel_time);
+    }
+
+    /// Outgoing links of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range.
+    pub fn links_from(&self, node: NodeId) -> &[Link] {
+        &self.adjacency[node.index()]
+    }
+
+    /// Dijkstra shortest path by free-flow time; `None` if unreachable.
+    pub fn shortest_path(&self, from: NodeId, to: NodeId) -> Option<Path> {
+        #[derive(PartialEq)]
+        struct Entry {
+            cost: f64,
+            node: usize,
+        }
+        impl Eq for Entry {}
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Reverse for a min-heap; costs are finite by construction.
+                other.cost.partial_cmp(&self.cost).expect("finite costs")
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let n = self.num_nodes();
+        if from.index() >= n || to.index() >= n {
+            return None;
+        }
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![usize::MAX; n];
+        let mut heap = BinaryHeap::new();
+        dist[from.index()] = 0.0;
+        heap.push(Entry { cost: 0.0, node: from.index() });
+        while let Some(Entry { cost, node }) = heap.pop() {
+            if cost > dist[node] {
+                continue;
+            }
+            if node == to.index() {
+                break;
+            }
+            for link in &self.adjacency[node] {
+                let next = link.to.index();
+                let next_cost = cost + link.travel_time;
+                if next_cost < dist[next] {
+                    dist[next] = next_cost;
+                    prev[next] = node;
+                    heap.push(Entry { cost: next_cost, node: next });
+                }
+            }
+        }
+        if dist[to.index()].is_infinite() {
+            return None;
+        }
+        let mut nodes = vec![to];
+        let mut cursor = to.index();
+        while cursor != from.index() {
+            cursor = prev[cursor];
+            nodes.push(NodeId::new(cursor));
+        }
+        nodes.reverse();
+        Some(Path { nodes, travel_time: dist[to.index()] })
+    }
+
+    /// Whether every node can reach every other node.
+    pub fn is_strongly_connected(&self) -> bool {
+        let n = self.num_nodes();
+        if n == 0 {
+            return true;
+        }
+        // BFS forward and on the reverse graph from node 0.
+        let forward = self.reachable_from(0, false);
+        let backward = self.reachable_from(0, true);
+        forward.iter().all(|&r| r) && backward.iter().all(|&r| r)
+    }
+
+    fn reachable_from(&self, start: usize, reversed: bool) -> Vec<bool> {
+        let n = self.num_nodes();
+        let mut reverse_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        if reversed {
+            for (from, links) in self.adjacency.iter().enumerate() {
+                for link in links {
+                    reverse_adj[link.to.index()].push(from);
+                }
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(node) = stack.pop() {
+            let neighbors: Vec<usize> = if reversed {
+                reverse_adj[node].clone()
+            } else {
+                self.adjacency[node].iter().map(|l| l.to.index()).collect()
+            };
+            for next in neighbors {
+                if !seen[next] {
+                    seen[next] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> RoadNetwork {
+        // 0 -> 1 -> 3 costs 5; 0 -> 2 -> 3 costs 4.
+        let mut net = RoadNetwork::new(4);
+        net.add_link(NodeId::new(0), NodeId::new(1), 2.0);
+        net.add_link(NodeId::new(1), NodeId::new(3), 3.0);
+        net.add_link(NodeId::new(0), NodeId::new(2), 1.0);
+        net.add_link(NodeId::new(2), NodeId::new(3), 3.0);
+        net
+    }
+
+    #[test]
+    fn shortest_path_picks_cheaper_route() {
+        let net = diamond();
+        let path = net.shortest_path(NodeId::new(0), NodeId::new(3)).expect("path");
+        assert_eq!(path.travel_time, 4.0);
+        assert_eq!(
+            path.nodes,
+            vec![NodeId::new(0), NodeId::new(2), NodeId::new(3)]
+        );
+    }
+
+    #[test]
+    fn path_to_self_is_trivial() {
+        let net = diamond();
+        let path = net.shortest_path(NodeId::new(1), NodeId::new(1)).expect("path");
+        assert_eq!(path.travel_time, 0.0);
+        assert_eq!(path.nodes, vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut net = RoadNetwork::new(3);
+        net.add_link(NodeId::new(0), NodeId::new(1), 1.0);
+        assert!(net.shortest_path(NodeId::new(1), NodeId::new(2)).is_none());
+        assert!(net.shortest_path(NodeId::new(2), NodeId::new(0)).is_none());
+    }
+
+    #[test]
+    fn bidirectional_adds_both_directions() {
+        let mut net = RoadNetwork::new(2);
+        net.add_bidirectional(NodeId::new(0), NodeId::new(1), 2.5);
+        assert_eq!(net.num_links(), 2);
+        assert!(net.shortest_path(NodeId::new(1), NodeId::new(0)).is_some());
+    }
+
+    #[test]
+    fn strongly_connected_detection() {
+        let mut net = RoadNetwork::new(3);
+        net.add_bidirectional(NodeId::new(0), NodeId::new(1), 1.0);
+        assert!(!net.is_strongly_connected());
+        net.add_bidirectional(NodeId::new(1), NodeId::new(2), 1.0);
+        assert!(net.is_strongly_connected());
+    }
+
+    #[test]
+    fn one_way_cycle_is_strongly_connected() {
+        let mut net = RoadNetwork::new(3);
+        net.add_link(NodeId::new(0), NodeId::new(1), 1.0);
+        net.add_link(NodeId::new(1), NodeId::new(2), 1.0);
+        net.add_link(NodeId::new(2), NodeId::new(0), 1.0);
+        assert!(net.is_strongly_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_time_rejected() {
+        let mut net = RoadNetwork::new(2);
+        net.add_link(NodeId::new(0), NodeId::new(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_rejected() {
+        let mut net = RoadNetwork::new(2);
+        net.add_link(NodeId::new(0), NodeId::new(5), 1.0);
+    }
+
+    #[test]
+    fn display_is_one_based() {
+        assert_eq!(NodeId::new(0).to_string(), "1");
+        assert_eq!(NodeId::new(23).to_string(), "24");
+    }
+
+    #[test]
+    fn longer_chain_path_reconstruction() {
+        let mut net = RoadNetwork::new(6);
+        for i in 0..5 {
+            net.add_link(NodeId::new(i), NodeId::new(i + 1), 1.0);
+        }
+        let path = net.shortest_path(NodeId::new(0), NodeId::new(5)).expect("path");
+        assert_eq!(path.nodes.len(), 6);
+        assert_eq!(path.travel_time, 5.0);
+        for (i, node) in path.nodes.iter().enumerate() {
+            assert_eq!(node.index(), i);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Measurement-period calendars.
+//!
+//! The paper's queries are calendar-shaped: "records from Monday through
+//! Friday of a certain week, records from Mondays of three consecutive
+//! weeks, or several records of interest based on any other criterion"
+//! (Sec. II-A). This module maps calendar days to [`PeriodId`]s and builds
+//! those selections.
+
+use ptm_core::record::PeriodId;
+use serde::{Deserialize, Serialize};
+
+/// Day of week.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Weekday {
+    /// Monday.
+    Monday,
+    /// Tuesday.
+    Tuesday,
+    /// Wednesday.
+    Wednesday,
+    /// Thursday.
+    Thursday,
+    /// Friday.
+    Friday,
+    /// Saturday.
+    Saturday,
+    /// Sunday.
+    Sunday,
+}
+
+impl Weekday {
+    /// All seven days, Monday first.
+    pub const ALL: [Weekday; 7] = [
+        Weekday::Monday,
+        Weekday::Tuesday,
+        Weekday::Wednesday,
+        Weekday::Thursday,
+        Weekday::Friday,
+        Weekday::Saturday,
+        Weekday::Sunday,
+    ];
+
+    /// Zero-based offset from Monday.
+    pub fn offset(&self) -> u32 {
+        match self {
+            Weekday::Monday => 0,
+            Weekday::Tuesday => 1,
+            Weekday::Wednesday => 2,
+            Weekday::Thursday => 3,
+            Weekday::Friday => 4,
+            Weekday::Saturday => 5,
+            Weekday::Sunday => 6,
+        }
+    }
+
+    /// Whether this is a Monday–Friday workday.
+    pub fn is_workday(&self) -> bool {
+        !matches!(self, Weekday::Saturday | Weekday::Sunday)
+    }
+}
+
+/// A daily measurement calendar: period 0 is day 0 of the campaign, with a
+/// configurable starting weekday.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Calendar {
+    starts_on: Weekday,
+    num_days: u32,
+}
+
+impl Calendar {
+    /// A measurement campaign of `num_days` daily periods starting on
+    /// `starts_on`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_days` is zero.
+    pub fn new(starts_on: Weekday, num_days: u32) -> Self {
+        assert!(num_days >= 1, "a campaign needs at least one day");
+        Self { starts_on, num_days }
+    }
+
+    /// Campaign length in days.
+    pub fn num_days(&self) -> u32 {
+        self.num_days
+    }
+
+    /// The weekday of a given period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period lies outside the campaign.
+    pub fn weekday_of(&self, period: PeriodId) -> Weekday {
+        assert!(period.get() < self.num_days, "period beyond the campaign");
+        Weekday::ALL[((self.starts_on.offset() + period.get()) % 7) as usize]
+    }
+
+    /// Periods falling on the given weekday (e.g. "Mondays of three
+    /// consecutive weeks" = the first three entries for Monday).
+    pub fn periods_on(&self, weekday: Weekday) -> Vec<PeriodId> {
+        (0..self.num_days)
+            .map(PeriodId::new)
+            .filter(|&p| self.weekday_of(p) == weekday)
+            .collect()
+    }
+
+    /// Workday (Mon–Fri) periods of the `week_index`-th campaign week.
+    pub fn workdays_of_week(&self, week_index: u32) -> Vec<PeriodId> {
+        (0..self.num_days)
+            .map(PeriodId::new)
+            .filter(|&p| {
+                let day = self.starts_on.offset() + p.get();
+                day / 7 == week_index && self.weekday_of(p).is_workday()
+            })
+            .collect()
+    }
+
+    /// All periods of the campaign.
+    pub fn all_periods(&self) -> Vec<PeriodId> {
+        (0..self.num_days).map(PeriodId::new).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weekday_progression_wraps() {
+        let cal = Calendar::new(Weekday::Friday, 10);
+        assert_eq!(cal.weekday_of(PeriodId::new(0)), Weekday::Friday);
+        assert_eq!(cal.weekday_of(PeriodId::new(1)), Weekday::Saturday);
+        assert_eq!(cal.weekday_of(PeriodId::new(2)), Weekday::Sunday);
+        assert_eq!(cal.weekday_of(PeriodId::new(3)), Weekday::Monday);
+        assert_eq!(cal.weekday_of(PeriodId::new(9)), Weekday::Sunday);
+    }
+
+    #[test]
+    fn mondays_of_three_consecutive_weeks() {
+        // The paper's example query: a 21-day campaign starting Monday has
+        // Mondays at periods 0, 7, 14.
+        let cal = Calendar::new(Weekday::Monday, 21);
+        assert_eq!(
+            cal.periods_on(Weekday::Monday),
+            vec![PeriodId::new(0), PeriodId::new(7), PeriodId::new(14)]
+        );
+    }
+
+    #[test]
+    fn monday_through_friday_of_a_week() {
+        let cal = Calendar::new(Weekday::Monday, 14);
+        assert_eq!(
+            cal.workdays_of_week(0),
+            (0..5).map(PeriodId::new).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            cal.workdays_of_week(1),
+            (7..12).map(PeriodId::new).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn mid_week_start_workdays() {
+        // Starting Wednesday: week 0 holds Wed, Thu, Fri (periods 0..3).
+        let cal = Calendar::new(Weekday::Wednesday, 14);
+        assert_eq!(
+            cal.workdays_of_week(0),
+            vec![PeriodId::new(0), PeriodId::new(1), PeriodId::new(2)]
+        );
+        // Week 1 starts at period 5 (Monday) and holds 5 workdays.
+        assert_eq!(cal.workdays_of_week(1).len(), 5);
+        assert_eq!(cal.workdays_of_week(1)[0], PeriodId::new(5));
+    }
+
+    #[test]
+    fn weekend_detection() {
+        assert!(!Weekday::Saturday.is_workday());
+        assert!(!Weekday::Sunday.is_workday());
+        assert!(Weekday::ALL.iter().filter(|d| d.is_workday()).count() == 5);
+    }
+
+    #[test]
+    fn all_periods_covers_campaign() {
+        let cal = Calendar::new(Weekday::Sunday, 3);
+        assert_eq!(cal.all_periods().len(), 3);
+        assert_eq!(cal.num_days(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the campaign")]
+    fn out_of_campaign_period_panics() {
+        let cal = Calendar::new(Weekday::Monday, 5);
+        let _ = cal.weekday_of(PeriodId::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one day")]
+    fn empty_campaign_panics() {
+        let _ = Calendar::new(Weekday::Monday, 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Ground-truth bookkeeping for trace-driven experiments.
+//!
+//! The sketch-based estimators never see identities; the *simulator* does,
+//! and uses this log to compute the exact persistent-traffic volumes the
+//! estimates are compared against.
+
+use ptm_core::encoding::{LocationId, VehicleId};
+use ptm_core::record::PeriodId;
+use std::collections::{HashMap, HashSet};
+
+/// Which vehicles were present at which `(location, period)` cells.
+#[derive(Debug, Clone, Default)]
+pub struct PresenceLog {
+    cells: HashMap<(LocationId, PeriodId), HashSet<VehicleId>>,
+}
+
+impl PresenceLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `vehicle` passed `location` during `period`.
+    pub fn record(&mut self, location: LocationId, period: PeriodId, vehicle: VehicleId) {
+        self.cells.entry((location, period)).or_default().insert(vehicle);
+    }
+
+    /// Vehicles present at a cell (empty set if none recorded).
+    pub fn present(&self, location: LocationId, period: PeriodId) -> usize {
+        self.cells.get(&(location, period)).map_or(0, HashSet::len)
+    }
+
+    /// Exact point persistent traffic: vehicles present at `location` in
+    /// **every** listed period (paper Sec. II-A).
+    ///
+    /// Returns 0 when `periods` is empty.
+    pub fn point_persistent(&self, location: LocationId, periods: &[PeriodId]) -> usize {
+        self.intersection_size(periods.iter().map(|&p| (location, p)))
+    }
+
+    /// Exact point-to-point persistent traffic: vehicles present at **both**
+    /// locations in every listed period.
+    pub fn p2p_persistent(
+        &self,
+        location_a: LocationId,
+        location_b: LocationId,
+        periods: &[PeriodId],
+    ) -> usize {
+        self.intersection_size(
+            periods
+                .iter()
+                .flat_map(|&p| [(location_a, p), (location_b, p)]),
+        )
+    }
+
+    fn intersection_size(&self, cells: impl Iterator<Item = (LocationId, PeriodId)>) -> usize {
+        let mut result: Option<HashSet<VehicleId>> = None;
+        for key in cells {
+            let set = match self.cells.get(&key) {
+                Some(set) => set,
+                None => return 0,
+            };
+            result = Some(match result {
+                None => set.clone(),
+                Some(acc) => acc.intersection(set).copied().collect(),
+            });
+            if result.as_ref().is_some_and(HashSet::is_empty) {
+                return 0;
+            }
+        }
+        result.map_or(0, |set| set.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vid(i: u64) -> VehicleId {
+        VehicleId::new(i)
+    }
+
+    fn loc(i: u64) -> LocationId {
+        LocationId::new(i)
+    }
+
+    fn per(i: u32) -> PeriodId {
+        PeriodId::new(i)
+    }
+
+    #[test]
+    fn point_persistent_counts_intersection() {
+        let mut log = PresenceLog::new();
+        // v1 present all 3 periods, v2 in two, v3 in one.
+        for p in 0..3 {
+            log.record(loc(1), per(p), vid(1));
+        }
+        log.record(loc(1), per(0), vid(2));
+        log.record(loc(1), per(1), vid(2));
+        log.record(loc(1), per(2), vid(3));
+        let periods = [per(0), per(1), per(2)];
+        assert_eq!(log.point_persistent(loc(1), &periods), 1);
+        assert_eq!(log.point_persistent(loc(1), &periods[..2]), 2);
+    }
+
+    #[test]
+    fn empty_period_list_is_zero() {
+        let mut log = PresenceLog::new();
+        log.record(loc(1), per(0), vid(1));
+        assert_eq!(log.point_persistent(loc(1), &[]), 0);
+    }
+
+    #[test]
+    fn missing_cell_is_zero() {
+        let mut log = PresenceLog::new();
+        log.record(loc(1), per(0), vid(1));
+        assert_eq!(log.point_persistent(loc(1), &[per(0), per(1)]), 0);
+        assert_eq!(log.point_persistent(loc(9), &[per(0)]), 0);
+    }
+
+    #[test]
+    fn p2p_persistent_requires_both_locations() {
+        let mut log = PresenceLog::new();
+        let periods = [per(0), per(1)];
+        // v1: both locations both periods; v2: only location 1.
+        for &p in &periods {
+            log.record(loc(1), p, vid(1));
+            log.record(loc(2), p, vid(1));
+            log.record(loc(1), p, vid(2));
+        }
+        assert_eq!(log.p2p_persistent(loc(1), loc(2), &periods), 1);
+        assert_eq!(log.point_persistent(loc(1), &periods), 2);
+    }
+
+    #[test]
+    fn duplicate_records_are_idempotent() {
+        let mut log = PresenceLog::new();
+        log.record(loc(1), per(0), vid(7));
+        log.record(loc(1), per(0), vid(7));
+        assert_eq!(log.present(loc(1), per(0)), 1);
+    }
+
+    #[test]
+    fn present_counts_cell_size() {
+        let mut log = PresenceLog::new();
+        for i in 0..5 {
+            log.record(loc(3), per(2), vid(i));
+        }
+        assert_eq!(log.present(loc(3), per(2)), 5);
+        assert_eq!(log.present(loc(3), per(1)), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Trip sampling and route-aware trace generation.
+//!
+//! The trip table gives origin–destination demand; this module samples
+//! individual trips proportionally to that demand and routes them over the
+//! road network, producing the sequence of RSU locations each vehicle
+//! passes. This is what feeds the event-driven simulator with *realistic*
+//! correlated passes: a vehicle driving 15 → 10 also crosses every
+//! intermediate intersection on the shortest path.
+
+use crate::network::{NodeId, Path, RoadNetwork};
+use crate::triptable::TripTable;
+use rand::Rng;
+
+/// A routed trip: the OD pair and the node sequence travelled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trip {
+    /// Origin node.
+    pub origin: NodeId,
+    /// Destination node.
+    pub destination: NodeId,
+    /// Every node passed, origin first, destination last.
+    pub nodes: Vec<NodeId>,
+    /// Cumulative arrival offset (minutes of free-flow time) at each node.
+    pub arrival_minutes: Vec<f64>,
+}
+
+/// Samples OD pairs proportionally to trip-table demand.
+#[derive(Debug, Clone)]
+pub struct TripSampler {
+    /// Flattened `(origin, destination)` pairs with nonzero demand.
+    pairs: Vec<(NodeId, NodeId)>,
+    /// Cumulative demand, aligned with `pairs`.
+    cumulative: Vec<u64>,
+    total: u64,
+}
+
+impl TripSampler {
+    /// Builds a sampler from a trip table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has zero total demand.
+    pub fn new(table: &TripTable) -> Self {
+        let n = table.num_zones();
+        let mut pairs = Vec::new();
+        let mut cumulative = Vec::new();
+        let mut total = 0u64;
+        for o in 0..n {
+            for d in 0..n {
+                let demand = table.demand(NodeId::new(o), NodeId::new(d));
+                if demand > 0 {
+                    total += demand;
+                    pairs.push((NodeId::new(o), NodeId::new(d)));
+                    cumulative.push(total);
+                }
+            }
+        }
+        assert!(total > 0, "trip table has no demand");
+        Self { pairs, cumulative, total }
+    }
+
+    /// Total demand across all pairs.
+    pub fn total_demand(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples one OD pair with probability proportional to its demand.
+    pub fn sample_pair<R: Rng + ?Sized>(&self, rng: &mut R) -> (NodeId, NodeId) {
+        let ticket = rng.gen_range(0..self.total);
+        let idx = self.cumulative.partition_point(|&c| c <= ticket);
+        self.pairs[idx]
+    }
+
+    /// Samples a routed trip; `None` if the sampled pair is disconnected
+    /// (cannot happen on Sioux Falls, which is strongly connected).
+    pub fn sample_trip<R: Rng + ?Sized>(
+        &self,
+        network: &RoadNetwork,
+        rng: &mut R,
+    ) -> Option<Trip> {
+        let (origin, destination) = self.sample_pair(rng);
+        let path = network.shortest_path(origin, destination)?;
+        Some(Trip::from_path(origin, destination, &path, network))
+    }
+}
+
+impl Trip {
+    fn from_path(origin: NodeId, destination: NodeId, path: &Path, network: &RoadNetwork) -> Self {
+        let mut arrival_minutes = Vec::with_capacity(path.nodes.len());
+        let mut elapsed = 0.0;
+        arrival_minutes.push(0.0);
+        for window in path.nodes.windows(2) {
+            let (from, to) = (window[0], window[1]);
+            let link = network
+                .links_from(from)
+                .iter()
+                .filter(|l| l.to == to)
+                .map(|l| l.travel_time)
+                .fold(f64::INFINITY, f64::min);
+            elapsed += link;
+            arrival_minutes.push(elapsed);
+        }
+        Self { origin, destination, nodes: path.nodes.clone(), arrival_minutes }
+    }
+
+    /// Whether the trip passes through `node` (including endpoints).
+    pub fn passes(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// Free-flow duration of the whole trip in minutes.
+    pub fn duration_minutes(&self) -> f64 {
+        *self.arrival_minutes.last().expect("trips have at least one node")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sioux_falls;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn sampling_respects_demand_proportions() {
+        let table = sioux_falls::trip_table();
+        let sampler = TripSampler::new(&table);
+        assert_eq!(sampler.total_demand(), 360_600);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        // (10, 16) carries demand 4400/360600 ≈ 1.22%; count its frequency.
+        let trials = 50_000;
+        let hits = (0..trials)
+            .filter(|_| sampler.sample_pair(&mut rng) == (NodeId::new(9), NodeId::new(15)))
+            .count();
+        let rate = hits as f64 / trials as f64;
+        let expected = 4400.0 / 360_600.0;
+        assert!(
+            (rate - expected).abs() < 0.004,
+            "rate {rate} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn zero_demand_pairs_never_sampled() {
+        let table = sioux_falls::trip_table();
+        let sampler = TripSampler::new(&table);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..20_000 {
+            let (o, d) = sampler.sample_pair(&mut rng);
+            assert!(table.demand(o, d) > 0, "sampled zero-demand pair {o} -> {d}");
+            assert_ne!(o, d, "diagonal is zero demand");
+        }
+    }
+
+    #[test]
+    fn routed_trip_has_consistent_arrivals() {
+        let table = sioux_falls::trip_table();
+        let network = sioux_falls::road_network();
+        let sampler = TripSampler::new(&table);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            let trip = sampler.sample_trip(&network, &mut rng).expect("connected");
+            assert_eq!(trip.nodes.len(), trip.arrival_minutes.len());
+            assert_eq!(trip.nodes.first(), Some(&trip.origin));
+            assert_eq!(trip.nodes.last(), Some(&trip.destination));
+            assert_eq!(trip.arrival_minutes[0], 0.0);
+            for w in trip.arrival_minutes.windows(2) {
+                assert!(w[1] > w[0], "arrival times must increase");
+            }
+            assert!(trip.passes(trip.origin) && trip.passes(trip.destination));
+            // Shortest-path duration matches the last arrival.
+            let direct = network
+                .shortest_path(trip.origin, trip.destination)
+                .expect("connected")
+                .travel_time;
+            assert!((trip.duration_minutes() - direct).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn intermediate_nodes_are_passed() {
+        // Node 1 to node 20 must cross intermediate intersections.
+        let network = sioux_falls::road_network();
+        let path = network
+            .shortest_path(NodeId::new(0), NodeId::new(19))
+            .expect("connected");
+        assert!(path.nodes.len() > 2, "1 -> 20 is not adjacent");
+    }
+
+    #[test]
+    #[should_panic(expected = "no demand")]
+    fn empty_table_rejected() {
+        let table = TripTable::from_matrix(2, vec![0, 0, 0, 0]);
+        let _ = TripSampler::new(&table);
+    }
+}

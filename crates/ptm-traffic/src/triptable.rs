@@ -1,0 +1,163 @@
+//! Origin–destination trip tables: daily vehicle demand between node pairs.
+
+use crate::network::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A square origin–destination matrix of daily trips.
+///
+/// `demand(o, d)` is the number of vehicles travelling from `o` to `d` per
+/// measurement period. The paper derives per-location traffic volumes from
+/// such a table: the volume at location `L` is "the sum of all entries in
+/// the trip table involving `L`" (Sec. VI-A).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TripTable {
+    n: usize,
+    /// Row-major demand matrix, `trips[o * n + d]`.
+    trips: Vec<u64>,
+}
+
+impl TripTable {
+    /// Builds a table from a row-major matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trips.len() != n * n` or any diagonal entry is nonzero
+    /// (self-trips never pass between two distinct locations).
+    pub fn from_matrix(n: usize, trips: Vec<u64>) -> Self {
+        assert_eq!(trips.len(), n * n, "matrix must be n x n");
+        for i in 0..n {
+            assert_eq!(trips[i * n + i], 0, "diagonal entry {i} must be zero");
+        }
+        Self { n, trips }
+    }
+
+    /// Number of zones (nodes).
+    pub fn num_zones(&self) -> usize {
+        self.n
+    }
+
+    /// Demand from `origin` to `destination`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn demand(&self, origin: NodeId, destination: NodeId) -> u64 {
+        assert!(origin.index() < self.n && destination.index() < self.n, "node out of range");
+        self.trips[origin.index() * self.n + destination.index()]
+    }
+
+    /// Total trips in the table.
+    pub fn total(&self) -> u64 {
+        self.trips.iter().sum()
+    }
+
+    /// Trips originating at `node` (row sum).
+    pub fn origin_volume(&self, node: NodeId) -> u64 {
+        let i = node.index();
+        (0..self.n).map(|d| self.trips[i * self.n + d]).sum()
+    }
+
+    /// Trips ending at `node` (column sum).
+    pub fn destination_volume(&self, node: NodeId) -> u64 {
+        let i = node.index();
+        (0..self.n).map(|o| self.trips[o * self.n + i]).sum()
+    }
+
+    /// The paper's per-location volume: all trips involving the node
+    /// (row sum + column sum).
+    pub fn involving_volume(&self, node: NodeId) -> u64 {
+        self.origin_volume(node) + self.destination_volume(node)
+    }
+
+    /// Demand between a pair in both directions,
+    /// `demand(a, b) + demand(b, a)`.
+    pub fn pair_volume(&self, a: NodeId, b: NodeId) -> u64 {
+        self.demand(a, b) + self.demand(b, a)
+    }
+
+    /// The node with the largest involving volume (the paper's `L'`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty table.
+    pub fn busiest_node(&self) -> NodeId {
+        assert!(self.n > 0, "empty table");
+        (0..self.n)
+            .map(NodeId::new)
+            .max_by_key(|&node| self.involving_volume(node))
+            .expect("non-empty")
+    }
+
+    /// Returns a copy with every entry multiplied by `factor`.
+    ///
+    /// The paper's Table I volumes correspond to the public Sioux Falls
+    /// table scaled by 5 (`n' = 451,000` at the busiest node vs `~90,200`
+    /// involving trips in the raw table).
+    pub fn scaled(&self, factor: u64) -> TripTable {
+        TripTable {
+            n: self.n,
+            trips: self.trips.iter().map(|&t| t * factor).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TripTable {
+        // 3 zones: 0->1: 10, 0->2: 20, 1->0: 5, 1->2: 15, 2->0: 1, 2->1: 2.
+        TripTable::from_matrix(3, vec![0, 10, 20, 5, 0, 15, 1, 2, 0])
+    }
+
+    #[test]
+    fn demand_lookup() {
+        let t = small();
+        assert_eq!(t.demand(NodeId::new(0), NodeId::new(1)), 10);
+        assert_eq!(t.demand(NodeId::new(2), NodeId::new(0)), 1);
+    }
+
+    #[test]
+    fn volumes() {
+        let t = small();
+        assert_eq!(t.total(), 53);
+        assert_eq!(t.origin_volume(NodeId::new(0)), 30);
+        assert_eq!(t.destination_volume(NodeId::new(0)), 6);
+        assert_eq!(t.involving_volume(NodeId::new(0)), 36);
+        assert_eq!(t.pair_volume(NodeId::new(0), NodeId::new(1)), 15);
+    }
+
+    #[test]
+    fn busiest() {
+        let t = small();
+        // involving: node0 = 36, node1 = 32, node2 = 38.
+        assert_eq!(t.busiest_node(), NodeId::new(2));
+    }
+
+    #[test]
+    fn scaling() {
+        let t = small().scaled(5);
+        assert_eq!(t.total(), 265);
+        assert_eq!(t.demand(NodeId::new(0), NodeId::new(2)), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn nonzero_diagonal_rejected() {
+        let _ = TripTable::from_matrix(2, vec![1, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n x n")]
+    fn wrong_shape_rejected() {
+        let _ = TripTable::from_matrix(2, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = small();
+        let json = serde_json::to_string(&t).expect("serialize");
+        let back: TripTable = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,102 @@
+//! Congestion-source ranking: the paper's motivating point-to-point
+//! scenario on real data.
+//!
+//! "If a location is consistently congested, we can find the sources of the
+//! traffic … the persistent point-to-point traffic measurement tells us the
+//! minimum amount of traffic contribution that we can always expect from
+//! each of those sources. This information helps in determining the
+//! priority order for planning measures of traffic relief" (Sec. I).
+//!
+//! Node 10 is Sioux Falls' busiest location. We measure the *persistent*
+//! contribution from each of the paper's eight candidate sources over five
+//! weekdays — purely from privacy-preserving bitmaps — and rank them.
+//!
+//! ```sh
+//! cargo run --release -p ptm-examples --bin congestion_sources
+//! ```
+
+use ptm_core::encoding::{EncodingScheme, LocationId};
+use ptm_core::p2p::PointToPointEstimator;
+use ptm_core::params::SystemParams;
+use ptm_sim::workload::build_p2p_records;
+use ptm_traffic::generate::P2pScenario;
+use ptm_traffic::network::NodeId;
+use ptm_traffic::sioux_falls;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn main() {
+    let params = SystemParams::paper_default();
+    let table = sioux_falls::paper_trip_table();
+    let network = sioux_falls::road_network();
+    let congested = table.busiest_node(); // node 10
+    println!(
+        "congested location: node {} ({} vehicles/day involving it)\n",
+        congested,
+        table.involving_volume(congested)
+    );
+
+    let sources = [15usize, 12, 7, 24, 6, 18, 2, 3];
+    let mut rng = ChaCha12Rng::seed_from_u64(99);
+    let mut rankings: Vec<(usize, f64, u64, f64)> = sources
+        .iter()
+        .map(|&label| {
+            let node = NodeId::new(label - 1);
+            let scenario = P2pScenario::from_trip_table(&table, node, congested, 5);
+            let scheme = EncodingScheme::new(label as u64 * 31 + 5, params.num_representatives());
+            let records = build_p2p_records(
+                &scheme,
+                &params,
+                &scenario,
+                LocationId::new(label as u64),
+                LocationId::new(10),
+                None,
+                &mut rng,
+            );
+            let estimate = PointToPointEstimator::new(params.num_representatives())
+                .estimate(&records.records_l, &records.records_lp)
+                .expect("paper-scale records never saturate");
+            let hops = network
+                .shortest_path(node, congested)
+                .map(|p| p.travel_time)
+                .unwrap_or(f64::NAN);
+            (label, estimate, scenario.persistent, hops)
+        })
+        .collect();
+
+    rankings.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite estimates"));
+
+    let mut out = ptm_report::TextTable::new(vec![
+        "rank".into(),
+        "source node".into(),
+        "est. persistent flow".into(),
+        "true flow".into(),
+        "err %".into(),
+        "free-flow min".into(),
+    ]);
+    for (rank, &(node, est, truth, minutes)) in rankings.iter().enumerate() {
+        out.add_row(vec![
+            (rank + 1).to_string(),
+            node.to_string(),
+            format!("{est:.0}"),
+            truth.to_string(),
+            format!("{:.1}", (est - truth as f64).abs() / truth as f64 * 100.0),
+            format!("{minutes:.0}"),
+        ]);
+    }
+    println!("persistent traffic into node {congested}, estimated from bitmaps only:");
+    println!("{}", out.render());
+
+    let truth_order: Vec<usize> = {
+        let mut v: Vec<(usize, u64)> = rankings.iter().map(|&(n, _, t, _)| (n, t)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.into_iter().map(|(n, _)| n).collect()
+    };
+    let est_order: Vec<usize> = rankings.iter().map(|&(n, ..)| n).collect();
+    if truth_order == est_order {
+        println!("the estimated ranking matches the ground-truth priority order exactly —");
+        println!("relief planning can proceed without ever tracking a single vehicle.");
+    } else {
+        println!("estimated vs true ranking: {est_order:?} vs {truth_order:?}");
+    }
+}

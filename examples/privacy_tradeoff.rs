@@ -1,0 +1,75 @@
+//! The accuracy–privacy dial: pick `f` and `s` for your deployment.
+//!
+//! The paper's Sec. VI-C: larger bitmaps (higher `f`) estimate better but
+//! leak more; more representative bits (higher `s`) protect better but cost
+//! accuracy. This example sweeps both dials, printing the measured point
+//! estimation error next to the analytic noise-to-information ratio, and
+//! highlights the paper's recommended compromise (f = 2, s = 3).
+//!
+//! ```sh
+//! cargo run --release -p ptm-examples --bin privacy_tradeoff
+//! ```
+
+use ptm_core::encoding::{EncodingScheme, LocationId};
+use ptm_core::params::SystemParams;
+use ptm_core::point::PointEstimator;
+use ptm_core::privacy;
+use ptm_sim::workload::build_point_records;
+use ptm_traffic::generate::PointScenario;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn measured_error(f: f64, s: u32, runs: usize) -> f64 {
+    let params = SystemParams::new(f, s);
+    let mut total = 0.0;
+    for run in 0..runs {
+        let seed = ptm_sim::trial_seed(404, &[(f * 10.0) as u64, s as u64, run as u64]);
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let scheme = EncodingScheme::new(seed, s);
+        let scenario = PointScenario::synthetic(&mut rng, 5, 0.15);
+        let records =
+            build_point_records(&scheme, &params, &scenario, LocationId::new(1), &mut rng);
+        let est = PointEstimator::new().estimate(&records).expect("f >= 1 never saturates");
+        total += (est - scenario.persistent as f64).abs() / scenario.persistent as f64;
+    }
+    total / runs as f64
+}
+
+fn main() {
+    let runs = 15;
+    println!("accuracy vs privacy across the parameter grid ({runs} runs per cell)\n");
+    let mut table = ptm_report::TextTable::new(vec![
+        "f".into(),
+        "s".into(),
+        "point rel err".into(),
+        "privacy ratio".into(),
+        "noise p".into(),
+        "verdict".into(),
+    ]);
+    for &f in &[1.0, 2.0, 3.0, 4.0] {
+        for &s in &[2u32, 3, 5] {
+            let err = measured_error(f, s, runs);
+            let ratio = privacy::asymptotic_ratio(f, s);
+            let noise = privacy::asymptotic_noise(f);
+            let verdict = match (err < 0.1, ratio >= 1.0) {
+                (true, true) => "accurate + private",
+                (true, false) => "accurate, trackable",
+                (false, true) => "private, noisy",
+                (false, false) => "worst of both",
+            };
+            let marker = if f == 2.0 && s == 3 { " <= paper's choice" } else { "" };
+            table.add_row(vec![
+                format!("{f}"),
+                s.to_string(),
+                format!("{err:.4}"),
+                format!("{ratio:.4}"),
+                format!("{noise:.4}"),
+                format!("{verdict}{marker}"),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("ratio >= 1 means random noise outweighs the tracking signal;");
+    println!("at f = 2, s = 3 the ratio is ~2: any apparent trajectory match is");
+    println!("twice as likely to be noise as to be the tracked vehicle.");
+}

@@ -1,0 +1,63 @@
+//! Quickstart: measure persistent traffic at one intersection over a week.
+//!
+//! Five hundred commuter vehicles pass the RSU every day; a few thousand
+//! other vehicles come and go. The RSU stores only a bitmap per day — no
+//! identities — yet the estimator recovers how many vehicles were there
+//! *every* day.
+//!
+//! ```sh
+//! cargo run -p ptm-examples --bin quickstart
+//! ```
+
+use ptm_core::encoding::{EncodingScheme, LocationId, VehicleSecrets};
+use ptm_core::params::SystemParams;
+use ptm_core::point::PointEstimator;
+use ptm_core::record::{PeriodId, TrafficRecord};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+fn main() {
+    let params = SystemParams::paper_default(); // f = 2, s = 3
+    let scheme = EncodingScheme::new(0xD15C, params.num_representatives());
+    let mut rng = ChaCha12Rng::seed_from_u64(7);
+    let intersection = LocationId::new(1);
+
+    // 500 daily commuters with on-board secrets (ID, private key, constants).
+    let commuters: Vec<VehicleSecrets> = (0..500)
+        .map(|_| VehicleSecrets::generate(&mut rng, params.num_representatives()))
+        .collect();
+
+    // One traffic record per day, sized for the expected ~4500 vehicles/day.
+    let size = params.bitmap_size(4_500.0);
+    println!("bitmap size m = {size} bits ({} bytes/day uploaded)", size.get() / 8);
+
+    let mut records = Vec::new();
+    for day in 0..7u32 {
+        let mut record = TrafficRecord::new(intersection, PeriodId::new(day), size);
+        for commuter in &commuters {
+            record.encode(&scheme, commuter);
+        }
+        // Transient traffic differs every day.
+        let transients = rng.gen_range(3_500..4_500);
+        for _ in 0..transients {
+            let passerby = VehicleSecrets::generate(&mut rng, params.num_representatives());
+            record.encode(&scheme, &passerby);
+        }
+        println!(
+            "day {day}: {} total vehicles -> {} bits set",
+            500 + transients,
+            record.bitmap().count_ones()
+        );
+        records.push(record);
+    }
+
+    let estimate = PointEstimator::new()
+        .estimate(&records)
+        .expect("records are sized for this load");
+    println!("\ntrue persistent traffic:      500 vehicles");
+    println!("estimated persistent traffic: {estimate:.1} vehicles");
+    println!(
+        "relative error:               {:.2}%",
+        (estimate - 500.0).abs() / 500.0 * 100.0
+    );
+}

@@ -1,0 +1,30 @@
+//! Shared helpers for the cross-crate integration tests.
+
+#![forbid(unsafe_code)]
+
+use ptm_core::encoding::{EncodingScheme, LocationId, VehicleSecrets};
+use ptm_core::params::BitmapSize;
+use ptm_core::record::{PeriodId, TrafficRecord};
+use rand::Rng;
+
+/// Builds a record by directly encoding every vehicle (the fast path the
+/// experiment harness uses), for comparison against protocol-produced
+/// records.
+pub fn direct_record(
+    scheme: &EncodingScheme,
+    location: LocationId,
+    period: PeriodId,
+    size: BitmapSize,
+    vehicles: &[VehicleSecrets],
+) -> TrafficRecord {
+    let mut record = TrafficRecord::new(location, period, size);
+    for v in vehicles {
+        record.encode(scheme, v);
+    }
+    record
+}
+
+/// Generates `n` vehicles.
+pub fn fleet<R: Rng + ?Sized>(rng: &mut R, n: usize, s: u32) -> Vec<VehicleSecrets> {
+    (0..n).map(|_| VehicleSecrets::generate(rng, s)).collect()
+}

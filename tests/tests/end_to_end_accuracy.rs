@@ -1,0 +1,157 @@
+//! End-to-end accuracy: the estimators hit the paper's accuracy regime on
+//! workloads built through the public APIs of `ptm-traffic` + `ptm-core`.
+
+use ptm_core::encoding::{EncodingScheme, LocationId};
+use ptm_core::p2p::PointToPointEstimator;
+use ptm_core::params::SystemParams;
+use ptm_core::point::{NaiveAndEstimator, PointEstimator};
+use ptm_sim::stats::{mean, relative_error};
+use ptm_sim::workload::{build_p2p_records, build_point_records};
+use ptm_traffic::generate::{P2pScenario, PointScenario};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+#[test]
+fn point_estimation_stays_under_ten_percent_at_paper_settings() {
+    // f = 2, s = 3, t = 5, persistent core 20% of n_min: Fig. 5's regime.
+    let params = SystemParams::paper_default();
+    let errors: Vec<f64> = (0..10)
+        .map(|run| {
+            let seed = ptm_sim::trial_seed(1, &[run]);
+            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            let scheme = EncodingScheme::new(seed, 3);
+            let scenario = PointScenario::synthetic(&mut rng, 5, 0.2);
+            let records =
+                build_point_records(&scheme, &params, &scenario, LocationId::new(1), &mut rng);
+            let est = PointEstimator::new().estimate(&records).expect("no saturation");
+            relative_error(scenario.persistent as f64, est)
+        })
+        .collect();
+    let avg = mean(&errors);
+    assert!(avg < 0.1, "mean relative error {avg} across runs {errors:?}");
+}
+
+#[test]
+fn p2p_estimation_stays_under_fifteen_percent_at_paper_settings() {
+    let params = SystemParams::paper_default();
+    let errors: Vec<f64> = (0..10)
+        .map(|run| {
+            let seed = ptm_sim::trial_seed(2, &[run]);
+            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            let scheme = EncodingScheme::new(seed, 3);
+            let scenario = P2pScenario::synthetic(&mut rng, 5, 0.2);
+            let records = build_p2p_records(
+                &scheme,
+                &params,
+                &scenario,
+                LocationId::new(1),
+                LocationId::new(2),
+                None,
+                &mut rng,
+            );
+            let est = PointToPointEstimator::new(3)
+                .estimate(&records.records_l, &records.records_lp)
+                .expect("no saturation");
+            relative_error(scenario.persistent as f64, est)
+        })
+        .collect();
+    let avg = mean(&errors);
+    assert!(avg < 0.15, "mean relative error {avg} across runs {errors:?}");
+}
+
+#[test]
+fn proposed_beats_benchmark_by_an_order_of_magnitude_at_small_cores() {
+    // Fig. 4's regime at the small end: persistent core = 2% of n_min.
+    let params = SystemParams::paper_default();
+    let mut proposed_errs = Vec::new();
+    let mut benchmark_errs = Vec::new();
+    for run in 0..10u64 {
+        let seed = ptm_sim::trial_seed(3, &[run]);
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let scheme = EncodingScheme::new(seed, 3);
+        let scenario = PointScenario::synthetic(&mut rng, 5, 0.02);
+        let records =
+            build_point_records(&scheme, &params, &scenario, LocationId::new(1), &mut rng);
+        let truth = scenario.persistent as f64;
+        proposed_errs.push(relative_error(
+            truth,
+            PointEstimator::new().estimate(&records).expect("no saturation"),
+        ));
+        benchmark_errs.push(relative_error(
+            truth,
+            NaiveAndEstimator::new().estimate(&records).expect("no saturation"),
+        ));
+    }
+    let p = mean(&proposed_errs);
+    let b = mean(&benchmark_errs);
+    assert!(
+        b > 5.0 * p,
+        "benchmark ({b}) should be at least 5x worse than proposed ({p}) at tiny cores"
+    );
+}
+
+#[test]
+fn ten_periods_beat_five_periods() {
+    // Fig. 4, left vs right panel: error shrinks with t.
+    let params = SystemParams::paper_default();
+    let mut err_by_t = Vec::new();
+    for &t in &[5usize, 10] {
+        let errors: Vec<f64> = (0..12)
+            .map(|run| {
+                let seed = ptm_sim::trial_seed(4, &[t as u64, run]);
+                let mut rng = ChaCha12Rng::seed_from_u64(seed);
+                let scheme = EncodingScheme::new(seed, 3);
+                let scenario = PointScenario::synthetic(&mut rng, t, 0.05);
+                let records =
+                    build_point_records(&scheme, &params, &scenario, LocationId::new(1), &mut rng);
+                let est = PointEstimator::new().estimate(&records).expect("no saturation");
+                relative_error(scenario.persistent as f64, est)
+            })
+            .collect();
+        err_by_t.push(mean(&errors));
+    }
+    assert!(
+        err_by_t[1] < err_by_t[0] * 1.1,
+        "t=10 error {} should not exceed t=5 error {}",
+        err_by_t[1],
+        err_by_t[0]
+    );
+}
+
+#[test]
+fn mixed_bitmap_sizes_across_periods_still_estimate() {
+    // Periods with different expected volumes get different (power-of-two)
+    // record sizes; the join expands them (paper Fig. 2/3).
+    let params = SystemParams::paper_default();
+    let mut rng = ChaCha12Rng::seed_from_u64(55);
+    let scheme = EncodingScheme::new(56, 3);
+    let location = LocationId::new(4);
+    // Note: the size spread is 2x, as in the paper's Fig. 3 example. Wider
+    // spreads (4x+) bias the estimator because transients from a small
+    // record occupy several correlated replica bits after expansion; the
+    // paper's own workloads never mix sizes within one location by more
+    // than the day-to-day volume drift.
+    let fleet = ptm_traffic::generate::CommonFleet::generate(&mut rng, 700, 3);
+    let volumes = [3_000u64, 6_000, 6_000, 6_000, 3_000];
+    let records: Vec<_> = volumes
+        .iter()
+        .enumerate()
+        .map(|(j, &volume)| {
+            let size = params.bitmap_size(volume as f64);
+            let mut record = ptm_core::record::TrafficRecord::new(
+                location,
+                ptm_core::record::PeriodId::new(j as u32),
+                size,
+            );
+            fleet.encode_into(&scheme, &mut record);
+            ptm_traffic::generate::fill_transients(&mut record, volume - 700, &mut rng);
+            record
+        })
+        .collect();
+    // Sanity: the sizes really differ.
+    let sizes: std::collections::BTreeSet<usize> = records.iter().map(|r| r.len()).collect();
+    assert!(sizes.len() >= 2, "test should cover heterogeneous sizes");
+    let est = PointEstimator::new().estimate(&records).expect("no saturation");
+    let rel = relative_error(700.0, est);
+    assert!(rel < 0.15, "estimate {est}, relative error {rel}");
+}

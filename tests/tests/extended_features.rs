@@ -1,0 +1,153 @@
+//! Integration coverage for the extension features: calendar queries,
+//! route-aware trips, the k-way estimator, error bars, and the city matrix.
+
+use ptm_core::encoding::{EncodingScheme, LocationId, VehicleSecrets};
+use ptm_core::kway::KwayEstimator;
+use ptm_core::params::SystemParams;
+use ptm_core::point::PointEstimator;
+use ptm_core::record::{PeriodId, TrafficRecord};
+use ptm_integration_tests::fleet;
+use ptm_traffic::generate::fill_transients;
+use ptm_traffic::periods::{Calendar, Weekday};
+use ptm_traffic::sioux_falls;
+use ptm_traffic::trips::TripSampler;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+#[test]
+fn calendar_selected_queries_estimate_the_right_populations() {
+    // Three weeks of daily records with a Monday-only population: querying
+    // Mondays finds it, querying all days finds nothing.
+    let params = SystemParams::paper_default();
+    let scheme = EncodingScheme::new(0xCAFE_D00D, 3);
+    let mut rng = ChaCha12Rng::seed_from_u64(77);
+    let calendar = Calendar::new(Weekday::Monday, 21);
+    let location = LocationId::new(8);
+    let vendors = fleet(&mut rng, 400, 3);
+    let size = params.bitmap_size(3_500.0);
+
+    let records: Vec<TrafficRecord> = calendar
+        .all_periods()
+        .into_iter()
+        .map(|period| {
+            let mut record = TrafficRecord::new(location, period, size);
+            if calendar.weekday_of(period) == Weekday::Monday {
+                for v in &vendors {
+                    record.encode(&scheme, v);
+                }
+            }
+            fill_transients(&mut record, 3_000, &mut rng);
+            record
+        })
+        .collect();
+
+    let mondays: Vec<TrafficRecord> = calendar
+        .periods_on(Weekday::Monday)
+        .into_iter()
+        .map(|p| records[p.get() as usize].clone())
+        .collect();
+    assert_eq!(mondays.len(), 3);
+    let est = PointEstimator::new().estimate(&mondays).expect("sized records");
+    assert!((est - 400.0).abs() / 400.0 < 0.15, "Monday estimate {est}");
+
+    let everything = PointEstimator::new().estimate(&records).expect("sized records");
+    assert!(everything.abs() < 60.0, "all-days estimate {everything} should be ~0");
+}
+
+#[test]
+fn routed_commuters_are_p2p_persistent_along_their_whole_route() {
+    // A fleet of commuters all driving the same OD pair: every node on the
+    // route sees them as point-persistent, and any two route nodes see them
+    // as p2p-persistent.
+    let params = SystemParams::paper_default();
+    let scheme = EncodingScheme::new(0x70C4, 3);
+    let mut rng = ChaCha12Rng::seed_from_u64(5);
+    let network = sioux_falls::road_network();
+    let path = network
+        .shortest_path(
+            ptm_traffic::network::NodeId::new(0),
+            ptm_traffic::network::NodeId::new(19),
+        )
+        .expect("connected");
+    assert!(path.nodes.len() >= 3, "need intermediate nodes");
+
+    let commuters = fleet(&mut rng, 300, 3);
+    let size = params.bitmap_size(2_000.0);
+    let t = 4u32;
+    // location id = node index + 1; one record per route node per period.
+    let mut per_node_records: Vec<Vec<TrafficRecord>> =
+        vec![Vec::new(); path.nodes.len()];
+    for period in 0..t {
+        for (k, node) in path.nodes.iter().enumerate() {
+            let loc = LocationId::new(node.index() as u64 + 1);
+            let mut record = TrafficRecord::new(loc, PeriodId::new(period), size);
+            for v in &commuters {
+                record.encode(&scheme, v);
+            }
+            fill_transients(&mut record, 1_500, &mut rng);
+            per_node_records[k].push(record);
+        }
+    }
+    // Point persistent at the route midpoint.
+    let mid = path.nodes.len() / 2;
+    let est = PointEstimator::new().estimate(&per_node_records[mid]).expect("estimate");
+    assert!((est - 300.0).abs() / 300.0 < 0.15, "midpoint estimate {est}");
+    // P2p persistent between first and last route nodes.
+    let p2p = ptm_core::p2p::PointToPointEstimator::new(3)
+        .estimate(&per_node_records[0], &per_node_records[path.nodes.len() - 1])
+        .expect("estimate");
+    assert!((p2p - 300.0).abs() / 300.0 < 0.2, "endpoint p2p estimate {p2p}");
+}
+
+#[test]
+fn trip_sampler_feeds_realistic_volumes() {
+    // Sampling ~3606 trips (1% of the table) gives per-node pass counts
+    // roughly proportional to involving volumes.
+    let network = sioux_falls::road_network();
+    let table = sioux_falls::trip_table();
+    let sampler = TripSampler::new(&table);
+    let mut rng = ChaCha12Rng::seed_from_u64(6);
+    let mut passes = vec![0u64; sioux_falls::NUM_NODES];
+    for _ in 0..3_606 {
+        let trip = sampler.sample_trip(&network, &mut rng).expect("connected");
+        for node in &trip.nodes {
+            passes[node.index()] += 1;
+        }
+    }
+    // Node 10 (index 9) is the busiest interchange; it must lead.
+    let max_idx = (0..sioux_falls::NUM_NODES)
+        .max_by_key(|&i| passes[i])
+        .expect("non-empty");
+    assert!(
+        passes[9] >= passes[max_idx] * 7 / 10,
+        "node 10 should be near the top: {passes:?}"
+    );
+}
+
+#[test]
+fn kway_and_halves_agree_through_public_api() {
+    let params = SystemParams::paper_default();
+    let scheme = EncodingScheme::new(0x4A4A, 3);
+    let mut rng = ChaCha12Rng::seed_from_u64(7);
+    let location = LocationId::new(2);
+    let commons = fleet(&mut rng, 800, 3);
+    let size = params.bitmap_size(5_000.0);
+    let records: Vec<TrafficRecord> = (0..8u32)
+        .map(|p| {
+            let mut record = TrafficRecord::new(location, PeriodId::new(p), size);
+            for v in &commons {
+                record.encode(&scheme, v);
+            }
+            fill_transients(&mut record, 4_000, &mut rng);
+            record
+        })
+        .collect();
+    let halves = PointEstimator::new().estimate(&records).expect("estimate");
+    let kway = KwayEstimator::new(4).estimate(&records).expect("estimate");
+    assert!((halves - 800.0).abs() / 800.0 < 0.1, "halves {halves}");
+    assert!((kway - 800.0).abs() / 800.0 < 0.1, "kway {kway}");
+    // Error bars bracket the truth at 3 sigma (conservative bars).
+    let with_err = PointEstimator::new().estimate_with_error(&records).expect("estimate");
+    let (lo, hi) = with_err.interval(3.0);
+    assert!(lo <= 800.0 && 800.0 <= hi, "interval [{lo}, {hi}] misses truth");
+}

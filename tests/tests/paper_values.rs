@@ -1,0 +1,86 @@
+//! Pins every number the paper publishes that this reproduction derives
+//! exactly: the Table I metadata columns and the Table II privacy grid.
+
+use ptm_core::params::SystemParams;
+use ptm_core::privacy;
+use ptm_traffic::network::NodeId;
+use ptm_traffic::sioux_falls;
+
+#[test]
+fn table_one_metadata_derives_from_public_data() {
+    // The paper's Table I rows n, m, m'/m and n'' all follow from the
+    // public Sioux Falls trip table at scale 5 with f = 2 — locations are
+    // nodes 15, 12, 7, 24, 6, 18, 2, 3 and L' is node 10.
+    let table = sioux_falls::paper_trip_table();
+    let params = SystemParams::paper_default();
+    let l_prime = NodeId::new(9);
+    assert_eq!(table.busiest_node(), l_prime);
+    assert_eq!(table.involving_volume(l_prime), 451_000);
+    let m_prime = params.bitmap_size(451_000.0).get();
+    assert_eq!(m_prime, 1_048_576);
+
+    let published: [(usize, u64, usize, usize, u64); 8] = [
+        (15, 213_000, 524_288, 2, 40_000),
+        (12, 140_000, 524_288, 2, 20_000),
+        (7, 121_000, 262_144, 4, 19_000),
+        (24, 78_000, 262_144, 4, 8_000),
+        (6, 76_000, 262_144, 4, 8_000),
+        (18, 47_000, 131_072, 8, 7_000),
+        (2, 40_000, 131_072, 8, 6_000),
+        (3, 28_000, 65_536, 16, 3_000),
+    ];
+    for (label, n, m, ratio, n_common) in published {
+        let node = NodeId::new(label - 1);
+        assert_eq!(table.involving_volume(node), n, "n at node {label}");
+        let m_derived = params.bitmap_size(n as f64).get();
+        assert_eq!(m_derived, m, "m at node {label}");
+        assert_eq!(m_prime / m_derived, ratio, "m'/m at node {label}");
+        assert_eq!(table.pair_volume(node, l_prime), n_common, "n'' at node {label}");
+    }
+}
+
+#[test]
+fn table_two_grid_matches_published_to_four_decimals() {
+    #[rustfmt::skip]
+    let published: [(u32, [f64; 7]); 4] = [
+        (2, [3.4368, 1.8956, 1.2975, 0.9837, 0.7912, 0.6614, 0.5681]),
+        (3, [5.1553, 2.8433, 1.9462, 1.4755, 1.1869, 0.9922, 0.8520]),
+        (4, [6.8737, 3.7911, 2.5950, 1.9673, 1.5825, 1.3229, 1.1361]),
+        (5, [8.5921, 4.7389, 3.2437, 2.4592, 1.9781, 1.6536, 1.4201]),
+    ];
+    let fs = [1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0];
+    for (s, row) in published {
+        for (f, expected) in fs.iter().zip(row) {
+            let got = privacy::asymptotic_ratio(*f, s);
+            let rel = (got - expected).abs() / expected;
+            assert!(rel < 3e-4, "s={s} f={f}: computed {got} vs published {expected}");
+        }
+    }
+    let noise_row = [0.6321, 0.4866, 0.3935, 0.3297, 0.2835, 0.2485, 0.2212];
+    for (f, expected) in fs.iter().zip(noise_row) {
+        let got = privacy::asymptotic_noise(*f);
+        assert!((got - expected).abs() < 5e-5, "p at f={f}: {got} vs {expected}");
+    }
+}
+
+#[test]
+fn sioux_falls_canonical_shape() {
+    assert_eq!(sioux_falls::trip_table().total(), 360_600);
+    let net = sioux_falls::road_network();
+    assert_eq!(net.num_nodes(), 24);
+    assert_eq!(net.num_links(), 76);
+    assert!(net.is_strongly_connected());
+}
+
+#[test]
+fn paper_recommended_operating_point() {
+    // Sec. VI-C: f = 2, s = 3; noise ~40%, signal ~20%, ratio ~2.
+    let p = privacy::asymptotic_noise(2.0);
+    assert!((p - 0.3935).abs() < 1e-4);
+    let p_prime = privacy::tracking_probability(p, 3);
+    let signal = p_prime - p;
+    assert!((signal - 0.2022).abs() < 1e-3);
+    let ratio = privacy::asymptotic_ratio(2.0, 3);
+    assert!((ratio - 1.9462).abs() < 1e-3);
+    assert!(ratio > 1.0, "noise must outweigh information at the recommended point");
+}

@@ -1,0 +1,84 @@
+//! The experiment harness encodes vehicles directly into records; the V2I
+//! substrate runs the full beacon/verify/DH/encrypt/ack protocol. Over a
+//! lossless channel the two paths must produce **bit-identical** traffic
+//! records — this is what justifies using the fast path for the large
+//! parameter sweeps.
+
+use ptm_core::encoding::{EncodingScheme, LocationId};
+use ptm_core::params::SystemParams;
+use ptm_core::record::PeriodId;
+use ptm_integration_tests::direct_record;
+use ptm_net::{SimConfig, SimDuration, V2iSimulator};
+
+#[test]
+fn protocol_records_equal_direct_encoding() {
+    let params = SystemParams::paper_default();
+    let scheme = EncodingScheme::new(0xE0E0, params.num_representatives());
+    let size = params.bitmap_size(300.0);
+    let locations = [LocationId::new(7), LocationId::new(9)];
+    let specs: Vec<_> = locations.iter().map(|&l| (l, size)).collect();
+    let mut sim = V2iSimulator::new(SimConfig::default(), scheme, &specs, 31337);
+
+    let vehicles: Vec<usize> = (0..250).map(|_| sim.add_vehicle()).collect();
+    let periods: Vec<PeriodId> = (0..3).map(PeriodId::new).collect();
+    for &p in &periods {
+        for (k, &v) in vehicles.iter().enumerate() {
+            sim.schedule_pass(v, 0, SimDuration::from_millis(40 * k as u64));
+            if k % 2 == 0 {
+                sim.schedule_pass(v, 1, SimDuration::from_millis(20_000 + 40 * k as u64));
+            }
+        }
+        sim.run_period(p).expect("unique periods");
+    }
+
+    // Rebuild each record by direct encoding of exactly the vehicles that
+    // passed, and compare bit for bit.
+    let secrets: Vec<_> = vehicles.iter().map(|&v| sim.vehicle_secrets(v).clone()).collect();
+    for &p in &periods {
+        let all = direct_record(&scheme, locations[0], p, size, &secrets);
+        let protocol = sim.server().record(locations[0], p).expect("uploaded");
+        assert_eq!(protocol.bitmap(), all.bitmap(), "location 7, period {}", p.get());
+
+        let evens: Vec<_> = secrets.iter().step_by(2).cloned().collect();
+        let partial = direct_record(&scheme, locations[1], p, size, &evens);
+        let protocol = sim.server().record(locations[1], p).expect("uploaded");
+        assert_eq!(protocol.bitmap(), partial.bitmap(), "location 9, period {}", p.get());
+    }
+}
+
+#[test]
+fn protocol_estimates_match_direct_estimates() {
+    // Same records => same estimates, end to end through the server.
+    let params = SystemParams::paper_default();
+    let scheme = EncodingScheme::new(0xE5E5, params.num_representatives());
+    let size = params.bitmap_size(500.0);
+    let location = LocationId::new(3);
+    let mut sim = V2iSimulator::new(SimConfig::default(), scheme, &[(location, size)], 99);
+
+    let commons: Vec<usize> = (0..150).map(|_| sim.add_vehicle()).collect();
+    let periods: Vec<PeriodId> = (0..4).map(PeriodId::new).collect();
+    let mut direct_records = Vec::new();
+    for &p in &periods {
+        let mut present = Vec::new();
+        for (k, &v) in commons.iter().enumerate() {
+            sim.schedule_pass(v, 0, SimDuration::from_millis(30 * k as u64));
+            present.push(sim.vehicle_secrets(v).clone());
+        }
+        for k in 0..250usize {
+            let t = sim.add_vehicle();
+            sim.schedule_pass(t, 0, SimDuration::from_millis(10_000 + 30 * k as u64));
+            present.push(sim.vehicle_secrets(t).clone());
+        }
+        sim.run_period(p).expect("unique periods");
+        direct_records.push(direct_record(&scheme, location, p, size, &present));
+    }
+
+    let via_protocol = sim
+        .server()
+        .estimate_point_persistent(location, &periods)
+        .expect("records uploaded");
+    let via_direct = ptm_core::point::PointEstimator::new()
+        .estimate(&direct_records)
+        .expect("same records");
+    assert_eq!(via_protocol, via_direct, "identical records give identical estimates");
+}
