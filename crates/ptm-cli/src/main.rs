@@ -19,15 +19,32 @@ use ptm_core::params::SystemParams;
 use ptm_sim::{ablation, fig4, scatter, table1, table2};
 
 fn main() -> ExitCode {
+    ptm_obs::events::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, options)) = parse(&args) else {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    match run_command(&command, &options) {
+    // --quiet keeps only errors; PTM_LOG still controls format (json/pretty).
+    if options.contains_key("quiet") {
+        ptm_obs::events::set_max_level(Some(ptm_obs::Level::Error));
+    }
+    let metrics_path = options.get("metrics").map(PathBuf::from);
+    if metrics_path.is_some() {
+        ptm_obs::enable_metrics();
+    }
+    let result = run_command(&command, &options);
+    // Snapshot even after a failed command — partial metrics help debugging.
+    if let Some(path) = metrics_path {
+        if let Err(message) = write_metrics(&path, options.contains_key("quiet")) {
+            ptm_obs::error!("cli", message);
+            return ExitCode::FAILURE;
+        }
+    }
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
-            eprintln!("error: {message}");
+            ptm_obs::error!("cli", message);
             ExitCode::FAILURE
         }
     }
@@ -60,6 +77,14 @@ OPTIONS:
     --sizing P  fig4 only: campaign-mean (default) or per-period
     --threads N Worker threads (default: all cores)
     --csv DIR   Also write machine-readable CSV/JSON into DIR
+    --metrics P Enable metric recording and write a JSON snapshot to path P
+                (counters, gauges, latency histograms) plus a summary on stdout
+    --quiet     Suppress progress events (errors still print)
+
+ENVIRONMENT:
+    PTM_LOG     Event level and format, comma-separated tokens:
+                error|warn|info|debug|trace|off and json|pretty.
+                Default: info,pretty. Example: PTM_LOG=debug,json
 ";
 
 type Options = HashMap<String, String>;
@@ -73,6 +98,11 @@ fn parse(args: &[String]) -> Option<(String, Options)> {
     let mut options = Options::new();
     while let Some(flag) = iter.next() {
         let key = flag.strip_prefix("--")?;
+        // Boolean flags take no value.
+        if key == "quiet" {
+            options.insert(key.to_owned(), String::new());
+            continue;
+        }
         let value = iter.next()?;
         options.insert(key.to_owned(), value.clone());
     }
@@ -108,11 +138,37 @@ fn csv_dir(options: &Options) -> Result<Option<PathBuf>, String> {
 fn write_artifact(dir: &Path, name: &str, contents: &str) -> Result<(), String> {
     let path = dir.join(name);
     std::fs::write(&path, contents).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
-    println!("wrote {}", path.display());
+    ptm_obs::info!("cli", "wrote artifact"; path = path.display().to_string());
+    Ok(())
+}
+
+/// Dumps the end-of-run metric snapshot as JSON to `path` and, unless
+/// quiet, prints the human summary to stdout.
+fn write_metrics(path: &Path, quiet: bool) -> Result<(), String> {
+    let snapshot = ptm_obs::snapshot();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(path, snapshot.to_json_pretty())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    if !quiet {
+        print!("{}", snapshot.render_summary());
+    }
+    ptm_obs::info!("cli.metrics", "metrics snapshot written";
+        path = path.display().to_string(),
+        counters = snapshot.counters.len(),
+        gauges = snapshot.gauges.len(),
+        histograms = snapshot.histograms.len(),
+    );
     Ok(())
 }
 
 fn run_command(command: &str, options: &Options) -> Result<(), String> {
+    let _t = ptm_obs::span!("cli.command");
+    ptm_obs::debug!("cli", "dispatching command"; command = command);
     let seed = opt_u64(options, "seed")?.unwrap_or(42);
     let runs = opt_usize(options, "runs")?;
     let threads = opt_usize(options, "threads")?.unwrap_or_else(ptm_sim::runner::default_threads);
@@ -148,7 +204,7 @@ fn cmd_table1(seed: u64, runs: Option<usize>, threads: usize, csv: Option<&Path>
         threads,
         ..table1::Table1Config::default()
     };
-    eprintln!("running Table I ({} runs x 8 locations)...", config.runs);
+    ptm_obs::info!("cli.table1", "running Table I"; runs = config.runs, locations = 8);
     let result = table1::run(&config);
     println!("{}", table1::render(&result));
     if let Some(dir) = csv {
@@ -196,10 +252,10 @@ fn cmd_fig4(
             sizing,
             ..fig4::Fig4Config::panel(t)
         };
-        eprintln!(
-            "running Fig. 4 panel t = {t} ({} fractions x {} runs)...",
-            config.fractions.len(),
-            config.runs_per_point
+        ptm_obs::info!("cli.fig4", "running Fig. 4 panel";
+            t = t,
+            fractions = config.fractions.len(),
+            runs = config.runs_per_point,
         );
         let panel = fig4::run(&config);
         println!("{}", fig4::render(&panel));
@@ -224,7 +280,7 @@ fn cmd_scatter(
         threads,
         ..scatter::ScatterConfig::paper(load_factor)
     };
-    eprintln!("running Fig. {fig} (f = {load_factor})...");
+    ptm_obs::info!("cli.scatter", "running scatter figure"; fig = fig, load_factor = load_factor);
     let result = scatter::run(&config);
     println!("Fig. {fig}:");
     println!("{}", scatter::render(&result));
@@ -241,7 +297,7 @@ fn cmd_scatter(
 
 fn cmd_ablations(seed: u64, runs: Option<usize>, threads: usize) -> Result<(), String> {
     let runs = runs.unwrap_or(20);
-    eprintln!("running ablations ({runs} runs each)...");
+    ptm_obs::info!("cli.ablations", "running ablations"; runs = runs);
 
     let split = ablation::split_strategy(8, runs, threads, seed);
     println!("Ablation 1 — split strategy on trending volumes (t = 8):");
@@ -318,7 +374,7 @@ fn cmd_ablations(seed: u64, runs: Option<usize>, threads: usize) -> Result<(), S
 fn cmd_matrix(seed: u64, threads: usize, csv: Option<&Path>) -> Result<(), String> {
     use ptm_sim::matrix::{self, MatrixConfig};
     let config = MatrixConfig { seed, threads, ..MatrixConfig::default() };
-    eprintln!("sweeping all Sioux Falls pairs (t = {})...", config.t);
+    ptm_obs::info!("cli.matrix", "sweeping all Sioux Falls pairs"; t = config.t);
     let result = matrix::run(&config);
     println!("{}", matrix::render(&result));
     if let Some(dir) = csv {
@@ -336,7 +392,10 @@ fn cmd_errors(seed: u64, runs: Option<usize>, threads: usize) -> Result<(), Stri
             threads,
             ..DistributionConfig::paper(target)
         };
-        eprintln!("sampling {:?} error distribution ({} runs)...", target, config.runs);
+        ptm_obs::info!("cli.errors", "sampling error distribution";
+            target = format!("{target:?}"),
+            runs = config.runs,
+        );
         let result = distribution::run(&config);
         println!("{}", distribution::render(&result));
     }

@@ -45,6 +45,7 @@ pub fn and_join<'a, I>(bitmaps: I) -> Result<Bitmap, EstimateError>
 where
     I: IntoIterator<Item = &'a Bitmap>,
 {
+    ptm_obs::counter!("core.join.and.ops").inc();
     join_with(bitmaps, Bitmap::and_assign)
 }
 
@@ -57,6 +58,7 @@ pub fn or_join<'a, I>(bitmaps: I) -> Result<Bitmap, EstimateError>
 where
     I: IntoIterator<Item = &'a Bitmap>,
 {
+    ptm_obs::counter!("core.join.or.ops").inc();
     join_with(bitmaps, Bitmap::or_assign)
 }
 
@@ -65,6 +67,7 @@ where
     I: IntoIterator<Item = &'a Bitmap>,
     F: FnMut(&mut Bitmap, &Bitmap) -> Result<(), EstimateError>,
 {
+    let _t = ptm_obs::span!("core.join");
     let maps: Vec<&Bitmap> = bitmaps.into_iter().collect();
     if maps.is_empty() {
         return Err(EstimateError::NoRecords);
@@ -75,6 +78,16 @@ where
             return Err(EstimateError::NotPowerOfTwo { len: map.len() });
         }
         target = target.max(map.len());
+    }
+    if ptm_obs::metrics_enabled() {
+        ptm_obs::histogram!("core.join.fan_in").record(maps.len() as u64);
+        for map in &maps {
+            let factor = (target / map.len()) as u64;
+            ptm_obs::histogram!("core.join.expansion_factor").record(factor);
+            if factor > 1 {
+                ptm_obs::counter!("core.join.expansions").inc();
+            }
+        }
     }
     let mut joined = maps[0].expand_to(target)?;
     for map in &maps[1..] {

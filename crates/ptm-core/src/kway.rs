@@ -89,6 +89,9 @@ impl KwayEstimator {
     ///
     /// As [`KwayEstimator::estimate`] minus the metadata conditions.
     pub fn estimate_bitmaps(&self, bitmaps: &[&Bitmap]) -> Result<f64, EstimateError> {
+        let _t = ptm_obs::span!("core.kway.estimate");
+        ptm_obs::counter!("core.kway.ops").inc();
+        ptm_obs::histogram!("core.kway.k").record(self.k as u64);
         if bitmaps.len() < self.k {
             return Err(EstimateError::TooFewRecords { required: self.k, actual: bitmaps.len() });
         }

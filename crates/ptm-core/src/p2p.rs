@@ -97,6 +97,8 @@ impl PointToPointEstimator {
         e_star: &Bitmap,
         e_star_prime: &Bitmap,
     ) -> Result<f64, EstimateError> {
+        let _t = ptm_obs::span!("core.p2p.estimate");
+        ptm_obs::counter!("core.p2p.ops").inc();
         // W.l.o.g. the second map is the larger one (the paper's m <= m').
         let (small, large) = if e_star.len() <= e_star_prime.len() {
             (e_star, e_star_prime)

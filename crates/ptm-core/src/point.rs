@@ -68,6 +68,8 @@ impl PointEstimator {
     ///
     /// Same as [`PointEstimator::estimate`] minus the metadata checks.
     pub fn estimate_bitmaps(&self, bitmaps: &[&Bitmap]) -> Result<f64, EstimateError> {
+        let _t = ptm_obs::span!("core.point.estimate");
+        ptm_obs::counter!("core.point.ops").inc();
         if bitmaps.len() < 2 {
             return Err(EstimateError::TooFewRecords { required: 2, actual: bitmaps.len() });
         }
@@ -242,6 +244,7 @@ impl NaiveAndEstimator {
     ///
     /// Same as [`NaiveAndEstimator::estimate`] minus metadata checks.
     pub fn estimate_bitmaps(&self, bitmaps: &[&Bitmap]) -> Result<f64, EstimateError> {
+        ptm_obs::counter!("core.point.naive.ops").inc();
         let e_star = and_join(bitmaps.iter().copied())?;
         crate::lpc::from_zero_fraction(e_star.fraction_zeros(), e_star.len(), "E_*")
     }

@@ -87,7 +87,9 @@ impl TrafficRecord {
     /// the only operation of vehicle encoding" (Sec. II-D). Encoding the same
     /// vehicle again in the same period is harmless (idempotent).
     pub fn encode(&mut self, scheme: &EncodingScheme, vehicle: &VehicleSecrets) {
+        let _t = ptm_obs::span!("core.encode.record");
         let index = scheme.encode_index(vehicle, self.location, self.bitmap.len());
+        self.observe_set(index);
         self.bitmap.set(index);
     }
 
@@ -100,7 +102,25 @@ impl TrafficRecord {
     ///
     /// Panics if `index` is out of range for the record's bitmap.
     pub fn set_reported_index(&mut self, index: usize) {
+        if index < self.bitmap.len() {
+            self.observe_set(index);
+        }
         self.bitmap.set(index);
+    }
+
+    /// Metric bookkeeping for one bit-set: encodes attempted, fresh bits vs
+    /// collisions (a bit that was already one — either the same vehicle
+    /// re-passing or a hash collision). Free when metrics are disabled.
+    fn observe_set(&self, index: usize) {
+        if !ptm_obs::metrics_enabled() {
+            return;
+        }
+        ptm_obs::counter!("core.encode.vehicles").inc();
+        if self.bitmap.get(index) {
+            ptm_obs::counter!("core.encode.collisions").inc();
+        } else {
+            ptm_obs::counter!("core.encode.bits_set").inc();
+        }
     }
 
     /// Fraction of zero bits (`V_0`), the LPC observable.

@@ -42,8 +42,10 @@ impl ChannelModel {
     /// `None` when it is lost.
     pub fn transmit<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<SimDuration> {
         if self.loss_probability > 0.0 && rng.gen::<f64>() < self.loss_probability {
+            ptm_obs::counter!("net.channel.dropped").inc();
             None
         } else {
+            ptm_obs::counter!("net.channel.delivered").inc();
             Some(self.delay)
         }
     }

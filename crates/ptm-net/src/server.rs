@@ -94,9 +94,21 @@ impl CentralServer {
     pub fn submit(&mut self, record: TrafficRecord) -> Result<(), ServerError> {
         let key = (record.location(), record.period());
         if self.records.contains_key(&key) {
+            ptm_obs::counter!("net.server.submit.duplicate").inc();
             return Err(ServerError::DuplicateRecord { location: key.0, period: key.1 });
         }
+        if ptm_obs::metrics_enabled() {
+            ptm_obs::counter!("net.server.submit.accepted").inc();
+            ptm_obs::counter!("net.server.bits_stored")
+                .add(record.bitmap().count_ones() as u64);
+            // Per-location record gauges use dynamic names, so they go
+            // through the registry rather than a cached macro handle.
+            ptm_obs::registry()
+                .gauge(format!("net.server.records.loc{}", key.0.get()))
+                .inc();
+        }
         self.records.insert(key, record);
+        ptm_obs::gauge!("net.server.records").set(self.records.len() as i64);
         Ok(())
     }
 
@@ -136,6 +148,8 @@ impl CentralServer {
         location: LocationId,
         period: PeriodId,
     ) -> Result<f64, ServerError> {
+        let _t = ptm_obs::span!("net.server.estimate.volume");
+        ptm_obs::counter!("net.server.query.volume").inc();
         let record = self
             .records
             .get(&(location, period))
@@ -153,6 +167,8 @@ impl CentralServer {
         location: LocationId,
         periods: &[PeriodId],
     ) -> Result<f64, ServerError> {
+        let _t = ptm_obs::span!("net.server.estimate.point");
+        ptm_obs::counter!("net.server.query.point").inc();
         let records = self.gather(location, periods)?;
         Ok(PointEstimator::new().estimate(&records)?)
     }
@@ -167,6 +183,8 @@ impl CentralServer {
         location: LocationId,
         periods: &[PeriodId],
     ) -> Result<f64, ServerError> {
+        let _t = ptm_obs::span!("net.server.estimate.naive");
+        ptm_obs::counter!("net.server.query.naive").inc();
         let records = self.gather(location, periods)?;
         Ok(NaiveAndEstimator::new().estimate(&records)?)
     }
@@ -182,6 +200,8 @@ impl CentralServer {
         location_b: LocationId,
         periods: &[PeriodId],
     ) -> Result<f64, ServerError> {
+        let _t = ptm_obs::span!("net.server.estimate.p2p");
+        ptm_obs::counter!("net.server.query.p2p").inc();
         let records_a = self.gather(location_a, periods)?;
         let records_b = self.gather(location_b, periods)?;
         Ok(PointToPointEstimator::new(self.s).estimate(&records_a, &records_b)?)

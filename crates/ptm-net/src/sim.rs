@@ -191,6 +191,8 @@ impl V2iSimulator {
     /// Propagates [`ServerError::DuplicateRecord`] if a period id is
     /// re-run.
     pub fn run_period(&mut self, period: PeriodId) -> Result<(), ServerError> {
+        let _t = ptm_obs::span!("net.sim.period");
+        let stats_before = self.stats;
         let start = self.now;
         let end = start + self.config.period_length;
 
@@ -240,6 +242,15 @@ impl V2iSimulator {
         for set in &mut self.in_range {
             set.clear();
         }
+        ptm_obs::counter!("net.sim.periods").inc();
+        ptm_obs::debug!("net.sim", "period complete";
+            period = period.get(),
+            beacons = self.stats.beacons_broadcast - stats_before.beacons_broadcast,
+            reports_sent = self.stats.reports_sent - stats_before.reports_sent,
+            reports_accepted = self.stats.reports_accepted - stats_before.reports_accepted,
+            frames_lost = self.stats.frames_lost - stats_before.frames_lost,
+            bytes_sent = self.stats.bytes_sent - stats_before.bytes_sent,
+        );
         Ok(())
     }
 

@@ -1,0 +1,422 @@
+//! Structured, leveled events.
+//!
+//! Events carry a level, a target (a dotted component path such as
+//! `cli.table1` or `net.sim`), a message, and typed key/value fields. They
+//! render either as pretty single-line text for humans or as JSONL for
+//! machines, controlled by the `PTM_LOG` environment variable:
+//!
+//! ```text
+//! PTM_LOG=debug            # level only (error|warn|info|debug|trace|off)
+//! PTM_LOG=json             # machine-readable JSONL at the default level
+//! PTM_LOG=trace,json       # comma-separated tokens combine
+//! PTM_LOG=pretty           # force pretty text (the default format)
+//! ```
+//!
+//! The default is `info` + pretty. Filtering happens before any formatting:
+//! a disabled level costs one relaxed atomic load (the [`crate::event!`]
+//! macro checks [`level_enabled`] before evaluating its message or fields).
+
+use crate::json;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Event severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// The run cannot proceed (or produced wrong output).
+    Error = 1,
+    /// Something unexpected that the run survived.
+    Warn = 2,
+    /// High-level progress; the default verbosity.
+    Info = 3,
+    /// Per-phase detail (per simulated period, per trial batch).
+    Debug = 4,
+    /// Per-item detail; very noisy.
+    Trace = 5,
+}
+
+impl Level {
+    /// Lower-case name, padded to 5 bytes for column-aligned pretty output.
+    fn padded(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn ",
+            Level::Info => "info ",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Lower-case name without padding (used in JSON output).
+    fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn from_u8(raw: u8) -> Option<Level> {
+        match raw {
+            1 => Some(Level::Error),
+            2 => Some(Level::Warn),
+            3 => Some(Level::Info),
+            4 => Some(Level::Debug),
+            5 => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+/// A typed field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl FieldValue {
+    fn push_json(&self, out: &mut String) {
+        match self {
+            FieldValue::U64(v) => out.push_str(&v.to_string()),
+            FieldValue::I64(v) => out.push_str(&v.to_string()),
+            FieldValue::F64(v) => json::push_f64(out, *v),
+            FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            FieldValue::Str(v) => json::push_str_literal(out, v),
+        }
+    }
+
+    fn push_pretty(&self, out: &mut String) {
+        match self {
+            FieldValue::U64(v) => out.push_str(&v.to_string()),
+            FieldValue::I64(v) => out.push_str(&v.to_string()),
+            FieldValue::F64(v) => out.push_str(&format!("{v}")),
+            FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            FieldValue::Str(v) => out.push_str(v),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> Self {
+        FieldValue::I64(v as i64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<&String> for FieldValue {
+    fn from(v: &String) -> Self {
+        FieldValue::Str(v.clone())
+    }
+}
+
+struct Sink {
+    /// 0 = off; otherwise a `Level` discriminant. Events at a level numerically
+    /// above this are dropped.
+    max_level: AtomicU8,
+    json: AtomicBool,
+    /// Timestamp origin: events report milliseconds since the sink was first
+    /// touched, which is stable within a run and needs no wall clock.
+    epoch: Instant,
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+fn sink() -> &'static Sink {
+    static SINK: OnceLock<Sink> = OnceLock::new();
+    SINK.get_or_init(|| {
+        let (level, json) = parse_spec(std::env::var("PTM_LOG").ok().as_deref());
+        Sink {
+            max_level: AtomicU8::new(level),
+            json: AtomicBool::new(json),
+            epoch: Instant::now(),
+            writer: Mutex::new(Box::new(io::stderr())),
+        }
+    })
+}
+
+/// Parses a `PTM_LOG`-style spec into `(max_level_u8, json)`.
+///
+/// Unknown tokens are ignored so a typo degrades to the defaults rather
+/// than panicking inside logging.
+fn parse_spec(spec: Option<&str>) -> (u8, bool) {
+    let mut level = Level::Info as u8;
+    let mut json = false;
+    if let Some(spec) = spec {
+        for token in spec.split(',') {
+            match token.trim().to_ascii_lowercase().as_str() {
+                "off" | "none" | "silent" => level = 0,
+                "error" => level = Level::Error as u8,
+                "warn" | "warning" => level = Level::Warn as u8,
+                "info" => level = Level::Info as u8,
+                "debug" => level = Level::Debug as u8,
+                "trace" => level = Level::Trace as u8,
+                "json" | "jsonl" => json = true,
+                "pretty" | "text" => json = false,
+                _ => {}
+            }
+        }
+    }
+    (level, json)
+}
+
+/// (Re-)applies the `PTM_LOG` environment variable to the sink.
+///
+/// The sink self-initializes from the environment on first use, so calling
+/// this is only needed after the process mutates `PTM_LOG` or to reset
+/// overrides made via [`set_max_level`]/[`set_json`].
+pub fn init_from_env() {
+    let (level, json) = parse_spec(std::env::var("PTM_LOG").ok().as_deref());
+    let s = sink();
+    s.max_level.store(level, Ordering::Relaxed);
+    s.json.store(json, Ordering::Relaxed);
+}
+
+/// Overrides the maximum emitted level; `None` silences all events.
+pub fn set_max_level(level: Option<Level>) {
+    sink()
+        .max_level
+        .store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Switches between JSONL (`true`) and pretty text (`false`) output.
+pub fn set_json(json: bool) {
+    sink().json.store(json, Ordering::Relaxed);
+}
+
+/// Whether an event at `level` would currently be emitted.
+#[inline]
+pub fn level_enabled(level: Level) -> bool {
+    level as u8 <= sink().max_level.load(Ordering::Relaxed)
+}
+
+/// Current maximum level, if any level is enabled at all.
+pub fn max_level() -> Option<Level> {
+    Level::from_u8(sink().max_level.load(Ordering::Relaxed))
+}
+
+/// Formats and writes one event. Callers normally go through the
+/// [`crate::event!`] family of macros, which gate on [`level_enabled`]
+/// *before* evaluating message and field expressions.
+pub fn emit(level: Level, target: &str, message: &str, fields: &[(&str, FieldValue)]) {
+    let s = sink();
+    let elapsed_ms = s.epoch.elapsed().as_secs_f64() * 1e3;
+    let mut line = String::with_capacity(96);
+    if s.json.load(Ordering::Relaxed) {
+        line.push_str("{\"ts_ms\": ");
+        json::push_f64(&mut line, (elapsed_ms * 1e3).round() / 1e3);
+        line.push_str(", \"level\": ");
+        json::push_str_literal(&mut line, level.name());
+        line.push_str(", \"target\": ");
+        json::push_str_literal(&mut line, target);
+        line.push_str(", \"message\": ");
+        json::push_str_literal(&mut line, message);
+        for (key, value) in fields {
+            line.push_str(", ");
+            json::push_str_literal(&mut line, key);
+            line.push_str(": ");
+            value.push_json(&mut line);
+        }
+        line.push('}');
+    } else {
+        line.push_str(&format!(
+            "[{elapsed_ms:9.1}ms {} {target}] {message}",
+            level.padded()
+        ));
+        for (key, value) in fields {
+            line.push(' ');
+            line.push_str(key);
+            line.push('=');
+            value.push_pretty(&mut line);
+        }
+    }
+    line.push('\n');
+    let mut writer = s
+        .writer
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner());
+    // Logging must never take the process down; a broken pipe on stderr is
+    // the reader's problem.
+    let _ = writer.write_all(line.as_bytes());
+    let _ = writer.flush();
+}
+
+/// Redirects event output to an arbitrary writer (tests use an in-memory
+/// buffer). Returns the previous writer.
+pub fn set_writer(writer: Box<dyn Write + Send>) -> Box<dyn Write + Send> {
+    let mut slot = sink()
+        .writer
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner());
+    std::mem::replace(&mut *slot, writer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::global_lock;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A writer that appends into a shared buffer, so the test can read back
+    /// what the sink wrote.
+    #[derive(Clone)]
+    struct Capture(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Runs `f` with events captured, restoring the previous writer and
+    /// level/format afterwards.
+    fn captured(level: Option<Level>, json: bool, f: impl FnOnce()) -> String {
+        let buffer = Capture(Arc::new(StdMutex::new(Vec::new())));
+        let previous = set_writer(Box::new(buffer.clone()));
+        set_max_level(level);
+        set_json(json);
+        f();
+        let _ = set_writer(previous);
+        init_from_env();
+        let bytes = buffer.0.lock().unwrap().clone();
+        String::from_utf8(bytes).expect("events are UTF-8")
+    }
+
+    #[test]
+    fn parse_spec_tokens() {
+        assert_eq!(parse_spec(None), (Level::Info as u8, false));
+        assert_eq!(parse_spec(Some("debug")), (Level::Debug as u8, false));
+        assert_eq!(parse_spec(Some("json")), (Level::Info as u8, true));
+        assert_eq!(parse_spec(Some("trace,json")), (Level::Trace as u8, true));
+        assert_eq!(parse_spec(Some("off")), (0, false));
+        assert_eq!(parse_spec(Some("WARN , Pretty")), (Level::Warn as u8, false));
+        assert_eq!(parse_spec(Some("nonsense")), (Level::Info as u8, false));
+    }
+
+    #[test]
+    fn pretty_line_has_level_target_message_fields() {
+        let _guard = global_lock();
+        let out = captured(Some(Level::Info), false, || {
+            crate::info!("test.target", "hello"; n = 3_u64, ok = true);
+        });
+        assert!(out.contains("info"), "level missing: {out}");
+        assert!(out.contains("test.target"), "target missing: {out}");
+        assert!(out.contains("hello"), "message missing: {out}");
+        assert!(out.contains("n=3"), "field missing: {out}");
+        assert!(out.contains("ok=true"), "field missing: {out}");
+    }
+
+    #[test]
+    fn json_line_is_wellformed() {
+        let _guard = global_lock();
+        let out = captured(Some(Level::Debug), true, || {
+            crate::debug!("test.json", "with \"quotes\""; ratio = 0.5, name = "x");
+        });
+        let line = out.lines().next().expect("one line");
+        assert!(line.starts_with('{') && line.ends_with('}'), "not JSON: {line}");
+        assert!(line.contains("\"level\": \"debug\""));
+        assert!(line.contains("\"target\": \"test.json\""));
+        assert!(line.contains("\"message\": \"with \\\"quotes\\\"\""));
+        assert!(line.contains("\"ratio\": 0.5"));
+        assert!(line.contains("\"name\": \"x\""));
+    }
+
+    #[test]
+    fn level_filter_drops_noisier_events() {
+        let _guard = global_lock();
+        let out = captured(Some(Level::Warn), false, || {
+            crate::error!("test.filter", "kept-error");
+            crate::warn!("test.filter", "kept-warn");
+            crate::info!("test.filter", "dropped-info");
+            crate::trace!("test.filter", "dropped-trace");
+        });
+        assert!(out.contains("kept-error"));
+        assert!(out.contains("kept-warn"));
+        assert!(!out.contains("dropped-info"));
+        assert!(!out.contains("dropped-trace"));
+    }
+
+    #[test]
+    fn off_silences_everything() {
+        let _guard = global_lock();
+        let out = captured(None, false, || {
+            assert!(!level_enabled(Level::Error));
+            crate::error!("test.off", "even errors");
+        });
+        assert!(out.is_empty(), "expected silence, got: {out}");
+    }
+
+    #[test]
+    fn max_level_roundtrip() {
+        let _guard = global_lock();
+        set_max_level(Some(Level::Trace));
+        assert_eq!(max_level(), Some(Level::Trace));
+        assert!(level_enabled(Level::Trace));
+        set_max_level(None);
+        assert_eq!(max_level(), None);
+        init_from_env();
+    }
+}

@@ -1,0 +1,70 @@
+//! A tiny JSON string emitter.
+//!
+//! The snapshot and event types carry their own serializer so the crate
+//! stays dependency-free; output is plain JSON with keys in the order the
+//! callers iterate (BTreeMaps, hence deterministic).
+
+/// Appends `s` as a JSON string literal (with quotes) onto `out`.
+pub(crate) fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON number for `v`; non-finite floats become `null` (JSON has
+/// no NaN/Infinity).
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's shortest-roundtrip Display for floats is valid JSON except
+        // that integral values print without a fraction, which is fine.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn literal(s: &str) -> String {
+        let mut out = String::new();
+        push_str_literal(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(literal("plain"), "\"plain\"");
+        assert_eq!(literal("a\"b"), "\"a\\\"b\"");
+        assert_eq!(literal("a\\b"), "\"a\\\\b\"");
+        assert_eq!(literal("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(literal("\u{1}"), "\"\\u0001\"");
+        assert_eq!(literal("héllo"), "\"héllo\"");
+    }
+
+    #[test]
+    fn floats() {
+        let mut out = String::new();
+        push_f64(&mut out, 1.5);
+        assert_eq!(out, "1.5");
+        let mut out = String::new();
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+        let mut out = String::new();
+        push_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "null");
+    }
+}

@@ -1,0 +1,272 @@
+//! Observability for the persistent traffic measurement workspace.
+//!
+//! Three building blocks, all designed so that the *disabled* path costs a
+//! couple of atomic loads and nothing else:
+//!
+//! * **Metrics** ([`metrics`]): a process-global [`Registry`] of atomic
+//!   [`Counter`]s, [`Gauge`]s, and fixed-bucket [`Histogram`]s. Recording is
+//!   lock-free (relaxed atomics); registration takes a short-lived lock the
+//!   first time a name is seen. [`MetricsSnapshot`] renders the whole
+//!   registry to deterministic JSON (names sorted) or a human summary.
+//! * **Span timers** ([`span`]): `let _t = ptm_obs::span!("encode.record");`
+//!   measures the enclosing scope and feeds the elapsed nanoseconds into the
+//!   histogram of the same name. When metrics are disabled the timer never
+//!   even reads the clock.
+//! * **Structured events** ([`events`]): leveled, targeted log lines with
+//!   typed fields, written to stderr as pretty text or JSONL. The level and
+//!   format come from the `PTM_LOG` environment variable (e.g.
+//!   `PTM_LOG=debug,json`); the default is `info` + pretty.
+//!
+//! Metrics start **disabled** — the hot paths in `ptm-core`/`ptm-net` call
+//! into this crate unconditionally and rely on the disabled path being free.
+//! The CLI enables them when the user passes `--metrics <path>`.
+//!
+//! # Example
+//!
+//! ```
+//! ptm_obs::set_metrics_enabled(true);
+//! ptm_obs::counter!("demo.widgets").add(3);
+//! {
+//!     let _t = ptm_obs::span!("demo.work");
+//!     // ... timed scope ...
+//! }
+//! let snapshot = ptm_obs::snapshot();
+//! assert_eq!(snapshot.counters["demo.widgets"], 3);
+//! assert_eq!(snapshot.histograms["demo.work"].count, 1);
+//! ptm_obs::set_metrics_enabled(false);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+mod json;
+pub mod metrics;
+pub mod span;
+
+pub use events::{FieldValue, Level};
+pub use metrics::{
+    BucketSnapshot, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+};
+pub use span::SpanTimer;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether metric recording is currently enabled.
+///
+/// Hot paths may use this to skip preparatory work (e.g. reading a bit
+/// before setting it to classify collisions); the recording primitives also
+/// check it internally, so plain `counter!(..).inc()` calls are always safe.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    METRICS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns metric recording on or off process-wide.
+pub fn set_metrics_enabled(enabled: bool) {
+    METRICS_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Enables metric recording (shorthand for `set_metrics_enabled(true)`).
+pub fn enable_metrics() {
+    set_metrics_enabled(true);
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global metric registry.
+pub fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Snapshots the global registry.
+pub fn snapshot() -> MetricsSnapshot {
+    registry().snapshot()
+}
+
+/// Returns a cached [`Counter`] registered under the given name.
+///
+/// The handle is resolved once per call site and cached in a hidden static,
+/// so repeated executions cost one atomic load before the (enabled-gated)
+/// increment.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __PTM_OBS_COUNTER: ::std::sync::OnceLock<$crate::metrics::Counter> =
+            ::std::sync::OnceLock::new();
+        __PTM_OBS_COUNTER.get_or_init(|| $crate::registry().counter($name))
+    }};
+}
+
+/// Returns a cached [`Gauge`] registered under the given name.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static __PTM_OBS_GAUGE: ::std::sync::OnceLock<$crate::metrics::Gauge> =
+            ::std::sync::OnceLock::new();
+        __PTM_OBS_GAUGE.get_or_init(|| $crate::registry().gauge($name))
+    }};
+}
+
+/// Returns a cached [`Histogram`] (default exponential bounds) registered
+/// under the given name.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __PTM_OBS_HISTOGRAM: ::std::sync::OnceLock<$crate::metrics::Histogram> =
+            ::std::sync::OnceLock::new();
+        __PTM_OBS_HISTOGRAM.get_or_init(|| $crate::registry().histogram($name))
+    }};
+}
+
+/// Starts a [`SpanTimer`] feeding the histogram of the given name.
+///
+/// Bind it to keep the scope measured: `let _t = ptm_obs::span!("x.y");`.
+/// When metrics are disabled the timer is inert and never reads the clock.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        static __PTM_OBS_SPAN_HIST: ::std::sync::OnceLock<$crate::metrics::Histogram> =
+            ::std::sync::OnceLock::new();
+        $crate::span::SpanTimer::new(
+            __PTM_OBS_SPAN_HIST.get_or_init(|| $crate::registry().histogram($name)),
+        )
+    }};
+}
+
+/// Emits a structured event at an explicit [`Level`].
+///
+/// Grammar: `event!(level, target, message)` or
+/// `event!(level, target, message; key = value, ...)`. The message is any
+/// `Display` expression; field values convert via [`FieldValue::from`]
+/// (integers, floats, bools, strings).
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $target:expr, $msg:expr) => {
+        $crate::event!($level, $target, $msg ;)
+    };
+    ($level:expr, $target:expr, $msg:expr ; $($key:ident = $value:expr),* $(,)?) => {
+        if $crate::events::level_enabled($level) {
+            $crate::events::emit(
+                $level,
+                $target,
+                &::std::string::ToString::to_string(&$msg),
+                &[$((stringify!($key), $crate::events::FieldValue::from($value))),*],
+            );
+        }
+    };
+}
+
+/// [`event!`] at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($rest:tt)*) => { $crate::event!($crate::events::Level::Error, $($rest)*) };
+}
+
+/// [`event!`] at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($rest:tt)*) => { $crate::event!($crate::events::Level::Warn, $($rest)*) };
+}
+
+/// [`event!`] at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($rest:tt)*) => { $crate::event!($crate::events::Level::Info, $($rest)*) };
+}
+
+/// [`event!`] at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($rest:tt)*) => { $crate::event!($crate::events::Level::Debug, $($rest)*) };
+}
+
+/// [`event!`] at [`Level::Trace`].
+#[macro_export]
+macro_rules! trace {
+    ($($rest:tt)*) => { $crate::event!($crate::events::Level::Trace, $($rest)*) };
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Unit tests toggle process-global state (the enabled flag, the event
+    //! sink writer); this lock serializes them so parallel test threads
+    //! don't observe each other's configuration.
+
+    use std::sync::{Mutex, MutexGuard};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn global_lock() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_disabled_by_default_and_toggleable() {
+        let _guard = test_support::global_lock();
+        set_metrics_enabled(false);
+        assert!(!metrics_enabled());
+        let counter = registry().counter("lib.toggle.counter");
+        counter.inc();
+        assert_eq!(counter.get(), 0, "disabled counters must not move");
+        enable_metrics();
+        assert!(metrics_enabled());
+        counter.inc();
+        assert_eq!(counter.get(), 1);
+        set_metrics_enabled(false);
+    }
+
+    #[test]
+    fn cached_macro_handles_share_the_registry_entry() {
+        let _guard = test_support::global_lock();
+        set_metrics_enabled(true);
+        counter!("lib.macro.counter").add(2);
+        registry().counter("lib.macro.counter").add(3);
+        assert_eq!(counter!("lib.macro.counter").get(), 5);
+
+        gauge!("lib.macro.gauge").set(-7);
+        assert_eq!(registry().gauge("lib.macro.gauge").get(), -7);
+
+        histogram!("lib.macro.hist").record(9);
+        assert_eq!(registry().histogram("lib.macro.hist").count(), 1);
+        set_metrics_enabled(false);
+    }
+
+    #[test]
+    fn span_macro_times_a_scope() {
+        let _guard = test_support::global_lock();
+        set_metrics_enabled(true);
+        {
+            let _t = span!("lib.macro.span");
+            std::hint::black_box(0u64);
+        }
+        assert_eq!(registry().histogram("lib.macro.span").count(), 1);
+        set_metrics_enabled(false);
+        {
+            let _t = span!("lib.macro.span");
+        }
+        assert_eq!(
+            registry().histogram("lib.macro.span").count(),
+            1,
+            "disabled span must not record"
+        );
+    }
+
+    #[test]
+    fn snapshot_reflects_global_registry() {
+        let _guard = test_support::global_lock();
+        set_metrics_enabled(true);
+        counter!("lib.snapshot.counter").add(11);
+        let snap = snapshot();
+        assert_eq!(snap.counters["lib.snapshot.counter"], 11);
+        set_metrics_enabled(false);
+    }
+}

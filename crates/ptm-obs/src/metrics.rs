@@ -1,0 +1,649 @@
+//! The metric registry: atomic counters, gauges, and fixed-bucket
+//! histograms, snapshot-able to deterministic JSON.
+//!
+//! Recording never blocks: handles are `Arc`s around atomics, so concurrent
+//! writers (e.g. the trial workers in `ptm-sim::runner`) only contend at the
+//! cache-line level. The registry's locks are touched only when a *name* is
+//! first resolved or a snapshot is taken.
+//!
+//! All recording respects the process-global enabled flag
+//! ([`crate::metrics_enabled`]); when it is off, every operation is a relaxed
+//! load plus a predictable branch (see `benches/obs_overhead.rs` in the
+//! bench crate for proof).
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Default histogram bucket upper bounds: powers of four from 1 to 4^19
+/// (~275 s in nanoseconds), plus an implicit overflow bucket.
+///
+/// One geometric ladder serves both latencies (nanoseconds) and sizes
+/// (counts, bits): 20 buckets spanning twelve orders of magnitude at a
+/// constant ~2x relative error.
+pub const DEFAULT_BUCKET_BOUNDS: [u64; 20] = [
+    1,
+    4,
+    16,
+    64,
+    256,
+    1_024,
+    4_096,
+    16_384,
+    65_536,
+    262_144,
+    1_048_576,
+    4_194_304,
+    16_777_216,
+    67_108_864,
+    268_435_456,
+    1_073_741_824,
+    4_294_967_296,
+    17_179_869_184,
+    68_719_476_736,
+    274_877_906_944,
+];
+
+/// A monotonically increasing counter.
+///
+/// Cloning is cheap and every clone addresses the same underlying value.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. No-op while metrics are disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::metrics_enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move in both directions.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value. No-op while metrics are disabled.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        if crate::metrics_enabled() {
+            self.0.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative). No-op while metrics are disabled.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if crate::metrics_enabled() {
+            self.0.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Strictly increasing inclusive upper bounds; values above the last
+    /// bound land in the overflow bucket.
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` buckets, the last being overflow.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket histogram for latencies (nanoseconds) and sizes.
+///
+/// Cloning is cheap and every clone addresses the same underlying series.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    fn with_bounds(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self(Arc::new(HistogramCore {
+            bounds: bounds.to_vec(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation. No-op while metrics are disabled.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !crate::metrics_enabled() {
+            return;
+        }
+        let core = &*self.0;
+        let idx = core.bounds.partition_point(|&bound| bound < value);
+        core.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(value, Ordering::Relaxed);
+        core.min.fetch_min(value, Ordering::Relaxed);
+        core.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Captures the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let core = &*self.0;
+        let count = core.count.load(Ordering::Relaxed);
+        let sum = core.sum.load(Ordering::Relaxed);
+        let min = core.min.load(Ordering::Relaxed);
+        let max = core.max.load(Ordering::Relaxed);
+        let buckets = core
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, bucket)| BucketSnapshot {
+                le: core.bounds.get(i).copied(),
+                count: bucket.load(Ordering::Relaxed),
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum,
+            min: if count > 0 { Some(min) } else { None },
+            max: if count > 0 { Some(max) } else { None },
+            mean: if count > 0 { sum as f64 / count as f64 } else { 0.0 },
+            buckets,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::with_bounds(&DEFAULT_BUCKET_BOUNDS)
+    }
+}
+
+/// One histogram bucket in a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct BucketSnapshot {
+    /// Inclusive upper bound; `None` for the overflow bucket.
+    pub le: Option<u64>,
+    /// Observations that fell in this bucket.
+    pub count: u64,
+}
+
+/// A histogram's state at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest observation, if any.
+    pub min: Option<u64>,
+    /// Largest observation, if any.
+    pub max: Option<u64>,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Per-bucket counts, lowest bound first, overflow last.
+    pub buckets: Vec<BucketSnapshot>,
+}
+
+impl HistogramSnapshot {
+    /// Upper bound of the bucket containing the `q`-quantile (0 ≤ q ≤ 1),
+    /// or `None` when the histogram is empty or the quantile lands in the
+    /// unbounded overflow bucket.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for bucket in &self.buckets {
+            cumulative = cumulative.saturating_add(bucket.count);
+            if cumulative >= rank {
+                return bucket.le;
+            }
+        }
+        None
+    }
+}
+
+/// A point-in-time view of the whole registry, with names sorted so that
+/// the JSON rendering is byte-for-byte deterministic for identical state.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as pretty-printed JSON.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"counters\": {");
+        push_scalar_map(&mut out, &self.counters, |out, &v| out.push_str(&v.to_string()));
+        out.push_str("},\n  \"gauges\": {");
+        push_scalar_map(&mut out, &self.gauges, |out, &v| out.push_str(&v.to_string()));
+        out.push_str("},\n  \"histograms\": {");
+        let mut first = true;
+        for (name, hist) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    ");
+            json::push_str_literal(&mut out, name);
+            out.push_str(": ");
+            push_histogram(&mut out, hist);
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Renders a short human-readable summary: every counter and gauge, and
+    /// one line per histogram with count / mean / p50 / p99 / max.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::from("metrics summary\n");
+        if self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty() {
+            out.push_str("  (no metrics recorded)\n");
+            return out;
+        }
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(0);
+        for (name, value) in &self.counters {
+            out.push_str(&format!("  {name:width$}  {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("  {name:width$}  {value}\n"));
+        }
+        for (name, hist) in &self.histograms {
+            let p50 = quantile_label(hist, 0.5);
+            let p99 = quantile_label(hist, 0.99);
+            let max = hist.max.map_or_else(|| "-".to_owned(), |v| v.to_string());
+            out.push_str(&format!(
+                "  {name:width$}  count {}  mean {:.1}  p50 <= {p50}  p99 <= {p99}  max {max}\n",
+                hist.count, hist.mean
+            ));
+        }
+        out
+    }
+}
+
+fn quantile_label(hist: &HistogramSnapshot, q: f64) -> String {
+    match hist.quantile(q) {
+        Some(bound) => bound.to_string(),
+        None if hist.count > 0 => "overflow".to_owned(),
+        None => "-".to_owned(),
+    }
+}
+
+fn push_scalar_map<V>(
+    out: &mut String,
+    map: &BTreeMap<String, V>,
+    mut push_value: impl FnMut(&mut String, &V),
+) {
+    let mut first = true;
+    for (name, value) in map {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    ");
+        json::push_str_literal(out, name);
+        out.push_str(": ");
+        push_value(out, value);
+    }
+    if !map.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+fn push_histogram(out: &mut String, hist: &HistogramSnapshot) {
+    out.push_str("{\"count\": ");
+    out.push_str(&hist.count.to_string());
+    out.push_str(", \"sum\": ");
+    out.push_str(&hist.sum.to_string());
+    out.push_str(", \"min\": ");
+    match hist.min {
+        Some(v) => out.push_str(&v.to_string()),
+        None => out.push_str("null"),
+    }
+    out.push_str(", \"max\": ");
+    match hist.max {
+        Some(v) => out.push_str(&v.to_string()),
+        None => out.push_str("null"),
+    }
+    out.push_str(", \"mean\": ");
+    json::push_f64(out, hist.mean);
+    out.push_str(", \"buckets\": [");
+    let mut first = true;
+    for bucket in &hist.buckets {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push_str("{\"le\": ");
+        match bucket.le {
+            Some(bound) => out.push_str(&bound.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"count\": ");
+        out.push_str(&bucket.count.to_string());
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
+/// The metric registry: resolves names to shared handles and takes
+/// snapshots.
+///
+/// Names are interned on first use; re-resolving a name returns a handle to
+/// the same underlying metric (the first registration's bucket bounds win
+/// for histograms).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    /// Creates an empty registry (the process-global one is
+    /// [`crate::registry`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves (registering on first use) a counter.
+    pub fn counter(&self, name: impl Into<String>) -> Counter {
+        let name = name.into();
+        if let Some(found) = self.counters.read().expect("registry lock").get(&name) {
+            return found.clone();
+        }
+        self.counters
+            .write()
+            .expect("registry lock")
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// Resolves (registering on first use) a gauge.
+    pub fn gauge(&self, name: impl Into<String>) -> Gauge {
+        let name = name.into();
+        if let Some(found) = self.gauges.read().expect("registry lock").get(&name) {
+            return found.clone();
+        }
+        self.gauges
+            .write()
+            .expect("registry lock")
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// Resolves (registering on first use) a histogram with the default
+    /// exponential bounds.
+    pub fn histogram(&self, name: impl Into<String>) -> Histogram {
+        self.histogram_with_bounds(name, &DEFAULT_BUCKET_BOUNDS)
+    }
+
+    /// Resolves (registering on first use) a histogram with explicit bucket
+    /// bounds. If the name already exists, the existing histogram (and its
+    /// original bounds) is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing (only on
+    /// first registration).
+    pub fn histogram_with_bounds(&self, name: impl Into<String>, bounds: &[u64]) -> Histogram {
+        let name = name.into();
+        if let Some(found) = self.histograms.read().expect("registry lock").get(&name) {
+            return found.clone();
+        }
+        self.histograms
+            .write()
+            .expect("registry lock")
+            .entry(name)
+            .or_insert_with(|| Histogram::with_bounds(bounds))
+            .clone()
+    }
+
+    /// Captures every registered metric.
+    ///
+    /// The snapshot is taken metric-by-metric without a global pause; with
+    /// writers still running, each individual value is a consistent atomic
+    /// read but the set as a whole is not a single instant. After all
+    /// writers have finished (e.g. joined threads), snapshots are exact and
+    /// independent of the interleaving that produced them.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(name, counter)| (name.clone(), counter.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(name, gauge)| (name.clone(), gauge.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(name, hist)| (name.clone(), hist.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::global_lock;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let _guard = global_lock();
+        crate::set_metrics_enabled(true);
+        let registry = Registry::new();
+        let counter = registry.counter("a.counter");
+        counter.inc();
+        counter.add(4);
+        assert_eq!(counter.get(), 5);
+        // Same name, same metric.
+        assert_eq!(registry.counter("a.counter").get(), 5);
+
+        let gauge = registry.gauge("a.gauge");
+        gauge.set(10);
+        gauge.add(-3);
+        gauge.inc();
+        assert_eq!(gauge.get(), 8);
+        crate::set_metrics_enabled(false);
+    }
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        let _guard = global_lock();
+        crate::set_metrics_enabled(false);
+        let registry = Registry::new();
+        let counter = registry.counter("d.counter");
+        let gauge = registry.gauge("d.gauge");
+        let hist = registry.histogram("d.hist");
+        counter.add(5);
+        gauge.set(5);
+        hist.record(5);
+        assert_eq!(counter.get(), 0);
+        assert_eq!(gauge.get(), 0);
+        assert_eq!(hist.count(), 0);
+    }
+
+    #[test]
+    fn histogram_bucketing_is_inclusive_on_bounds() {
+        let _guard = global_lock();
+        crate::set_metrics_enabled(true);
+        let registry = Registry::new();
+        let hist = registry.histogram_with_bounds("h.edges", &[10, 100, 1000]);
+        for value in [0, 10, 11, 100, 101, 1000, 1001, 50_000] {
+            hist.record(value);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 8);
+        assert_eq!(snap.min, Some(0));
+        assert_eq!(snap.max, Some(50_000));
+        let counts: Vec<u64> = snap.buckets.iter().map(|b| b.count).collect();
+        // <=10: {0, 10}; <=100: {11, 100}; <=1000: {101, 1000}; overflow:
+        // {1001, 50000}.
+        assert_eq!(counts, vec![2, 2, 2, 2]);
+        assert_eq!(snap.buckets[0].le, Some(10));
+        assert_eq!(snap.buckets[3].le, None);
+        assert_eq!(snap.sum, 0 + 10 + 11 + 100 + 101 + 1000 + 1001 + 50_000);
+        crate::set_metrics_enabled(false);
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let _guard = global_lock();
+        crate::set_metrics_enabled(true);
+        let registry = Registry::new();
+        let hist = registry.histogram_with_bounds("h.quantiles", &[10, 100, 1000]);
+        for _ in 0..90 {
+            hist.record(5);
+        }
+        for _ in 0..9 {
+            hist.record(50);
+        }
+        hist.record(5000);
+        let snap = hist.snapshot();
+        assert_eq!(snap.quantile(0.5), Some(10));
+        assert_eq!(snap.quantile(0.95), Some(100));
+        assert_eq!(snap.quantile(1.0), None, "the last observation overflows");
+        crate::set_metrics_enabled(false);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot() {
+        let registry = Registry::new();
+        let snap = registry.histogram("h.empty").snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.min, None);
+        assert_eq!(snap.max, None);
+        assert_eq!(snap.mean, 0.0);
+        assert_eq!(snap.quantile(0.5), None);
+    }
+
+    #[test]
+    fn default_bounds_are_strictly_increasing_powers_of_four() {
+        for (i, window) in DEFAULT_BUCKET_BOUNDS.windows(2).enumerate() {
+            assert!(window[0] < window[1], "bounds out of order at {i}");
+            assert_eq!(window[1], window[0] * 4);
+        }
+        assert_eq!(DEFAULT_BUCKET_BOUNDS[0], 1);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_wellformed() {
+        let _guard = global_lock();
+        crate::set_metrics_enabled(true);
+        let registry = Registry::new();
+        registry.counter("z.counter").add(3);
+        registry.counter("a.counter").add(1);
+        registry.gauge("m.gauge").set(-2);
+        registry.histogram_with_bounds("h.one", &[8, 64]).record(9);
+        let first = registry.snapshot();
+        let second = registry.snapshot();
+        assert_eq!(first, second);
+        let json = first.to_json_pretty();
+        assert_eq!(json, second.to_json_pretty());
+        // Sorted keys: "a.counter" renders before "z.counter".
+        let a_at = json.find("\"a.counter\"").expect("a.counter present");
+        let z_at = json.find("\"z.counter\"").expect("z.counter present");
+        assert!(a_at < z_at);
+        assert!(json.contains("\"m.gauge\": -2"));
+        assert!(json.contains("\"count\": 1, \"sum\": 9"));
+        assert!(json.contains("{\"le\": 64, \"count\": 1}"));
+        assert!(json.contains("{\"le\": null, \"count\": 0}"));
+        crate::set_metrics_enabled(false);
+    }
+
+    #[test]
+    fn summary_lists_every_metric() {
+        let _guard = global_lock();
+        crate::set_metrics_enabled(true);
+        let registry = Registry::new();
+        registry.counter("s.counter").add(7);
+        registry.gauge("s.gauge").set(4);
+        registry.histogram("s.hist").record(100);
+        let summary = registry.snapshot().render_summary();
+        assert!(summary.contains("s.counter"));
+        assert!(summary.contains("s.gauge"));
+        assert!(summary.contains("s.hist"));
+        assert!(summary.contains("count 1"));
+        crate::set_metrics_enabled(false);
+
+        let empty = Registry::new().snapshot().render_summary();
+        assert!(empty.contains("no metrics recorded"));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_rejected() {
+        let registry = Registry::new();
+        let _ = registry.histogram_with_bounds("h.bad", &[10, 10]);
+    }
+}

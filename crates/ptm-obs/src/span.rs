@@ -1,0 +1,96 @@
+//! Scope timers that feed histograms.
+//!
+//! A [`SpanTimer`] measures from construction to drop and records the
+//! elapsed nanoseconds into its histogram. The [`crate::span!`] macro is the
+//! usual entry point: it resolves the histogram once per call site and hands
+//! it here.
+//!
+//! When metrics are disabled at construction time the timer holds no start
+//! instant — the clock is never read — and drop is a single branch. A timer
+//! created while metrics were enabled still records even if they are
+//! disabled mid-span; the recording primitives drop the value in that case,
+//! which keeps the rule simple: histograms only move while enabled.
+
+use crate::metrics::Histogram;
+use std::time::Instant;
+
+/// Times the enclosing scope and records elapsed nanoseconds on drop.
+///
+/// Bind it to a named variable (conventionally `_t`): `let _ = span!(..)`
+/// drops immediately and times nothing, which is why this type is
+/// `#[must_use]`.
+#[must_use = "bind the timer (e.g. `let _t = ...`) or the span ends immediately"]
+#[derive(Debug)]
+pub struct SpanTimer {
+    start: Option<Instant>,
+    histogram: &'static Histogram,
+}
+
+impl SpanTimer {
+    /// Starts a timer feeding `histogram`; inert when metrics are disabled.
+    pub fn new(histogram: &'static Histogram) -> Self {
+        let start = crate::metrics_enabled().then(Instant::now);
+        Self { start, histogram }
+    }
+
+    /// Stops the timer early and records, consuming it. Dropping does the
+    /// same; this exists for call sites that want to end the span before
+    /// scope end without an extra block.
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.histogram.record(nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::test_support::global_lock;
+
+    #[test]
+    fn finish_records_once() {
+        let _guard = global_lock();
+        crate::set_metrics_enabled(true);
+        let before = crate::registry().histogram("span.finish").count();
+        let timer = crate::span!("span.finish");
+        timer.finish();
+        let after = crate::registry().histogram("span.finish").count();
+        assert_eq!(after, before + 1);
+        crate::set_metrics_enabled(false);
+    }
+
+    #[test]
+    fn sleep_is_measured_in_nanoseconds() {
+        let _guard = global_lock();
+        crate::set_metrics_enabled(true);
+        {
+            let _t = crate::span!("span.sleep");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let snap = crate::registry().histogram("span.sleep").snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(
+            snap.min.unwrap() >= 5_000_000,
+            "5ms sleep should record >= 5e6 ns, got {:?}",
+            snap.min
+        );
+        crate::set_metrics_enabled(false);
+    }
+
+    #[test]
+    fn disabled_timer_never_reads_clock_or_records() {
+        let _guard = global_lock();
+        crate::set_metrics_enabled(false);
+        let before = crate::registry().histogram("span.disabled").count();
+        {
+            let timer = crate::span!("span.disabled");
+            assert!(format!("{timer:?}").contains("start: None"));
+        }
+        assert_eq!(crate::registry().histogram("span.disabled").count(), before);
+    }
+}

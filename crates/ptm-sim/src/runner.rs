@@ -6,6 +6,7 @@
 //! core count.
 
 use std::num::NonZeroUsize;
+use std::time::Instant;
 
 /// Chooses a sensible thread count: the machine's available parallelism.
 pub fn default_threads() -> usize {
@@ -30,10 +31,27 @@ where
     if trials == 0 {
         return Vec::new();
     }
+    let _span = ptm_obs::span!("sim.run_trials");
+    // Per-trial wall time plus a completion counter; `timed` is what every
+    // execution path below actually calls.
+    let timed = |i: usize| -> T {
+        if !ptm_obs::metrics_enabled() {
+            return f(i);
+        }
+        let started = Instant::now();
+        let result = f(i);
+        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        ptm_obs::histogram!("sim.trial.wall_ns").record(nanos);
+        ptm_obs::counter!("sim.trials.completed").inc();
+        result
+    };
     if threads == 1 || trials == 1 {
-        return (0..trials).map(f).collect();
+        ptm_obs::gauge!("sim.workers").set(1);
+        return (0..trials).map(timed).collect();
     }
     let workers = threads.min(trials);
+    ptm_obs::gauge!("sim.workers").set(workers as i64);
+    ptm_obs::debug!("sim.runner", "dispatching trials"; trials = trials, workers = workers);
     let mut slots: Vec<Option<T>> = (0..trials).map(|_| None).collect();
     {
         // Hand each worker an interleaved set of trial indices; a shared
@@ -53,10 +71,19 @@ where
         }
         crossbeam::thread::scope(|scope| {
             for (offset, chunk) in chunks {
-                let f = &f;
+                let timed = &timed;
                 scope.spawn(move |_| {
+                    // Thread utilization: total time workers spent inside
+                    // trial bodies, comparable against the sim.run_trials
+                    // span to compute effective parallelism.
+                    let busy_from = ptm_obs::metrics_enabled().then(Instant::now);
                     for (i, slot) in chunk.iter_mut().enumerate() {
-                        *slot = Some(f(offset + i));
+                        *slot = Some(timed(offset + i));
+                    }
+                    if let Some(from) = busy_from {
+                        let nanos =
+                            u64::try_from(from.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        ptm_obs::counter!("sim.worker.busy_ns").add(nanos);
                     }
                 });
             }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, lints-as-errors, build, tests.
+# Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace --quiet
+
+echo "ci: all green"
