@@ -153,6 +153,66 @@ fn bench_storage(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_rpc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpc");
+    let scheme = EncodingScheme::new(21, 3);
+    let mut rng = ChaCha12Rng::seed_from_u64(17);
+    let mut record = ptm_core::record::TrafficRecord::new(
+        LocationId::new(15),
+        PeriodId::new(0),
+        BitmapSize::new(4096).expect("pow2"),
+    );
+    for _ in 0..1500 {
+        let v = VehicleSecrets::generate(&mut rng, 3);
+        record.encode(&scheme, &v);
+    }
+
+    // Transport frame round trip over an in-memory stream.
+    let request = ptm_rpc::Request::Upload(record.clone());
+    let payload = ptm_rpc::proto::encode_request(&request);
+    group.throughput(Throughput::Bytes((payload.len() + ptm_rpc::FRAME_HEADER_LEN) as u64));
+    group.bench_function("frame_write_4k_record", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(payload.len() + ptm_rpc::FRAME_HEADER_LEN);
+            ptm_rpc::frame::write_frame(&mut out, &payload).expect("vec write");
+            out
+        })
+    });
+    let mut framed = Vec::new();
+    ptm_rpc::frame::write_frame(&mut framed, &payload).expect("vec write");
+    group.bench_function("frame_read_4k_record", |b| {
+        b.iter(|| {
+            let mut cursor = std::io::Cursor::new(framed.as_slice());
+            ptm_rpc::frame::read_frame(&mut cursor, ptm_rpc::DEFAULT_MAX_FRAME_LEN)
+                .expect("valid frame")
+        })
+    });
+
+    // Protocol codec round trip: a 64-record batch.
+    let batch: Vec<ptm_core::record::TrafficRecord> = (0..64)
+        .map(|p| {
+            let mut r = ptm_core::record::TrafficRecord::new(
+                record.location(),
+                PeriodId::new(p),
+                BitmapSize::new(4096).expect("pow2"),
+            );
+            for idx in record.bitmap().iter_ones() {
+                r.set_reported_index(idx);
+            }
+            r
+        })
+        .collect();
+    let batch_request = ptm_rpc::Request::UploadBatch(batch);
+    group.bench_function("proto_encode_batch_64", |b| {
+        b.iter(|| ptm_rpc::proto::encode_request(&batch_request))
+    });
+    let batch_payload = ptm_rpc::proto::encode_request(&batch_request);
+    group.bench_function("proto_decode_batch_64", |b| {
+        b.iter(|| ptm_rpc::proto::decode_request(&batch_payload).expect("valid"))
+    });
+    group.finish();
+}
+
 fn bench_protocol(c: &mut Criterion) {
     let mut group = c.benchmark_group("v2i_protocol");
     group.sample_size(10);
@@ -175,5 +235,13 @@ fn bench_protocol(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bitmap, bench_encoding, bench_crypto, bench_storage, bench_protocol);
+criterion_group!(
+    benches,
+    bench_bitmap,
+    bench_encoding,
+    bench_crypto,
+    bench_storage,
+    bench_rpc,
+    bench_protocol
+);
 criterion_main!(benches);

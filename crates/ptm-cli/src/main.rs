@@ -18,6 +18,8 @@ use std::process::ExitCode;
 use ptm_core::params::SystemParams;
 use ptm_sim::{ablation, fig4, scatter, table1, table2};
 
+mod rpc;
+
 fn main() -> ExitCode {
     ptm_obs::events::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,6 +71,13 @@ COMMANDS:
     matrix      City-wide p2p persistent sweep over all Sioux Falls pairs
     demo        End-to-end V2I protocol demo on the Sioux Falls network
     all         Everything above in sequence
+    serve       Run the ptm-rpc record-ingest daemon
+                (--archive PATH [--addr A] [--s N] [--duration-secs N])
+    upload      Synthesise a campaign and upload it to a daemon
+                (--location L [--addr A] [--periods T] [--vehicles N]
+                 [--persistent N] [--seed S])
+    query       Query a daemon (--kind volume|point|p2p --location L
+                [--location-b B] [--periods T] [--period P] [--addr A])
 
 OPTIONS:
     --runs N    Simulation runs per data point (defaults per experiment)
@@ -185,6 +194,9 @@ fn run_command(command: &str, options: &Options) -> Result<(), String> {
         "errors" => cmd_errors(seed, runs, threads),
         "matrix" => cmd_matrix(seed, threads, csv.as_deref()),
         "demo" => cmd_demo(seed),
+        "serve" => rpc::cmd_serve(options),
+        "upload" => rpc::cmd_upload(options),
+        "query" => rpc::cmd_query(options),
         "all" => {
             cmd_table1(seed, runs, threads, csv.as_deref())?;
             cmd_fig4(seed, runs, threads, options, csv.as_deref())?;

@@ -1,0 +1,187 @@
+//! `ptm serve` / `ptm upload` / `ptm query` — drive the `ptm-rpc` channel
+//! from two shells.
+//!
+//! A minimal round trip:
+//!
+//! ```text
+//! shell A$ ptm serve --addr 127.0.0.1:7171 --archive /tmp/ptm.ptma
+//! shell B$ ptm upload --addr 127.0.0.1:7171 --location 15 --periods 5 \
+//!              --vehicles 400 --persistent 120 --seed 7
+//! shell B$ ptm query --addr 127.0.0.1:7171 --kind point --location 15 --periods 5
+//! ```
+//!
+//! `upload` synthesises a measurement campaign the same way the simulator
+//! does (a persistent fleet present in every period plus per-period
+//! transient traffic), so the point estimate queried afterwards should land
+//! near `--persistent`.
+
+use ptm_core::encoding::{EncodingScheme, LocationId, VehicleSecrets};
+use ptm_core::params::{BitmapSize, SystemParams};
+use ptm_core::record::{PeriodId, TrafficRecord};
+use ptm_rpc::{ClientConfig, RpcClient, RpcServer, ServerConfig};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use crate::{opt_u64, opt_usize};
+
+type Options = HashMap<String, String>;
+
+fn required<'a>(options: &'a Options, key: &str, hint: &str) -> Result<&'a str, String> {
+    options
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("--{key} is required ({hint})"))
+}
+
+/// `ptm serve`: run the record-ingest daemon in the foreground.
+pub fn cmd_serve(options: &Options) -> Result<(), String> {
+    let addr = options.get("addr").map(String::as_str).unwrap_or("127.0.0.1:7171");
+    let archive = PathBuf::from(required(options, "archive", "path for the write-ahead archive")?);
+    let s = opt_u64(options, "s")?.unwrap_or(3) as u32;
+    let duration = opt_u64(options, "duration-secs")?;
+    let config = ServerConfig { s, ..ServerConfig::default() };
+
+    let server = RpcServer::start(addr, &archive, config).map_err(|e| e.to_string())?;
+    let replay = server.replay_report();
+    println!(
+        "ptm-rpc daemon on {} (archive {}, replayed {} records{})",
+        server.local_addr(),
+        archive.display(),
+        replay.records,
+        if replay.torn_bytes > 0 {
+            format!(", discarded {} torn bytes", replay.torn_bytes)
+        } else {
+            String::new()
+        }
+    );
+    match duration {
+        Some(secs) => {
+            println!("serving for {secs}s ...");
+            std::thread::sleep(Duration::from_secs(secs));
+        }
+        None => {
+            println!("press Enter (or close stdin) to stop");
+            let mut line = String::new();
+            let _ = std::io::stdin().read_line(&mut line);
+        }
+    }
+    let records = server.record_count();
+    server.shutdown().map_err(|e| e.to_string())?;
+    println!("daemon stopped; archive holds {records} records");
+    Ok(())
+}
+
+/// Builds the synthetic campaign `upload` ships: `periods` records for one
+/// location, each encoding the shared persistent fleet plus fresh transient
+/// vehicles.
+fn synthesize_records(
+    location: LocationId,
+    periods: u32,
+    vehicles: usize,
+    persistent: usize,
+    seed: u64,
+) -> Result<Vec<TrafficRecord>, String> {
+    use rand::SeedableRng;
+    if persistent > vehicles {
+        return Err(format!("--persistent {persistent} exceeds --vehicles {vehicles}"));
+    }
+    let params = SystemParams::paper_default();
+    let scheme = EncodingScheme::new(seed, params.num_representatives());
+    let size: BitmapSize = params.bitmap_size(vehicles as f64);
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+    let fleet: Vec<VehicleSecrets> = (0..persistent)
+        .map(|_| VehicleSecrets::generate(&mut rng, params.num_representatives()))
+        .collect();
+    let mut records = Vec::with_capacity(periods as usize);
+    for p in 0..periods {
+        let mut record = TrafficRecord::new(location, PeriodId::new(p), size);
+        for v in &fleet {
+            record.encode(&scheme, v);
+        }
+        for _ in 0..vehicles - persistent {
+            let v = VehicleSecrets::generate(&mut rng, params.num_representatives());
+            record.encode(&scheme, &v);
+        }
+        records.push(record);
+    }
+    Ok(records)
+}
+
+fn client(options: &Options) -> Result<RpcClient, String> {
+    let addr = options.get("addr").map(String::as_str).unwrap_or("127.0.0.1:7171");
+    RpcClient::connect(addr, ClientConfig::default()).map_err(|e| e.to_string())
+}
+
+/// `ptm upload`: synthesise a campaign and batch-upload it.
+pub fn cmd_upload(options: &Options) -> Result<(), String> {
+    let location = LocationId::new(opt_u64(options, "location")?.unwrap_or(1));
+    let periods = opt_u64(options, "periods")?.unwrap_or(5) as u32;
+    let vehicles = opt_usize(options, "vehicles")?.unwrap_or(500);
+    let persistent = opt_usize(options, "persistent")?.unwrap_or(vehicles / 4);
+    let seed = opt_u64(options, "seed")?.unwrap_or(42);
+
+    let records = synthesize_records(location, periods, vehicles, persistent, seed)?;
+    let mut client = client(options)?;
+    let info = client.ping().map_err(|e| e.to_string())?;
+    println!(
+        "connected to {} (protocol v{}, s = {})",
+        client.addr(),
+        info.version,
+        info.s
+    );
+    let summary = client.upload_batch(&records).map_err(|e| e.to_string())?;
+    println!(
+        "uploaded {} records for location {} ({} accepted, {} idempotent duplicates); \
+         true persistent count is {persistent}",
+        records.len(),
+        location.get(),
+        summary.accepted,
+        summary.duplicates,
+    );
+    Ok(())
+}
+
+/// `ptm query`: ask the daemon for an estimate.
+pub fn cmd_query(options: &Options) -> Result<(), String> {
+    let kind = options.get("kind").map(String::as_str).unwrap_or("point");
+    let location = LocationId::new(
+        opt_u64(options, "location")?.ok_or("--location is required")?,
+    );
+    let periods = opt_u64(options, "periods")?.unwrap_or(5) as u32;
+    let period_ids: Vec<PeriodId> = (0..periods).map(PeriodId::new).collect();
+    let mut client = client(options)?;
+    match kind {
+        "volume" => {
+            let period = PeriodId::new(opt_u64(options, "period")?.unwrap_or(0) as u32);
+            let est = client.query_volume(location, period).map_err(|e| e.to_string())?;
+            println!(
+                "traffic volume at location {} period {}: {est:.1}",
+                location.get(),
+                period.get()
+            );
+        }
+        "point" => {
+            let est = client.query_point(location, &period_ids).map_err(|e| e.to_string())?;
+            println!(
+                "point persistent traffic at location {} over {periods} periods: {est:.1}",
+                location.get()
+            );
+        }
+        "p2p" => {
+            let location_b = LocationId::new(
+                opt_u64(options, "location-b")?.ok_or("--location-b is required for p2p")?,
+            );
+            let est = client
+                .query_p2p(location, location_b, &period_ids)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "p2p persistent traffic {} -> {} over {periods} periods: {est:.1}",
+                location.get(),
+                location_b.get()
+            );
+        }
+        other => return Err(format!("--kind expects volume, point or p2p, got {other:?}")),
+    }
+    Ok(())
+}

@@ -12,7 +12,8 @@ use std::collections::HashMap;
 /// Errors from server-side query processing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServerError {
-    /// A record for this `(location, period)` was already uploaded.
+    /// A *different* record for this `(location, period)` was already
+    /// uploaded (identical re-sends are accepted idempotently).
     DuplicateRecord {
         /// Location of the duplicate upload.
         location: LocationId,
@@ -87,13 +88,24 @@ impl CentralServer {
 
     /// Accepts an uploaded record.
     ///
+    /// Submission is **idempotent**: re-submitting a record identical to
+    /// the one already stored for its `(location, period)` succeeds without
+    /// changing anything (an RSU retrying an upload whose ack was lost must
+    /// not be punished). Only a *conflicting* duplicate — same slot,
+    /// different contents — is an error, because silently keeping either
+    /// copy would corrupt the measurement.
+    ///
     /// # Errors
     ///
     /// [`ServerError::DuplicateRecord`] when the `(location, period)` slot
-    /// is already filled.
+    /// already holds a record with different contents.
     pub fn submit(&mut self, record: TrafficRecord) -> Result<(), ServerError> {
         let key = (record.location(), record.period());
-        if self.records.contains_key(&key) {
+        if let Some(existing) = self.records.get(&key) {
+            if *existing == record {
+                ptm_obs::counter!("net.server.submit.duplicate_idempotent").inc();
+                return Ok(());
+            }
             ptm_obs::counter!("net.server.submit.duplicate").inc();
             return Err(ServerError::DuplicateRecord { location: key.0, period: key.1 });
         }
@@ -251,15 +263,33 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_upload_rejected() {
+    fn identical_resend_is_idempotent() {
+        let mut server = CentralServer::new(3);
+        let loc = LocationId::new(2);
+        let mut rec = TrafficRecord::new(loc, PeriodId::new(0), BitmapSize::new(64).expect("pow2"));
+        rec.set_reported_index(5);
+        server.submit(rec.clone()).expect("first");
+        // An RSU retrying after a lost ack re-sends the same bytes: success,
+        // and the store is unchanged.
+        server.submit(rec.clone()).expect("identical resend");
+        assert_eq!(server.record_count(), 1);
+        assert_eq!(server.record(loc, PeriodId::new(0)), Some(&rec));
+    }
+
+    #[test]
+    fn conflicting_duplicate_rejected() {
         let mut server = CentralServer::new(3);
         let loc = LocationId::new(2);
         let rec = TrafficRecord::new(loc, PeriodId::new(0), BitmapSize::new(64).expect("pow2"));
         server.submit(rec.clone()).expect("first");
+        let mut conflicting = rec.clone();
+        conflicting.set_reported_index(3);
         assert_eq!(
-            server.submit(rec),
+            server.submit(conflicting),
             Err(ServerError::DuplicateRecord { location: loc, period: PeriodId::new(0) })
         );
+        // The original record survives the rejected conflict untouched.
+        assert_eq!(server.record(loc, PeriodId::new(0)), Some(&rec));
     }
 
     #[test]

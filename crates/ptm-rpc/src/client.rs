@@ -1,0 +1,484 @@
+//! The retrying RPC client.
+//!
+//! [`RpcClient`] opens (and transparently re-opens) one TCP connection to a
+//! daemon and exposes typed calls for every [`crate::proto::Request`]. Each
+//! call retries on *retryable* failures — connection refused/reset, timeouts,
+//! a stream closed mid-exchange, a checksum-mangled response — with capped
+//! exponential backoff plus jitter, and fails fast on *fatal* ones — any
+//! error the server actually answered with (version mismatch, conflicting
+//! duplicate, malformed request, missing record).
+//!
+//! Retrying an upload whose ack was lost is safe because the daemon's ingest
+//! is idempotent: an identical re-send is acked as a duplicate, not stored
+//! twice. That at-least-once contract is what lets this client treat every
+//! ambiguous transport failure as "try again".
+
+use crate::frame::{read_frame, write_frame, FrameError, ReadOutcome, DEFAULT_MAX_FRAME_LEN};
+use crate::proto::{
+    decode_response, encode_request, ErrorCode, ProtoError, Request, Response, MAX_BATCH_RECORDS,
+};
+use ptm_core::record::TrafficRecord;
+use ptm_core::{LocationId, PeriodId};
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Tuning knobs for [`RpcClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-attempt TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-attempt read/write timeout on the open stream.
+    pub io_timeout: Duration,
+    /// Total attempts per call (first try + retries). Must be at least 1.
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `min(cap, base * 2^(n-1))` plus jitter.
+    pub backoff_base: Duration,
+    /// Ceiling on the exponential backoff.
+    pub backoff_cap: Duration,
+    /// Seed for the jitter PRNG (deterministic in tests).
+    pub jitter_seed: u64,
+    /// Largest response frame accepted.
+    pub max_frame_len: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(10),
+            max_attempts: 5,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// Why a call failed for good.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The server answered with an application error; retrying cannot help.
+    Server {
+        /// The server's error code.
+        code: ErrorCode,
+        /// The server's human-readable detail.
+        message: String,
+    },
+    /// The response decoded to something other than what the call expects
+    /// (protocol confusion; not retryable).
+    UnexpectedResponse(String),
+    /// The response payload failed to decode.
+    Proto(ProtoError),
+    /// Every attempt failed on transport errors; the last one is kept.
+    Exhausted {
+        /// Attempts made (equals `max_attempts`).
+        attempts: u32,
+        /// The final transport-level failure.
+        last: String,
+    },
+    /// A request that can never be sent (e.g. an oversized batch).
+    InvalidRequest(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Server { code, message } => write!(f, "server error ({code:?}): {message}"),
+            Self::UnexpectedResponse(detail) => write!(f, "unexpected response: {detail}"),
+            Self::Proto(err) => write!(f, "protocol error: {err}"),
+            Self::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+            Self::InvalidRequest(detail) => write!(f, "invalid request: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// The daemon's answer to an upload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UploadSummary {
+    /// Records newly persisted by this call.
+    pub accepted: u32,
+    /// Records the daemon already held with identical contents.
+    pub duplicates: u32,
+}
+
+/// Ping response: the server's protocol version and estimator parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Protocol version the server speaks.
+    pub version: u8,
+    /// Representative-bit count `s` used by the point-to-point estimator.
+    pub s: u32,
+}
+
+enum AttemptError {
+    /// Transport-level; worth retrying on a fresh connection.
+    Retryable(String),
+    /// Application-level; retrying is pointless.
+    Fatal(ClientError),
+}
+
+fn retryable_io(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::Interrupted
+    )
+}
+
+fn classify_frame_error(err: FrameError) -> AttemptError {
+    match err {
+        // A mangled or cut-off response is a transport fault: the request
+        // may or may not have been applied, and idempotent ingest makes a
+        // blind retry safe either way.
+        FrameError::Truncated | FrameError::Stalled | FrameError::BadCrc { .. } => {
+            AttemptError::Retryable(err.to_string())
+        }
+        FrameError::Io(io_err) if retryable_io(io_err.kind()) => {
+            AttemptError::Retryable(io_err.to_string())
+        }
+        FrameError::Io(io_err) => AttemptError::Fatal(ClientError::Exhausted {
+            attempts: 0,
+            last: io_err.to_string(),
+        }),
+        FrameError::TooLarge { .. } => {
+            AttemptError::Fatal(ClientError::UnexpectedResponse(err.to_string()))
+        }
+    }
+}
+
+/// A client for one daemon address. Not thread-safe; open one per thread.
+pub struct RpcClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    stream: Option<TcpStream>,
+    jitter_state: u64,
+}
+
+impl RpcClient {
+    /// Creates a client for `addr`. No connection is made until the first
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// Address resolution failures.
+    pub fn connect(addr: impl ToSocketAddrs, config: ClientConfig) -> Result<Self, ClientError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|err| ClientError::InvalidRequest(format!("bad address: {err}")))?
+            .next()
+            .ok_or_else(|| ClientError::InvalidRequest("address resolved to nothing".into()))?;
+        let jitter_state = config.jitter_seed | 1;
+        Ok(Self { addr, config, stream: None, jitter_state })
+    }
+
+    /// The resolved server address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Pings the daemon, returning its protocol version and `s` parameter.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn ping(&mut self) -> Result<ServerInfo, ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong { version, s } => Ok(ServerInfo { version, s }),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Uploads one record (retried until acked or attempts are exhausted).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; `Server { code: DuplicateConflict, .. }` means a
+    /// different record already occupies this `(location, period)`.
+    pub fn upload(&mut self, record: &TrafficRecord) -> Result<UploadSummary, ClientError> {
+        match self.call(&Request::Upload(record.clone()))? {
+            Response::UploadOk { accepted, duplicates } => {
+                Ok(UploadSummary { accepted, duplicates })
+            }
+            other => Err(unexpected("UploadOk", &other)),
+        }
+    }
+
+    /// Uploads a batch in one frame. The daemon applies it atomically: a
+    /// conflict anywhere rejects the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::InvalidRequest`] for batches over
+    /// [`MAX_BATCH_RECORDS`]; otherwise any [`ClientError`].
+    pub fn upload_batch(
+        &mut self,
+        records: &[TrafficRecord],
+    ) -> Result<UploadSummary, ClientError> {
+        if records.len() > MAX_BATCH_RECORDS {
+            return Err(ClientError::InvalidRequest(format!(
+                "batch of {} exceeds the {MAX_BATCH_RECORDS}-record limit",
+                records.len()
+            )));
+        }
+        if records.is_empty() {
+            return Ok(UploadSummary { accepted: 0, duplicates: 0 });
+        }
+        match self.call(&Request::UploadBatch(records.to_vec()))? {
+            Response::UploadOk { accepted, duplicates } => {
+                Ok(UploadSummary { accepted, duplicates })
+            }
+            other => Err(unexpected("UploadOk", &other)),
+        }
+    }
+
+    /// Queries the traffic-volume estimate for one location and period.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn query_volume(
+        &mut self,
+        location: LocationId,
+        period: PeriodId,
+    ) -> Result<f64, ClientError> {
+        self.expect_estimate(&Request::QueryVolume { location, period })
+    }
+
+    /// Queries the point persistent-traffic estimate over `periods`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn query_point(
+        &mut self,
+        location: LocationId,
+        periods: &[PeriodId],
+    ) -> Result<f64, ClientError> {
+        self.expect_estimate(&Request::QueryPoint { location, periods: periods.to_vec() })
+    }
+
+    /// Queries the point-to-point persistent-traffic estimate over
+    /// `periods`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn query_p2p(
+        &mut self,
+        location_a: LocationId,
+        location_b: LocationId,
+        periods: &[PeriodId],
+    ) -> Result<f64, ClientError> {
+        self.expect_estimate(&Request::QueryP2p {
+            location_a,
+            location_b,
+            periods: periods.to_vec(),
+        })
+    }
+
+    fn expect_estimate(&mut self, request: &Request) -> Result<f64, ClientError> {
+        match self.call(request)? {
+            Response::Estimate(value) => Ok(value),
+            other => Err(unexpected("Estimate", &other)),
+        }
+    }
+
+    /// One request/response exchange with retries.
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let payload = encode_request(request);
+        let attempts = self.config.max_attempts.max(1);
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                ptm_obs::counter!("rpc.client.retries").inc();
+                std::thread::sleep(self.backoff(attempt));
+            }
+            match self.attempt(&payload) {
+                Ok(response) => {
+                    // An error frame is the server speaking; nothing about
+                    // it improves on retry.
+                    if let Response::Error { code, message } = response {
+                        if code == ErrorCode::VersionMismatch {
+                            ptm_obs::counter!("rpc.client.version_mismatch").inc();
+                        }
+                        return Err(ClientError::Server { code, message });
+                    }
+                    return Ok(response);
+                }
+                Err(AttemptError::Fatal(err)) => return Err(err),
+                Err(AttemptError::Retryable(detail)) => {
+                    ptm_obs::debug!("rpc.client", "attempt failed";
+                        attempt = attempt + 1, error = detail.clone());
+                    self.stream = None;
+                    last = detail;
+                }
+            }
+        }
+        ptm_obs::counter!("rpc.client.exhausted").inc();
+        Err(ClientError::Exhausted { attempts, last })
+    }
+
+    fn attempt(&mut self, payload: &[u8]) -> Result<Response, AttemptError> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)
+                .map_err(|err| {
+                    if retryable_io(err.kind()) {
+                        AttemptError::Retryable(format!("connect: {err}"))
+                    } else {
+                        AttemptError::Fatal(ClientError::Exhausted {
+                            attempts: 0,
+                            last: format!("connect: {err}"),
+                        })
+                    }
+                })?;
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_read_timeout(Some(self.config.io_timeout));
+            let _ = stream.set_write_timeout(Some(self.config.io_timeout));
+            ptm_obs::counter!("rpc.client.connects").inc();
+            self.stream = Some(stream);
+        }
+        let stream = self.stream.as_mut().expect("stream just ensured");
+        write_frame(stream, payload).map_err(|err| {
+            if retryable_io(err.kind()) {
+                AttemptError::Retryable(format!("send: {err}"))
+            } else {
+                AttemptError::Fatal(ClientError::Exhausted {
+                    attempts: 0,
+                    last: format!("send: {err}"),
+                })
+            }
+        })?;
+        ptm_obs::counter!("rpc.client.frames.out").inc();
+        let bytes = match read_frame(stream, self.config.max_frame_len) {
+            Ok(ReadOutcome::Frame(bytes)) => bytes,
+            // The io_timeout read deadline surfaces as Idle when it fires
+            // before the first response byte; for a client awaiting an
+            // answer that is a timeout, not idleness.
+            Ok(ReadOutcome::Idle) => {
+                return Err(AttemptError::Retryable("response timed out".into()))
+            }
+            Ok(ReadOutcome::Closed) => {
+                return Err(AttemptError::Retryable(
+                    "connection closed awaiting response".into(),
+                ))
+            }
+            Err(err) => return Err(classify_frame_error(err)),
+        };
+        ptm_obs::counter!("rpc.client.frames.in").inc();
+        decode_response(&bytes).map_err(|err| match err {
+            ProtoError::VersionMismatch { .. } => AttemptError::Fatal(ClientError::Proto(err)),
+            other => AttemptError::Fatal(ClientError::Proto(other)),
+        })
+    }
+
+    /// Backoff before retry `attempt` (1-based): exponential with a cap,
+    /// plus up to 50% jitter from a xorshift PRNG so a fleet of clients
+    /// recovering from one outage does not reconnect in lockstep.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(16);
+        let base = self.config.backoff_base.saturating_mul(1u32 << exp);
+        let capped = base.min(self.config.backoff_cap);
+        // xorshift64 — no external RNG dependency for one jitter source.
+        let mut x = self.jitter_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter_state = x;
+        let jitter_frac = (x % 1000) as f64 / 1000.0 * 0.5;
+        capped.mul_f64(1.0 + jitter_frac)
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::UnexpectedResponse(format!("wanted {wanted}, got {got:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_millis(200),
+            io_timeout: Duration::from_millis(500),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+            ..ClientConfig::default()
+        }
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let mut client = RpcClient::connect("127.0.0.1:1", test_config()).expect("client");
+        let b1 = client.backoff(1);
+        let b3 = client.backoff(3);
+        let b10 = client.backoff(10);
+        assert!(b1 >= Duration::from_millis(1), "{b1:?}");
+        assert!(b1 <= Duration::from_millis(2), "{b1:?}"); // base + 50% jitter
+        assert!(b3 >= Duration::from_millis(4), "{b3:?}"); // capped
+        assert!(b10 <= Duration::from_millis(6), "{b10:?}"); // cap + 50%
+    }
+
+    #[test]
+    fn jitter_varies_between_calls() {
+        let mut client = RpcClient::connect("127.0.0.1:1", test_config()).expect("client");
+        let samples: Vec<Duration> = (0..8).map(|_| client.backoff(5)).collect();
+        let distinct: std::collections::HashSet<_> = samples.iter().collect();
+        assert!(distinct.len() > 1, "jitter produced identical delays: {samples:?}");
+    }
+
+    #[test]
+    fn refused_connection_exhausts_retries() {
+        // Port 1 on loopback is essentially never listening.
+        let mut client = RpcClient::connect("127.0.0.1:1", test_config()).expect("client");
+        match client.ping() {
+            Err(ClientError::Exhausted { attempts: 3, .. }) => {}
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_batch_rejected_locally() {
+        let mut client = RpcClient::connect("127.0.0.1:1", test_config()).expect("client");
+        let record = ptm_core::record::TrafficRecord::new(
+            LocationId::new(1),
+            PeriodId::new(0),
+            ptm_core::params::BitmapSize::new(64).expect("pow2"),
+        );
+        let batch = vec![record; MAX_BATCH_RECORDS + 1];
+        match client.upload_batch(&batch) {
+            Err(ClientError::InvalidRequest(_)) => {}
+            other => panic!("expected InvalidRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_local_no_op() {
+        let mut client = RpcClient::connect("127.0.0.1:1", test_config()).expect("client");
+        let summary = client.upload_batch(&[]).expect("empty batch");
+        assert_eq!(summary, UploadSummary { accepted: 0, duplicates: 0 });
+    }
+
+    #[test]
+    fn retryable_io_classification() {
+        assert!(retryable_io(io::ErrorKind::ConnectionRefused));
+        assert!(retryable_io(io::ErrorKind::TimedOut));
+        assert!(retryable_io(io::ErrorKind::UnexpectedEof));
+        assert!(!retryable_io(io::ErrorKind::PermissionDenied));
+        assert!(!retryable_io(io::ErrorKind::InvalidData));
+    }
+}

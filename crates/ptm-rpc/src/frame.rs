@@ -1,0 +1,249 @@
+//! Length-prefixed, CRC-checked transport frames.
+//!
+//! Every RPC payload travels inside one frame:
+//!
+//! ```text
+//! length  u32 LE   payload length in bytes (header excluded)
+//! crc32   u32 LE   CRC-32 (IEEE) of the payload, from `ptm-store`
+//! payload [u8]     versioned RPC message (see [`crate::proto`])
+//! ```
+//!
+//! The reader distinguishes four situations a byte stream can be in:
+//!
+//! * a complete, checksum-valid frame — returned as [`ReadOutcome::Frame`];
+//! * a clean close *between* frames — [`ReadOutcome::Closed`];
+//! * a read timeout *between* frames — [`ReadOutcome::Idle`], so a server
+//!   can poll its shutdown flag without dropping a healthy idle connection;
+//! * anything else (EOF or timeout mid-frame, an implausible length, a
+//!   checksum mismatch) — a hard [`FrameError`], after which the connection
+//!   is unusable and must be closed.
+
+use ptm_store::crc32::crc32;
+use std::io::{self, Read, Write};
+
+/// Bytes in the fixed frame header (length + checksum).
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Default upper bound on a payload: a shade over `ptm-store`'s largest
+/// sane archived record (an 8 MiB bitmap), leaving room for small batches.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 32 * 1024 * 1024;
+
+/// Transport-level failures.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying I/O failure (including timeouts mid-frame).
+    Io(io::Error),
+    /// The peer closed the stream in the middle of a frame.
+    Truncated,
+    /// The peer stalled (timeout) in the middle of a frame.
+    Stalled,
+    /// The length field exceeds the configured maximum.
+    TooLarge {
+        /// Length the header claimed.
+        len: u32,
+        /// Configured ceiling.
+        max: u32,
+    },
+    /// The payload failed its CRC check.
+    BadCrc {
+        /// Checksum carried by the header.
+        expected: u32,
+        /// Checksum computed over the received payload.
+        actual: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(err) => write!(f, "frame i/o error: {err}"),
+            Self::Truncated => write!(f, "stream closed mid-frame"),
+            Self::Stalled => write!(f, "peer stalled mid-frame"),
+            Self::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max} byte limit")
+            }
+            Self::BadCrc { expected, actual } => {
+                write!(f, "frame crc mismatch: header {expected:#010x}, payload {actual:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(err: io::Error) -> Self {
+        Self::Io(err)
+    }
+}
+
+/// What [`read_frame`] found on the stream.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete, checksum-valid payload.
+    Frame(Vec<u8>),
+    /// A read timeout fired before any byte of the next frame arrived.
+    Idle,
+    /// The peer closed the stream cleanly between frames.
+    Closed,
+}
+
+fn is_timeout(err: &io::Error) -> bool {
+    matches!(err.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+enum Fill {
+    Full,
+    /// EOF before the first byte.
+    CleanEof,
+    /// Timeout before the first byte.
+    CleanTimeout,
+}
+
+/// Fills `buf` completely, or reports a clean EOF/timeout if the stream
+/// yielded *nothing*. EOF or timeout after a partial read is a hard error.
+fn fill(reader: &mut impl Read, buf: &mut [u8]) -> Result<Fill, FrameError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(Fill::CleanEof),
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => filled += n,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            Err(err) if is_timeout(&err) && filled == 0 => return Ok(Fill::CleanTimeout),
+            Err(err) if is_timeout(&err) => return Err(FrameError::Stalled),
+            Err(err) => return Err(FrameError::Io(err)),
+        }
+    }
+    Ok(Fill::Full)
+}
+
+/// Reads one frame. `max_len` bounds the accepted payload length.
+///
+/// # Errors
+///
+/// Any [`FrameError`]; see the module docs for the idle/closed distinction.
+pub fn read_frame(reader: &mut impl Read, max_len: u32) -> Result<ReadOutcome, FrameError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    match fill(reader, &mut header)? {
+        Fill::CleanEof => return Ok(ReadOutcome::Closed),
+        Fill::CleanTimeout => return Ok(ReadOutcome::Idle),
+        Fill::Full => {}
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let expected = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > max_len {
+        return Err(FrameError::TooLarge { len, max: max_len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    match fill(reader, &mut payload)? {
+        Fill::Full => {}
+        Fill::CleanEof => return Err(FrameError::Truncated),
+        Fill::CleanTimeout => return Err(FrameError::Stalled),
+    }
+    let actual = crc32(&payload);
+    if actual != expected {
+        return Err(FrameError::BadCrc { expected, actual });
+    }
+    Ok(ReadOutcome::Frame(payload))
+}
+
+/// Writes one frame (header + payload) and flushes the writer.
+///
+/// # Errors
+///
+/// Underlying I/O failures.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> Result<(), io::Error> {
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    writer.write_all(&frame)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, payload).expect("vec write");
+        out
+    }
+
+    #[test]
+    fn roundtrip() {
+        let bytes = frame_bytes(b"hello frames");
+        let mut cursor = Cursor::new(bytes);
+        match read_frame(&mut cursor, DEFAULT_MAX_FRAME_LEN).expect("read") {
+            ReadOutcome::Frame(payload) => assert_eq!(payload, b"hello frames"),
+            other => panic!("expected frame, got {other:?}"),
+        }
+        // The stream is now cleanly exhausted.
+        assert!(matches!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME_LEN).expect("eof"),
+            ReadOutcome::Closed
+        ));
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let bytes = frame_bytes(b"");
+        let mut cursor = Cursor::new(bytes);
+        match read_frame(&mut cursor, DEFAULT_MAX_FRAME_LEN).expect("read") {
+            ReadOutcome::Frame(payload) => assert!(payload.is_empty()),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_mid_header_and_mid_payload() {
+        let bytes = frame_bytes(b"0123456789");
+        for cut in 1..bytes.len() {
+            let mut cursor = Cursor::new(bytes[..cut].to_vec());
+            let err = read_frame(&mut cursor, DEFAULT_MAX_FRAME_LEN)
+                .expect_err("truncated stream must fail");
+            assert!(matches!(err, FrameError::Truncated), "cut {cut}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let mut bytes = frame_bytes(b"payload under test");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        let mut cursor = Cursor::new(bytes);
+        let err = read_frame(&mut cursor, DEFAULT_MAX_FRAME_LEN).expect_err("bad crc");
+        assert!(matches!(err, FrameError::BadCrc { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let mut cursor = Cursor::new(bytes);
+        let err = read_frame(&mut cursor, 1024).expect_err("too large");
+        assert!(
+            matches!(err, FrameError::TooLarge { len: u32::MAX, max: 1024 }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let err = FrameError::BadCrc { expected: 1, actual: 2 };
+        assert!(err.to_string().contains("crc"));
+        let err = FrameError::Io(io::Error::new(io::ErrorKind::BrokenPipe, "x"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,53 @@
+//! RSU-to-server upload channel for persistent traffic measurement.
+//!
+//! The paper's architecture ends with roadside units shipping their
+//! per-period traffic records to a central server that answers persistence
+//! queries. This crate is that wire: a std-only (no async runtime) TCP
+//! daemon and client speaking a versioned, length-prefixed, CRC-checked
+//! frame protocol.
+//!
+//! * [`frame`] — the transport: `len | crc32 | payload` frames, with an
+//!   idle/closed/hard-error taxonomy that lets servers poll shutdown flags
+//!   and clients classify retryability.
+//! * [`proto`] — the messages: version-tagged requests (ping, upload,
+//!   batch upload, volume/point/point-to-point queries) and responses,
+//!   embedding records as exact `ptm-store` codec payloads so the bytes a
+//!   daemon archives are the bytes the RSU sent.
+//! * [`server`] — [`RpcServer`]: thread-per-connection daemon wrapping
+//!   [`ptm_net::CentralServer`], write-ahead persistence into a
+//!   [`ptm_store::Archive`] (append + flush before ack, replayed on
+//!   restart), idempotent duplicate handling, graceful drain on shutdown.
+//! * [`client`] — [`RpcClient`]: capped exponential backoff with jitter,
+//!   a retryable-versus-fatal error split, and batch upload.
+//!
+//! Everything is instrumented through `ptm-obs` under the `rpc.server.*`
+//! and `rpc.client.*` metric prefixes; see `docs/RPC.md` and
+//! `docs/OBSERVABILITY.md` for the full protocol and metric reference.
+//!
+//! # Example (loopback round trip)
+//!
+//! ```
+//! use ptm_rpc::{ClientConfig, RpcClient, RpcServer, ServerConfig};
+//!
+//! let archive = std::env::temp_dir().join(format!("ptm-rpc-doc-{}.ptma", std::process::id()));
+//! # let _ = std::fs::remove_file(&archive);
+//! let server = RpcServer::start("127.0.0.1:0", &archive, ServerConfig::default()).unwrap();
+//! let mut client = RpcClient::connect(server.local_addr(), ClientConfig::default()).unwrap();
+//! let info = client.ping().unwrap();
+//! assert_eq!(info.version, ptm_rpc::PROTOCOL_VERSION);
+//! server.shutdown().unwrap();
+//! # let _ = std::fs::remove_file(&archive);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod server;
+
+pub use client::{ClientConfig, ClientError, RpcClient, ServerInfo, UploadSummary};
+pub use frame::{FrameError, ReadOutcome, DEFAULT_MAX_FRAME_LEN, FRAME_HEADER_LEN};
+pub use proto::{ErrorCode, ProtoError, Request, Response, PROTOCOL_VERSION};
+pub use server::{DaemonError, ReplayReport, RpcServer, ServerConfig};

@@ -1,0 +1,593 @@
+//! The versioned RPC message codec carried inside transport frames.
+//!
+//! Every payload starts with the protocol version and a message tag; the
+//! body layout depends on the tag (all integers little-endian):
+//!
+//! ```text
+//! byte 0: protocol version (currently 1)
+//! byte 1: message tag
+//!
+//! requests:
+//!   1 ping          (empty body)
+//!   2 upload        record payload (ptm-store codec, runs to frame end)
+//!   3 upload batch  count u32 | (len u32 | record payload) * count
+//!   4 query volume  location u64 | period u32
+//!   5 query point   location u64 | count u16 | period u32 * count
+//!   6 query p2p     loc_a u64 | loc_b u64 | count u16 | period u32 * count
+//!
+//! responses:
+//!   128 pong        version u8 | s u32
+//!   129 upload ok   accepted u32 | duplicates u32
+//!   130 estimate    f64 bits as u64
+//!   131 error       code u8 | message len u16 | utf-8 message
+//! ```
+//!
+//! Traffic records ride in the exact `ptm-store` on-disk payload encoding,
+//! so the daemon archives the bytes it validated and a reader of the
+//! archive decodes exactly what the client sent.
+
+use ptm_core::encoding::LocationId;
+use ptm_core::record::{PeriodId, TrafficRecord};
+use ptm_store::codec::{decode_record, encode_record};
+
+/// The one protocol version this build speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Ceiling on periods per query (bounds decoder allocations).
+pub const MAX_QUERY_PERIODS: usize = 4096;
+
+/// Ceiling on records per batch upload.
+pub const MAX_BATCH_RECORDS: usize = 4096;
+
+/// Why a payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The payload ended before the message was complete.
+    Truncated,
+    /// The version byte does not match [`PROTOCOL_VERSION`].
+    VersionMismatch {
+        /// Version the peer sent.
+        got: u8,
+        /// Version this build speaks.
+        want: u8,
+    },
+    /// Unknown message tag.
+    UnknownTag(u8),
+    /// A count or length field exceeds sane bounds.
+    BadLength(usize),
+    /// Unknown error code byte in an error response.
+    UnknownErrorCode(u8),
+    /// An error message was not valid UTF-8.
+    BadUtf8,
+    /// An embedded traffic record failed to decode.
+    BadRecord(String),
+    /// Bytes remained after a complete message.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "message truncated"),
+            Self::VersionMismatch { got, want } => {
+                write!(f, "protocol version {got} not supported (this build speaks {want})")
+            }
+            Self::UnknownTag(tag) => write!(f, "unknown message tag {tag}"),
+            Self::BadLength(len) => write!(f, "implausible length field {len}"),
+            Self::UnknownErrorCode(code) => write!(f, "unknown error code {code}"),
+            Self::BadUtf8 => write!(f, "error message is not valid utf-8"),
+            Self::BadRecord(reason) => write!(f, "embedded record rejected: {reason}"),
+            Self::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Application-level failure reported by the server.
+///
+/// The discriminants are the on-wire code bytes. Every code is **fatal**
+/// for the request that provoked it — re-sending the same bytes yields the
+/// same answer — so the client never retries them. Transport-level
+/// failures (reset, timeout, mid-frame EOF) are the retryable class and
+/// never appear here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The request's version byte is not supported; connection closes.
+    VersionMismatch = 1,
+    /// The request could not be decoded; connection closes.
+    Malformed = 2,
+    /// A `(location, period)` slot is already filled with *different*
+    /// contents. (An identical re-send is idempotent success, not this.)
+    DuplicateConflict = 3,
+    /// A query referenced a record the server never received.
+    MissingRecord = 4,
+    /// The estimator rejected the stored records (e.g. saturated bitmap).
+    EstimateFailed = 5,
+    /// The daemon could not persist an accepted record.
+    Storage = 6,
+    /// Unclassified server-side failure.
+    Internal = 7,
+}
+
+impl ErrorCode {
+    fn from_byte(byte: u8) -> Result<Self, ProtoError> {
+        Ok(match byte {
+            1 => Self::VersionMismatch,
+            2 => Self::Malformed,
+            3 => Self::DuplicateConflict,
+            4 => Self::MissingRecord,
+            5 => Self::EstimateFailed,
+            6 => Self::Storage,
+            7 => Self::Internal,
+            other => return Err(ProtoError::UnknownErrorCode(other)),
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Self::VersionMismatch => "version-mismatch",
+            Self::Malformed => "malformed",
+            Self::DuplicateConflict => "duplicate-conflict",
+            Self::MissingRecord => "missing-record",
+            Self::EstimateFailed => "estimate-failed",
+            Self::Storage => "storage",
+            Self::Internal => "internal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Client-to-server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness / version probe.
+    Ping,
+    /// Upload one traffic record.
+    Upload(TrafficRecord),
+    /// Upload several records in one frame.
+    UploadBatch(Vec<TrafficRecord>),
+    /// Plain traffic volume at one location in one period.
+    QueryVolume {
+        /// Location to query.
+        location: LocationId,
+        /// Period to query.
+        period: PeriodId,
+    },
+    /// Point persistent traffic over the listed periods (paper Eq. 12).
+    QueryPoint {
+        /// Location to query.
+        location: LocationId,
+        /// Periods the vehicle must have appeared in.
+        periods: Vec<PeriodId>,
+    },
+    /// Point-to-point persistent traffic (paper Eq. 21).
+    QueryP2p {
+        /// First location.
+        location_a: LocationId,
+        /// Second location.
+        location_b: LocationId,
+        /// Periods the vehicle must have appeared in at both locations.
+        periods: Vec<PeriodId>,
+    },
+}
+
+/// Server-to-client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong {
+        /// Server protocol version.
+        version: u8,
+        /// Representative-bit count `s` the server estimates with.
+        s: u32,
+    },
+    /// Reply to an upload: how many records were newly accepted and how
+    /// many were identical re-sends (idempotent duplicates).
+    UploadOk {
+        /// Records stored for the first time.
+        accepted: u32,
+        /// Identical re-sends absorbed without effect.
+        duplicates: u32,
+    },
+    /// Reply to a query.
+    Estimate(f64),
+    /// Application-level failure.
+    Error {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+const TAG_PING: u8 = 1;
+const TAG_UPLOAD: u8 = 2;
+const TAG_UPLOAD_BATCH: u8 = 3;
+const TAG_QUERY_VOLUME: u8 = 4;
+const TAG_QUERY_POINT: u8 = 5;
+const TAG_QUERY_P2P: u8 = 6;
+const TAG_PONG: u8 = 128;
+const TAG_UPLOAD_OK: u8 = 129;
+const TAG_ESTIMATE: u8 = 130;
+const TAG_ERROR: u8 = 131;
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.pos + n > self.buf.len() {
+            return Err(ProtoError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let slice = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        slice
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn finish(&self) -> Result<(), ProtoError> {
+        let rest = self.buf.len() - self.pos;
+        if rest == 0 {
+            Ok(())
+        } else {
+            Err(ProtoError::TrailingBytes(rest))
+        }
+    }
+}
+
+fn header(tag: u8) -> Vec<u8> {
+    vec![PROTOCOL_VERSION, tag]
+}
+
+fn check_version(reader: &mut Reader<'_>) -> Result<(), ProtoError> {
+    let got = reader.u8()?;
+    if got != PROTOCOL_VERSION {
+        return Err(ProtoError::VersionMismatch { got, want: PROTOCOL_VERSION });
+    }
+    Ok(())
+}
+
+fn push_periods(out: &mut Vec<u8>, periods: &[PeriodId]) {
+    out.extend_from_slice(&(periods.len() as u16).to_le_bytes());
+    for period in periods {
+        out.extend_from_slice(&period.get().to_le_bytes());
+    }
+}
+
+fn read_periods(reader: &mut Reader<'_>) -> Result<Vec<PeriodId>, ProtoError> {
+    let count = reader.u16()? as usize;
+    if count > MAX_QUERY_PERIODS {
+        return Err(ProtoError::BadLength(count));
+    }
+    (0..count).map(|_| Ok(PeriodId::new(reader.u32()?))).collect()
+}
+
+fn read_embedded_record(bytes: &[u8]) -> Result<TrafficRecord, ProtoError> {
+    decode_record(bytes).map_err(|err| ProtoError::BadRecord(err.to_string()))
+}
+
+/// Encodes a request payload (framing not included).
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    match request {
+        Request::Ping => header(TAG_PING),
+        Request::Upload(record) => {
+            let mut out = header(TAG_UPLOAD);
+            out.extend_from_slice(&encode_record(record));
+            out
+        }
+        Request::UploadBatch(records) => {
+            let mut out = header(TAG_UPLOAD_BATCH);
+            out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+            for record in records {
+                let payload = encode_record(record);
+                out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                out.extend_from_slice(&payload);
+            }
+            out
+        }
+        Request::QueryVolume { location, period } => {
+            let mut out = header(TAG_QUERY_VOLUME);
+            out.extend_from_slice(&location.get().to_le_bytes());
+            out.extend_from_slice(&period.get().to_le_bytes());
+            out
+        }
+        Request::QueryPoint { location, periods } => {
+            let mut out = header(TAG_QUERY_POINT);
+            out.extend_from_slice(&location.get().to_le_bytes());
+            push_periods(&mut out, periods);
+            out
+        }
+        Request::QueryP2p { location_a, location_b, periods } => {
+            let mut out = header(TAG_QUERY_P2P);
+            out.extend_from_slice(&location_a.get().to_le_bytes());
+            out.extend_from_slice(&location_b.get().to_le_bytes());
+            push_periods(&mut out, periods);
+            out
+        }
+    }
+}
+
+/// Decodes a request payload.
+///
+/// # Errors
+///
+/// Any [`ProtoError`] — version mismatch, truncation, bad tags or lengths,
+/// malformed embedded records, trailing bytes.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
+    let mut r = Reader::new(payload);
+    check_version(&mut r)?;
+    let request = match r.u8()? {
+        TAG_PING => Request::Ping,
+        TAG_UPLOAD => Request::Upload(read_embedded_record(r.rest())?),
+        TAG_UPLOAD_BATCH => {
+            let count = r.u32()? as usize;
+            if count > MAX_BATCH_RECORDS {
+                return Err(ProtoError::BadLength(count));
+            }
+            let mut records = Vec::with_capacity(count);
+            for _ in 0..count {
+                let len = r.u32()? as usize;
+                records.push(read_embedded_record(r.take(len)?)?);
+            }
+            Request::UploadBatch(records)
+        }
+        TAG_QUERY_VOLUME => Request::QueryVolume {
+            location: LocationId::new(r.u64()?),
+            period: PeriodId::new(r.u32()?),
+        },
+        TAG_QUERY_POINT => Request::QueryPoint {
+            location: LocationId::new(r.u64()?),
+            periods: read_periods(&mut r)?,
+        },
+        TAG_QUERY_P2P => Request::QueryP2p {
+            location_a: LocationId::new(r.u64()?),
+            location_b: LocationId::new(r.u64()?),
+            periods: read_periods(&mut r)?,
+        },
+        other => return Err(ProtoError::UnknownTag(other)),
+    };
+    r.finish()?;
+    Ok(request)
+}
+
+/// Encodes a response payload (framing not included).
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    match response {
+        Response::Pong { version, s } => {
+            let mut out = header(TAG_PONG);
+            out.push(*version);
+            out.extend_from_slice(&s.to_le_bytes());
+            out
+        }
+        Response::UploadOk { accepted, duplicates } => {
+            let mut out = header(TAG_UPLOAD_OK);
+            out.extend_from_slice(&accepted.to_le_bytes());
+            out.extend_from_slice(&duplicates.to_le_bytes());
+            out
+        }
+        Response::Estimate(value) => {
+            let mut out = header(TAG_ESTIMATE);
+            out.extend_from_slice(&value.to_bits().to_le_bytes());
+            out
+        }
+        Response::Error { code, message } => {
+            let mut out = header(TAG_ERROR);
+            out.push(*code as u8);
+            let bytes = message.as_bytes();
+            let len = bytes.len().min(u16::MAX as usize);
+            out.extend_from_slice(&(len as u16).to_le_bytes());
+            out.extend_from_slice(&bytes[..len]);
+            out
+        }
+    }
+}
+
+/// Decodes a response payload.
+///
+/// # Errors
+///
+/// Any [`ProtoError`].
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
+    let mut r = Reader::new(payload);
+    check_version(&mut r)?;
+    let response = match r.u8()? {
+        TAG_PONG => Response::Pong { version: r.u8()?, s: r.u32()? },
+        TAG_UPLOAD_OK => Response::UploadOk { accepted: r.u32()?, duplicates: r.u32()? },
+        TAG_ESTIMATE => Response::Estimate(f64::from_bits(r.u64()?)),
+        TAG_ERROR => {
+            let code = ErrorCode::from_byte(r.u8()?)?;
+            let len = r.u16()? as usize;
+            let message = std::str::from_utf8(r.take(len)?)
+                .map_err(|_| ProtoError::BadUtf8)?
+                .to_owned();
+            Response::Error { code, message }
+        }
+        other => return Err(ProtoError::UnknownTag(other)),
+    };
+    r.finish()?;
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptm_core::encoding::{EncodingScheme, VehicleSecrets};
+    use ptm_core::params::BitmapSize;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample_record(seed: u64, period: u32) -> TrafficRecord {
+        let scheme = EncodingScheme::new(seed, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut record = TrafficRecord::new(
+            LocationId::new(9),
+            PeriodId::new(period),
+            BitmapSize::new(1024).expect("pow2"),
+        );
+        for _ in 0..150 {
+            let v = VehicleSecrets::generate(&mut rng, 3);
+            record.encode(&scheme, &v);
+        }
+        record
+    }
+
+    fn periods(n: u32) -> Vec<PeriodId> {
+        (0..n).map(PeriodId::new).collect()
+    }
+
+    #[test]
+    fn every_request_roundtrips() {
+        let requests = [
+            Request::Ping,
+            Request::Upload(sample_record(1, 0)),
+            Request::UploadBatch(vec![sample_record(2, 0), sample_record(2, 1)]),
+            Request::UploadBatch(Vec::new()),
+            Request::QueryVolume { location: LocationId::new(4), period: PeriodId::new(7) },
+            Request::QueryPoint { location: LocationId::new(5), periods: periods(6) },
+            Request::QueryP2p {
+                location_a: LocationId::new(1),
+                location_b: LocationId::new(2),
+                periods: periods(3),
+            },
+        ];
+        for request in requests {
+            let payload = encode_request(&request);
+            assert_eq!(decode_request(&payload), Ok(request.clone()), "{request:?}");
+        }
+    }
+
+    #[test]
+    fn every_response_roundtrips() {
+        let responses = [
+            Response::Pong { version: PROTOCOL_VERSION, s: 3 },
+            Response::UploadOk { accepted: 10, duplicates: 2 },
+            Response::Estimate(123.456),
+            Response::Estimate(f64::NAN),
+            Response::Error { code: ErrorCode::MissingRecord, message: "loc 3 period 9".into() },
+        ];
+        for response in responses {
+            let payload = encode_response(&response);
+            let back = decode_response(&payload).expect("decode");
+            match (&response, &back) {
+                // NaN != NaN; compare bit patterns instead.
+                (Response::Estimate(a), Response::Estimate(b)) => {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                _ => assert_eq!(&back, &response),
+            }
+        }
+    }
+
+    #[test]
+    fn version_mismatch_detected() {
+        let mut payload = encode_request(&Request::Ping);
+        payload[0] = 99;
+        assert_eq!(
+            decode_request(&payload),
+            Err(ProtoError::VersionMismatch { got: 99, want: PROTOCOL_VERSION })
+        );
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
+        let payload = encode_request(&Request::QueryPoint {
+            location: LocationId::new(1),
+            periods: periods(4),
+        });
+        for cut in 0..payload.len() {
+            assert!(decode_request(&payload[..cut]).is_err(), "cut {cut}");
+        }
+        let payload = encode_response(&Response::Error {
+            code: ErrorCode::Internal,
+            message: "details".into(),
+        });
+        for cut in 0..payload.len() {
+            assert!(decode_response(&payload[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut payload = encode_request(&Request::Ping);
+        payload.push(0);
+        assert_eq!(decode_request(&payload), Err(ProtoError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn unknown_tags_and_codes_rejected() {
+        assert_eq!(decode_request(&[PROTOCOL_VERSION, 42]), Err(ProtoError::UnknownTag(42)));
+        assert_eq!(decode_response(&[PROTOCOL_VERSION, 42]), Err(ProtoError::UnknownTag(42)));
+        let mut payload = encode_response(&Response::Error {
+            code: ErrorCode::Internal,
+            message: String::new(),
+        });
+        payload[2] = 200;
+        assert_eq!(decode_response(&payload), Err(ProtoError::UnknownErrorCode(200)));
+    }
+
+    #[test]
+    fn oversized_counts_rejected() {
+        // Batch count beyond the ceiling.
+        let mut payload = header(TAG_UPLOAD_BATCH);
+        payload.extend_from_slice(&(MAX_BATCH_RECORDS as u32 + 1).to_le_bytes());
+        assert_eq!(
+            decode_request(&payload),
+            Err(ProtoError::BadLength(MAX_BATCH_RECORDS + 1))
+        );
+        // Period count beyond the ceiling.
+        let mut payload = header(TAG_QUERY_POINT);
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.extend_from_slice(&(MAX_QUERY_PERIODS as u16 + 1).to_le_bytes());
+        assert_eq!(
+            decode_request(&payload),
+            Err(ProtoError::BadLength(MAX_QUERY_PERIODS + 1))
+        );
+    }
+
+    #[test]
+    fn malformed_embedded_record_reported() {
+        let mut payload = header(TAG_UPLOAD);
+        payload.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(decode_request(&payload), Err(ProtoError::BadRecord(_))));
+    }
+
+    #[test]
+    fn upload_payload_matches_archive_codec() {
+        // The embedded record bytes are exactly the ptm-store payload, so
+        // what the daemon archives is byte-identical to what was sent.
+        let record = sample_record(5, 3);
+        let payload = encode_request(&Request::Upload(record.clone()));
+        assert_eq!(&payload[2..], encode_record(&record).as_slice());
+    }
+}

@@ -1,0 +1,634 @@
+//! The record-ingest daemon: a thread-per-connection TCP server wrapping
+//! [`ptm_net::CentralServer`] with write-ahead persistence.
+//!
+//! Lifecycle:
+//!
+//! 1. **Startup** — open (or create) the [`ptm_store::Archive`] at the
+//!    configured path and replay every archived record into the in-memory
+//!    query engine, so a restarted daemon answers queries identically.
+//! 2. **Ingest** — each accepted record is appended to the archive and
+//!    flushed *before* the ack frame is written (write-ahead). An identical
+//!    re-send of an already-stored record is acked as an idempotent
+//!    duplicate without touching the archive, which is what makes the
+//!    client's at-least-once retry loop safe.
+//! 3. **Shutdown** — [`RpcServer::shutdown`] stops the accept loop, drains
+//!    every connection thread (in-flight requests finish; the per-frame
+//!    read timeout bounds the wait), then flushes and fsyncs the archive.
+//!
+//! Misbehaving peers never take the daemon down: oversized, corrupt, or
+//! truncated frames close that one connection (after a best-effort error
+//! response) and bump `rpc.server.frames.bad`.
+
+use crate::frame::{read_frame, write_frame, FrameError, ReadOutcome, DEFAULT_MAX_FRAME_LEN};
+use crate::proto::{
+    decode_request, encode_response, ErrorCode, ProtoError, Request, Response, PROTOCOL_VERSION,
+};
+use ptm_core::record::TrafficRecord;
+use ptm_net::server::ServerError;
+use ptm_net::CentralServer;
+use ptm_store::{Archive, StoreError};
+use std::io;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`RpcServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Representative-bit count `s` for the point-to-point estimator.
+    pub s: u32,
+    /// Idle cutoff: a connection that sends no frame for this long is
+    /// closed.
+    pub read_timeout: Duration,
+    /// Granularity at which blocked reads and the accept loop re-check the
+    /// shutdown flag.
+    pub poll_interval: Duration,
+    /// Largest accepted frame payload, in bytes.
+    pub max_frame_len: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            s: 3,
+            read_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(25),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// Errors starting or stopping the daemon.
+#[derive(Debug)]
+pub enum DaemonError {
+    /// Socket-level failure (bind, accept-thread spawn).
+    Io(io::Error),
+    /// The archive could not be opened, replayed, or flushed.
+    Store(StoreError),
+    /// The archive replays records the query engine rejects — two archived
+    /// records claim the same `(location, period)` with different bits.
+    ReplayConflict(String),
+}
+
+impl std::fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(err) => write!(f, "daemon i/o error: {err}"),
+            Self::Store(err) => write!(f, "daemon archive error: {err}"),
+            Self::ReplayConflict(detail) => write!(f, "archive replay conflict: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(err) => Some(err),
+            Self::Store(err) => Some(err),
+            Self::ReplayConflict(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for DaemonError {
+    fn from(err: io::Error) -> Self {
+        Self::Io(err)
+    }
+}
+
+impl From<StoreError> for DaemonError {
+    fn from(err: StoreError) -> Self {
+        Self::Store(err)
+    }
+}
+
+/// What startup recovered from the archive.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayReport {
+    /// Records replayed into the query engine.
+    pub records: usize,
+    /// Bytes discarded from a torn final frame (0 after a clean shutdown).
+    pub torn_bytes: u64,
+}
+
+struct State {
+    central: CentralServer,
+    archive: Archive,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    shutdown: AtomicBool,
+    config: ServerConfig,
+}
+
+/// A running daemon. Dropping it without calling [`RpcServer::shutdown`]
+/// detaches the accept thread (the process keeps serving); tests and the
+/// CLI always shut down explicitly.
+pub struct RpcServer {
+    shared: Arc<Shared>,
+    local_addr: std::net::SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    replay: ReplayReport,
+    archive_path: PathBuf,
+}
+
+impl RpcServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`), replays the archive at `path`
+    /// (creating it if absent), and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, archive corruption, or replay conflicts.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        archive_path: impl AsRef<Path>,
+        config: ServerConfig,
+    ) -> Result<Self, DaemonError> {
+        let archive_path = archive_path.as_ref().to_path_buf();
+        let mut central = CentralServer::new(config.s);
+        let (archive, replay) = if archive_path.exists() {
+            let recovered = Archive::open(&archive_path)?;
+            let report = ReplayReport {
+                records: recovered.records.len(),
+                torn_bytes: recovered.torn_bytes,
+            };
+            for record in recovered.records {
+                let key = (record.location(), record.period());
+                central.submit(record).map_err(|err| {
+                    DaemonError::ReplayConflict(format!(
+                        "location {} period {}: {err}",
+                        key.0.get(),
+                        key.1.get()
+                    ))
+                })?;
+            }
+            (recovered.archive, report)
+        } else {
+            (Archive::create(&archive_path)?, ReplayReport { records: 0, torn_bytes: 0 })
+        };
+        if replay.torn_bytes > 0 {
+            ptm_obs::warn!("rpc.server", "archive had a torn tail";
+                torn_bytes = replay.torn_bytes, path = archive_path.display().to_string());
+        }
+        ptm_obs::counter!("rpc.server.replay.records").add(replay.records as u64);
+
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { central, archive }),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("ptm-rpc-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+
+        ptm_obs::info!("rpc.server", "daemon listening";
+            addr = local_addr.to_string(),
+            replayed = replay.records,
+            archive = archive_path.display().to_string());
+        Ok(Self {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            replay,
+            archive_path,
+        })
+    }
+
+    /// The bound socket address (useful after binding port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// What startup recovered from the archive.
+    pub fn replay_report(&self) -> ReplayReport {
+        self.replay
+    }
+
+    /// The archive file backing this daemon.
+    pub fn archive_path(&self) -> &Path {
+        &self.archive_path
+    }
+
+    /// Records currently held by the query engine.
+    pub fn record_count(&self) -> usize {
+        self.shared.state.lock().expect("state lock").central.record_count()
+    }
+
+    /// Graceful shutdown: stop accepting, drain every connection thread,
+    /// then flush and fsync the archive.
+    ///
+    /// # Errors
+    ///
+    /// Archive flush/sync failures (connections are already drained).
+    pub fn shutdown(mut self) -> Result<(), DaemonError> {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let mut state = self.shared.state.lock().expect("state lock");
+        state.archive.sync()?;
+        ptm_obs::info!("rpc.server", "daemon stopped";
+            records = state.central.record_count());
+        Ok(())
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                ptm_obs::counter!("rpc.server.connections.accepted").inc();
+                ptm_obs::debug!("rpc.server", "connection accepted"; peer = peer.to_string());
+                let conn_shared = Arc::clone(&shared);
+                match std::thread::Builder::new()
+                    .name("ptm-rpc-conn".into())
+                    .spawn(move || handle_connection(stream, conn_shared))
+                {
+                    Ok(handle) => connections.push(handle),
+                    Err(err) => {
+                        ptm_obs::error!("rpc.server", "spawn failed"; error = err.to_string());
+                    }
+                }
+                // Opportunistically reap finished connections so a
+                // long-lived daemon does not accumulate handles.
+                connections.retain(|h| !h.is_finished());
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.config.poll_interval);
+            }
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(err) => {
+                ptm_obs::error!("rpc.server", "accept failed"; error = err.to_string());
+                std::thread::sleep(shared.config.poll_interval);
+            }
+        }
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let mut last_frame = Instant::now();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match read_frame(&mut stream, shared.config.max_frame_len) {
+            Ok(ReadOutcome::Idle) => {
+                if last_frame.elapsed() > shared.config.read_timeout {
+                    ptm_obs::counter!("rpc.server.connections.idle_timeout").inc();
+                    break;
+                }
+            }
+            Ok(ReadOutcome::Closed) => break,
+            Ok(ReadOutcome::Frame(payload)) => {
+                last_frame = Instant::now();
+                ptm_obs::counter!("rpc.server.frames.in").inc();
+                ptm_obs::counter!("rpc.server.bytes.in").add(payload.len() as u64 + 8);
+                let (response, close) = dispatch(&payload, &shared);
+                if !respond(&mut stream, &response) || close {
+                    break;
+                }
+            }
+            Err(err) => {
+                ptm_obs::counter!("rpc.server.frames.bad").inc();
+                ptm_obs::warn!("rpc.server", "bad frame"; error = err.to_string());
+                // Best-effort error response; the connection closes either
+                // way, so a peer stuck mid-frame is simply dropped.
+                if !matches!(err, FrameError::Io(_)) {
+                    let response = Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: err.to_string(),
+                    };
+                    respond(&mut stream, &response);
+                }
+                break;
+            }
+        }
+    }
+    ptm_obs::counter!("rpc.server.connections.closed").inc();
+}
+
+/// Writes a response frame; returns false when the connection is dead.
+fn respond(stream: &mut TcpStream, response: &Response) -> bool {
+    let payload = encode_response(response);
+    match write_frame(stream, &payload) {
+        Ok(()) => {
+            ptm_obs::counter!("rpc.server.frames.out").inc();
+            ptm_obs::counter!("rpc.server.bytes.out").add(payload.len() as u64 + 8);
+            true
+        }
+        Err(err) => {
+            ptm_obs::debug!("rpc.server", "response write failed"; error = err.to_string());
+            false
+        }
+    }
+}
+
+/// Handles one decoded frame; returns the response and whether the
+/// connection must close afterwards.
+fn dispatch(payload: &[u8], shared: &Shared) -> (Response, bool) {
+    let request = match decode_request(payload) {
+        Ok(request) => request,
+        Err(ProtoError::VersionMismatch { got, want }) => {
+            ptm_obs::counter!("rpc.server.version_mismatch").inc();
+            return (
+                Response::Error {
+                    code: ErrorCode::VersionMismatch,
+                    message: format!("client speaks version {got}, server speaks {want}"),
+                },
+                true,
+            );
+        }
+        Err(err) => {
+            ptm_obs::counter!("rpc.server.decode_errors").inc();
+            return (
+                Response::Error { code: ErrorCode::Malformed, message: err.to_string() },
+                true,
+            );
+        }
+    };
+    let response = match request {
+        Request::Ping => {
+            Response::Pong { version: PROTOCOL_VERSION, s: shared.config.s }
+        }
+        Request::Upload(record) => ingest(shared, vec![record]),
+        Request::UploadBatch(records) => ingest(shared, records),
+        Request::QueryVolume { location, period } => {
+            ptm_obs::counter!("rpc.server.queries").inc();
+            let state = shared.state.lock().expect("state lock");
+            estimate_response(state.central.estimate_volume(location, period))
+        }
+        Request::QueryPoint { location, periods } => {
+            ptm_obs::counter!("rpc.server.queries").inc();
+            let state = shared.state.lock().expect("state lock");
+            estimate_response(state.central.estimate_point_persistent(location, &periods))
+        }
+        Request::QueryP2p { location_a, location_b, periods } => {
+            ptm_obs::counter!("rpc.server.queries").inc();
+            let state = shared.state.lock().expect("state lock");
+            estimate_response(state.central.estimate_p2p_persistent(
+                location_a,
+                location_b,
+                &periods,
+            ))
+        }
+    };
+    (response, false)
+}
+
+fn estimate_response(result: Result<f64, ServerError>) -> Response {
+    match result {
+        Ok(value) => Response::Estimate(value),
+        Err(err @ ServerError::MissingRecord { .. }) => {
+            Response::Error { code: ErrorCode::MissingRecord, message: err.to_string() }
+        }
+        Err(err @ ServerError::Estimate(_)) => {
+            Response::Error { code: ErrorCode::EstimateFailed, message: err.to_string() }
+        }
+        Err(err) => Response::Error { code: ErrorCode::Internal, message: err.to_string() },
+    }
+}
+
+/// The write-ahead ingest path: validate the whole batch against the query
+/// engine, persist every fresh record with a single flush, then ack.
+/// A conflicting duplicate anywhere in the batch rejects the batch whole —
+/// nothing is applied, so a client retry cannot half-apply.
+fn ingest(shared: &Shared, records: Vec<TrafficRecord>) -> Response {
+    let _t = ptm_obs::span!("rpc.server.ingest");
+    let mut state = shared.state.lock().expect("state lock");
+    let mut fresh: Vec<TrafficRecord> = Vec::with_capacity(records.len());
+    let mut duplicates = 0u32;
+    for record in records {
+        let key = (record.location(), record.period());
+        match state.central.record(key.0, key.1) {
+            Some(existing) if *existing == record => duplicates += 1,
+            Some(_) => {
+                ptm_obs::counter!("rpc.server.ingest.conflicts").inc();
+                return Response::Error {
+                    code: ErrorCode::DuplicateConflict,
+                    message: format!(
+                        "location {} period {} already holds different contents",
+                        key.0.get(),
+                        key.1.get()
+                    ),
+                };
+            }
+            None => {
+                // A batch may legitimately not repeat a key; a key repeated
+                // *within* this batch with different contents is a conflict
+                // too, caught by submit() below on the second occurrence.
+                fresh.push(record);
+            }
+        }
+    }
+    // Apply: query engine first (it re-checks intra-batch conflicts), then
+    // the archive, then the ack. Nothing is acked before it is on disk.
+    let mut accepted: Vec<TrafficRecord> = Vec::with_capacity(fresh.len());
+    for record in fresh {
+        match state.central.submit(record.clone()) {
+            Ok(()) => accepted.push(record),
+            Err(ServerError::DuplicateRecord { location, period }) => {
+                ptm_obs::counter!("rpc.server.ingest.conflicts").inc();
+                return Response::Error {
+                    code: ErrorCode::DuplicateConflict,
+                    message: format!(
+                        "location {} period {} repeated within one batch with different \
+                         contents",
+                        location.get(),
+                        period.get()
+                    ),
+                };
+            }
+            Err(err) => {
+                return Response::Error { code: ErrorCode::Internal, message: err.to_string() }
+            }
+        }
+    }
+    if let Err(err) = state.archive.append_all(accepted.iter()) {
+        ptm_obs::error!("rpc.server", "archive append failed"; error = err.to_string());
+        return Response::Error { code: ErrorCode::Storage, message: err.to_string() };
+    }
+    ptm_obs::counter!("rpc.server.ingest.accepted").add(accepted.len() as u64);
+    ptm_obs::counter!("rpc.server.ingest.duplicates").add(duplicates as u64);
+    Response::UploadOk { accepted: accepted.len() as u32, duplicates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptm_core::encoding::{EncodingScheme, LocationId, VehicleSecrets};
+    use ptm_core::params::BitmapSize;
+    use ptm_core::record::PeriodId;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn temp_archive(name: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ptm-rpc-server-{}-{name}.ptma", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn sample_record(location: u64, period: u32) -> TrafficRecord {
+        let scheme = EncodingScheme::new(7, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(u64::from(period) + location * 31);
+        let mut record = TrafficRecord::new(
+            LocationId::new(location),
+            PeriodId::new(period),
+            BitmapSize::new(512).expect("pow2"),
+        );
+        for _ in 0..40 {
+            let v = VehicleSecrets::generate(&mut rng, 3);
+            record.encode(&scheme, &v);
+        }
+        record
+    }
+
+    fn test_config() -> ServerConfig {
+        ServerConfig {
+            read_timeout: Duration::from_secs(2),
+            poll_interval: Duration::from_millis(5),
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn start_serve_shutdown_and_replay() {
+        let path = temp_archive("lifecycle");
+        let server = RpcServer::start("127.0.0.1:0", &path, test_config()).expect("start");
+        let addr = server.local_addr();
+
+        // Drive the daemon with raw frames (the client crate is tested
+        // separately): upload two records, then re-send one identically.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        for (record, want_accepted, want_dup) in [
+            (sample_record(1, 0), 1u32, 0u32),
+            (sample_record(1, 1), 1, 0),
+            (sample_record(1, 0), 0, 1),
+        ] {
+            let payload = crate::proto::encode_request(&Request::Upload(record));
+            write_frame(&mut stream, &payload).expect("write");
+            let response = match read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN).expect("read") {
+                ReadOutcome::Frame(bytes) => {
+                    crate::proto::decode_response(&bytes).expect("decode")
+                }
+                other => panic!("expected frame, got {other:?}"),
+            };
+            assert_eq!(
+                response,
+                Response::UploadOk { accepted: want_accepted, duplicates: want_dup }
+            );
+        }
+        drop(stream);
+        assert_eq!(server.record_count(), 2);
+        server.shutdown().expect("shutdown");
+
+        // Restart on the same archive: records replay from disk.
+        let server = RpcServer::start("127.0.0.1:0", &path, test_config()).expect("restart");
+        assert_eq!(server.replay_report().records, 2);
+        assert_eq!(server.record_count(), 2);
+        server.shutdown().expect("shutdown");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn conflicting_duplicate_rejected_and_not_archived() {
+        let path = temp_archive("conflict");
+        let server = RpcServer::start("127.0.0.1:0", &path, test_config()).expect("start");
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+
+        let original = sample_record(4, 0);
+        let mut conflicting = sample_record(4, 0);
+        conflicting.set_reported_index(0);
+        conflicting.set_reported_index(1);
+        assert_ne!(original, conflicting);
+
+        for (record, want_err) in [(original, false), (conflicting, true)] {
+            let payload = crate::proto::encode_request(&Request::Upload(record));
+            write_frame(&mut stream, &payload).expect("write");
+            let response = match read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN).expect("read") {
+                ReadOutcome::Frame(bytes) => {
+                    crate::proto::decode_response(&bytes).expect("decode")
+                }
+                other => panic!("expected frame, got {other:?}"),
+            };
+            if want_err {
+                assert!(
+                    matches!(
+                        response,
+                        Response::Error { code: ErrorCode::DuplicateConflict, .. }
+                    ),
+                    "{response:?}"
+                );
+            } else {
+                assert_eq!(response, Response::UploadOk { accepted: 1, duplicates: 0 });
+            }
+        }
+        server.shutdown().expect("shutdown");
+        // Only the first record reached the archive.
+        let recovered = Archive::open(&path).expect("open");
+        assert_eq!(recovered.records.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_frame_closes_connection_but_not_daemon() {
+        let path = temp_archive("garbage");
+        let server = RpcServer::start("127.0.0.1:0", &path, test_config()).expect("start");
+        let addr = server.local_addr();
+
+        // A frame whose checksum cannot match.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        use std::io::Write;
+        let mut junk = Vec::new();
+        junk.extend_from_slice(&4u32.to_le_bytes());
+        junk.extend_from_slice(&0u32.to_le_bytes());
+        junk.extend_from_slice(&[1, 2, 3, 4]);
+        stream.write_all(&junk).expect("write junk");
+        // The server answers with a malformed-error frame and closes.
+        match read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN) {
+            Ok(ReadOutcome::Frame(bytes)) => {
+                let response = crate::proto::decode_response(&bytes).expect("decode");
+                assert!(
+                    matches!(response, Response::Error { code: ErrorCode::Malformed, .. }),
+                    "{response:?}"
+                );
+            }
+            other => panic!("expected error frame, got {other:?}"),
+        }
+        drop(stream);
+
+        // The daemon still serves a healthy client afterwards.
+        let mut stream = TcpStream::connect(addr).expect("reconnect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let payload = crate::proto::encode_request(&Request::Ping);
+        write_frame(&mut stream, &payload).expect("write");
+        match read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN).expect("read") {
+            ReadOutcome::Frame(bytes) => {
+                let response = crate::proto::decode_response(&bytes).expect("decode");
+                assert_eq!(response, Response::Pong { version: PROTOCOL_VERSION, s: 3 });
+            }
+            other => panic!("expected pong, got {other:?}"),
+        }
+        server.shutdown().expect("shutdown");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -159,6 +159,31 @@ impl Archive {
         Ok(())
     }
 
+    /// Appends every record in order, then flushes once.
+    ///
+    /// This is the batched ingest path: a daemon persisting an upload batch
+    /// wants every frame buffered and a single flush before it acks, rather
+    /// than a write-system-call storm per record. Returns the number of
+    /// records appended. On error some prefix of the batch may already be
+    /// buffered or on disk; recovery handles the resulting torn tail and the
+    /// caller's retry is expected to be idempotent.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn append_all<'a, I>(&mut self, records: I) -> Result<usize, StoreError>
+    where
+        I: IntoIterator<Item = &'a TrafficRecord>,
+    {
+        let mut appended = 0usize;
+        for record in records {
+            self.append(record)?;
+            appended += 1;
+        }
+        self.flush()?;
+        Ok(appended)
+    }
+
     /// Flushes buffered frames to the OS.
     ///
     /// # Errors
@@ -299,6 +324,57 @@ mod tests {
         let clean = Archive::open(&path).expect("reopen");
         assert_eq!(clean.torn_bytes, 0);
         assert_eq!(clean.records.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_all_batches_with_single_flush() {
+        let path = temp_path("append-all");
+        let records = sample_records(6);
+        {
+            let mut archive = Archive::create(&path).expect("create");
+            let appended = archive.append_all(&records[..4]).expect("batch");
+            assert_eq!(appended, 4);
+            // append_all flushed: a reader sees the batch without sync().
+            let visible = Archive::open(&path).expect("open mid-write");
+            assert_eq!(visible.records.len(), 4);
+            let appended = archive.append_all(&records[4..]).expect("second batch");
+            assert_eq!(appended, 2);
+            assert_eq!(archive.append_all([]).expect("empty batch"), 0);
+            archive.sync().expect("sync");
+        }
+        let recovered = Archive::open(&path).expect("open");
+        assert_eq!(recovered.records, records);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_all_torn_final_frame_recovers_prefix() {
+        let path = temp_path("append-all-torn");
+        let records = sample_records(5);
+        {
+            let mut archive = Archive::create(&path).expect("create");
+            archive.append_all(&records).expect("batch");
+            archive.sync().expect("sync");
+        }
+        // Simulate a crash mid-way through the batch's final frame.
+        let len = std::fs::metadata(&path).expect("meta").len();
+        let file = OpenOptions::new().write(true).open(&path).expect("open rw");
+        file.set_len(len - 7).expect("truncate");
+        drop(file);
+
+        let recovered = Archive::open(&path).expect("open survives torn batch");
+        assert_eq!(recovered.records, records[..4].to_vec());
+        assert!(recovered.torn_bytes > 0);
+
+        // Re-appending the lost tail through append_all lands on a clean
+        // frame boundary and makes the archive whole again.
+        let mut archive = recovered.archive;
+        assert_eq!(archive.append_all(&records[4..]).expect("repair"), 1);
+        archive.sync().expect("sync");
+        let whole = Archive::open(&path).expect("reopen");
+        assert_eq!(whole.records, records);
+        assert_eq!(whole.torn_bytes, 0);
         std::fs::remove_file(&path).ok();
     }
 

@@ -16,4 +16,10 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace --quiet
 
+# The rpc loopback suite opens real sockets and spawns daemon threads; a
+# hang here should fail CI, not wedge it. `timeout` sends SIGTERM after the
+# bound (exit 124), which set -e turns into a failure.
+echo "==> rpc loopback integration tests (bounded)"
+timeout 300 cargo test --quiet -p ptm-integration-tests --test rpc_loopback
+
 echo "ci: all green"
