@@ -29,7 +29,11 @@ fn bench_bitmap(c: &mut Criterion) {
 
     group.bench_function("count_ones_1M", |bch| bch.iter(|| a.count_ones()));
     group.bench_function("and_assign_1M", |bch| {
-        bch.iter_batched(|| a.clone(), |mut x| x.and_assign(&b).expect("same size"), BatchSize::LargeInput)
+        bch.iter_batched(
+            || a.clone(),
+            |mut x| x.and_assign(&b).expect("same size"),
+            BatchSize::LargeInput,
+        )
     });
     group.bench_function("expand_64k_to_1M", |bch| {
         let small = {
@@ -61,8 +65,9 @@ fn bench_encoding(c: &mut Criterion) {
     let mut group = c.benchmark_group("encoding");
     let scheme = EncodingScheme::new(9, 3);
     let mut rng = ChaCha12Rng::seed_from_u64(2);
-    let vehicles: Vec<VehicleSecrets> =
-        (0..10_000).map(|_| VehicleSecrets::generate(&mut rng, 3)).collect();
+    let vehicles: Vec<VehicleSecrets> = (0..10_000)
+        .map(|_| VehicleSecrets::generate(&mut rng, 3))
+        .collect();
     let location = LocationId::new(5);
 
     group.throughput(Throughput::Elements(vehicles.len() as u64));
@@ -101,7 +106,11 @@ fn bench_crypto(c: &mut Criterion) {
     let sig = pair.sign(b"beacon payload");
     group.bench_function("schnorr_sign", |b| b.iter(|| pair.sign(b"beacon payload")));
     group.bench_function("schnorr_verify", |b| {
-        b.iter(|| pair.public().verify(b"beacon payload", &sig).expect("valid"))
+        b.iter(|| {
+            pair.public()
+                .verify(b"beacon payload", &sig)
+                .expect("valid")
+        })
     });
     group.finish();
 }
@@ -145,7 +154,9 @@ fn bench_storage(c: &mut Criterion) {
             tag: [1u8; 32],
         })
     };
-    group.bench_function("encode_report_frame", |b| b.iter(|| ptm_net::wire::encode(&report)));
+    group.bench_function("encode_report_frame", |b| {
+        b.iter(|| ptm_net::wire::encode(&report))
+    });
     let frame = ptm_net::wire::encode(&report);
     group.bench_function("decode_report_frame", |b| {
         b.iter(|| ptm_net::wire::decode(&frame).expect("valid"))
@@ -170,7 +181,9 @@ fn bench_rpc(c: &mut Criterion) {
     // Transport frame round trip over an in-memory stream.
     let request = ptm_rpc::Request::Upload(record.clone());
     let payload = ptm_rpc::proto::encode_request(&request);
-    group.throughput(Throughput::Bytes((payload.len() + ptm_rpc::FRAME_HEADER_LEN) as u64));
+    group.throughput(Throughput::Bytes(
+        (payload.len() + ptm_rpc::FRAME_HEADER_LEN) as u64,
+    ));
     group.bench_function("frame_write_4k_record", |b| {
         b.iter(|| {
             let mut out = Vec::with_capacity(payload.len() + ptm_rpc::FRAME_HEADER_LEN);
@@ -213,6 +226,89 @@ fn bench_rpc(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_shard_store(c: &mut Criterion) {
+    use ptm_net::CentralServer;
+    use ptm_rpc::{QueryCache, QueryKey};
+
+    let scheme = EncodingScheme::new(33, 3);
+    let mut rng = ChaCha12Rng::seed_from_u64(29);
+    let size = BitmapSize::new(4096).expect("pow2");
+    const LOCATIONS: u64 = 8;
+    const PERIODS: u32 = 4;
+    let records: Vec<ptm_core::record::TrafficRecord> = (1..=LOCATIONS)
+        .flat_map(|loc| {
+            let fleet: Vec<VehicleSecrets> = (0..300)
+                .map(|_| VehicleSecrets::generate(&mut rng, 3))
+                .collect();
+            (0..PERIODS)
+                .map(|p| {
+                    let mut r = ptm_core::record::TrafficRecord::new(
+                        LocationId::new(loc),
+                        PeriodId::new(p),
+                        size,
+                    );
+                    for v in &fleet {
+                        r.encode(&scheme, v);
+                    }
+                    r
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("shard_store");
+    group.bench_function("submit_32_records_8_locations", |b| {
+        b.iter_batched(
+            || records.clone(),
+            |batch| {
+                let server = CentralServer::new(3);
+                for record in batch {
+                    server.submit(record).expect("fresh");
+                }
+                server
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    let server = CentralServer::new(3);
+    for record in &records {
+        server.submit(record.clone()).expect("fresh");
+    }
+    let periods: Vec<PeriodId> = (0..PERIODS).map(PeriodId::new).collect();
+    // Shared read locks: queries against distinct shards never contend.
+    group.bench_function("point_estimate_sharded_read", |b| {
+        let mut loc = 0u64;
+        b.iter(|| {
+            loc = loc % LOCATIONS + 1;
+            server
+                .estimate_point_persistent(LocationId::new(loc), &periods)
+                .expect("stored")
+        })
+    });
+
+    // The epoch-validated cache: a hit skips the estimator entirely.
+    let cache = QueryCache::new(64);
+    let key = QueryKey::Point {
+        location: LocationId::new(1),
+        periods: periods.clone(),
+    };
+    let answer = server
+        .estimate_point_persistent(LocationId::new(1), &periods)
+        .expect("stored");
+    let epochs: Vec<(LocationId, u64)> =
+        vec![(LocationId::new(1), server.epoch(LocationId::new(1)))];
+    cache.store(key.clone(), answer, epochs);
+    group.bench_function("cache_hit_epoch_validated", |b| {
+        b.iter(|| {
+            cache
+                .lookup(&key, |l| server.epoch(l))
+                .expect("fresh entry")
+        })
+    });
+    group.finish();
+}
+
 fn bench_protocol(c: &mut Criterion) {
     let mut group = c.benchmark_group("v2i_protocol");
     group.sample_size(10);
@@ -221,8 +317,12 @@ fn bench_protocol(c: &mut Criterion) {
         let mut period = 0u32;
         let scheme = EncodingScheme::new(11, 3);
         let size = BitmapSize::new(2048).expect("pow2");
-        let mut sim =
-            V2iSimulator::new(SimConfig::default(), scheme, &[(LocationId::new(1), size)], 4);
+        let mut sim = V2iSimulator::new(
+            SimConfig::default(),
+            scheme,
+            &[(LocationId::new(1), size)],
+            4,
+        );
         let vehicles: Vec<usize> = (0..200).map(|_| sim.add_vehicle()).collect();
         b.iter(|| {
             for (k, &v) in vehicles.iter().enumerate() {
@@ -242,6 +342,7 @@ criterion_group!(
     bench_crypto,
     bench_storage,
     bench_rpc,
+    bench_shard_store,
     bench_protocol
 );
 criterion_main!(benches);

@@ -72,7 +72,8 @@ COMMANDS:
     demo        End-to-end V2I protocol demo on the Sioux Falls network
     all         Everything above in sequence
     serve       Run the ptm-rpc record-ingest daemon
-                (--archive PATH [--addr A] [--s N] [--duration-secs N])
+                (--archive PATH [--addr A] [--s N] [--duration-secs N]
+                 [--cache N: query-cache entries, 0 disables; default 1024])
     upload      Synthesise a campaign and upload it to a daemon
                 (--location L [--addr A] [--periods T] [--vehicles N]
                  [--persistent N] [--seed S])
@@ -121,14 +122,20 @@ fn parse(args: &[String]) -> Option<(String, Options)> {
 fn opt_usize(options: &Options, key: &str) -> Result<Option<usize>, String> {
     options
         .get(key)
-        .map(|v| v.parse().map_err(|_| format!("--{key} expects an integer, got {v:?}")))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("--{key} expects an integer, got {v:?}"))
+        })
         .transpose()
 }
 
 fn opt_u64(options: &Options, key: &str) -> Result<Option<u64>, String> {
     options
         .get(key)
-        .map(|v| v.parse().map_err(|_| format!("--{key} expects an integer, got {v:?}")))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("--{key} expects an integer, got {v:?}"))
+        })
         .transpose()
 }
 
@@ -209,7 +216,12 @@ fn run_command(command: &str, options: &Options) -> Result<(), String> {
     }
 }
 
-fn cmd_table1(seed: u64, runs: Option<usize>, threads: usize, csv: Option<&Path>) -> Result<(), String> {
+fn cmd_table1(
+    seed: u64,
+    runs: Option<usize>,
+    threads: usize,
+    csv: Option<&Path>,
+) -> Result<(), String> {
     let config = table1::Table1Config {
         runs: runs.unwrap_or(50),
         seed,
@@ -249,11 +261,17 @@ fn cmd_fig4(
         "both" => vec![5, 10],
         other => return Err(format!("--t expects 5, 10 or both, got {other:?}")),
     };
-    let sizing = match options.get("sizing").map(String::as_str).unwrap_or("campaign-mean") {
+    let sizing = match options
+        .get("sizing")
+        .map(String::as_str)
+        .unwrap_or("campaign-mean")
+    {
         "campaign-mean" => ptm_sim::workload::SizingPolicy::CampaignMean,
         "per-period" => ptm_sim::workload::SizingPolicy::PerPeriod,
         other => {
-            return Err(format!("--sizing expects campaign-mean or per-period, got {other:?}"))
+            return Err(format!(
+                "--sizing expects campaign-mean or per-period, got {other:?}"
+            ))
         }
     };
     for t in ts {
@@ -314,9 +332,13 @@ fn cmd_ablations(seed: u64, runs: Option<usize>, threads: usize) -> Result<(), S
     let split = ablation::split_strategy(8, runs, threads, seed);
     println!("Ablation 1 — split strategy on trending volumes (t = 8):");
     println!("  halves (paper): mean relative error {:.4}", split.halves);
-    println!("  interleaved:    mean relative error {:.4}\n", split.interleaved);
+    println!(
+        "  interleaved:    mean relative error {:.4}\n",
+        split.interleaved
+    );
 
-    let frontier = ablation::tradeoff_frontier(&[1.0, 1.5, 2.0, 2.5, 3.0, 4.0], 5, runs, threads, seed);
+    let frontier =
+        ablation::tradeoff_frontier(&[1.0, 1.5, 2.0, 2.5, 3.0, 4.0], 5, runs, threads, seed);
     println!("Ablation 2 — accuracy-privacy frontier (s = 3, t = 5):");
     let mut table = ptm_report::TextTable::new(vec![
         "f".into(),
@@ -352,8 +374,14 @@ fn cmd_ablations(seed: u64, runs: Option<usize>, threads: usize) -> Result<(), S
 
     let sizing = ablation::sizing_policy(5, runs, threads, seed);
     println!("Ablation 4 — bitmap sizing policy (t = 5, point persistent):");
-    println!("  per-period sizing (paper Fig. 3): mean relative error {:.4}", sizing.per_period);
-    println!("  campaign-mean sizing:             mean relative error {:.4}\n", sizing.campaign_mean);
+    println!(
+        "  per-period sizing (paper Fig. 3): mean relative error {:.4}",
+        sizing.per_period
+    );
+    println!(
+        "  campaign-mean sizing:             mean relative error {:.4}\n",
+        sizing.campaign_mean
+    );
 
     let kway = ablation::kway_sweep(&[2, 3, 4, 6], 12, runs, threads, seed);
     println!("Ablation 5 — k-way split of Π (t = 12, point persistent):");
@@ -385,7 +413,11 @@ fn cmd_ablations(seed: u64, runs: Option<usize>, threads: usize) -> Result<(), S
 
 fn cmd_matrix(seed: u64, threads: usize, csv: Option<&Path>) -> Result<(), String> {
     use ptm_sim::matrix::{self, MatrixConfig};
-    let config = MatrixConfig { seed, threads, ..MatrixConfig::default() };
+    let config = MatrixConfig {
+        seed,
+        threads,
+        ..MatrixConfig::default()
+    };
     ptm_obs::info!("cli.matrix", "sweeping all Sioux Falls pairs"; t = config.t);
     let result = matrix::run(&config);
     println!("{}", matrix::render(&result));
@@ -428,8 +460,12 @@ fn cmd_pair(
     use ptm_traffic::sioux_falls;
 
     let parse_node = |key: &str| -> Result<usize, String> {
-        let raw = options.get(key).ok_or(format!("pair requires --{key} <node 1-24>"))?;
-        let n: usize = raw.parse().map_err(|_| format!("--{key} expects a node label"))?;
+        let raw = options
+            .get(key)
+            .ok_or(format!("pair requires --{key} <node 1-24>"))?;
+        let n: usize = raw
+            .parse()
+            .map_err(|_| format!("--{key} expects a node label"))?;
         if (1..=sioux_falls::NUM_NODES).contains(&n) {
             Ok(n)
         } else {
@@ -499,7 +535,9 @@ fn cmd_demo(seed: u64) -> Result<(), String> {
     let table = sioux_falls::trip_table();
     let l = NodeId::new(14); // node 15
     let lp = table.busiest_node(); // node 10
-    let path = network.shortest_path(l, lp).ok_or("sioux falls is connected")?;
+    let path = network
+        .shortest_path(l, lp)
+        .ok_or("sioux falls is connected")?;
     println!(
         "route node {} -> node {}: {} hops, {:.0} min free-flow",
         l,

@@ -36,11 +36,24 @@ fn required<'a>(options: &'a Options, key: &str, hint: &str) -> Result<&'a str, 
 
 /// `ptm serve`: run the record-ingest daemon in the foreground.
 pub fn cmd_serve(options: &Options) -> Result<(), String> {
-    let addr = options.get("addr").map(String::as_str).unwrap_or("127.0.0.1:7171");
-    let archive = PathBuf::from(required(options, "archive", "path for the write-ahead archive")?);
+    let addr = options
+        .get("addr")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:7171");
+    let archive = PathBuf::from(required(
+        options,
+        "archive",
+        "path for the write-ahead archive",
+    )?);
     let s = opt_u64(options, "s")?.unwrap_or(3) as u32;
     let duration = opt_u64(options, "duration-secs")?;
-    let config = ServerConfig { s, ..ServerConfig::default() };
+    let mut config = ServerConfig {
+        s,
+        ..ServerConfig::default()
+    };
+    if let Some(cache) = opt_usize(options, "cache")? {
+        config.cache_capacity = cache;
+    }
 
     let server = RpcServer::start(addr, &archive, config).map_err(|e| e.to_string())?;
     let replay = server.replay_report();
@@ -84,7 +97,9 @@ fn synthesize_records(
 ) -> Result<Vec<TrafficRecord>, String> {
     use rand::SeedableRng;
     if persistent > vehicles {
-        return Err(format!("--persistent {persistent} exceeds --vehicles {vehicles}"));
+        return Err(format!(
+            "--persistent {persistent} exceeds --vehicles {vehicles}"
+        ));
     }
     let params = SystemParams::paper_default();
     let scheme = EncodingScheme::new(seed, params.num_representatives());
@@ -109,7 +124,10 @@ fn synthesize_records(
 }
 
 fn client(options: &Options) -> Result<RpcClient, String> {
-    let addr = options.get("addr").map(String::as_str).unwrap_or("127.0.0.1:7171");
+    let addr = options
+        .get("addr")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:7171");
     RpcClient::connect(addr, ClientConfig::default()).map_err(|e| e.to_string())
 }
 
@@ -145,16 +163,16 @@ pub fn cmd_upload(options: &Options) -> Result<(), String> {
 /// `ptm query`: ask the daemon for an estimate.
 pub fn cmd_query(options: &Options) -> Result<(), String> {
     let kind = options.get("kind").map(String::as_str).unwrap_or("point");
-    let location = LocationId::new(
-        opt_u64(options, "location")?.ok_or("--location is required")?,
-    );
+    let location = LocationId::new(opt_u64(options, "location")?.ok_or("--location is required")?);
     let periods = opt_u64(options, "periods")?.unwrap_or(5) as u32;
     let period_ids: Vec<PeriodId> = (0..periods).map(PeriodId::new).collect();
     let mut client = client(options)?;
     match kind {
         "volume" => {
             let period = PeriodId::new(opt_u64(options, "period")?.unwrap_or(0) as u32);
-            let est = client.query_volume(location, period).map_err(|e| e.to_string())?;
+            let est = client
+                .query_volume(location, period)
+                .map_err(|e| e.to_string())?;
             println!(
                 "traffic volume at location {} period {}: {est:.1}",
                 location.get(),
@@ -162,7 +180,9 @@ pub fn cmd_query(options: &Options) -> Result<(), String> {
             );
         }
         "point" => {
-            let est = client.query_point(location, &period_ids).map_err(|e| e.to_string())?;
+            let est = client
+                .query_point(location, &period_ids)
+                .map_err(|e| e.to_string())?;
             println!(
                 "point persistent traffic at location {} over {periods} periods: {est:.1}",
                 location.get()
@@ -181,7 +201,11 @@ pub fn cmd_query(options: &Options) -> Result<(), String> {
                 location_b.get()
             );
         }
-        other => return Err(format!("--kind expects volume, point or p2p, got {other:?}")),
+        other => {
+            return Err(format!(
+                "--kind expects volume, point or p2p, got {other:?}"
+            ))
+        }
     }
     Ok(())
 }

@@ -72,10 +72,32 @@ pub fn estimate_cardinality_approx(bitmap: &Bitmap) -> Result<f64, EstimateError
 /// Useful for choosing the load factor: at the paper's `f = 2`
 /// (i.e. `t ≈ 0.5`) the relative standard error for `n = 10⁴` is well under
 /// 1 %.
+///
+/// `n <= 0` (or a NaN) returns [`f64::INFINITY`]: the *relative* error of
+/// estimating a zero count is unbounded, and report tables must see a
+/// value that formats as `inf` rather than a `NaN` that poisons every
+/// column it touches. Tiny positive loads evaluate `e^t - t - 1` via its
+/// series, which the naive form would cancel to 0 in floating point.
+///
+/// # Panics
+///
+/// Panics if `m` is zero (a bitmap cannot have zero bits).
 pub fn relative_standard_error(n: f64, m: usize) -> f64 {
-    assert!(n > 0.0 && m > 0, "n and m must be positive");
+    assert!(m > 0, "m must be positive");
+    if n.is_nan() || n <= 0.0 {
+        return f64::INFINITY;
+    }
     let t = n / m as f64;
-    (m as f64).sqrt() * (t.exp() - t - 1.0).sqrt() / n
+    // e^t - t - 1 = t²/2 + t³/6 + t⁴/24 + …; below t ≈ 1e-4 the direct
+    // form loses every significant digit to cancellation (and t² itself
+    // underflows to 0 once t < ~1e-154), so take the root of the series
+    // analytically: sqrt(e^t - t - 1) ≈ t · sqrt(1/2 + t/6 + t²/24).
+    let growth_sqrt = if t < 1e-4 {
+        t * (0.5 + t * (1.0 / 6.0 + t / 24.0)).sqrt()
+    } else {
+        (t.exp() - t - 1.0).sqrt()
+    };
+    (m as f64).sqrt() * growth_sqrt / n
 }
 
 #[cfg(test)]
@@ -158,6 +180,37 @@ mod tests {
     fn single_bit_map() {
         let b = Bitmap::new(1);
         assert_eq!(estimate_cardinality(&b).expect("zero"), 0.0);
+    }
+
+    #[test]
+    fn relative_standard_error_zero_n_is_infinite_not_nan() {
+        // The old code divided by n and produced a NaN that propagated
+        // into report tables; zero (or negative, or NaN) counts must map
+        // to a clean +inf instead.
+        for n in [0.0, -1.0, -0.0, f64::NAN] {
+            let rse = relative_standard_error(n, 1024);
+            assert!(rse.is_infinite() && rse > 0.0, "n = {n}: got {rse}");
+        }
+    }
+
+    #[test]
+    fn relative_standard_error_tiny_n_is_finite_and_stable() {
+        // As n -> 0+ the expression tends to 1/sqrt(2m); the naive
+        // floating-point form collapses to 0 (or NaN) from cancellation.
+        let m = 4096;
+        let limit = 1.0 / (2.0 * m as f64).sqrt();
+        for n in [1e-3, 1e-6, 1e-12, 1e-300] {
+            let rse = relative_standard_error(n, m);
+            assert!(rse.is_finite(), "n = {n}: got {rse}");
+            assert!(
+                (rse - limit).abs() / limit < 1e-3,
+                "n = {n}: got {rse}, limit {limit}"
+            );
+        }
+        // The series and the direct form agree where both are accurate.
+        let series_side = relative_standard_error(0.9e-4 * 4096.0, m);
+        let direct_side = relative_standard_error(1.1e-4 * 4096.0, m);
+        assert!((series_side - direct_side).abs() / direct_side < 1e-2);
     }
 
     #[test]

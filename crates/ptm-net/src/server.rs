@@ -1,6 +1,38 @@
 //! The central server: collects traffic records from RSUs and answers
 //! persistent-traffic queries (paper Sec. II-A: "all RSUs are connected …
 //! to a central server, where data are collected and processed").
+//!
+//! # Sharded store
+//!
+//! The record store is sharded **by location**: a read-mostly directory
+//! maps each [`LocationId`] to its own shard, and each shard holds that
+//! location's per-period records behind its own [`RwLock`]. The paper's
+//! query side is embarrassingly parallel — point (Sec. III) and
+//! point-to-point (Sec. IV) estimates are read-only AND/OR joins over
+//! per-location records — so queries take *shared* read locks and proceed
+//! concurrently with each other and with uploads to other locations. A
+//! query never holds two shard locks at once (point-to-point gathers one
+//! location, releases it, then gathers the other), so the locking scheme
+//! cannot deadlock.
+//!
+//! Every shard also carries an **epoch**: a counter bumped once per
+//! *accepted* record (idempotent re-uploads and rejected conflicts leave
+//! it unchanged, because they leave the records unchanged). Epochs let a
+//! caller cache query answers and validate them cheaply: an answer
+//! computed when the involved locations had epochs `E` is still exact
+//! while those epochs are unchanged. `ptm-rpc` builds its query-result
+//! cache on this.
+//!
+//! All locks recover from poisoning (`PoisonError::into_inner`): a
+//! panicking reader or writer must not turn one bad request into a
+//! permanent outage for every later request. Shard state is a plain map
+//! plus a counter, mutated with single `insert`s, so a recovered guard is
+//! never mid-invariant.
+//!
+//! Shard instrumentation (through `ptm-obs`, disabled by default):
+//! `rpc.shard.locations` (gauge, shard count) and
+//! `rpc.shard.lock_wait.read` / `rpc.shard.lock_wait.write` (histograms,
+//! ns spent waiting to acquire a shard lock).
 
 use ptm_core::encoding::LocationId;
 use ptm_core::error::EstimateError;
@@ -8,6 +40,9 @@ use ptm_core::p2p::PointToPointEstimator;
 use ptm_core::point::{NaiveAndEstimator, PointEstimator};
 use ptm_core::record::{PeriodId, TrafficRecord};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
 
 /// Errors from server-side query processing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,10 +101,59 @@ impl From<EstimateError> for ServerError {
     }
 }
 
+/// One location's records plus its upload epoch, guarded together so a
+/// reader always sees an epoch consistent with (or older than) the records
+/// it reads.
+#[derive(Debug, Default)]
+struct ShardInner {
+    records: HashMap<PeriodId, TrafficRecord>,
+    /// Bumped once per accepted record. Idempotent re-uploads and rejected
+    /// conflicts do not move it: the stored records did not change, so any
+    /// cached answer derived from them is still exact.
+    epoch: u64,
+}
+
+#[derive(Debug, Default)]
+struct LocationShard {
+    inner: RwLock<ShardInner>,
+}
+
+/// Acquires a shard read lock, recovering from poisoning and recording the
+/// wait when metrics are enabled.
+fn shard_read(lock: &RwLock<ShardInner>) -> RwLockReadGuard<'_, ShardInner> {
+    let start = ptm_obs::metrics_enabled().then(Instant::now);
+    let guard = lock.read().unwrap_or_else(PoisonError::into_inner);
+    if let Some(start) = start {
+        ptm_obs::histogram!("rpc.shard.lock_wait.read").record(start.elapsed().as_nanos() as u64);
+    }
+    guard
+}
+
+/// Acquires a shard write lock, recovering from poisoning and recording
+/// the wait when metrics are enabled.
+fn shard_write(lock: &RwLock<ShardInner>) -> RwLockWriteGuard<'_, ShardInner> {
+    let start = ptm_obs::metrics_enabled().then(Instant::now);
+    let guard = lock.write().unwrap_or_else(PoisonError::into_inner);
+    if let Some(start) = start {
+        ptm_obs::histogram!("rpc.shard.lock_wait.write").record(start.elapsed().as_nanos() as u64);
+    }
+    guard
+}
+
 /// The record store plus query engine.
+///
+/// Internally sharded by location (see the module docs), so every method
+/// takes `&self`: uploads and queries from many threads proceed
+/// concurrently, and a query blocks only on a simultaneous upload to a
+/// location it is reading.
 #[derive(Debug, Default)]
 pub struct CentralServer {
-    records: HashMap<(LocationId, PeriodId), TrafficRecord>,
+    /// Location directory. Read-mostly: taken for writing only when a
+    /// location uploads its first record.
+    shards: RwLock<HashMap<LocationId, Arc<LocationShard>>>,
+    /// Total stored records, maintained alongside the shards so
+    /// [`CentralServer::record_count`] never walks the directory.
+    total_records: AtomicUsize,
     /// Representative-bit count `s`, needed by the point-to-point estimator.
     s: u32,
 }
@@ -83,7 +167,31 @@ impl CentralServer {
     /// Panics if `s` is zero.
     pub fn new(s: u32) -> Self {
         assert!(s >= 1, "s must be at least 1");
-        Self { records: HashMap::new(), s }
+        Self {
+            shards: RwLock::new(HashMap::new()),
+            total_records: AtomicUsize::new(0),
+            s,
+        }
+    }
+
+    /// The shard for `location`, if it has ever stored a record.
+    fn shard(&self, location: LocationId) -> Option<Arc<LocationShard>> {
+        self.shards
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&location)
+            .map(Arc::clone)
+    }
+
+    /// The shard for `location`, created on first use.
+    fn shard_or_create(&self, location: LocationId) -> Arc<LocationShard> {
+        if let Some(shard) = self.shard(location) {
+            return shard;
+        }
+        let mut directory = self.shards.write().unwrap_or_else(PoisonError::into_inner);
+        let shard = Arc::clone(directory.entry(location).or_default());
+        ptm_obs::gauge!("rpc.shard.locations").set(directory.len() as i64);
+        shard
     }
 
     /// Accepts an uploaded record.
@@ -95,57 +203,97 @@ impl CentralServer {
     /// different contents — is an error, because silently keeping either
     /// copy would corrupt the measurement.
     ///
+    /// Only an accepted record bumps the location's epoch (see
+    /// [`CentralServer::epoch`]).
+    ///
     /// # Errors
     ///
     /// [`ServerError::DuplicateRecord`] when the `(location, period)` slot
     /// already holds a record with different contents.
-    pub fn submit(&mut self, record: TrafficRecord) -> Result<(), ServerError> {
-        let key = (record.location(), record.period());
-        if let Some(existing) = self.records.get(&key) {
+    pub fn submit(&self, record: TrafficRecord) -> Result<(), ServerError> {
+        let location = record.location();
+        let period = record.period();
+        let shard = self.shard_or_create(location);
+        let mut inner = shard_write(&shard.inner);
+        if let Some(existing) = inner.records.get(&period) {
             if *existing == record {
                 ptm_obs::counter!("net.server.submit.duplicate_idempotent").inc();
                 return Ok(());
             }
             ptm_obs::counter!("net.server.submit.duplicate").inc();
-            return Err(ServerError::DuplicateRecord { location: key.0, period: key.1 });
+            return Err(ServerError::DuplicateRecord { location, period });
         }
         if ptm_obs::metrics_enabled() {
             ptm_obs::counter!("net.server.submit.accepted").inc();
-            ptm_obs::counter!("net.server.bits_stored")
-                .add(record.bitmap().count_ones() as u64);
+            ptm_obs::counter!("net.server.bits_stored").add(record.bitmap().count_ones() as u64);
             // Per-location record gauges use dynamic names, so they go
             // through the registry rather than a cached macro handle.
             ptm_obs::registry()
-                .gauge(format!("net.server.records.loc{}", key.0.get()))
+                .gauge(format!("net.server.records.loc{}", location.get()))
                 .inc();
         }
-        self.records.insert(key, record);
-        ptm_obs::gauge!("net.server.records").set(self.records.len() as i64);
+        inner.records.insert(period, record);
+        inner.epoch += 1;
+        let total = self.total_records.fetch_add(1, Ordering::Relaxed) + 1;
+        ptm_obs::gauge!("net.server.records").set(total as i64);
         Ok(())
     }
 
     /// Number of stored records.
     pub fn record_count(&self) -> usize {
-        self.records.len()
+        self.total_records.load(Ordering::Relaxed)
     }
 
-    /// Fetches one record.
-    pub fn record(&self, location: LocationId, period: PeriodId) -> Option<&TrafficRecord> {
-        self.records.get(&(location, period))
+    /// Number of locations that have stored at least one record (i.e. the
+    /// number of live shards).
+    pub fn location_count(&self) -> usize {
+        self.shards
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
+    /// The upload epoch of `location`: 0 for a location that never stored
+    /// a record, then +1 per accepted record.
+    ///
+    /// An answer computed from this location's records while its epoch was
+    /// `e` remains exact for as long as `epoch(location) == e` — the basis
+    /// of the epoch-invalidated query cache in `ptm-rpc`.
+    pub fn epoch(&self, location: LocationId) -> u64 {
+        match self.shard(location) {
+            Some(shard) => shard_read(&shard.inner).epoch,
+            None => 0,
+        }
+    }
+
+    /// Fetches one record (cloned out of its shard).
+    pub fn record(&self, location: LocationId, period: PeriodId) -> Option<TrafficRecord> {
+        let shard = self.shard(location)?;
+        let inner = shard_read(&shard.inner);
+        inner.records.get(&period).cloned()
+    }
+
+    /// Clones this location's records for `periods` under one read lock,
+    /// so the set is a consistent snapshot of the location.
     fn gather(
         &self,
         location: LocationId,
         periods: &[PeriodId],
     ) -> Result<Vec<TrafficRecord>, ServerError> {
+        if periods.is_empty() {
+            return Ok(Vec::new());
+        }
+        let missing = |period: PeriodId| ServerError::MissingRecord { location, period };
+        let shard = self.shard(location).ok_or_else(|| missing(periods[0]))?;
+        let inner = shard_read(&shard.inner);
         periods
             .iter()
             .map(|&period| {
-                self.records
-                    .get(&(location, period))
+                inner
+                    .records
+                    .get(&period)
                     .cloned()
-                    .ok_or(ServerError::MissingRecord { location, period })
+                    .ok_or_else(|| missing(period))
             })
             .collect()
     }
@@ -163,8 +311,7 @@ impl CentralServer {
         let _t = ptm_obs::span!("net.server.estimate.volume");
         ptm_obs::counter!("net.server.query.volume").inc();
         let record = self
-            .records
-            .get(&(location, period))
+            .record(location, period)
             .ok_or(ServerError::MissingRecord { location, period })?;
         Ok(ptm_core::lpc::estimate_cardinality(record.bitmap())?)
     }
@@ -203,6 +350,10 @@ impl CentralServer {
 
     /// Point-to-point persistent traffic between two locations (Eq. 21).
     ///
+    /// The two locations are gathered one after the other (never holding
+    /// both shard locks), so concurrent point-to-point queries over
+    /// overlapping location pairs cannot deadlock.
+    ///
     /// # Errors
     ///
     /// Missing records or estimator failure.
@@ -227,6 +378,7 @@ mod tests {
     use ptm_core::params::BitmapSize;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+    use std::panic::AssertUnwindSafe;
 
     fn record_with(
         location: LocationId,
@@ -244,27 +396,33 @@ mod tests {
 
     #[test]
     fn submit_and_query_roundtrip() {
-        let mut server = CentralServer::new(3);
+        let server = CentralServer::new(3);
         let scheme = EncodingScheme::new(7, 3);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let fleet: Vec<VehicleSecrets> =
-            (0..500).map(|_| VehicleSecrets::generate(&mut rng, 3)).collect();
+        let fleet: Vec<VehicleSecrets> = (0..500)
+            .map(|_| VehicleSecrets::generate(&mut rng, 3))
+            .collect();
         let loc = LocationId::new(1);
         for p in 0..4u32 {
             let rec = record_with(loc, PeriodId::new(p), 4096, &fleet, &scheme);
             server.submit(rec).expect("first upload");
         }
         assert_eq!(server.record_count(), 4);
+        assert_eq!(server.location_count(), 1);
         let periods: Vec<PeriodId> = (0..4).map(PeriodId::new).collect();
-        let est = server.estimate_point_persistent(loc, &periods).expect("estimate");
+        let est = server
+            .estimate_point_persistent(loc, &periods)
+            .expect("estimate");
         assert!((est - 500.0).abs() / 500.0 < 0.1, "estimate {est}");
-        let vol = server.estimate_volume(loc, PeriodId::new(0)).expect("volume");
+        let vol = server
+            .estimate_volume(loc, PeriodId::new(0))
+            .expect("volume");
         assert!((vol - 500.0).abs() / 500.0 < 0.1, "volume {vol}");
     }
 
     #[test]
     fn identical_resend_is_idempotent() {
-        let mut server = CentralServer::new(3);
+        let server = CentralServer::new(3);
         let loc = LocationId::new(2);
         let mut rec = TrafficRecord::new(loc, PeriodId::new(0), BitmapSize::new(64).expect("pow2"));
         rec.set_reported_index(5);
@@ -273,12 +431,12 @@ mod tests {
         // and the store is unchanged.
         server.submit(rec.clone()).expect("identical resend");
         assert_eq!(server.record_count(), 1);
-        assert_eq!(server.record(loc, PeriodId::new(0)), Some(&rec));
+        assert_eq!(server.record(loc, PeriodId::new(0)), Some(rec));
     }
 
     #[test]
     fn conflicting_duplicate_rejected() {
-        let mut server = CentralServer::new(3);
+        let server = CentralServer::new(3);
         let loc = LocationId::new(2);
         let rec = TrafficRecord::new(loc, PeriodId::new(0), BitmapSize::new(64).expect("pow2"));
         server.submit(rec.clone()).expect("first");
@@ -286,10 +444,13 @@ mod tests {
         conflicting.set_reported_index(3);
         assert_eq!(
             server.submit(conflicting),
-            Err(ServerError::DuplicateRecord { location: loc, period: PeriodId::new(0) })
+            Err(ServerError::DuplicateRecord {
+                location: loc,
+                period: PeriodId::new(0)
+            })
         );
         // The original record survives the rejected conflict untouched.
-        assert_eq!(server.record(loc, PeriodId::new(0)), Some(&rec));
+        assert_eq!(server.record(loc, PeriodId::new(0)), Some(rec));
     }
 
     #[test]
@@ -301,17 +462,21 @@ mod tests {
             .expect_err("missing");
         assert_eq!(
             err,
-            ServerError::MissingRecord { location: loc, period: PeriodId::new(0) }
+            ServerError::MissingRecord {
+                location: loc,
+                period: PeriodId::new(0)
+            }
         );
     }
 
     #[test]
     fn p2p_query() {
-        let mut server = CentralServer::new(3);
+        let server = CentralServer::new(3);
         let scheme = EncodingScheme::new(9, 3);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let commons: Vec<VehicleSecrets> =
-            (0..800).map(|_| VehicleSecrets::generate(&mut rng, 3)).collect();
+        let commons: Vec<VehicleSecrets> = (0..800)
+            .map(|_| VehicleSecrets::generate(&mut rng, 3))
+            .collect();
         let (a, b) = (LocationId::new(10), LocationId::new(20));
         for p in 0..3u32 {
             server
@@ -322,23 +487,143 @@ mod tests {
                 .expect("upload");
         }
         let periods: Vec<PeriodId> = (0..3).map(PeriodId::new).collect();
-        let est = server.estimate_p2p_persistent(a, b, &periods).expect("estimate");
+        let est = server
+            .estimate_p2p_persistent(a, b, &periods)
+            .expect("estimate");
         assert!((est - 800.0).abs() / 800.0 < 0.15, "estimate {est}");
     }
 
     #[test]
     fn estimate_error_wrapped() {
-        let mut server = CentralServer::new(3);
+        let server = CentralServer::new(3);
         let loc = LocationId::new(5);
         server
-            .submit(TrafficRecord::new(loc, PeriodId::new(0), BitmapSize::new(64).expect("pow2")))
+            .submit(TrafficRecord::new(
+                loc,
+                PeriodId::new(0),
+                BitmapSize::new(64).expect("pow2"),
+            ))
             .expect("upload");
         let err = server
             .estimate_point_persistent(loc, &[PeriodId::new(0)])
             .expect_err("too few records");
-        assert!(matches!(err, ServerError::Estimate(EstimateError::TooFewRecords { .. })));
+        assert!(matches!(
+            err,
+            ServerError::Estimate(EstimateError::TooFewRecords { .. })
+        ));
         // Display and source() behave.
         assert!(err.to_string().contains("estimation failed"));
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn epoch_bumps_only_on_accepted_records_and_per_location() {
+        let server = CentralServer::new(3);
+        let (a, b) = (LocationId::new(1), LocationId::new(2));
+        assert_eq!(server.epoch(a), 0, "untouched location");
+
+        let mut rec = TrafficRecord::new(a, PeriodId::new(0), BitmapSize::new(64).expect("pow2"));
+        rec.set_reported_index(5);
+        server.submit(rec.clone()).expect("first");
+        assert_eq!(server.epoch(a), 1);
+
+        // Idempotent re-send: records unchanged, epoch unchanged.
+        server.submit(rec.clone()).expect("resend");
+        assert_eq!(server.epoch(a), 1);
+
+        // Rejected conflict: records unchanged, epoch unchanged.
+        let mut conflicting = rec.clone();
+        conflicting.set_reported_index(7);
+        assert!(server.submit(conflicting).is_err());
+        assert_eq!(server.epoch(a), 1);
+
+        // Uploads to one location never move another location's epoch.
+        let other = TrafficRecord::new(b, PeriodId::new(0), BitmapSize::new(64).expect("pow2"));
+        server.submit(other).expect("other location");
+        assert_eq!(server.epoch(a), 1);
+        assert_eq!(server.epoch(b), 1);
+
+        let second = TrafficRecord::new(a, PeriodId::new(1), BitmapSize::new(64).expect("pow2"));
+        server.submit(second).expect("second period");
+        assert_eq!(server.epoch(a), 2);
+    }
+
+    #[test]
+    fn poisoned_shard_lock_is_recovered() {
+        let server = CentralServer::new(3);
+        let loc = LocationId::new(7);
+        let mut rec = TrafficRecord::new(loc, PeriodId::new(0), BitmapSize::new(64).expect("pow2"));
+        rec.set_reported_index(3);
+        server.submit(rec.clone()).expect("first");
+
+        // Poison the shard's lock the way a panicking handler thread would.
+        let shard = server.shard(loc).expect("shard exists");
+        let poisoned = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = shard.inner.write().expect("not yet poisoned");
+            panic!("injected handler panic");
+        }));
+        assert!(poisoned.is_err());
+        assert!(
+            shard.inner.read().is_err(),
+            "lock must actually be poisoned"
+        );
+
+        // Every path still works: the store recovers the guard instead of
+        // cascading the panic into every later request.
+        assert_eq!(server.record(loc, PeriodId::new(0)), Some(rec));
+        let mut next =
+            TrafficRecord::new(loc, PeriodId::new(1), BitmapSize::new(64).expect("pow2"));
+        next.set_reported_index(4);
+        server.submit(next).expect("submit after poison");
+        assert_eq!(server.record_count(), 2);
+        assert_eq!(server.epoch(loc), 2);
+        assert!(server.estimate_volume(loc, PeriodId::new(0)).is_ok());
+    }
+
+    #[test]
+    fn concurrent_uploads_and_queries_across_locations() {
+        let server = CentralServer::new(3);
+        let scheme = EncodingScheme::new(5, 3);
+        const LOCATIONS: u64 = 8;
+        const PERIODS: u32 = 3;
+        let server_ref = &server;
+        let scheme_ref = &scheme;
+        std::thread::scope(|scope| {
+            for loc in 0..LOCATIONS {
+                let server = server_ref;
+                let scheme = scheme_ref;
+                scope.spawn(move || {
+                    let mut rng = ChaCha8Rng::seed_from_u64(loc);
+                    let fleet: Vec<VehicleSecrets> = (0..50)
+                        .map(|_| VehicleSecrets::generate(&mut rng, 3))
+                        .collect();
+                    for p in 0..PERIODS {
+                        let rec = record_with(
+                            LocationId::new(loc),
+                            PeriodId::new(p),
+                            1024,
+                            &fleet,
+                            scheme,
+                        );
+                        server.submit(rec).expect("concurrent submit");
+                    }
+                });
+                // Concurrent readers: any Ok answer is fine, any missing
+                // record is fine; nothing may panic or deadlock.
+                let server = server_ref;
+                scope.spawn(move || {
+                    let periods: Vec<PeriodId> = (0..PERIODS).map(PeriodId::new).collect();
+                    for _ in 0..20 {
+                        let _ = server.estimate_point_persistent(LocationId::new(loc), &periods);
+                        let _ = server.estimate_volume(LocationId::new(loc), PeriodId::new(0));
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            server.record_count(),
+            (LOCATIONS * u64::from(PERIODS)) as usize
+        );
+        assert_eq!(server.location_count(), LOCATIONS as usize);
     }
 }

@@ -91,49 +91,76 @@ pub fn snapshot() -> MetricsSnapshot {
 ///
 /// The handle is resolved once per call site and cached in a hidden static,
 /// so repeated executions cost one atomic load before the (enabled-gated)
-/// increment.
+/// increment. While metrics are disabled an unresolved call site hands out
+/// a detached handle instead of registering the name — executing an
+/// instrumented path with recording off must leave snapshots untouched.
 #[macro_export]
 macro_rules! counter {
     ($name:expr) => {{
         static __PTM_OBS_COUNTER: ::std::sync::OnceLock<$crate::metrics::Counter> =
             ::std::sync::OnceLock::new();
-        __PTM_OBS_COUNTER.get_or_init(|| $crate::registry().counter($name))
+        match __PTM_OBS_COUNTER.get() {
+            Some(counter) => counter,
+            None if $crate::metrics_enabled() => {
+                __PTM_OBS_COUNTER.get_or_init(|| $crate::registry().counter($name))
+            }
+            None => $crate::metrics::detached_counter(),
+        }
     }};
 }
 
-/// Returns a cached [`Gauge`] registered under the given name.
+/// Returns a cached [`Gauge`] registered under the given name (detached
+/// while metrics are disabled; see [`counter!`]).
 #[macro_export]
 macro_rules! gauge {
     ($name:expr) => {{
         static __PTM_OBS_GAUGE: ::std::sync::OnceLock<$crate::metrics::Gauge> =
             ::std::sync::OnceLock::new();
-        __PTM_OBS_GAUGE.get_or_init(|| $crate::registry().gauge($name))
+        match __PTM_OBS_GAUGE.get() {
+            Some(gauge) => gauge,
+            None if $crate::metrics_enabled() => {
+                __PTM_OBS_GAUGE.get_or_init(|| $crate::registry().gauge($name))
+            }
+            None => $crate::metrics::detached_gauge(),
+        }
     }};
 }
 
 /// Returns a cached [`Histogram`] (default exponential bounds) registered
-/// under the given name.
+/// under the given name (detached while metrics are disabled; see
+/// [`counter!`]).
 #[macro_export]
 macro_rules! histogram {
     ($name:expr) => {{
         static __PTM_OBS_HISTOGRAM: ::std::sync::OnceLock<$crate::metrics::Histogram> =
             ::std::sync::OnceLock::new();
-        __PTM_OBS_HISTOGRAM.get_or_init(|| $crate::registry().histogram($name))
+        match __PTM_OBS_HISTOGRAM.get() {
+            Some(histogram) => histogram,
+            None if $crate::metrics_enabled() => {
+                __PTM_OBS_HISTOGRAM.get_or_init(|| $crate::registry().histogram($name))
+            }
+            None => $crate::metrics::detached_histogram(),
+        }
     }};
 }
 
 /// Starts a [`SpanTimer`] feeding the histogram of the given name.
 ///
 /// Bind it to keep the scope measured: `let _t = ptm_obs::span!("x.y");`.
-/// When metrics are disabled the timer is inert and never reads the clock.
+/// When metrics are disabled the timer is inert and never reads the clock,
+/// and an unresolved call site does not register the histogram name.
 #[macro_export]
 macro_rules! span {
     ($name:expr) => {{
         static __PTM_OBS_SPAN_HIST: ::std::sync::OnceLock<$crate::metrics::Histogram> =
             ::std::sync::OnceLock::new();
-        $crate::span::SpanTimer::new(
-            __PTM_OBS_SPAN_HIST.get_or_init(|| $crate::registry().histogram($name)),
-        )
+        $crate::span::SpanTimer::new(match __PTM_OBS_SPAN_HIST.get() {
+            Some(histogram) => histogram,
+            None if $crate::metrics_enabled() => {
+                __PTM_OBS_SPAN_HIST.get_or_init(|| $crate::registry().histogram($name))
+            }
+            None => $crate::metrics::detached_histogram(),
+        })
     }};
 }
 

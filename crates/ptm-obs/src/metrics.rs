@@ -126,7 +126,10 @@ pub struct Histogram(Arc<HistogramCore>);
 
 impl Histogram {
     fn with_bounds(bounds: &[u64]) -> Self {
-        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket bound"
+        );
         assert!(
             bounds.windows(2).all(|w| w[0] < w[1]),
             "histogram bounds must be strictly increasing"
@@ -183,7 +186,11 @@ impl Histogram {
             sum,
             min: if count > 0 { Some(min) } else { None },
             max: if count > 0 { Some(max) } else { None },
-            mean: if count > 0 { sum as f64 / count as f64 } else { 0.0 },
+            mean: if count > 0 {
+                sum as f64 / count as f64
+            } else {
+                0.0
+            },
             buckets,
         }
     }
@@ -261,9 +268,13 @@ impl MetricsSnapshot {
     pub fn to_json_pretty(&self) -> String {
         let mut out = String::with_capacity(1024);
         out.push_str("{\n  \"counters\": {");
-        push_scalar_map(&mut out, &self.counters, |out, &v| out.push_str(&v.to_string()));
+        push_scalar_map(&mut out, &self.counters, |out, &v| {
+            out.push_str(&v.to_string())
+        });
         out.push_str("},\n  \"gauges\": {");
-        push_scalar_map(&mut out, &self.gauges, |out, &v| out.push_str(&v.to_string()));
+        push_scalar_map(&mut out, &self.gauges, |out, &v| {
+            out.push_str(&v.to_string())
+        });
         out.push_str("},\n  \"histograms\": {");
         let mut first = true;
         for (name, hist) in &self.histograms {
@@ -381,6 +392,27 @@ fn push_histogram(out: &mut String, hist: &HistogramSnapshot) {
         out.push('}');
     }
     out.push_str("]}");
+}
+
+/// A counter registered nowhere: the recording macros hand it out while
+/// metrics are disabled so that merely *executing* an instrumented code
+/// path cannot intern a new metric name — registration while recording is
+/// off would silently grow every later snapshot.
+pub fn detached_counter() -> &'static Counter {
+    static DETACHED: std::sync::OnceLock<Counter> = std::sync::OnceLock::new();
+    DETACHED.get_or_init(Counter::default)
+}
+
+/// A gauge registered nowhere; see [`detached_counter`].
+pub fn detached_gauge() -> &'static Gauge {
+    static DETACHED: std::sync::OnceLock<Gauge> = std::sync::OnceLock::new();
+    DETACHED.get_or_init(Gauge::default)
+}
+
+/// A histogram registered nowhere; see [`detached_counter`].
+pub fn detached_histogram() -> &'static Histogram {
+    static DETACHED: std::sync::OnceLock<Histogram> = std::sync::OnceLock::new();
+    DETACHED.get_or_init(Histogram::default)
 }
 
 /// The metric registry: resolves names to shared handles and takes
@@ -552,7 +584,7 @@ mod tests {
         assert_eq!(counts, vec![2, 2, 2, 2]);
         assert_eq!(snap.buckets[0].le, Some(10));
         assert_eq!(snap.buckets[3].le, None);
-        assert_eq!(snap.sum, 0 + 10 + 11 + 100 + 101 + 1000 + 1001 + 50_000);
+        assert_eq!(snap.sum, 10 + 11 + 100 + 101 + 1000 + 1001 + 50_000);
         crate::set_metrics_enabled(false);
     }
 

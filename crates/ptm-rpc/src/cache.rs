@@ -1,0 +1,316 @@
+//! Epoch-invalidated query-result cache.
+//!
+//! Point, volume, and point-to-point estimates are pure functions of the
+//! records stored for the locations they read. `ptm_net::CentralServer`
+//! bumps a per-location **epoch** once per accepted record, so a cached
+//! answer tagged with the epochs observed *before* it was computed stays
+//! bit-for-bit exact while those epochs are unchanged — and an upload to
+//! one location invalidates only that location's cached answers, never its
+//! neighbours'.
+//!
+//! Invalidation is lazy: nothing is purged on upload (the hot ingest path
+//! never touches the cache); instead a lookup re-checks the entry's
+//! recorded epochs against the store and drops the entry the moment they
+//! disagree. The caller must capture the epochs **before** computing the
+//! answer it stores — tagging an answer with epochs read after the
+//! computation could mark a stale answer as fresh if an upload landed
+//! mid-computation; the conservative order can only cause a spurious
+//! recomputation.
+//!
+//! Capacity is bounded; inserting into a full cache evicts the oldest
+//! entry (insertion order). Metrics: `rpc.cache.hits`, `rpc.cache.misses`,
+//! `rpc.cache.stale` (entries dropped by an epoch mismatch on lookup),
+//! `rpc.cache.insertions`, `rpc.cache.evictions`, and the gauge
+//! `rpc.cache.entries`.
+
+use ptm_core::{LocationId, PeriodId};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Mutex, PoisonError};
+
+/// Identifies one cacheable query, including every parameter that affects
+/// its answer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum QueryKey {
+    /// Traffic volume at one location in one period.
+    Volume {
+        /// Queried location.
+        location: LocationId,
+        /// Queried period.
+        period: PeriodId,
+    },
+    /// Point persistent traffic over a period list.
+    Point {
+        /// Queried location.
+        location: LocationId,
+        /// Queried periods, in request order (order matters: it is part of
+        /// the request, and reordering could change float summation).
+        periods: Vec<PeriodId>,
+    },
+    /// Point-to-point persistent traffic over a period list.
+    P2p {
+        /// First endpoint.
+        location_a: LocationId,
+        /// Second endpoint.
+        location_b: LocationId,
+        /// Queried periods, in request order.
+        periods: Vec<PeriodId>,
+    },
+}
+
+impl QueryKey {
+    /// The locations whose records the query reads — exactly the epochs a
+    /// cached answer depends on.
+    pub fn locations(&self) -> Vec<LocationId> {
+        match self {
+            Self::Volume { location, .. } | Self::Point { location, .. } => vec![*location],
+            Self::P2p {
+                location_a,
+                location_b,
+                ..
+            } => vec![*location_a, *location_b],
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CachedAnswer {
+    value: f64,
+    /// The involved locations' epochs, captured before the answer was
+    /// computed.
+    epochs: Vec<(LocationId, u64)>,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: HashMap<QueryKey, CachedAnswer>,
+    /// Insertion order, oldest first; drives eviction at capacity.
+    order: VecDeque<QueryKey>,
+}
+
+/// A bounded, epoch-invalidated cache of query answers.
+///
+/// Thread-safe; the internal lock recovers from poisoning (a panicking
+/// handler must not take the cache down with it — worst case the cache
+/// holds a few entries whose epochs no longer match, which the lookup
+/// validation discards).
+#[derive(Debug)]
+pub struct QueryCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl QueryCache {
+    /// Creates a cache holding at most `capacity` answers. Zero disables
+    /// caching entirely (every lookup misses, every store is a no-op).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entries
+            .len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the cached answer for `key` if every involved location's
+    /// epoch (per `epoch_of`) still matches the epochs the answer was
+    /// computed under. A mismatched entry is dropped (counted as
+    /// `rpc.cache.stale`) and reported as a miss.
+    pub fn lookup(&self, key: &QueryKey, epoch_of: impl Fn(LocationId) -> u64) -> Option<f64> {
+        if self.capacity == 0 {
+            ptm_obs::counter!("rpc.cache.misses").inc();
+            return None;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let valid = match inner.entries.get(key) {
+            None => {
+                ptm_obs::counter!("rpc.cache.misses").inc();
+                return None;
+            }
+            Some(cached) => cached
+                .epochs
+                .iter()
+                .all(|&(loc, epoch)| epoch_of(loc) == epoch),
+        };
+        if valid {
+            ptm_obs::counter!("rpc.cache.hits").inc();
+            return inner.entries.get(key).map(|cached| cached.value);
+        }
+        inner.entries.remove(key);
+        inner.order.retain(|k| k != key);
+        ptm_obs::counter!("rpc.cache.stale").inc();
+        ptm_obs::counter!("rpc.cache.misses").inc();
+        ptm_obs::gauge!("rpc.cache.entries").set(inner.entries.len() as i64);
+        None
+    }
+
+    /// Caches `value` for `key`, tagged with the epochs captured *before*
+    /// the value was computed. Evicts the oldest entry at capacity.
+    pub fn store(&self, key: QueryKey, value: f64, epochs: Vec<(LocationId, u64)>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if inner
+            .entries
+            .insert(key.clone(), CachedAnswer { value, epochs })
+            .is_none()
+        {
+            while inner.entries.len() > self.capacity {
+                match inner.order.pop_front() {
+                    Some(oldest) => {
+                        inner.entries.remove(&oldest);
+                        ptm_obs::counter!("rpc.cache.evictions").inc();
+                    }
+                    None => break,
+                }
+            }
+            inner.order.push_back(key);
+        }
+        ptm_obs::counter!("rpc.cache.insertions").inc();
+        ptm_obs::gauge!("rpc.cache.entries").set(inner.entries.len() as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn loc(id: u64) -> LocationId {
+        LocationId::new(id)
+    }
+
+    fn point_key(location: u64, periods: &[u32]) -> QueryKey {
+        QueryKey::Point {
+            location: loc(location),
+            periods: periods.iter().copied().map(PeriodId::new).collect(),
+        }
+    }
+
+    #[test]
+    fn hit_while_epochs_unchanged() {
+        let cache = QueryCache::new(8);
+        let key = point_key(1, &[0, 1, 2]);
+        let epochs = vec![(loc(1), 3)];
+        assert_eq!(cache.lookup(&key, |_| 3), None, "cold cache");
+        cache.store(key.clone(), 42.5, epochs);
+        assert_eq!(cache.lookup(&key, |_| 3), Some(42.5));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn epoch_change_invalidates_only_that_location() {
+        let cache = QueryCache::new(8);
+        let key_a = point_key(1, &[0, 1]);
+        let key_b = point_key(2, &[0, 1]);
+        let mut epochs: HashMap<LocationId, u64> = HashMap::new();
+        epochs.insert(loc(1), 1);
+        epochs.insert(loc(2), 1);
+        cache.store(key_a.clone(), 10.0, vec![(loc(1), 1)]);
+        cache.store(key_b.clone(), 20.0, vec![(loc(2), 1)]);
+
+        // An upload to location 1 bumps its epoch; location 2 is untouched.
+        epochs.insert(loc(1), 2);
+        assert_eq!(cache.lookup(&key_a, |l| epochs[&l]), None, "stale");
+        assert_eq!(
+            cache.lookup(&key_b, |l| epochs[&l]),
+            Some(20.0),
+            "unaffected"
+        );
+        assert_eq!(cache.len(), 1, "stale entry dropped");
+    }
+
+    #[test]
+    fn p2p_depends_on_both_endpoints() {
+        let cache = QueryCache::new(8);
+        let key = QueryKey::P2p {
+            location_a: loc(1),
+            location_b: loc(2),
+            periods: vec![PeriodId::new(0)],
+        };
+        assert_eq!(key.locations(), vec![loc(1), loc(2)]);
+        cache.store(key.clone(), 7.0, vec![(loc(1), 1), (loc(2), 1)]);
+        assert_eq!(cache.lookup(&key, |_| 1), Some(7.0));
+        // Either endpoint moving invalidates.
+        assert_eq!(
+            cache.lookup(&key, |l| if l == loc(2) { 2 } else { 1 }),
+            None
+        );
+    }
+
+    #[test]
+    fn distinct_period_lists_are_distinct_keys() {
+        let cache = QueryCache::new(8);
+        cache.store(point_key(1, &[0, 1]), 1.0, vec![(loc(1), 1)]);
+        cache.store(point_key(1, &[0, 1, 2]), 2.0, vec![(loc(1), 1)]);
+        cache.store(point_key(1, &[1, 0]), 3.0, vec![(loc(1), 1)]);
+        assert_eq!(cache.lookup(&point_key(1, &[0, 1]), |_| 1), Some(1.0));
+        assert_eq!(cache.lookup(&point_key(1, &[0, 1, 2]), |_| 1), Some(2.0));
+        assert_eq!(cache.lookup(&point_key(1, &[1, 0]), |_| 1), Some(3.0));
+    }
+
+    #[test]
+    fn capacity_bounds_the_cache_with_fifo_eviction() {
+        let cache = QueryCache::new(2);
+        cache.store(point_key(1, &[0]), 1.0, vec![(loc(1), 1)]);
+        cache.store(point_key(2, &[0]), 2.0, vec![(loc(2), 1)]);
+        cache.store(point_key(3, &[0]), 3.0, vec![(loc(3), 1)]);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(
+            cache.lookup(&point_key(1, &[0]), |_| 1),
+            None,
+            "oldest evicted"
+        );
+        assert_eq!(cache.lookup(&point_key(2, &[0]), |_| 1), Some(2.0));
+        assert_eq!(cache.lookup(&point_key(3, &[0]), |_| 1), Some(3.0));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = QueryCache::new(0);
+        cache.store(point_key(1, &[0]), 1.0, vec![(loc(1), 1)]);
+        assert!(cache.is_empty());
+        assert_eq!(cache.lookup(&point_key(1, &[0]), |_| 1), None);
+    }
+
+    #[test]
+    fn restore_of_existing_key_updates_value_in_place() {
+        let cache = QueryCache::new(2);
+        let key = point_key(1, &[0]);
+        cache.store(key.clone(), 1.0, vec![(loc(1), 1)]);
+        cache.store(key.clone(), 2.0, vec![(loc(1), 2)]);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(&key, |_| 2), Some(2.0));
+    }
+
+    #[test]
+    fn poisoned_cache_lock_recovers() {
+        let cache = QueryCache::new(4);
+        cache.store(point_key(1, &[0]), 1.0, vec![(loc(1), 1)]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cache.inner.lock().expect("not yet poisoned");
+            panic!("injected");
+        }));
+        assert!(result.is_err());
+        assert_eq!(cache.lookup(&point_key(1, &[0]), |_| 1), Some(1.0));
+        cache.store(point_key(2, &[0]), 2.0, vec![(loc(2), 1)]);
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -13,7 +13,9 @@
 //! twice. That at-least-once contract is what lets this client treat every
 //! ambiguous transport failure as "try again".
 
-use crate::frame::{read_frame, write_frame, FrameError, ReadOutcome, DEFAULT_MAX_FRAME_LEN};
+use crate::frame::{
+    read_frame_with_stall, write_frame, FrameError, ReadOutcome, DEFAULT_MAX_FRAME_LEN,
+};
 use crate::proto::{
     decode_response, encode_request, ErrorCode, ProtoError, Request, Response, MAX_BATCH_RECORDS,
 };
@@ -181,7 +183,12 @@ impl RpcClient {
             .next()
             .ok_or_else(|| ClientError::InvalidRequest("address resolved to nothing".into()))?;
         let jitter_state = config.jitter_seed | 1;
-        Ok(Self { addr, config, stream: None, jitter_state })
+        Ok(Self {
+            addr,
+            config,
+            stream: None,
+            jitter_state,
+        })
     }
 
     /// The resolved server address.
@@ -209,9 +216,13 @@ impl RpcClient {
     /// different record already occupies this `(location, period)`.
     pub fn upload(&mut self, record: &TrafficRecord) -> Result<UploadSummary, ClientError> {
         match self.call(&Request::Upload(record.clone()))? {
-            Response::UploadOk { accepted, duplicates } => {
-                Ok(UploadSummary { accepted, duplicates })
-            }
+            Response::UploadOk {
+                accepted,
+                duplicates,
+            } => Ok(UploadSummary {
+                accepted,
+                duplicates,
+            }),
             other => Err(unexpected("UploadOk", &other)),
         }
     }
@@ -234,12 +245,19 @@ impl RpcClient {
             )));
         }
         if records.is_empty() {
-            return Ok(UploadSummary { accepted: 0, duplicates: 0 });
+            return Ok(UploadSummary {
+                accepted: 0,
+                duplicates: 0,
+            });
         }
         match self.call(&Request::UploadBatch(records.to_vec()))? {
-            Response::UploadOk { accepted, duplicates } => {
-                Ok(UploadSummary { accepted, duplicates })
-            }
+            Response::UploadOk {
+                accepted,
+                duplicates,
+            } => Ok(UploadSummary {
+                accepted,
+                duplicates,
+            }),
             other => Err(unexpected("UploadOk", &other)),
         }
     }
@@ -267,7 +285,10 @@ impl RpcClient {
         location: LocationId,
         periods: &[PeriodId],
     ) -> Result<f64, ClientError> {
-        self.expect_estimate(&Request::QueryPoint { location, periods: periods.to_vec() })
+        self.expect_estimate(&Request::QueryPoint {
+            location,
+            periods: periods.to_vec(),
+        })
     }
 
     /// Queries the point-to-point persistent-traffic estimate over
@@ -350,7 +371,12 @@ impl RpcClient {
             ptm_obs::counter!("rpc.client.connects").inc();
             self.stream = Some(stream);
         }
-        let stream = self.stream.as_mut().expect("stream just ensured");
+        let Some(stream) = self.stream.as_mut() else {
+            // Unreachable: the branch above just ensured the stream.
+            return Err(AttemptError::Retryable(
+                "stream missing after connect".into(),
+            ));
+        };
         write_frame(stream, payload).map_err(|err| {
             if retryable_io(err.kind()) {
                 AttemptError::Retryable(format!("send: {err}"))
@@ -362,7 +388,14 @@ impl RpcClient {
             }
         })?;
         ptm_obs::counter!("rpc.client.frames.out").inc();
-        let bytes = match read_frame(stream, self.config.max_frame_len) {
+        // The stall budget lets a response that is already arriving keep
+        // dribbling in for up to another io_timeout, instead of failing
+        // the attempt at the first mid-frame timeout.
+        let bytes = match read_frame_with_stall(
+            stream,
+            self.config.max_frame_len,
+            Some(self.config.io_timeout),
+        ) {
             Ok(ReadOutcome::Frame(bytes)) => bytes,
             // The io_timeout read deadline surfaces as Idle when it fires
             // before the first response byte; for a client awaiting an
@@ -438,7 +471,10 @@ mod tests {
         let mut client = RpcClient::connect("127.0.0.1:1", test_config()).expect("client");
         let samples: Vec<Duration> = (0..8).map(|_| client.backoff(5)).collect();
         let distinct: std::collections::HashSet<_> = samples.iter().collect();
-        assert!(distinct.len() > 1, "jitter produced identical delays: {samples:?}");
+        assert!(
+            distinct.len() > 1,
+            "jitter produced identical delays: {samples:?}"
+        );
     }
 
     #[test]
@@ -470,7 +506,13 @@ mod tests {
     fn empty_batch_is_a_local_no_op() {
         let mut client = RpcClient::connect("127.0.0.1:1", test_config()).expect("client");
         let summary = client.upload_batch(&[]).expect("empty batch");
-        assert_eq!(summary, UploadSummary { accepted: 0, duplicates: 0 });
+        assert_eq!(
+            summary,
+            UploadSummary {
+                accepted: 0,
+                duplicates: 0
+            }
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use ptm_store::crc32::crc32;
 use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
 
 /// Bytes in the fixed frame header (length + checksum).
 pub const FRAME_HEADER_LEN: usize = 8;
@@ -63,7 +64,10 @@ impl std::fmt::Display for FrameError {
                 write!(f, "frame of {len} bytes exceeds the {max} byte limit")
             }
             Self::BadCrc { expected, actual } => {
-                write!(f, "frame crc mismatch: header {expected:#010x}, payload {actual:#010x}")
+                write!(
+                    f,
+                    "frame crc mismatch: header {expected:#010x}, payload {actual:#010x}"
+                )
             }
         }
     }
@@ -96,29 +100,97 @@ pub enum ReadOutcome {
 }
 
 fn is_timeout(err: &io::Error) -> bool {
-    matches!(err.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+    matches!(
+        err.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 enum Fill {
     Full,
-    /// EOF before the first byte.
+    /// EOF before the first byte of the frame.
     CleanEof,
-    /// Timeout before the first byte.
+    /// Timeout before the first byte of the frame.
     CleanTimeout,
 }
 
-/// Fills `buf` completely, or reports a clean EOF/timeout if the stream
-/// yielded *nothing*. EOF or timeout after a partial read is a hard error.
-fn fill(reader: &mut impl Read, buf: &mut [u8]) -> Result<Fill, FrameError> {
+/// Tracks how long a frame has been arriving, so mid-frame read timeouts
+/// can be told apart from a genuinely stalled peer.
+///
+/// A connection's read timeout is typically much shorter than the time a
+/// slow-but-live peer may legitimately take to push a whole frame through
+/// (servers poll their shutdown flag every few milliseconds). Treating the
+/// *first* mid-frame timeout as fatal would disconnect any peer whose
+/// header straddles two TCP segments — and because the partially-read
+/// bytes live in the caller's buffer, reporting such a timeout as a clean
+/// `Idle` instead would silently drop them and desync the stream. The
+/// clock starts at the frame's first byte; timeouts within the stall
+/// budget keep waiting (the partial bytes stay in the buffer), and only a
+/// budget overrun becomes [`FrameError::Stalled`].
+struct StallClock {
+    budget: Option<Duration>,
+    frame_started: Option<Instant>,
+}
+
+impl StallClock {
+    fn new(budget: Option<Duration>) -> Self {
+        Self {
+            budget,
+            frame_started: None,
+        }
+    }
+
+    /// Call when bytes of the frame arrive; starts the stall clock.
+    fn mark_progress(&mut self) {
+        if self.frame_started.is_none() {
+            self.frame_started = Some(Instant::now());
+        }
+    }
+
+    /// True once any byte of the frame has been consumed.
+    fn in_frame(&self) -> bool {
+        self.frame_started.is_some()
+    }
+
+    /// True when a mid-frame timeout has exhausted the budget (with no
+    /// budget, the first mid-frame timeout is already a stall).
+    fn stalled(&self) -> bool {
+        match (self.budget, self.frame_started) {
+            (Some(budget), Some(started)) => started.elapsed() >= budget,
+            _ => true,
+        }
+    }
+}
+
+/// Fills `buf` completely, or reports a clean EOF/timeout if the frame has
+/// not started. EOF mid-frame is a hard error; a timeout mid-frame retries
+/// until the clock's stall budget runs out (partial bytes are never
+/// dropped — they stay in `buf` across retries).
+fn fill(
+    reader: &mut impl Read,
+    buf: &mut [u8],
+    clock: &mut StallClock,
+) -> Result<Fill, FrameError> {
     let mut filled = 0usize;
     while filled < buf.len() {
         match reader.read(&mut buf[filled..]) {
-            Ok(0) if filled == 0 => return Ok(Fill::CleanEof),
+            Ok(0) if filled == 0 && !clock.in_frame() => return Ok(Fill::CleanEof),
             Ok(0) => return Err(FrameError::Truncated),
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                clock.mark_progress();
+            }
             Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
-            Err(err) if is_timeout(&err) && filled == 0 => return Ok(Fill::CleanTimeout),
-            Err(err) if is_timeout(&err) => return Err(FrameError::Stalled),
+            Err(err) if is_timeout(&err) => {
+                if filled == 0 && !clock.in_frame() {
+                    return Ok(Fill::CleanTimeout);
+                }
+                if clock.stalled() {
+                    return Err(FrameError::Stalled);
+                }
+                // Mid-frame timeout within budget: the peer is slow, not
+                // gone; keep the partial bytes and read again.
+            }
             Err(err) => return Err(FrameError::Io(err)),
         }
     }
@@ -127,26 +199,52 @@ fn fill(reader: &mut impl Read, buf: &mut [u8]) -> Result<Fill, FrameError> {
 
 /// Reads one frame. `max_len` bounds the accepted payload length.
 ///
+/// Equivalent to [`read_frame_with_stall`] with no stall budget: the first
+/// read timeout that lands mid-frame is a hard [`FrameError::Stalled`].
+///
 /// # Errors
 ///
 /// Any [`FrameError`]; see the module docs for the idle/closed distinction.
 pub fn read_frame(reader: &mut impl Read, max_len: u32) -> Result<ReadOutcome, FrameError> {
+    read_frame_with_stall(reader, max_len, None)
+}
+
+/// Reads one frame, tolerating mid-frame read timeouts for up to
+/// `stall_budget` measured from the frame's first byte.
+///
+/// This is the variant to use on sockets with a short read timeout (e.g. a
+/// server polling its shutdown flag): a timeout before the frame starts is
+/// still a clean [`ReadOutcome::Idle`], but a timeout after *part* of the
+/// frame has arrived keeps waiting — never dropping the partial bytes,
+/// never mis-reporting them as idleness — until the budget is exhausted,
+/// at which point the peer is declared stalled.
+///
+/// # Errors
+///
+/// Any [`FrameError`]; see the module docs for the idle/closed distinction.
+pub fn read_frame_with_stall(
+    reader: &mut impl Read,
+    max_len: u32,
+    stall_budget: Option<Duration>,
+) -> Result<ReadOutcome, FrameError> {
+    let mut clock = StallClock::new(stall_budget);
     let mut header = [0u8; FRAME_HEADER_LEN];
-    match fill(reader, &mut header)? {
+    match fill(reader, &mut header, &mut clock)? {
         Fill::CleanEof => return Ok(ReadOutcome::Closed),
         Fill::CleanTimeout => return Ok(ReadOutcome::Idle),
         Fill::Full => {}
     }
-    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-    let expected = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let expected = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
     if len > max_len {
         return Err(FrameError::TooLarge { len, max: max_len });
     }
     let mut payload = vec![0u8; len as usize];
-    match fill(reader, &mut payload)? {
+    match fill(reader, &mut payload, &mut clock)? {
         Fill::Full => {}
-        Fill::CleanEof => return Err(FrameError::Truncated),
-        Fill::CleanTimeout => return Err(FrameError::Stalled),
+        // The header was already consumed, so the frame has started and
+        // fill() can only report these before the first byte of a frame.
+        Fill::CleanEof | Fill::CleanTimeout => return Err(FrameError::Truncated),
     }
     let actual = crc32(&payload);
     if actual != expected {
@@ -234,14 +332,128 @@ mod tests {
         let mut cursor = Cursor::new(bytes);
         let err = read_frame(&mut cursor, 1024).expect_err("too large");
         assert!(
-            matches!(err, FrameError::TooLarge { len: u32::MAX, max: 1024 }),
+            matches!(
+                err,
+                FrameError::TooLarge {
+                    len: u32::MAX,
+                    max: 1024
+                }
+            ),
             "{err:?}"
         );
     }
 
+    /// Yields its chunks one `read` call at a time, returning a timeout
+    /// error between chunks — the shape of a slow writer on a socket with
+    /// a short read timeout.
+    struct SlowReader {
+        chunks: std::collections::VecDeque<Vec<u8>>,
+        ready: Option<Vec<u8>>,
+    }
+
+    impl SlowReader {
+        fn new(bytes: &[u8], chunk_len: usize) -> Self {
+            let mut chunks: std::collections::VecDeque<Vec<u8>> =
+                bytes.chunks(chunk_len).map(<[u8]>::to_vec).collect();
+            // The first chunk is immediately readable; each later chunk
+            // "arrives" only after one timeout.
+            let ready = chunks.pop_front();
+            Self { chunks, ready }
+        }
+    }
+
+    impl Read for SlowReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if let Some(chunk) = self.ready.take() {
+                let n = chunk.len().min(buf.len());
+                buf[..n].copy_from_slice(&chunk[..n]);
+                if n < chunk.len() {
+                    self.ready = Some(chunk[n..].to_vec());
+                }
+                return Ok(n);
+            }
+            match self.chunks.pop_front() {
+                Some(chunk) => {
+                    // The chunk becomes readable only after one timeout,
+                    // like data that arrives between two poll intervals.
+                    self.ready = Some(chunk);
+                    Err(io::Error::new(
+                        io::ErrorKind::WouldBlock,
+                        "poll interval elapsed",
+                    ))
+                }
+                None => Err(io::Error::new(io::ErrorKind::WouldBlock, "no more data")),
+            }
+        }
+    }
+
+    #[test]
+    fn partial_header_then_timeout_is_stalled_never_idle() {
+        // 3 of the 8 header bytes arrive, then the peer goes quiet. With
+        // no stall budget this must be a hard Stalled error — reporting it
+        // as Idle would drop the 3 bytes and desync the stream.
+        let bytes = frame_bytes(b"payload");
+        let mut reader = SlowReader::new(&bytes[..3], 3);
+        let err = read_frame(&mut reader, DEFAULT_MAX_FRAME_LEN).expect_err("stalled");
+        assert!(matches!(err, FrameError::Stalled), "{err:?}");
+    }
+
+    #[test]
+    fn timeout_before_any_byte_is_idle() {
+        let mut reader = SlowReader::new(&[], 1);
+        assert!(matches!(
+            read_frame(&mut reader, DEFAULT_MAX_FRAME_LEN).expect("idle"),
+            ReadOutcome::Idle
+        ));
+    }
+
+    #[test]
+    fn slow_writer_within_stall_budget_completes() {
+        // The frame dribbles in one byte per poll interval: a reader with
+        // a stall budget keeps the partial bytes and finishes the frame.
+        let bytes = frame_bytes(b"slow but alive");
+        let mut reader = SlowReader::new(&bytes, 1);
+        match read_frame_with_stall(
+            &mut reader,
+            DEFAULT_MAX_FRAME_LEN,
+            Some(Duration::from_secs(5)),
+        )
+        .expect("read")
+        {
+            ReadOutcome::Frame(payload) => assert_eq!(payload, b"slow but alive"),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slow_writer_exceeding_stall_budget_is_stalled() {
+        // A zero budget turns the first mid-frame timeout into Stalled —
+        // and partial header bytes are still never reported as Idle.
+        let bytes = frame_bytes(b"never finishes");
+        let mut reader = SlowReader::new(&bytes[..5], 1);
+        let err = read_frame_with_stall(&mut reader, DEFAULT_MAX_FRAME_LEN, Some(Duration::ZERO))
+            .expect_err("stalled");
+        assert!(matches!(err, FrameError::Stalled), "{err:?}");
+    }
+
+    #[test]
+    fn stall_budget_applies_to_payload_too() {
+        // Header arrives whole, then the payload stalls: Truncated/Idle
+        // must not be reported; the reader waits out the budget and then
+        // declares a stall.
+        let bytes = frame_bytes(b"0123456789");
+        let mut reader = SlowReader::new(&bytes[..FRAME_HEADER_LEN + 4], FRAME_HEADER_LEN);
+        let err = read_frame_with_stall(&mut reader, DEFAULT_MAX_FRAME_LEN, Some(Duration::ZERO))
+            .expect_err("stalled");
+        assert!(matches!(err, FrameError::Stalled), "{err:?}");
+    }
+
     #[test]
     fn error_display_and_source() {
-        let err = FrameError::BadCrc { expected: 1, actual: 2 };
+        let err = FrameError::BadCrc {
+            expected: 1,
+            actual: 2,
+        };
         assert!(err.to_string().contains("crc"));
         let err = FrameError::Io(io::Error::new(io::ErrorKind::BrokenPipe, "x"));
         assert!(std::error::Error::source(&err).is_some());

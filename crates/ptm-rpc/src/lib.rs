@@ -14,15 +14,23 @@
 //!   embedding records as exact `ptm-store` codec payloads so the bytes a
 //!   daemon archives are the bytes the RSU sent.
 //! * [`server`] — [`RpcServer`]: thread-per-connection daemon wrapping
-//!   [`ptm_net::CentralServer`], write-ahead persistence into a
-//!   [`ptm_store::Archive`] (append + flush before ack, replayed on
-//!   restart), idempotent duplicate handling, graceful drain on shutdown.
+//!   [`ptm_net::CentralServer`]'s location-sharded store, write-ahead
+//!   persistence into a [`ptm_store::Archive`] (append + flush before the
+//!   records become queryable, replayed on restart), idempotent duplicate
+//!   handling, panic containment with poison-recovering locks, graceful
+//!   drain on shutdown. Queries run concurrently with each other and with
+//!   uploads to locations they are not reading.
+//! * [`cache`] — [`QueryCache`]: a bounded, epoch-invalidated cache of
+//!   query answers; an upload to one location invalidates only that
+//!   location's cached answers, and cached answers stay bit-for-bit
+//!   identical to freshly computed ones.
 //! * [`client`] — [`RpcClient`]: capped exponential backoff with jitter,
 //!   a retryable-versus-fatal error split, and batch upload.
 //!
-//! Everything is instrumented through `ptm-obs` under the `rpc.server.*`
-//! and `rpc.client.*` metric prefixes; see `docs/RPC.md` and
-//! `docs/OBSERVABILITY.md` for the full protocol and metric reference.
+//! Everything is instrumented through `ptm-obs` under the `rpc.server.*`,
+//! `rpc.client.*`, `rpc.shard.*`, and `rpc.cache.*` metric prefixes; see
+//! `docs/RPC.md` and `docs/OBSERVABILITY.md` for the full protocol and
+//! metric reference.
 //!
 //! # Example (loopback round trip)
 //!
@@ -41,13 +49,23 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// A panicking daemon thread must be a contained, answerable event, never a
+// crash: non-test code in this crate handles its errors instead of
+// unwrapping them (CI enforces this with `-D clippy::unwrap_used
+// -D clippy::expect_used` scoped to this crate).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cache;
 pub mod client;
 pub mod frame;
 pub mod proto;
 pub mod server;
 
+pub use cache::{QueryCache, QueryKey};
 pub use client::{ClientConfig, ClientError, RpcClient, ServerInfo, UploadSummary};
-pub use frame::{FrameError, ReadOutcome, DEFAULT_MAX_FRAME_LEN, FRAME_HEADER_LEN};
+pub use frame::{
+    read_frame, read_frame_with_stall, write_frame, FrameError, ReadOutcome, DEFAULT_MAX_FRAME_LEN,
+    FRAME_HEADER_LEN,
+};
 pub use proto::{ErrorCode, ProtoError, Request, Response, PROTOCOL_VERSION};
 pub use server::{DaemonError, ReplayReport, RpcServer, ServerConfig};

@@ -70,7 +70,10 @@ impl std::fmt::Display for ProtoError {
         match self {
             Self::Truncated => write!(f, "message truncated"),
             Self::VersionMismatch { got, want } => {
-                write!(f, "protocol version {got} not supported (this build speaks {want})")
+                write!(
+                    f,
+                    "protocol version {got} not supported (this build speaks {want})"
+                )
             }
             Self::UnknownTag(tag) => write!(f, "unknown message tag {tag}"),
             Self::BadLength(len) => write!(f, "implausible length field {len}"),
@@ -245,15 +248,24 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, ProtoError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        let slice = self.take(2)?;
+        let mut bytes = [0u8; 2];
+        bytes.copy_from_slice(slice);
+        Ok(u16::from_le_bytes(bytes))
     }
 
     fn u32(&mut self) -> Result<u32, ProtoError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        let slice = self.take(4)?;
+        let mut bytes = [0u8; 4];
+        bytes.copy_from_slice(slice);
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self) -> Result<u64, ProtoError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        let slice = self.take(8)?;
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(slice);
+        Ok(u64::from_le_bytes(bytes))
     }
 
     fn finish(&self) -> Result<(), ProtoError> {
@@ -273,7 +285,10 @@ fn header(tag: u8) -> Vec<u8> {
 fn check_version(reader: &mut Reader<'_>) -> Result<(), ProtoError> {
     let got = reader.u8()?;
     if got != PROTOCOL_VERSION {
-        return Err(ProtoError::VersionMismatch { got, want: PROTOCOL_VERSION });
+        return Err(ProtoError::VersionMismatch {
+            got,
+            want: PROTOCOL_VERSION,
+        });
     }
     Ok(())
 }
@@ -290,7 +305,9 @@ fn read_periods(reader: &mut Reader<'_>) -> Result<Vec<PeriodId>, ProtoError> {
     if count > MAX_QUERY_PERIODS {
         return Err(ProtoError::BadLength(count));
     }
-    (0..count).map(|_| Ok(PeriodId::new(reader.u32()?))).collect()
+    (0..count)
+        .map(|_| Ok(PeriodId::new(reader.u32()?)))
+        .collect()
 }
 
 fn read_embedded_record(bytes: &[u8]) -> Result<TrafficRecord, ProtoError> {
@@ -328,7 +345,11 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             push_periods(&mut out, periods);
             out
         }
-        Request::QueryP2p { location_a, location_b, periods } => {
+        Request::QueryP2p {
+            location_a,
+            location_b,
+            periods,
+        } => {
             let mut out = header(TAG_QUERY_P2P);
             out.extend_from_slice(&location_a.get().to_le_bytes());
             out.extend_from_slice(&location_b.get().to_le_bytes());
@@ -390,7 +411,10 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             out.extend_from_slice(&s.to_le_bytes());
             out
         }
-        Response::UploadOk { accepted, duplicates } => {
+        Response::UploadOk {
+            accepted,
+            duplicates,
+        } => {
             let mut out = header(TAG_UPLOAD_OK);
             out.extend_from_slice(&accepted.to_le_bytes());
             out.extend_from_slice(&duplicates.to_le_bytes());
@@ -422,8 +446,14 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
     let mut r = Reader::new(payload);
     check_version(&mut r)?;
     let response = match r.u8()? {
-        TAG_PONG => Response::Pong { version: r.u8()?, s: r.u32()? },
-        TAG_UPLOAD_OK => Response::UploadOk { accepted: r.u32()?, duplicates: r.u32()? },
+        TAG_PONG => Response::Pong {
+            version: r.u8()?,
+            s: r.u32()?,
+        },
+        TAG_UPLOAD_OK => Response::UploadOk {
+            accepted: r.u32()?,
+            duplicates: r.u32()?,
+        },
         TAG_ESTIMATE => Response::Estimate(f64::from_bits(r.u64()?)),
         TAG_ERROR => {
             let code = ErrorCode::from_byte(r.u8()?)?;
@@ -473,8 +503,14 @@ mod tests {
             Request::Upload(sample_record(1, 0)),
             Request::UploadBatch(vec![sample_record(2, 0), sample_record(2, 1)]),
             Request::UploadBatch(Vec::new()),
-            Request::QueryVolume { location: LocationId::new(4), period: PeriodId::new(7) },
-            Request::QueryPoint { location: LocationId::new(5), periods: periods(6) },
+            Request::QueryVolume {
+                location: LocationId::new(4),
+                period: PeriodId::new(7),
+            },
+            Request::QueryPoint {
+                location: LocationId::new(5),
+                periods: periods(6),
+            },
             Request::QueryP2p {
                 location_a: LocationId::new(1),
                 location_b: LocationId::new(2),
@@ -490,11 +526,20 @@ mod tests {
     #[test]
     fn every_response_roundtrips() {
         let responses = [
-            Response::Pong { version: PROTOCOL_VERSION, s: 3 },
-            Response::UploadOk { accepted: 10, duplicates: 2 },
+            Response::Pong {
+                version: PROTOCOL_VERSION,
+                s: 3,
+            },
+            Response::UploadOk {
+                accepted: 10,
+                duplicates: 2,
+            },
             Response::Estimate(123.456),
             Response::Estimate(f64::NAN),
-            Response::Error { code: ErrorCode::MissingRecord, message: "loc 3 period 9".into() },
+            Response::Error {
+                code: ErrorCode::MissingRecord,
+                message: "loc 3 period 9".into(),
+            },
         ];
         for response in responses {
             let payload = encode_response(&response);
@@ -515,7 +560,10 @@ mod tests {
         payload[0] = 99;
         assert_eq!(
             decode_request(&payload),
-            Err(ProtoError::VersionMismatch { got: 99, want: PROTOCOL_VERSION })
+            Err(ProtoError::VersionMismatch {
+                got: 99,
+                want: PROTOCOL_VERSION
+            })
         );
     }
 
@@ -546,14 +594,23 @@ mod tests {
 
     #[test]
     fn unknown_tags_and_codes_rejected() {
-        assert_eq!(decode_request(&[PROTOCOL_VERSION, 42]), Err(ProtoError::UnknownTag(42)));
-        assert_eq!(decode_response(&[PROTOCOL_VERSION, 42]), Err(ProtoError::UnknownTag(42)));
+        assert_eq!(
+            decode_request(&[PROTOCOL_VERSION, 42]),
+            Err(ProtoError::UnknownTag(42))
+        );
+        assert_eq!(
+            decode_response(&[PROTOCOL_VERSION, 42]),
+            Err(ProtoError::UnknownTag(42))
+        );
         let mut payload = encode_response(&Response::Error {
             code: ErrorCode::Internal,
             message: String::new(),
         });
         payload[2] = 200;
-        assert_eq!(decode_response(&payload), Err(ProtoError::UnknownErrorCode(200)));
+        assert_eq!(
+            decode_response(&payload),
+            Err(ProtoError::UnknownErrorCode(200))
+        );
     }
 
     #[test]
@@ -579,7 +636,10 @@ mod tests {
     fn malformed_embedded_record_reported() {
         let mut payload = header(TAG_UPLOAD);
         payload.extend_from_slice(&[1, 2, 3]);
-        assert!(matches!(decode_request(&payload), Err(ProtoError::BadRecord(_))));
+        assert!(matches!(
+            decode_request(&payload),
+            Err(ProtoError::BadRecord(_))
+        ));
     }
 
     #[test]

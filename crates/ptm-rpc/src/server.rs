@@ -6,32 +6,60 @@
 //! 1. **Startup** — open (or create) the [`ptm_store::Archive`] at the
 //!    configured path and replay every archived record into the in-memory
 //!    query engine, so a restarted daemon answers queries identically.
-//! 2. **Ingest** — each accepted record is appended to the archive and
-//!    flushed *before* the ack frame is written (write-ahead). An identical
-//!    re-send of an already-stored record is acked as an idempotent
-//!    duplicate without touching the archive, which is what makes the
-//!    client's at-least-once retry loop safe.
+//! 2. **Ingest** — each accepted batch is validated whole, appended to the
+//!    archive and flushed, *then* published to the query engine, and only
+//!    then acked (write-ahead). An identical re-send of an already-stored
+//!    record is acked as an idempotent duplicate without touching the
+//!    archive, which is what makes the client's at-least-once retry loop
+//!    safe.
 //! 3. **Shutdown** — [`RpcServer::shutdown`] stops the accept loop, drains
 //!    every connection thread (in-flight requests finish; the per-frame
 //!    read timeout bounds the wait), then flushes and fsyncs the archive.
 //!
+//! # Concurrency
+//!
+//! The query engine is [`ptm_net::CentralServer`]'s per-location sharded
+//! store, so read-only estimate queries run **concurrently** — with each
+//! other and with uploads to locations they are not reading. Uploads go
+//! through a dedicated **writer path**: one mutex guarding the archive
+//! serializes ingest (the archive is a single append-only file, so writes
+//! serialize anyway) and doubles as the batch-atomicity lock — a batch is
+//! validated and applied under it, so a conflict anywhere rejects the
+//! batch whole and a retry can never half-apply. Queries never touch the
+//! writer path, so archive I/O is out of the estimation path entirely.
+//!
+//! Query answers are cached in an epoch-invalidated [`QueryCache`]: each
+//! accepted record bumps its location's epoch, and a cached answer is
+//! served only while the epochs of every location it reads are unchanged —
+//! which keeps cached answers bit-for-bit identical to freshly computed
+//! ones.
+//!
 //! Misbehaving peers never take the daemon down: oversized, corrupt, or
 //! truncated frames close that one connection (after a best-effort error
-//! response) and bump `rpc.server.frames.bad`.
+//! response) and bump `rpc.server.frames.bad`. A *panicking* request
+//! handler is caught (`rpc.server.panics`), answered with an `Internal`
+//! error frame, and every lock in the daemon recovers from poisoning — one
+//! bad request must never turn into a whole-daemon outage.
 
-use crate::frame::{read_frame, write_frame, FrameError, ReadOutcome, DEFAULT_MAX_FRAME_LEN};
+use crate::cache::{QueryCache, QueryKey};
+use crate::frame::{
+    read_frame_with_stall, write_frame, FrameError, ReadOutcome, DEFAULT_MAX_FRAME_LEN,
+};
 use crate::proto::{
     decode_request, encode_response, ErrorCode, ProtoError, Request, Response, PROTOCOL_VERSION,
 };
 use ptm_core::record::TrafficRecord;
+use ptm_core::{LocationId, PeriodId};
 use ptm_net::server::ServerError;
 use ptm_net::CentralServer;
 use ptm_store::{Archive, StoreError};
+use std::collections::HashMap;
 use std::io;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -41,13 +69,23 @@ pub struct ServerConfig {
     /// Representative-bit count `s` for the point-to-point estimator.
     pub s: u32,
     /// Idle cutoff: a connection that sends no frame for this long is
-    /// closed.
+    /// closed. Also the stall budget for a frame arriving in pieces: a
+    /// peer mid-frame may pause up to this long in total before the
+    /// connection is declared stalled.
     pub read_timeout: Duration,
     /// Granularity at which blocked reads and the accept loop re-check the
     /// shutdown flag.
     pub poll_interval: Duration,
     /// Largest accepted frame payload, in bytes.
     pub max_frame_len: u32,
+    /// Entries held by the epoch-invalidated query-result cache; 0
+    /// disables caching.
+    pub cache_capacity: usize,
+    /// Test-only fault injection: when set, the next ingest panics after
+    /// acquiring the writer lock, then the flag self-clears. Exercises the
+    /// poisoned-lock recovery path; leave it alone in production.
+    #[doc(hidden)]
+    pub fault_ingest_panic: Arc<AtomicBool>,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +95,8 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             poll_interval: Duration::from_millis(25),
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            cache_capacity: 1024,
+            fault_ingest_panic: Arc::new(AtomicBool::new(false)),
         }
     }
 }
@@ -114,15 +154,33 @@ pub struct ReplayReport {
     pub torn_bytes: u64,
 }
 
-struct State {
-    central: CentralServer,
-    archive: Archive,
-}
-
 struct Shared {
-    state: Mutex<State>,
+    /// The sharded query engine. Internally locked per location; queries
+    /// need no lock here at all.
+    central: CentralServer,
+    /// The dedicated writer path: serializes ingest and guards the
+    /// append-only archive. Queries never take this lock.
+    writer: Mutex<Archive>,
+    /// Epoch-invalidated query-result cache.
+    cache: QueryCache,
     shutdown: AtomicBool,
     config: ServerConfig,
+}
+
+/// Locks the writer path, recovering from poisoning and recording the
+/// wait when metrics are enabled.
+///
+/// Poison recovery is safe here: a panic inside the critical section can
+/// only leave buffered-but-unflushed archive bytes (the next flush writes
+/// them) — record framing itself is a single buffered `write_all` per
+/// record, and the in-memory store is mutated with single inserts.
+fn lock_writer(writer: &Mutex<Archive>) -> MutexGuard<'_, Archive> {
+    let start = ptm_obs::metrics_enabled().then(Instant::now);
+    let guard = writer.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(start) = start {
+        ptm_obs::histogram!("rpc.shard.writer_wait").record(start.elapsed().as_nanos() as u64);
+    }
+    guard
 }
 
 /// A running daemon. Dropping it without calling [`RpcServer::shutdown`]
@@ -149,7 +207,7 @@ impl RpcServer {
         config: ServerConfig,
     ) -> Result<Self, DaemonError> {
         let archive_path = archive_path.as_ref().to_path_buf();
-        let mut central = CentralServer::new(config.s);
+        let central = CentralServer::new(config.s);
         let (archive, replay) = if archive_path.exists() {
             let recovered = Archive::open(&archive_path)?;
             let report = ReplayReport {
@@ -168,7 +226,13 @@ impl RpcServer {
             }
             (recovered.archive, report)
         } else {
-            (Archive::create(&archive_path)?, ReplayReport { records: 0, torn_bytes: 0 })
+            (
+                Archive::create(&archive_path)?,
+                ReplayReport {
+                    records: 0,
+                    torn_bytes: 0,
+                },
+            )
         };
         if replay.torn_bytes > 0 {
             ptm_obs::warn!("rpc.server", "archive had a torn tail";
@@ -180,8 +244,11 @@ impl RpcServer {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
+        let cache = QueryCache::new(config.cache_capacity);
         let shared = Arc::new(Shared {
-            state: Mutex::new(State { central, archive }),
+            central,
+            writer: Mutex::new(archive),
+            cache,
             shutdown: AtomicBool::new(false),
             config,
         });
@@ -220,7 +287,7 @@ impl RpcServer {
 
     /// Records currently held by the query engine.
     pub fn record_count(&self) -> usize {
-        self.shared.state.lock().expect("state lock").central.record_count()
+        self.shared.central.record_count()
     }
 
     /// Graceful shutdown: stop accepting, drain every connection thread,
@@ -234,10 +301,10 @@ impl RpcServer {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
-        let mut state = self.shared.state.lock().expect("state lock");
-        state.archive.sync()?;
+        let mut archive = lock_writer(&self.shared.writer);
+        archive.sync()?;
         ptm_obs::info!("rpc.server", "daemon stopped";
-            records = state.central.record_count());
+            records = self.shared.central.record_count());
         Ok(())
     }
 }
@@ -286,7 +353,14 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        match read_frame(&mut stream, shared.config.max_frame_len) {
+        // The socket's read timeout is the short shutdown-poll interval; a
+        // frame already arriving gets the full idle cutoff as its stall
+        // budget, so a slow writer is not disconnected mid-frame.
+        match read_frame_with_stall(
+            &mut stream,
+            shared.config.max_frame_len,
+            Some(shared.config.read_timeout),
+        ) {
             Ok(ReadOutcome::Idle) => {
                 if last_frame.elapsed() > shared.config.read_timeout {
                     ptm_obs::counter!("rpc.server.connections.idle_timeout").inc();
@@ -298,7 +372,25 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
                 last_frame = Instant::now();
                 ptm_obs::counter!("rpc.server.frames.in").inc();
                 ptm_obs::counter!("rpc.server.bytes.in").add(payload.len() as u64 + 8);
-                let (response, close) = dispatch(&payload, &shared);
+                // A panicking handler is caught and answered, not allowed
+                // to unwind the thread: every shared lock recovers from
+                // poisoning, so the daemon keeps serving afterwards.
+                let (response, close) = match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    dispatch(&payload, &shared)
+                })) {
+                    Ok(result) => result,
+                    Err(_) => {
+                        ptm_obs::counter!("rpc.server.panics").inc();
+                        ptm_obs::error!("rpc.server", "request handler panicked");
+                        (
+                            Response::Error {
+                                code: ErrorCode::Internal,
+                                message: "internal error: request handler panicked".into(),
+                            },
+                            true,
+                        )
+                    }
+                };
                 if !respond(&mut stream, &response) || close {
                     break;
                 }
@@ -356,66 +448,131 @@ fn dispatch(payload: &[u8], shared: &Shared) -> (Response, bool) {
         Err(err) => {
             ptm_obs::counter!("rpc.server.decode_errors").inc();
             return (
-                Response::Error { code: ErrorCode::Malformed, message: err.to_string() },
+                Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: err.to_string(),
+                },
                 true,
             );
         }
     };
     let response = match request {
-        Request::Ping => {
-            Response::Pong { version: PROTOCOL_VERSION, s: shared.config.s }
-        }
+        Request::Ping => Response::Pong {
+            version: PROTOCOL_VERSION,
+            s: shared.config.s,
+        },
         Request::Upload(record) => ingest(shared, vec![record]),
         Request::UploadBatch(records) => ingest(shared, records),
         Request::QueryVolume { location, period } => {
             ptm_obs::counter!("rpc.server.queries").inc();
-            let state = shared.state.lock().expect("state lock");
-            estimate_response(state.central.estimate_volume(location, period))
+            answer_cached(shared, QueryKey::Volume { location, period }, |central| {
+                central.estimate_volume(location, period)
+            })
         }
         Request::QueryPoint { location, periods } => {
             ptm_obs::counter!("rpc.server.queries").inc();
-            let state = shared.state.lock().expect("state lock");
-            estimate_response(state.central.estimate_point_persistent(location, &periods))
+            let key = QueryKey::Point {
+                location,
+                periods: periods.clone(),
+            };
+            answer_cached(shared, key, |central| {
+                central.estimate_point_persistent(location, &periods)
+            })
         }
-        Request::QueryP2p { location_a, location_b, periods } => {
+        Request::QueryP2p {
+            location_a,
+            location_b,
+            periods,
+        } => {
             ptm_obs::counter!("rpc.server.queries").inc();
-            let state = shared.state.lock().expect("state lock");
-            estimate_response(state.central.estimate_p2p_persistent(
+            let key = QueryKey::P2p {
                 location_a,
                 location_b,
-                &periods,
-            ))
+                periods: periods.clone(),
+            };
+            answer_cached(shared, key, |central| {
+                central.estimate_p2p_persistent(location_a, location_b, &periods)
+            })
         }
     };
     (response, false)
 }
 
-fn estimate_response(result: Result<f64, ServerError>) -> Response {
-    match result {
-        Ok(value) => Response::Estimate(value),
-        Err(err @ ServerError::MissingRecord { .. }) => {
-            Response::Error { code: ErrorCode::MissingRecord, message: err.to_string() }
+/// The read-only query path: serve from the epoch-validated cache when
+/// possible, otherwise compute against the sharded store (shared read
+/// locks only — concurrent with uploads to other locations) and cache the
+/// answer.
+///
+/// Epochs are captured *before* computing; see the [`crate::cache`] module
+/// docs for why that ordering keeps cached answers bit-for-bit exact.
+fn answer_cached(
+    shared: &Shared,
+    key: QueryKey,
+    compute: impl FnOnce(&CentralServer) -> Result<f64, ServerError>,
+) -> Response {
+    if let Some(value) = shared.cache.lookup(&key, |loc| shared.central.epoch(loc)) {
+        return Response::Estimate(value);
+    }
+    let epochs: Vec<(LocationId, u64)> = key
+        .locations()
+        .into_iter()
+        .map(|loc| (loc, shared.central.epoch(loc)))
+        .collect();
+    match compute(&shared.central) {
+        Ok(value) => {
+            shared.cache.store(key, value, epochs);
+            Response::Estimate(value)
         }
-        Err(err @ ServerError::Estimate(_)) => {
-            Response::Error { code: ErrorCode::EstimateFailed, message: err.to_string() }
-        }
-        Err(err) => Response::Error { code: ErrorCode::Internal, message: err.to_string() },
+        Err(err) => estimate_response(Err(err)),
     }
 }
 
-/// The write-ahead ingest path: validate the whole batch against the query
-/// engine, persist every fresh record with a single flush, then ack.
-/// A conflicting duplicate anywhere in the batch rejects the batch whole —
-/// nothing is applied, so a client retry cannot half-apply.
+fn estimate_response(result: Result<f64, ServerError>) -> Response {
+    match result {
+        Ok(value) => Response::Estimate(value),
+        Err(err @ ServerError::MissingRecord { .. }) => Response::Error {
+            code: ErrorCode::MissingRecord,
+            message: err.to_string(),
+        },
+        Err(err @ ServerError::Estimate(_)) => Response::Error {
+            code: ErrorCode::EstimateFailed,
+            message: err.to_string(),
+        },
+        Err(err) => Response::Error {
+            code: ErrorCode::Internal,
+            message: err.to_string(),
+        },
+    }
+}
+
+/// The write-ahead ingest path, under the exclusive writer lock: validate
+/// the whole batch (against the store *and* against itself), persist every
+/// fresh record with a single flush, publish them to the sharded query
+/// engine, then ack. A conflicting duplicate anywhere in the batch rejects
+/// the batch whole — nothing is applied, so a client retry cannot
+/// half-apply. Because the archive is appended *before* the records become
+/// queryable, a storage failure leaves the engine untouched and a retry
+/// starts from a consistent store.
 fn ingest(shared: &Shared, records: Vec<TrafficRecord>) -> Response {
     let _t = ptm_obs::span!("rpc.server.ingest");
-    let mut state = shared.state.lock().expect("state lock");
+    let mut archive = lock_writer(&shared.writer);
+    if shared
+        .config
+        .fault_ingest_panic
+        .swap(false, Ordering::SeqCst)
+    {
+        panic!("injected ingest fault (test-only)");
+    }
     let mut fresh: Vec<TrafficRecord> = Vec::with_capacity(records.len());
+    let mut batch_index: HashMap<(LocationId, PeriodId), usize> = HashMap::new();
     let mut duplicates = 0u32;
     for record in records {
         let key = (record.location(), record.period());
-        match state.central.record(key.0, key.1) {
-            Some(existing) if *existing == record => duplicates += 1,
+        match shared.central.record(key.0, key.1) {
+            Some(existing) if existing == record => {
+                duplicates += 1;
+                continue;
+            }
             Some(_) => {
                 ptm_obs::counter!("rpc.server.ingest.conflicts").inc();
                 return Response::Error {
@@ -427,54 +584,71 @@ fn ingest(shared: &Shared, records: Vec<TrafficRecord>) -> Response {
                     ),
                 };
             }
-            None => {
-                // A batch may legitimately not repeat a key; a key repeated
-                // *within* this batch with different contents is a conflict
-                // too, caught by submit() below on the second occurrence.
-                fresh.push(record);
-            }
+            None => {}
         }
-    }
-    // Apply: query engine first (it re-checks intra-batch conflicts), then
-    // the archive, then the ack. Nothing is acked before it is on disk.
-    let mut accepted: Vec<TrafficRecord> = Vec::with_capacity(fresh.len());
-    for record in fresh {
-        match state.central.submit(record.clone()) {
-            Ok(()) => accepted.push(record),
-            Err(ServerError::DuplicateRecord { location, period }) => {
+        match batch_index.get(&key) {
+            Some(&index) if fresh[index] == record => duplicates += 1,
+            Some(_) => {
                 ptm_obs::counter!("rpc.server.ingest.conflicts").inc();
                 return Response::Error {
                     code: ErrorCode::DuplicateConflict,
                     message: format!(
                         "location {} period {} repeated within one batch with different \
                          contents",
-                        location.get(),
-                        period.get()
+                        key.0.get(),
+                        key.1.get()
                     ),
                 };
             }
-            Err(err) => {
-                return Response::Error { code: ErrorCode::Internal, message: err.to_string() }
+            None => {
+                batch_index.insert(key, fresh.len());
+                fresh.push(record);
             }
         }
     }
-    if let Err(err) = state.archive.append_all(accepted.iter()) {
+    // Write-ahead: disk first, then the query engine, then the ack.
+    if let Err(err) = archive.append_all(fresh.iter()) {
         ptm_obs::error!("rpc.server", "archive append failed"; error = err.to_string());
-        return Response::Error { code: ErrorCode::Storage, message: err.to_string() };
+        return Response::Error {
+            code: ErrorCode::Storage,
+            message: err.to_string(),
+        };
     }
-    ptm_obs::counter!("rpc.server.ingest.accepted").add(accepted.len() as u64);
-    ptm_obs::counter!("rpc.server.ingest.duplicates").add(duplicates as u64);
-    Response::UploadOk { accepted: accepted.len() as u32, duplicates }
+    for record in &fresh {
+        // Validation plus the exclusive writer lock make conflicts here
+        // impossible; answer defensively rather than panic if that
+        // invariant is ever broken.
+        if let Err(err) = shared.central.submit(record.clone()) {
+            ptm_obs::error!("rpc.server", "publish after archive failed";
+                error = err.to_string());
+            return Response::Error {
+                code: ErrorCode::Internal,
+                message: err.to_string(),
+            };
+        }
+    }
+    if ptm_obs::metrics_enabled() {
+        ptm_obs::gauge!("rpc.shard.records").set(shared.central.record_count() as i64);
+        ptm_obs::gauge!("rpc.shard.locations").set(shared.central.location_count() as i64);
+    }
+    ptm_obs::counter!("rpc.server.ingest.accepted").add(fresh.len() as u64);
+    ptm_obs::counter!("rpc.server.ingest.duplicates").add(u64::from(duplicates));
+    Response::UploadOk {
+        accepted: fresh.len() as u32,
+        duplicates,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::read_frame;
     use ptm_core::encoding::{EncodingScheme, LocationId, VehicleSecrets};
     use ptm_core::params::BitmapSize;
     use ptm_core::record::PeriodId;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+    use std::io::Write;
 
     fn temp_archive(name: &str) -> PathBuf {
         let mut path = std::env::temp_dir();
@@ -506,6 +680,23 @@ mod tests {
         }
     }
 
+    fn exchange(stream: &mut TcpStream, request: &Request) -> Response {
+        let payload = crate::proto::encode_request(request);
+        write_frame(stream, &payload).expect("write");
+        match read_frame(stream, DEFAULT_MAX_FRAME_LEN).expect("read") {
+            ReadOutcome::Frame(bytes) => crate::proto::decode_response(&bytes).expect("decode"),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    fn connect(addr: std::net::SocketAddr) -> TcpStream {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        stream
+    }
+
     #[test]
     fn start_serve_shutdown_and_replay() {
         let path = temp_archive("lifecycle");
@@ -514,24 +705,19 @@ mod tests {
 
         // Drive the daemon with raw frames (the client crate is tested
         // separately): upload two records, then re-send one identically.
-        let mut stream = TcpStream::connect(addr).expect("connect");
-        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let mut stream = connect(addr);
         for (record, want_accepted, want_dup) in [
             (sample_record(1, 0), 1u32, 0u32),
             (sample_record(1, 1), 1, 0),
             (sample_record(1, 0), 0, 1),
         ] {
-            let payload = crate::proto::encode_request(&Request::Upload(record));
-            write_frame(&mut stream, &payload).expect("write");
-            let response = match read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN).expect("read") {
-                ReadOutcome::Frame(bytes) => {
-                    crate::proto::decode_response(&bytes).expect("decode")
-                }
-                other => panic!("expected frame, got {other:?}"),
-            };
+            let response = exchange(&mut stream, &Request::Upload(record));
             assert_eq!(
                 response,
-                Response::UploadOk { accepted: want_accepted, duplicates: want_dup }
+                Response::UploadOk {
+                    accepted: want_accepted,
+                    duplicates: want_dup
+                }
             );
         }
         drop(stream);
@@ -551,8 +737,7 @@ mod tests {
         let path = temp_archive("conflict");
         let server = RpcServer::start("127.0.0.1:0", &path, test_config()).expect("start");
         let addr = server.local_addr();
-        let mut stream = TcpStream::connect(addr).expect("connect");
-        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let mut stream = connect(addr);
 
         let original = sample_record(4, 0);
         let mut conflicting = sample_record(4, 0);
@@ -561,24 +746,26 @@ mod tests {
         assert_ne!(original, conflicting);
 
         for (record, want_err) in [(original, false), (conflicting, true)] {
-            let payload = crate::proto::encode_request(&Request::Upload(record));
-            write_frame(&mut stream, &payload).expect("write");
-            let response = match read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN).expect("read") {
-                ReadOutcome::Frame(bytes) => {
-                    crate::proto::decode_response(&bytes).expect("decode")
-                }
-                other => panic!("expected frame, got {other:?}"),
-            };
+            let response = exchange(&mut stream, &Request::Upload(record));
             if want_err {
                 assert!(
                     matches!(
                         response,
-                        Response::Error { code: ErrorCode::DuplicateConflict, .. }
+                        Response::Error {
+                            code: ErrorCode::DuplicateConflict,
+                            ..
+                        }
                     ),
                     "{response:?}"
                 );
             } else {
-                assert_eq!(response, Response::UploadOk { accepted: 1, duplicates: 0 });
+                assert_eq!(
+                    response,
+                    Response::UploadOk {
+                        accepted: 1,
+                        duplicates: 0
+                    }
+                );
             }
         }
         server.shutdown().expect("shutdown");
@@ -595,9 +782,7 @@ mod tests {
         let addr = server.local_addr();
 
         // A frame whose checksum cannot match.
-        let mut stream = TcpStream::connect(addr).expect("connect");
-        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
-        use std::io::Write;
+        let mut stream = connect(addr);
         let mut junk = Vec::new();
         junk.extend_from_slice(&4u32.to_le_bytes());
         junk.extend_from_slice(&0u32.to_le_bytes());
@@ -608,7 +793,13 @@ mod tests {
             Ok(ReadOutcome::Frame(bytes)) => {
                 let response = crate::proto::decode_response(&bytes).expect("decode");
                 assert!(
-                    matches!(response, Response::Error { code: ErrorCode::Malformed, .. }),
+                    matches!(
+                        response,
+                        Response::Error {
+                            code: ErrorCode::Malformed,
+                            ..
+                        }
+                    ),
                     "{response:?}"
                 );
             }
@@ -617,17 +808,172 @@ mod tests {
         drop(stream);
 
         // The daemon still serves a healthy client afterwards.
-        let mut stream = TcpStream::connect(addr).expect("reconnect");
-        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
-        let payload = crate::proto::encode_request(&Request::Ping);
-        write_frame(&mut stream, &payload).expect("write");
+        let mut stream = connect(addr);
+        let response = exchange(&mut stream, &Request::Ping);
+        assert_eq!(
+            response,
+            Response::Pong {
+                version: PROTOCOL_VERSION,
+                s: 3
+            }
+        );
+        server.shutdown().expect("shutdown");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn panicked_handler_does_not_poison_the_daemon() {
+        let path = temp_archive("panic");
+        let config = test_config();
+        let fault = Arc::clone(&config.fault_ingest_panic);
+        let server = RpcServer::start("127.0.0.1:0", &path, config).expect("start");
+        let addr = server.local_addr();
+
+        // First request panics inside ingest while holding the writer
+        // lock, poisoning it. The daemon must answer with an Internal
+        // error frame instead of unwinding the connection thread.
+        fault.store(true, Ordering::SeqCst);
+        let mut stream = connect(addr);
+        let response = exchange(&mut stream, &Request::Upload(sample_record(1, 0)));
+        assert!(
+            matches!(
+                response,
+                Response::Error {
+                    code: ErrorCode::Internal,
+                    ..
+                }
+            ),
+            "{response:?}"
+        );
+        drop(stream);
+
+        // Regression: before poison recovery, every later request died on
+        // `lock().expect("state lock")` — one bad request was a
+        // whole-daemon outage. The next connection must be served fully.
+        let mut stream = connect(addr);
+        assert_eq!(
+            exchange(&mut stream, &Request::Ping),
+            Response::Pong {
+                version: PROTOCOL_VERSION,
+                s: 3
+            }
+        );
+        let record = sample_record(1, 0);
+        assert_eq!(
+            exchange(&mut stream, &Request::Upload(record.clone())),
+            Response::UploadOk {
+                accepted: 1,
+                duplicates: 0
+            }
+        );
+        match exchange(
+            &mut stream,
+            &Request::QueryVolume {
+                location: record.location(),
+                period: record.period(),
+            },
+        ) {
+            Response::Estimate(value) => assert!(value.is_finite() && value > 0.0),
+            other => panic!("expected estimate, got {other:?}"),
+        }
+        assert_eq!(server.record_count(), 1);
+        server.shutdown().expect("shutdown");
+
+        // The poisoned-then-recovered writer still archived correctly.
+        let recovered = Archive::open(&path).expect("open");
+        assert_eq!(recovered.records.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn slow_writer_is_served_not_disconnected() {
+        let path = temp_archive("slow-writer");
+        let server = RpcServer::start("127.0.0.1:0", &path, test_config()).expect("start");
+        let addr = server.local_addr();
+
+        // Dribble one upload frame a few bytes at a time, pausing well
+        // past the server's poll interval (5 ms) between writes. The old
+        // reader declared the connection stalled at the first mid-frame
+        // timeout; the stall budget (read_timeout = 2 s) must keep it
+        // alive to the end of the frame.
+        let payload = crate::proto::encode_request(&Request::Upload(sample_record(8, 0)));
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).expect("vec write");
+
+        let mut stream = connect(addr);
+        for chunk in framed.chunks(3).take(8) {
+            stream.write_all(chunk).expect("dribble");
+            stream.flush().expect("flush");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        stream.write_all(&framed[3 * 8..]).expect("tail");
         match read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN).expect("read") {
             ReadOutcome::Frame(bytes) => {
                 let response = crate::proto::decode_response(&bytes).expect("decode");
-                assert_eq!(response, Response::Pong { version: PROTOCOL_VERSION, s: 3 });
+                assert_eq!(
+                    response,
+                    Response::UploadOk {
+                        accepted: 1,
+                        duplicates: 0
+                    }
+                );
             }
-            other => panic!("expected pong, got {other:?}"),
+            other => panic!("expected upload ack, got {other:?}"),
         }
+        server.shutdown().expect("shutdown");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn query_cache_serves_identical_answers_and_respects_epochs() {
+        let path = temp_archive("cache");
+        let server = RpcServer::start("127.0.0.1:0", &path, test_config()).expect("start");
+        let addr = server.local_addr();
+        let mut stream = connect(addr);
+
+        for period in 0..3 {
+            let response = exchange(&mut stream, &Request::Upload(sample_record(6, period)));
+            assert_eq!(
+                response,
+                Response::UploadOk {
+                    accepted: 1,
+                    duplicates: 0
+                }
+            );
+        }
+        let location = LocationId::new(6);
+        let periods: Vec<PeriodId> = (0..3).map(PeriodId::new).collect();
+        let query = Request::QueryPoint {
+            location,
+            periods: periods.clone(),
+        };
+        let first = match exchange(&mut stream, &query) {
+            Response::Estimate(value) => value,
+            other => panic!("expected estimate, got {other:?}"),
+        };
+        // Second answer comes from the cache; it must be bit-for-bit equal.
+        let second = match exchange(&mut stream, &query) {
+            Response::Estimate(value) => value,
+            other => panic!("expected estimate, got {other:?}"),
+        };
+        assert_eq!(first.to_bits(), second.to_bits());
+
+        // An upload to the same location bumps its epoch: the next answer
+        // is recomputed (the periods queried are unchanged, so its value
+        // still matches bit for bit).
+        let response = exchange(&mut stream, &Request::Upload(sample_record(6, 9)));
+        assert_eq!(
+            response,
+            Response::UploadOk {
+                accepted: 1,
+                duplicates: 0
+            }
+        );
+        let third = match exchange(&mut stream, &query) {
+            Response::Estimate(value) => value,
+            other => panic!("expected estimate, got {other:?}"),
+        };
+        assert_eq!(first.to_bits(), third.to_bits());
         server.shutdown().expect("shutdown");
         std::fs::remove_file(&path).ok();
     }

@@ -89,7 +89,7 @@ fn main() {
 
     let truth_order: Vec<usize> = {
         let mut v: Vec<(usize, u64)> = rankings.iter().map(|&(n, _, t, _)| (n, t)).collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|&(_, t)| std::cmp::Reverse(t));
         v.into_iter().map(|(n, _)| n).collect()
     };
     let est_order: Vec<usize> = rankings.iter().map(|&(n, ..)| n).collect();

@@ -38,7 +38,9 @@ fn main() {
     let commuters: Vec<(VehicleSecrets, ptm_traffic::trips::Trip)> = (0..400)
         .map(|_| {
             let secrets = VehicleSecrets::generate(&mut rng, params.num_representatives());
-            let trip = sampler.sample_trip(&network, &mut rng).expect("connected network");
+            let trip = sampler
+                .sample_trip(&network, &mut rng)
+                .expect("connected network");
             (secrets, trip)
         })
         .collect();
@@ -48,7 +50,7 @@ fn main() {
 
     // Expected per-node volume for sizing: estimate from one dry-run day of
     // sampled routes (the "historical average" of paper Eq. 2).
-    let mut expected = vec![0u64; sioux_falls::NUM_NODES];
+    let mut expected = [0u64; sioux_falls::NUM_NODES];
     for _ in 0..daily_transient_trips {
         let trip = sampler.sample_trip(&network, &mut rng).expect("connected");
         for node in &trip.nodes {
@@ -62,7 +64,7 @@ fn main() {
         }
     }
 
-    let mut server = CentralServer::new(params.num_representatives());
+    let server = CentralServer::new(params.num_representatives());
     let mut presence = PresenceLog::new();
     for &period in &periods {
         // One record per RSU (node), sized from the expected volume.
@@ -88,7 +90,9 @@ fn main() {
             }
         }
         for record in records {
-            server.submit(record).expect("unique (location, period) keys");
+            server
+                .submit(record)
+                .expect("unique (location, period) keys");
         }
     }
 
@@ -121,7 +125,10 @@ fn main() {
             format!("{est:.0}"),
         ]);
     }
-    println!("point persistent traffic per intersection:\n{}", out.render());
+    println!(
+        "point persistent traffic per intersection:\n{}",
+        out.render()
+    );
 
     // And a point-to-point query on the heaviest corridor.
     let (a, b) = (NodeId::new(9), NodeId::new(15)); // nodes 10 and 16
@@ -129,7 +136,10 @@ fn main() {
     let est = server
         .estimate_p2p_persistent(location_of(a), location_of(b), &periods)
         .expect("all records present");
-    println!("corridor {} <-> {}: true persistent {}, estimated {:.0}", a, b, truth, est);
+    println!(
+        "corridor {} <-> {}: true persistent {}, estimated {:.0}",
+        a, b, truth, est
+    );
     println!("\n(each vehicle was encoded at every intersection on its route —");
     println!(" one anonymous bit per RSU per day answers all of the above)");
 }

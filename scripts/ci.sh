@@ -10,6 +10,15 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The daemon recovers from poisoned locks instead of unwrapping them; keep
+# panic-on-Err out of ptm-rpc's non-test code so that property holds. The
+# unwrap_used/expect_used lints live as crate-level `warn`s in ptm-rpc's
+# lib.rs (scoped to not(test), so tests may still unwrap); -D warnings
+# escalates them here. Passing -D clippy::unwrap_used on this command line
+# instead would leak the lint into every path dependency.
+echo "==> cargo clippy -p ptm-rpc (no unwrap/expect in non-test code)"
+cargo clippy -p ptm-rpc -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --workspace --release
 
@@ -21,5 +30,11 @@ cargo test --workspace --quiet
 # bound (exit 124), which set -e turns into a failure.
 echo "==> rpc loopback integration tests (bounded)"
 timeout 300 cargo test --quiet -p ptm-integration-tests --test rpc_loopback
+
+# Concurrency stress on the sharded store: parallel uploaders + queriers
+# must answer bit-for-bit like a sequential run, and the query cache must
+# invalidate per location. Same bounding rationale as above.
+echo "==> shard stress tests (bounded)"
+timeout 300 cargo test --quiet -p ptm-integration-tests --test shard_stress
 
 echo "ci: all green"

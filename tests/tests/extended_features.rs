@@ -1,7 +1,7 @@
 //! Integration coverage for the extension features: calendar queries,
 //! route-aware trips, the k-way estimator, error bars, and the city matrix.
 
-use ptm_core::encoding::{EncodingScheme, LocationId, VehicleSecrets};
+use ptm_core::encoding::{EncodingScheme, LocationId};
 use ptm_core::kway::KwayEstimator;
 use ptm_core::params::SystemParams;
 use ptm_core::point::PointEstimator;
@@ -47,11 +47,18 @@ fn calendar_selected_queries_estimate_the_right_populations() {
         .map(|p| records[p.get() as usize].clone())
         .collect();
     assert_eq!(mondays.len(), 3);
-    let est = PointEstimator::new().estimate(&mondays).expect("sized records");
+    let est = PointEstimator::new()
+        .estimate(&mondays)
+        .expect("sized records");
     assert!((est - 400.0).abs() / 400.0 < 0.15, "Monday estimate {est}");
 
-    let everything = PointEstimator::new().estimate(&records).expect("sized records");
-    assert!(everything.abs() < 60.0, "all-days estimate {everything} should be ~0");
+    let everything = PointEstimator::new()
+        .estimate(&records)
+        .expect("sized records");
+    assert!(
+        everything.abs() < 60.0,
+        "all-days estimate {everything} should be ~0"
+    );
 }
 
 #[test]
@@ -75,8 +82,7 @@ fn routed_commuters_are_p2p_persistent_along_their_whole_route() {
     let size = params.bitmap_size(2_000.0);
     let t = 4u32;
     // location id = node index + 1; one record per route node per period.
-    let mut per_node_records: Vec<Vec<TrafficRecord>> =
-        vec![Vec::new(); path.nodes.len()];
+    let mut per_node_records: Vec<Vec<TrafficRecord>> = vec![Vec::new(); path.nodes.len()];
     for period in 0..t {
         for (k, node) in path.nodes.iter().enumerate() {
             let loc = LocationId::new(node.index() as u64 + 1);
@@ -90,13 +96,24 @@ fn routed_commuters_are_p2p_persistent_along_their_whole_route() {
     }
     // Point persistent at the route midpoint.
     let mid = path.nodes.len() / 2;
-    let est = PointEstimator::new().estimate(&per_node_records[mid]).expect("estimate");
-    assert!((est - 300.0).abs() / 300.0 < 0.15, "midpoint estimate {est}");
+    let est = PointEstimator::new()
+        .estimate(&per_node_records[mid])
+        .expect("estimate");
+    assert!(
+        (est - 300.0).abs() / 300.0 < 0.15,
+        "midpoint estimate {est}"
+    );
     // P2p persistent between first and last route nodes.
     let p2p = ptm_core::p2p::PointToPointEstimator::new(3)
-        .estimate(&per_node_records[0], &per_node_records[path.nodes.len() - 1])
+        .estimate(
+            &per_node_records[0],
+            &per_node_records[path.nodes.len() - 1],
+        )
         .expect("estimate");
-    assert!((p2p - 300.0).abs() / 300.0 < 0.2, "endpoint p2p estimate {p2p}");
+    assert!(
+        (p2p - 300.0).abs() / 300.0 < 0.2,
+        "endpoint p2p estimate {p2p}"
+    );
 }
 
 #[test]
@@ -147,7 +164,12 @@ fn kway_and_halves_agree_through_public_api() {
     assert!((halves - 800.0).abs() / 800.0 < 0.1, "halves {halves}");
     assert!((kway - 800.0).abs() / 800.0 < 0.1, "kway {kway}");
     // Error bars bracket the truth at 3 sigma (conservative bars).
-    let with_err = PointEstimator::new().estimate_with_error(&records).expect("estimate");
+    let with_err = PointEstimator::new()
+        .estimate_with_error(&records)
+        .expect("estimate");
     let (lo, hi) = with_err.interval(3.0);
-    assert!(lo <= 800.0 && 800.0 <= hi, "interval [{lo}, {hi}] misses truth");
+    assert!(
+        lo <= 800.0 && 800.0 <= hi,
+        "interval [{lo}, {hi}] misses truth"
+    );
 }

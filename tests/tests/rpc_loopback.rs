@@ -25,7 +25,9 @@ use std::time::Duration;
 static TEST_LOCK: Mutex<()> = Mutex::new(());
 
 fn lock() -> MutexGuard<'static, ()> {
-    TEST_LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
+    TEST_LOCK
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
 }
 
 fn temp_archive(name: &str) -> PathBuf {
@@ -67,7 +69,13 @@ fn campaign(location: u64, periods: u32, seed: u64) -> Vec<TrafficRecord> {
             let transient = fleet(&mut rng, 250, 3);
             let mut all = persistent.clone();
             all.extend(transient);
-            direct_record(&scheme, LocationId::new(location), PeriodId::new(p), size, &all)
+            direct_record(
+                &scheme,
+                LocationId::new(location),
+                PeriodId::new(p),
+                size,
+                &all,
+            )
         })
         .collect()
 }
@@ -100,7 +108,7 @@ fn concurrent_uploads_match_in_process_estimates_bit_for_bit() {
     assert_eq!(server.record_count(), locations.len() * PERIODS as usize);
 
     // The reference: the same records submitted to an in-process engine.
-    let mut reference = CentralServer::new(3);
+    let reference = CentralServer::new(3);
     for records in &campaigns {
         for record in records {
             reference.submit(record.clone()).expect("reference submit");
@@ -112,17 +120,23 @@ fn concurrent_uploads_match_in_process_estimates_bit_for_bit() {
     for &loc in &locations {
         let location = LocationId::new(loc);
         let over_wire = client.query_point(location, &periods).expect("point");
-        let in_process = reference.estimate_point_persistent(location, &periods).expect("point");
+        let in_process = reference
+            .estimate_point_persistent(location, &periods)
+            .expect("point");
         assert_eq!(over_wire.to_bits(), in_process.to_bits(), "point at {loc}");
 
         let over_wire = client.query_volume(location, periods[0]).expect("volume");
-        let in_process = reference.estimate_volume(location, periods[0]).expect("volume");
+        let in_process = reference
+            .estimate_volume(location, periods[0])
+            .expect("volume");
         assert_eq!(over_wire.to_bits(), in_process.to_bits(), "volume at {loc}");
     }
     let a = LocationId::new(locations[0]);
     let b = LocationId::new(locations[1]);
     let over_wire = client.query_p2p(a, b, &periods).expect("p2p");
-    let in_process = reference.estimate_p2p_persistent(a, b, &periods).expect("p2p");
+    let in_process = reference
+        .estimate_p2p_persistent(a, b, &periods)
+        .expect("p2p");
     assert_eq!(over_wire.to_bits(), in_process.to_bits(), "p2p");
 
     server.shutdown().expect("shutdown");
@@ -210,7 +224,9 @@ fn client_retries_transparently_after_idle_disconnect() {
     // again: the client must notice the dead stream and reconnect.
     std::thread::sleep(Duration::from_millis(400));
     let records = campaign(5, 2, 5);
-    let summary = client.upload_batch(&records).expect("upload after disconnect");
+    let summary = client
+        .upload_batch(&records)
+        .expect("upload after disconnect");
     assert_eq!(summary.accepted as usize, records.len());
     server.shutdown().expect("shutdown");
     std::fs::remove_file(&path).ok();
@@ -221,7 +237,10 @@ fn corrupt_and_oversized_frames_close_the_connection_not_the_daemon() {
     let _guard = lock();
     use std::io::{Read, Write};
     let path = temp_archive("faults");
-    let config = ServerConfig { max_frame_len: 64 * 1024, ..server_config() };
+    let config = ServerConfig {
+        max_frame_len: 64 * 1024,
+        ..server_config()
+    };
     let server = RpcServer::start("127.0.0.1:0", &path, config).expect("start");
     let addr = server.local_addr();
 
@@ -231,7 +250,9 @@ fn corrupt_and_oversized_frames_close_the_connection_not_the_daemon() {
     // Fault 1: a frame whose checksum is wrong.
     {
         let mut stream = std::net::TcpStream::connect(addr).expect("connect");
-        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
         let mut junk = Vec::new();
         junk.extend_from_slice(&4u32.to_le_bytes());
         junk.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
@@ -246,7 +267,9 @@ fn corrupt_and_oversized_frames_close_the_connection_not_the_daemon() {
     // Fault 2: a header advertising a frame far over the limit.
     {
         let mut stream = std::net::TcpStream::connect(addr).expect("connect");
-        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
         let mut junk = Vec::new();
         junk.extend_from_slice(&(u32::MAX).to_le_bytes());
         junk.extend_from_slice(&0u32.to_le_bytes());
@@ -282,7 +305,10 @@ fn conflicting_record_is_fatal_not_retried() {
     // client must surface it as a server error without burning retries.
     let conflicting = campaign(8, 1, 22);
     match client.upload_batch(&conflicting) {
-        Err(ClientError::Server { code: ErrorCode::DuplicateConflict, .. }) => {}
+        Err(ClientError::Server {
+            code: ErrorCode::DuplicateConflict,
+            ..
+        }) => {}
         other => panic!("expected DuplicateConflict, got {other:?}"),
     }
     // The engine still answers with the original record.

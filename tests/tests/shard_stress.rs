@@ -1,0 +1,262 @@
+//! Stress tests for the sharded central store behind the RPC daemon:
+//! uploaders and queriers hammering the same process concurrently must
+//! produce answers bit-for-bit identical to a sequential in-process run,
+//! and the epoch-invalidated query cache must invalidate per location.
+//!
+//! Metric-asserting tests share the process-global `ptm-obs` registry, so
+//! every test takes [`lock`] to serialize against the others.
+
+#![forbid(unsafe_code)]
+
+use ptm_core::encoding::{EncodingScheme, LocationId};
+use ptm_core::params::BitmapSize;
+use ptm_core::record::{PeriodId, TrafficRecord};
+use ptm_integration_tests::{direct_record, fleet};
+use ptm_net::CentralServer;
+use ptm_rpc::{ClientConfig, RpcClient, RpcServer, ServerConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    TEST_LOCK
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+fn temp_archive(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("ptm-shard-it-{}-{name}.ptma", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        s: 3,
+        read_timeout: Duration::from_secs(5),
+        poll_interval: Duration::from_millis(5),
+        ..ServerConfig::default()
+    }
+}
+
+fn client_config() -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Duration::from_millis(500),
+        io_timeout: Duration::from_secs(5),
+        max_attempts: 4,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(50),
+        ..ClientConfig::default()
+    }
+}
+
+/// A deterministic per-location campaign: `periods` records sharing a
+/// persistent fleet plus transient traffic.
+fn campaign(location: u64, periods: u32, seed: u64) -> Vec<TrafficRecord> {
+    let scheme = EncodingScheme::new(11, 3);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let persistent = fleet(&mut rng, 100, 3);
+    let size = BitmapSize::new(4096).expect("pow2");
+    (0..periods)
+        .map(|p| {
+            let transient = fleet(&mut rng, 200, 3);
+            let mut all = persistent.clone();
+            all.extend(transient);
+            direct_record(
+                &scheme,
+                LocationId::new(location),
+                PeriodId::new(p),
+                size,
+                &all,
+            )
+        })
+        .collect()
+}
+
+/// Records are immutable once accepted, so any query that succeeds
+/// mid-stress covers exactly the records it will cover in the final state:
+/// a point query over all `P` periods only answers once all `P` are
+/// present. Every `Ok` answer observed *during* the upload storm must
+/// therefore already be bit-for-bit equal to the sequential reference.
+#[test]
+fn parallel_uploads_and_queries_match_sequential_bit_for_bit() {
+    let _guard = lock();
+    const PERIODS: u32 = 6;
+    const QUERIERS: usize = 3;
+    let locations: Vec<u64> = (21..=26).collect();
+    let campaigns: Vec<Vec<TrafficRecord>> = locations
+        .iter()
+        .map(|&loc| campaign(loc, PERIODS, 4000 + loc))
+        .collect();
+    let periods: Vec<PeriodId> = (0..PERIODS).map(PeriodId::new).collect();
+
+    // The sequential reference, computed before any concurrency exists.
+    let reference = CentralServer::new(3);
+    for records in &campaigns {
+        for record in records {
+            reference.submit(record.clone()).expect("reference submit");
+        }
+    }
+    let expected_point: Vec<u64> = locations
+        .iter()
+        .map(|&loc| {
+            reference
+                .estimate_point_persistent(LocationId::new(loc), &periods)
+                .expect("reference point")
+                .to_bits()
+        })
+        .collect();
+    let expected_volume: Vec<u64> = locations
+        .iter()
+        .map(|&loc| {
+            reference
+                .estimate_volume(LocationId::new(loc), periods[0])
+                .expect("reference volume")
+                .to_bits()
+        })
+        .collect();
+    let p2p_pair = (LocationId::new(locations[0]), LocationId::new(locations[1]));
+    let expected_p2p = reference
+        .estimate_p2p_persistent(p2p_pair.0, p2p_pair.1, &periods)
+        .expect("reference p2p")
+        .to_bits();
+
+    let path = temp_archive("stress");
+    let server = RpcServer::start("127.0.0.1:0", &path, server_config()).expect("start");
+    let addr = server.local_addr();
+    let done = AtomicBool::new(false);
+    let verified = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        // Uploaders: one per location, one record per batch so uploads to
+        // different locations interleave at the finest grain the protocol
+        // allows.
+        for records in &campaigns {
+            scope.spawn(move || {
+                let mut client = RpcClient::connect(addr, client_config()).expect("client");
+                for record in records {
+                    let summary = client
+                        .upload_batch(std::slice::from_ref(record))
+                        .expect("upload");
+                    assert_eq!(summary.accepted, 1);
+                }
+            });
+        }
+        // Queriers: hammer every query kind for the whole storm. A query
+        // may fail while its periods are still being uploaded; once it
+        // answers, the answer must match the reference exactly. Each
+        // querier runs one final full pass after the uploads finish, so
+        // post-quiescence answers (including cached ones) are verified too.
+        for _ in 0..QUERIERS {
+            scope.spawn(|| {
+                let mut client = RpcClient::connect(addr, client_config()).expect("client");
+                loop {
+                    let last_pass = done.load(Ordering::Acquire);
+                    for (i, &loc) in locations.iter().enumerate() {
+                        let location = LocationId::new(loc);
+                        if let Ok(est) = client.query_point(location, &periods) {
+                            assert_eq!(est.to_bits(), expected_point[i], "point at {loc}");
+                            verified.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if let Ok(est) = client.query_volume(location, periods[0]) {
+                            assert_eq!(est.to_bits(), expected_volume[i], "volume at {loc}");
+                            verified.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    if let Ok(est) = client.query_p2p(p2p_pair.0, p2p_pair.1, &periods) {
+                        assert_eq!(est.to_bits(), expected_p2p, "p2p");
+                        verified.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if last_pass {
+                        break;
+                    }
+                }
+            });
+        }
+        // Wait for the uploaders (their handles are unnamed, so join via a
+        // dedicated marker thread is overkill: the scope joins everything;
+        // flip `done` once the record count shows all uploads landed).
+        let total = locations.len() * PERIODS as usize;
+        while server.record_count() < total {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    // Every querier's final pass answered every query.
+    let min_verified = QUERIERS * (locations.len() * 2 + 1);
+    assert!(
+        verified.load(Ordering::Relaxed) >= min_verified,
+        "expected at least {min_verified} verified answers, got {}",
+        verified.load(Ordering::Relaxed)
+    );
+    assert_eq!(server.record_count(), locations.len() * PERIODS as usize);
+    server.shutdown().expect("shutdown");
+    std::fs::remove_file(&path).ok();
+}
+
+/// An upload to one location must invalidate only that location's cached
+/// answers: the other location keeps serving cache hits.
+#[test]
+fn upload_invalidates_only_that_locations_cached_answers() {
+    let _guard = lock();
+    let path = temp_archive("cache-inval");
+    let server = RpcServer::start("127.0.0.1:0", &path, server_config()).expect("start");
+    let mut client = RpcClient::connect(server.local_addr(), client_config()).expect("client");
+
+    let loc_a = LocationId::new(31);
+    let loc_b = LocationId::new(32);
+    let records_a = campaign(31, 3, 310);
+    let records_b = campaign(32, 3, 320);
+    client.upload_batch(&records_a[..3]).expect("upload a");
+    client.upload_batch(&records_b).expect("upload b");
+    let periods: Vec<PeriodId> = (0..3).map(PeriodId::new).collect();
+
+    ptm_obs::enable_metrics();
+    let hits = ptm_obs::registry().counter("rpc.cache.hits");
+    let misses = ptm_obs::registry().counter("rpc.cache.misses");
+    let stale = ptm_obs::registry().counter("rpc.cache.stale");
+    let (hits0, misses0, stale0) = (hits.get(), misses.get(), stale.get());
+
+    // Cold, then cached, for both locations.
+    let a_first = client.query_point(loc_a, &periods).expect("a cold");
+    let a_second = client.query_point(loc_a, &periods).expect("a cached");
+    assert_eq!(a_first.to_bits(), a_second.to_bits());
+    let b_first = client.query_point(loc_b, &periods).expect("b cold");
+    let b_second = client.query_point(loc_b, &periods).expect("b cached");
+    assert_eq!(b_first.to_bits(), b_second.to_bits());
+    assert_eq!(hits.get() - hits0, 2, "one hit per re-query");
+    assert_eq!(misses.get() - misses0, 2, "one miss per cold query");
+    assert_eq!(stale.get() - stale0, 0);
+
+    // A fourth period lands at A: A's epoch moves, B's does not.
+    let fourth = campaign(31, 4, 310).split_off(3);
+    client.upload_batch(&fourth).expect("upload fourth");
+
+    // A's cached answer is stale — dropped and recomputed; the recompute
+    // covers the same three periods, so the value itself is unchanged.
+    let a_third = client.query_point(loc_a, &periods).expect("a after upload");
+    assert_eq!(
+        a_third.to_bits(),
+        a_first.to_bits(),
+        "same periods, same answer"
+    );
+    assert_eq!(stale.get() - stale0, 1, "A's entry was epoch-invalidated");
+    assert_eq!(misses.get() - misses0, 3, "the stale lookup recomputed");
+
+    // B's cached answer is untouched: still a hit, no recompute.
+    let b_third = client.query_point(loc_b, &periods).expect("b after upload");
+    assert_eq!(b_third.to_bits(), b_first.to_bits());
+    assert_eq!(hits.get() - hits0, 3, "B still serves from cache");
+    assert_eq!(stale.get() - stale0, 1, "B's entry was not invalidated");
+
+    ptm_obs::set_metrics_enabled(false);
+    server.shutdown().expect("shutdown");
+    std::fs::remove_file(&path).ok();
+}
