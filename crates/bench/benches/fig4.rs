@@ -35,10 +35,18 @@ fn bench_fig4(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig4");
     group.bench_function("proposed_estimator_t10", |b| {
-        b.iter(|| PointEstimator::new().estimate(&records).expect("no saturation"))
+        b.iter(|| {
+            PointEstimator::new()
+                .estimate(&records)
+                .expect("no saturation")
+        })
     });
     group.bench_function("benchmark_estimator_t10", |b| {
-        b.iter(|| NaiveAndEstimator::new().estimate(&records).expect("no saturation"))
+        b.iter(|| {
+            NaiveAndEstimator::new()
+                .estimate(&records)
+                .expect("no saturation")
+        })
     });
     group.finish();
 }

@@ -28,7 +28,9 @@ fn bench_fig5(c: &mut Criterion) {
         runs_per_fraction: 1,
         ..ScatterConfig::paper(2.0)
     };
-    group.bench_function("one_scatter_measurement_f2", |b| b.iter(|| scatter::run(&single)));
+    group.bench_function("one_scatter_measurement_f2", |b| {
+        b.iter(|| scatter::run(&single))
+    });
     group.finish();
 }
 

@@ -28,7 +28,9 @@ fn bench_fig6(c: &mut Criterion) {
         runs_per_fraction: 1,
         ..ScatterConfig::paper(3.0)
     };
-    group.bench_function("one_scatter_measurement_f3", |b| b.iter(|| scatter::run(&single)));
+    group.bench_function("one_scatter_measurement_f3", |b| {
+        b.iter(|| scatter::run(&single))
+    });
     group.finish();
 }
 

@@ -77,8 +77,9 @@ fn bench_primitives_enabled(c: &mut Criterion) {
 fn bench_encode_path(c: &mut Criterion) {
     let scheme = EncodingScheme::new(0xBE7C, 3);
     let mut rng = ChaCha12Rng::seed_from_u64(9);
-    let vehicles: Vec<VehicleSecrets> =
-        (0..256).map(|_| VehicleSecrets::generate(&mut rng, 3)).collect();
+    let vehicles: Vec<VehicleSecrets> = (0..256)
+        .map(|_| VehicleSecrets::generate(&mut rng, 3))
+        .collect();
     let size = BitmapSize::new(1 << 14).expect("pow2");
 
     let mut group = c.benchmark_group("encode");

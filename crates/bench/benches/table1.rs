@@ -17,7 +17,11 @@ use rand_chacha::ChaCha12Rng;
 
 fn bench_table1(c: &mut Criterion) {
     // Regenerate the table at reduced run count and print it.
-    let config = Table1Config { runs: BENCH_RUNS, threads: 1, ..Table1Config::default() };
+    let config = Table1Config {
+        runs: BENCH_RUNS,
+        threads: 1,
+        ..Table1Config::default()
+    };
     let result = table1::run(&config);
     print_artifact("Table I", &table1::render(&result));
 
@@ -25,8 +29,7 @@ fn bench_table1(c: &mut Criterion) {
     // node 10: 213k + 451k vehicles over 10 periods).
     let params = SystemParams::paper_default();
     let table = sioux_falls::paper_trip_table();
-    let scenario =
-        P2pScenario::from_trip_table(&table, NodeId::new(14), NodeId::new(9), 10);
+    let scenario = P2pScenario::from_trip_table(&table, NodeId::new(14), NodeId::new(9), 10);
     let estimator = PointToPointEstimator::new(3);
 
     let mut group = c.benchmark_group("table1");

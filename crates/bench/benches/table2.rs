@@ -14,12 +14,7 @@ fn bench_table2(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("table2");
     group.bench_function("analytic_grid_28_cells", |b| {
-        b.iter(|| {
-            privacy::privacy_table(
-                &[1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0],
-                &[2, 3, 4, 5],
-            )
-        })
+        b.iter(|| privacy::privacy_table(&[1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0], &[2, 3, 4, 5]))
     });
     group.sample_size(10);
     group.bench_function("monte_carlo_cell_1000_trials", |b| {

@@ -34,7 +34,10 @@ impl Bitmap {
     /// Panics if `len` is zero.
     pub fn new(len: usize) -> Self {
         assert!(len > 0, "bitmap length must be positive");
-        Self { words: vec![0u64; len.div_ceil(WORD_BITS)], len }
+        Self {
+            words: vec![0u64; len.div_ceil(WORD_BITS)],
+            len,
+        }
     }
 
     /// Number of bits.
@@ -53,7 +56,11 @@ impl Bitmap {
     ///
     /// Panics if `index >= len`.
     pub fn set(&mut self, index: usize) {
-        assert!(index < self.len, "bit index {index} out of range for length {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range for length {}",
+            self.len
+        );
         self.words[index / WORD_BITS] |= 1u64 << (index % WORD_BITS);
     }
 
@@ -63,7 +70,11 @@ impl Bitmap {
     ///
     /// Panics if `index >= len`.
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range for length {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range for length {}",
+            self.len
+        );
         (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
     }
 
@@ -149,7 +160,10 @@ impl Bitmap {
             return Err(EstimateError::NotPowerOfTwo { len: target });
         }
         if target < self.len {
-            return Err(EstimateError::IncompatibleSizes { small: target, large: self.len });
+            return Err(EstimateError::IncompatibleSizes {
+                small: target,
+                large: self.len,
+            });
         }
         if target == self.len {
             return Ok(self.clone());
@@ -203,7 +217,10 @@ impl Bitmap {
     /// input) the same way.
     pub fn from_bytes(len: usize, bytes: &[u8]) -> Result<Self, EstimateError> {
         if len == 0 || bytes.len() != len.div_ceil(8) {
-            return Err(EstimateError::IncompatibleSizes { small: len.div_ceil(8), large: bytes.len() });
+            return Err(EstimateError::IncompatibleSizes {
+                small: len.div_ceil(8),
+                large: bytes.len(),
+            });
         }
         let mut bitmap = Bitmap::new(len);
         for (i, &byte) in bytes.iter().enumerate() {
@@ -214,7 +231,10 @@ impl Bitmap {
         if tail_bits != 0 {
             let last = *bitmap.words.last().expect("non-empty");
             if tail_bits < WORD_BITS && (last >> tail_bits) != 0 {
-                return Err(EstimateError::IncompatibleSizes { small: len, large: len + 1 });
+                return Err(EstimateError::IncompatibleSizes {
+                    small: len,
+                    large: len + 1,
+                });
             }
         }
         Ok(bitmap)
@@ -320,7 +340,10 @@ mod tests {
         let b = Bitmap::new(16);
         assert_eq!(
             a.and_assign(&b),
-            Err(EstimateError::IncompatibleSizes { small: 8, large: 16 })
+            Err(EstimateError::IncompatibleSizes {
+                small: 8,
+                large: 16
+            })
         );
     }
 
@@ -370,10 +393,19 @@ mod tests {
     #[test]
     fn expand_rejects_shrink_and_non_pow2() {
         let b = Bitmap::new(16);
-        assert!(matches!(b.expand_to(8), Err(EstimateError::IncompatibleSizes { .. })));
-        assert!(matches!(b.expand_to(24), Err(EstimateError::NotPowerOfTwo { len: 24 })));
+        assert!(matches!(
+            b.expand_to(8),
+            Err(EstimateError::IncompatibleSizes { .. })
+        ));
+        assert!(matches!(
+            b.expand_to(24),
+            Err(EstimateError::NotPowerOfTwo { len: 24 })
+        ));
         let c = Bitmap::new(12);
-        assert!(matches!(c.expand_to(24), Err(EstimateError::NotPowerOfTwo { len: 12 })));
+        assert!(matches!(
+            c.expand_to(24),
+            Err(EstimateError::NotPowerOfTwo { len: 12 })
+        ));
     }
 
     #[test]
@@ -415,7 +447,10 @@ mod tests {
 
     #[test]
     fn from_bytes_rejects_bad_input() {
-        assert!(Bitmap::from_bytes(16, &[0u8; 3]).is_err(), "wrong byte count");
+        assert!(
+            Bitmap::from_bytes(16, &[0u8; 3]).is_err(),
+            "wrong byte count"
+        );
         assert!(Bitmap::from_bytes(0, &[]).is_err(), "zero length");
         // A set bit beyond the logical length is corruption.
         assert!(Bitmap::from_bytes(4, &[0b0001_0000]).is_err());

@@ -72,7 +72,10 @@ impl std::fmt::Debug for VehicleSecrets {
         f.debug_struct("VehicleSecrets")
             .field("id", &self.id)
             .field("private_key", &"<redacted>")
-            .field("constants", &format_args!("<{} redacted>", self.constants.len()))
+            .field(
+                "constants",
+                &format_args!("<{} redacted>", self.constants.len()),
+            )
             .finish()
     }
 }
@@ -84,8 +87,15 @@ impl VehicleSecrets {
     ///
     /// Panics if `constants` is empty — `s >= 1` is required.
     pub fn from_parts(id: VehicleId, private_key: u64, constants: Vec<u64>) -> Self {
-        assert!(!constants.is_empty(), "constant array C must have s >= 1 entries");
-        Self { id, private_key, constants }
+        assert!(
+            !constants.is_empty(),
+            "constant array C must have s >= 1 entries"
+        );
+        Self {
+            id,
+            private_key,
+            constants,
+        }
     }
 
     /// Generates a fresh vehicle with random ID, key, and `s` constants.
@@ -163,7 +173,8 @@ impl EncodingScheme {
     /// Panics if `i` is out of range for the vehicle's constant array.
     pub fn representative_hash(&self, vehicle: &VehicleSecrets, i: u32) -> u64 {
         let c = vehicle.constants[i as usize];
-        self.hasher.hash_u64(vehicle.id.get() ^ vehicle.private_key ^ c)
+        self.hasher
+            .hash_u64(vehicle.id.get() ^ vehicle.private_key ^ c)
     }
 
     /// The paper's `h_v` before the `mod m` reduction: the hash of the
@@ -246,11 +257,15 @@ mod tests {
         // for most vehicles.
         let sch = scheme(3);
         let v = vehicle(4, 3);
-        let indices: std::collections::BTreeSet<u64> =
-            (0..50).map(|loc| sch.encode(&v, LocationId::new(loc))).collect();
+        let indices: std::collections::BTreeSet<u64> = (0..50)
+            .map(|loc| sch.encode(&v, LocationId::new(loc)))
+            .collect();
         // At most s distinct values, and (overwhelmingly likely) more than 1.
         assert!(indices.len() <= 3);
-        assert!(indices.len() > 1, "vehicle never changed bits across 50 locations");
+        assert!(
+            indices.len() > 1,
+            "vehicle never changed bits across 50 locations"
+        );
     }
 
     #[test]
@@ -258,8 +273,9 @@ mod tests {
         for s in [1u32, 2, 4, 8] {
             let sch = scheme(s);
             let v = vehicle(5, s);
-            let distinct: std::collections::BTreeSet<u64> =
-                (0..500).map(|loc| sch.encode(&v, LocationId::new(loc))).collect();
+            let distinct: std::collections::BTreeSet<u64> = (0..500)
+                .map(|loc| sch.encode(&v, LocationId::new(loc)))
+                .collect();
             assert!(
                 distinct.len() <= s as usize,
                 "s={s}: {} distinct encodings",
@@ -287,7 +303,10 @@ mod tests {
         assert_eq!(reps.len(), 4);
         for loc in 0..20u64 {
             let idx = sch.encode_index(&v, LocationId::new(loc), m);
-            assert!(reps.contains(&idx), "encoded index must be one of the representatives");
+            assert!(
+                reps.contains(&idx),
+                "encoded index must be one of the representatives"
+            );
         }
     }
 

@@ -60,7 +60,10 @@ impl fmt::Display for EstimateError {
                 write!(f, "need at least {required} records, got {actual}")
             }
             Self::Saturated { which } => {
-                write!(f, "joined bitmap {which} has no zero bits; record undersized")
+                write!(
+                    f,
+                    "joined bitmap {which} has no zero bits; record undersized"
+                )
             }
             Self::Degenerate => {
                 write!(f, "measured fractions outside the estimator domain")
@@ -72,10 +75,16 @@ impl fmt::Display for EstimateError {
                 write!(f, "bitmap length {small} does not divide {large}")
             }
             Self::LocationMismatch => {
-                write!(f, "records from different locations mixed in a single-location join")
+                write!(
+                    f,
+                    "records from different locations mixed in a single-location join"
+                )
             }
             Self::PeriodMismatch { left, right } => {
-                write!(f, "locations cover different period counts ({left} vs {right})")
+                write!(
+                    f,
+                    "locations cover different period counts ({left} vs {right})"
+                )
             }
         }
     }
@@ -91,11 +100,23 @@ mod tests {
     fn display_is_informative() {
         let cases: Vec<(EstimateError, &str)> = vec![
             (EstimateError::NoRecords, "no traffic records"),
-            (EstimateError::TooFewRecords { required: 2, actual: 1 }, "at least 2"),
+            (
+                EstimateError::TooFewRecords {
+                    required: 2,
+                    actual: 1,
+                },
+                "at least 2",
+            ),
             (EstimateError::Saturated { which: "E_a" }, "E_a"),
             (EstimateError::Degenerate, "domain"),
             (EstimateError::NotPowerOfTwo { len: 3 }, "3"),
-            (EstimateError::IncompatibleSizes { small: 8, large: 12 }, "8"),
+            (
+                EstimateError::IncompatibleSizes {
+                    small: 8,
+                    large: 12,
+                },
+                "8",
+            ),
             (EstimateError::LocationMismatch, "locations"),
             (EstimateError::PeriodMismatch { left: 3, right: 5 }, "3"),
         ];

@@ -187,7 +187,10 @@ mod tests {
 
     #[test]
     fn interleaved_split() {
-        assert_eq!(SplitStrategy::Interleaved.split(5), (vec![0, 2, 4], vec![1, 3]));
+        assert_eq!(
+            SplitStrategy::Interleaved.split(5),
+            (vec![0, 2, 4], vec![1, 3])
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ impl KwayEstimator {
     ///   outside the model's attainable range.
     pub fn estimate(&self, records: &[TrafficRecord]) -> Result<f64, EstimateError> {
         if records.len() < self.k {
-            return Err(EstimateError::TooFewRecords { required: self.k, actual: records.len() });
+            return Err(EstimateError::TooFewRecords {
+                required: self.k,
+                actual: records.len(),
+            });
         }
         let location = records[0].location();
         if records.iter().any(|r| r.location() != location) {
@@ -93,7 +96,10 @@ impl KwayEstimator {
         ptm_obs::counter!("core.kway.ops").inc();
         ptm_obs::histogram!("core.kway.k").record(self.k as u64);
         if bitmaps.len() < self.k {
-            return Err(EstimateError::TooFewRecords { required: self.k, actual: bitmaps.len() });
+            return Err(EstimateError::TooFewRecords {
+                required: self.k,
+                actual: bitmaps.len(),
+            });
         }
         // Round-robin grouping, then AND-join each group.
         let mut groups: Vec<Vec<&Bitmap>> = vec![Vec::new(); self.k];
@@ -107,8 +113,10 @@ impl KwayEstimator {
 
         // Expand all group joins to the common size and AND them into E*.
         let m = joins.iter().map(Bitmap::len).max().expect("k >= 2 groups");
-        let expanded: Vec<Bitmap> =
-            joins.iter().map(|j| j.expand_to(m)).collect::<Result<_, _>>()?;
+        let expanded: Vec<Bitmap> = joins
+            .iter()
+            .map(|j| j.expand_to(m))
+            .collect::<Result<_, _>>()?;
         let mut e_star = expanded[0].clone();
         for e in &expanded[1..] {
             e_star.and_assign(e)?;
@@ -153,7 +161,11 @@ impl KwayEstimator {
         if v_star1 >= lo_val.max(hi_val) {
             return Ok(if lo_val <= hi_val { n_max } else { 0.0 });
         }
-        let (mut lo, mut hi) = if lo_val <= hi_val { (0.0, n_max) } else { (n_max, 0.0) };
+        let (mut lo, mut hi) = if lo_val <= hi_val {
+            (0.0, n_max)
+        } else {
+            (n_max, 0.0)
+        };
         for _ in 0..200 {
             let mid = 0.5 * (lo + hi);
             if predicted(mid) < v_star1 {
@@ -184,8 +196,9 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let location = LocationId::new(1);
         let size = BitmapSize::new(m).expect("pow2");
-        let commons: Vec<VehicleSecrets> =
-            (0..common).map(|_| VehicleSecrets::generate(&mut rng, 3)).collect();
+        let commons: Vec<VehicleSecrets> = (0..common)
+            .map(|_| VehicleSecrets::generate(&mut rng, 3))
+            .collect();
         (0..t)
             .map(|p| {
                 let mut record = TrafficRecord::new(location, PeriodId::new(p as u32), size);
@@ -243,7 +256,10 @@ mod tests {
         let records = build(5, 2, 1 << 10, 10, 50);
         assert_eq!(
             KwayEstimator::new(3).estimate(&records),
-            Err(EstimateError::TooFewRecords { required: 3, actual: 2 })
+            Err(EstimateError::TooFewRecords {
+                required: 3,
+                actual: 2
+            })
         );
     }
 
@@ -274,8 +290,9 @@ mod tests {
         let scheme = EncodingScheme::new(0x4A12, 3);
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let location = LocationId::new(2);
-        let commons: Vec<VehicleSecrets> =
-            (0..400).map(|_| VehicleSecrets::generate(&mut rng, 3)).collect();
+        let commons: Vec<VehicleSecrets> = (0..400)
+            .map(|_| VehicleSecrets::generate(&mut rng, 3))
+            .collect();
         let sizes = [1 << 12, 1 << 13, 1 << 13, 1 << 12, 1 << 13, 1 << 13];
         let records: Vec<TrafficRecord> = sizes
             .iter()

@@ -49,7 +49,10 @@ impl PointToPointEstimator {
     /// Panics if `s` is zero.
     pub fn new(s: u32) -> Self {
         assert!(s >= 1, "s must be at least 1");
-        Self { s, form: P2pForm::Paper }
+        Self {
+            s,
+            form: P2pForm::Paper,
+        }
     }
 
     /// Selects the algebraic form (ablation).
@@ -166,8 +169,9 @@ mod tests {
         let loc_lp = LocationId::new(20);
         let size_l = BitmapSize::new(m_l).expect("pow2");
         let size_lp = BitmapSize::new(m_lp).expect("pow2");
-        let commons: Vec<VehicleSecrets> =
-            (0..common).map(|_| VehicleSecrets::generate(&mut rng, 3)).collect();
+        let commons: Vec<VehicleSecrets> = (0..common)
+            .map(|_| VehicleSecrets::generate(&mut rng, 3))
+            .collect();
         let mut records_l = Vec::new();
         let mut records_lp = Vec::new();
         for p in 0..t {
@@ -188,7 +192,10 @@ mod tests {
             records_l.push(rl);
             records_lp.push(rlp);
         }
-        Scenario { records_l, records_lp }
+        Scenario {
+            records_l,
+            records_lp,
+        }
     }
 
     #[test]
@@ -278,10 +285,12 @@ mod tests {
         let loc_l = LocationId::new(10);
         let loc_lp = LocationId::new(20);
         let size = BitmapSize::new(1 << 13).expect("pow2");
-        let l_only: Vec<VehicleSecrets> =
-            (0..1000).map(|_| VehicleSecrets::generate(&mut rng, 3)).collect();
-        let both: Vec<VehicleSecrets> =
-            (0..500).map(|_| VehicleSecrets::generate(&mut rng, 3)).collect();
+        let l_only: Vec<VehicleSecrets> = (0..1000)
+            .map(|_| VehicleSecrets::generate(&mut rng, 3))
+            .collect();
+        let both: Vec<VehicleSecrets> = (0..500)
+            .map(|_| VehicleSecrets::generate(&mut rng, 3))
+            .collect();
         let mut records_l = Vec::new();
         let mut records_lp = Vec::new();
         for p in 0..5u32 {
@@ -304,7 +313,10 @@ mod tests {
             .estimate(&records_l, &records_lp)
             .expect("estimate");
         let rel = (est - 500.0).abs() / 500.0;
-        assert!(rel < 0.2, "estimate {est} should track the 500 true p2p vehicles");
+        assert!(
+            rel < 0.2,
+            "estimate {est} should track the 500 true p2p vehicles"
+        );
     }
 
     #[test]

@@ -90,7 +90,10 @@ impl SystemParams {
             "load factor must be positive, got {load_factor}"
         );
         assert!(num_representatives >= 1, "s must be at least 1");
-        Self { load_factor, num_representatives }
+        Self {
+            load_factor,
+            num_representatives,
+        }
     }
 
     /// The paper's recommended compromise: `f = 2`, `s = 3` ("we believe
@@ -143,7 +146,11 @@ mod tests {
             (451_000.0, 1_048_576), // L' in the same experiment
         ];
         for (volume, expected_m) in rows {
-            assert_eq!(params.bitmap_size(volume).get(), expected_m, "volume {volume}");
+            assert_eq!(
+                params.bitmap_size(volume).get(),
+                expected_m,
+                "volume {volume}"
+            );
         }
     }
 

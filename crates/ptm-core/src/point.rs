@@ -51,13 +51,21 @@ impl PointEstimator {
     ///   sampling noise dominates; larger `m` (higher `f`) avoids it.
     pub fn estimate(&self, records: &[TrafficRecord]) -> Result<f64, EstimateError> {
         if records.len() < 2 {
-            return Err(EstimateError::TooFewRecords { required: 2, actual: records.len() });
+            return Err(EstimateError::TooFewRecords {
+                required: 2,
+                actual: records.len(),
+            });
         }
         let location = records[0].location();
         if records.iter().any(|r| r.location() != location) {
             return Err(EstimateError::LocationMismatch);
         }
-        self.estimate_bitmaps(&records.iter().map(TrafficRecord::bitmap).collect::<Vec<_>>())
+        self.estimate_bitmaps(
+            &records
+                .iter()
+                .map(TrafficRecord::bitmap)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Estimates directly from bitmaps (no metadata checks); the building
@@ -71,7 +79,10 @@ impl PointEstimator {
         let _t = ptm_obs::span!("core.point.estimate");
         ptm_obs::counter!("core.point.ops").inc();
         if bitmaps.len() < 2 {
-            return Err(EstimateError::TooFewRecords { required: 2, actual: bitmaps.len() });
+            return Err(EstimateError::TooFewRecords {
+                required: 2,
+                actual: bitmaps.len(),
+            });
         }
         let (idx_a, idx_b) = self.split.split(bitmaps.len());
         let e_a = and_join(idx_a.iter().map(|&i| bitmaps[i]))?;
@@ -124,7 +135,10 @@ pub struct EstimateWithError {
 impl EstimateWithError {
     /// A symmetric `value ± z·std_error` interval.
     pub fn interval(&self, z: f64) -> (f64, f64) {
-        (self.value - z * self.std_error, self.value + z * self.std_error)
+        (
+            self.value - z * self.std_error,
+            self.value + z * self.std_error,
+        )
     }
 }
 
@@ -177,7 +191,10 @@ pub fn estimate_from_halves_with_error(
     let var = d_va * d_va * v_a0 * (1.0 - v_a0) / mf
         + d_vb * d_vb * v_b0 * (1.0 - v_b0) / mf
         + d_v1 * d_v1 * v_star1 * (1.0 - v_star1) / mf;
-    Ok(EstimateWithError { value, std_error: var.max(0.0).sqrt() })
+    Ok(EstimateWithError {
+        value,
+        std_error: var.max(0.0).sqrt(),
+    })
 }
 
 impl PointEstimator {
@@ -191,7 +208,10 @@ impl PointEstimator {
         records: &[TrafficRecord],
     ) -> Result<EstimateWithError, EstimateError> {
         if records.len() < 2 {
-            return Err(EstimateError::TooFewRecords { required: 2, actual: records.len() });
+            return Err(EstimateError::TooFewRecords {
+                required: 2,
+                actual: records.len(),
+            });
         }
         let location = records[0].location();
         if records.iter().any(|r| r.location() != location) {
@@ -235,7 +255,12 @@ impl NaiveAndEstimator {
         if records.iter().any(|r| r.location() != location) {
             return Err(EstimateError::LocationMismatch);
         }
-        self.estimate_bitmaps(&records.iter().map(TrafficRecord::bitmap).collect::<Vec<_>>())
+        self.estimate_bitmaps(
+            &records
+                .iter()
+                .map(TrafficRecord::bitmap)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Bitmap-level variant of [`NaiveAndEstimator::estimate`].
@@ -272,8 +297,9 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let location = LocationId::new(99);
         let size = BitmapSize::new(m).expect("pow2");
-        let commons: Vec<VehicleSecrets> =
-            (0..common).map(|_| VehicleSecrets::generate(&mut rng, 3)).collect();
+        let commons: Vec<VehicleSecrets> = (0..common)
+            .map(|_| VehicleSecrets::generate(&mut rng, 3))
+            .collect();
         (0..t)
             .map(|p| {
                 let mut record = TrafficRecord::new(location, PeriodId::new(p as u32), size);
@@ -332,8 +358,9 @@ mod tests {
         let scheme = EncodingScheme::new(0x5EED, 3);
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let location = LocationId::new(7);
-        let commons: Vec<VehicleSecrets> =
-            (0..500).map(|_| VehicleSecrets::generate(&mut rng, 3)).collect();
+        let commons: Vec<VehicleSecrets> = (0..500)
+            .map(|_| VehicleSecrets::generate(&mut rng, 3))
+            .collect();
         let sizes = [1 << 12, 1 << 13, 1 << 13, 1 << 13, 1 << 13];
         let records: Vec<TrafficRecord> = sizes
             .iter()
@@ -379,11 +406,17 @@ mod tests {
         let records = build_records(7, 1, 1 << 10, 10, 10);
         assert_eq!(
             PointEstimator::new().estimate(&records),
-            Err(EstimateError::TooFewRecords { required: 2, actual: 1 })
+            Err(EstimateError::TooFewRecords {
+                required: 2,
+                actual: 1
+            })
         );
         assert_eq!(
             PointEstimator::new().estimate(&[]),
-            Err(EstimateError::TooFewRecords { required: 2, actual: 0 })
+            Err(EstimateError::TooFewRecords {
+                required: 2,
+                actual: 0
+            })
         );
     }
 
@@ -437,7 +470,9 @@ mod tests {
     fn estimate_with_error_matches_point_estimate() {
         let records = build_records(20, 6, 1 << 13, 500, 2500);
         let plain = PointEstimator::new().estimate(&records).expect("estimate");
-        let with_err = PointEstimator::new().estimate_with_error(&records).expect("estimate");
+        let with_err = PointEstimator::new()
+            .estimate_with_error(&records)
+            .expect("estimate");
         assert_eq!(with_err.value, plain);
         assert!(with_err.std_error > 0.0);
         let (lo, hi) = with_err.interval(2.0);
@@ -453,7 +488,9 @@ mod tests {
         let mut predicted = Vec::new();
         for seed in 0..30u64 {
             let records = build_records(100 + seed, 4, 1 << 13, 600, 3000);
-            let e = PointEstimator::new().estimate_with_error(&records).expect("estimate");
+            let e = PointEstimator::new()
+                .estimate_with_error(&records)
+                .expect("estimate");
             estimates.push(e.value);
             predicted.push(e.std_error);
         }
@@ -477,7 +514,10 @@ mod tests {
             "prediction {mean_predicted} uselessly loose vs empirical {empirical_std}"
         );
         // And the estimates themselves track the truth.
-        assert!((mean_est - truth).abs() / truth < 0.05, "mean estimate {mean_est}");
+        assert!(
+            (mean_est - truth).abs() / truth < 0.05,
+            "mean estimate {mean_est}"
+        );
     }
 
     #[test]
@@ -485,14 +525,19 @@ mod tests {
         let records = build_records(21, 1, 1 << 10, 10, 10);
         assert_eq!(
             PointEstimator::new().estimate_with_error(&records),
-            Err(EstimateError::TooFewRecords { required: 2, actual: 1 })
+            Err(EstimateError::TooFewRecords {
+                required: 2,
+                actual: 1
+            })
         );
     }
 
     #[test]
     fn naive_estimator_on_single_record_is_plain_lpc() {
         let records = build_records(10, 1, 1 << 12, 0, 1500);
-        let naive = NaiveAndEstimator::new().estimate(&records).expect("estimate");
+        let naive = NaiveAndEstimator::new()
+            .estimate(&records)
+            .expect("estimate");
         let lpc = crate::lpc::estimate_cardinality(records[0].bitmap()).expect("lpc");
         assert_eq!(naive, lpc);
     }

@@ -53,7 +53,11 @@ pub struct TrafficRecord {
 impl TrafficRecord {
     /// Creates an empty record with a power-of-two bitmap of `size` bits.
     pub fn new(location: LocationId, period: PeriodId, size: BitmapSize) -> Self {
-        Self { location, period, bitmap: Bitmap::new(size.get()) }
+        Self {
+            location,
+            period,
+            bitmap: Bitmap::new(size.get()),
+        }
     }
 
     /// The RSU location this record was produced at.
@@ -205,7 +209,8 @@ mod tests {
         // the record is a bitmap plus metadata, nothing else.
         let scheme = EncodingScheme::new(11, 3);
         let mut rng = ChaCha8Rng::seed_from_u64(7);
-        let vehicle = VehicleSecrets::generate_with_id(&mut rng, VehicleId::new(0xDEAD_BEEF_CAFE), 3);
+        let vehicle =
+            VehicleSecrets::generate_with_id(&mut rng, VehicleId::new(0xDEAD_BEEF_CAFE), 3);
         let mut record = TrafficRecord::new(
             LocationId::new(1),
             PeriodId::new(0),
@@ -213,7 +218,10 @@ mod tests {
         );
         record.encode(&scheme, &vehicle);
         let json = serde_json::to_string(&record).expect("serialize");
-        assert!(!json.contains("DEAD"), "no identity material may leak into the record");
+        assert!(
+            !json.contains("DEAD"),
+            "no identity material may leak into the record"
+        );
         assert!(!json.contains(&vehicle.id().get().to_string()));
     }
 

@@ -133,12 +133,17 @@ impl TrustedAuthority {
 
     /// The root verification key to pre-install in vehicles.
     pub fn root(&self) -> RootKey {
-        RootKey { key: self.keys.public() }
+        RootKey {
+            key: self.keys.public(),
+        }
     }
 
     /// Issues a certificate (and key pair) for a new RSU.
     pub fn issue(&mut self, subject: &str) -> Credential {
-        self.subject_seed = self.subject_seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(1);
+        self.subject_seed = self
+            .subject_seed
+            .wrapping_mul(0x5851_f42d_4c95_7f2d)
+            .wrapping_add(1);
         let keys = KeyPair::from_seed(self.subject_seed);
         let serial = self.next_serial;
         self.next_serial += 1;
@@ -164,7 +169,10 @@ mod tests {
     fn issued_certificate_verifies() {
         let mut authority = TrustedAuthority::from_seed(42);
         let cred = authority.issue("rsu-main-street");
-        assert!(authority.root().verify_certificate(cred.certificate()).is_ok());
+        assert!(authority
+            .root()
+            .verify_certificate(cred.certificate())
+            .is_ok());
     }
 
     #[test]
@@ -172,7 +180,10 @@ mod tests {
         let mut genuine = TrustedAuthority::from_seed(1);
         let mut rogue = TrustedAuthority::from_seed(2);
         let rogue_cred = rogue.issue("rsu-fake");
-        assert!(genuine.root().verify_certificate(rogue_cred.certificate()).is_err());
+        assert!(genuine
+            .root()
+            .verify_certificate(rogue_cred.certificate())
+            .is_err());
         // And the genuine one still verifies under its own root.
         let ok = genuine.issue("rsu-real");
         assert!(genuine.root().verify_certificate(ok.certificate()).is_ok());
@@ -210,8 +221,16 @@ mod tests {
         let mut authority = TrustedAuthority::from_seed(6);
         let cred = authority.issue("rsu");
         let sig = cred.sign(b"beacon payload");
-        assert!(cred.certificate().subject_key().verify(b"beacon payload", &sig).is_ok());
-        assert!(cred.certificate().subject_key().verify(b"other", &sig).is_err());
+        assert!(cred
+            .certificate()
+            .subject_key()
+            .verify(b"beacon payload", &sig)
+            .is_ok());
+        assert!(cred
+            .certificate()
+            .subject_key()
+            .verify(b"other", &sig)
+            .is_err());
     }
 
     #[test]

@@ -27,7 +27,9 @@ pub struct SecretKey {
 impl std::fmt::Debug for SecretKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print secret material, even in debug logs.
-        f.debug_struct("SecretKey").field("x", &"<redacted>").finish()
+        f.debug_struct("SecretKey")
+            .field("x", &"<redacted>")
+            .finish()
     }
 }
 
@@ -99,8 +101,13 @@ impl KeyPair {
         let digest = Sha256::digest(&seed.to_le_bytes());
         let raw = u64::from_le_bytes(digest[..8].try_into().expect("8 bytes"));
         let x = 1 + raw % (group.q - 1);
-        let public = PublicKey { element: group.gen_pow(x) };
-        Self { secret: SecretKey { x }, public }
+        let public = PublicKey {
+            element: group.gen_pow(x),
+        };
+        Self {
+            secret: SecretKey { x },
+            public,
+        }
     }
 
     /// The public half.
@@ -118,8 +125,8 @@ impl KeyPair {
         let k = 1 + raw_k % (group.q - 1);
         let r = group.gen_pow(k);
         let e = challenge(group, r, self.public, message);
-        let s = (k as u128 + (e as u128 * self.secret.x as u128) % group.q as u128)
-            % group.q as u128;
+        let s =
+            (k as u128 + (e as u128 * self.secret.x as u128) % group.q as u128) % group.q as u128;
         Signature { e, s: s as u64 }
     }
 }
@@ -189,9 +196,15 @@ mod tests {
     fn tampered_signature_rejected() {
         let pair = KeyPair::from_seed(5);
         let sig = pair.sign(b"msg");
-        let tampered = Signature { e: sig.e ^ 1, s: sig.s };
+        let tampered = Signature {
+            e: sig.e ^ 1,
+            s: sig.s,
+        };
         assert!(pair.public().verify(b"msg", &tampered).is_err());
-        let tampered = Signature { e: sig.e, s: sig.s ^ 1 };
+        let tampered = Signature {
+            e: sig.e,
+            s: sig.s ^ 1,
+        };
         assert!(pair.public().verify(b"msg", &tampered).is_err());
     }
 
@@ -211,7 +224,9 @@ mod tests {
 
     #[test]
     fn distinct_seeds_distinct_keys() {
-        let keys: Vec<u64> = (0..100).map(|s| KeyPair::from_seed(s).public().element()).collect();
+        let keys: Vec<u64> = (0..100)
+            .map(|s| KeyPair::from_seed(s).public().element())
+            .collect();
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         sorted.dedup();

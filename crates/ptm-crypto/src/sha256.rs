@@ -56,7 +56,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Self { state: H0, buffer: [0u8; 64], buffered: 0, length: 0 }
+        Self {
+            state: H0,
+            buffer: [0u8; 64],
+            buffered: 0,
+            length: 0,
+        }
     }
 
     /// One-shot convenience: `Sha256::digest(msg)`.

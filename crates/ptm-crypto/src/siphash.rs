@@ -141,7 +141,10 @@ mod tests {
     #[test]
     fn hash_u64_matches_bytes() {
         let hasher = SipHash24::new(11, 22);
-        assert_eq!(hasher.hash_u64(0xdead_beef), hasher.hash(&0xdead_beefu64.to_le_bytes()));
+        assert_eq!(
+            hasher.hash_u64(0xdead_beef),
+            hasher.hash(&0xdead_beefu64.to_le_bytes())
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl StreamCipher {
     /// `nonce` must be unique per message under the same key; the V2I layer
     /// uses its per-message sequence number.
     pub fn new(key: &[u8], nonce: u64) -> Self {
-        Self { key: key.to_vec(), nonce }
+        Self {
+            key: key.to_vec(),
+            nonce,
+        }
     }
 
     /// XORs `data` with the keystream; applying twice round-trips.

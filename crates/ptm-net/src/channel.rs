@@ -22,7 +22,10 @@ pub struct ChannelModel {
 impl ChannelModel {
     /// A perfect channel: no loss, 100 µs delay.
     pub fn lossless() -> Self {
-        Self { loss_probability: 0.0, delay: SimDuration::from_micros(100) }
+        Self {
+            loss_probability: 0.0,
+            delay: SimDuration::from_micros(100),
+        }
     }
 
     /// A lossy channel with the given frame-loss probability.
@@ -35,7 +38,10 @@ impl ChannelModel {
             (0.0..=1.0).contains(&loss_probability),
             "loss probability must be in [0, 1]"
         );
-        Self { loss_probability, delay: SimDuration::from_micros(100) }
+        Self {
+            loss_probability,
+            delay: SimDuration::from_micros(100),
+        }
     }
 
     /// Samples one transmission: `Some(delay)` when the frame gets through,
@@ -85,7 +91,9 @@ mod tests {
     fn loss_rate_is_calibrated() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let ch = ChannelModel::with_loss(0.3);
-        let delivered = (0..100_000).filter(|_| ch.transmit(&mut rng).is_some()).count();
+        let delivered = (0..100_000)
+            .filter(|_| ch.transmit(&mut rng).is_some())
+            .count();
         let rate = delivered as f64 / 100_000.0;
         assert!((rate - 0.7).abs() < 0.01, "delivery rate {rate}");
     }

@@ -47,7 +47,10 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), next_seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Schedules `event` to fire at `at`.
@@ -59,7 +62,9 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|Reverse(entry)| (entry.at, entry.event))
+        self.heap
+            .pop()
+            .map(|Reverse(entry)| (entry.at, entry.event))
     }
 
     /// Timestamp of the earliest pending event.

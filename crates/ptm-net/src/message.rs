@@ -101,7 +101,13 @@ pub fn session_key(shared_secret: u64) -> [u8; 32] {
 }
 
 /// Computes the report integrity tag.
-pub fn report_tag(key: &[u8; 32], mac: TempMac, dh_public: u64, nonce: u64, ciphertext: &[u8]) -> [u8; 32] {
+pub fn report_tag(
+    key: &[u8; 32],
+    mac: TempMac,
+    dh_public: u64,
+    nonce: u64,
+    ciphertext: &[u8],
+) -> [u8; 32] {
     let mut data = Vec::with_capacity(6 + 16 + ciphertext.len());
     data.extend_from_slice(mac.as_bytes());
     data.extend_from_slice(&dh_public.to_le_bytes());

@@ -99,7 +99,11 @@ impl Obu {
             return Ok(None);
         }
 
-        let index = scheme.encode_index(&self.secrets, beacon.payload.location, beacon.payload.bitmap_size);
+        let index = scheme.encode_index(
+            &self.secrets,
+            beacon.payload.location,
+            beacon.payload.bitmap_size,
+        );
         let (a_secret, a_public) = message::dh_keypair(rng.gen());
         let key = message::session_key(message::dh_shared(beacon.payload.dh_public, a_secret));
         let nonce = rng.gen();
@@ -107,7 +111,13 @@ impl Obu {
         let mac = TempMac::random(rng);
         let tag = message::report_tag(&key, mac, a_public, nonce, &ciphertext);
         self.pending.insert(mac, contact);
-        Ok(Some(Report { mac, dh_public: a_public, nonce, ciphertext, tag }))
+        Ok(Some(Report {
+            mac,
+            dh_public: a_public,
+            nonce,
+            ciphertext,
+            tag,
+        }))
     }
 
     /// Handles an acknowledgement; returns whether it matched an
@@ -156,7 +166,12 @@ mod tests {
         let scheme = EncodingScheme::new(0x0B0, 3);
         let secrets = VehicleSecrets::generate(&mut rng, 3);
         let obu = Obu::new(secrets, authority.root());
-        Fixture { scheme, rsu, obu, rng }
+        Fixture {
+            scheme,
+            rsu,
+            obu,
+            rng,
+        }
     }
 
     #[test]
@@ -173,29 +188,49 @@ mod tests {
         assert!(fx.obu.completed(LocationId::new(9), PeriodId::new(0)));
 
         // The bit set at the RSU is exactly the vehicle's encoding index.
-        let expected = fx.scheme.encode_index(fx.obu.secrets(), LocationId::new(9), 2048);
+        let expected = fx
+            .scheme
+            .encode_index(fx.obu.secrets(), LocationId::new(9), 2048);
         let record = fx.rsu.finish_period(PeriodId::new(1), &mut fx.rng);
-        assert_eq!(record.bitmap().iter_ones().collect::<Vec<_>>(), vec![expected]);
+        assert_eq!(
+            record.bitmap().iter_ones().collect::<Vec<_>>(),
+            vec![expected]
+        );
     }
 
     #[test]
     fn completed_contact_stops_retransmitting() {
         let mut fx = fixture();
         let beacon = fx.rsu.beacon();
-        let report = fx.obu.handle_beacon(&fx.scheme, &beacon, &mut fx.rng).unwrap().unwrap();
+        let report = fx
+            .obu
+            .handle_beacon(&fx.scheme, &beacon, &mut fx.rng)
+            .unwrap()
+            .unwrap();
         let ack = fx.rsu.handle_report(&report).expect("valid");
         fx.obu.handle_ack(&ack);
         // Next beacon of the same period: nothing to send.
-        assert_eq!(fx.obu.handle_beacon(&fx.scheme, &beacon, &mut fx.rng), Ok(None));
+        assert_eq!(
+            fx.obu.handle_beacon(&fx.scheme, &beacon, &mut fx.rng),
+            Ok(None)
+        );
     }
 
     #[test]
     fn unacked_report_retries_with_fresh_mac() {
         let mut fx = fixture();
         let beacon = fx.rsu.beacon();
-        let first = fx.obu.handle_beacon(&fx.scheme, &beacon, &mut fx.rng).unwrap().unwrap();
+        let first = fx
+            .obu
+            .handle_beacon(&fx.scheme, &beacon, &mut fx.rng)
+            .unwrap()
+            .unwrap();
         // Pretend the report was lost; vehicle hears another beacon.
-        let second = fx.obu.handle_beacon(&fx.scheme, &beacon, &mut fx.rng).unwrap().unwrap();
+        let second = fx
+            .obu
+            .handle_beacon(&fx.scheme, &beacon, &mut fx.rng)
+            .unwrap()
+            .unwrap();
         assert_ne!(first.mac, second.mac, "one-time MACs must not repeat");
         assert_ne!(first.nonce, second.nonce);
         // Both decrypt to the same index at the RSU.
@@ -245,7 +280,11 @@ mod tests {
     fn new_period_triggers_new_report() {
         let mut fx = fixture();
         let beacon0 = fx.rsu.beacon();
-        let report0 = fx.obu.handle_beacon(&fx.scheme, &beacon0, &mut fx.rng).unwrap().unwrap();
+        let report0 = fx
+            .obu
+            .handle_beacon(&fx.scheme, &beacon0, &mut fx.rng)
+            .unwrap()
+            .unwrap();
         let ack0 = fx.rsu.handle_report(&report0).expect("valid");
         fx.obu.handle_ack(&ack0);
         let _ = fx.rsu.finish_period(PeriodId::new(1), &mut fx.rng);
@@ -262,7 +301,9 @@ mod tests {
     #[test]
     fn unknown_ack_ignored() {
         let mut fx = fixture();
-        let bogus = Ack { mac: TempMac::random(&mut fx.rng) };
+        let bogus = Ack {
+            mac: TempMac::random(&mut fx.rng),
+        };
         assert!(!fx.obu.handle_ack(&bogus));
     }
 }

@@ -82,7 +82,11 @@ impl Rsu {
             dh_public: self.dh_public,
         };
         let signature = self.credential.sign(&payload.signing_bytes());
-        Beacon { payload, certificate: self.credential.certificate().clone(), signature }
+        Beacon {
+            payload,
+            certificate: self.credential.certificate().clone(),
+            signature,
+        }
     }
 
     /// Processes a vehicle report: derives the session key from the DH
@@ -94,8 +98,13 @@ impl Rsu {
     pub fn handle_report(&mut self, report: &Report) -> Option<Ack> {
         let shared = message::dh_shared(report.dh_public, self.dh_secret);
         let key = message::session_key(shared);
-        let expected =
-            message::report_tag(&key, report.mac, report.dh_public, report.nonce, &report.ciphertext);
+        let expected = message::report_tag(
+            &key,
+            report.mac,
+            report.dh_public,
+            report.nonce,
+            &report.ciphertext,
+        );
         if expected != report.tag {
             self.rejected += 1;
             return None;
@@ -114,7 +123,11 @@ impl Rsu {
 
     /// Ends the period: returns the finished record and resets state for
     /// `next_period` with a fresh ephemeral DH key.
-    pub fn finish_period<R: Rng + ?Sized>(&mut self, next_period: PeriodId, rng: &mut R) -> TrafficRecord {
+    pub fn finish_period<R: Rng + ?Sized>(
+        &mut self,
+        next_period: PeriodId,
+        rng: &mut R,
+    ) -> TrafficRecord {
         let (dh_secret, dh_public) = message::dh_keypair(rng.gen());
         self.dh_secret = dh_secret;
         self.dh_public = dh_public;
@@ -156,7 +169,13 @@ mod tests {
         let ciphertext = message::encrypt_index(&key, nonce, index);
         let mac = TempMac::random(rng);
         let tag = message::report_tag(&key, mac, a_pub, nonce, &ciphertext);
-        Report { mac, dh_public: a_pub, nonce, ciphertext, tag }
+        Report {
+            mac,
+            dh_public: a_pub,
+            nonce,
+            ciphertext,
+            tag,
+        }
     }
 
     #[test]

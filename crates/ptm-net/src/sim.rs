@@ -65,11 +65,28 @@ pub struct SimStats {
 
 #[derive(Debug)]
 enum SimEvent {
-    BeaconTick { rsu: usize, period_end: SimTime },
-    Arrive { vehicle: usize, rsu: usize },
-    Depart { vehicle: usize, rsu: usize },
-    VehicleRx { vehicle: usize, rsu: usize, message: Message },
-    RsuRx { rsu: usize, vehicle: usize, message: Message },
+    BeaconTick {
+        rsu: usize,
+        period_end: SimTime,
+    },
+    Arrive {
+        vehicle: usize,
+        rsu: usize,
+    },
+    Depart {
+        vehicle: usize,
+        rsu: usize,
+    },
+    VehicleRx {
+        vehicle: usize,
+        rsu: usize,
+        message: Message,
+    },
+    RsuRx {
+        rsu: usize,
+        vehicle: usize,
+        message: Message,
+    },
 }
 
 /// A scheduled vehicle pass within the next period.
@@ -148,7 +165,13 @@ impl V2iSimulator {
     pub fn add_rogue_rsu(&mut self, location: LocationId, size: BitmapSize) -> usize {
         let mut rogue_authority = TrustedAuthority::from_seed(self.rng.gen());
         let credential = rogue_authority.issue(&format!("rogue-{}", location.get()));
-        self.rsus.push(Rsu::new(credential, location, size, PeriodId::new(0), &mut self.rng));
+        self.rsus.push(Rsu::new(
+            credential,
+            location,
+            size,
+            PeriodId::new(0),
+            &mut self.rng,
+        ));
         self.in_range.push(HashSet::new());
         self.rsus.len() - 1
     }
@@ -180,7 +203,11 @@ impl V2iSimulator {
             offset <= self.config.period_length,
             "pass offset beyond the period length"
         );
-        self.pending.push(PendingPass { vehicle, rsu, offset });
+        self.pending.push(PendingPass {
+            vehicle,
+            rsu,
+            offset,
+        });
     }
 
     /// Runs one full measurement period: drains all scheduled passes and
@@ -200,7 +227,13 @@ impl V2iSimulator {
         // Re-arm the RSUs for this period id (they were initialised with
         // period 0; finish_period below realigns subsequent ones).
         for rsu in 0..self.rsus.len() {
-            self.queue.schedule(start, SimEvent::BeaconTick { rsu, period_end: end });
+            self.queue.schedule(
+                start,
+                SimEvent::BeaconTick {
+                    rsu,
+                    period_end: end,
+                },
+            );
         }
         let passes = std::mem::take(&mut self.pending);
         for pass in passes {
@@ -209,7 +242,10 @@ impl V2iSimulator {
                 .record(self.rsus[pass.rsu].location(), period, vehicle_id);
             self.queue.schedule(
                 start + pass.offset,
-                SimEvent::Arrive { vehicle: pass.vehicle, rsu: pass.rsu },
+                SimEvent::Arrive {
+                    vehicle: pass.vehicle,
+                    rsu: pass.rsu,
+                },
             );
         }
 
@@ -281,18 +317,25 @@ impl V2iSimulator {
                 }
                 let next = self.now + self.config.beacon_interval;
                 if next < period_end {
-                    self.queue.schedule(next, SimEvent::BeaconTick { rsu, period_end });
+                    self.queue
+                        .schedule(next, SimEvent::BeaconTick { rsu, period_end });
                 }
             }
             SimEvent::Arrive { vehicle, rsu } => {
                 self.in_range[rsu].insert(vehicle);
-                self.queue
-                    .schedule(self.now + self.config.dwell_time, SimEvent::Depart { vehicle, rsu });
+                self.queue.schedule(
+                    self.now + self.config.dwell_time,
+                    SimEvent::Depart { vehicle, rsu },
+                );
             }
             SimEvent::Depart { vehicle, rsu } => {
                 self.in_range[rsu].remove(&vehicle);
             }
-            SimEvent::VehicleRx { vehicle, rsu, message } => match message {
+            SimEvent::VehicleRx {
+                vehicle,
+                rsu,
+                message,
+            } => match message {
                 Message::Beacon(beacon) => {
                     if let Ok(Some(report)) =
                         self.obus[vehicle].handle_beacon(&self.scheme, &beacon, &mut self.rng)
@@ -303,7 +346,11 @@ impl V2iSimulator {
                         match self.config.channel.transmit(&mut self.rng) {
                             Some(delay) => self.queue.schedule(
                                 self.now + delay,
-                                SimEvent::RsuRx { rsu, vehicle, message: Message::Report(report) },
+                                SimEvent::RsuRx {
+                                    rsu,
+                                    vehicle,
+                                    message: Message::Report(report),
+                                },
                             ),
                             None => self.stats.frames_lost += 1,
                         }
@@ -316,7 +363,11 @@ impl V2iSimulator {
                 }
                 Message::Report(_) => {} // vehicles never receive reports
             },
-            SimEvent::RsuRx { rsu, vehicle, message } => {
+            SimEvent::RsuRx {
+                rsu,
+                vehicle,
+                message,
+            } => {
                 if let Message::Report(report) = message {
                     if let Some(ack) = self.rsus[rsu].handle_report(&report) {
                         self.stats.reports_accepted += 1;
@@ -326,7 +377,11 @@ impl V2iSimulator {
                             match self.config.channel.transmit(&mut self.rng) {
                                 Some(delay) => self.queue.schedule(
                                     self.now + delay,
-                                    SimEvent::VehicleRx { vehicle, rsu, message: Message::Ack(ack) },
+                                    SimEvent::VehicleRx {
+                                        vehicle,
+                                        rsu,
+                                        message: Message::Ack(ack),
+                                    },
                                 ),
                                 None => self.stats.frames_lost += 1,
                             }
@@ -379,7 +434,12 @@ mod tests {
     fn specs(ms: &[usize]) -> Vec<(LocationId, BitmapSize)> {
         ms.iter()
             .enumerate()
-            .map(|(i, &m)| (LocationId::new(i as u64 + 1), BitmapSize::new(m).expect("pow2")))
+            .map(|(i, &m)| {
+                (
+                    LocationId::new(i as u64 + 1),
+                    BitmapSize::new(m).expect("pow2"),
+                )
+            })
             .collect()
     }
 
@@ -396,9 +456,17 @@ mod tests {
         sim.run_period(PeriodId::new(0)).expect("period runs");
 
         let location = LocationId::new(1);
-        let record = sim.server().record(location, PeriodId::new(0)).expect("uploaded");
-        let expected = sim.scheme().encode_index(sim.vehicle_secrets(v), location, 1024);
-        assert_eq!(record.bitmap().iter_ones().collect::<Vec<_>>(), vec![expected]);
+        let record = sim
+            .server()
+            .record(location, PeriodId::new(0))
+            .expect("uploaded");
+        let expected = sim
+            .scheme()
+            .encode_index(sim.vehicle_secrets(v), location, 1024);
+        assert_eq!(
+            record.bitmap().iter_ones().collect::<Vec<_>>(),
+            vec![expected]
+        );
         assert_eq!(sim.stats().reports_accepted, 1);
         assert!(sim.stats().acks_delivered >= 1);
     }
@@ -418,9 +486,14 @@ mod tests {
         sim.run_period(PeriodId::new(0)).expect("period runs");
         // Every vehicle's bit must be set — compare to direct encoding.
         let location = LocationId::new(1);
-        let record = sim.server().record(location, PeriodId::new(0)).expect("uploaded");
+        let record = sim
+            .server()
+            .record(location, PeriodId::new(0))
+            .expect("uploaded");
         for &v in &vehicles {
-            let idx = sim.scheme().encode_index(sim.vehicle_secrets(v), location, 4096);
+            let idx = sim
+                .scheme()
+                .encode_index(sim.vehicle_secrets(v), location, 4096);
             assert!(record.bitmap().get(idx), "vehicle {v} missing");
         }
         assert_eq!(sim.presence().present(location, PeriodId::new(0)), 200);
@@ -433,8 +506,7 @@ mod tests {
             dwell_time: SimDuration::from_secs(20),
             ..SimConfig::default()
         };
-        let mut sim =
-            V2iSimulator::new(config, EncodingScheme::new(44, 3), &specs(&[1024]), 9);
+        let mut sim = V2iSimulator::new(config, EncodingScheme::new(44, 3), &specs(&[1024]), 9);
         let vehicles: Vec<usize> = (0..50).map(|_| sim.add_vehicle()).collect();
         for &v in &vehicles {
             sim.schedule_pass(v, 0, SimDuration::from_secs(1));
@@ -443,19 +515,29 @@ mod tests {
         // 20 s dwell at 1 beacon/s and 50% loss: each vehicle effectively
         // gets ~20 attempts; all should land.
         let location = LocationId::new(1);
-        let record = sim.server().record(location, PeriodId::new(0)).expect("uploaded");
+        let record = sim
+            .server()
+            .record(location, PeriodId::new(0))
+            .expect("uploaded");
         for &v in &vehicles {
-            let idx = sim.scheme().encode_index(sim.vehicle_secrets(v), location, 1024);
+            let idx = sim
+                .scheme()
+                .encode_index(sim.vehicle_secrets(v), location, 1024);
             assert!(record.bitmap().get(idx), "vehicle {v} lost despite retries");
         }
-        assert!(sim.stats().frames_lost > 0, "channel was supposed to drop frames");
+        assert!(
+            sim.stats().frames_lost > 0,
+            "channel was supposed to drop frames"
+        );
     }
 
     #[test]
     fn total_loss_records_nothing() {
-        let config = SimConfig { channel: ChannelModel::with_loss(1.0), ..SimConfig::default() };
-        let mut sim =
-            V2iSimulator::new(config, EncodingScheme::new(45, 3), &specs(&[1024]), 10);
+        let config = SimConfig {
+            channel: ChannelModel::with_loss(1.0),
+            ..SimConfig::default()
+        };
+        let mut sim = V2iSimulator::new(config, EncodingScheme::new(45, 3), &specs(&[1024]), 10);
         let v = sim.add_vehicle();
         sim.schedule_pass(v, 0, SimDuration::from_secs(1));
         sim.run_period(PeriodId::new(0)).expect("period runs");
@@ -465,7 +547,10 @@ mod tests {
             .expect("uploaded even when empty");
         assert_eq!(record.bitmap().count_ones(), 0);
         // Ground truth still knows the vehicle physically passed.
-        assert_eq!(sim.presence().present(LocationId::new(1), PeriodId::new(0)), 1);
+        assert_eq!(
+            sim.presence().present(LocationId::new(1), PeriodId::new(0)),
+            1
+        );
     }
 
     #[test]
@@ -496,7 +581,10 @@ mod tests {
             .server()
             .estimate_point_persistent(location, &periods)
             .expect("estimate");
-        assert!((est - 100.0).abs() / 100.0 < 0.3, "estimate {est} vs truth 100");
+        assert!(
+            (est - 100.0).abs() / 100.0 < 0.3,
+            "estimate {est} vs truth 100"
+        );
     }
 
     #[test]
@@ -526,8 +614,14 @@ mod tests {
         }
         let (a, b) = (LocationId::new(1), LocationId::new(2));
         assert_eq!(sim.presence().p2p_persistent(a, b, &periods), 120);
-        let est = sim.server().estimate_p2p_persistent(a, b, &periods).expect("estimate");
-        assert!((est - 120.0).abs() / 120.0 < 0.4, "estimate {est} vs truth 120");
+        let est = sim
+            .server()
+            .estimate_p2p_persistent(a, b, &periods)
+            .expect("estimate");
+        assert!(
+            (est - 120.0).abs() / 120.0 < 0.4,
+            "estimate {est} vs truth 120"
+        );
     }
 
     #[test]
@@ -545,10 +639,15 @@ mod tests {
             sim.schedule_pass(v, rogue, SimDuration::from_secs(1));
         }
         sim.run_period(PeriodId::new(0)).expect("period runs");
-        let genuine = sim.server().record(LocationId::new(1), PeriodId::new(0)).expect("uploaded");
+        let genuine = sim
+            .server()
+            .record(LocationId::new(1), PeriodId::new(0))
+            .expect("uploaded");
         assert!(genuine.bitmap().count_ones() > 0);
-        let rogue_record =
-            sim.server().record(LocationId::new(666), PeriodId::new(0)).expect("uploaded");
+        let rogue_record = sim
+            .server()
+            .record(LocationId::new(666), PeriodId::new(0))
+            .expect("uploaded");
         assert_eq!(
             rogue_record.bitmap().count_ones(),
             0,

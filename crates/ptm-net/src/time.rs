@@ -4,11 +4,15 @@ use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Sub};
 
 /// An instant in simulation time (microseconds since the simulation epoch).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulation time in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -152,7 +156,10 @@ mod tests {
 
     #[test]
     fn saturating_mul() {
-        assert_eq!(SimDuration::from_secs(2).saturating_mul(3), SimDuration::from_secs(6));
+        assert_eq!(
+            SimDuration::from_secs(2).saturating_mul(3),
+            SimDuration::from_secs(6)
+        );
         assert_eq!(
             SimDuration::from_micros(u64::MAX).saturating_mul(2),
             SimDuration::from_micros(u64::MAX)

@@ -77,15 +77,21 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn finish(&self) -> Result<(), WireError> {
@@ -167,7 +173,12 @@ pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
                 .to_owned();
             let signature = signature_from_parts(r.u64()?, r.u64()?);
             Message::Beacon(Beacon {
-                payload: BeaconPayload { location, bitmap_size, period, dh_public },
+                payload: BeaconPayload {
+                    location,
+                    bitmap_size,
+                    period,
+                    dh_public,
+                },
                 certificate: Certificate::from_wire_parts(subject, subject_key, serial, cert_sig),
                 signature,
             })
@@ -182,7 +193,13 @@ pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
             }
             let ciphertext = r.take(ct_len)?.to_vec();
             let tag: [u8; 32] = r.take(32)?.try_into().expect("32 bytes");
-            Message::Report(Report { mac, dh_public, nonce, ciphertext, tag })
+            Message::Report(Report {
+                mac,
+                dh_public,
+                nonce,
+                ciphertext,
+                tag,
+            })
         }
         3 => {
             let mac = TempMac::from_bytes(r.take(6)?.try_into().expect("6 bytes"));
@@ -276,7 +293,9 @@ mod tests {
         for msg in [
             Message::Beacon(sample_beacon()),
             Message::Report(sample_report()),
-            Message::Ack(Ack { mac: sample_report().mac }),
+            Message::Ack(Ack {
+                mac: sample_report().mac,
+            }),
         ] {
             let bytes = encode(&msg);
             for cut in 0..bytes.len() {
@@ -291,7 +310,9 @@ mod tests {
 
     #[test]
     fn trailing_bytes_detected() {
-        let mut bytes = encode(&Message::Ack(Ack { mac: sample_report().mac }));
+        let mut bytes = encode(&Message::Ack(Ack {
+            mac: sample_report().mac,
+        }));
         bytes.push(0xFF);
         assert_eq!(decode(&bytes), Err(WireError::TrailingBytes(1)));
     }
@@ -320,7 +341,9 @@ mod tests {
         // (+ ack). Keep the report frame under 100 bytes.
         let report_len = wire_len(&Message::Report(sample_report()));
         assert!(report_len < 100, "report frame is {report_len} bytes");
-        let ack_len = wire_len(&Message::Ack(Ack { mac: sample_report().mac }));
+        let ack_len = wire_len(&Message::Ack(Ack {
+            mac: sample_report().mac,
+        }));
         assert_eq!(ack_len, 7);
     }
 }

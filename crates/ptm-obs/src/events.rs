@@ -290,10 +290,7 @@ pub fn emit(level: Level, target: &str, message: &str, fields: &[(&str, FieldVal
         }
     }
     line.push('\n');
-    let mut writer = s
-        .writer
-        .lock()
-        .unwrap_or_else(|poison| poison.into_inner());
+    let mut writer = s.writer.lock().unwrap_or_else(|poison| poison.into_inner());
     // Logging must never take the process down; a broken pipe on stderr is
     // the reader's problem.
     let _ = writer.write_all(line.as_bytes());
@@ -352,7 +349,10 @@ mod tests {
         assert_eq!(parse_spec(Some("json")), (Level::Info as u8, true));
         assert_eq!(parse_spec(Some("trace,json")), (Level::Trace as u8, true));
         assert_eq!(parse_spec(Some("off")), (0, false));
-        assert_eq!(parse_spec(Some("WARN , Pretty")), (Level::Warn as u8, false));
+        assert_eq!(
+            parse_spec(Some("WARN , Pretty")),
+            (Level::Warn as u8, false)
+        );
         assert_eq!(parse_spec(Some("nonsense")), (Level::Info as u8, false));
     }
 
@@ -376,7 +376,10 @@ mod tests {
             crate::debug!("test.json", "with \"quotes\""; ratio = 0.5, name = "x");
         });
         let line = out.lines().next().expect("one line");
-        assert!(line.starts_with('{') && line.ends_with('}'), "not JSON: {line}");
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not JSON: {line}"
+        );
         assert!(line.contains("\"level\": \"debug\""));
         assert!(line.contains("\"target\": \"test.json\""));
         assert!(line.contains("\"message\": \"with \\\"quotes\\\"\""));

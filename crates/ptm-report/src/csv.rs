@@ -37,7 +37,10 @@ impl CsvWriter {
         match self.columns {
             None => self.columns = Some(count),
             Some(expected) => {
-                assert_eq!(count, expected, "row has {count} fields, expected {expected}")
+                assert_eq!(
+                    count, expected,
+                    "row has {count} fields, expected {expected}"
+                )
             }
         }
         self.buffer.push('\n');
@@ -89,7 +92,10 @@ mod tests {
     fn quoting() {
         let mut w = CsvWriter::new();
         w.write_row(["has,comma", "has\"quote", "has\nnewline"]);
-        assert_eq!(w.as_str(), "\"has,comma\",\"has\"\"quote\",\"has\nnewline\"\n");
+        assert_eq!(
+            w.as_str(),
+            "\"has,comma\",\"has\"\"quote\",\"has\nnewline\"\n"
+        );
     }
 
     #[test]

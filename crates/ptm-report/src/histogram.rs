@@ -19,8 +19,18 @@ impl Histogram {
     /// Panics if `bins` is zero or the range is empty/non-finite.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins >= 1, "need at least one bin");
-        assert!(lo.is_finite() && hi.is_finite() && hi > lo, "bad range [{lo}, {hi})");
-        Self { lo, hi, counts: vec![0; bins], overflow: 0, underflow: 0, total: 0 }
+        assert!(
+            lo.is_finite() && hi.is_finite() && hi > lo,
+            "bad range [{lo}, {hi})"
+        );
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            overflow: 0,
+            underflow: 0,
+            total: 0,
+        }
     }
 
     /// Builds a histogram spanning the sample range.
@@ -34,7 +44,11 @@ impl Histogram {
         let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         assert!(lo.is_finite() && hi.is_finite(), "non-finite samples");
         // Widen degenerate ranges so every value lands in a bin.
-        let (lo, hi) = if hi > lo { (lo, hi + (hi - lo) * 1e-9) } else { (lo - 0.5, hi + 0.5) };
+        let (lo, hi) = if hi > lo {
+            (lo, hi + (hi - lo) * 1e-9)
+        } else {
+            (lo - 0.5, hi + 0.5)
+        };
         let mut h = Self::new(lo, hi, bins);
         for &v in samples {
             h.add(v);

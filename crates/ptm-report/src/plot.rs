@@ -18,7 +18,11 @@ pub struct Series {
 impl Series {
     /// Creates a series.
     pub fn new(label: impl Into<String>, glyph: char, points: Vec<(f64, f64)>) -> Self {
-        Self { label: label.into(), glyph, points }
+        Self {
+            label: label.into(),
+            glyph,
+            points,
+        }
     }
 }
 
@@ -36,7 +40,11 @@ pub struct Plot {
 
 impl Plot {
     /// Creates a plot with the given title and axis labels.
-    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
         Self {
             title: title.into(),
             x_label: x_label.into(),
@@ -105,7 +113,10 @@ impl Plot {
         let to_cell = |x: f64, y: f64| -> (usize, usize) {
             let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
             let cy = ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
-            (cx.min(self.width - 1), self.height - 1 - cy.min(self.height - 1))
+            (
+                cx.min(self.width - 1),
+                self.height - 1 - cy.min(self.height - 1),
+            )
         };
         if self.diagonal {
             for i in 0..self.width.max(self.height) * 2 {
@@ -127,7 +138,10 @@ impl Plot {
         let mut out = String::new();
         out.push_str(&self.title);
         out.push('\n');
-        out.push_str(&format!("{} (vertical), range [{:.4}, {:.4}]\n", self.y_label, y_min, y_max));
+        out.push_str(&format!(
+            "{} (vertical), range [{:.4}, {:.4}]\n",
+            self.y_label, y_min, y_max
+        ));
         for row in &grid {
             out.push('|');
             out.extend(row.iter());
@@ -136,7 +150,10 @@ impl Plot {
         out.push('+');
         out.extend(std::iter::repeat_n('-', self.width));
         out.push('\n');
-        out.push_str(&format!("{} (horizontal), range [{:.4}, {:.4}]\n", self.x_label, x_min, x_max));
+        out.push_str(&format!(
+            "{} (horizontal), range [{:.4}, {:.4}]\n",
+            self.x_label, x_min, x_max
+        ));
         for series in &self.series {
             out.push_str(&format!("  {} {}\n", series.glyph, series.label));
         }
@@ -148,7 +165,9 @@ impl Plot {
 }
 
 fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
-    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)))
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
 }
 
 #[cfg(test)]
@@ -157,9 +176,11 @@ mod tests {
 
     #[test]
     fn renders_points() {
-        let plot = Plot::new("demo", "x", "y")
-            .size(20, 10)
-            .series(Series::new("data", '*', vec![(0.0, 0.0), (1.0, 1.0)]));
+        let plot = Plot::new("demo", "x", "y").size(20, 10).series(Series::new(
+            "data",
+            '*',
+            vec![(0.0, 0.0), (1.0, 1.0)],
+        ));
         let text = plot.render();
         assert!(text.contains('*'));
         assert!(text.contains("demo"));
@@ -195,18 +216,22 @@ mod tests {
 
     #[test]
     fn constant_series_does_not_divide_by_zero() {
-        let plot = Plot::new("flat", "x", "y")
-            .size(10, 8)
-            .series(Series::new("c", 'c', vec![(5.0, 2.0), (5.0, 2.0)]));
+        let plot = Plot::new("flat", "x", "y").size(10, 8).series(Series::new(
+            "c",
+            'c',
+            vec![(5.0, 2.0), (5.0, 2.0)],
+        ));
         let text = plot.render();
         assert!(text.contains('c'));
     }
 
     #[test]
     fn non_finite_points_skipped() {
-        let plot = Plot::new("nan", "x", "y")
-            .size(10, 8)
-            .series(Series::new("n", 'n', vec![(f64::NAN, 1.0), (1.0, 2.0)]));
+        let plot = Plot::new("nan", "x", "y").size(10, 8).series(Series::new(
+            "n",
+            'n',
+            vec![(f64::NAN, 1.0), (1.0, 2.0)],
+        ));
         let text = plot.render();
         assert!(text.contains('n'));
     }

@@ -37,7 +37,11 @@ impl TextTable {
         if let Some(first) = aligns.first_mut() {
             *first = Align::Left;
         }
-        Self { header, rows: Vec::new(), aligns }
+        Self {
+            header,
+            rows: Vec::new(),
+            aligns,
+        }
     }
 
     /// Overrides the per-column alignment.

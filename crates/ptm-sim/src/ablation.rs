@@ -54,7 +54,10 @@ pub fn split_strategy(t: usize, runs: usize, threads: usize, seed: u64) -> Split
         let volumes: Vec<u64> = (0..t)
             .map(|j| 3000 + (6000 * j as u64) / (t.max(2) as u64 - 1))
             .collect();
-        let scenario = PointScenario { volumes, persistent: 600 };
+        let scenario = PointScenario {
+            volumes,
+            persistent: 600,
+        };
         let records = build_point_records(&scheme, &params, &scenario, location, &mut rng);
         let halves = PointEstimator::with_split(SplitStrategy::Halves)
             .estimate(&records)
@@ -107,8 +110,9 @@ pub fn tradeoff_frontier(
                 let point_sc = PointScenario::synthetic(&mut rng, t, 0.2);
                 let records =
                     build_point_records(&scheme, &params, &point_sc, LocationId::new(1), &mut rng);
-                let point_est =
-                    PointEstimator::new().estimate(&records).expect("no saturation for f >= 1");
+                let point_est = PointEstimator::new()
+                    .estimate(&records)
+                    .expect("no saturation for f >= 1");
                 let p2p_sc = P2pScenario::synthetic(&mut rng, t, 0.2);
                 let p2p_records = build_p2p_records(
                     &scheme,
@@ -149,7 +153,13 @@ pub struct SSweepPoint {
 }
 
 /// Accuracy cost of the representative count `s` (p2p estimation, f = 2).
-pub fn s_sweep(s_values: &[u32], t: usize, runs: usize, threads: usize, seed: u64) -> Vec<SSweepPoint> {
+pub fn s_sweep(
+    s_values: &[u32],
+    t: usize,
+    runs: usize,
+    threads: usize,
+    seed: u64,
+) -> Vec<SSweepPoint> {
     s_values
         .iter()
         .map(|&s| {
@@ -212,10 +222,11 @@ pub fn sizing_policy(t: usize, runs: usize, threads: usize, seed: u64) -> Sizing
             // Same scenario and seed for both policies.
             let mut rng = ChaCha12Rng::seed_from_u64(s);
             let scenario = PointScenario::synthetic(&mut rng, t, 0.1);
-            let records = build_point_records_with(
-                &scheme, &params, &scenario, location, policy, &mut rng,
-            );
-            let est = PointEstimator::new().estimate(&records).expect("no saturation");
+            let records =
+                build_point_records_with(&scheme, &params, &scenario, location, policy, &mut rng);
+            let est = PointEstimator::new()
+                .estimate(&records)
+                .expect("no saturation");
             errs[slot] = stats::relative_error(scenario.persistent as f64, est);
         }
         errs
@@ -263,7 +274,10 @@ pub fn kway_sweep(
                     .expect("no saturation at f = 2");
                 stats::relative_error(scenario.persistent as f64, est)
             });
-            KwayPoint { k, rel_err: mean(&trials) }
+            KwayPoint {
+                k,
+                rel_err: mean(&trials),
+            }
         })
         .collect()
 }
@@ -321,7 +335,12 @@ pub fn loss_sensitivity(losses: &[f64], seed: u64) -> Vec<LossPoint> {
                 .estimate_point_persistent(location, &periods)
                 .unwrap_or(0.0);
             let capture_rate = sim.stats().reports_accepted.min(passes) as f64 / passes as f64;
-            LossPoint { loss, truth, estimate, capture_rate }
+            LossPoint {
+                loss,
+                truth,
+                estimate,
+                capture_rate,
+            }
         })
         .collect()
 }
@@ -334,7 +353,11 @@ mod tests {
     fn split_ablation_both_strategies_work() {
         let result = split_strategy(6, 6, 1, 11);
         assert!(result.halves < 0.2, "halves error {}", result.halves);
-        assert!(result.interleaved < 0.2, "interleaved error {}", result.interleaved);
+        assert!(
+            result.interleaved < 0.2,
+            "interleaved error {}",
+            result.interleaved
+        );
     }
 
     #[test]
@@ -365,7 +388,11 @@ mod tests {
     #[test]
     fn sizing_policy_campaign_mean_is_tighter() {
         let result = sizing_policy(5, 8, 1, 21);
-        assert!(result.per_period < 0.6, "per-period error {}", result.per_period);
+        assert!(
+            result.per_period < 0.6,
+            "per-period error {}",
+            result.per_period
+        );
         assert!(
             result.campaign_mean <= result.per_period,
             "campaign-mean {} should not exceed per-period {}",

@@ -8,8 +8,8 @@
 
 use crate::runner::run_trials;
 use crate::stats::{bootstrap_mean_ci, mean, std_dev};
-use crate::workload::{build_p2p_records, build_point_records};
 use crate::trial_seed;
+use crate::workload::{build_p2p_records, build_point_records};
 use ptm_core::encoding::{EncodingScheme, LocationId};
 use ptm_core::p2p::PointToPointEstimator;
 use ptm_core::params::SystemParams;
@@ -100,7 +100,9 @@ pub fn run(config: &DistributionConfig) -> DistributionResult {
                     LocationId::new(1),
                     &mut rng,
                 );
-                let est = PointEstimator::new().estimate(&records).expect("no saturation");
+                let est = PointEstimator::new()
+                    .estimate(&records)
+                    .expect("no saturation");
                 (est - scenario.persistent as f64) / scenario.persistent as f64
             }
             Target::PointToPoint => {
@@ -124,7 +126,13 @@ pub fn run(config: &DistributionConfig) -> DistributionResult {
     let bias = mean(&signed_errors);
     let sd = std_dev(&signed_errors);
     let bias_ci = bootstrap_mean_ci(&signed_errors, 0.95, 1_000, config.seed ^ 0xB007);
-    DistributionResult { config: config.clone(), signed_errors, bias, std_dev: sd, bias_ci }
+    DistributionResult {
+        config: config.clone(),
+        signed_errors,
+        bias,
+        std_dev: sd,
+        bias_ci,
+    }
 }
 
 /// Renders the histogram plus the summary line.
@@ -150,7 +158,12 @@ mod tests {
     use super::*;
 
     fn small(target: Target) -> DistributionConfig {
-        DistributionConfig { runs: 40, threads: 1, seed: 3, ..DistributionConfig::paper(target) }
+        DistributionConfig {
+            runs: 40,
+            threads: 1,
+            seed: 3,
+            ..DistributionConfig::paper(target)
+        }
     }
 
     #[test]
@@ -176,7 +189,10 @@ mod tests {
 
     #[test]
     fn render_mentions_bias_and_histogram() {
-        let result = run(&DistributionConfig { runs: 20, ..small(Target::Point) });
+        let result = run(&DistributionConfig {
+            runs: 20,
+            ..small(Target::Point)
+        });
         let text = render(&result);
         assert!(text.contains("bias"));
         assert!(text.contains('#'));

@@ -94,7 +94,8 @@ pub fn run(config: &Fig4Config) -> Fig4Panel {
             let trials = run_trials(config.runs_per_point, config.threads, |run_idx| {
                 let seed = trial_seed(config.seed, &[config.t as u64, key, run_idx as u64]);
                 let mut rng = ChaCha12Rng::seed_from_u64(seed);
-                let scheme = EncodingScheme::new(seed ^ 0xF1C4, config.params.num_representatives());
+                let scheme =
+                    EncodingScheme::new(seed ^ 0xF1C4, config.params.num_representatives());
                 let scenario = PointScenario::synthetic(&mut rng, config.t, fraction);
                 // A zero persistent core cannot produce a relative error;
                 // the smallest swept fraction keeps it positive.
@@ -127,17 +128,29 @@ pub fn run(config: &Fig4Config) -> Fig4Panel {
             }
         })
         .collect();
-    Fig4Panel { config: config.clone(), points }
+    Fig4Panel {
+        config: config.clone(),
+        points,
+    }
 }
 
 /// Renders a panel as an ASCII plot plus CSV.
 pub fn render(panel: &Fig4Panel) -> String {
-    let proposed: Vec<(f64, f64)> =
-        panel.points.iter().map(|p| (p.actual_volume, p.proposed)).collect();
-    let benchmark: Vec<(f64, f64)> =
-        panel.points.iter().map(|p| (p.actual_volume, p.benchmark)).collect();
+    let proposed: Vec<(f64, f64)> = panel
+        .points
+        .iter()
+        .map(|p| (p.actual_volume, p.proposed))
+        .collect();
+    let benchmark: Vec<(f64, f64)> = panel
+        .points
+        .iter()
+        .map(|p| (p.actual_volume, p.benchmark))
+        .collect();
     let plot = ptm_report::Plot::new(
-        format!("Fig. 4 (t = {}): relative error vs persistent volume", panel.config.t),
+        format!(
+            "Fig. 4 (t = {}): relative error vs persistent volume",
+            panel.config.t
+        ),
         "actual persistent traffic volume",
         "relative error",
     )
@@ -149,7 +162,12 @@ pub fn render(panel: &Fig4Panel) -> String {
 /// Serializes a panel as CSV (`fraction,actual,proposed,benchmark`).
 pub fn to_csv(panel: &Fig4Panel) -> String {
     let mut w = ptm_report::csv::CsvWriter::new();
-    w.write_row(["fraction", "actual_volume", "proposed_rel_err", "benchmark_rel_err"]);
+    w.write_row([
+        "fraction",
+        "actual_volume",
+        "proposed_rel_err",
+        "benchmark_rel_err",
+    ]);
     for p in &panel.points {
         w.write_row([
             p.fraction.to_string(),

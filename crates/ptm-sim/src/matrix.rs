@@ -122,7 +122,10 @@ pub fn run(config: &MatrixConfig) -> MatrixResult {
             rel_err: stats::relative_error(scenario.persistent as f64, estimate),
         }
     });
-    MatrixResult { config: config.clone(), cells }
+    MatrixResult {
+        config: config.clone(),
+        cells,
+    }
 }
 
 /// Renders a summary: aggregate accuracy plus the heaviest corridors.
@@ -133,7 +136,10 @@ pub fn render(result: &MatrixResult) -> String {
         result.config.t,
         result.config.scale
     );
-    out.push_str(&format!("mean relative error: {:.4}\n", result.mean_rel_err()));
+    out.push_str(&format!(
+        "mean relative error: {:.4}\n",
+        result.mean_rel_err()
+    ));
     if let Some(worst) = result.worst() {
         out.push_str(&format!(
             "worst pair: {} <-> {} (n'' = {}), relative error {:.4}\n\n",
@@ -183,7 +189,11 @@ mod tests {
 
     #[test]
     fn sweep_covers_all_demand_pairs() {
-        let config = MatrixConfig { t: 3, threads: 1, ..MatrixConfig::default() };
+        let config = MatrixConfig {
+            t: 3,
+            threads: 1,
+            ..MatrixConfig::default()
+        };
         let result = run(&config);
         // Sioux Falls has demand between almost every pair; at minimum the
         // known heavy corridors must be present.
@@ -193,12 +203,20 @@ mod tests {
             .iter()
             .any(|c| c.from == 10 && c.to == 16 && c.truth == 8_800));
         // Aggregate accuracy: heavy pairs dominate; mean error stays small.
-        assert!(result.mean_rel_err() < 0.2, "mean err {}", result.mean_rel_err());
+        assert!(
+            result.mean_rel_err() < 0.2,
+            "mean err {}",
+            result.mean_rel_err()
+        );
     }
 
     #[test]
     fn heavy_corridors_are_accurate() {
-        let config = MatrixConfig { t: 3, threads: 1, ..MatrixConfig::default() };
+        let config = MatrixConfig {
+            t: 3,
+            threads: 1,
+            ..MatrixConfig::default()
+        };
         let result = run(&config);
         for cell in result.cells.iter().filter(|c| c.truth >= 5_000) {
             assert!(
@@ -214,7 +232,11 @@ mod tests {
 
     #[test]
     fn render_and_csv_shapes() {
-        let config = MatrixConfig { t: 3, threads: 1, ..MatrixConfig::default() };
+        let config = MatrixConfig {
+            t: 3,
+            threads: 1,
+            ..MatrixConfig::default()
+        };
         let result = run(&config);
         let text = render(&result);
         assert!(text.contains("heaviest corridors"));

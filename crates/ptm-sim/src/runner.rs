@@ -10,7 +10,9 @@ use std::time::Instant;
 
 /// Chooses a sensible thread count: the machine's available parallelism.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// Runs `trials` independent evaluations of `f(trial_index)` on up to
@@ -81,8 +83,7 @@ where
                         *slot = Some(timed(offset + i));
                     }
                     if let Some(from) = busy_from {
-                        let nanos =
-                            u64::try_from(from.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        let nanos = u64::try_from(from.elapsed().as_nanos()).unwrap_or(u64::MAX);
                         ptm_obs::counter!("sim.worker.busy_ns").add(nanos);
                     }
                 });
@@ -90,7 +91,10 @@ where
         })
         .expect("worker thread panicked");
     }
-    slots.into_iter().map(|s| s.expect("every trial filled")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("every trial filled"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -9,8 +9,8 @@
 //! than the f = 2 cloud.
 
 use crate::runner::run_trials;
-use crate::workload::{build_p2p_records, build_point_records};
 use crate::trial_seed;
+use crate::workload::{build_p2p_records, build_point_records};
 use ptm_core::encoding::{EncodingScheme, LocationId};
 use ptm_core::p2p::PointToPointEstimator;
 use ptm_core::params::SystemParams;
@@ -88,7 +88,10 @@ pub fn run(config: &ScatterConfig) -> ScatterResult {
     let total = config.fractions.len() * config.runs_per_fraction;
     let measurements = run_trials(total, config.threads, |idx| {
         let fraction = config.fractions[idx / config.runs_per_fraction];
-        let seed = trial_seed(config.seed, &[(config.params.load_factor() * 10.0) as u64, idx as u64]);
+        let seed = trial_seed(
+            config.seed,
+            &[(config.params.load_factor() * 10.0) as u64, idx as u64],
+        );
         let mut rng = ChaCha12Rng::seed_from_u64(seed);
         let scheme = EncodingScheme::new(seed ^ 0x5CA7, config.params.num_representatives());
 
@@ -141,14 +144,22 @@ pub fn render(result: &ScatterResult) -> String {
         "estimated volume",
     )
     .with_diagonal()
-    .series(ptm_report::Series::new("measurements", 'o', result.point.clone()));
+    .series(ptm_report::Series::new(
+        "measurements",
+        'o',
+        result.point.clone(),
+    ));
     let right = ptm_report::Plot::new(
         format!("point-to-point persistent traffic (t = {t}, f = {f})"),
         "actual persistent traffic volume",
         "estimated volume",
     )
     .with_diagonal()
-    .series(ptm_report::Series::new("measurements", 'o', result.p2p.clone()));
+    .series(ptm_report::Series::new(
+        "measurements",
+        'o',
+        result.p2p.clone(),
+    ));
     format!("{}\n{}", left.render(), right.render())
 }
 
@@ -204,7 +215,11 @@ mod tests {
 
     #[test]
     fn render_and_csv() {
-        let result = run(&ScatterConfig { fractions: vec![0.2], runs_per_fraction: 2, ..small(2.0) });
+        let result = run(&ScatterConfig {
+            fractions: vec![0.2],
+            runs_per_fraction: 2,
+            ..small(2.0)
+        });
         let text = render(&result);
         assert!(text.contains("point persistent traffic"));
         assert!(text.contains("point-to-point persistent traffic"));

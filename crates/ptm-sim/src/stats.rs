@@ -58,15 +58,13 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
 ///
 /// Panics on an empty sample, zero resamples, or a confidence level
 /// outside `(0, 1)`.
-pub fn bootstrap_mean_ci(
-    values: &[f64],
-    confidence: f64,
-    resamples: u32,
-    seed: u64,
-) -> (f64, f64) {
+pub fn bootstrap_mean_ci(values: &[f64], confidence: f64, resamples: u32, seed: u64) -> (f64, f64) {
     assert!(!values.is_empty(), "bootstrap over an empty sample");
     assert!(resamples >= 1, "need at least one resample");
-    assert!((0.0..1.0).contains(&confidence) && confidence > 0.0, "confidence in (0, 1)");
+    assert!(
+        (0.0..1.0).contains(&confidence) && confidence > 0.0,
+        "confidence in (0, 1)"
+    );
     use rand::{Rng, SeedableRng};
     let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
     let mut means = Vec::with_capacity(resamples as usize);
@@ -174,11 +172,16 @@ mod tests {
     #[test]
     fn bootstrap_ci_brackets_true_mean() {
         // Deterministic sample around 10.0.
-        let xs: Vec<f64> = (0..100).map(|i| 10.0 + ((i % 7) as f64 - 3.0) * 0.5).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| 10.0 + ((i % 7) as f64 - 3.0) * 0.5)
+            .collect();
         let m = mean(&xs);
         let (lo, hi) = bootstrap_mean_ci(&xs, 0.95, 500, 7);
         assert!(lo <= m && m <= hi, "[{lo}, {hi}] should bracket {m}");
-        assert!(hi - lo < 1.0, "interval [{lo}, {hi}] too wide for this sample");
+        assert!(
+            hi - lo < 1.0,
+            "interval [{lo}, {hi}] too wide for this sample"
+        );
         // Higher confidence widens the interval.
         let (lo99, hi99) = bootstrap_mean_ci(&xs, 0.99, 500, 7);
         assert!(hi99 - lo99 >= hi - lo);

@@ -122,11 +122,19 @@ pub fn run(config: &Table1Config) -> Table1Result {
             let trials = run_trials(config.runs, config.threads, |run_idx| {
                 let seed = trial_seed(config.seed, &[node_label as u64, run_idx as u64]);
                 let mut rng = ChaCha12Rng::seed_from_u64(seed);
-                let scheme = EncodingScheme::new(seed ^ 0xABCD, config.params.num_representatives());
+                let scheme =
+                    EncodingScheme::new(seed ^ 0xABCD, config.params.num_representatives());
                 let loc_l = LocationId::new(node_label as u64);
                 let loc_lp = LocationId::new(PAPER_L_PRIME as u64);
-                let records =
-                    build_p2p_records(&scheme, &config.params, &scenario, loc_l, loc_lp, None, &mut rng);
+                let records = build_p2p_records(
+                    &scheme,
+                    &config.params,
+                    &scenario,
+                    loc_l,
+                    loc_lp,
+                    None,
+                    &mut rng,
+                );
                 let per_t: Vec<f64> = config
                     .t_values
                     .iter()
@@ -160,8 +168,12 @@ pub fn run(config: &Table1Config) -> Table1Result {
             let rel_err_by_t: Vec<f64> = (0..config.t_values.len())
                 .map(|k| mean(&trials.iter().map(|(per_t, _)| per_t[k]).collect::<Vec<_>>()))
                 .collect();
-            let rel_err_same_size =
-                mean(&trials.iter().map(|&(_, baseline)| baseline).collect::<Vec<_>>());
+            let rel_err_same_size = mean(
+                &trials
+                    .iter()
+                    .map(|&(_, baseline)| baseline)
+                    .collect::<Vec<_>>(),
+            );
 
             Table1Row {
                 node: node_label,
@@ -175,7 +187,12 @@ pub fn run(config: &Table1Config) -> Table1Result {
         })
         .collect();
 
-    Table1Result { config: config.clone(), n_prime, m_prime, rows }
+    Table1Result {
+        config: config.clone(),
+        n_prime,
+        m_prime,
+        rows,
+    }
 }
 
 /// Renders the result in the paper's layout (locations as columns).
@@ -189,20 +206,43 @@ pub fn render(result: &Table1Result) -> String {
         row.extend(cells);
         row
     };
-    table.add_row(row_of("node", result.rows.iter().map(|r| r.node.to_string()).collect()));
-    table.add_row(row_of("n", result.rows.iter().map(|r| r.n.to_string()).collect()));
-    table.add_row(row_of("m", result.rows.iter().map(|r| r.m.to_string()).collect()));
-    table.add_row(row_of("m'/m", result.rows.iter().map(|r| r.m_ratio.to_string()).collect()));
-    table.add_row(row_of("n''", result.rows.iter().map(|r| r.n_common.to_string()).collect()));
+    table.add_row(row_of(
+        "node",
+        result.rows.iter().map(|r| r.node.to_string()).collect(),
+    ));
+    table.add_row(row_of(
+        "n",
+        result.rows.iter().map(|r| r.n.to_string()).collect(),
+    ));
+    table.add_row(row_of(
+        "m",
+        result.rows.iter().map(|r| r.m.to_string()).collect(),
+    ));
+    table.add_row(row_of(
+        "m'/m",
+        result.rows.iter().map(|r| r.m_ratio.to_string()).collect(),
+    ));
+    table.add_row(row_of(
+        "n''",
+        result.rows.iter().map(|r| r.n_common.to_string()).collect(),
+    ));
     for (k, &t) in result.config.t_values.iter().enumerate() {
         table.add_row(row_of(
             &format!("relative error (t = {t})"),
-            result.rows.iter().map(|r| fmt_f64(r.rel_err_by_t[k], 4)).collect(),
+            result
+                .rows
+                .iter()
+                .map(|r| fmt_f64(r.rel_err_by_t[k], 4))
+                .collect(),
         ));
     }
     table.add_row(row_of(
         &format!("same-size bitmaps (t = {})", result.config.baseline_t),
-        result.rows.iter().map(|r| fmt_f64(r.rel_err_same_size, 4)).collect(),
+        result
+            .rows
+            .iter()
+            .map(|r| fmt_f64(r.rel_err_same_size, 4))
+            .collect(),
     ));
     format!(
         "Table I: point-to-point persistent traffic, Sioux Falls (L' = node {}, n' = {}, m' = {}, {} runs)\n{}",
@@ -222,15 +262,23 @@ mod tests {
     /// integration suite.
     #[test]
     fn small_run_matches_paper_shape() {
-        let config = Table1Config { runs: 3, threads: 1, ..Table1Config::default() };
+        let config = Table1Config {
+            runs: 3,
+            threads: 1,
+            ..Table1Config::default()
+        };
         let result = run(&config);
         assert_eq!(result.n_prime, 451_000);
         assert_eq!(result.m_prime, 1_048_576);
         assert_eq!(result.rows.len(), 8);
 
         // Published metadata columns must match exactly.
-        let expected_n = [213_000, 140_000, 121_000, 78_000, 76_000, 47_000, 40_000, 28_000];
-        let expected_m = [524_288, 524_288, 262_144, 262_144, 262_144, 131_072, 131_072, 65_536];
+        let expected_n = [
+            213_000, 140_000, 121_000, 78_000, 76_000, 47_000, 40_000, 28_000,
+        ];
+        let expected_m = [
+            524_288, 524_288, 262_144, 262_144, 262_144, 131_072, 131_072, 65_536,
+        ];
         let expected_ratio = [2, 2, 4, 4, 4, 8, 8, 16];
         let expected_common = [40_000, 20_000, 19_000, 8_000, 8_000, 7_000, 6_000, 3_000];
         for (i, row) in result.rows.iter().enumerate() {
@@ -254,7 +302,11 @@ mod tests {
             first.rel_err_same_size
         );
         // And it is much worse than the proposed estimator at the same t.
-        let t5 = config.t_values.iter().position(|&t| t == 5).expect("t=5 present");
+        let t5 = config
+            .t_values
+            .iter()
+            .position(|&t| t == 5)
+            .expect("t=5 present");
         assert!(last.rel_err_same_size > 5.0 * last.rel_err_by_t[t5]);
     }
 

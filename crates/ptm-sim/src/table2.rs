@@ -26,7 +26,11 @@ impl Default for MonteCarloCheck {
         // Cost is O(n_prime x trials); these defaults keep the check at
         // ~10^7 encode simulations while leaving sampling error well below
         // the 4th decimal of the grid cells being checked.
-        Self { n_prime: 2_000, trials: 5_000, seed: 7 }
+        Self {
+            n_prime: 2_000,
+            trials: 5_000,
+            seed: 7,
+        }
     }
 }
 
@@ -91,7 +95,8 @@ pub fn run(config: &Table2Config) -> Table2Result {
             if let (Some(&f_lo), Some(&f_hi)) =
                 (config.load_factors.first(), config.load_factors.last())
             {
-                if let (Some(&s_lo), Some(&s_hi)) = (config.s_values.first(), config.s_values.last())
+                if let (Some(&s_lo), Some(&s_hi)) =
+                    (config.s_values.first(), config.s_values.last())
                 {
                     targets.push((f_lo, s_lo));
                     targets.push((f_hi, s_hi));
@@ -117,14 +122,24 @@ pub fn run(config: &Table2Config) -> Table2Result {
                 .collect()
         })
         .unwrap_or_default();
-    Table2Result { config: config.clone(), cells, monte_carlo }
+    Table2Result {
+        config: config.clone(),
+        cells,
+        monte_carlo,
+    }
 }
 
 /// Renders the paper-layout grid (rows `s`, columns `f`, final row `p`).
 pub fn render(result: &Table2Result) -> String {
     use ptm_report::table::fmt_f64;
     let mut header = vec!["s \\ f".to_owned()];
-    header.extend(result.config.load_factors.iter().map(|f| format!("f = {f}")));
+    header.extend(
+        result
+            .config
+            .load_factors
+            .iter()
+            .map(|f| format!("f = {f}")),
+    );
     let mut table = ptm_report::TextTable::new(header);
     for &s in &result.config.s_values {
         let mut row = vec![format!("s = {s}")];
@@ -177,7 +192,10 @@ mod tests {
 
     #[test]
     fn grid_matches_published_values() {
-        let result = run(&Table2Config { monte_carlo: None, ..Table2Config::default() });
+        let result = run(&Table2Config {
+            monte_carlo: None,
+            ..Table2Config::default()
+        });
         assert_eq!(result.cells.len(), 28);
         // The paper's published grid, rows s = 2..5, columns f = 1..4.
         #[rustfmt::skip]
@@ -206,7 +224,11 @@ mod tests {
     #[test]
     fn monte_carlo_confirms_analytics() {
         let result = run(&Table2Config {
-            monte_carlo: Some(MonteCarloCheck { n_prime: 4_000, trials: 10_000, seed: 3 }),
+            monte_carlo: Some(MonteCarloCheck {
+                n_prime: 4_000,
+                trials: 10_000,
+                seed: 3,
+            }),
             ..Table2Config::default()
         });
         assert_eq!(result.monte_carlo.len(), 3);

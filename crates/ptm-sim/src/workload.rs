@@ -57,7 +57,14 @@ pub fn build_point_records<R: Rng + ?Sized>(
     location: LocationId,
     rng: &mut R,
 ) -> Vec<TrafficRecord> {
-    build_point_records_with(scheme, params, scenario, location, SizingPolicy::default(), rng)
+    build_point_records_with(
+        scheme,
+        params,
+        scenario,
+        location,
+        SizingPolicy::default(),
+        rng,
+    )
 }
 
 /// [`build_point_records`] with an explicit sizing policy.
@@ -199,7 +206,10 @@ pub fn build_p2p_records_with<R: Rng + ?Sized>(
         fill_transients(&mut rlp, scenario.transients_lp(j), rng);
         records_lp.push(rlp);
     }
-    P2pRecords { records_l, records_lp }
+    P2pRecords {
+        records_l,
+        records_lp,
+    }
 }
 
 #[cfg(test)]
@@ -223,7 +233,10 @@ mod tests {
         let mut rng = ChaCha12Rng::seed_from_u64(1);
         let scheme = EncodingScheme::new(5, 3);
         let params = SystemParams::paper_default();
-        let scenario = PointScenario { volumes: vec![3000, 4000, 5000], persistent: 500 };
+        let scenario = PointScenario {
+            volumes: vec![3000, 4000, 5000],
+            persistent: 500,
+        };
         let records =
             build_point_records(&scheme, &params, &scenario, LocationId::new(1), &mut rng);
         assert_eq!(records.len(), 3);
@@ -244,7 +257,10 @@ mod tests {
         let mut rng = ChaCha12Rng::seed_from_u64(9);
         let scheme = EncodingScheme::new(5, 3);
         let params = SystemParams::paper_default();
-        let scenario = PointScenario { volumes: vec![3000, 4000, 5000], persistent: 500 };
+        let scenario = PointScenario {
+            volumes: vec![3000, 4000, 5000],
+            persistent: 500,
+        };
         let records = build_point_records_with(
             &scheme,
             &params,
@@ -266,7 +282,10 @@ mod tests {
         let mut rng = ChaCha12Rng::seed_from_u64(10);
         let scheme = EncodingScheme::new(6, 3);
         let params = SystemParams::paper_default();
-        let scenario = PointScenario { volumes: vec![3000, 9000], persistent: 50 };
+        let scenario = PointScenario {
+            volumes: vec![3000, 9000],
+            persistent: 50,
+        };
         let records = build_point_records_with(
             &scheme,
             &params,
@@ -291,7 +310,10 @@ mod tests {
         let mut rng = ChaCha12Rng::seed_from_u64(2);
         let scheme = EncodingScheme::new(6, 3);
         let params = SystemParams::paper_default();
-        let scenario = PointScenario { volumes: vec![8000; 5], persistent: 2000 };
+        let scenario = PointScenario {
+            volumes: vec![8000; 5],
+            persistent: 2000,
+        };
         let records =
             build_point_records(&scheme, &params, &scenario, LocationId::new(2), &mut rng);
         let est = PointEstimator::new().estimate(&records).expect("estimate");
@@ -338,7 +360,10 @@ mod tests {
         let mut rng = ChaCha12Rng::seed_from_u64(4);
         let scheme = EncodingScheme::new(8, 3);
         let params = SystemParams::paper_default();
-        let scenario = PointScenario { volumes: vec![100], persistent: 500 };
+        let scenario = PointScenario {
+            volumes: vec![100],
+            persistent: 500,
+        };
         let _ = build_point_records(&scheme, &params, &scenario, LocationId::new(1), &mut rng);
     }
 }

@@ -46,11 +46,17 @@ impl PointScenario {
     /// Panics if `t == 0` or `fraction` is outside `[0, 1]`.
     pub fn synthetic<R: Rng + ?Sized>(rng: &mut R, t: usize, fraction: f64) -> Self {
         assert!(t >= 1, "need at least one period");
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         let (lo, hi) = SYNTHETIC_VOLUME_RANGE;
         let volumes: Vec<u64> = (0..t).map(|_| rng.gen_range(lo + 1..=hi)).collect();
         let n_min = *volumes.iter().min().expect("non-empty");
-        Self { volumes, persistent: (fraction * n_min as f64).round() as u64 }
+        Self {
+            volumes,
+            persistent: (fraction * n_min as f64).round() as u64,
+        }
     }
 
     /// Smallest per-period volume (`n_min`).
@@ -89,7 +95,10 @@ impl P2pScenario {
     /// Panics if `t == 0` or `fraction` is outside `[0, 1]`.
     pub fn synthetic<R: Rng + ?Sized>(rng: &mut R, t: usize, fraction: f64) -> Self {
         assert!(t >= 1, "need at least one period");
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         let (lo, hi) = SYNTHETIC_VOLUME_RANGE;
         let volumes_l: Vec<u64> = (0..t).map(|_| rng.gen_range(lo + 1..=hi)).collect();
         let volumes_lp: Vec<u64> = (0..t).map(|_| rng.gen_range(lo + 1..=hi)).collect();
@@ -185,7 +194,12 @@ impl CommonFleet {
     ///
     /// A common vehicle sets the *same* bit at the same location in every
     /// period, so sweeping `t` periods only needs this computed once.
-    pub fn indices_at(&self, scheme: &EncodingScheme, location: LocationId, m: usize) -> Vec<usize> {
+    pub fn indices_at(
+        &self,
+        scheme: &EncodingScheme,
+        location: LocationId,
+        m: usize,
+    ) -> Vec<usize> {
         self.vehicles
             .iter()
             .map(|v| scheme.encode_index(v, location, m))

@@ -71,7 +71,9 @@ pub struct Path {
 impl RoadNetwork {
     /// Creates a network with `num_nodes` isolated nodes.
     pub fn new(num_nodes: usize) -> Self {
-        Self { adjacency: vec![Vec::new(); num_nodes] }
+        Self {
+            adjacency: vec![Vec::new(); num_nodes],
+        }
     }
 
     /// Number of nodes.
@@ -147,7 +149,10 @@ impl RoadNetwork {
         let mut prev = vec![usize::MAX; n];
         let mut heap = BinaryHeap::new();
         dist[from.index()] = 0.0;
-        heap.push(Entry { cost: 0.0, node: from.index() });
+        heap.push(Entry {
+            cost: 0.0,
+            node: from.index(),
+        });
         while let Some(Entry { cost, node }) = heap.pop() {
             if cost > dist[node] {
                 continue;
@@ -161,7 +166,10 @@ impl RoadNetwork {
                 if next_cost < dist[next] {
                     dist[next] = next_cost;
                     prev[next] = node;
-                    heap.push(Entry { cost: next_cost, node: next });
+                    heap.push(Entry {
+                        cost: next_cost,
+                        node: next,
+                    });
                 }
             }
         }
@@ -175,7 +183,10 @@ impl RoadNetwork {
             nodes.push(NodeId::new(cursor));
         }
         nodes.reverse();
-        Some(Path { nodes, travel_time: dist[to.index()] })
+        Some(Path {
+            nodes,
+            travel_time: dist[to.index()],
+        })
     }
 
     /// Whether every node can reach every other node.
@@ -237,7 +248,9 @@ mod tests {
     #[test]
     fn shortest_path_picks_cheaper_route() {
         let net = diamond();
-        let path = net.shortest_path(NodeId::new(0), NodeId::new(3)).expect("path");
+        let path = net
+            .shortest_path(NodeId::new(0), NodeId::new(3))
+            .expect("path");
         assert_eq!(path.travel_time, 4.0);
         assert_eq!(
             path.nodes,
@@ -248,7 +261,9 @@ mod tests {
     #[test]
     fn path_to_self_is_trivial() {
         let net = diamond();
-        let path = net.shortest_path(NodeId::new(1), NodeId::new(1)).expect("path");
+        let path = net
+            .shortest_path(NodeId::new(1), NodeId::new(1))
+            .expect("path");
         assert_eq!(path.travel_time, 0.0);
         assert_eq!(path.nodes, vec![NodeId::new(1)]);
     }
@@ -313,7 +328,9 @@ mod tests {
         for i in 0..5 {
             net.add_link(NodeId::new(i), NodeId::new(i + 1), 1.0);
         }
-        let path = net.shortest_path(NodeId::new(0), NodeId::new(5)).expect("path");
+        let path = net
+            .shortest_path(NodeId::new(0), NodeId::new(5))
+            .expect("path");
         assert_eq!(path.nodes.len(), 6);
         assert_eq!(path.travel_time, 5.0);
         for (i, node) in path.nodes.iter().enumerate() {

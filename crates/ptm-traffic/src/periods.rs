@@ -76,7 +76,10 @@ impl Calendar {
     /// Panics if `num_days` is zero.
     pub fn new(starts_on: Weekday, num_days: u32) -> Self {
         assert!(num_days >= 1, "a campaign needs at least one day");
-        Self { starts_on, num_days }
+        Self {
+            starts_on,
+            num_days,
+        }
     }
 
     /// Campaign length in days.

@@ -22,7 +22,10 @@ impl PresenceLog {
 
     /// Records that `vehicle` passed `location` during `period`.
     pub fn record(&mut self, location: LocationId, period: PeriodId, vehicle: VehicleId) {
-        self.cells.entry((location, period)).or_default().insert(vehicle);
+        self.cells
+            .entry((location, period))
+            .or_default()
+            .insert(vehicle);
     }
 
     /// Vehicles present at a cell (empty set if none recorded).

@@ -160,9 +160,15 @@ mod tests {
                 let ab = t.demand(NodeId::new(a), NodeId::new(b));
                 let ba = t.demand(NodeId::new(b), NodeId::new(a));
                 assert_eq!(
-                    ab, ba,
+                    ab,
+                    ba,
                     "({},{}) = {} vs ({},{}) = {}",
-                    a + 1, b + 1, ab, b + 1, a + 1, ba
+                    a + 1,
+                    b + 1,
+                    ab,
+                    b + 1,
+                    a + 1,
+                    ba
                 );
             }
         }
@@ -189,7 +195,11 @@ mod tests {
         for (node_1based, n, n_common) in rows {
             let node = NodeId::new(node_1based - 1);
             assert_eq!(t.involving_volume(node), n, "n at node {node_1based}");
-            assert_eq!(t.pair_volume(node, l_prime), n_common, "n'' at node {node_1based}");
+            assert_eq!(
+                t.pair_volume(node, l_prime),
+                n_common,
+                "n'' at node {node_1based}"
+            );
         }
     }
 

@@ -56,7 +56,11 @@ impl TripSampler {
             }
         }
         assert!(total > 0, "trip table has no demand");
-        Self { pairs, cumulative, total }
+        Self {
+            pairs,
+            cumulative,
+            total,
+        }
     }
 
     /// Total demand across all pairs.
@@ -73,11 +77,7 @@ impl TripSampler {
 
     /// Samples a routed trip; `None` if the sampled pair is disconnected
     /// (cannot happen on Sioux Falls, which is strongly connected).
-    pub fn sample_trip<R: Rng + ?Sized>(
-        &self,
-        network: &RoadNetwork,
-        rng: &mut R,
-    ) -> Option<Trip> {
+    pub fn sample_trip<R: Rng + ?Sized>(&self, network: &RoadNetwork, rng: &mut R) -> Option<Trip> {
         let (origin, destination) = self.sample_pair(rng);
         let path = network.shortest_path(origin, destination)?;
         Some(Trip::from_path(origin, destination, &path, network))
@@ -100,7 +100,12 @@ impl Trip {
             elapsed += link;
             arrival_minutes.push(elapsed);
         }
-        Self { origin, destination, nodes: path.nodes.clone(), arrival_minutes }
+        Self {
+            origin,
+            destination,
+            nodes: path.nodes.clone(),
+            arrival_minutes,
+        }
     }
 
     /// Whether the trip passes through `node` (including endpoints).
@@ -110,7 +115,10 @@ impl Trip {
 
     /// Free-flow duration of the whole trip in minutes.
     pub fn duration_minutes(&self) -> f64 {
-        *self.arrival_minutes.last().expect("trips have at least one node")
+        *self
+            .arrival_minutes
+            .last()
+            .expect("trips have at least one node")
     }
 }
 
@@ -147,7 +155,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         for _ in 0..20_000 {
             let (o, d) = sampler.sample_pair(&mut rng);
-            assert!(table.demand(o, d) > 0, "sampled zero-demand pair {o} -> {d}");
+            assert!(
+                table.demand(o, d) > 0,
+                "sampled zero-demand pair {o} -> {d}"
+            );
             assert_ne!(o, d, "diagonal is zero demand");
         }
     }

@@ -42,7 +42,10 @@ impl TripTable {
     ///
     /// Panics if either node is out of range.
     pub fn demand(&self, origin: NodeId, destination: NodeId) -> u64 {
-        assert!(origin.index() < self.n && destination.index() < self.n, "node out of range");
+        assert!(
+            origin.index() < self.n && destination.index() < self.n,
+            "node out of range"
+        );
         self.trips[origin.index() * self.n + destination.index()]
     }
 

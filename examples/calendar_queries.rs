@@ -31,7 +31,9 @@ fn main() {
     let calendar = Calendar::new(Weekday::Monday, 21);
 
     let gen_fleet = |rng: &mut ChaCha12Rng, n: usize| -> Vec<VehicleSecrets> {
-        (0..n).map(|_| VehicleSecrets::generate(rng, params.num_representatives())).collect()
+        (0..n)
+            .map(|_| VehicleSecrets::generate(rng, params.num_representatives()))
+            .collect()
     };
     let vendors = gen_fleet(&mut rng, 300);
     let commuters = gen_fleet(&mut rng, 1_200);
@@ -61,7 +63,10 @@ fn main() {
         records.push(record);
     }
     let pick = |periods: &[PeriodId]| -> Vec<TrafficRecord> {
-        periods.iter().map(|p| records[p.get() as usize].clone()).collect()
+        periods
+            .iter()
+            .map(|p| records[p.get() as usize].clone())
+            .collect()
     };
     let estimator = PointEstimator::new();
 

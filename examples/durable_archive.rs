@@ -51,16 +51,24 @@ fn main() {
     {
         let mut archive = Archive::create(&path).expect("create archive");
         for day in 0..14u32 {
-            archive.append(&make_record(PeriodId::new(day), &mut rng)).expect("append");
+            archive
+                .append(&make_record(PeriodId::new(day), &mut rng))
+                .expect("append");
         }
         archive.sync().expect("sync");
     }
     // Simulate the crash: chop bytes off the file tail.
     let len = std::fs::metadata(&path).expect("meta").len();
-    let file = std::fs::OpenOptions::new().write(true).open(&path).expect("open");
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&path)
+        .expect("open");
     file.set_len(len - 37).expect("truncate");
     drop(file);
-    println!("simulated crash: truncated the archive mid-frame ({len} -> {} bytes)", len - 37);
+    println!(
+        "simulated crash: truncated the archive mid-frame ({len} -> {} bytes)",
+        len - 37
+    );
 
     // Recovery: the torn day 13 frame is dropped; re-record it and go on.
     let mut recovered = Archive::open(&path).expect("recover");
@@ -92,7 +100,9 @@ fn main() {
     let est = estimator.estimate(&week2_workdays).expect("estimate");
     println!("  persistent over week-2 workdays: {est:.0}  (truth 900)");
 
-    let with_err = estimator.estimate_with_error(&week2_workdays).expect("estimate");
+    let with_err = estimator
+        .estimate_with_error(&week2_workdays)
+        .expect("estimate");
     let (lo, hi) = with_err.interval(2.0);
     println!("  with conservative 2-sigma bars:  [{lo:.0}, {hi:.0}]");
 

@@ -29,7 +29,9 @@ fn measured_error(f: f64, s: u32, runs: usize) -> f64 {
         let scenario = PointScenario::synthetic(&mut rng, 5, 0.15);
         let records =
             build_point_records(&scheme, &params, &scenario, LocationId::new(1), &mut rng);
-        let est = PointEstimator::new().estimate(&records).expect("f >= 1 never saturates");
+        let est = PointEstimator::new()
+            .estimate(&records)
+            .expect("f >= 1 never saturates");
         total += (est - scenario.persistent as f64).abs() / scenario.persistent as f64;
     }
     total / runs as f64
@@ -57,7 +59,11 @@ fn main() {
                 (false, true) => "private, noisy",
                 (false, false) => "worst of both",
             };
-            let marker = if f == 2.0 && s == 3 { " <= paper's choice" } else { "" };
+            let marker = if f == 2.0 && s == 3 {
+                " <= paper's choice"
+            } else {
+                ""
+            };
             table.add_row(vec![
                 format!("{f}"),
                 s.to_string(),

@@ -29,7 +29,10 @@ fn main() {
 
     // One traffic record per day, sized for the expected ~4500 vehicles/day.
     let size = params.bitmap_size(4_500.0);
-    println!("bitmap size m = {size} bits ({} bytes/day uploaded)", size.get() / 8);
+    println!(
+        "bitmap size m = {size} bits ({} bytes/day uploaded)",
+        size.get() / 8
+    );
 
     let mut records = Vec::new();
     for day in 0..7u32 {

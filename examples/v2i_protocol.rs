@@ -62,7 +62,10 @@ fn main() {
     println!("\nover-the-air totals:");
     println!("  beacons broadcast:   {}", s.beacons_broadcast);
     println!("  beacon frames rx'd:  {}", s.beacon_frames_delivered);
-    println!("  reports sent:        {} (includes retries)", s.reports_sent);
+    println!(
+        "  reports sent:        {} (includes retries)",
+        s.reports_sent
+    );
     println!("  reports accepted:    {}", s.reports_accepted);
     println!("  acks delivered:      {}", s.acks_delivered);
     println!("  frames lost:         {}", s.frames_lost);
@@ -73,12 +76,18 @@ fn main() {
         .server()
         .estimate_p2p_persistent(a, b, &periods)
         .expect("records uploaded every period");
-    println!("\ndespite {:.0}% frame loss, retries captured the fleet:", 25.0);
+    println!(
+        "\ndespite {:.0}% frame loss, retries captured the fleet:",
+        25.0
+    );
     println!("  true persistent 1 -> 2 traffic:      {truth}");
     println!("  estimated from bitmaps alone:        {estimate:.1}");
     let point = sim
         .server()
         .estimate_point_persistent(a, &periods)
         .expect("records uploaded every period");
-    println!("  point persistent at RSU-1:           {point:.1} (truth {})", truth);
+    println!(
+        "  point persistent at RSU-1:           {point:.1} (truth {})",
+        truth
+    );
 }

@@ -51,14 +51,24 @@ fn main() {
             }
             records.push(record);
         }
-        let proposed = PointEstimator::new().estimate(&records).expect("sized records");
-        let benchmark = NaiveAndEstimator::new().estimate(&records).expect("sized records");
+        let proposed = PointEstimator::new()
+            .estimate(&records)
+            .expect("sized records");
+        let benchmark = NaiveAndEstimator::new()
+            .estimate(&records)
+            .expect("sized records");
         table.add_row(vec![
             core.to_string(),
             format!("{proposed:.0}"),
-            format!("{:.1}", (proposed - core as f64).abs() / core as f64 * 100.0),
+            format!(
+                "{:.1}",
+                (proposed - core as f64).abs() / core as f64 * 100.0
+            ),
             format!("{benchmark:.0}"),
-            format!("{:.1}", (benchmark - core as f64).abs() / core as f64 * 100.0),
+            format!(
+                "{:.1}",
+                (benchmark - core as f64).abs() / core as f64 * 100.0
+            ),
         ]);
     }
 

@@ -17,8 +17,9 @@ fn record_upload_roundtrips_through_json() {
     let mut rng = ChaCha12Rng::seed_from_u64(1);
     let location = LocationId::new(8);
     let size = BitmapSize::new(1 << 12).expect("pow2");
-    let fleet: Vec<VehicleSecrets> =
-        (0..300).map(|_| VehicleSecrets::generate(&mut rng, 3)).collect();
+    let fleet: Vec<VehicleSecrets> = (0..300)
+        .map(|_| VehicleSecrets::generate(&mut rng, 3))
+        .collect();
     let mut records = Vec::new();
     for p in 0..4u32 {
         let mut record = TrafficRecord::new(location, PeriodId::new(p), size);
@@ -109,5 +110,9 @@ fn hash_collisions_are_the_privacy_mechanism_not_a_bug() {
     ra.encode(&scheme, &a);
     let mut rb = TrafficRecord::new(location, PeriodId::new(0), size);
     rb.encode(&scheme, &b);
-    assert_eq!(ra.bitmap(), rb.bitmap(), "colliding vehicles are indistinguishable");
+    assert_eq!(
+        ra.bitmap(),
+        rb.bitmap(),
+        "colliding vehicles are indistinguishable"
+    );
 }

@@ -23,12 +23,17 @@ fn point_estimation_stays_under_ten_percent_at_paper_settings() {
             let scenario = PointScenario::synthetic(&mut rng, 5, 0.2);
             let records =
                 build_point_records(&scheme, &params, &scenario, LocationId::new(1), &mut rng);
-            let est = PointEstimator::new().estimate(&records).expect("no saturation");
+            let est = PointEstimator::new()
+                .estimate(&records)
+                .expect("no saturation");
             relative_error(scenario.persistent as f64, est)
         })
         .collect();
     let avg = mean(&errors);
-    assert!(avg < 0.1, "mean relative error {avg} across runs {errors:?}");
+    assert!(
+        avg < 0.1,
+        "mean relative error {avg} across runs {errors:?}"
+    );
 }
 
 #[test]
@@ -56,7 +61,10 @@ fn p2p_estimation_stays_under_fifteen_percent_at_paper_settings() {
         })
         .collect();
     let avg = mean(&errors);
-    assert!(avg < 0.15, "mean relative error {avg} across runs {errors:?}");
+    assert!(
+        avg < 0.15,
+        "mean relative error {avg} across runs {errors:?}"
+    );
 }
 
 #[test]
@@ -75,11 +83,15 @@ fn proposed_beats_benchmark_by_an_order_of_magnitude_at_small_cores() {
         let truth = scenario.persistent as f64;
         proposed_errs.push(relative_error(
             truth,
-            PointEstimator::new().estimate(&records).expect("no saturation"),
+            PointEstimator::new()
+                .estimate(&records)
+                .expect("no saturation"),
         ));
         benchmark_errs.push(relative_error(
             truth,
-            NaiveAndEstimator::new().estimate(&records).expect("no saturation"),
+            NaiveAndEstimator::new()
+                .estimate(&records)
+                .expect("no saturation"),
         ));
     }
     let p = mean(&proposed_errs);
@@ -104,7 +116,9 @@ fn ten_periods_beat_five_periods() {
                 let scenario = PointScenario::synthetic(&mut rng, t, 0.05);
                 let records =
                     build_point_records(&scheme, &params, &scenario, LocationId::new(1), &mut rng);
-                let est = PointEstimator::new().estimate(&records).expect("no saturation");
+                let est = PointEstimator::new()
+                    .estimate(&records)
+                    .expect("no saturation");
                 relative_error(scenario.persistent as f64, est)
             })
             .collect();
@@ -151,7 +165,9 @@ fn mixed_bitmap_sizes_across_periods_still_estimate() {
     // Sanity: the sizes really differ.
     let sizes: std::collections::BTreeSet<usize> = records.iter().map(|r| r.len()).collect();
     assert!(sizes.len() >= 2, "test should cover heterogeneous sizes");
-    let est = PointEstimator::new().estimate(&records).expect("no saturation");
+    let est = PointEstimator::new()
+        .estimate(&records)
+        .expect("no saturation");
     let rel = relative_error(700.0, est);
     assert!(rel < 0.15, "estimate {est}, relative error {rel}");
 }

@@ -61,7 +61,11 @@ fn concurrent_counter_and_histogram_recording_is_exact() {
 /// Runs the same deterministic encode workload under `run_trials` and
 /// returns the deltas of the encode counters it produced.
 fn encode_workload_deltas(threads: usize) -> BTreeMap<&'static str, u64> {
-    let names = ["core.encode.vehicles", "core.encode.bits_set", "core.encode.collisions"];
+    let names = [
+        "core.encode.vehicles",
+        "core.encode.bits_set",
+        "core.encode.collisions",
+    ];
     let before: BTreeMap<&str, u64> = names.iter().map(|&n| (n, counter_value(n))).collect();
     let span_before = histogram_count("core.encode.record");
 
@@ -78,9 +82,14 @@ fn encode_workload_deltas(threads: usize) -> BTreeMap<&'static str, u64> {
         )
     });
 
-    let mut deltas: BTreeMap<&'static str, u64> =
-        names.iter().map(|&n| (n, counter_value(n) - before[n])).collect();
-    deltas.insert("span:core.encode.record", histogram_count("core.encode.record") - span_before);
+    let mut deltas: BTreeMap<&'static str, u64> = names
+        .iter()
+        .map(|&n| (n, counter_value(n) - before[n]))
+        .collect();
+    deltas.insert(
+        "span:core.encode.record",
+        histogram_count("core.encode.record") - span_before,
+    );
     deltas
 }
 
@@ -108,8 +117,12 @@ fn snapshot_deltas_are_independent_of_thread_count() {
 fn snapshots_of_settled_state_are_deterministic() {
     let _guard = obs_lock();
     ptm_obs::set_metrics_enabled(true);
-    ptm_obs::registry().counter("itest.deterministic.counter").add(5);
-    ptm_obs::registry().histogram("itest.deterministic.hist").record(77);
+    ptm_obs::registry()
+        .counter("itest.deterministic.counter")
+        .add(5);
+    ptm_obs::registry()
+        .histogram("itest.deterministic.hist")
+        .record(77);
     ptm_obs::set_metrics_enabled(false);
     // With no writers running, repeated snapshots must match exactly —
     // including their JSON rendering (sorted names).
@@ -158,10 +171,16 @@ fn pipeline_metrics_cover_encode_submit_estimate() {
     ptm_sim::runner::run_trials(2, 2, |i| i);
     ptm_obs::set_metrics_enabled(false);
 
-    assert_eq!(counter_value("net.server.submit.accepted") - submit_before, 3);
+    assert_eq!(
+        counter_value("net.server.submit.accepted") - submit_before,
+        3
+    );
     assert!(counter_value("net.server.bits_stored") > bits_before);
     assert_eq!(counter_value("net.server.query.point") - query_before, 1);
-    assert!(counter_value("core.join.and.ops") > join_before, "point estimate AND-joins");
+    assert!(
+        counter_value("core.join.and.ops") > join_before,
+        "point estimate AND-joins"
+    );
     assert_eq!(histogram_count("net.sim.period") - period_spans_before, 3);
 
     // The acceptance-criteria names all appear in the JSON snapshot.
@@ -179,7 +198,10 @@ fn pipeline_metrics_cover_encode_submit_estimate() {
         "sim.trial.wall_ns",
         "sim.trials.completed",
     ] {
-        assert!(json.contains(&format!("\"{name}\"")), "snapshot missing {name}:\n{json}");
+        assert!(
+            json.contains(&format!("\"{name}\"")),
+            "snapshot missing {name}:\n{json}"
+        );
     }
 }
 
@@ -198,7 +220,10 @@ fn disabled_metrics_record_nothing_anywhere() {
         BitmapSize::new(1 << 10).expect("pow2"),
         &vehicles,
     );
-    assert!(record.bitmap().count_ones() > 0, "the workload itself still works");
+    assert!(
+        record.bitmap().count_ones() > 0,
+        "the workload itself still works"
+    );
     let snap_after = ptm_obs::snapshot();
     assert_eq!(
         snap_before, snap_after,

@@ -35,7 +35,11 @@ fn table_one_metadata_derives_from_public_data() {
         let m_derived = params.bitmap_size(n as f64).get();
         assert_eq!(m_derived, m, "m at node {label}");
         assert_eq!(m_prime / m_derived, ratio, "m'/m at node {label}");
-        assert_eq!(table.pair_volume(node, l_prime), n_common, "n'' at node {label}");
+        assert_eq!(
+            table.pair_volume(node, l_prime),
+            n_common,
+            "n'' at node {label}"
+        );
     }
 }
 
@@ -53,13 +57,19 @@ fn table_two_grid_matches_published_to_four_decimals() {
         for (f, expected) in fs.iter().zip(row) {
             let got = privacy::asymptotic_ratio(*f, s);
             let rel = (got - expected).abs() / expected;
-            assert!(rel < 3e-4, "s={s} f={f}: computed {got} vs published {expected}");
+            assert!(
+                rel < 3e-4,
+                "s={s} f={f}: computed {got} vs published {expected}"
+            );
         }
     }
     let noise_row = [0.6321, 0.4866, 0.3935, 0.3297, 0.2835, 0.2485, 0.2212];
     for (f, expected) in fs.iter().zip(noise_row) {
         let got = privacy::asymptotic_noise(*f);
-        assert!((got - expected).abs() < 5e-5, "p at f={f}: {got} vs {expected}");
+        assert!(
+            (got - expected).abs() < 5e-5,
+            "p at f={f}: {got} vs {expected}"
+        );
     }
 }
 
@@ -82,5 +92,8 @@ fn paper_recommended_operating_point() {
     assert!((signal - 0.2022).abs() < 1e-3);
     let ratio = privacy::asymptotic_ratio(2.0, 3);
     assert!((ratio - 1.9462).abs() < 1e-3);
-    assert!(ratio > 1.0, "noise must outweigh information at the recommended point");
+    assert!(
+        ratio > 1.0,
+        "noise must outweigh information at the recommended point"
+    );
 }

@@ -11,13 +11,7 @@ use rand_chacha::ChaCha12Rng;
 /// Empirically measure p and p' by running the *actual* vehicle encoding
 /// (not the abstract simulation in `ptm_core::privacy`): generate traffic
 /// at L', check whether the tracked vehicle's L-bit is set at L'.
-fn empirical_noise_information(
-    f: f64,
-    s: u32,
-    n_prime: u64,
-    trials: u32,
-    seed: u64,
-) -> (f64, f64) {
+fn empirical_noise_information(f: f64, s: u32, n_prime: u64, trials: u32, seed: u64) -> (f64, f64) {
     let m_prime = (n_prime as f64 * f).round() as usize;
     let mut rng = ChaCha12Rng::seed_from_u64(seed);
     let scheme = EncodingScheme::new(seed ^ 0x77, s);
@@ -55,7 +49,10 @@ fn real_encoding_matches_privacy_analysis() {
     let (p_hat, p_prime_hat) = empirical_noise_information(f, s, n_prime, 3_000, 9);
     let p = privacy::noise_probability(n_prime, (n_prime as f64 * f) as usize);
     let p_prime = privacy::tracking_probability(p, s);
-    assert!((p_hat - p).abs() < 0.03, "noise: empirical {p_hat} vs analytic {p}");
+    assert!(
+        (p_hat - p).abs() < 0.03,
+        "noise: empirical {p_hat} vs analytic {p}"
+    );
     assert!(
         (p_prime_hat - p_prime).abs() < 0.03,
         "tracking: empirical {p_prime_hat} vs analytic {p_prime}"
@@ -107,7 +104,10 @@ fn records_carry_no_identity_bytes() {
     );
     record.encode(&scheme, &v);
     let json = serde_json::to_string(&record).expect("serialize");
-    assert!(!json.contains("1234"), "id fragments must not appear: {json}");
+    assert!(
+        !json.contains("1234"),
+        "id fragments must not appear: {json}"
+    );
     assert!(!json.contains(&id.get().to_string()));
 }
 
@@ -123,7 +123,9 @@ fn same_vehicle_same_location_is_linkable_only_within_design() {
     let mut owners: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
     for _ in 0..500 {
         let v = VehicleSecrets::generate(&mut rng, 3);
-        *owners.entry(scheme.encode_index(&v, LocationId::new(1), m)).or_default() += 1;
+        *owners
+            .entry(scheme.encode_index(&v, LocationId::new(1), m))
+            .or_default() += 1;
     }
     let shared = owners.values().filter(|&&c| c > 1).count();
     assert!(

@@ -33,16 +33,29 @@ fn protocol_records_equal_direct_encoding() {
 
     // Rebuild each record by direct encoding of exactly the vehicles that
     // passed, and compare bit for bit.
-    let secrets: Vec<_> = vehicles.iter().map(|&v| sim.vehicle_secrets(v).clone()).collect();
+    let secrets: Vec<_> = vehicles
+        .iter()
+        .map(|&v| sim.vehicle_secrets(v).clone())
+        .collect();
     for &p in &periods {
         let all = direct_record(&scheme, locations[0], p, size, &secrets);
         let protocol = sim.server().record(locations[0], p).expect("uploaded");
-        assert_eq!(protocol.bitmap(), all.bitmap(), "location 7, period {}", p.get());
+        assert_eq!(
+            protocol.bitmap(),
+            all.bitmap(),
+            "location 7, period {}",
+            p.get()
+        );
 
         let evens: Vec<_> = secrets.iter().step_by(2).cloned().collect();
         let partial = direct_record(&scheme, locations[1], p, size, &evens);
         let protocol = sim.server().record(locations[1], p).expect("uploaded");
-        assert_eq!(protocol.bitmap(), partial.bitmap(), "location 9, period {}", p.get());
+        assert_eq!(
+            protocol.bitmap(),
+            partial.bitmap(),
+            "location 9, period {}",
+            p.get()
+        );
     }
 }
 
@@ -80,5 +93,8 @@ fn protocol_estimates_match_direct_estimates() {
     let via_direct = ptm_core::point::PointEstimator::new()
         .estimate(&direct_records)
         .expect("same records");
-    assert_eq!(via_protocol, via_direct, "identical records give identical estimates");
+    assert_eq!(
+        via_protocol, via_direct,
+        "identical records give identical estimates"
+    );
 }
