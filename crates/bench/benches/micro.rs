@@ -140,6 +140,38 @@ fn bench_storage(c: &mut Criterion) {
     group.bench_function("decode_record_1M_bits", |b| {
         b.iter(|| ptm_store::codec::decode_record(&bytes).expect("valid"))
     });
+
+    // The archive append path with its permanent (disabled) fault hooks:
+    // four small records buffered and committed with one flush.
+    let small_records: Vec<ptm_core::record::TrafficRecord> = (0..4)
+        .map(|p| {
+            let mut r = ptm_core::record::TrafficRecord::new(
+                LocationId::new(2),
+                PeriodId::new(p),
+                BitmapSize::new(4096).expect("pow2"),
+            );
+            for _ in 0..500 {
+                let v = VehicleSecrets::generate(&mut rng, 3);
+                r.encode(&scheme, &v);
+            }
+            r
+        })
+        .collect();
+    let bench_path = std::env::temp_dir().join(format!("ptm-bench-{}.ptma", std::process::id()));
+    group.bench_function("archive_append_commit_4_records", |b| {
+        b.iter_batched(
+            || {
+                let _ = std::fs::remove_file(&bench_path);
+                ptm_store::Archive::create(&bench_path).expect("create")
+            },
+            |mut archive| {
+                archive.append_all(small_records.iter()).expect("append");
+                archive
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    let _ = std::fs::remove_file(&bench_path);
     group.finish();
 
     let mut group = c.benchmark_group("wire");
@@ -197,6 +229,17 @@ fn bench_rpc(c: &mut Criterion) {
         b.iter(|| {
             let mut cursor = std::io::Cursor::new(framed.as_slice());
             ptm_rpc::frame::read_frame(&mut cursor, ptm_rpc::DEFAULT_MAX_FRAME_LEN)
+                .expect("valid frame")
+        })
+    });
+    // The same read through the permanent fault hooks with no plan armed:
+    // this is the production configuration, and it must cost nothing over
+    // the bare stream.
+    group.bench_function("frame_read_4k_record_fault_hooks_disabled", |b| {
+        b.iter(|| {
+            let mut stream =
+                ptm_fault::FaultyStream::passthrough(std::io::Cursor::new(framed.as_slice()));
+            ptm_rpc::frame::read_frame(&mut stream, ptm_rpc::DEFAULT_MAX_FRAME_LEN)
                 .expect("valid frame")
         })
     });

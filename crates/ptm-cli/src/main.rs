@@ -73,7 +73,15 @@ COMMANDS:
     all         Everything above in sequence
     serve       Run the ptm-rpc record-ingest daemon
                 (--archive PATH [--addr A] [--s N] [--duration-secs N]
-                 [--cache N: query-cache entries, 0 disables; default 1024])
+                 [--cache N: query-cache entries, 0 disables; default 1024]
+                 [--max-connections N: 0 removes the cap; default 256]
+                 [--inflight N: uncached estimates per location; default 8]
+                 [--retry-after-ms N: shed-response hint; default 250]
+                 [--sync flush|fsync: archive durability; default flush]
+                 [--faults SPEC --fault-seed N: deterministic fault plan,
+                  see docs/FAULTS.md])
+                With --health: probe a running daemon instead (exit 0 iff
+                it answers and is not degraded)
     upload      Synthesise a campaign and upload it to a daemon
                 (--location L [--addr A] [--periods T] [--vehicles N]
                  [--persistent N] [--seed S])
@@ -109,7 +117,7 @@ fn parse(args: &[String]) -> Option<(String, Options)> {
     while let Some(flag) = iter.next() {
         let key = flag.strip_prefix("--")?;
         // Boolean flags take no value.
-        if key == "quiet" {
+        if key == "quiet" || key == "health" {
             options.insert(key.to_owned(), String::new());
             continue;
         }

@@ -34,12 +34,45 @@ fn required<'a>(options: &'a Options, key: &str, hint: &str) -> Result<&'a str, 
         .ok_or_else(|| format!("--{key} is required ({hint})"))
 }
 
-/// `ptm serve`: run the record-ingest daemon in the foreground.
+/// `ptm serve --health`: one Ping against a running daemon. Healthy means
+/// it answers and ingest is not degraded.
+fn cmd_health(addr: &str) -> Result<(), String> {
+    let config = ClientConfig {
+        connect_timeout: Duration::from_secs(1),
+        io_timeout: Duration::from_secs(2),
+        max_attempts: 1,
+        breaker_threshold: 0,
+        ..ClientConfig::default()
+    };
+    let mut client = RpcClient::connect(addr, config).map_err(|e| e.to_string())?;
+    let info = client
+        .ping()
+        .map_err(|e| format!("daemon at {addr} unreachable: {e}"))?;
+    let state = if info.degraded {
+        "DEGRADED (uploads shed, queries served)"
+    } else {
+        "healthy"
+    };
+    println!(
+        "daemon at {addr}: {state} — protocol v{}, s = {}, {} records",
+        info.version, info.s, info.records
+    );
+    if info.degraded {
+        return Err("daemon is degraded".to_owned());
+    }
+    Ok(())
+}
+
+/// `ptm serve`: run the record-ingest daemon in the foreground (or, with
+/// `--health`, probe one that is already running).
 pub fn cmd_serve(options: &Options) -> Result<(), String> {
     let addr = options
         .get("addr")
         .map(String::as_str)
         .unwrap_or("127.0.0.1:7171");
+    if options.contains_key("health") {
+        return cmd_health(addr);
+    }
     let archive = PathBuf::from(required(
         options,
         "archive",
@@ -53,6 +86,27 @@ pub fn cmd_serve(options: &Options) -> Result<(), String> {
     };
     if let Some(cache) = opt_usize(options, "cache")? {
         config.cache_capacity = cache;
+    }
+    if let Some(cap) = opt_usize(options, "max-connections")? {
+        config.max_connections = cap;
+    }
+    if let Some(inflight) = opt_usize(options, "inflight")? {
+        config.max_inflight_estimates = inflight;
+    }
+    if let Some(hint) = opt_u64(options, "retry-after-ms")? {
+        config.retry_after_ms = hint as u32;
+    }
+    match options.get("sync").map(String::as_str) {
+        None | Some("flush") => {}
+        Some("fsync") => config.sync_policy = ptm_store::SyncPolicy::Fsync,
+        Some(other) => return Err(format!("--sync expects flush or fsync, got {other:?}")),
+    }
+    if let Some(spec) = options.get("faults") {
+        let seed = opt_u64(options, "fault-seed")?.unwrap_or(42);
+        let plan = ptm_fault::FaultPlan::parse(spec, seed)
+            .map_err(|e| format!("--faults rejected: {e}"))?;
+        println!("fault injection armed (seed {seed}): {spec}");
+        config.fault_plan = Some(plan);
     }
 
     let server = RpcServer::start(addr, &archive, config).map_err(|e| e.to_string())?;

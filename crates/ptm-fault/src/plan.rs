@@ -1,0 +1,643 @@
+//! Seeded, deterministic fault schedules.
+//!
+//! A [`FaultPlan`] maps *site* names (see [`crate::sites`]) to ordered lists
+//! of [`Rule`]s. Instrumented code holds a [`SiteHandle`] per site and calls
+//! [`SiteHandle::check`] once per operation; the handle counts operations and
+//! returns the [`FaultAction`] of the first rule whose schedule matches the
+//! current operation index. A disabled handle is a `None` wrapped in a
+//! newtype, so the check compiles down to a single branch.
+//!
+//! Determinism: operation indices are per-site monotonic counters and
+//! probabilistic rules draw from a per-site xorshift stream seeded from
+//! `plan_seed ^ fnv1a(site_name)`, so two runs with the same seed, spec, and
+//! single-threaded operation order inject exactly the same faults.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What an injected fault does to the operation it fires on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail the operation with this [`io::ErrorKind`] (e.g.
+    /// [`io::ErrorKind::StorageFull`] for `ENOSPC`).
+    Error(io::ErrorKind),
+    /// Move at most this many bytes (a short read or short write). A limit
+    /// of zero behaves like an end-of-file / zero-length write.
+    Short(usize),
+    /// XOR every byte moved by the operation with this mask.
+    Corrupt(u8),
+    /// Pretend the stream ended: reads report EOF, writes are silently
+    /// swallowed (claimed written, never delivered).
+    Truncate,
+    /// Sleep this long, then perform the operation normally (read stall /
+    /// injected latency).
+    Delay(Duration),
+    /// Fail with [`io::ErrorKind::ConnectionReset`].
+    Reset,
+}
+
+/// One scheduled fault: *when* (operation index pattern, fire budget,
+/// optional probability) and *what* ([`FaultAction`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    /// 1-based operation index at which the rule first becomes eligible.
+    pub first: u64,
+    /// After `first`, eligible again every this many operations
+    /// (`None`: eligible only at exactly `first`).
+    pub every: Option<u64>,
+    /// Ceiling on total fires (`u64::MAX`: unbounded).
+    pub count: u64,
+    /// Fire only with this probability in parts-per-million when eligible
+    /// (`None`: always fire when eligible).
+    pub chance_ppm: Option<u32>,
+    /// What happens when the rule fires.
+    pub action: FaultAction,
+}
+
+impl Rule {
+    /// A rule firing exactly once, at the `n`-th operation (1-based).
+    pub fn nth(n: u64, action: FaultAction) -> Self {
+        Self {
+            first: n.max(1),
+            every: None,
+            count: 1,
+            chance_ppm: None,
+            action,
+        }
+    }
+
+    /// A rule eligible at operation `first` and every `every` operations
+    /// after that, with no fire ceiling.
+    pub fn every(first: u64, every: u64, action: FaultAction) -> Self {
+        Self {
+            first: first.max(1),
+            every: Some(every.max(1)),
+            count: u64::MAX,
+            chance_ppm: None,
+            action,
+        }
+    }
+
+    /// Caps the total number of fires.
+    #[must_use]
+    pub fn times(mut self, count: u64) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// Fires only with the given probability (parts-per-million) when the
+    /// schedule matches.
+    #[must_use]
+    pub fn with_chance_ppm(mut self, ppm: u32) -> Self {
+        self.chance_ppm = Some(ppm.min(1_000_000));
+        self
+    }
+
+    fn matches(&self, op: u64) -> bool {
+        if op < self.first {
+            return false;
+        }
+        match self.every {
+            Some(every) => (op - self.first).is_multiple_of(every),
+            None => op == self.first,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RuleState {
+    rule: Rule,
+    fired: AtomicU64,
+}
+
+#[derive(Debug)]
+struct SiteState {
+    name: String,
+    ops: AtomicU64,
+    rng: AtomicU64,
+    fired_total: AtomicU64,
+    rules: Vec<RuleState>,
+}
+
+impl SiteState {
+    fn fire(&self) -> Option<FaultAction> {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
+        for state in &self.rules {
+            if !state.rule.matches(op) {
+                continue;
+            }
+            if state.fired.load(Ordering::Relaxed) >= state.rule.count {
+                continue;
+            }
+            if let Some(ppm) = state.rule.chance_ppm {
+                if self.roll() >= u64::from(ppm) {
+                    continue;
+                }
+            }
+            state.fired.fetch_add(1, Ordering::Relaxed);
+            self.fired_total.fetch_add(1, Ordering::Relaxed);
+            if ptm_obs::metrics_enabled() {
+                ptm_obs::registry()
+                    .counter(format!("fault.injected.{}", self.name))
+                    .inc();
+            }
+            return Some(state.rule.action);
+        }
+        None
+    }
+
+    /// One xorshift64 draw in `0..1_000_000`, threaded through an atomic so
+    /// concurrent callers stay lock-free (per-draw determinism then requires
+    /// a single-threaded operation order, which the tests arrange).
+    fn roll(&self) -> u64 {
+        let mut x = self.rng.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.store(x, Ordering::Relaxed);
+        x % 1_000_000
+    }
+}
+
+/// A cheap, cloneable handle to one fault site.
+///
+/// The default (and [`SiteHandle::disabled`]) handle carries no state:
+/// [`SiteHandle::check`] is then a single `None` branch, which is what makes
+/// leaving the hooks compiled into production paths free.
+#[derive(Debug, Clone, Default)]
+pub struct SiteHandle(Option<Arc<SiteState>>);
+
+impl SiteHandle {
+    /// A handle that never fires (the zero-cost production default).
+    pub const fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// Whether this handle is wired to an active plan.
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Counts one operation and returns the fault to inject, if any.
+    #[inline]
+    pub fn check(&self) -> Option<FaultAction> {
+        match &self.0 {
+            None => None,
+            Some(site) => site.fire(),
+        }
+    }
+
+    /// Operations observed so far (0 for a disabled handle).
+    pub fn ops(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |site| site.ops.load(Ordering::Relaxed))
+    }
+
+    /// Faults injected so far (0 for a disabled handle).
+    pub fn fired(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |site| site.fired_total.load(Ordering::Relaxed))
+    }
+}
+
+/// Errors building or parsing a [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The site name is not in the [`crate::sites`] registry.
+    UnknownSite(String),
+    /// A spec clause could not be parsed.
+    BadClause {
+        /// The offending clause, verbatim.
+        clause: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownSite(name) => {
+                write!(
+                    f,
+                    "unknown fault site {name:?} (known: {})",
+                    crate::sites::ALL.join(", ")
+                )
+            }
+            Self::BadClause { clause, reason } => {
+                write!(f, "bad fault clause {clause:?}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// An immutable, shareable set of per-site fault schedules.
+///
+/// Cloning shares the underlying operation counters, so a plan handed to a
+/// server and inspected by a test observes the same state.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    sites: HashMap<String, Arc<SiteState>>,
+}
+
+impl FaultPlan {
+    /// Starts building a plan with the given seed.
+    pub fn builder(seed: u64) -> FaultPlanBuilder {
+        FaultPlanBuilder {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Parses the compact spec grammar (clauses joined by `;`):
+    ///
+    /// ```text
+    /// site@FIRST[/EVERY][xCOUNT][~PPM]=ACTION[:ARG]
+    /// ```
+    ///
+    /// Actions: `enospc`, `err`, `timeout`, `broken`, `reset`, `truncate`,
+    /// `short[:bytes]`, `corrupt[:mask]`, `delay:millis`. See
+    /// `docs/FAULTS.md` for the full grammar.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::BadClause`] for malformed clauses and
+    /// [`PlanError::UnknownSite`] for unregistered site names.
+    pub fn parse(spec: &str, seed: u64) -> Result<Self, PlanError> {
+        let mut builder = Self::builder(seed);
+        for clause in spec
+            .split(';')
+            .map(str::trim)
+            .filter(|clause| !clause.is_empty())
+        {
+            let (site, rule) = parse_clause(clause)?;
+            builder = builder.rule(&site, rule);
+        }
+        builder.build()
+    }
+
+    /// The seed the plan was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The handle for a site; disabled if the plan has no rules for it.
+    pub fn site(&self, name: &str) -> SiteHandle {
+        SiteHandle(self.sites.get(name).cloned())
+    }
+}
+
+/// Accumulates `(site, rule)` pairs for a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultPlanBuilder {
+    seed: u64,
+    rules: Vec<(String, Rule)>,
+}
+
+impl FaultPlanBuilder {
+    /// Adds a rule to the named site (rules are tried in insertion order;
+    /// the first match wins).
+    #[must_use]
+    pub fn rule(mut self, site: &str, rule: Rule) -> Self {
+        self.rules.push((site.to_string(), rule));
+        self
+    }
+
+    /// Validates site names and freezes the plan.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::UnknownSite`] if a rule names a site that is not in the
+    /// [`crate::sites`] registry.
+    pub fn build(self) -> Result<FaultPlan, PlanError> {
+        let mut sites: HashMap<String, Vec<RuleState>> = HashMap::new();
+        for (site, rule) in self.rules {
+            if !crate::sites::is_known(&site) {
+                return Err(PlanError::UnknownSite(site));
+            }
+            sites.entry(site).or_default().push(RuleState {
+                rule,
+                fired: AtomicU64::new(0),
+            });
+        }
+        let sites = sites
+            .into_iter()
+            .map(|(name, rules)| {
+                // splitmix64-finalized so nearby seeds (42 vs 43) land on
+                // unrelated streams; `| 1` keeps xorshift out of its zero
+                // fixed point.
+                let rng_seed = mix64(self.seed ^ fnv1a(&name)) | 1;
+                let state = SiteState {
+                    name: name.clone(),
+                    ops: AtomicU64::new(0),
+                    rng: AtomicU64::new(rng_seed),
+                    fired_total: AtomicU64::new(0),
+                    rules,
+                };
+                (name, Arc::new(state))
+            })
+            .collect();
+        Ok(FaultPlan {
+            seed: self.seed,
+            sites,
+        })
+    }
+}
+
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    for byte in s.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn parse_clause(clause: &str) -> Result<(String, Rule), PlanError> {
+    let bad = |reason: &str| PlanError::BadClause {
+        clause: clause.to_string(),
+        reason: reason.to_string(),
+    };
+    let (left, action_text) = clause
+        .split_once('=')
+        .ok_or_else(|| bad("missing `=action`"))?;
+    let (site, schedule) = left
+        .split_once('@')
+        .ok_or_else(|| bad("missing `@first`"))?;
+    let action = parse_action(action_text.trim()).map_err(|reason| bad(&reason))?;
+
+    let schedule = schedule.trim();
+    let first_end = schedule.find(['/', 'x', '~']).unwrap_or(schedule.len());
+    let first: u64 = schedule[..first_end]
+        .parse()
+        .map_err(|_| bad("first operation index must be a positive integer"))?;
+    if first == 0 {
+        return Err(bad("operation indices are 1-based; first must be >= 1"));
+    }
+
+    let mut rest = &schedule[first_end..];
+    let mut every = None;
+    let mut count = 1_u64;
+    let mut count_set = false;
+    let mut chance_ppm = None;
+    while !rest.is_empty() {
+        let marker = rest.as_bytes()[0];
+        let body = &rest[1..];
+        let end = body.find(['/', 'x', '~']).unwrap_or(body.len());
+        let value: u64 = body[..end]
+            .parse()
+            .map_err(|_| bad("schedule values must be integers"))?;
+        match marker {
+            b'/' => {
+                if value == 0 {
+                    return Err(bad("`/every` must be >= 1"));
+                }
+                every = Some(value);
+            }
+            b'x' => {
+                count = value;
+                count_set = true;
+            }
+            b'~' => {
+                let ppm = u32::try_from(value).map_err(|_| bad("`~ppm` out of range"))?;
+                chance_ppm = Some(ppm.min(1_000_000));
+            }
+            _ => return Err(bad("expected `/every`, `xcount`, or `~ppm`")),
+        }
+        rest = &body[end..];
+    }
+    // A periodic rule without an explicit cap repeats forever.
+    if every.is_some() && !count_set {
+        count = u64::MAX;
+    }
+    Ok((
+        site.trim().to_string(),
+        Rule {
+            first,
+            every,
+            count,
+            chance_ppm,
+            action,
+        },
+    ))
+}
+
+fn parse_action(text: &str) -> Result<FaultAction, String> {
+    let (name, arg) = match text.split_once(':') {
+        Some((name, arg)) => (name, Some(arg)),
+        None => (text, None),
+    };
+    match name {
+        "enospc" => Ok(FaultAction::Error(io::ErrorKind::StorageFull)),
+        "err" => Ok(FaultAction::Error(io::ErrorKind::Other)),
+        "timeout" => Ok(FaultAction::Error(io::ErrorKind::TimedOut)),
+        "broken" => Ok(FaultAction::Error(io::ErrorKind::BrokenPipe)),
+        "reset" => Ok(FaultAction::Reset),
+        "truncate" => Ok(FaultAction::Truncate),
+        "short" => {
+            let keep = match arg {
+                Some(arg) => arg
+                    .parse()
+                    .map_err(|_| "short byte limit must be an integer")?,
+                None => 1,
+            };
+            Ok(FaultAction::Short(keep))
+        }
+        "corrupt" => {
+            let mask = match arg {
+                Some(arg) => arg.parse().map_err(|_| "corrupt mask must be 0..=255")?,
+                None => 0xFF,
+            };
+            Ok(FaultAction::Corrupt(mask))
+        }
+        "delay" => {
+            let millis: u64 = arg
+                .ok_or("delay needs `:millis`")?
+                .parse()
+                .map_err(|_| "delay millis must be an integer")?;
+            Ok(FaultAction::Delay(Duration::from_millis(millis)))
+        }
+        other => Err(format!("unknown action {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sites;
+
+    fn fires(handle: &SiteHandle, ops: u64) -> Vec<u64> {
+        (1..=ops)
+            .filter(|_| handle.check().is_some())
+            .map(|_| handle.ops())
+            .collect()
+    }
+
+    #[test]
+    fn disabled_handle_never_fires_and_counts_nothing() {
+        let handle = SiteHandle::disabled();
+        for _ in 0..100 {
+            assert!(handle.check().is_none());
+        }
+        assert_eq!(handle.ops(), 0);
+        assert_eq!(handle.fired(), 0);
+        assert!(!handle.is_active());
+    }
+
+    #[test]
+    fn nth_rule_fires_exactly_once_at_its_index() {
+        let plan = FaultPlan::builder(1)
+            .rule(sites::STORE_WRITE, Rule::nth(3, FaultAction::Reset))
+            .build()
+            .expect("plan");
+        let handle = plan.site(sites::STORE_WRITE);
+        assert_eq!(fires(&handle, 10), vec![3]);
+        assert_eq!(handle.fired(), 1);
+        assert_eq!(handle.ops(), 10);
+    }
+
+    #[test]
+    fn every_rule_honors_period_and_times_cap() {
+        let plan = FaultPlan::builder(1)
+            .rule(
+                sites::RPC_READ,
+                Rule::every(4, 3, FaultAction::Truncate).times(3),
+            )
+            .build()
+            .expect("plan");
+        let handle = plan.site(sites::RPC_READ);
+        assert_eq!(fires(&handle, 20), vec![4, 7, 10]);
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let plan = FaultPlan::builder(1)
+            .rule(sites::STORE_SYNC, Rule::nth(2, FaultAction::Reset))
+            .rule(sites::STORE_SYNC, Rule::every(1, 1, FaultAction::Truncate))
+            .build()
+            .expect("plan");
+        let handle = plan.site(sites::STORE_SYNC);
+        assert_eq!(handle.check(), Some(FaultAction::Truncate));
+        assert_eq!(handle.check(), Some(FaultAction::Reset));
+        assert_eq!(handle.check(), Some(FaultAction::Truncate));
+    }
+
+    #[test]
+    fn chance_rules_are_deterministic_under_a_seed() {
+        let build = |seed| {
+            FaultPlan::builder(seed)
+                .rule(
+                    sites::RPC_WRITE,
+                    Rule::every(1, 1, FaultAction::Reset).with_chance_ppm(300_000),
+                )
+                .build()
+                .expect("plan")
+        };
+        let run = |plan: &FaultPlan| {
+            let handle = plan.site(sites::RPC_WRITE);
+            (0..200)
+                .map(|_| handle.check().is_some())
+                .collect::<Vec<_>>()
+        };
+        let a = run(&build(42));
+        let b = run(&build(42));
+        let c = run(&build(43));
+        assert_eq!(a, b, "same seed must reproduce the same fault pattern");
+        assert_ne!(a, c, "different seeds should diverge");
+        let hits = a.iter().filter(|fired| **fired).count();
+        assert!(
+            (20..=120).contains(&hits),
+            "~30% of 200 expected, got {hits}"
+        );
+    }
+
+    #[test]
+    fn unknown_site_rejected() {
+        let err = FaultPlan::builder(1)
+            .rule("store.wriet", Rule::nth(1, FaultAction::Reset))
+            .build()
+            .expect_err("typo must be rejected");
+        assert!(matches!(err, PlanError::UnknownSite(name) if name == "store.wriet"));
+    }
+
+    #[test]
+    fn spec_grammar_roundtrip() {
+        let plan = FaultPlan::parse(
+            "store.write@3=enospc; rpc.read@2/5x4=corrupt:15; rpc.write@1/1~250000=reset; \
+             store.sync@2=delay:7; rpc.read@9=short:3",
+            99,
+        )
+        .expect("spec parses");
+        let write = plan.site(sites::STORE_WRITE);
+        assert_eq!(fires(&write, 10), vec![3]);
+        let sync = plan.site(sites::STORE_SYNC);
+        sync.check();
+        assert_eq!(
+            sync.check(),
+            Some(FaultAction::Delay(Duration::from_millis(7)))
+        );
+        let read = plan.site(sites::RPC_READ);
+        let mut actions = Vec::new();
+        for _ in 0..30 {
+            if let Some(action) = read.check() {
+                actions.push((read.ops(), action));
+            }
+        }
+        assert_eq!(
+            actions,
+            vec![
+                (2, FaultAction::Corrupt(15)),
+                (7, FaultAction::Corrupt(15)),
+                (9, FaultAction::Short(3)),
+                (12, FaultAction::Corrupt(15)),
+                (17, FaultAction::Corrupt(15)),
+            ]
+        );
+        assert!(
+            plan.site(sites::STORE_FLUSH).check().is_none(),
+            "unscheduled site stays quiet"
+        );
+    }
+
+    #[test]
+    fn bad_specs_rejected_with_context() {
+        for spec in [
+            "store.write=enospc",     // missing @first
+            "store.write@0=enospc",   // 0 is not a valid 1-based index
+            "store.write@1",          // missing action
+            "store.write@1=explode",  // unknown action
+            "store.write@1=delay",    // delay needs millis
+            "store.write@1/0=enospc", // zero period
+            "store.write@one=enospc", // non-numeric index
+            "store.typo@1=enospc",    // unknown site
+        ] {
+            assert!(
+                FaultPlan::parse(spec, 1).is_err(),
+                "spec {spec:?} should fail"
+            );
+        }
+        assert!(FaultPlan::parse("  ;; ", 1)
+            .expect("empty spec ok")
+            .is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! A fault-injecting wrapper around any `Read + Write` stream.
+
+use crate::plan::{FaultAction, SiteHandle};
+use std::io::{self, Read, Write};
+
+/// Wraps a stream and applies scheduled [`FaultAction`]s to its reads and
+/// writes.
+///
+/// With disabled handles (see [`FaultyStream::passthrough`]) every call is a
+/// single-branch delegation to the inner stream, so production paths can keep
+/// the wrapper unconditionally.
+#[derive(Debug)]
+pub struct FaultyStream<S> {
+    inner: S,
+    read_site: SiteHandle,
+    write_site: SiteHandle,
+}
+
+impl<S> FaultyStream<S> {
+    /// Wraps `inner`, injecting `read_site` faults on reads and `write_site`
+    /// faults on writes.
+    pub fn new(inner: S, read_site: SiteHandle, write_site: SiteHandle) -> Self {
+        Self {
+            inner,
+            read_site,
+            write_site,
+        }
+    }
+
+    /// Wraps `inner` with disabled handles (never injects anything).
+    pub fn passthrough(inner: S) -> Self {
+        Self::new(inner, SiteHandle::disabled(), SiteHandle::disabled())
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// The wrapped stream, mutably.
+    pub fn get_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Unwraps the stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: Read> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.read_site.check() {
+            None => self.inner.read(buf),
+            Some(FaultAction::Error(kind)) => Err(io::Error::new(kind, "injected read fault")),
+            Some(FaultAction::Reset) => Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected connection reset",
+            )),
+            // EOF in the middle of whatever the peer was sending.
+            Some(FaultAction::Truncate) => Ok(0),
+            Some(FaultAction::Delay(pause)) => {
+                std::thread::sleep(pause);
+                self.inner.read(buf)
+            }
+            Some(FaultAction::Short(limit)) => {
+                let limit = limit.min(buf.len());
+                if limit == 0 {
+                    return Ok(0);
+                }
+                self.inner.read(&mut buf[..limit])
+            }
+            Some(FaultAction::Corrupt(mask)) => {
+                let moved = self.inner.read(buf)?;
+                for byte in &mut buf[..moved] {
+                    *byte ^= mask;
+                }
+                Ok(moved)
+            }
+        }
+    }
+}
+
+impl<S: Write> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.write_site.check() {
+            None => self.inner.write(buf),
+            Some(FaultAction::Error(kind)) => Err(io::Error::new(kind, "injected write fault")),
+            Some(FaultAction::Reset) => Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected connection reset",
+            )),
+            // Claim success without delivering a byte (a half-dead peer).
+            Some(FaultAction::Truncate) => Ok(buf.len()),
+            Some(FaultAction::Delay(pause)) => {
+                std::thread::sleep(pause);
+                self.inner.write(buf)
+            }
+            Some(FaultAction::Short(limit)) => {
+                let limit = limit.min(buf.len());
+                self.inner.write(&buf[..limit])
+            }
+            Some(FaultAction::Corrupt(mask)) => {
+                let twisted: Vec<u8> = buf.iter().map(|byte| byte ^ mask).collect();
+                self.inner.write(&twisted)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultPlan, Rule};
+    use crate::sites;
+    use std::io::Cursor;
+
+    fn plan_with(site: &str, rule: Rule) -> FaultPlan {
+        FaultPlan::builder(7)
+            .rule(site, rule)
+            .build()
+            .expect("plan")
+    }
+
+    #[test]
+    fn passthrough_moves_bytes_untouched() {
+        let mut stream = FaultyStream::passthrough(Cursor::new(Vec::new()));
+        stream.write_all(b"hello").expect("write");
+        stream.get_mut().set_position(0);
+        let mut back = [0u8; 5];
+        stream.read_exact(&mut back).expect("read");
+        assert_eq!(&back, b"hello");
+    }
+
+    #[test]
+    fn read_faults_apply_in_schedule_order() {
+        let plan = plan_with(sites::RPC_READ, Rule::nth(2, FaultAction::Corrupt(0xFF)));
+        let inner = Cursor::new(vec![1u8, 2, 3, 4]);
+        let mut stream =
+            FaultyStream::new(inner, plan.site(sites::RPC_READ), SiteHandle::disabled());
+        let mut buf = [0u8; 2];
+        stream.read_exact(&mut buf).expect("clean read");
+        assert_eq!(buf, [1, 2]);
+        stream
+            .read_exact(&mut buf)
+            .expect("corrupted read still succeeds");
+        assert_eq!(buf, [!3, !4], "second read is XOR-masked");
+    }
+
+    #[test]
+    fn short_read_limits_one_call_without_losing_data() {
+        let plan = plan_with(sites::RPC_READ, Rule::nth(1, FaultAction::Short(1)));
+        let inner = Cursor::new(vec![9u8, 8, 7]);
+        let mut stream =
+            FaultyStream::new(inner, plan.site(sites::RPC_READ), SiteHandle::disabled());
+        let mut buf = [0u8; 3];
+        // read_exact loops: the first call is clipped to one byte, the rest
+        // arrive on later (clean) calls.
+        stream.read_exact(&mut buf).expect("read");
+        assert_eq!(buf, [9, 8, 7]);
+        assert!(stream.get_ref().position() == 3);
+    }
+
+    #[test]
+    fn truncate_read_reports_eof_and_truncate_write_swallows() {
+        let plan = FaultPlan::builder(3)
+            .rule(sites::RPC_READ, Rule::nth(1, FaultAction::Truncate))
+            .rule(sites::RPC_WRITE, Rule::nth(1, FaultAction::Truncate))
+            .build()
+            .expect("plan");
+        let inner = Cursor::new(vec![1u8, 2, 3]);
+        let mut stream = FaultyStream::new(
+            inner,
+            plan.site(sites::RPC_READ),
+            plan.site(sites::RPC_WRITE),
+        );
+        let mut buf = [0u8; 3];
+        assert_eq!(stream.read(&mut buf).expect("eof"), 0, "injected EOF");
+        stream.get_mut().set_position(3);
+        stream
+            .write_all(b"xy")
+            .expect("swallowed write claims success");
+        assert_eq!(
+            stream.get_ref().get_ref().len(),
+            3,
+            "nothing actually written"
+        );
+    }
+
+    #[test]
+    fn write_errors_and_resets_surface_as_io_errors() {
+        let plan = FaultPlan::builder(3)
+            .rule(
+                sites::RPC_WRITE,
+                Rule::nth(1, FaultAction::Error(io::ErrorKind::StorageFull)),
+            )
+            .rule(sites::RPC_WRITE, Rule::nth(2, FaultAction::Reset))
+            .build()
+            .expect("plan");
+        let mut stream = FaultyStream::new(
+            Cursor::new(Vec::new()),
+            SiteHandle::disabled(),
+            plan.site(sites::RPC_WRITE),
+        );
+        let err = stream.write(b"abc").expect_err("enospc");
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        let err = stream.write(b"abc").expect_err("reset");
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        stream
+            .write_all(b"abc")
+            .expect("rules exhausted; writes clean again");
+        assert_eq!(stream.get_ref().get_ref(), b"abc");
+    }
+
+    #[test]
+    fn corrupt_write_flips_delivered_bytes() {
+        let plan = plan_with(sites::RPC_WRITE, Rule::nth(1, FaultAction::Corrupt(0x0F)));
+        let mut stream = FaultyStream::new(
+            Cursor::new(Vec::new()),
+            SiteHandle::disabled(),
+            plan.site(sites::RPC_WRITE),
+        );
+        stream.write_all(&[0x00, 0xF0]).expect("write");
+        assert_eq!(stream.get_ref().get_ref(), &[0x0F, 0xFF]);
+    }
+}

@@ -253,6 +253,24 @@ impl CentralServer {
             .len()
     }
 
+    /// Every location that has stored at least one record, sorted by id.
+    ///
+    /// Sorted output makes the listing stable across calls regardless of
+    /// hash-map iteration order, so operational tooling (the daemon's
+    /// degraded-mode recovery sweep, status printouts) sees a
+    /// deterministic view.
+    pub fn locations(&self) -> Vec<LocationId> {
+        let mut out: Vec<LocationId> = self
+            .shards
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .keys()
+            .copied()
+            .collect();
+        out.sort_unstable_by_key(|loc| loc.get());
+        out
+    }
+
     /// The upload epoch of `location`: 0 for a location that never stored
     /// a record, then +1 per accepted record.
     ///
@@ -418,6 +436,22 @@ mod tests {
             .estimate_volume(loc, PeriodId::new(0))
             .expect("volume");
         assert!((vol - 500.0).abs() / 500.0 < 0.1, "volume {vol}");
+    }
+
+    #[test]
+    fn locations_listing_is_sorted_and_complete() {
+        let server = CentralServer::new(3);
+        assert!(server.locations().is_empty());
+        for id in [9u64, 2, 40, 7] {
+            let rec = TrafficRecord::new(
+                LocationId::new(id),
+                PeriodId::new(0),
+                BitmapSize::new(64).expect("pow2"),
+            );
+            server.submit(rec).expect("upload");
+        }
+        let listed: Vec<u64> = server.locations().iter().map(|l| l.get()).collect();
+        assert_eq!(listed, vec![2, 7, 9, 40]);
     }
 
     #[test]

@@ -12,6 +12,18 @@
 //! is idempotent: an identical re-send is acked as a duplicate, not stored
 //! twice. That at-least-once contract is what lets this client treat every
 //! ambiguous transport failure as "try again".
+//!
+//! Three mechanisms keep a retrying fleet from making a bad situation
+//! worse (see `docs/FAULTS.md`):
+//!
+//! * a server [`Response::Overloaded`] answer is retried after at least
+//!   its `retry_after_ms` hint, not hammered on the normal backoff;
+//! * an optional **deadline budget** ([`ClientConfig::deadline`]) caps the
+//!   total wall-clock a call may spend across all its attempts;
+//! * a **circuit breaker** opens after
+//!   [`ClientConfig::breaker_threshold`] consecutive failed calls, failing
+//!   further calls instantly ([`ClientError::CircuitOpen`]) until a
+//!   cooldown passes and one half-open probe call is let through.
 
 use crate::frame::{
     read_frame_with_stall, write_frame, FrameError, ReadOutcome, DEFAULT_MAX_FRAME_LEN,
@@ -23,7 +35,7 @@ use ptm_core::record::TrafficRecord;
 use ptm_core::{LocationId, PeriodId};
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`RpcClient`].
 #[derive(Debug, Clone)]
@@ -42,6 +54,17 @@ pub struct ClientConfig {
     pub jitter_seed: u64,
     /// Largest response frame accepted.
     pub max_frame_len: u32,
+    /// Total wall-clock budget per call, spanning every attempt and
+    /// backoff sleep. `None` (the default) leaves only `max_attempts` as
+    /// the bound. A call that would sleep past the budget fails with
+    /// [`ClientError::DeadlineExceeded`] instead of sleeping.
+    pub deadline: Option<Duration>,
+    /// Consecutive failed *calls* before the circuit breaker opens; 0
+    /// disables the breaker.
+    pub breaker_threshold: u32,
+    /// Minimum time the breaker stays open. A server `retry_after_ms`
+    /// hint larger than this extends the hold.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ClientConfig {
@@ -54,6 +77,9 @@ impl Default for ClientConfig {
             backoff_cap: Duration::from_secs(2),
             jitter_seed: 0x9E37_79B9_7F4A_7C15,
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            deadline: None,
+            breaker_threshold: 8,
+            breaker_cooldown: Duration::from_millis(500),
         }
     }
 }
@@ -82,6 +108,19 @@ pub enum ClientError {
     },
     /// A request that can never be sent (e.g. an oversized batch).
     InvalidRequest(String),
+    /// The deadline budget ran out before any attempt succeeded.
+    DeadlineExceeded {
+        /// Attempts completed before the budget ran out.
+        attempts: u32,
+        /// The most recent failure (empty if the first attempt never ran).
+        last: String,
+    },
+    /// The circuit breaker is open: recent calls kept failing, so this one
+    /// failed instantly without touching the network.
+    CircuitOpen {
+        /// How long until the breaker admits a half-open probe call.
+        retry_after: Duration,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -94,6 +133,16 @@ impl std::fmt::Display for ClientError {
                 write!(f, "gave up after {attempts} attempts: {last}")
             }
             Self::InvalidRequest(detail) => write!(f, "invalid request: {detail}"),
+            Self::DeadlineExceeded { attempts, last } => {
+                write!(f, "deadline exceeded after {attempts} attempts: {last}")
+            }
+            Self::CircuitOpen { retry_after } => {
+                write!(
+                    f,
+                    "circuit breaker open; retry in {} ms",
+                    retry_after.as_millis()
+                )
+            }
         }
     }
 }
@@ -109,13 +158,19 @@ pub struct UploadSummary {
     pub duplicates: u32,
 }
 
-/// Ping response: the server's protocol version and estimator parameter.
+/// Ping response: the server's protocol version, estimator parameter, and
+/// health snapshot — the payload behind `ptm serve --health`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerInfo {
     /// Protocol version the server speaks.
     pub version: u8,
     /// Representative-bit count `s` used by the point-to-point estimator.
     pub s: u32,
+    /// Records currently held by the server's query engine.
+    pub records: u64,
+    /// Whether ingest is degraded (uploads shed while the archive backend
+    /// is down; queries still served).
+    pub degraded: bool,
 }
 
 enum AttemptError {
@@ -167,6 +222,11 @@ pub struct RpcClient {
     config: ClientConfig,
     stream: Option<TcpStream>,
     jitter_state: u64,
+    /// Consecutive failed calls, for the circuit breaker.
+    consecutive_failures: u32,
+    /// While `Some`, the breaker is open and calls before this instant
+    /// fail fast; the first call after it is the half-open probe.
+    open_until: Option<Instant>,
 }
 
 impl RpcClient {
@@ -188,6 +248,8 @@ impl RpcClient {
             config,
             stream: None,
             jitter_state,
+            consecutive_failures: 0,
+            open_until: None,
         })
     }
 
@@ -203,7 +265,17 @@ impl RpcClient {
     /// Any [`ClientError`].
     pub fn ping(&mut self) -> Result<ServerInfo, ClientError> {
         match self.call(&Request::Ping)? {
-            Response::Pong { version, s } => Ok(ServerInfo { version, s }),
+            Response::Pong {
+                version,
+                s,
+                records,
+                degraded,
+            } => Ok(ServerInfo {
+                version,
+                s,
+                records,
+                degraded,
+            }),
             other => Err(unexpected("Pong", &other)),
         }
     }
@@ -317,20 +389,61 @@ impl RpcClient {
         }
     }
 
-    /// One request/response exchange with retries.
+    /// One request/response exchange with retries, bounded by the attempt
+    /// count, the optional deadline budget, and the circuit breaker.
     fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        if let Some(until) = self.open_until {
+            let now = Instant::now();
+            if now < until {
+                ptm_obs::counter!("rpc.client.breaker.rejected").inc();
+                return Err(ClientError::CircuitOpen {
+                    retry_after: until - now,
+                });
+            }
+            // Cooldown over: this call is the half-open probe. Success
+            // closes the breaker; failure re-opens it for another hold.
+            self.open_until = None;
+        }
         let payload = encode_request(request);
         let attempts = self.config.max_attempts.max(1);
+        let started = Instant::now();
         let mut last = String::new();
+        // A server retry_after_ms hint floors the next backoff, and the
+        // latest hint seeds the breaker hold if this call exhausts.
+        let mut retry_hint: Option<Duration> = None;
+        let mut last_hint: Option<u32> = None;
         for attempt in 0..attempts {
             if attempt > 0 {
+                let backoff = self.backoff(attempt);
+                let delay = retry_hint.take().map_or(backoff, |hint| hint.max(backoff));
+                if let Some(budget) = self.config.deadline {
+                    if started.elapsed() + delay >= budget {
+                        ptm_obs::counter!("rpc.client.deadline_exceeded").inc();
+                        self.record_failure(last_hint);
+                        return Err(ClientError::DeadlineExceeded {
+                            attempts: attempt,
+                            last,
+                        });
+                    }
+                }
                 ptm_obs::counter!("rpc.client.retries").inc();
-                std::thread::sleep(self.backoff(attempt));
+                std::thread::sleep(delay);
             }
             match self.attempt(&payload) {
+                // An overload shed is a healthy server asking for space:
+                // keep the connection, honor the hint, try again.
+                Ok(Response::Overloaded { retry_after_ms }) => {
+                    ptm_obs::counter!("rpc.client.overloaded").inc();
+                    retry_hint = Some(Duration::from_millis(u64::from(retry_after_ms)));
+                    last_hint = Some(retry_after_ms);
+                    last = format!("server overloaded; asked to retry after {retry_after_ms} ms");
+                }
                 Ok(response) => {
-                    // An error frame is the server speaking; nothing about
-                    // it improves on retry.
+                    // Any decoded answer means the transport and server
+                    // are alive — the breaker resets even for an error
+                    // frame, which is the server speaking, and which
+                    // nothing about a retry improves.
+                    self.on_success();
                     if let Response::Error { code, message } = response {
                         if code == ErrorCode::VersionMismatch {
                             ptm_obs::counter!("rpc.client.version_mismatch").inc();
@@ -339,7 +452,10 @@ impl RpcClient {
                     }
                     return Ok(response);
                 }
-                Err(AttemptError::Fatal(err)) => return Err(err),
+                Err(AttemptError::Fatal(err)) => {
+                    self.record_failure(None);
+                    return Err(err);
+                }
                 Err(AttemptError::Retryable(detail)) => {
                     ptm_obs::debug!("rpc.client", "attempt failed";
                         attempt = attempt + 1, error = detail.clone());
@@ -349,7 +465,34 @@ impl RpcClient {
             }
         }
         ptm_obs::counter!("rpc.client.exhausted").inc();
+        self.record_failure(last_hint);
         Err(ClientError::Exhausted { attempts, last })
+    }
+
+    /// Resets the breaker after any decoded server answer.
+    fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.open_until = None;
+    }
+
+    /// Counts one failed call toward the breaker, opening it at the
+    /// threshold for `max(retry_after hint, breaker_cooldown)`.
+    fn record_failure(&mut self, hint_ms: Option<u32>) {
+        if self.config.breaker_threshold == 0 {
+            return;
+        }
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.consecutive_failures >= self.config.breaker_threshold {
+            let hold = hint_ms
+                .map(|ms| Duration::from_millis(u64::from(ms)))
+                .map_or(self.config.breaker_cooldown, |hint| {
+                    hint.max(self.config.breaker_cooldown)
+                });
+            self.open_until = Some(Instant::now() + hold);
+            ptm_obs::counter!("rpc.client.breaker.opened").inc();
+            ptm_obs::warn!("rpc.client", "circuit breaker opened";
+                failures = self.consecutive_failures, hold_ms = hold.as_millis() as u64);
+        }
     }
 
     fn attempt(&mut self, payload: &[u8]) -> Result<Response, AttemptError> {
@@ -513,6 +656,136 @@ mod tests {
                 duplicates: 0
             }
         );
+    }
+
+    #[test]
+    fn same_seed_yields_identical_backoff_sequences() {
+        // Deterministic jitter: two clients with the same seed sleep the
+        // same sequence; a different seed diverges.
+        let mut a = RpcClient::connect("127.0.0.1:1", test_config()).expect("client");
+        let mut b = RpcClient::connect("127.0.0.1:1", test_config()).expect("client");
+        let mut c = RpcClient::connect(
+            "127.0.0.1:1",
+            ClientConfig {
+                jitter_seed: 0xDEAD_BEEF,
+                ..test_config()
+            },
+        )
+        .expect("client");
+        let seq_a: Vec<Duration> = (1..=8).map(|n| a.backoff(n)).collect();
+        let seq_b: Vec<Duration> = (1..=8).map(|n| b.backoff(n)).collect();
+        let seq_c: Vec<Duration> = (1..=8).map(|n| c.backoff(n)).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn deadline_budget_caps_total_retry_time() {
+        // 100 permitted attempts but a 60 ms budget against 20 ms
+        // backoffs: the deadline, not the attempt count, ends the call.
+        let config = ClientConfig {
+            max_attempts: 100,
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_millis(20),
+            deadline: Some(Duration::from_millis(60)),
+            breaker_threshold: 0,
+            ..test_config()
+        };
+        let mut client = RpcClient::connect("127.0.0.1:1", config).expect("client");
+        let started = std::time::Instant::now();
+        match client.ping() {
+            Err(ClientError::DeadlineExceeded { attempts, .. }) => {
+                assert!(
+                    attempts < 100,
+                    "deadline fired before exhaustion: {attempts}"
+                );
+                assert!(attempts >= 1, "at least one attempt ran");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "call overran its budget: {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_then_rejects_without_io() {
+        let config = ClientConfig {
+            max_attempts: 1,
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_secs(30),
+            ..test_config()
+        };
+        let mut client = RpcClient::connect("127.0.0.1:1", config).expect("client");
+        for _ in 0..2 {
+            match client.ping() {
+                Err(ClientError::Exhausted { .. }) => {}
+                other => panic!("expected exhaustion, got {other:?}"),
+            }
+        }
+        // Third call fails fast with the hold remaining, no network touch.
+        match client.ping() {
+            Err(ClientError::CircuitOpen { retry_after }) => {
+                assert!(retry_after > Duration::from_secs(20), "{retry_after:?}");
+            }
+            other => panic!("expected CircuitOpen, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn breaker_half_open_probe_recovers_on_success() {
+        use crate::frame::{read_frame, ReadOutcome};
+        use crate::proto::{encode_response, PROTOCOL_VERSION};
+
+        // A one-shot responder: answer the first framed request with Pong.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let responder = std::thread::spawn(move || {
+            if let Ok((mut stream, _)) = listener.accept() {
+                if let Ok(ReadOutcome::Frame(_)) = read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN) {
+                    let payload = encode_response(&Response::Pong {
+                        version: PROTOCOL_VERSION,
+                        s: 3,
+                        records: 7,
+                        degraded: false,
+                    });
+                    let _ = write_frame(&mut stream, &payload);
+                }
+            }
+        });
+
+        let config = ClientConfig {
+            max_attempts: 1,
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_millis(20),
+            ..test_config()
+        };
+        let mut client = RpcClient::connect(addr, config).expect("client");
+        // Force the breaker open as if previous calls had failed.
+        client.consecutive_failures = 2;
+        client.open_until = Some(std::time::Instant::now() + Duration::from_millis(20));
+        match client.ping() {
+            Err(ClientError::CircuitOpen { .. }) => {}
+            other => panic!("expected CircuitOpen, got {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        // Past the cooldown the probe call goes through and closes the
+        // breaker; the extended Pong fields surface in ServerInfo.
+        let info = client.ping().expect("half-open probe succeeds");
+        assert_eq!(
+            info,
+            ServerInfo {
+                version: PROTOCOL_VERSION,
+                s: 3,
+                records: 7,
+                degraded: false
+            }
+        );
+        assert_eq!(client.consecutive_failures, 0);
+        assert!(client.open_until.is_none());
+        responder.join().expect("responder");
     }
 
     #[test]

@@ -25,12 +25,24 @@
 //!   location's cached answers, and cached answers stay bit-for-bit
 //!   identical to freshly computed ones.
 //! * [`client`] — [`RpcClient`]: capped exponential backoff with jitter,
-//!   a retryable-versus-fatal error split, and batch upload.
+//!   a retryable-versus-fatal error split, batch upload, a per-call
+//!   deadline budget, and a circuit breaker that honors the server's
+//!   `retry_after_ms` shed hints.
+//!
+//! The daemon protects itself under load and backend failure instead of
+//! queueing without bound: a connection cap and a per-location in-flight
+//! estimate gate shed excess work with an explicit `Overloaded` response,
+//! and ingest drops to a degraded (read-only) mode when the archive
+//! backend keeps failing — queries stay up, uploads are shed until a
+//! cooldown-gated reopen probe succeeds. Deterministic fault injection for
+//! all of this comes from `ptm-fault` via
+//! [`ServerConfig::fault_plan`](server::ServerConfig); see
+//! `docs/FAULTS.md`.
 //!
 //! Everything is instrumented through `ptm-obs` under the `rpc.server.*`,
-//! `rpc.client.*`, `rpc.shard.*`, and `rpc.cache.*` metric prefixes; see
-//! `docs/RPC.md` and `docs/OBSERVABILITY.md` for the full protocol and
-//! metric reference.
+//! `rpc.client.*`, `rpc.shard.*`, `rpc.shed.*`, and `rpc.cache.*` metric
+//! prefixes; see `docs/RPC.md` and `docs/OBSERVABILITY.md` for the full
+//! protocol and metric reference.
 //!
 //! # Example (loopback round trip)
 //!

@@ -4,7 +4,7 @@
 //! body layout depends on the tag (all integers little-endian):
 //!
 //! ```text
-//! byte 0: protocol version (currently 1)
+//! byte 0: protocol version (currently 2)
 //! byte 1: message tag
 //!
 //! requests:
@@ -16,11 +16,16 @@
 //!   6 query p2p     loc_a u64 | loc_b u64 | count u16 | period u32 * count
 //!
 //! responses:
-//!   128 pong        version u8 | s u32
+//!   128 pong        version u8 | s u32 | records u64 | flags u8 (bit 0 = degraded)
 //!   129 upload ok   accepted u32 | duplicates u32
 //!   130 estimate    f64 bits as u64
 //!   131 error       code u8 | message len u16 | utf-8 message
+//!   132 overloaded  retry_after_ms u32
 //! ```
+//!
+//! Version history: v1 had a `version u8 | s u32` pong body and no
+//! overloaded response. v2 extends the pong with a health summary and adds
+//! tag 132 for load shedding (see `docs/FAULTS.md`).
 //!
 //! Traffic records ride in the exact `ptm-store` on-disk payload encoding,
 //! so the daemon archives the bytes it validated and a reader of the
@@ -31,7 +36,7 @@ use ptm_core::record::{PeriodId, TrafficRecord};
 use ptm_store::codec::{decode_record, encode_record};
 
 /// The one protocol version this build speaks.
-pub const PROTOCOL_VERSION: u8 = 1;
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Ceiling on periods per query (bounds decoder allocations).
 pub const MAX_QUERY_PERIODS: usize = 4096;
@@ -181,12 +186,17 @@ pub enum Request {
 /// Server-to-client messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    /// Reply to [`Request::Ping`].
+    /// Reply to [`Request::Ping`] (doubles as the health/readiness probe).
     Pong {
         /// Server protocol version.
         version: u8,
         /// Representative-bit count `s` the server estimates with.
         s: u32,
+        /// Records currently held by the estimation engine.
+        records: u64,
+        /// Whether the server is in degraded read-only mode (archive
+        /// backend failing; uploads are shed, queries still answered).
+        degraded: bool,
     },
     /// Reply to an upload: how many records were newly accepted and how
     /// many were identical re-sends (idempotent duplicates).
@@ -205,6 +215,15 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+    /// The server shed this request under load (or in degraded mode).
+    ///
+    /// Unlike [`Response::Error`] this is *retryable*: nothing about the
+    /// request was wrong, the server just declined to do the work right
+    /// now. Clients should wait at least `retry_after_ms` before retrying.
+    Overloaded {
+        /// Server's backoff hint, in milliseconds.
+        retry_after_ms: u32,
+    },
 }
 
 const TAG_PING: u8 = 1;
@@ -217,6 +236,7 @@ const TAG_PONG: u8 = 128;
 const TAG_UPLOAD_OK: u8 = 129;
 const TAG_ESTIMATE: u8 = 130;
 const TAG_ERROR: u8 = 131;
+const TAG_OVERLOADED: u8 = 132;
 
 struct Reader<'a> {
     buf: &'a [u8],
@@ -405,10 +425,17 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
 /// Encodes a response payload (framing not included).
 pub fn encode_response(response: &Response) -> Vec<u8> {
     match response {
-        Response::Pong { version, s } => {
+        Response::Pong {
+            version,
+            s,
+            records,
+            degraded,
+        } => {
             let mut out = header(TAG_PONG);
             out.push(*version);
             out.extend_from_slice(&s.to_le_bytes());
+            out.extend_from_slice(&records.to_le_bytes());
+            out.push(u8::from(*degraded));
             out
         }
         Response::UploadOk {
@@ -434,6 +461,11 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             out.extend_from_slice(&bytes[..len]);
             out
         }
+        Response::Overloaded { retry_after_ms } => {
+            let mut out = header(TAG_OVERLOADED);
+            out.extend_from_slice(&retry_after_ms.to_le_bytes());
+            out
+        }
     }
 }
 
@@ -449,6 +481,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
         TAG_PONG => Response::Pong {
             version: r.u8()?,
             s: r.u32()?,
+            records: r.u64()?,
+            degraded: r.u8()? & 1 != 0,
         },
         TAG_UPLOAD_OK => Response::UploadOk {
             accepted: r.u32()?,
@@ -463,6 +497,9 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
                 .to_owned();
             Response::Error { code, message }
         }
+        TAG_OVERLOADED => Response::Overloaded {
+            retry_after_ms: r.u32()?,
+        },
         other => return Err(ProtoError::UnknownTag(other)),
     };
     r.finish()?;
@@ -529,6 +566,14 @@ mod tests {
             Response::Pong {
                 version: PROTOCOL_VERSION,
                 s: 3,
+                records: 12_345,
+                degraded: false,
+            },
+            Response::Pong {
+                version: PROTOCOL_VERSION,
+                s: 3,
+                records: 0,
+                degraded: true,
             },
             Response::UploadOk {
                 accepted: 10,
@@ -539,6 +584,9 @@ mod tests {
             Response::Error {
                 code: ErrorCode::MissingRecord,
                 message: "loc 3 period 9".into(),
+            },
+            Response::Overloaded {
+                retry_after_ms: 250,
             },
         ];
         for response in responses {

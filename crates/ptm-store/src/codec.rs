@@ -31,6 +31,9 @@ pub enum StoreError {
     BadHeader,
     /// A record size in the payload is not a power of two.
     BadBitmapSize(usize),
+    /// A failed commit could not be rolled back; the archive refuses
+    /// appends until rebuilt ([`crate::Archive::compact`]) or reopened.
+    Wedged,
 }
 
 impl std::fmt::Display for StoreError {
@@ -41,6 +44,12 @@ impl std::fmt::Display for StoreError {
             Self::MalformedRecord { reason } => write!(f, "malformed record: {reason}"),
             Self::BadHeader => write!(f, "not a ptm archive (bad magic or version)"),
             Self::BadBitmapSize(size) => write!(f, "bitmap size {size} is not a power of two"),
+            Self::Wedged => {
+                write!(
+                    f,
+                    "archive wedged after failed rollback; compact or reopen required"
+                )
+            }
         }
     }
 }
@@ -58,6 +67,18 @@ impl From<std::io::Error> for StoreError {
     fn from(err: std::io::Error) -> Self {
         Self::Io(err)
     }
+}
+
+fn le_u32(bytes: &[u8]) -> u32 {
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&bytes[..4]);
+    u32::from_le_bytes(raw)
+}
+
+fn le_u64(bytes: &[u8]) -> u64 {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(raw)
 }
 
 /// Encodes a record payload (no framing).
@@ -79,11 +100,13 @@ pub fn encode_record(record: &TrafficRecord) -> Vec<u8> {
 /// [`StoreError::BadBitmapSize`] for non-power-of-two record sizes.
 pub fn decode_record(payload: &[u8]) -> Result<TrafficRecord, StoreError> {
     if payload.len() < 20 {
-        return Err(StoreError::MalformedRecord { reason: format!("{} byte payload", payload.len()) });
+        return Err(StoreError::MalformedRecord {
+            reason: format!("{} byte payload", payload.len()),
+        });
     }
-    let location = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
-    let period = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes"));
-    let len = u64::from_le_bytes(payload[12..20].try_into().expect("8 bytes")) as usize;
+    let location = le_u64(&payload[0..8]);
+    let period = le_u32(&payload[8..12]);
+    let len = le_u64(&payload[12..20]) as usize;
     let size = BitmapSize::new(len).map_err(StoreError::BadBitmapSize)?;
     let expected_bytes = len.div_ceil(8);
     let rest = &payload[20..];
@@ -146,7 +169,10 @@ mod tests {
         let record = sample_record(3);
         let mut bytes = encode_record(&record);
         bytes[12..20].copy_from_slice(&1000u64.to_le_bytes());
-        assert!(matches!(decode_record(&bytes), Err(StoreError::BadBitmapSize(1000))));
+        assert!(matches!(
+            decode_record(&bytes),
+            Err(StoreError::BadBitmapSize(1000))
+        ));
     }
 
     #[test]

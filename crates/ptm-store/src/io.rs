@@ -1,0 +1,193 @@
+//! Pluggable storage backends for the archive.
+//!
+//! [`Archive`](crate::Archive) writes through a boxed [`StorageIo`] rather
+//! than a raw [`File`], so tests (and `ptm serve --faults`) can interpose
+//! [`HookedIo`] — a backend that consults [`ptm_fault`] fault sites before
+//! every write, flush, fsync, and truncate. With no plan configured the
+//! archive talks to a plain [`FileIo`] and the hooks cost nothing.
+
+use ptm_fault::{sites, FaultAction, FaultPlan, SiteHandle};
+use std::fmt::Debug;
+use std::fs::File;
+use std::io::{self, Write};
+
+/// The operations the archive needs from its backing storage.
+///
+/// This is [`Write`] plus the two durability calls a write-ahead log relies
+/// on: fsync ([`StorageIo::sync`]) and truncate ([`StorageIo::set_len`], the
+/// rollback primitive).
+pub trait StorageIo: Write + Debug + Send {
+    /// Forces written data to stable storage (`fsync`).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    fn sync(&mut self) -> io::Result<()>;
+
+    /// Truncates (or extends) the backing file to exactly `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+}
+
+/// The production backend: a plain append-mode [`File`].
+#[derive(Debug)]
+pub struct FileIo {
+    file: File,
+}
+
+impl FileIo {
+    /// Wraps an already-opened file (the archive opens it in append mode,
+    /// so writes land at EOF even after a [`StorageIo::set_len`] rollback).
+    pub fn new(file: File) -> Self {
+        Self { file }
+    }
+}
+
+impl Write for FileIo {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.file.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.file.flush()
+    }
+}
+
+impl StorageIo for FileIo {
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.file.set_len(len)
+    }
+}
+
+/// One [`SiteHandle`] per archive fault site.
+#[derive(Debug, Clone, Default)]
+pub struct StoreHooks {
+    /// Fires on every backend `write` call.
+    pub write: SiteHandle,
+    /// Fires on every backend `flush` call.
+    pub flush: SiteHandle,
+    /// Fires on every backend `sync` (fsync) call.
+    pub sync: SiteHandle,
+    /// Fires on every backend `set_len` (rollback truncate) call.
+    pub set_len: SiteHandle,
+}
+
+impl StoreHooks {
+    /// Hooks that never fire (the production default).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Resolves the four `store.*` sites from a plan.
+    pub fn from_plan(plan: &FaultPlan) -> Self {
+        Self {
+            write: plan.site(sites::STORE_WRITE),
+            flush: plan.site(sites::STORE_FLUSH),
+            sync: plan.site(sites::STORE_SYNC),
+            set_len: plan.site(sites::STORE_SET_LEN),
+        }
+    }
+
+    /// Whether any site is wired to an active plan.
+    pub fn is_active(&self) -> bool {
+        self.write.is_active()
+            || self.flush.is_active()
+            || self.sync.is_active()
+            || self.set_len.is_active()
+    }
+}
+
+/// A [`StorageIo`] decorator that injects scheduled faults.
+#[derive(Debug)]
+pub struct HookedIo<B> {
+    inner: B,
+    hooks: StoreHooks,
+}
+
+impl<B: StorageIo> HookedIo<B> {
+    /// Decorates `inner` with the given hooks.
+    pub fn new(inner: B, hooks: StoreHooks) -> Self {
+        Self { inner, hooks }
+    }
+}
+
+fn injected() {
+    ptm_obs::counter!("store.fault.injected").inc();
+}
+
+/// Applies a non-write fault action (flush/sync/set_len have no byte stream
+/// to shorten or corrupt, so those actions degrade to plain errors).
+fn apply_control(action: FaultAction, what: &str) -> io::Result<()> {
+    injected();
+    match action {
+        FaultAction::Delay(pause) => {
+            std::thread::sleep(pause);
+            Ok(())
+        }
+        FaultAction::Error(kind) => Err(io::Error::new(kind, format!("injected {what} fault"))),
+        FaultAction::Reset => Err(io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            format!("injected {what} reset"),
+        )),
+        FaultAction::Short(_) | FaultAction::Corrupt(_) | FaultAction::Truncate => {
+            Err(io::Error::other(format!("injected {what} fault")))
+        }
+    }
+}
+
+impl<B: StorageIo> Write for HookedIo<B> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let Some(action) = self.hooks.write.check() else {
+            return self.inner.write(buf);
+        };
+        injected();
+        match action {
+            FaultAction::Error(kind) => Err(io::Error::new(kind, "injected write fault")),
+            FaultAction::Reset => Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected write reset",
+            )),
+            // Claims success, delivers nothing: the bytes evaporate.
+            FaultAction::Truncate => Ok(buf.len()),
+            FaultAction::Delay(pause) => {
+                std::thread::sleep(pause);
+                self.inner.write(buf)
+            }
+            FaultAction::Short(limit) => self.inner.write(&buf[..limit.min(buf.len())]),
+            FaultAction::Corrupt(mask) => {
+                let twisted: Vec<u8> = buf.iter().map(|byte| byte ^ mask).collect();
+                self.inner.write(&twisted)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(action) = self.hooks.flush.check() {
+            apply_control(action, "flush")?;
+        }
+        self.inner.flush()
+    }
+}
+
+impl<B: StorageIo> StorageIo for HookedIo<B> {
+    fn sync(&mut self) -> io::Result<()> {
+        if let Some(action) = self.hooks.sync.check() {
+            apply_control(action, "fsync")?;
+        }
+        self.inner.sync()
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        if let Some(action) = self.hooks.set_len.check() {
+            apply_control(action, "set_len")?;
+        }
+        self.inner.set_len(len)
+    }
+}

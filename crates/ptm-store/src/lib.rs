@@ -11,14 +11,25 @@
 //! * [`archive`] — an append-only log file with per-frame checksums,
 //!   streaming reads, and crash-tolerant recovery (a torn final frame is
 //!   detected and ignored; mid-file corruption is reported, not silently
-//!   skipped).
+//!   skipped). Commits are transactional: a failed append rolls the file
+//!   back to the last good frame, so an acked batch is never ahead of
+//!   durable state;
+//! * [`io`] — the pluggable [`io::StorageIo`] backend the archive writes
+//!   through, with a fault-injecting decorator ([`io::HookedIo`]) wired to
+//!   [`ptm_fault`] for chaos testing (see `docs/FAULTS.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Production code must propagate errors, not abort: unwrap/expect are
+// test-only conveniences (enforced by `cargo clippy -p ptm-store
+// -- -D warnings` in scripts/ci.sh).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod archive;
 pub mod codec;
 pub mod crc32;
+pub mod io;
 
-pub use archive::{Archive, RecoveredArchive};
+pub use archive::{Archive, RecoveredArchive, SyncPolicy};
 pub use codec::StoreError;
+pub use io::{StorageIo, StoreHooks};

@@ -11,13 +11,14 @@ echo "==> cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 # The daemon recovers from poisoned locks instead of unwrapping them; keep
-# panic-on-Err out of ptm-rpc's non-test code so that property holds. The
-# unwrap_used/expect_used lints live as crate-level `warn`s in ptm-rpc's
-# lib.rs (scoped to not(test), so tests may still unwrap); -D warnings
-# escalates them here. Passing -D clippy::unwrap_used on this command line
-# instead would leak the lint into every path dependency.
-echo "==> cargo clippy -p ptm-rpc (no unwrap/expect in non-test code)"
-cargo clippy -p ptm-rpc -- -D warnings
+# panic-on-Err out of the server-side crates' non-test code so that
+# property holds. The unwrap_used/expect_used lints live as crate-level
+# `warn`s in each crate's lib.rs (scoped to not(test), so tests may still
+# unwrap); -D warnings escalates them here. Passing -D clippy::unwrap_used
+# on this command line instead would leak the lint into every path
+# dependency.
+echo "==> cargo clippy -p ptm-rpc -p ptm-store -p ptm-fault (no unwrap/expect in non-test code)"
+cargo clippy -p ptm-rpc -p ptm-store -p ptm-fault -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --workspace --release
@@ -36,5 +37,12 @@ timeout 300 cargo test --quiet -p ptm-integration-tests --test rpc_loopback
 # invalidate per location. Same bounding rationale as above.
 echo "==> shard stress tests (bounded)"
 timeout 300 cargo test --quiet -p ptm-integration-tests --test shard_stress
+
+# Seeded chaos: deterministic fault plans (disk-full, fsync failure,
+# connection resets, truncated frames, overload bursts) against a real
+# daemon. The plans are fixed-seed, so this is a regression gate, not a
+# fuzzer; the whole suite is budgeted to finish in seconds.
+echo "==> chaos suite (bounded, fixed seeds)"
+timeout 300 cargo test --quiet -p ptm-integration-tests --test chaos
 
 echo "ci: all green"

@@ -1,0 +1,588 @@
+//! Seeded chaos tests for the store/RPC stack: deterministic fault plans
+//! drive disk-full and fsync failures, connection resets, truncated frames,
+//! and overload bursts against a real daemon on a loopback socket.
+//!
+//! The invariants under test, across every seed:
+//!
+//! - **Zero acked-record loss**: a record the client saw acked is on disk
+//!   after any crash/restart sequence — the served ack is never ahead of
+//!   durable state.
+//! - **Shedding is explicit**: an overloaded or degraded daemon answers
+//!   `Overloaded` with a retry hint instead of hanging or silently dropping.
+//! - **Recovery is exact**: once the faults clear, estimates served over the
+//!   wire match an in-process [`CentralServer`] fed the same records,
+//!   bit for bit.
+//!
+//! Timing-sensitive tests share the process-global `ptm-obs` registry and
+//! loopback ports, so everything serializes on [`lock`]. The whole suite is
+//! budgeted to stay well under a minute (it is part of `scripts/ci.sh`).
+
+#![forbid(unsafe_code)]
+
+use ptm_core::encoding::{EncodingScheme, LocationId};
+use ptm_core::params::BitmapSize;
+use ptm_core::record::{PeriodId, TrafficRecord};
+use ptm_fault::{sites, FaultAction, FaultPlan, Rule};
+use ptm_integration_tests::{direct_record, fleet};
+use ptm_net::CentralServer;
+use ptm_rpc::proto::{decode_response, encode_request};
+use ptm_rpc::{
+    read_frame, write_frame, ClientConfig, ClientError, ErrorCode, ReadOutcome, Request, Response,
+    RpcClient, RpcServer, ServerConfig, DEFAULT_MAX_FRAME_LEN,
+};
+use ptm_store::SyncPolicy;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::io;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::{Barrier, Mutex, MutexGuard};
+use std::time::Duration;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    TEST_LOCK
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+fn temp_archive(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("ptm-chaos-{}-{name}.ptma", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// A small deterministic campaign (chaos runs restart daemons repeatedly,
+/// so records stay light: 40 persistent + 80 transient vehicles, 1 KiB
+/// bitmaps).
+fn small_campaign(location: u64, periods: u32, seed: u64) -> Vec<TrafficRecord> {
+    let scheme = EncodingScheme::new(11, 3);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let persistent = fleet(&mut rng, 40, 3);
+    let size = BitmapSize::new(1024).expect("pow2");
+    (0..periods)
+        .map(|p| {
+            let transient = fleet(&mut rng, 80, 3);
+            let mut all = persistent.clone();
+            all.extend(transient);
+            direct_record(
+                &scheme,
+                LocationId::new(location),
+                PeriodId::new(p),
+                size,
+                &all,
+            )
+        })
+        .collect()
+}
+
+fn reference_for(records: &[TrafficRecord]) -> CentralServer {
+    let reference = CentralServer::new(3);
+    for record in records {
+        reference.submit(record.clone()).expect("reference submit");
+    }
+    reference
+}
+
+/// Asserts every estimate kind matches the in-process reference bit for bit.
+fn assert_estimates_exact(
+    client: &mut RpcClient,
+    reference: &CentralServer,
+    locations: &[u64],
+    periods: u32,
+    context: &str,
+) {
+    let periods: Vec<PeriodId> = (0..periods).map(PeriodId::new).collect();
+    for &loc in locations {
+        let location = LocationId::new(loc);
+        let over_wire = client.query_point(location, &periods).expect("point");
+        let in_process = reference
+            .estimate_point_persistent(location, &periods)
+            .expect("point");
+        assert_eq!(
+            over_wire.to_bits(),
+            in_process.to_bits(),
+            "point at {loc} ({context})"
+        );
+        let over_wire = client.query_volume(location, periods[0]).expect("volume");
+        let in_process = reference
+            .estimate_volume(location, periods[0])
+            .expect("volume");
+        assert_eq!(
+            over_wire.to_bits(),
+            in_process.to_bits(),
+            "volume at {loc} ({context})"
+        );
+    }
+    if locations.len() >= 2 {
+        let a = LocationId::new(locations[0]);
+        let b = LocationId::new(locations[1]);
+        let over_wire = client.query_p2p(a, b, &periods).expect("p2p");
+        let in_process = reference
+            .estimate_p2p_persistent(a, b, &periods)
+            .expect("p2p");
+        assert_eq!(over_wire.to_bits(), in_process.to_bits(), "p2p ({context})");
+    }
+}
+
+/// An upload that tolerates the two application-level failure shapes chaos
+/// injects on the wire: a request chopped mid-frame earns a `Malformed`
+/// answer (the real client would resend), and everything transport-level is
+/// already retried inside [`RpcClient`].
+fn upload_acked(client: &mut RpcClient, record: &TrafficRecord, context: &str) {
+    let mut resends = 5u32;
+    loop {
+        match client.upload(record) {
+            Ok(summary) => {
+                assert_eq!(
+                    summary.accepted + summary.duplicates,
+                    1,
+                    "one upload, one outcome ({context})"
+                );
+                return;
+            }
+            // The server read a truncated request and said so; resend.
+            Err(ClientError::Server {
+                code: ErrorCode::Malformed,
+                ..
+            }) if resends > 0 => resends -= 1,
+            Err(err) => panic!("upload failed ({context}): {err}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1. The seeded fault storm: disk-full, fsync failure, connection reset,
+//    truncated frames, and a torn crash tail — across five fixed seeds.
+// ---------------------------------------------------------------------------
+
+fn storm_plan(seed: u64, fsync: bool) -> FaultPlan {
+    let mut builder = FaultPlan::builder(seed)
+        // The second committed batch hits a short write, then ENOSPC on the
+        // continuation: the commit fails mid-frame and must roll back.
+        .rule(sites::STORE_WRITE, Rule::nth(2, FaultAction::Short(4)))
+        .rule(
+            sites::STORE_WRITE,
+            Rule::nth(3, FaultAction::Error(io::ErrorKind::StorageFull)),
+        )
+        // Some response frame dies mid-write: the ack is lost after the
+        // commit, and the retry must land as an idempotent duplicate.
+        .rule(sites::RPC_WRITE, Rule::nth(4, FaultAction::Reset))
+        // Some request read dies: either an idle poll (silent close) or a
+        // frame mid-read (the server answers Malformed and closes).
+        .rule(sites::RPC_READ, Rule::nth(6, FaultAction::Reset))
+        // And some later read sees a truncated stream (injected EOF).
+        .rule(sites::RPC_READ, Rule::nth(8, FaultAction::Truncate));
+    if fsync {
+        // Under SyncPolicy::Fsync a commit is only durable after fsync;
+        // fail one of those too.
+        builder = builder.rule(
+            sites::STORE_SYNC,
+            Rule::nth(2, FaultAction::Error(io::ErrorKind::Other)),
+        );
+    }
+    builder.build().expect("storm plan")
+}
+
+fn storm_server_config(plan: Option<&FaultPlan>, fsync: bool) -> ServerConfig {
+    ServerConfig {
+        s: 3,
+        read_timeout: Duration::from_secs(5),
+        poll_interval: Duration::from_millis(5),
+        retry_after_ms: 15,
+        degraded_after_failures: 4,
+        sync_policy: if fsync {
+            SyncPolicy::Fsync
+        } else {
+            SyncPolicy::Flush
+        },
+        fault_plan: plan.cloned(),
+        ..ServerConfig::default()
+    }
+}
+
+fn storm_client_config(seed: u64) -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Duration::from_millis(500),
+        io_timeout: Duration::from_secs(2),
+        max_attempts: 10,
+        backoff_base: Duration::from_millis(2),
+        backoff_cap: Duration::from_millis(30),
+        jitter_seed: seed,
+        deadline: Some(Duration::from_secs(10)),
+        breaker_threshold: 0,
+        ..ClientConfig::default()
+    }
+}
+
+fn run_storm(seed: u64) {
+    let fsync = seed % 2 == 1;
+    let path = temp_archive(&format!("storm-{seed}"));
+    let plan = storm_plan(seed, fsync);
+    let locations: Vec<u64> = vec![11, 12, 13];
+    let all: Vec<TrafficRecord> = locations
+        .iter()
+        .flat_map(|&loc| small_campaign(loc, 3, seed.wrapping_mul(1000) + loc))
+        .collect();
+
+    // Phase 1: upload under fire. Every upload below must end acked even
+    // though commits fail mid-frame, acks get reset, and reads get chopped.
+    let mut acked = 0usize;
+    {
+        let server = RpcServer::start(
+            "127.0.0.1:0",
+            &path,
+            storm_server_config(Some(&plan), fsync),
+        )
+        .expect("start");
+        let mut client =
+            RpcClient::connect(server.local_addr(), storm_client_config(seed)).expect("client");
+        for record in &all[..5] {
+            upload_acked(&mut client, record, &format!("seed {seed} phase 1"));
+            acked += 1;
+        }
+        assert!(
+            !server.degraded(),
+            "transient faults must not trip degraded mode (seed {seed})"
+        );
+        server.shutdown().expect("shutdown");
+    }
+
+    // Crash simulation: a torn frame header lands on the tail of the file,
+    // as if the process died mid-append.
+    {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .expect("open for tearing");
+        file.write_all(&[0x40, 0x00, 0x00, 0x00, 0xAB, 0xCD])
+            .expect("torn tail");
+    }
+
+    // Phase 2: restart on the damaged file, with the same plan (schedules
+    // carry across the restart). Replay must hold exactly the acked set.
+    {
+        let server = RpcServer::start(
+            "127.0.0.1:0",
+            &path,
+            storm_server_config(Some(&plan), fsync),
+        )
+        .expect("restart");
+        let replay = server.replay_report();
+        assert_eq!(
+            replay.records, acked,
+            "zero acked-record loss across the crash (seed {seed})"
+        );
+        assert!(
+            replay.torn_bytes > 0,
+            "the torn tail must be detected and discarded (seed {seed})"
+        );
+        let mut client =
+            RpcClient::connect(server.local_addr(), storm_client_config(seed)).expect("client");
+        for record in &all[5..] {
+            upload_acked(&mut client, record, &format!("seed {seed} phase 2"));
+        }
+        // An RSU that lost its ack log re-sends everything; the daemon must
+        // absorb the full campaign as duplicates without re-archiving.
+        let summary = client.upload_batch(&all).expect("idempotent re-upload");
+        assert_eq!(summary.accepted, 0, "nothing new in the re-upload");
+        assert_eq!(summary.duplicates as usize, all.len());
+        server.shutdown().expect("shutdown");
+    }
+
+    // Phase 3: a clean daemon (no faults) on the same archive answers every
+    // estimate exactly like an in-process engine fed the same records.
+    {
+        let server = RpcServer::start("127.0.0.1:0", &path, storm_server_config(None, fsync))
+            .expect("clean restart");
+        let replay = server.replay_report();
+        assert_eq!(
+            replay.records,
+            all.len(),
+            "full campaign on disk (seed {seed})"
+        );
+        assert_eq!(replay.torn_bytes, 0, "clean shutdown left no torn tail");
+        assert_eq!(server.record_count(), all.len());
+        let reference = reference_for(&all);
+        let mut client =
+            RpcClient::connect(server.local_addr(), storm_client_config(seed)).expect("client");
+        assert_estimates_exact(
+            &mut client,
+            &reference,
+            &locations,
+            3,
+            &format!("seed {seed} post-recovery"),
+        );
+        server.shutdown().expect("shutdown");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn seeded_fault_storm_loses_no_acked_record() {
+    let _guard = lock();
+    for seed in [3, 8, 42, 1337, 9002] {
+        run_storm(seed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Overload burst: concurrent uncached estimates against a gate of one.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn overload_burst_sheds_explicitly_and_answers_the_rest_exactly() {
+    let _guard = lock();
+    let path = temp_archive("burst");
+    let plan = FaultPlan::builder(7)
+        // Every estimate takes 150 ms, so a synchronized burst of six
+        // identical queries piles onto the single in-flight slot.
+        .rule(
+            sites::RPC_ESTIMATE,
+            Rule::every(1, 1, FaultAction::Delay(Duration::from_millis(150))),
+        )
+        .build()
+        .expect("burst plan");
+    let config = ServerConfig {
+        s: 3,
+        read_timeout: Duration::from_secs(5),
+        poll_interval: Duration::from_millis(5),
+        cache_capacity: 0, // every query computes; nothing hides behind the cache
+        max_inflight_estimates: 1,
+        retry_after_ms: 25,
+        fault_plan: Some(plan),
+        ..ServerConfig::default()
+    };
+    let server = RpcServer::start("127.0.0.1:0", &path, config).expect("start");
+    let addr = server.local_addr();
+
+    let records = small_campaign(31, 2, 4242);
+    let mut client = RpcClient::connect(addr, ClientConfig::default()).expect("client");
+    client.upload_batch(&records).expect("upload");
+
+    ptm_obs::enable_metrics();
+    let shed_before = ptm_obs::registry().counter("rpc.shed.estimates").get();
+
+    // Six raw-frame clients fire the same uncached query at the same
+    // instant. No retries here: each thread records the daemon's one
+    // answer, served or shed.
+    let periods = vec![PeriodId::new(0), PeriodId::new(1)];
+    let request = encode_request(&Request::QueryPoint {
+        location: LocationId::new(31),
+        periods: periods.clone(),
+    });
+    let barrier = Barrier::new(6);
+    let responses: Vec<Response> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let request = &request;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(5)))
+                        .expect("timeout");
+                    barrier.wait();
+                    write_frame(&mut stream, request).expect("send");
+                    match read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN).expect("read") {
+                        ReadOutcome::Frame(payload) => decode_response(&payload).expect("decode"),
+                        other => panic!("expected a response frame, got {other:?}"),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("thread"))
+            .collect()
+    });
+
+    let reference = reference_for(&records);
+    let expected = reference
+        .estimate_point_persistent(LocationId::new(31), &periods)
+        .expect("reference point");
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    for response in &responses {
+        match response {
+            Response::Estimate(value) => {
+                served += 1;
+                assert_eq!(
+                    value.to_bits(),
+                    expected.to_bits(),
+                    "served answers stay bit-exact under load"
+                );
+            }
+            Response::Overloaded { retry_after_ms } => {
+                shed += 1;
+                assert_eq!(
+                    *retry_after_ms, 25,
+                    "shed responses carry the configured hint"
+                );
+            }
+            other => panic!("expected Estimate or Overloaded, got {other:?}"),
+        }
+    }
+    assert_eq!(served + shed, 6);
+    assert!(served >= 1, "the gate admits at least one query");
+    assert!(shed >= 1, "a synchronized burst against one slot must shed");
+    let shed_after = ptm_obs::registry().counter("rpc.shed.estimates").get();
+    assert!(
+        shed_after >= shed_before + shed as u64,
+        "rpc.shed.estimates counts every shed: {shed_before} -> {shed_after} ({shed} observed)"
+    );
+    ptm_obs::set_metrics_enabled(false);
+
+    // A normal retrying client gets through once the burst is over.
+    let over_wire = client
+        .query_point(LocationId::new(31), &periods)
+        .expect("post-burst query");
+    assert_eq!(over_wire.to_bits(), expected.to_bits());
+    server.shutdown().expect("shutdown");
+    std::fs::remove_file(&path).ok();
+}
+
+// ---------------------------------------------------------------------------
+// 3. Degraded mode: a failing archive backend sheds uploads, keeps serving
+//    queries, and recovers through the cooldown-gated reopen probe.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn degraded_mode_sheds_uploads_serves_queries_then_recovers() {
+    let _guard = lock();
+    let path = temp_archive("degraded");
+    // The second and third commits fail; everything after is healthy.
+    let plan = FaultPlan::builder(99)
+        .rule(
+            sites::STORE_WRITE,
+            Rule::every(2, 1, FaultAction::Error(io::ErrorKind::Other)).times(2),
+        )
+        .build()
+        .expect("degraded plan");
+    let config = ServerConfig {
+        s: 3,
+        read_timeout: Duration::from_secs(5),
+        poll_interval: Duration::from_millis(5),
+        retry_after_ms: 10,
+        degraded_after_failures: 2,
+        degraded_cooldown: Duration::from_millis(150),
+        fault_plan: Some(plan),
+        ..ServerConfig::default()
+    };
+    let records = small_campaign(21, 2, 2121);
+    let reference = reference_for(&records);
+
+    ptm_obs::enable_metrics();
+    let entries_before = ptm_obs::registry()
+        .counter("store.recovery.degraded_entries")
+        .get();
+    let reopens_before = ptm_obs::registry().counter("store.recovery.reopens").get();
+
+    let server = RpcServer::start("127.0.0.1:0", &path, config).expect("start");
+    let addr = server.local_addr();
+    let mut client = RpcClient::connect(
+        addr,
+        ClientConfig {
+            max_attempts: 8,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(20),
+            breaker_threshold: 0,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("client");
+    // A client with a single attempt surfaces each shed directly.
+    let mut one_shot = RpcClient::connect(
+        addr,
+        ClientConfig {
+            max_attempts: 1,
+            breaker_threshold: 0,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("one-shot client");
+
+    // Commit 1 succeeds; commits 2 and 3 hit the injected backend failures
+    // and cross the degraded threshold.
+    client.upload(&records[0]).expect("first upload");
+    for round in 0..2 {
+        match one_shot.upload(&records[1]) {
+            Err(ClientError::Exhausted { last, .. }) => {
+                assert!(
+                    last.contains("overloaded"),
+                    "storage failure surfaces as an explicit shed, got {last:?} (round {round})"
+                );
+            }
+            other => panic!("expected a shed, got {other:?} (round {round})"),
+        }
+    }
+    assert!(
+        server.degraded(),
+        "two consecutive commit failures trip degraded mode"
+    );
+    assert!(
+        client.ping().expect("ping").degraded,
+        "Pong reports degraded"
+    );
+
+    // Degraded means read-only, not down: queries still serve, exactly.
+    let over_wire = client
+        .query_volume(LocationId::new(21), PeriodId::new(0))
+        .expect("query while degraded");
+    let in_process = reference
+        .estimate_volume(LocationId::new(21), PeriodId::new(0))
+        .expect("reference volume");
+    assert_eq!(over_wire.to_bits(), in_process.to_bits());
+
+    // Inside the cooldown the daemon sheds without touching the backend.
+    assert!(
+        one_shot.upload(&records[1]).is_err(),
+        "uploads inside the cooldown are shed"
+    );
+    assert!(server.degraded());
+
+    // After the cooldown the next upload triggers the reopen probe; the
+    // fault budget is exhausted, so ingest resumes and the record lands.
+    std::thread::sleep(Duration::from_millis(250));
+    let summary = client.upload(&records[1]).expect("upload after recovery");
+    assert_eq!(summary.accepted, 1);
+    assert!(!server.degraded(), "successful probe leaves degraded mode");
+    let info = client.ping().expect("ping");
+    assert!(!info.degraded);
+    assert_eq!(info.records, 2);
+
+    let entries_after = ptm_obs::registry()
+        .counter("store.recovery.degraded_entries")
+        .get();
+    let reopens_after = ptm_obs::registry().counter("store.recovery.reopens").get();
+    assert_eq!(entries_after, entries_before + 1, "one degraded entry");
+    assert_eq!(reopens_after, reopens_before + 1, "one recovery reopen");
+    ptm_obs::set_metrics_enabled(false);
+    server.shutdown().expect("shutdown");
+
+    // A clean restart replays both records and answers exactly.
+    let server = RpcServer::start(
+        "127.0.0.1:0",
+        &path,
+        ServerConfig {
+            s: 3,
+            read_timeout: Duration::from_secs(5),
+            poll_interval: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("clean restart");
+    assert_eq!(
+        server.replay_report().records,
+        2,
+        "both acked records survived"
+    );
+    let mut client =
+        RpcClient::connect(server.local_addr(), ClientConfig::default()).expect("client");
+    assert_estimates_exact(&mut client, &reference, &[21], 2, "post-degraded recovery");
+    server.shutdown().expect("shutdown");
+    std::fs::remove_file(&path).ok();
+}

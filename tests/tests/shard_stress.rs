@@ -201,6 +201,91 @@ fn parallel_uploads_and_queries_match_sequential_bit_for_bit() {
     std::fs::remove_file(&path).ok();
 }
 
+/// A query racing a *panicking* upload must not end up caching against a
+/// stale epoch: the panicked ingest published nothing, so the location's
+/// epoch must not move and the cached answer must keep serving as a hit —
+/// then move exactly once when the retried upload lands for real.
+#[test]
+fn panicked_upload_race_does_not_cache_stale_epoch() {
+    let _guard = lock();
+    let path = temp_archive("panic-epoch");
+    let config = server_config();
+    let panic_flag = std::sync::Arc::clone(&config.fault_ingest_panic);
+    let server = RpcServer::start("127.0.0.1:0", &path, config).expect("start");
+    let mut client = RpcClient::connect(server.local_addr(), client_config()).expect("client");
+
+    let location = LocationId::new(41);
+    let records = campaign(41, 4, 410);
+    client
+        .upload_batch(&records[..3])
+        .expect("upload 3 periods");
+    let periods: Vec<PeriodId> = (0..3).map(PeriodId::new).collect();
+
+    ptm_obs::enable_metrics();
+    let hits = ptm_obs::registry().counter("rpc.cache.hits");
+    let misses = ptm_obs::registry().counter("rpc.cache.misses");
+    let stale = ptm_obs::registry().counter("rpc.cache.stale");
+    let (hits0, misses0, stale0) = (hits.get(), misses.get(), stale.get());
+
+    let cold = client.query_point(location, &periods).expect("cold query");
+    let cached = client
+        .query_point(location, &periods)
+        .expect("cached query");
+    assert_eq!(cold.to_bits(), cached.to_bits());
+    assert_eq!((hits.get() - hits0, misses.get() - misses0), (1, 1));
+
+    // The fourth-period upload panics inside ingest while holding the
+    // writer lock. The daemon answers Internal and publishes nothing.
+    panic_flag.store(true, Ordering::SeqCst);
+    match client.upload_batch(std::slice::from_ref(&records[3])) {
+        Err(ptm_rpc::ClientError::Server {
+            code: ptm_rpc::ErrorCode::Internal,
+            ..
+        }) => {}
+        other => panic!("expected Internal from panicked ingest, got {other:?}"),
+    }
+
+    // Nothing was published, so the epoch must not have moved: the cached
+    // answer still serves as a hit, bit-for-bit.
+    let after_panic = client.query_point(location, &periods).expect("query");
+    assert_eq!(after_panic.to_bits(), cold.to_bits());
+    assert_eq!(hits.get() - hits0, 2, "panicked upload must not invalidate");
+    assert_eq!(stale.get() - stale0, 0);
+
+    // The retry lands for real (the panic flag self-cleared): now the
+    // epoch moves exactly once and the cached entry goes stale.
+    let summary = client
+        .upload_batch(std::slice::from_ref(&records[3]))
+        .expect("retried upload");
+    assert_eq!(summary.accepted, 1);
+    let recomputed = client.query_point(location, &periods).expect("recompute");
+    assert_eq!(
+        recomputed.to_bits(),
+        cold.to_bits(),
+        "same periods, same answer after recompute"
+    );
+    assert_eq!(stale.get() - stale0, 1, "exactly one invalidation");
+    assert_eq!(misses.get() - misses0, 2, "the stale lookup recomputed");
+
+    // Full-window answer matches an in-process reference bit-for-bit.
+    let reference = CentralServer::new(3);
+    for record in &records {
+        reference.submit(record.clone()).expect("reference submit");
+    }
+    let all_periods: Vec<PeriodId> = (0..4).map(PeriodId::new).collect();
+    let over_wire = client
+        .query_point(location, &all_periods)
+        .expect("full window");
+    let in_process = reference
+        .estimate_point_persistent(location, &all_periods)
+        .expect("reference");
+    assert_eq!(over_wire.to_bits(), in_process.to_bits());
+
+    ptm_obs::set_metrics_enabled(false);
+    server.shutdown().expect("shutdown");
+    std::fs::remove_file(&path).ok();
+}
+
 /// An upload to one location must invalidate only that location's cached
 /// answers: the other location keeps serving cache hits.
 #[test]
