@@ -5,6 +5,9 @@
 //! times its computational kernel with Criterion. Bench-time regeneration
 //! uses reduced run counts — the `ptm` CLI runs the full-scale versions.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 /// Run counts used inside `cargo bench` so a full sweep stays fast on one
 /// core; the CLI defaults are an order of magnitude higher.
 pub const BENCH_RUNS: usize = 4;

@@ -1,0 +1,245 @@
+//! Extraction of dotted registry names (`rpc.server.panics`,
+//! `net.server.estimate.*`) from markdown documentation tables.
+//!
+//! The metric and fault-site catalogues live in markdown tables whose first
+//! cell is a backtick-quoted name. Cells sometimes pack several names —
+//! `` `a.b.c` / `.d` `` (suffix shorthand expanding against the previous
+//! name) or `` `a.b.{x,y}` `` (alternation) — and dynamic families use
+//! wildcards (`*`, `<N>`). This module turns table rows into a list of
+//! [`DocName`]s: exact names plus wildcard patterns with a tiny glob
+//! matcher.
+
+/// One name extracted from a doc table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocName {
+    /// The name or pattern as written (after expansion).
+    pub text: String,
+    /// 1-based line in the doc file.
+    pub line: u32,
+    /// Whether the name contains `*` or `<...>` wildcards.
+    pub wildcard: bool,
+}
+
+impl DocName {
+    /// Whether a concrete name matches this entry (exact or glob).
+    pub fn matches(&self, name: &str) -> bool {
+        if !self.wildcard {
+            return self.text == name;
+        }
+        glob_match(&to_glob(&self.text), name)
+    }
+}
+
+/// Converts a doc pattern to a simple glob: `<...>` becomes `*`.
+fn to_glob(pattern: &str) -> String {
+    let mut out = String::new();
+    let mut in_angle = false;
+    for c in pattern.chars() {
+        match c {
+            '<' => {
+                in_angle = true;
+                out.push('*');
+            }
+            '>' => in_angle = false,
+            _ if in_angle => {}
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Matches `pattern` (literal text plus `*` = one-or-more characters)
+/// against `name`.
+fn glob_match(pattern: &str, name: &str) -> bool {
+    match pattern.split_once('*') {
+        None => pattern == name,
+        Some((prefix, rest)) => {
+            let Some(tail) = name.strip_prefix(prefix) else {
+                return false;
+            };
+            if rest.is_empty() {
+                return !tail.is_empty();
+            }
+            // Try every non-empty split point for this `*`.
+            (1..=tail.len())
+                .filter(|&i| tail.is_char_boundary(i))
+                .any(|i| glob_match(rest, &tail[i..]))
+        }
+    }
+}
+
+/// Whether a backtick span looks like a dotted registry name or pattern.
+/// Uppercase is only legal inside a `<...>` placeholder (`loc<N>`).
+fn is_name_shaped(span: &str) -> bool {
+    let mut in_angle = false;
+    !span.is_empty()
+        && span.contains('.')
+        && span.chars().all(|c| {
+            match c {
+                '<' => in_angle = true,
+                '>' => in_angle = false,
+                _ => {}
+            }
+            c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || "._{},*<>".contains(c)
+                || (in_angle && c.is_ascii_uppercase())
+        })
+}
+
+/// Expands `{a,b}` alternations into one name per alternative.
+fn expand_alternation(name: &str) -> Vec<String> {
+    let (Some(open), Some(close)) = (name.find('{'), name.find('}')) else {
+        return vec![name.to_string()];
+    };
+    if close < open {
+        return vec![name.to_string()];
+    }
+    let mut out = Vec::new();
+    for alt in name[open + 1..close].split(',') {
+        let expanded = format!("{}{}{}", &name[..open], alt.trim(), &name[close + 1..]);
+        out.extend(expand_alternation(&expanded));
+    }
+    out
+}
+
+/// Extracts all backtick spans from one line.
+fn backtick_spans(line: &str) -> Vec<String> {
+    let mut spans = Vec::new();
+    let mut rest = line;
+    while let Some(open) = rest.find('`') {
+        let after = &rest[open + 1..];
+        let Some(close) = after.find('`') else { break };
+        spans.push(after[..close].to_string());
+        rest = &after[close + 1..];
+    }
+    spans
+}
+
+/// Extracts registry names from markdown table rows in `lines`.
+///
+/// Only lines whose first non-space character is `|` are considered. Within
+/// a row, a span starting with `.` is suffix shorthand: its segments replace
+/// the trailing segments of the previous full name on the same row.
+/// When `section` is given, only rows between the heading containing that
+/// text and the next same-or-higher-level heading are read.
+pub fn table_names(lines: &[String], section: Option<&str>) -> Vec<DocName> {
+    let mut names: Vec<DocName> = Vec::new();
+    let mut in_section = section.is_none();
+    for (idx, raw) in lines.iter().enumerate() {
+        let line = raw.trim_start();
+        if let Some(wanted) = section {
+            if line.starts_with('#') {
+                in_section = line.contains(wanted);
+                continue;
+            }
+        }
+        if !in_section || !line.starts_with('|') {
+            continue;
+        }
+        let doc_line = idx as u32 + 1;
+        let mut prev_full: Option<String> = None;
+        for span in backtick_spans(line) {
+            if !is_name_shaped(&span) {
+                continue;
+            }
+            let resolved = if let Some(stripped) = span.strip_prefix('.') {
+                // Suffix shorthand: `.out` after `rpc.server.frames.in`
+                // yields `rpc.server.frames.out`.
+                let Some(base) = prev_full.as_deref() else {
+                    continue;
+                };
+                let suffix_segments = stripped.split('.').count();
+                let base_segments: Vec<&str> = base.split('.').collect();
+                if base_segments.len() <= suffix_segments {
+                    continue;
+                }
+                let kept = &base_segments[..base_segments.len() - suffix_segments];
+                format!("{}.{}", kept.join("."), stripped)
+            } else {
+                prev_full = Some(span.clone());
+                span
+            };
+            for expanded in expand_alternation(&resolved) {
+                let wildcard = expanded.contains('*') || expanded.contains('<');
+                names.push(DocName {
+                    text: expanded,
+                    line: doc_line,
+                    wildcard,
+                });
+            }
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(text: &str) -> Vec<String> {
+        text.lines().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn extracts_plain_table_names() {
+        let doc = lines("| `a.b.c` | counts things |\n| `x.y` | more |\nprose `z.w` ignored");
+        let names = table_names(&doc, None);
+        let texts: Vec<_> = names.iter().map(|n| n.text.as_str()).collect();
+        assert_eq!(texts, vec!["a.b.c", "x.y"]);
+        assert_eq!(names[0].line, 1);
+    }
+
+    #[test]
+    fn expands_alternation_and_suffix_shorthand() {
+        let doc =
+            lines("| `net.q.{volume,point}` | queries |\n| `rpc.frames.in` / `.out` | frames |");
+        let texts: Vec<_> = table_names(&doc, None)
+            .into_iter()
+            .map(|n| n.text)
+            .collect();
+        assert_eq!(
+            texts,
+            vec![
+                "net.q.volume",
+                "net.q.point",
+                "rpc.frames.in",
+                "rpc.frames.out"
+            ]
+        );
+    }
+
+    #[test]
+    fn wildcards_match_but_exact_names_do_not_glob() {
+        let doc =
+            lines("| `net.est.*` | latencies |\n| `net.rec.loc<N>` | per-loc |\n| `a.b` | x |");
+        let names = table_names(&doc, None);
+        assert!(names[0].wildcard);
+        assert!(names[0].matches("net.est.point"));
+        assert!(!names[0].matches("net.est."));
+        assert!(names[1].wildcard);
+        assert!(names[1].matches("net.rec.loc3"));
+        assert!(!names[1].matches("net.rec.loc"));
+        assert!(!names[2].wildcard);
+        assert!(names[2].matches("a.b"));
+        assert!(!names[2].matches("a.bc"));
+    }
+
+    #[test]
+    fn section_scoping_reads_only_the_named_section() {
+        let doc = lines(
+            "## Fault sites\n| `store.write` | writes |\n## Actions\n| `other.name` | nope |",
+        );
+        let texts: Vec<_> = table_names(&doc, Some("Fault sites"))
+            .into_iter()
+            .map(|n| n.text)
+            .collect();
+        assert_eq!(texts, vec!["store.write"]);
+    }
+
+    #[test]
+    fn non_name_spans_are_ignored() {
+        let doc = lines("| `--metrics out/metrics.json` | flag |\n| `File::sync_all` | api |\n| `RwLock` | type |");
+        assert!(table_names(&doc, None).is_empty());
+    }
+}

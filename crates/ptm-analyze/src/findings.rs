@@ -1,0 +1,143 @@
+//! Findings: what a rule reports, and the text / JSON renderings.
+
+use std::fmt::Write as _;
+
+/// One violation of one rule at one source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule id (e.g. `no-unwrap`).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// One-line statement of the violation.
+    pub message: String,
+    /// One-line fix hint.
+    pub hint: String,
+}
+
+/// The result of one full analysis run.
+#[derive(Debug)]
+pub struct Report {
+    /// Surviving findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// How many `.rs` files were scanned.
+    pub files_scanned: usize,
+    /// Findings suppressed by valid allow directives.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Human-readable rendering, one finding per line plus a summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+            let _ = writeln!(out, "    hint: {}", f.hint);
+        }
+        let _ = writeln!(
+            out,
+            "ptm-analyze: {} finding(s) in {} file(s) scanned ({} suppressed by allow directives)",
+            self.findings.len(),
+            self.files_scanned,
+            self.suppressed
+        );
+        out
+    }
+
+    /// Deterministic JSON rendering (schema documented in docs/ANALYSIS.md).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed);
+        let _ = writeln!(out, "  \"finding_count\": {},", self.findings.len());
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(out, "\"rule\": {}, ", json_string(f.rule));
+            let _ = write!(out, "\"path\": {}, ", json_string(&f.path));
+            let _ = write!(out, "\"line\": {}, ", f.line);
+            let _ = write!(out, "\"message\": {}, ", json_string(&f.message));
+            let _ = write!(out, "\"hint\": {}", json_string(&f.hint));
+            out.push('}');
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            findings: vec![Finding {
+                rule: "no-unwrap",
+                path: "crates/x/src/lib.rs".into(),
+                line: 7,
+                message: "`.unwrap()` in non-test code".into(),
+                hint: "propagate the error".into(),
+            }],
+            files_scanned: 3,
+            suppressed: 1,
+        }
+    }
+
+    #[test]
+    fn text_rendering_names_file_line_rule() {
+        let text = sample().render_text();
+        assert!(text.contains("crates/x/src/lib.rs:7: [no-unwrap]"));
+        assert!(text.contains("1 finding(s) in 3 file(s)"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut report = sample();
+        report.findings[0].message = "a \"quoted\"\nthing".into();
+        let json = report.render_json();
+        assert!(json.contains("\\\"quoted\\\"\\n"));
+        assert!(json.contains("\"finding_count\": 1"));
+        // no naked control characters
+        assert!(!json.chars().any(|c| (c as u32) < 0x20 && c != '\n'));
+    }
+
+    #[test]
+    fn empty_report_renders_empty_array() {
+        let report = Report {
+            findings: vec![],
+            files_scanned: 0,
+            suppressed: 0,
+        };
+        assert!(report.render_json().contains("\"findings\": []"));
+    }
+}

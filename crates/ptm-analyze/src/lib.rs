@@ -1,0 +1,215 @@
+//! Workspace invariant linter for the persistent traffic measurement stack.
+//!
+//! Four PRs of hardening left this workspace with conventions that matter —
+//! no panics in daemon code, poison recovery on every shared lock, metric
+//! and fault-site names that match their docs, protocol tags inside their
+//! declared ranges, fixed-seed determinism — but that lived only in
+//! comments and reviewer memory. `ptm-analyze` turns them into
+//! machine-checked rules: a hand-rolled token [`scanner`] (no `syn`, no
+//! dependencies) feeds a [`rules`] engine over every `.rs` file plus the
+//! docs tree, and `scripts/ci.sh` fails on any finding.
+//!
+//! ```
+//! use ptm_analyze::workspace::{FileKind, SourceFile, Workspace};
+//!
+//! let file = SourceFile::from_source(
+//!     "ptm-rpc",
+//!     "crates/ptm-rpc/src/lib.rs",
+//!     FileKind::Src,
+//!     "fn f() { g().unwrap(); }",
+//! );
+//! let ws = Workspace::in_memory(vec![file], vec![]);
+//! let report = ptm_analyze::run(&ws);
+//! assert!(report.findings.iter().any(|f| f.rule == "no-unwrap"));
+//! ```
+//!
+//! Findings carry `file:line`, a stable rule id, and a one-line fix hint;
+//! `// ptm-analyze: allow(rule): reason` on the preceding line suppresses a
+//! finding (the reason is mandatory, and stale directives are themselves
+//! findings). See `docs/ANALYSIS.md` for the rule catalogue and the JSON
+//! output schema.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod docnames;
+pub mod findings;
+pub mod rules;
+pub mod scanner;
+pub mod workspace;
+
+use findings::{Finding, Report};
+use workspace::Workspace;
+
+/// The rule id under which allow-directive hygiene problems are reported.
+pub const ALLOW_HYGIENE_RULE: &str = "allow-hygiene";
+
+/// Runs every shipped rule over the workspace and applies the allow pass.
+pub fn run(ws: &Workspace) -> Report {
+    run_rules(ws, &rules::all())
+}
+
+/// Runs a specific rule set (the binary's `check` uses [`run`]).
+pub fn run_rules(ws: &Workspace, active: &[Box<dyn rules::Rule>]) -> Report {
+    let mut raw: Vec<Finding> = Vec::new();
+    for rule in active {
+        rule.check(ws, &mut raw);
+    }
+
+    // Allow pass: a directive with a reason on the finding's line or the
+    // line above suppresses it; every directive must be well-formed and
+    // must actually suppress something.
+    let mut suppressed = 0usize;
+    let mut used: Vec<Vec<bool>> = ws
+        .files
+        .iter()
+        .map(|f| vec![false; f.allows.len()])
+        .collect();
+    let mut findings: Vec<Finding> = Vec::new();
+    for finding in raw {
+        let hit = ws.files.iter().enumerate().find_map(|(fi, file)| {
+            if file.rel_path != finding.path {
+                return None;
+            }
+            file.allows
+                .iter()
+                .position(|a| {
+                    a.rule == finding.rule
+                        && a.reason.is_some()
+                        && (a.line == finding.line || a.line + 1 == finding.line)
+                })
+                .map(|ai| (fi, ai))
+        });
+        match hit {
+            Some((fi, ai)) => {
+                used[fi][ai] = true;
+                suppressed += 1;
+            }
+            None => findings.push(finding),
+        }
+    }
+    for (fi, file) in ws.files.iter().enumerate() {
+        for (ai, allow) in file.allows.iter().enumerate() {
+            if allow.reason.is_none() {
+                findings.push(Finding {
+                    rule: ALLOW_HYGIENE_RULE,
+                    path: file.rel_path.clone(),
+                    line: allow.line,
+                    message: format!(
+                        "allow({}) directive is missing its mandatory reason",
+                        allow.rule
+                    ),
+                    hint: "write `// ptm-analyze: allow(rule): why this is sound`".to_string(),
+                });
+            } else if !used[fi][ai] {
+                findings.push(Finding {
+                    rule: ALLOW_HYGIENE_RULE,
+                    path: file.rel_path.clone(),
+                    line: allow.line,
+                    message: format!(
+                        "allow({}) directive suppresses nothing on the next line",
+                        allow.rule
+                    ),
+                    hint: "delete the stale directive (or fix its rule id / placement)".to_string(),
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+    Report {
+        findings,
+        files_scanned: ws.files.len(),
+        suppressed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workspace::{FileKind, SourceFile};
+
+    fn ws_with(src: &str) -> Workspace {
+        let file =
+            SourceFile::from_source("ptm-rpc", "crates/ptm-rpc/src/x.rs", FileKind::Src, src);
+        Workspace::in_memory(vec![file], vec![])
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_and_counts() {
+        let report = run_rules(
+            &ws_with(
+                "fn f() {\n    // ptm-analyze: allow(no-unwrap): fixture proves suppression\n    g().unwrap();\n}\n",
+            ),
+            &[Box::new(rules::NoUnwrap)],
+        );
+        assert!(report.findings.is_empty(), "got: {:?}", report.findings);
+        assert_eq!(report.suppressed, 1);
+    }
+
+    #[test]
+    fn allow_without_reason_does_not_suppress_and_is_flagged() {
+        let report = run_rules(
+            &ws_with("fn f() {\n    // ptm-analyze: allow(no-unwrap)\n    g().unwrap();\n}\n"),
+            &[Box::new(rules::NoUnwrap)],
+        );
+        assert!(report.findings.iter().any(|f| f.rule == "no-unwrap"));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == ALLOW_HYGIENE_RULE && f.message.contains("missing")));
+    }
+
+    #[test]
+    fn unused_allow_is_flagged() {
+        let report = run_rules(
+            &ws_with("// ptm-analyze: allow(no-unwrap): nothing here to allow\nfn f() {}\n"),
+            &[Box::new(rules::NoUnwrap)],
+        );
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, ALLOW_HYGIENE_RULE);
+        assert!(report.findings[0].message.contains("suppresses nothing"));
+    }
+
+    #[test]
+    fn wrong_rule_id_does_not_suppress() {
+        let report = run_rules(
+            &ws_with(
+                "fn f() {\n    // ptm-analyze: allow(determinism): wrong rule id\n    g().unwrap();\n}\n",
+            ),
+            &[Box::new(rules::NoUnwrap)],
+        );
+        assert!(report.findings.iter().any(|f| f.rule == "no-unwrap"));
+        assert!(report.findings.iter().any(|f| f.rule == ALLOW_HYGIENE_RULE));
+    }
+
+    #[test]
+    fn findings_are_sorted_and_counted() {
+        let a = SourceFile::from_source(
+            "ptm-rpc",
+            "crates/ptm-rpc/src/b.rs",
+            FileKind::Src,
+            "fn f() { g().unwrap(); }",
+        );
+        let b = SourceFile::from_source(
+            "ptm-rpc",
+            "crates/ptm-rpc/src/a.rs",
+            FileKind::Src,
+            "fn f() { g().unwrap(); }",
+        );
+        let report = run_rules(
+            &Workspace::in_memory(vec![a, b], vec![]),
+            &[Box::new(rules::NoUnwrap)],
+        );
+        assert_eq!(report.findings.len(), 2);
+        assert!(report.findings[0].path < report.findings[1].path);
+        assert_eq!(report.files_scanned, 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! `ptm-analyze` — the workspace invariant linter's command line.
+//!
+//! ```text
+//! ptm-analyze check [--root DIR] [--format text|json] [--json-out PATH]
+//! ptm-analyze rules
+//! ```
+//!
+//! `check` scans every `.rs` file in the workspace plus the docs tree and
+//! exits 1 on any finding (0 when clean, 2 on usage or I/O errors).
+//! `--json-out` additionally writes the JSON report to a file so CI can
+//! archive it (`out/analysis.json`) for trend tracking. `rules` lists the
+//! rule catalogue. See `docs/ANALYSIS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ptm_analyze::workspace::Workspace;
+
+const USAGE: &str = "\
+usage: ptm-analyze check [--root DIR] [--format text|json] [--json-out PATH]
+       ptm-analyze rules
+
+check   scan the workspace and exit 1 on any finding
+rules   list the rule catalogue
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("check");
+    match command {
+        "check" => check(&args[1..]),
+        "rules" => {
+            for rule in ptm_analyze::rules::all() {
+                println!("{:<20} {}", rule.id(), rule.description());
+            }
+            println!(
+                "{:<20} allow directives must carry reasons and suppress something",
+                ptm_analyze::ALLOW_HYGIENE_RULE
+            );
+            ExitCode::SUCCESS
+        }
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("ptm-analyze: unknown command `{other}`");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
+    let mut json_out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                _ => return usage_error("--format takes `text` or `json`"),
+            },
+            "--json-out" => match it.next() {
+                Some(path) => json_out = Some(PathBuf::from(path)),
+                None => return usage_error("--json-out needs a path"),
+            },
+            other => return usage_error(&format!("unknown option `{other}`")),
+        }
+    }
+
+    let root = match root.map_or_else(find_workspace_root, Ok) {
+        Ok(root) => root,
+        Err(message) => {
+            eprintln!("ptm-analyze: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(err) => {
+            eprintln!(
+                "ptm-analyze: failed to load workspace at {}: {err}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let report = ptm_analyze::run(&ws);
+
+    if let Some(path) = &json_out {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Err(err) = std::fs::create_dir_all(parent) {
+                eprintln!("ptm-analyze: cannot create {}: {err}", parent.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(err) = std::fs::write(path, report.render_json()) {
+            eprintln!("ptm-analyze: cannot write {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    match format {
+        Format::Text => print!("{}", report.render_text()),
+        Format::Json => print!("{}", report.render_json()),
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("ptm-analyze: {message}");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` declaring
+/// a `[workspace]` section.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let start = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let mut dir: &Path = &start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir.to_path_buf());
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => {
+                return Err(format!(
+                    "no workspace Cargo.toml found above {} (use --root)",
+                    start.display()
+                ))
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! `crate-header`: every workspace crate root must carry the standard
+//! header lints.
+//!
+//! `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]` are the
+//! workspace's baseline: the whole stack is intentionally safe Rust, and
+//! every public item is documented. The pair is easy to forget when a new
+//! crate is stamped out, so this rule checks the crate root
+//! (`src/lib.rs` / `src/main.rs`) of every member under `crates/`.
+
+use super::{ident_at, punct_at, Rule};
+use crate::findings::Finding;
+use crate::scanner::Token;
+use crate::workspace::{FileKind, Workspace};
+
+/// See module docs.
+pub struct CrateHeader;
+
+const REQUIRED: &[(&str, &str)] = &[("forbid", "unsafe_code"), ("warn", "missing_docs")];
+
+impl Rule for CrateHeader {
+    fn id(&self) -> &'static str {
+        "crate-header"
+    }
+
+    fn description(&self) -> &'static str {
+        "crate roots carry #![forbid(unsafe_code)] and #![warn(missing_docs)]"
+    }
+
+    fn check(&self, ws: &Workspace, findings: &mut Vec<Finding>) {
+        for file in &ws.files {
+            let is_crate_root = file.kind == FileKind::Src
+                && (file.file_name == "lib.rs" || file.file_name == "main.rs")
+                && file.rel_path == format!("crates/{}/src/{}", file.crate_name, file.file_name);
+            if !is_crate_root {
+                continue;
+            }
+            for (level, lint) in REQUIRED {
+                if !has_inner_lint(&file.tokens, level, lint) {
+                    findings.push(Finding {
+                        rule: self.id(),
+                        path: file.rel_path.clone(),
+                        line: 1,
+                        message: format!("crate root is missing `#![{level}({lint})]`"),
+                        hint: "add the standard crate header lints right after the module docs"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Whether the token stream contains `level ( lint )` (the payload of an
+/// inner attribute — the compiler enforces attribute placement, we only
+/// check presence).
+fn has_inner_lint(tokens: &[Token], level: &str, lint: &str) -> bool {
+    tokens.windows(4).any(|w| {
+        ident_at(w, 0, level) && punct_at(w, 1, '(') && ident_at(w, 2, lint) && punct_at(w, 3, ')')
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::SourceFile;
+
+    fn run(rel_path: &str, src: &str) -> Vec<Finding> {
+        let crate_name = rel_path.split('/').nth(1).unwrap_or("x").to_string();
+        let file = SourceFile::from_source(&crate_name, rel_path, FileKind::Src, src);
+        let ws = Workspace::in_memory(vec![file], vec![]);
+        let mut findings = Vec::new();
+        CrateHeader.check(&ws, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn missing_headers_fire_once_per_lint() {
+        let findings = run("crates/ptm-cli/src/main.rs", "fn main() {}");
+        assert_eq!(findings.len(), 2);
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("forbid(unsafe_code)")));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("warn(missing_docs)")));
+    }
+
+    #[test]
+    fn complete_header_is_clean() {
+        let findings = run(
+            "crates/ptm-core/src/lib.rs",
+            "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\nfn f() {}",
+        );
+        assert!(findings.is_empty(), "got: {findings:?}");
+    }
+
+    #[test]
+    fn non_root_files_are_exempt() {
+        assert!(run("crates/ptm-core/src/bitmap.rs", "fn f() {}").is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! `determinism`: no ambient clocks or RNGs in the seeded crates.
+//!
+//! The chaos suite and the paper-value regression tests are regression
+//! gates precisely because a fixed seed reproduces the same run bit for
+//! bit. `SystemTime::now`, `Instant::now`, and `thread_rng` smuggle
+//! nondeterminism into that guarantee, so they are banned from the
+//! non-test code of `ptm-core`, `ptm-sim`, and `ptm-fault`. Wall-clock
+//! reads that only feed metrics may be suppressed with an allow directive
+//! stating exactly that.
+
+use super::{ident_at, punct_at, Rule, SEEDED_CRATES};
+use crate::findings::Finding;
+use crate::workspace::{FileKind, Workspace};
+
+/// See module docs.
+pub struct Determinism;
+
+impl Rule for Determinism {
+    fn id(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn description(&self) -> &'static str {
+        "no SystemTime::now / Instant::now / thread_rng in seeded crates"
+    }
+
+    fn check(&self, ws: &Workspace, findings: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if file.kind != FileKind::Src || !SEEDED_CRATES.contains(&file.crate_name.as_str()) {
+                continue;
+            }
+            let toks = &file.tokens;
+            for (i, tok) in toks.iter().enumerate() {
+                if tok.in_test {
+                    continue;
+                }
+                let clock_call = (tok.is_ident("SystemTime") || tok.is_ident("Instant"))
+                    && punct_at(toks, i + 1, ':')
+                    && punct_at(toks, i + 2, ':')
+                    && ident_at(toks, i + 3, "now");
+                if clock_call {
+                    findings.push(Finding {
+                        rule: self.id(),
+                        path: file.rel_path.clone(),
+                        line: tok.line,
+                        message: format!(
+                            "`{}::now` in seeded crate `{}` breaks fixed-seed reproducibility",
+                            tok.text, file.crate_name
+                        ),
+                        hint: "thread the time in as a parameter (or allow with a reason if the \
+                               value only feeds metrics, never results)"
+                            .to_string(),
+                    });
+                }
+                if tok.is_ident("thread_rng") {
+                    findings.push(Finding {
+                        rule: self.id(),
+                        path: file.rel_path.clone(),
+                        line: tok.line,
+                        message: format!(
+                            "`thread_rng` in seeded crate `{}` breaks fixed-seed reproducibility",
+                            file.crate_name
+                        ),
+                        hint: "derive a ChaCha stream from the run seed instead of the ambient \
+                               thread RNG"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::SourceFile;
+
+    fn run(crate_name: &str, src: &str) -> Vec<Finding> {
+        let file = SourceFile::from_source(crate_name, "crates/x/src/lib.rs", FileKind::Src, src);
+        let ws = Workspace::in_memory(vec![file], vec![]);
+        let mut findings = Vec::new();
+        Determinism.check(&ws, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn flags_clocks_and_thread_rng_in_seeded_crates() {
+        let findings = run(
+            "ptm-sim",
+            r#"
+            fn f() {
+                let t = std::time::Instant::now();
+                let s = std::time::SystemTime::now();
+                let r = rand::thread_rng();
+            }
+            "#,
+        );
+        assert_eq!(findings.len(), 3);
+        assert!(findings.iter().all(|f| f.rule == "determinism"));
+    }
+
+    #[test]
+    fn other_crates_and_test_code_are_exempt() {
+        assert!(run("ptm-rpc", "fn f() { let t = Instant::now(); }").is_empty());
+        let findings = run(
+            "ptm-core",
+            r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { let t = std::time::Instant::now(); }
+            }
+            "#,
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn instant_elapsed_without_now_is_fine() {
+        let findings = run(
+            "ptm-core",
+            "fn f(started: std::time::Instant) -> u128 { started.elapsed().as_nanos() }",
+        );
+        assert!(findings.is_empty(), "got: {findings:?}");
+    }
+}

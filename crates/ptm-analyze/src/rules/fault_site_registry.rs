@@ -1,0 +1,230 @@
+//! `fault-site-registry`: fault-site names in code and the table in
+//! `docs/FAULTS.md` must agree.
+//!
+//! `ptm-fault` already rejects plans naming unknown sites at build time;
+//! this rule closes the remaining gap between the code registry
+//! (`ptm_fault::sites`) and the documentation. Checked both ways: a site
+//! constant or `.site("...")` literal missing from the doc table is a
+//! finding, and so is a documented site no longer present in the registry.
+
+use super::{ident_at, punct_at, string_at, Rule};
+use crate::docnames::table_names;
+use crate::findings::Finding;
+use crate::scanner::Token;
+use crate::workspace::{FileKind, Workspace};
+use std::collections::BTreeSet;
+
+/// See module docs.
+pub struct FaultSiteRegistry;
+
+const DOC: &str = "docs/FAULTS.md";
+const SECTION: &str = "Fault sites";
+
+impl Rule for FaultSiteRegistry {
+    fn id(&self) -> &'static str {
+        "fault-site-registry"
+    }
+
+    fn description(&self) -> &'static str {
+        "fault-site names in code and the docs/FAULTS.md table must agree both ways"
+    }
+
+    fn check(&self, ws: &Workspace, findings: &mut Vec<Finding>) {
+        let Some(doc) = ws.docs.get(DOC) else {
+            findings.push(Finding {
+                rule: self.id(),
+                path: DOC.to_string(),
+                line: 1,
+                message: format!("{DOC} is missing; the fault-site table cannot be checked"),
+                hint: "restore the fault-injection document".to_string(),
+            });
+            return;
+        };
+        let doc_sites = table_names(&doc.lines, Some(SECTION));
+
+        let mut code_sites: BTreeSet<String> = BTreeSet::new();
+        for file in &ws.files {
+            if file.kind != FileKind::Src {
+                continue;
+            }
+            let mut sites: Vec<(String, u32)> = site_call_literals(&file.tokens);
+            if file.crate_name == "ptm-fault" && file.file_name == "lib.rs" {
+                sites.extend(registry_constants(&file.tokens));
+            }
+            for (site, line) in sites {
+                code_sites.insert(site.clone());
+                if !doc_sites.iter().any(|d| d.matches(&site)) {
+                    findings.push(Finding {
+                        rule: self.id(),
+                        path: file.rel_path.clone(),
+                        line,
+                        message: format!(
+                            "fault site `{site}` is not documented in the {DOC} site table"
+                        ),
+                        hint: format!("add `{site}` to the \"{SECTION}\" table in {DOC}"),
+                    });
+                }
+            }
+        }
+
+        for doc_site in &doc_sites {
+            if !doc_site.wildcard && !code_sites.contains(&doc_site.text) {
+                findings.push(Finding {
+                    rule: self.id(),
+                    path: DOC.to_string(),
+                    line: doc_site.line,
+                    message: format!(
+                        "documented fault site `{}` does not exist in the code registry",
+                        doc_site.text
+                    ),
+                    hint: "drop the stale table row, or restore the site in ptm_fault::sites"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// String literals passed to `.site("...")` in non-test code.
+fn site_call_literals(tokens: &[Token]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.in_test {
+            continue;
+        }
+        if tok.is_ident("site")
+            && i > 0
+            && punct_at(tokens, i - 1, '.')
+            && punct_at(tokens, i + 1, '(')
+        {
+            if let Some(name) = string_at(tokens, i + 2) {
+                out.push((name.to_string(), tokens[i + 2].line));
+            }
+        }
+    }
+    out
+}
+
+/// `const NAME: &str = "site.name";` values inside `pub mod sites { ... }`.
+fn registry_constants(tokens: &[Token]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    // locate `mod sites {`
+    let Some(start) = tokens
+        .windows(2)
+        .position(|w| w[0].is_ident("mod") && w[1].is_ident("sites"))
+    else {
+        return out;
+    };
+    let Some(open) = (start..tokens.len()).find(|&k| tokens[k].is_punct('{')) else {
+        return out;
+    };
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < tokens.len() {
+        if tokens[k].is_punct('{') {
+            depth += 1;
+        } else if tokens[k].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if ident_at(tokens, k, "const")
+            && punct_at(tokens, k + 2, ':')
+            && punct_at(tokens, k + 3, '&')
+            && ident_at(tokens, k + 4, "str")
+            && punct_at(tokens, k + 5, '=')
+        {
+            if let Some(value) = string_at(tokens, k + 6) {
+                out.push((value.to_string(), tokens[k + 6].line));
+            }
+        }
+        k += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::SourceFile;
+
+    const DOC_TEXT: &str = "\
+# Faults
+## Fault sites
+| Site | Fires on |
+|---|---|
+| `store.write` | writes |
+| `rpc.read` | reads |
+| `legacy.site` | removed |
+## Actions
+| `enospc` | not a site table |
+";
+
+    fn run(files: Vec<SourceFile>) -> Vec<Finding> {
+        let ws = Workspace::in_memory(files, vec![("docs/FAULTS.md", DOC_TEXT)]);
+        let mut findings = Vec::new();
+        FaultSiteRegistry.check(&ws, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn flags_undocumented_site_call_literal() {
+        let file = SourceFile::from_source(
+            "ptm-store",
+            "crates/ptm-store/src/io.rs",
+            FileKind::Src,
+            r#"fn f(plan: &ptm_fault::FaultPlan) { let _h = plan.site("store.mystery"); }"#,
+        );
+        let findings = run(vec![file]);
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == "fault-site-registry" && f.message.contains("store.mystery")));
+    }
+
+    #[test]
+    fn registry_constants_are_cross_checked_both_ways() {
+        let lib = SourceFile::from_source(
+            "ptm-fault",
+            "crates/ptm-fault/src/lib.rs",
+            FileKind::Src,
+            r#"
+            pub mod sites {
+                pub const STORE_WRITE: &str = "store.write";
+                pub const RPC_READ: &str = "rpc.read";
+                pub const NEW_SITE: &str = "store.undocumented";
+            }
+            "#,
+        );
+        let findings = run(vec![lib]);
+        // the undocumented constant fires code->doc
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("store.undocumented")));
+        // the stale doc row fires doc->code
+        assert!(findings
+            .iter()
+            .any(|f| f.path == "docs/FAULTS.md" && f.message.contains("legacy.site")));
+        // documented sites present in the registry do not fire
+        assert!(findings
+            .iter()
+            .all(|f| !f.message.contains("`store.write`")));
+    }
+
+    #[test]
+    fn documented_sites_in_use_are_clean() {
+        let lib = SourceFile::from_source(
+            "ptm-fault",
+            "crates/ptm-fault/src/lib.rs",
+            FileKind::Src,
+            r#"
+            pub mod sites {
+                pub const STORE_WRITE: &str = "store.write";
+                pub const RPC_READ: &str = "rpc.read";
+                pub const LEGACY: &str = "legacy.site";
+            }
+            "#,
+        );
+        let findings = run(vec![lib]);
+        assert!(findings.is_empty(), "got: {findings:?}");
+    }
+}

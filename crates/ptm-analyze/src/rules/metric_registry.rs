@@ -1,0 +1,230 @@
+//! `metric-registry`: the metric/event names the code emits and the
+//! catalogue in `docs/OBSERVABILITY.md` must agree, in both directions.
+//!
+//! Code side, every *dotted* string literal passed to the `ptm-obs` macros
+//! (`counter!`, `gauge!`, `histogram!`, `span!`, plus event targets in
+//! `error!`/`warn!`/`info!`/`debug!`/`trace!`/`event!`) in non-test code is
+//! collected. Doc side, the markdown tables are parsed into exact names and
+//! wildcard families (`net.server.estimate.*`, `net.server.records.loc<N>`).
+//! An undocumented code name and a documented-but-vanished name are both
+//! findings — drift is caught whichever way it happens. Dynamic names built
+//! at runtime (per-location gauges) bypass the macros and are documented as
+//! wildcard families, which the reverse check exempts.
+
+use super::{open_delim_at, punct_at, string_at, Rule};
+use crate::docnames::{table_names, DocName};
+use crate::findings::Finding;
+use crate::workspace::{FileKind, Workspace};
+use std::collections::BTreeSet;
+
+/// See module docs.
+pub struct MetricRegistry;
+
+const DOC: &str = "docs/OBSERVABILITY.md";
+const METRIC_MACROS: &[&str] = &["counter", "gauge", "histogram", "span"];
+const EVENT_MACROS: &[&str] = &["error", "warn", "info", "debug", "trace"];
+
+impl Rule for MetricRegistry {
+    fn id(&self) -> &'static str {
+        "metric-registry"
+    }
+
+    fn description(&self) -> &'static str {
+        "metric/event names in code and docs/OBSERVABILITY.md must agree both ways"
+    }
+
+    fn check(&self, ws: &Workspace, findings: &mut Vec<Finding>) {
+        let Some(doc) = ws.docs.get(DOC) else {
+            findings.push(Finding {
+                rule: self.id(),
+                path: DOC.to_string(),
+                line: 1,
+                message: format!("{DOC} is missing; the metric catalogue cannot be checked"),
+                hint: "restore the observability catalogue document".to_string(),
+            });
+            return;
+        };
+        let doc_names: Vec<DocName> = table_names(&doc.lines, None);
+
+        // Code -> doc: every emitted name must be catalogued.
+        let mut code_names: BTreeSet<String> = BTreeSet::new();
+        for file in &ws.files {
+            if !matches!(file.kind, FileKind::Src | FileKind::Example) {
+                continue;
+            }
+            for (name, line) in macro_name_literals(&file.tokens) {
+                if !name.contains('.') {
+                    continue; // single-segment event targets are out of scope
+                }
+                code_names.insert(name.clone());
+                if !doc_names.iter().any(|d| d.matches(&name)) {
+                    findings.push(Finding {
+                        rule: self.id(),
+                        path: file.rel_path.clone(),
+                        line,
+                        message: format!("observability name `{name}` is not catalogued in {DOC}"),
+                        hint: format!(
+                            "add a table row for `{name}` to {DOC} (or rename the \
+                                       metric/event to a catalogued name)"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Doc -> code: every exact catalogued name must still be emitted.
+        let mut seen_doc = BTreeSet::new();
+        for doc_name in &doc_names {
+            if doc_name.wildcard || !seen_doc.insert(doc_name.text.clone()) {
+                continue;
+            }
+            if !code_names.contains(&doc_name.text) {
+                findings.push(Finding {
+                    rule: self.id(),
+                    path: DOC.to_string(),
+                    line: doc_name.line,
+                    message: format!(
+                        "documented name `{}` is not emitted by any ptm-obs macro in non-test code",
+                        doc_name.text
+                    ),
+                    hint: "drop the stale catalogue row, or restore the metric/event in code"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Extracts `(name, line)` for every string-literal name passed to a
+/// ptm-obs macro in non-test code.
+fn macro_name_literals(tokens: &[crate::scanner::Token]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.in_test || !punct_at(tokens, i + 1, '!') || !open_delim_at(tokens, i + 2) {
+            continue;
+        }
+        let is_metric = METRIC_MACROS.iter().any(|m| tok.is_ident(m));
+        let is_event = EVENT_MACROS.iter().any(|m| tok.is_ident(m));
+        if is_metric || is_event {
+            // name/target is the first argument, which must be a literal
+            if let Some(name) = string_at(tokens, i + 3) {
+                out.push((name.to_string(), tokens[i + 3].line));
+            }
+        } else if tok.is_ident("event") {
+            // event!(level, target, ...): the target follows the first
+            // top-level comma.
+            let mut depth = 0i32;
+            let mut k = i + 3;
+            while let Some(t) = tokens.get(k) {
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                } else if t.is_punct(',') && depth == 0 {
+                    if let Some(name) = string_at(tokens, k + 1) {
+                        out.push((name.to_string(), tokens[k + 1].line));
+                    }
+                    break;
+                }
+                k += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::SourceFile;
+
+    const DOC_TEXT: &str = "\
+# Observability
+| Name | What |
+|---|---|
+| `core.encode.record` | encode latency |
+| `rpc.frames.in` / `.out` | frames |
+| `net.server.estimate.*` | latencies |
+| `stale.documented.name` | gone from code |
+";
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file =
+            SourceFile::from_source("ptm-core", "crates/ptm-core/src/x.rs", FileKind::Src, src);
+        let ws = Workspace::in_memory(vec![file], vec![("docs/OBSERVABILITY.md", DOC_TEXT)]);
+        let mut findings = Vec::new();
+        MetricRegistry.check(&ws, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn flags_undocumented_metric_name() {
+        let findings = run(r#"fn f() { ptm_obs::counter!("core.mystery.count").inc(); }"#);
+        let undocumented: Vec<_> = findings
+            .iter()
+            .filter(|f| f.path.ends_with("x.rs"))
+            .collect();
+        assert_eq!(undocumented.len(), 1);
+        assert!(undocumented[0].message.contains("core.mystery.count"));
+    }
+
+    #[test]
+    fn documented_exact_suffix_and_wildcard_names_pass() {
+        let findings = run(r#"
+            fn f() {
+                ptm_obs::counter!("core.encode.record").inc();
+                ptm_obs::counter!("rpc.frames.out").inc();
+                ptm_obs::histogram!("net.server.estimate.point").record(1);
+            }
+            "#);
+        assert!(
+            findings.iter().all(|f| f.path.starts_with("docs/")),
+            "only the stale doc row may fire: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn flags_stale_doc_rows_but_not_wildcards() {
+        let findings = run(r#"fn f() { ptm_obs::counter!("core.encode.record").inc(); }"#);
+        let stale: Vec<_> = findings
+            .iter()
+            .filter(|f| f.path.starts_with("docs/"))
+            .collect();
+        // `stale.documented.name` and the two rpc.frames.* rows are uncode'd;
+        // the wildcard row must not fire.
+        assert!(stale
+            .iter()
+            .any(|f| f.message.contains("stale.documented.name")));
+        assert!(stale
+            .iter()
+            .all(|f| !f.message.contains("net.server.estimate")));
+    }
+
+    #[test]
+    fn event_targets_are_checked_and_test_code_skipped() {
+        let findings = run(r#"
+            fn f() { ptm_obs::info!("undocumented.target", "hello"; n = 1); }
+            fn g() { ptm_obs::event!(ptm_obs::Level::Warn, "other.target", "hi"); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { ptm_obs::counter!("test.only.name").inc(); }
+            }
+            "#);
+        let code: Vec<_> = findings
+            .iter()
+            .filter(|f| f.path.ends_with("x.rs"))
+            .collect();
+        assert_eq!(code.len(), 2, "got: {code:?}");
+        assert!(code
+            .iter()
+            .any(|f| f.message.contains("undocumented.target")));
+        assert!(code.iter().any(|f| f.message.contains("other.target")));
+        assert!(findings
+            .iter()
+            .all(|f| !f.message.contains("test.only.name")));
+    }
+}

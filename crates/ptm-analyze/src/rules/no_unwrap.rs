@@ -1,0 +1,140 @@
+//! `no-unwrap`: forbid `.unwrap()`, `.expect(...)`, and `panic!` in the
+//! non-test code of server-side crates.
+//!
+//! The daemon's availability story depends on request handlers returning
+//! errors instead of aborting: a panic tears down a connection thread at
+//! best and poisons shared locks at worst. This rule replaces the old
+//! second clippy invocation in `scripts/ci.sh` (crate-level
+//! `clippy::unwrap_used` warns escalated by `-D warnings`) with a direct,
+//! workspace-aware check.
+
+use super::{punct_at, Rule, SERVER_CRATES};
+use crate::findings::Finding;
+use crate::workspace::{FileKind, Workspace};
+
+/// See module docs.
+pub struct NoUnwrap;
+
+impl Rule for NoUnwrap {
+    fn id(&self) -> &'static str {
+        "no-unwrap"
+    }
+
+    fn description(&self) -> &'static str {
+        "no .unwrap()/.expect()/panic! in non-test code of server-side crates"
+    }
+
+    fn check(&self, ws: &Workspace, findings: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if file.kind != FileKind::Src || !SERVER_CRATES.contains(&file.crate_name.as_str()) {
+                continue;
+            }
+            let toks = &file.tokens;
+            for (i, tok) in toks.iter().enumerate() {
+                if tok.in_test {
+                    continue;
+                }
+                let method_call = (tok.is_ident("unwrap") || tok.is_ident("expect"))
+                    && i > 0
+                    && punct_at(toks, i - 1, '.')
+                    && punct_at(toks, i + 1, '(');
+                if method_call {
+                    findings.push(Finding {
+                        rule: self.id(),
+                        path: file.rel_path.clone(),
+                        line: tok.line,
+                        message: format!(
+                            "`.{}()` in non-test code of server-side crate `{}`",
+                            tok.text, file.crate_name
+                        ),
+                        hint: "propagate the error with `?` or recover explicitly; daemon code \
+                               must not abort (docs/ANALYSIS.md#no-unwrap)"
+                            .to_string(),
+                    });
+                }
+                if tok.is_ident("panic") && punct_at(toks, i + 1, '!') {
+                    findings.push(Finding {
+                        rule: self.id(),
+                        path: file.rel_path.clone(),
+                        line: tok.line,
+                        message: format!(
+                            "`panic!` in non-test code of server-side crate `{}`",
+                            file.crate_name
+                        ),
+                        hint: "return an error variant instead; a panicking handler takes the \
+                               connection (and any held lock) down with it"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::SourceFile;
+
+    fn run(crate_name: &str, kind: FileKind, src: &str) -> Vec<Finding> {
+        let file = SourceFile::from_source(crate_name, "crates/x/src/lib.rs", kind, src);
+        let ws = Workspace::in_memory(vec![file], vec![]);
+        let mut findings = Vec::new();
+        NoUnwrap.check(&ws, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panic_in_server_src() {
+        let findings = run(
+            "ptm-rpc",
+            FileKind::Src,
+            r#"
+            fn handler() {
+                let v = compute().unwrap();
+                let w = compute().expect("always");
+                panic!("boom");
+            }
+            "#,
+        );
+        assert_eq!(findings.len(), 3);
+        assert!(findings.iter().all(|f| f.rule == "no-unwrap"));
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn ignores_test_code_and_non_server_crates() {
+        let in_tests = run(
+            "ptm-store",
+            FileKind::Src,
+            r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { compute().unwrap(); }
+            }
+            "#,
+        );
+        assert!(in_tests.is_empty());
+        let other_crate = run("ptm-core", FileKind::Src, "fn f() { g().unwrap(); }");
+        assert!(other_crate.is_empty());
+    }
+
+    #[test]
+    fn ignores_unwrap_family_helpers_and_comments() {
+        let findings = run(
+            "ptm-net",
+            FileKind::Src,
+            r#"
+            // a comment mentioning .unwrap() and panic! is fine
+            fn f() {
+                let a = value().unwrap_or_default();
+                let b = value().unwrap_or_else(|| 0);
+                let msg = ".unwrap() in a string";
+                let p = std::panic::catch_unwind(|| 1);
+            }
+            "#,
+        );
+        assert!(findings.is_empty(), "got: {findings:?}");
+    }
+}

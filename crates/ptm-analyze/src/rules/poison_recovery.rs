@@ -1,0 +1,127 @@
+//! `poison-recovery`: std sync primitives in server-side crates must
+//! recover from poisoning, never unwrap it.
+//!
+//! The sharded store's outage-cascade fix (PR 3) hinges on every
+//! `Mutex::lock` / `RwLock::read` / `RwLock::write` result flowing through
+//! `PoisonError::into_inner`: one panicked handler must not turn every
+//! later lock acquisition into a second panic. This rule flags
+//! `.lock()/.read()/.write()` (the zero-argument sync-primitive forms)
+//! followed directly by `.unwrap()` or `.expect(...)`.
+
+use super::{punct_at, Rule, SERVER_CRATES};
+use crate::findings::Finding;
+use crate::workspace::{FileKind, Workspace};
+
+/// See module docs.
+pub struct PoisonRecovery;
+
+const SYNC_METHODS: &[&str] = &["lock", "read", "write"];
+
+impl Rule for PoisonRecovery {
+    fn id(&self) -> &'static str {
+        "poison-recovery"
+    }
+
+    fn description(&self) -> &'static str {
+        "lock()/read()/write() results must recover from poisoning, not unwrap it"
+    }
+
+    fn check(&self, ws: &Workspace, findings: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if file.kind != FileKind::Src || !SERVER_CRATES.contains(&file.crate_name.as_str()) {
+                continue;
+            }
+            let toks = &file.tokens;
+            for (i, tok) in toks.iter().enumerate() {
+                if tok.in_test {
+                    continue;
+                }
+                // `.lock()` / `.read()` / `.write()` — the *empty-argument*
+                // call distinguishes sync primitives from io::Read/Write.
+                let sync_call = SYNC_METHODS.iter().any(|m| tok.is_ident(m))
+                    && i > 0
+                    && punct_at(toks, i - 1, '.')
+                    && punct_at(toks, i + 1, '(')
+                    && punct_at(toks, i + 2, ')');
+                if !sync_call {
+                    continue;
+                }
+                let unwrapped = punct_at(toks, i + 3, '.')
+                    && toks
+                        .get(i + 4)
+                        .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"));
+                if unwrapped {
+                    findings.push(Finding {
+                        rule: self.id(),
+                        path: file.rel_path.clone(),
+                        line: tok.line,
+                        message: format!(
+                            "`.{}()` result unwrapped without PoisonError recovery",
+                            tok.text
+                        ),
+                        hint: format!(
+                            "use `.{}().unwrap_or_else(std::sync::PoisonError::into_inner)` so a \
+                             poisoned lock is recovered instead of cascading the panic",
+                            tok.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::SourceFile;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file =
+            SourceFile::from_source("ptm-rpc", "crates/ptm-rpc/src/x.rs", FileKind::Src, src);
+        let ws = Workspace::in_memory(vec![file], vec![]);
+        let mut findings = Vec::new();
+        PoisonRecovery.check(&ws, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn flags_unwrapped_lock_read_write() {
+        let findings = run(r#"
+            fn f(m: &std::sync::Mutex<u32>, rw: &std::sync::RwLock<u32>) {
+                let a = m.lock().unwrap();
+                let b = rw.read().expect("fresh");
+                let c = rw.write().unwrap();
+            }
+            "#);
+        assert_eq!(findings.len(), 3);
+        assert!(findings.iter().all(|f| f.rule == "poison-recovery"));
+    }
+
+    #[test]
+    fn accepts_poison_recovery_and_io_calls() {
+        let findings = run(r#"
+            use std::sync::PoisonError;
+            fn f(m: &std::sync::Mutex<u32>, stream: &mut std::net::TcpStream) {
+                let a = m.lock().unwrap_or_else(PoisonError::into_inner);
+                let mut buf = [0u8; 4];
+                // io::Read::read takes a buffer, so it is not a sync primitive call
+                let n = std::io::Read::read(stream, &mut buf).unwrap_or(0);
+                let n2 = read_helper(&mut buf).unwrap_or(0);
+            }
+            "#);
+        assert!(findings.is_empty(), "got: {findings:?}");
+    }
+
+    #[test]
+    fn ignores_test_modules() {
+        let findings = run(r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t(m: &std::sync::Mutex<u32>) { let _g = m.lock().unwrap(); }
+            }
+            "#);
+        assert!(findings.is_empty());
+    }
+}

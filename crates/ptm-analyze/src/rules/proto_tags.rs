@@ -1,0 +1,292 @@
+//! `proto-tags`: the RPC frame tag constants must stay unique and inside
+//! their declared ranges.
+//!
+//! `crates/ptm-rpc/src/proto.rs` declares the on-wire message tags as
+//! `const TAG_*: u8` constants, with requests in `1..=127` and responses in
+//! `128..=255` (the header comment is the spec). A duplicated or
+//! out-of-range tag silently corrupts protocol dispatch for every peer, so
+//! this rule re-derives the request/response split from the decoder bodies
+//! and checks each constant against it.
+
+use super::{ident_at, punct_at, Rule};
+use crate::findings::Finding;
+use crate::scanner::{Token, TokenKind};
+use crate::workspace::Workspace;
+use std::collections::BTreeSet;
+
+/// See module docs.
+pub struct ProtoTags;
+
+const PROTO_FILE: &str = "crates/ptm-rpc/src/proto.rs";
+
+impl Rule for ProtoTags {
+    fn id(&self) -> &'static str {
+        "proto-tags"
+    }
+
+    fn description(&self) -> &'static str {
+        "RPC tag constants unique, requests in 1..=127, responses in 128..=255"
+    }
+
+    fn check(&self, ws: &Workspace, findings: &mut Vec<Finding>) {
+        let Some(file) = ws.files.iter().find(|f| f.rel_path == PROTO_FILE) else {
+            findings.push(Finding {
+                rule: self.id(),
+                path: PROTO_FILE.to_string(),
+                line: 1,
+                message: format!("{PROTO_FILE} not found; the tag-range invariant is unchecked"),
+                hint: "update the proto-tags rule if the protocol module moved".to_string(),
+            });
+            return;
+        };
+        let toks = &file.tokens;
+        let tags = tag_constants(toks);
+        if tags.is_empty() {
+            findings.push(Finding {
+                rule: self.id(),
+                path: PROTO_FILE.to_string(),
+                line: 1,
+                message: "no `const TAG_*: u8` constants found".to_string(),
+                hint: "update the proto-tags rule if the tag naming convention changed".to_string(),
+            });
+            return;
+        }
+
+        // Uniqueness.
+        for (i, tag) in tags.iter().enumerate() {
+            if let Some(first) = tags[..i].iter().find(|t| t.value == tag.value) {
+                findings.push(Finding {
+                    rule: self.id(),
+                    path: PROTO_FILE.to_string(),
+                    line: tag.line,
+                    message: format!(
+                        "tag value {} of `{}` duplicates `{}`",
+                        tag.value, tag.name, first.name
+                    ),
+                    hint: "every on-wire tag byte must map to exactly one message".to_string(),
+                });
+            }
+        }
+
+        // Range check, classified by which decoder dispatches on the tag.
+        let requests = decoder_tag_idents(toks, "decode_request");
+        let responses = decoder_tag_idents(toks, "decode_response");
+        for tag in &tags {
+            let in_req = requests.contains(tag.name.as_str());
+            let in_resp = responses.contains(tag.name.as_str());
+            let (ok, class) = match (in_req, in_resp) {
+                (true, true) => {
+                    findings.push(Finding {
+                        rule: self.id(),
+                        path: PROTO_FILE.to_string(),
+                        line: tag.line,
+                        message: format!(
+                            "`{}` is dispatched by both decode_request and decode_response",
+                            tag.name
+                        ),
+                        hint: "a tag must belong to exactly one direction".to_string(),
+                    });
+                    continue;
+                }
+                (true, false) => ((1..=127).contains(&tag.value), "request"),
+                (false, true) => ((128..=255).contains(&tag.value), "response"),
+                (false, false) => {
+                    findings.push(Finding {
+                        rule: self.id(),
+                        path: PROTO_FILE.to_string(),
+                        line: tag.line,
+                        message: format!(
+                            "`{}` is not dispatched by decode_request or decode_response",
+                            tag.name
+                        ),
+                        hint: "wire the tag into a decoder or delete the dead constant".to_string(),
+                    });
+                    continue;
+                }
+            };
+            if !ok {
+                let range = if class == "request" {
+                    "1..=127"
+                } else {
+                    "128..=255"
+                };
+                findings.push(Finding {
+                    rule: self.id(),
+                    path: PROTO_FILE.to_string(),
+                    line: tag.line,
+                    message: format!(
+                        "{} tag `{}` = {} is outside the declared {} range {}",
+                        class, tag.name, tag.value, class, range
+                    ),
+                    hint: "keep request and response tag bytes in their declared halves so a \
+                           misdirected frame can never decode as the wrong direction"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+struct TagConst {
+    name: String,
+    value: u32,
+    line: u32,
+}
+
+/// Collects `const TAG_*: u8 = N;` declarations.
+fn tag_constants(tokens: &[Token]) -> Vec<TagConst> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if !tok.is_ident("const") || tok.in_test {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokenKind::Ident || !name_tok.text.starts_with("TAG_") {
+            continue;
+        }
+        if !(punct_at(tokens, i + 2, ':')
+            && ident_at(tokens, i + 3, "u8")
+            && punct_at(tokens, i + 4, '='))
+        {
+            continue;
+        }
+        let Some(value_tok) = tokens.get(i + 5) else {
+            continue;
+        };
+        if value_tok.kind != TokenKind::Number {
+            continue;
+        }
+        if let Some(value) = parse_int(&value_tok.text) {
+            out.push(TagConst {
+                name: name_tok.text.clone(),
+                value,
+                line: name_tok.line,
+            });
+        }
+    }
+    out
+}
+
+fn parse_int(text: &str) -> Option<u32> {
+    let clean = text.replace('_', "");
+    if let Some(hex) = clean
+        .strip_prefix("0x")
+        .or_else(|| clean.strip_prefix("0X"))
+    {
+        u32::from_str_radix(hex, 16).ok()
+    } else {
+        clean.parse().ok()
+    }
+}
+
+/// The set of `TAG_*` idents referenced inside the body of `fn <name>`.
+fn decoder_tag_idents<'t>(tokens: &'t [Token], name: &str) -> BTreeSet<&'t str> {
+    let mut out = BTreeSet::new();
+    let Some(fn_pos) = tokens
+        .windows(2)
+        .position(|w| w[0].is_ident("fn") && w[1].is_ident(name))
+    else {
+        return out;
+    };
+    // find the body `{` (skip the parameter list / return type)
+    let mut depth = 0i32;
+    let mut k = fn_pos + 2;
+    let open = loop {
+        let Some(t) = tokens.get(k) else { return out };
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') && depth == 0 {
+            break k;
+        }
+        k += 1;
+    };
+    let mut brace = 0i32;
+    for t in &tokens[open..] {
+        if t.is_punct('{') {
+            brace += 1;
+        } else if t.is_punct('}') {
+            brace -= 1;
+            if brace == 0 {
+                break;
+            }
+        } else if t.kind == TokenKind::Ident && t.text.starts_with("TAG_") {
+            out.insert(t.text.as_str());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::{FileKind, SourceFile};
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::from_source("ptm-rpc", PROTO_FILE, FileKind::Src, src);
+        let ws = Workspace::in_memory(vec![file], vec![]);
+        let mut findings = Vec::new();
+        ProtoTags.check(&ws, &mut findings);
+        findings
+    }
+
+    const CLEAN: &str = r#"
+        const TAG_PING: u8 = 1;
+        const TAG_PONG: u8 = 128;
+        fn decode_request(p: &[u8]) { match p[1] { TAG_PING => {} _ => {} } }
+        fn decode_response(p: &[u8]) { match p[1] { TAG_PONG => {} _ => {} } }
+    "#;
+
+    #[test]
+    fn clean_layout_passes() {
+        assert!(run(CLEAN).is_empty(), "got: {:?}", run(CLEAN));
+    }
+
+    #[test]
+    fn duplicate_tag_values_fire() {
+        let findings = run(r#"
+            const TAG_PING: u8 = 5;
+            const TAG_UPLOAD: u8 = 5;
+            fn decode_request(p: &[u8]) { match p[1] { TAG_PING => {} TAG_UPLOAD => {} _ => {} } }
+            fn decode_response(p: &[u8]) {}
+        "#);
+        assert!(findings.iter().any(|f| f.message.contains("duplicates")));
+    }
+
+    #[test]
+    fn out_of_range_tags_fire() {
+        let findings = run(r#"
+            const TAG_PING: u8 = 200;
+            const TAG_PONG: u8 = 3;
+            fn decode_request(p: &[u8]) { match p[1] { TAG_PING => {} _ => {} } }
+            fn decode_response(p: &[u8]) { match p[1] { TAG_PONG => {} _ => {} } }
+        "#);
+        assert_eq!(
+            findings
+                .iter()
+                .filter(|f| f.message.contains("outside the declared"))
+                .count(),
+            2,
+            "got: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn dead_and_double_dispatched_tags_fire() {
+        let findings = run(r#"
+            const TAG_DEAD: u8 = 9;
+            const TAG_BOTH: u8 = 10;
+            fn decode_request(p: &[u8]) { match p[1] { TAG_BOTH => {} _ => {} } }
+            fn decode_response(p: &[u8]) { match p[1] { TAG_BOTH => {} _ => {} } }
+        "#);
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("not dispatched")));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("both decode_request")));
+    }
+}

@@ -1,0 +1,661 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The rules in this crate reason about *token streams*, not syntax trees:
+//! every invariant they check ("no `.unwrap()` after `.lock()`", "this macro
+//! argument is a string literal") is visible at the token level, so a full
+//! parser would buy nothing but a dependency. The scanner handles the parts
+//! of the lexical grammar that break naive text search — string and char
+//! literals, raw strings, nested block comments, lifetimes — and two pieces
+//! of structure the rules need:
+//!
+//! * **test regions**: tokens under a `#[cfg(test)]` / `#[test]` item are
+//!   flagged `in_test`, so rules scoped to production code can skip them;
+//! * **allow directives**: `// ptm-analyze: allow(rule): reason` comments
+//!   are collected with their line numbers for the suppression pass.
+//!
+//! Limitations (accepted, documented in `docs/ANALYSIS.md`): `cfg` predicates
+//! are matched structurally rather than evaluated, so exotic forms such as
+//! `cfg(any(test, feature = "x"))` are treated as test code only when every
+//! `test` ident is outside a `not(...)`; const-generic braces in a signature
+//! can end a test region early. Neither shape occurs in this workspace.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (raw identifiers lose their `r#` prefix).
+    Ident,
+    /// A numeric literal, verbatim (suffix included, dot excluded).
+    Number,
+    /// A string or byte-string literal; `text` holds the *decoded* value.
+    StringLit,
+    /// A character or byte literal; `text` holds the decoded value.
+    CharLit,
+    /// A lifetime such as `'a` (text keeps the leading quote).
+    Lifetime,
+    /// Any single punctuation character.
+    Punct,
+}
+
+/// One token with its source position and test-region flag.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokenKind,
+    /// Lexeme text (decoded for string/char literals).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// Whether the token sits inside a `#[cfg(test)]` / `#[test]` item.
+    pub in_test: bool,
+}
+
+impl Token {
+    fn new(kind: TokenKind, text: String, line: u32) -> Self {
+        Token {
+            kind,
+            text,
+            line,
+            in_test: false,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Whether this token is the given identifier.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+/// A `// ptm-analyze: allow(rule): reason` comment found while scanning.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// The rule id inside `allow(...)`.
+    pub rule: String,
+    /// The reason after the closing paren; `None` when missing or empty.
+    pub reason: Option<String>,
+}
+
+/// The result of scanning one source file.
+#[derive(Debug, Default)]
+pub struct ScanOutput {
+    /// The token stream, comments stripped, test regions marked.
+    pub tokens: Vec<Token>,
+    /// Every allow directive, malformed ones included.
+    pub allows: Vec<AllowDirective>,
+}
+
+/// Scans Rust source text into tokens plus allow directives.
+pub fn scan(source: &str) -> ScanOutput {
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = ScanOutput::default();
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments (incl. doc comments): scan for an allow directive,
+        // then drop.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            let body: String = chars[start..i].iter().collect();
+            if let Some(directive) = parse_allow(&body, line) {
+                out.allows.push(directive);
+            }
+            continue;
+        }
+        // Block comments, nested.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1u32;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw strings, raw identifiers, byte strings: r" r#" b" br" br#" r#ident
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            if c == 'b' && chars.get(j) == Some(&'r') {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            let raw_form = c == 'r' || (c == 'b' && chars.get(i + 1) == Some(&'r'));
+            if raw_form && chars.get(j) == Some(&'"') {
+                let start_line = line;
+                let (value, next) = read_raw_string(&chars, j + 1, hashes, &mut line);
+                out.tokens
+                    .push(Token::new(TokenKind::StringLit, value, start_line));
+                i = next;
+                continue;
+            }
+            if c == 'r' && hashes == 1 && chars.get(j).is_some_and(|&ch| is_ident_start(ch)) {
+                // raw identifier r#foo — emit as plain ident
+                let (text, next) = read_ident(&chars, j);
+                out.tokens.push(Token::new(TokenKind::Ident, text, line));
+                i = next;
+                continue;
+            }
+            if c == 'b' && hashes == 0 && chars.get(i + 1) == Some(&'"') {
+                let start_line = line;
+                let (value, next) = read_quoted_string(&chars, i + 2, &mut line);
+                out.tokens
+                    .push(Token::new(TokenKind::StringLit, value, start_line));
+                i = next;
+                continue;
+            }
+            if c == 'b' && hashes == 0 && chars.get(i + 1) == Some(&'\'') {
+                let (value, next) = read_char_literal(&chars, i + 2);
+                out.tokens.push(Token::new(TokenKind::CharLit, value, line));
+                i = next;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+        if c == '"' {
+            let start_line = line;
+            let (value, next) = read_quoted_string(&chars, i + 1, &mut line);
+            out.tokens
+                .push(Token::new(TokenKind::StringLit, value, start_line));
+            i = next;
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime ('a not followed by ') vs char literal ('a', '\n', ...).
+            let next_ch = chars.get(i + 1).copied();
+            let is_lifetime = next_ch.is_some_and(is_ident_start)
+                && chars.get(i + 2).copied() != Some('\'')
+                && next_ch != Some('\\');
+            if is_lifetime {
+                let (ident, next) = read_ident(&chars, i + 1);
+                out.tokens
+                    .push(Token::new(TokenKind::Lifetime, format!("'{ident}"), line));
+                i = next;
+                continue;
+            }
+            let (value, next) = read_char_literal(&chars, i + 1);
+            out.tokens.push(Token::new(TokenKind::CharLit, value, line));
+            i = next;
+            continue;
+        }
+        if is_ident_start(c) {
+            let (text, next) = read_ident(&chars, i);
+            out.tokens.push(Token::new(TokenKind::Ident, text, line));
+            i = next;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.tokens.push(Token::new(
+                TokenKind::Number,
+                chars[start..i].iter().collect(),
+                line,
+            ));
+            continue;
+        }
+        out.tokens
+            .push(Token::new(TokenKind::Punct, c.to_string(), line));
+        i += 1;
+    }
+
+    mark_test_regions(&mut out.tokens);
+    out
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn read_ident(chars: &[char], from: usize) -> (String, usize) {
+    let mut i = from;
+    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+        i += 1;
+    }
+    (chars[from..i].iter().collect(), i)
+}
+
+/// Reads a `"`-delimited string body starting just after the opening quote,
+/// decoding escapes; returns (value, index past the closing quote).
+fn read_quoted_string(chars: &[char], from: usize, line: &mut u32) -> (String, usize) {
+    let mut value = String::new();
+    let mut i = from;
+    while i < chars.len() {
+        match chars[i] {
+            '"' => return (value, i + 1),
+            '\\' => {
+                let (decoded, next) = decode_escape(chars, i + 1, line);
+                if let Some(ch) = decoded {
+                    value.push(ch);
+                }
+                i = next;
+            }
+            ch => {
+                if ch == '\n' {
+                    *line += 1;
+                }
+                value.push(ch);
+                i += 1;
+            }
+        }
+    }
+    (value, i) // unterminated string: tolerate, EOF ends it
+}
+
+/// Reads a raw string body (after the opening quote) terminated by `"` plus
+/// `hashes` hash marks.
+fn read_raw_string(chars: &[char], from: usize, hashes: usize, line: &mut u32) -> (String, usize) {
+    let mut i = from;
+    while i < chars.len() {
+        if chars[i] == '"'
+            && chars[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == '#')
+                .count()
+                == hashes
+        {
+            let value = chars[from..i].iter().collect();
+            return (value, i + 1 + hashes);
+        }
+        if chars[i] == '\n' {
+            *line += 1;
+        }
+        i += 1;
+    }
+    (chars[from..].iter().collect(), chars.len())
+}
+
+/// Reads a char/byte literal body starting just after the opening quote.
+fn read_char_literal(chars: &[char], from: usize) -> (String, usize) {
+    let mut i = from;
+    let mut value = String::new();
+    if chars.get(i) == Some(&'\\') {
+        let mut dummy_line = 0u32;
+        let (decoded, next) = decode_escape(chars, i + 1, &mut dummy_line);
+        if let Some(ch) = decoded {
+            value.push(ch);
+        }
+        i = next;
+    } else if let Some(&ch) = chars.get(i) {
+        value.push(ch);
+        i += 1;
+    }
+    if chars.get(i) == Some(&'\'') {
+        i += 1;
+    }
+    (value, i)
+}
+
+/// Decodes one escape sequence starting after the backslash; returns the
+/// decoded char (None for a line-continuation escape) and the next index.
+fn decode_escape(chars: &[char], from: usize, line: &mut u32) -> (Option<char>, usize) {
+    match chars.get(from) {
+        Some('n') => (Some('\n'), from + 1),
+        Some('r') => (Some('\r'), from + 1),
+        Some('t') => (Some('\t'), from + 1),
+        Some('0') => (Some('\0'), from + 1),
+        Some('\\') => (Some('\\'), from + 1),
+        Some('\'') => (Some('\''), from + 1),
+        Some('"') => (Some('"'), from + 1),
+        Some('x') => {
+            let hex: String = chars[from + 1..].iter().take(2).collect();
+            let ch = u8::from_str_radix(&hex, 16).ok().map(char::from);
+            (ch, from + 1 + hex.chars().count())
+        }
+        Some('u') if chars.get(from + 1) == Some(&'{') => {
+            let mut i = from + 2;
+            let mut hex = String::new();
+            while i < chars.len() && chars[i] != '}' {
+                hex.push(chars[i]);
+                i += 1;
+            }
+            let ch = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32);
+            (ch, i + 1)
+        }
+        Some('\n') => {
+            // Escaped newline: skip it and following leading whitespace.
+            *line += 1;
+            let mut i = from + 1;
+            while i < chars.len() && (chars[i] == ' ' || chars[i] == '\t') {
+                i += 1;
+            }
+            (None, i)
+        }
+        Some(&other) => (Some(other), from + 1),
+        None => (None, from),
+    }
+}
+
+/// Parses `// ptm-analyze: allow(rule): reason` out of a comment body.
+fn parse_allow(comment: &str, line: u32) -> Option<AllowDirective> {
+    let body = comment
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim();
+    let rest = body.strip_prefix("ptm-analyze:")?.trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let tail = rest[close + 1..].trim_start();
+    let reason = tail
+        .strip_prefix(':')
+        .map(str::trim)
+        .filter(|r| !r.is_empty())
+        .map(str::to_string);
+    Some(AllowDirective { line, rule, reason })
+}
+
+/// Flags every token belonging to a `#[cfg(test)]` / `#[test]` item.
+fn mark_test_regions(tokens: &mut [Token]) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let attr_end = matching_bracket(tokens, i + 1);
+            if attr_is_test(&tokens[i + 2..attr_end]) {
+                // Skip any stacked attributes after the test marker.
+                let mut j = attr_end + 1;
+                while j < tokens.len()
+                    && tokens[j].is_punct('#')
+                    && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    j = matching_bracket(tokens, j + 1) + 1;
+                }
+                let item_end = item_end_from(tokens, j);
+                for tok in tokens.iter_mut().take(item_end + 1).skip(i) {
+                    tok.in_test = true;
+                }
+                i = item_end + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Index of the `]` matching the `[` at `open` (or the last token).
+fn matching_bracket(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, tok) in tokens.iter().enumerate().skip(open) {
+        if tok.is_punct('[') {
+            depth += 1;
+        } else if tok.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Whether an attribute body (tokens between `#[` and `]`) marks test code.
+fn attr_is_test(body: &[Token]) -> bool {
+    let idents: Vec<&str> = body
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    // #[test], #[tokio::test]-style: the last path segment is `test`.
+    if body
+        .iter()
+        .all(|t| t.kind == TokenKind::Ident || t.is_punct(':'))
+        && idents.last() == Some(&"test")
+    {
+        return true;
+    }
+    // #[cfg(...)]: true iff some `test` ident is not wrapped in not(...).
+    if idents.first() == Some(&"cfg") {
+        for (k, tok) in body.iter().enumerate() {
+            if tok.is_ident("test") {
+                let negated = k >= 2 && body[k - 1].is_punct('(') && body[k - 2].is_ident("not");
+                if !negated {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Finds the last token of the item starting at `from`: the matching `}` of
+/// its body, or a top-level `;` for braceless items.
+fn item_end_from(tokens: &[Token], from: usize) -> usize {
+    let mut depth = 0i32; // () and [] nesting before the body opens
+    let mut k = from;
+    while k < tokens.len() {
+        let tok = &tokens[k];
+        if tok.is_punct('(') || tok.is_punct('[') {
+            depth += 1;
+        } else if tok.is_punct(')') || tok.is_punct(']') {
+            depth -= 1;
+        } else if tok.is_punct('{') && depth == 0 {
+            return matching_brace(tokens, k);
+        } else if tok.is_punct(';') && depth == 0 {
+            return k;
+        }
+        k += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, tok) in tokens.iter().enumerate().skip(open) {
+        if tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        scan(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let toks = texts(
+            r##"
+            // commented .unwrap() here
+            /* block /* nested */ .expect() */
+            let s = "literal .unwrap() inside";
+            let r = r#"raw .expect() inside"#;
+            let c = '\n';
+            "##,
+        );
+        assert!(toks.contains(&"let".to_string()));
+        assert!(!toks.contains(&"unwrap".to_string()));
+        assert!(!toks.contains(&"expect".to_string()));
+        // string values are preserved as StringLit tokens, not idents
+        assert!(toks.contains(&"literal .unwrap() inside".to_string()));
+    }
+
+    #[test]
+    fn string_escapes_decode() {
+        let out = scan(r#"let x = "a\nb\x41\u{2603}";"#);
+        let lit = out
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::StringLit)
+            .expect("string literal");
+        assert_eq!(lit.text, "a\nbA\u{2603}");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let out = scan("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::CharLit)
+            .collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "x");
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_inside_literals() {
+        let src = "let a = \"x\ny\";\nlet b = 1;";
+        let out = scan(src);
+        let b = out
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("b"))
+            .expect("ident b");
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = r#"
+            fn production() { touch(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { inside(); }
+            }
+            fn also_production() {}
+        "#;
+        let out = scan(src);
+        let inside = out
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("inside"))
+            .expect("inside");
+        assert!(inside.in_test);
+        let touch = out
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("touch"))
+            .expect("touch");
+        assert!(!touch.in_test);
+        let after = out
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("also_production"))
+            .expect("after");
+        assert!(!after.in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_marked() {
+        let src = r#"
+            #[cfg(not(test))]
+            fn production_only() { body(); }
+        "#;
+        let out = scan(src);
+        let body = out
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("body"))
+            .expect("body");
+        assert!(!body.in_test);
+    }
+
+    #[test]
+    fn test_attr_with_complex_signature() {
+        let src = r#"
+            #[test]
+            #[should_panic(expected = "boom")]
+            fn t(x: [u8; 4]) { marked(); }
+            fn unmarked() {}
+        "#;
+        let out = scan(src);
+        assert!(
+            out.tokens
+                .iter()
+                .find(|t| t.is_ident("marked"))
+                .expect("marked")
+                .in_test
+        );
+        assert!(
+            !out.tokens
+                .iter()
+                .find(|t| t.is_ident("unmarked"))
+                .expect("unmarked")
+                .in_test
+        );
+    }
+
+    #[test]
+    fn allow_directive_parses_with_reason() {
+        let out = scan("// ptm-analyze: allow(no-unwrap): timing only feeds metrics\nlet x = 1;");
+        assert_eq!(out.allows.len(), 1);
+        let d = &out.allows[0];
+        assert_eq!(d.rule, "no-unwrap");
+        assert_eq!(d.reason.as_deref(), Some("timing only feeds metrics"));
+        assert_eq!(d.line, 1);
+    }
+
+    #[test]
+    fn allow_directive_without_reason_is_flagged_as_missing() {
+        let out = scan("// ptm-analyze: allow(no-unwrap)\nlet x = 1;");
+        assert_eq!(out.allows.len(), 1);
+        assert!(out.allows[0].reason.is_none());
+        let out = scan("// ptm-analyze: allow(no-unwrap):   \nlet x = 1;");
+        assert!(out.allows[0].reason.is_none());
+    }
+
+    #[test]
+    fn byte_strings_and_raw_idents() {
+        let out = scan(r#"let b = b"bytes"; let r#type = 1;"#);
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::StringLit && t.text == "bytes"));
+        assert!(out.tokens.iter().any(|t| t.is_ident("type")));
+    }
+}

@@ -1,0 +1,223 @@
+//! Workspace discovery: find every `.rs` file and the docs the registry
+//! rules cross-check, scan them once, and hand the rules a uniform view.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::scanner::{scan, AllowDirective, Token};
+
+/// Which build role a source file plays — rules scope themselves by kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Production code under a crate's `src/`.
+    Src,
+    /// Integration-test code (`crates/*/tests/`, the `tests/` member).
+    Test,
+    /// Criterion benchmarks (`crates/*/benches/`).
+    Bench,
+    /// Example binaries (`examples/`).
+    Example,
+}
+
+/// One scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, forward slashes.
+    pub rel_path: String,
+    /// The workspace member the file belongs to (directory name under
+    /// `crates/`, or `examples` / `tests` for those members).
+    pub crate_name: String,
+    /// Build role.
+    pub kind: FileKind,
+    /// Final path component (`lib.rs`, `main.rs`, ...).
+    pub file_name: String,
+    /// Token stream with test regions marked.
+    pub tokens: Vec<Token>,
+    /// Allow directives found in comments.
+    pub allows: Vec<AllowDirective>,
+}
+
+/// A documentation file the registry rules cross-check against code.
+#[derive(Debug)]
+pub struct DocFile {
+    /// Path relative to the workspace root.
+    pub rel_path: String,
+    /// The file's lines, for line-addressed findings.
+    pub lines: Vec<String>,
+}
+
+/// Everything a rule can look at.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Absolute workspace root.
+    pub root: PathBuf,
+    /// Every scanned `.rs` file, sorted by `rel_path`.
+    pub files: Vec<SourceFile>,
+    /// Docs keyed by relative path (e.g. `docs/OBSERVABILITY.md`).
+    pub docs: BTreeMap<String, DocFile>,
+}
+
+/// Doc files the rules need; absence is tolerated at load time (the rule
+/// that needs a missing doc reports it).
+pub const DOC_PATHS: &[&str] = &["docs/OBSERVABILITY.md", "docs/FAULTS.md"];
+
+impl Workspace {
+    /// Loads and scans the workspace rooted at `root`.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let root = root.canonicalize()?;
+        let mut files = Vec::new();
+
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_dir())
+                .collect();
+            crate_dirs.sort();
+            for crate_dir in crate_dirs {
+                let crate_name = dir_name(&crate_dir);
+                for (sub, kind) in [
+                    ("src", FileKind::Src),
+                    ("tests", FileKind::Test),
+                    ("benches", FileKind::Bench),
+                ] {
+                    collect_rs(&crate_dir.join(sub), &root, &crate_name, kind, &mut files)?;
+                }
+            }
+        }
+        collect_rs(
+            &root.join("examples"),
+            &root,
+            "examples",
+            FileKind::Example,
+            &mut files,
+        )?;
+        collect_rs(
+            &root.join("tests"),
+            &root,
+            "ptm-integration-tests",
+            FileKind::Test,
+            &mut files,
+        )?;
+
+        files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+
+        let mut docs = BTreeMap::new();
+        for rel in DOC_PATHS {
+            let path = root.join(rel);
+            if let Ok(text) = fs::read_to_string(&path) {
+                docs.insert(
+                    (*rel).to_string(),
+                    DocFile {
+                        rel_path: (*rel).to_string(),
+                        lines: text.lines().map(str::to_string).collect(),
+                    },
+                );
+            }
+        }
+
+        Ok(Workspace { root, files, docs })
+    }
+
+    /// Builds an in-memory workspace for rule unit tests.
+    pub fn in_memory(files: Vec<SourceFile>, docs: Vec<(&str, &str)>) -> Workspace {
+        Workspace {
+            root: PathBuf::from("."),
+            files,
+            docs: docs
+                .into_iter()
+                .map(|(path, text)| {
+                    (
+                        path.to_string(),
+                        DocFile {
+                            rel_path: path.to_string(),
+                            lines: text.lines().map(str::to_string).collect(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+impl SourceFile {
+    /// Scans `source` into an in-memory file for rule unit tests.
+    pub fn from_source(crate_name: &str, rel_path: &str, kind: FileKind, source: &str) -> Self {
+        let out = scan(source);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_name: crate_name.to_string(),
+            kind,
+            file_name: rel_path.rsplit('/').next().unwrap_or(rel_path).to_string(),
+            tokens: out.tokens,
+            allows: out.allows,
+        }
+    }
+}
+
+fn dir_name(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default()
+}
+
+/// Recursively collects `.rs` files under `dir` (silently absent dirs ok).
+fn collect_rs(
+    dir: &Path,
+    root: &Path,
+    crate_name: &str,
+    kind: FileKind,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            // The root `tests/` member nests its own `tests/` dir; recurse.
+            collect_rs(&path, root, crate_name, kind, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let source = fs::read_to_string(&path)?;
+            let scanned = scan(&source);
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile {
+                rel_path: rel.clone(),
+                crate_name: crate_name.to_string(),
+                kind,
+                file_name: dir_name(&path),
+                tokens: scanned.tokens,
+                allows: scanned.allows,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_memory_file_records_name_and_kind() {
+        let f = SourceFile::from_source(
+            "ptm-rpc",
+            "crates/ptm-rpc/src/lib.rs",
+            FileKind::Src,
+            "fn a() {}",
+        );
+        assert_eq!(f.file_name, "lib.rs");
+        assert_eq!(f.crate_name, "ptm-rpc");
+        assert_eq!(f.kind, FileKind::Src);
+        assert!(f.tokens.iter().any(|t| t.is_ident("a")));
+    }
+}

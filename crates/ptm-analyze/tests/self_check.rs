@@ -1,0 +1,52 @@
+//! The linter must hold on the repository that ships it: `ptm-analyze
+//! check` is part of `scripts/ci.sh`, so a clean self-check here is the
+//! same gate the CI step enforces, minus the process boundary.
+
+use std::path::PathBuf;
+
+use ptm_analyze::workspace::Workspace;
+
+fn repo_root() -> PathBuf {
+    // crates/ptm-analyze -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+#[test]
+fn repository_is_clean_under_every_rule() {
+    let ws = Workspace::load(&repo_root()).expect("workspace loads");
+    assert!(
+        ws.files.len() > 50,
+        "workspace discovery looks broken: only {} files found",
+        ws.files.len()
+    );
+    let report = ptm_analyze::run(&ws);
+    assert!(
+        report.findings.is_empty(),
+        "ptm-analyze found violations in the repository:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn known_invariants_are_actually_scanned() {
+    // Guard against the self-check passing vacuously: the files the rules
+    // care about must be in the scan set, non-empty, and classified right.
+    let ws = Workspace::load(&repo_root()).expect("workspace loads");
+    let proto = ws
+        .files
+        .iter()
+        .find(|f| f.rel_path == "crates/ptm-rpc/src/proto.rs")
+        .expect("proto.rs is scanned");
+    assert!(proto.tokens.iter().any(|t| t.text.starts_with("TAG_")));
+    let fault_lib = ws
+        .files
+        .iter()
+        .find(|f| f.rel_path == "crates/ptm-fault/src/lib.rs")
+        .expect("ptm-fault lib.rs is scanned");
+    assert!(fault_lib.tokens.iter().any(|t| t.is_ident("sites")));
+    assert!(ws.docs.contains_key("docs/OBSERVABILITY.md"));
+    assert!(ws.docs.contains_key("docs/FAULTS.md"));
+}

@@ -11,6 +11,9 @@
 //! ptm all    [--runs N] [--seed S] [--csv DIR]
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;

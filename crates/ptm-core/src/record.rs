@@ -75,6 +75,15 @@ impl TrafficRecord {
         &self.bitmap
     }
 
+    /// The same bitmap restamped with a different period id.
+    ///
+    /// Used when an RSU armed with a provisional sequential id hands its
+    /// record to a coordinator that knows the authoritative period.
+    pub fn restamped(mut self, period: PeriodId) -> Self {
+        self.period = period;
+        self
+    }
+
     /// Number of bits `m` in the record.
     pub fn len(&self) -> usize {
         self.bitmap.len()

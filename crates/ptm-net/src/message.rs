@@ -127,7 +127,7 @@ pub fn decrypt_index(key: &[u8; 32], nonce: u64, ciphertext: &[u8]) -> Option<u6
         return None;
     }
     let plain = StreamCipher::new(key, nonce).apply(ciphertext);
-    Some(u64::from_le_bytes(plain.try_into().expect("8 bytes")))
+    Some(u64::from_le_bytes(plain.try_into().ok()?))
 }
 
 /// Computes both DH shares' agreement: `peer^mine mod p` on the simulation

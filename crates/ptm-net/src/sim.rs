@@ -262,15 +262,7 @@ impl V2iSimulator {
             // RSUs were armed with sequential ids; stamp the authoritative
             // period id the caller asked for.
             if record.period() != period {
-                let mut fresh = ptm_core::record::TrafficRecord::new(
-                    record.location(),
-                    period,
-                    BitmapSize::new(record.len()).expect("records are power-of-two sized"),
-                );
-                for idx in record.bitmap().iter_ones() {
-                    fresh.set_reported_index(idx);
-                }
-                record = fresh;
+                record = record.restamped(period);
             }
             self.server.submit(record)?;
         }

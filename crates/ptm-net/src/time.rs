@@ -91,6 +91,7 @@ impl Sub<SimTime> for SimTime {
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
+                // ptm-analyze: allow(no-unwrap): documented panicking operator, like slice indexing; callers uphold monotonic time
                 .expect("subtracting a later instant from an earlier one"),
         )
     }

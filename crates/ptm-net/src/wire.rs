@@ -76,22 +76,20 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        self.take(N)?.try_into().map_err(|_| WireError::Truncated)
+    }
+
     fn u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(
-            self.take(2)?.try_into().expect("2 bytes"),
-        ))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn finish(&self) -> Result<(), WireError> {
@@ -184,7 +182,7 @@ pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
             })
         }
         2 => {
-            let mac = TempMac::from_bytes(r.take(6)?.try_into().expect("6 bytes"));
+            let mac = TempMac::from_bytes(r.array()?);
             let dh_public = r.u64()?;
             let nonce = r.u64()?;
             let ct_len = r.u16()? as usize;
@@ -192,7 +190,7 @@ pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
                 return Err(WireError::BadLength(ct_len));
             }
             let ciphertext = r.take(ct_len)?.to_vec();
-            let tag: [u8; 32] = r.take(32)?.try_into().expect("32 bytes");
+            let tag: [u8; 32] = r.array()?;
             Message::Report(Report {
                 mac,
                 dh_public,
@@ -202,7 +200,7 @@ pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
             })
         }
         3 => {
-            let mac = TempMac::from_bytes(r.take(6)?.try_into().expect("6 bytes"));
+            let mac = TempMac::from_bytes(r.array()?);
             Message::Ack(Ack { mac })
         }
         other => return Err(WireError::UnknownTag(other)),

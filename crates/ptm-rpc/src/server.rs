@@ -782,6 +782,7 @@ fn ingest(shared: &Shared, records: Vec<TrafficRecord>) -> Response {
         .fault_ingest_panic
         .swap(false, Ordering::SeqCst)
     {
+        // ptm-analyze: allow(no-unwrap): deliberate fault-injection hook; fires only when a test sets fault_ingest_panic
         panic!("injected ingest fault (test-only)");
     }
     // Degraded (read-only) mode: the archive backend kept failing. Shed

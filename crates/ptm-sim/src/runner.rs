@@ -40,6 +40,7 @@ where
         if !ptm_obs::metrics_enabled() {
             return f(i);
         }
+        // ptm-analyze: allow(determinism): wall-clock feeds only the sim.trial.wall_ns metric, never trial results
         let started = Instant::now();
         let result = f(i);
         let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -78,6 +79,7 @@ where
                     // Thread utilization: total time workers spent inside
                     // trial bodies, comparable against the sim.run_trials
                     // span to compute effective parallelism.
+                    // ptm-analyze: allow(determinism): wall-clock feeds only the sim.worker.busy_ns metric, never trial results
                     let busy_from = ptm_obs::metrics_enabled().then(Instant::now);
                     for (i, slot) in chunk.iter_mut().enumerate() {
                         *slot = Some(timed(offset + i));
