@@ -244,6 +244,17 @@ fn bench_rpc(c: &mut Criterion) {
         })
     });
 
+    // Full frame round trip: write into a buffer, read it back.
+    group.bench_function("frame_roundtrip_4k_record", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(payload.len() + ptm_rpc::FRAME_HEADER_LEN);
+            ptm_rpc::frame::write_frame(&mut out, &payload).expect("vec write");
+            let mut cursor = std::io::Cursor::new(out.as_slice());
+            ptm_rpc::frame::read_frame(&mut cursor, ptm_rpc::DEFAULT_MAX_FRAME_LEN)
+                .expect("valid frame")
+        })
+    });
+
     // Protocol codec round trip: a 64-record batch.
     let batch: Vec<ptm_core::record::TrafficRecord> = (0..64)
         .map(|p| {

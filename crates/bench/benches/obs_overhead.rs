@@ -41,6 +41,13 @@ fn bench_primitives_disabled(c: &mut Criterion) {
             black_box(0u64)
         });
     });
+    group.bench_function("tspan", |b| {
+        ptm_obs::set_tracing_enabled(false);
+        b.iter(|| {
+            let _t = ptm_obs::tspan!("bench.disabled.tspan");
+            black_box(0u64)
+        });
+    });
     group.finish();
 }
 
@@ -98,10 +105,67 @@ fn bench_encode_path(c: &mut Criterion) {
     group.finish();
 }
 
+/// The traced-ingest contract: a loopback upload round trip with tracing
+/// off must cost the same as the pre-tracing baseline (the `tspan!` sites
+/// on the dispatch path degrade to relaxed loads), and turning tracing on
+/// prices the full span tree — id minting, clock reads, JSONL encode.
+fn bench_traced_ingest(c: &mut Criterion) {
+    use ptm_core::params::SystemParams;
+    use ptm_rpc::{ClientConfig, RpcClient, RpcServer, ServerConfig};
+
+    let archive = std::env::temp_dir().join(format!("ptm-bench-trace-{}.ptma", std::process::id()));
+    let _ = std::fs::remove_file(&archive);
+    let server =
+        RpcServer::start("127.0.0.1:0", &archive, ServerConfig::default()).expect("daemon");
+    let mut client =
+        RpcClient::connect(server.local_addr(), ClientConfig::default()).expect("loopback client");
+
+    let params = SystemParams::paper_default();
+    let scheme = EncodingScheme::new(51, params.num_representatives());
+    let mut rng = ChaCha12Rng::seed_from_u64(51);
+    let size = BitmapSize::new(512).expect("pow2");
+    let mut period = 0u32;
+    // Each iteration uploads a *fresh* (location, period) so the daemon
+    // takes the full ingest path — dispatch, writer lock, archive commit —
+    // instead of the idempotent-duplicate shortcut.
+    let mut next_record = move |rng: &mut ChaCha12Rng| {
+        let mut r = TrafficRecord::new(LocationId::new(9), PeriodId::new(period), size);
+        period += 1;
+        for _ in 0..16 {
+            let v = VehicleSecrets::generate(rng, params.num_representatives());
+            r.encode(&scheme, &v);
+        }
+        r
+    };
+
+    let mut group = c.benchmark_group("trace");
+    for (label, traced) in [("ingest_untraced", false), ("ingest_traced", true)] {
+        group.bench_function(label, |b| {
+            if traced {
+                // Include the serialization cost, not the disk: spans go
+                // to a sink writer.
+                ptm_obs::set_trace_writer(Some(Box::new(std::io::sink())));
+            }
+            ptm_obs::set_tracing_enabled(traced);
+            b.iter(|| {
+                let record = next_record(&mut rng);
+                client.upload(&record).expect("loopback upload")
+            });
+            ptm_obs::set_tracing_enabled(false);
+            ptm_obs::set_trace_writer(None);
+        });
+    }
+    group.finish();
+
+    server.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_file(&archive);
+}
+
 criterion_group!(
     benches,
     bench_primitives_disabled,
     bench_primitives_enabled,
-    bench_encode_path
+    bench_encode_path,
+    bench_traced_ingest
 );
 criterion_main!(benches);

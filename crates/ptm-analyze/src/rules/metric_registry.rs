@@ -2,9 +2,9 @@
 //! catalogue in `docs/OBSERVABILITY.md` must agree, in both directions.
 //!
 //! Code side, every *dotted* string literal passed to the `ptm-obs` macros
-//! (`counter!`, `gauge!`, `histogram!`, `span!`, plus event targets in
-//! `error!`/`warn!`/`info!`/`debug!`/`trace!`/`event!`) in non-test code is
-//! collected. Doc side, the markdown tables are parsed into exact names and
+//! (`counter!`, `gauge!`, `histogram!`, `span!`, `tspan!`, plus event
+//! targets in `error!`/`warn!`/`info!`/`debug!`/`trace!`/`event!`) in
+//! non-test code is collected. Doc side, the markdown tables are parsed into exact names and
 //! wildcard families (`net.server.estimate.*`, `net.server.records.loc<N>`).
 //! An undocumented code name and a documented-but-vanished name are both
 //! findings — drift is caught whichever way it happens. Dynamic names built
@@ -21,7 +21,7 @@ use std::collections::BTreeSet;
 pub struct MetricRegistry;
 
 const DOC: &str = "docs/OBSERVABILITY.md";
-const METRIC_MACROS: &[&str] = &["counter", "gauge", "histogram", "span"];
+const METRIC_MACROS: &[&str] = &["counter", "gauge", "histogram", "span", "tspan"];
 const EVENT_MACROS: &[&str] = &["error", "warn", "info", "debug", "trace"];
 
 impl Rule for MetricRegistry {
@@ -201,6 +201,24 @@ mod tests {
         assert!(stale
             .iter()
             .all(|f| !f.message.contains("net.server.estimate")));
+    }
+
+    #[test]
+    fn tspan_first_argument_is_collected_in_every_form() {
+        // The name is the first argument in all three `tspan!` forms, so
+        // the extractor sees trace spans exactly like metric names.
+        let findings = run(r#"
+            fn f(t: std::time::Instant, ctx: ptm_obs::TraceContext) {
+                let _a = ptm_obs::tspan!("rpc.mystery.root");
+                let _b = ptm_obs::tspan!("rpc.mystery.join", child_of = ctx);
+                ptm_obs::tspan!("rpc.mystery.stage", elapsed = t);
+            }
+            "#);
+        let code: Vec<_> = findings
+            .iter()
+            .filter(|f| f.path.ends_with("x.rs"))
+            .collect();
+        assert_eq!(code.len(), 3, "got: {code:?}");
     }
 
     #[test]

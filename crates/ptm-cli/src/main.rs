@@ -38,6 +38,12 @@ fn main() -> ExitCode {
     if metrics_path.is_some() {
         ptm_obs::enable_metrics();
     }
+    if let Some(path) = options.get("trace") {
+        if let Err(message) = enable_trace_output(Path::new(path)) {
+            ptm_obs::error!("cli", message);
+            return ExitCode::FAILURE;
+        }
+    }
     let result = run_command(&command, &options);
     // Snapshot even after a failed command — partial metrics help debugging.
     if let Some(path) = metrics_path {
@@ -81,6 +87,8 @@ COMMANDS:
                  [--inflight N: uncached estimates per location; default 8]
                  [--retry-after-ms N: shed-response hint; default 250]
                  [--sync flush|fsync: archive durability; default flush]
+                 [--recorder-dump P: dump the flight recorder as JSONL to P
+                  on panic, degraded transitions, and shutdown]
                  [--faults SPEC --fault-seed N: deterministic fault plan,
                   see docs/FAULTS.md])
                 With --health: probe a running daemon instead (exit 0 iff
@@ -90,6 +98,11 @@ COMMANDS:
                  [--persistent N] [--seed S])
     query       Query a daemon (--kind volume|point|p2p --location L
                 [--location-b B] [--periods T] [--period P] [--addr A])
+    top         Live daemon introspection: records, per-shard depths and
+                epochs, latency percentiles, counters, recent flight-recorder
+                entries ([--addr A] [--json: raw snapshot])
+    trace-validate  Check a span JSONL file against the documented trace
+                schema (--file PATH, see docs/OBSERVABILITY.md)
 
 OPTIONS:
     --runs N    Simulation runs per data point (defaults per experiment)
@@ -100,6 +113,9 @@ OPTIONS:
     --csv DIR   Also write machine-readable CSV/JSON into DIR
     --metrics P Enable metric recording and write a JSON snapshot to path P
                 (counters, gauges, latency histograms) plus a summary on stdout
+    --trace P   Enable request tracing and append span JSONL to path P; with
+                serve, --recorder-dump P additionally dumps the in-memory
+                flight recorder on panic, degraded transitions, and shutdown
     --quiet     Suppress progress events (errors still print)
 
 ENVIRONMENT:
@@ -120,7 +136,7 @@ fn parse(args: &[String]) -> Option<(String, Options)> {
     while let Some(flag) = iter.next() {
         let key = flag.strip_prefix("--")?;
         // Boolean flags take no value.
-        if key == "quiet" || key == "health" {
+        if key == "quiet" || key == "health" || key == "json" {
             options.insert(key.to_owned(), String::new());
             continue;
         }
@@ -193,6 +209,94 @@ fn write_metrics(path: &Path, quiet: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// `--trace P`: route span JSONL to `path` and turn tracing on. The trace
+/// writer flushes after every span, so the file is valid JSONL even if the
+/// process is killed mid-run.
+fn enable_trace_output(path: &Path) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    let file = std::fs::File::create(path)
+        .map_err(|e| format!("cannot open trace output {}: {e}", path.display()))?;
+    ptm_obs::set_trace_writer(Some(Box::new(std::io::BufWriter::new(file))));
+    ptm_obs::enable_tracing();
+    ptm_obs::info!("cli", "tracing enabled"; path = path.display().to_string());
+    Ok(())
+}
+
+/// `ptm trace-validate --file P`: check every line of a span JSONL file
+/// against the trace schema documented in `docs/OBSERVABILITY.md`. Exits
+/// non-zero on the first malformed line or if the file holds no entries.
+fn cmd_trace_validate(options: &Options) -> Result<(), String> {
+    use serde::Content;
+
+    let path = options
+        .get("file")
+        .ok_or("trace-validate requires --file <span JSONL>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+
+    let hex16 = |c: &Content| {
+        matches!(c, Content::Str(s) if s.len() == 16
+        && s.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()))
+    };
+    let uint = |c: &Content| matches!(c, Content::U64(_));
+    let string = |c: &Content| matches!(c, Content::Str(_));
+
+    let (mut spans, mut events) = (0usize, 0usize);
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let content: Content =
+            serde_json::from_str(line).map_err(|e| format!("{path}:{lineno}: not JSON: {e}"))?;
+        let Content::Map(fields) = &content else {
+            return Err(format!("{path}:{lineno}: entry is not a JSON object"));
+        };
+        let field = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let expect = |name: &str, ok: &dyn Fn(&Content) -> bool, want: &str| {
+            field(name)
+                .filter(|v| ok(v))
+                .map(drop)
+                .ok_or(format!("{path}:{lineno}: field {name:?} must be {want}"))
+        };
+        if field("trace").is_some() {
+            // Span entry.
+            expect("trace", &hex16, "a 16-digit lowercase hex string")?;
+            expect("span", &hex16, "a 16-digit lowercase hex string")?;
+            let parent_ok = field("parent").is_some_and(|v| matches!(v, Content::Null) || hex16(v));
+            if !parent_ok {
+                return Err(format!(
+                    "{path}:{lineno}: field \"parent\" must be null or a 16-digit hex string"
+                ));
+            }
+            expect("name", &string, "a string")?;
+            expect("start_ns", &uint, "a non-negative integer")?;
+            expect("dur_ns", &uint, "a non-negative integer")?;
+            spans += 1;
+        } else if field("event").is_some() {
+            // Flight-recorder event entry.
+            expect("event", &string, "a string")?;
+            expect("target", &string, "a string")?;
+            expect("message", &string, "a string")?;
+            expect("at_ns", &uint, "a non-negative integer")?;
+            events += 1;
+        } else {
+            return Err(format!(
+                "{path}:{lineno}: entry is neither a span (no \"trace\") nor an event"
+            ));
+        }
+    }
+    if spans + events == 0 {
+        return Err(format!("{path}: no trace entries found"));
+    }
+    println!("{path}: {spans} spans, {events} events — schema OK");
+    Ok(())
+}
+
 fn run_command(command: &str, options: &Options) -> Result<(), String> {
     let _t = ptm_obs::span!("cli.command");
     ptm_obs::debug!("cli", "dispatching command"; command = command);
@@ -215,6 +319,8 @@ fn run_command(command: &str, options: &Options) -> Result<(), String> {
         "serve" => rpc::cmd_serve(options),
         "upload" => rpc::cmd_upload(options),
         "query" => rpc::cmd_query(options),
+        "top" => rpc::cmd_top(options),
+        "trace-validate" => cmd_trace_validate(options),
         "all" => {
             cmd_table1(seed, runs, threads, csv.as_deref())?;
             cmd_fig4(seed, runs, threads, options, csv.as_deref())?;

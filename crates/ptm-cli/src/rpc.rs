@@ -108,6 +108,20 @@ pub fn cmd_serve(options: &Options) -> Result<(), String> {
         println!("fault injection armed (seed {seed}): {spec}");
         config.fault_plan = Some(plan);
     }
+    // The daemon itself flushes the metrics snapshot on degraded
+    // transitions and shutdown, not just at process exit (the main-level
+    // write still runs last and settles the final state).
+    config.metrics_snapshot = options.get("metrics").map(PathBuf::from);
+    if let Some(path) = options.get("recorder-dump").map(PathBuf::from) {
+        config.recorder_dump = Some(path.clone());
+        // A panic on any thread — not just a request handler — dumps the
+        // flight recorder before the default hook prints the backtrace.
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let _ = ptm_obs::trace::recorder::dump_to(&path);
+            previous(info);
+        }));
+    }
 
     let server = RpcServer::start(addr, &archive, config).map_err(|e| e.to_string())?;
     let replay = server.replay_report();
@@ -212,6 +226,160 @@ pub fn cmd_upload(options: &Options) -> Result<(), String> {
         summary.duplicates,
     );
     Ok(())
+}
+
+/// `ptm top`: fetch and render the daemon's live introspection snapshot —
+/// record/shard counts, latency percentiles, counters and gauges, and the
+/// most recent flight-recorder entries. `--json` prints the raw snapshot.
+pub fn cmd_top(options: &Options) -> Result<(), String> {
+    use serde::Content;
+
+    let mut client = client(options)?;
+    let json = client.stats().map_err(|e| e.to_string())?;
+    if options.contains_key("json") {
+        println!("{json}");
+        return Ok(());
+    }
+    let snapshot: Content =
+        serde_json::from_str(&json).map_err(|e| format!("malformed stats payload: {e}"))?;
+    let Content::Map(top) = &snapshot else {
+        return Err("malformed stats payload: not a JSON object".to_owned());
+    };
+    let field = |name: &str| top.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    let uint = |name: &str| match field(name) {
+        Some(Content::U64(v)) => *v,
+        _ => 0,
+    };
+
+    let degraded = matches!(field("degraded"), Some(Content::Bool(true)));
+    println!(
+        "daemon at {}: {} — {} records across {} shards, {} open connections",
+        client.addr(),
+        if degraded {
+            "DEGRADED (uploads shed, queries served)"
+        } else {
+            "healthy"
+        },
+        uint("records"),
+        uint("locations"),
+        uint("connections"),
+    );
+
+    if let Some(Content::Seq(shards)) = field("shards") {
+        if !shards.is_empty() {
+            let mut table = ptm_report::TextTable::new(vec![
+                "location".into(),
+                "records".into(),
+                "epoch".into(),
+            ]);
+            for shard in shards {
+                let Content::Map(fields) = shard else {
+                    continue;
+                };
+                let cell = |name: &str| {
+                    fields
+                        .iter()
+                        .find(|(k, _)| k == name)
+                        .map_or_else(|| "?".to_owned(), |(_, v)| render_scalar(v))
+                };
+                table.add_row(vec![cell("location"), cell("records"), cell("epoch")]);
+            }
+            println!("\nshards:\n{}", table.render());
+        }
+    }
+
+    if let Some(Content::Map(hists)) = field("percentiles") {
+        if !hists.is_empty() {
+            let mut table = ptm_report::TextTable::new(vec![
+                "histogram".into(),
+                "count".into(),
+                "p50".into(),
+                "p90".into(),
+                "p99".into(),
+            ]);
+            for (name, summary) in hists {
+                let Content::Map(fields) = summary else {
+                    continue;
+                };
+                let cell = |key: &str| {
+                    fields
+                        .iter()
+                        .find(|(k, _)| k == key)
+                        .map_or_else(|| "-".to_owned(), |(_, v)| render_scalar(v))
+                };
+                table.add_row(vec![
+                    name.clone(),
+                    cell("count"),
+                    cell("p50"),
+                    cell("p90"),
+                    cell("p99"),
+                ]);
+            }
+            println!("percentiles (ns):\n{}", table.render());
+        }
+    }
+
+    if let Some(Content::Map(metrics)) = field("metrics") {
+        for section in ["counters", "gauges"] {
+            let Some((_, Content::Map(entries))) = metrics.iter().find(|(k, _)| k == section)
+            else {
+                continue;
+            };
+            if entries.is_empty() {
+                continue;
+            }
+            println!("{section}:");
+            for (name, value) in entries {
+                println!("  {name} = {}", render_scalar(value));
+            }
+            println!();
+        }
+    }
+
+    if let Some(Content::Seq(entries)) = field("recorder") {
+        // The snapshot carries the whole ring; the freshest entries are
+        // last, and ten of them is plenty for a terminal.
+        let tail = entries.len().saturating_sub(10);
+        println!("flight recorder ({} entries, newest last):", entries.len());
+        for entry in &entries[tail..] {
+            println!("  {}", render_recorder_entry(entry));
+        }
+    }
+    Ok(())
+}
+
+/// One scalar `Content` cell as a terminal-friendly string.
+fn render_scalar(value: &serde::Content) -> String {
+    use serde::Content;
+    match value {
+        Content::Null => "-".to_owned(),
+        Content::Bool(b) => b.to_string(),
+        Content::U64(v) => v.to_string(),
+        Content::I64(v) => v.to_string(),
+        Content::F64(v) => format!("{v:.1}"),
+        Content::Str(s) => s.clone(),
+        other => format!("{other:?}"),
+    }
+}
+
+/// One flight-recorder entry as a single summary line.
+fn render_recorder_entry(entry: &serde::Content) -> String {
+    use serde::Content;
+    let Content::Map(fields) = entry else {
+        return "?".to_owned();
+    };
+    let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    if let Some(Content::Str(level)) = get("event") {
+        let target = get("target").map_or_else(|| "?".to_owned(), render_scalar);
+        let message = get("message").map_or_else(String::new, render_scalar);
+        format!("[{level}] {target}: {message}")
+    } else if let Some(Content::Str(name)) = get("name") {
+        let trace = get("trace").map_or_else(|| "?".to_owned(), render_scalar);
+        let dur = get("dur_ns").map_or_else(|| "?".to_owned(), render_scalar);
+        format!("span {name} trace={trace} dur={dur}ns")
+    } else {
+        "?".to_owned()
+    }
 }
 
 /// `ptm query`: ask the daemon for an estimate.

@@ -271,6 +271,29 @@ impl CentralServer {
         out
     }
 
+    /// Per-shard introspection rows `(location, stored records, epoch)`,
+    /// sorted by location id — what the daemon's stats RPC and `ptm top`
+    /// report as shard depths. Shard locks are taken one at a time, so the
+    /// listing is per-shard consistent but not a global snapshot.
+    pub fn shard_stats(&self) -> Vec<(LocationId, usize, u64)> {
+        let shards: Vec<(LocationId, Arc<LocationShard>)> = self
+            .shards
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(loc, shard)| (*loc, Arc::clone(shard)))
+            .collect();
+        let mut out: Vec<(LocationId, usize, u64)> = shards
+            .into_iter()
+            .map(|(loc, shard)| {
+                let inner = shard_read(&shard.inner);
+                (loc, inner.records.len(), inner.epoch)
+            })
+            .collect();
+        out.sort_unstable_by_key(|(loc, ..)| loc.get());
+        out
+    }
+
     /// The upload epoch of `location`: 0 for a location that never stored
     /// a record, then +1 per accepted record.
     ///

@@ -258,6 +258,9 @@ pub fn max_level() -> Option<Level> {
 /// [`crate::event!`] family of macros, which gate on [`level_enabled`]
 /// *before* evaluating message and field expressions.
 pub fn emit(level: Level, target: &str, message: &str, fields: &[(&str, FieldValue)]) {
+    // Mirror every emitted event into the flight recorder so a post-mortem
+    // dump interleaves events with spans (no-op while tracing is off).
+    crate::trace::recorder::record_event(level.name(), target, message);
     let s = sink();
     let elapsed_ms = s.epoch.elapsed().as_secs_f64() * 1e3;
     let mut line = String::with_capacity(96);

@@ -1,6 +1,6 @@
 //! Observability for the persistent traffic measurement workspace.
 //!
-//! Three building blocks, all designed so that the *disabled* path costs a
+//! Four building blocks, all designed so that the *disabled* path costs a
 //! couple of atomic loads and nothing else:
 //!
 //! * **Metrics** ([`metrics`]): a process-global [`Registry`] of atomic
@@ -16,10 +16,16 @@
 //!   typed fields, written to stderr as pretty text or JSONL. The level and
 //!   format come from the `PTM_LOG` environment variable (e.g.
 //!   `PTM_LOG=debug,json`); the default is `info` + pretty.
+//! * **Request traces** ([`trace`]): `let _s = ptm_obs::tspan!("rpc.x");`
+//!   opens a span in the current trace (contexts propagate across the RPC
+//!   boundary via proto v3 headers), emitting a parent-linked timing record
+//!   into the [flight recorder](trace::recorder) and an optional JSONL sink
+//!   on drop. Ids are seeded-deterministic ([`trace::set_trace_seed`]).
 //!
-//! Metrics start **disabled** — the hot paths in `ptm-core`/`ptm-net` call
-//! into this crate unconditionally and rely on the disabled path being free.
-//! The CLI enables them when the user passes `--metrics <path>`.
+//! Metrics and tracing start **disabled** — the hot paths in
+//! `ptm-core`/`ptm-net` call into this crate unconditionally and rely on the
+//! disabled path being free. The CLI enables metrics when the user passes
+//! `--metrics <path>` and tracing via `--trace <path>`.
 //!
 //! # Example
 //!
@@ -43,12 +49,17 @@ pub mod events;
 mod json;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 pub use events::{FieldValue, Level};
 pub use metrics::{
     BucketSnapshot, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
 };
 pub use span::SpanTimer;
+pub use trace::{
+    enable_tracing, set_trace_seed, set_trace_writer, set_tracing_enabled, tracing_enabled,
+    SpanGuard, TraceContext,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -162,6 +173,35 @@ macro_rules! span {
             None => $crate::metrics::detached_histogram(),
         })
     }};
+}
+
+/// Opens a trace span ([`trace::SpanGuard`]) under the given name.
+///
+/// Three forms:
+///
+/// * `tspan!("x.y")` — child of the thread's current span, or the root of a
+///   freshly minted trace if there is none. Bind it to keep the scope
+///   measured: `let _s = ptm_obs::tspan!("x.y");`.
+/// * `tspan!("x.y", child_of = ctx)` — child of an explicit
+///   [`TraceContext`], e.g. one carried over the RPC boundary.
+/// * `tspan!("x.y", elapsed = start)` — records an already-elapsed stage
+///   (an [`std::time::Instant`] captured earlier) as a completed span; no
+///   guard is returned.
+///
+/// While tracing is disabled every form costs one relaxed atomic load.
+/// Span names are dotted and catalogued in `docs/OBSERVABILITY.md`
+/// (enforced by `ptm-analyze`).
+#[macro_export]
+macro_rules! tspan {
+    ($name:expr) => {
+        $crate::trace::SpanGuard::enter($name)
+    };
+    ($name:expr, child_of = $parent:expr) => {
+        $crate::trace::SpanGuard::enter_with_parent($name, $parent)
+    };
+    ($name:expr, elapsed = $start:expr) => {
+        $crate::trace::emit_elapsed($name, $start)
+    };
 }
 
 /// Emits a structured event at an explicit [`Level`].

@@ -29,7 +29,8 @@ use crate::frame::{
     read_frame_with_stall, write_frame, FrameError, ReadOutcome, DEFAULT_MAX_FRAME_LEN,
 };
 use crate::proto::{
-    decode_response, encode_request, ErrorCode, ProtoError, Request, Response, MAX_BATCH_RECORDS,
+    decode_response, encode_request_traced, ErrorCode, ProtoError, Request, Response, WireTrace,
+    MAX_BATCH_RECORDS,
 };
 use ptm_core::record::TrafficRecord;
 use ptm_core::{LocationId, PeriodId};
@@ -389,6 +390,21 @@ impl RpcClient {
         }
     }
 
+    /// Fetches the daemon's live introspection snapshot as a JSON string —
+    /// record/shard counts, histogram percentiles, the full metrics
+    /// snapshot, and recent flight-recorder entries. This is the payload
+    /// behind `ptm top`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(json) => Ok(json),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
     /// One request/response exchange with retries, bounded by the attempt
     /// count, the optional deadline budget, and the circuit breaker.
     fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
@@ -404,7 +420,15 @@ impl RpcClient {
             // closes the breaker; failure re-opens it for another hold.
             self.open_until = None;
         }
-        let payload = encode_request(request);
+        // One span covers the whole call — every attempt, backoff sleep,
+        // and the final decode share it — and its context rides the v3
+        // request header so the daemon's spans join this trace.
+        let call_span = ptm_obs::tspan!("rpc.client.request");
+        let wire = call_span.context().map(|ctx| WireTrace {
+            trace_id: ctx.trace_id,
+            parent_span: ctx.span_id,
+        });
+        let payload = encode_request_traced(request, wire);
         let attempts = self.config.max_attempts.max(1);
         let started = Instant::now();
         let mut last = String::new();

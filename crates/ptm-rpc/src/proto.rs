@@ -1,11 +1,16 @@
 //! The versioned RPC message codec carried inside transport frames.
 //!
-//! Every payload starts with the protocol version and a message tag; the
-//! body layout depends on the tag (all integers little-endian):
+//! Every payload starts with the protocol version and a message tag; v3
+//! adds a flags byte and an optional trace-context header between the tag
+//! and the body. The body layout depends on the tag (all integers
+//! little-endian):
 //!
 //! ```text
-//! byte 0: protocol version (currently 2)
+//! byte 0: protocol version (this build speaks 3, decodes 1..=3)
 //! byte 1: message tag
+//! v3 only:
+//!   byte 2: flags (bit 0 = trace context present; other bits must be 0)
+//!   if flags bit 0: trace_id u64 | parent_span u64
 //!
 //! requests:
 //!   1 ping          (empty body)
@@ -14,6 +19,7 @@
 //!   4 query volume  location u64 | period u32
 //!   5 query point   location u64 | count u16 | period u32 * count
 //!   6 query p2p     loc_a u64 | loc_b u64 | count u16 | period u32 * count
+//!   7 stats         (empty body; introspection snapshot)
 //!
 //! responses:
 //!   128 pong        version u8 | s u32 | records u64 | flags u8 (bit 0 = degraded)
@@ -21,11 +27,19 @@
 //!   130 estimate    f64 bits as u64
 //!   131 error       code u8 | message len u16 | utf-8 message
 //!   132 overloaded  retry_after_ms u32
+//!   133 stats       utf-8 JSON document (runs to frame end)
 //! ```
 //!
 //! Version history: v1 had a `version u8 | s u32` pong body and no
 //! overloaded response. v2 extends the pong with a health summary and adds
-//! tag 132 for load shedding (see `docs/FAULTS.md`).
+//! tag 132 for load shedding (see `docs/FAULTS.md`). v3 inserts the flags
+//! byte, letting requests carry a trace context (`docs/OBSERVABILITY.md`
+//! § Tracing), and adds the stats introspection pair (tags 7/133).
+//!
+//! Older peers keep working: v1/v2 payloads (no flags byte) still decode —
+//! the daemon mints a local trace when no context is carried — and replies
+//! are encoded in the requester's version so an old client never sees a
+//! header it does not understand.
 //!
 //! Traffic records ride in the exact `ptm-store` on-disk payload encoding,
 //! so the daemon archives the bytes it validated and a reader of the
@@ -35,8 +49,14 @@ use ptm_core::encoding::LocationId;
 use ptm_core::record::{PeriodId, TrafficRecord};
 use ptm_store::codec::{decode_record, encode_record};
 
-/// The one protocol version this build speaks.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// The protocol version this build emits.
+pub const PROTOCOL_VERSION: u8 = 3;
+
+/// The oldest protocol version this build still decodes.
+pub const MIN_PROTOCOL_VERSION: u8 = 1;
+
+/// Header flag bit: a `trace_id u64 | parent_span u64` pair follows.
+const FLAG_TRACE: u8 = 0b0000_0001;
 
 /// Ceiling on periods per query (bounds decoder allocations).
 pub const MAX_QUERY_PERIODS: usize = 4096;
@@ -49,13 +69,16 @@ pub const MAX_BATCH_RECORDS: usize = 4096;
 pub enum ProtoError {
     /// The payload ended before the message was complete.
     Truncated,
-    /// The version byte does not match [`PROTOCOL_VERSION`].
+    /// The version byte is outside
+    /// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`].
     VersionMismatch {
         /// Version the peer sent.
         got: u8,
-        /// Version this build speaks.
+        /// Newest version this build speaks.
         want: u8,
     },
+    /// A v3 flags byte set bits this build does not know.
+    UnknownFlags(u8),
     /// Unknown message tag.
     UnknownTag(u8),
     /// A count or length field exceeds sane bounds.
@@ -80,6 +103,7 @@ impl std::fmt::Display for ProtoError {
                     "protocol version {got} not supported (this build speaks {want})"
                 )
             }
+            Self::UnknownFlags(flags) => write!(f, "unknown header flag bits {flags:#010b}"),
             Self::UnknownTag(tag) => write!(f, "unknown message tag {tag}"),
             Self::BadLength(len) => write!(f, "implausible length field {len}"),
             Self::UnknownErrorCode(code) => write!(f, "unknown error code {code}"),
@@ -181,6 +205,31 @@ pub enum Request {
         /// Periods the vehicle must have appeared in at both locations.
         periods: Vec<PeriodId>,
     },
+    /// Live introspection snapshot (metrics, shards, recorder tail).
+    Stats,
+}
+
+/// Trace context carried in a v3 header: which trace the request belongs
+/// to and which client-side span is its parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireTrace {
+    /// Trace id shared by every span of the round trip.
+    pub trace_id: u64,
+    /// The sender's open span, which server-side spans parent under.
+    pub parent_span: u64,
+}
+
+/// A decoded request plus its header metadata: the version the peer spoke
+/// (replies must be encoded in it) and the carried trace context, if any.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedRequest {
+    /// The request message.
+    pub request: Request,
+    /// Protocol version of the incoming payload.
+    pub version: u8,
+    /// Trace context from the v3 header (`None` for v1/v2 or flags bit 0
+    /// unset — the daemon then mints a local trace).
+    pub trace: Option<WireTrace>,
 }
 
 /// Server-to-client messages.
@@ -224,6 +273,9 @@ pub enum Response {
         /// Server's backoff hint, in milliseconds.
         retry_after_ms: u32,
     },
+    /// Reply to [`Request::Stats`]: a JSON introspection document (schema
+    /// in `docs/OBSERVABILITY.md` § Live introspection).
+    Stats(String),
 }
 
 const TAG_PING: u8 = 1;
@@ -232,11 +284,13 @@ const TAG_UPLOAD_BATCH: u8 = 3;
 const TAG_QUERY_VOLUME: u8 = 4;
 const TAG_QUERY_POINT: u8 = 5;
 const TAG_QUERY_P2P: u8 = 6;
+const TAG_STATS: u8 = 7;
 const TAG_PONG: u8 = 128;
 const TAG_UPLOAD_OK: u8 = 129;
 const TAG_ESTIMATE: u8 = 130;
 const TAG_ERROR: u8 = 131;
 const TAG_OVERLOADED: u8 = 132;
+const TAG_STATS_REPLY: u8 = 133;
 
 struct Reader<'a> {
     buf: &'a [u8],
@@ -298,19 +352,49 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn header(tag: u8) -> Vec<u8> {
-    vec![PROTOCOL_VERSION, tag]
+/// Builds a payload header in the requested version: v1/v2 are
+/// `version | tag`, v3 appends the flags byte and, when a trace context is
+/// given, the 16-byte trace header.
+fn header_for(version: u8, tag: u8, trace: Option<WireTrace>) -> Vec<u8> {
+    let mut out = vec![version, tag];
+    if version >= 3 {
+        match trace {
+            Some(t) => {
+                out.push(FLAG_TRACE);
+                out.extend_from_slice(&t.trace_id.to_le_bytes());
+                out.extend_from_slice(&t.parent_span.to_le_bytes());
+            }
+            None => out.push(0),
+        }
+    }
+    out
 }
 
-fn check_version(reader: &mut Reader<'_>) -> Result<(), ProtoError> {
-    let got = reader.u8()?;
-    if got != PROTOCOL_VERSION {
+/// Reads `version | tag | [flags | trace]`, accepting every version in
+/// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`].
+fn read_header(reader: &mut Reader<'_>) -> Result<(u8, u8, Option<WireTrace>), ProtoError> {
+    let version = reader.u8()?;
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
         return Err(ProtoError::VersionMismatch {
-            got,
+            got: version,
             want: PROTOCOL_VERSION,
         });
     }
-    Ok(())
+    let tag = reader.u8()?;
+    let mut trace = None;
+    if version >= 3 {
+        let flags = reader.u8()?;
+        if flags & !FLAG_TRACE != 0 {
+            return Err(ProtoError::UnknownFlags(flags));
+        }
+        if flags & FLAG_TRACE != 0 {
+            trace = Some(WireTrace {
+                trace_id: reader.u64()?,
+                parent_span: reader.u64()?,
+            });
+        }
+    }
+    Ok((version, tag, trace))
 }
 
 fn push_periods(out: &mut Vec<u8>, periods: &[PeriodId]) {
@@ -334,17 +418,24 @@ fn read_embedded_record(bytes: &[u8]) -> Result<TrafficRecord, ProtoError> {
     decode_record(bytes).map_err(|err| ProtoError::BadRecord(err.to_string()))
 }
 
-/// Encodes a request payload (framing not included).
+/// Encodes a request payload (framing not included), carrying no trace
+/// context.
 pub fn encode_request(request: &Request) -> Vec<u8> {
+    encode_request_traced(request, None)
+}
+
+/// Encodes a request payload with an optional trace context in the v3
+/// header (framing not included).
+pub fn encode_request_traced(request: &Request, trace: Option<WireTrace>) -> Vec<u8> {
     match request {
-        Request::Ping => header(TAG_PING),
+        Request::Ping => header_for(PROTOCOL_VERSION, TAG_PING, trace),
         Request::Upload(record) => {
-            let mut out = header(TAG_UPLOAD);
+            let mut out = header_for(PROTOCOL_VERSION, TAG_UPLOAD, trace);
             out.extend_from_slice(&encode_record(record));
             out
         }
         Request::UploadBatch(records) => {
-            let mut out = header(TAG_UPLOAD_BATCH);
+            let mut out = header_for(PROTOCOL_VERSION, TAG_UPLOAD_BATCH, trace);
             out.extend_from_slice(&(records.len() as u32).to_le_bytes());
             for record in records {
                 let payload = encode_record(record);
@@ -354,13 +445,13 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             out
         }
         Request::QueryVolume { location, period } => {
-            let mut out = header(TAG_QUERY_VOLUME);
+            let mut out = header_for(PROTOCOL_VERSION, TAG_QUERY_VOLUME, trace);
             out.extend_from_slice(&location.get().to_le_bytes());
             out.extend_from_slice(&period.get().to_le_bytes());
             out
         }
         Request::QueryPoint { location, periods } => {
-            let mut out = header(TAG_QUERY_POINT);
+            let mut out = header_for(PROTOCOL_VERSION, TAG_QUERY_POINT, trace);
             out.extend_from_slice(&location.get().to_le_bytes());
             push_periods(&mut out, periods);
             out
@@ -370,25 +461,27 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             location_b,
             periods,
         } => {
-            let mut out = header(TAG_QUERY_P2P);
+            let mut out = header_for(PROTOCOL_VERSION, TAG_QUERY_P2P, trace);
             out.extend_from_slice(&location_a.get().to_le_bytes());
             out.extend_from_slice(&location_b.get().to_le_bytes());
             push_periods(&mut out, periods);
             out
         }
+        Request::Stats => header_for(PROTOCOL_VERSION, TAG_STATS, trace),
     }
 }
 
-/// Decodes a request payload.
+/// Decodes a request payload together with its header metadata (peer
+/// version and optional trace context).
 ///
 /// # Errors
 ///
-/// Any [`ProtoError`] — version mismatch, truncation, bad tags or lengths,
-/// malformed embedded records, trailing bytes.
-pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
+/// Any [`ProtoError`] — version mismatch, truncation, bad tags, flags or
+/// lengths, malformed embedded records, trailing bytes.
+pub fn decode_request(payload: &[u8]) -> Result<DecodedRequest, ProtoError> {
     let mut r = Reader::new(payload);
-    check_version(&mut r)?;
-    let request = match r.u8()? {
+    let (version, tag, trace) = read_header(&mut r)?;
+    let request = match tag {
         TAG_PING => Request::Ping,
         TAG_UPLOAD => Request::Upload(read_embedded_record(r.rest())?),
         TAG_UPLOAD_BATCH => {
@@ -416,23 +509,35 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
             location_b: LocationId::new(r.u64()?),
             periods: read_periods(&mut r)?,
         },
+        TAG_STATS => Request::Stats,
         other => return Err(ProtoError::UnknownTag(other)),
     };
     r.finish()?;
-    Ok(request)
+    Ok(DecodedRequest {
+        request,
+        version,
+        trace,
+    })
 }
 
-/// Encodes a response payload (framing not included).
+/// Encodes a response payload (framing not included) in
+/// [`PROTOCOL_VERSION`].
 pub fn encode_response(response: &Response) -> Vec<u8> {
+    encode_response_for(PROTOCOL_VERSION, response)
+}
+
+/// Encodes a response payload in the given protocol version, so a reply
+/// never carries a header newer than what the requester speaks.
+pub fn encode_response_for(version: u8, response: &Response) -> Vec<u8> {
     match response {
         Response::Pong {
-            version,
+            version: peer,
             s,
             records,
             degraded,
         } => {
-            let mut out = header(TAG_PONG);
-            out.push(*version);
+            let mut out = header_for(version, TAG_PONG, None);
+            out.push(*peer);
             out.extend_from_slice(&s.to_le_bytes());
             out.extend_from_slice(&records.to_le_bytes());
             out.push(u8::from(*degraded));
@@ -442,18 +547,18 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             accepted,
             duplicates,
         } => {
-            let mut out = header(TAG_UPLOAD_OK);
+            let mut out = header_for(version, TAG_UPLOAD_OK, None);
             out.extend_from_slice(&accepted.to_le_bytes());
             out.extend_from_slice(&duplicates.to_le_bytes());
             out
         }
         Response::Estimate(value) => {
-            let mut out = header(TAG_ESTIMATE);
+            let mut out = header_for(version, TAG_ESTIMATE, None);
             out.extend_from_slice(&value.to_bits().to_le_bytes());
             out
         }
         Response::Error { code, message } => {
-            let mut out = header(TAG_ERROR);
+            let mut out = header_for(version, TAG_ERROR, None);
             out.push(*code as u8);
             let bytes = message.as_bytes();
             let len = bytes.len().min(u16::MAX as usize);
@@ -462,8 +567,13 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             out
         }
         Response::Overloaded { retry_after_ms } => {
-            let mut out = header(TAG_OVERLOADED);
+            let mut out = header_for(version, TAG_OVERLOADED, None);
             out.extend_from_slice(&retry_after_ms.to_le_bytes());
+            out
+        }
+        Response::Stats(json) => {
+            let mut out = header_for(version, TAG_STATS_REPLY, None);
+            out.extend_from_slice(json.as_bytes());
             out
         }
     }
@@ -476,8 +586,8 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
 /// Any [`ProtoError`].
 pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
     let mut r = Reader::new(payload);
-    check_version(&mut r)?;
-    let response = match r.u8()? {
+    let (_version, tag, _trace) = read_header(&mut r)?;
+    let response = match tag {
         TAG_PONG => Response::Pong {
             version: r.u8()?,
             s: r.u32()?,
@@ -500,6 +610,11 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
         TAG_OVERLOADED => Response::Overloaded {
             retry_after_ms: r.u32()?,
         },
+        TAG_STATS_REPLY => Response::Stats(
+            std::str::from_utf8(r.rest())
+                .map_err(|_| ProtoError::BadUtf8)?
+                .to_owned(),
+        ),
         other => return Err(ProtoError::UnknownTag(other)),
     };
     r.finish()?;
@@ -553,11 +668,71 @@ mod tests {
                 location_b: LocationId::new(2),
                 periods: periods(3),
             },
+            Request::Stats,
         ];
         for request in requests {
             let payload = encode_request(&request);
-            assert_eq!(decode_request(&payload), Ok(request.clone()), "{request:?}");
+            let decoded = decode_request(&payload).expect("decode");
+            assert_eq!(decoded.request, request, "{request:?}");
+            assert_eq!(decoded.version, PROTOCOL_VERSION);
+            assert_eq!(decoded.trace, None, "untraced encode carries no context");
         }
+    }
+
+    #[test]
+    fn traced_request_roundtrips_context() {
+        let trace = WireTrace {
+            trace_id: 0xDEAD_BEEF_CAFE_F00D,
+            parent_span: 42,
+        };
+        let payload = encode_request_traced(&Request::Ping, Some(trace));
+        let decoded = decode_request(&payload).expect("decode");
+        assert_eq!(decoded.request, Request::Ping);
+        assert_eq!(decoded.trace, Some(trace));
+    }
+
+    #[test]
+    fn v1_and_v2_requests_still_decode() {
+        // Old headers have no flags byte; the body starts right after the
+        // tag and no trace context is carried.
+        for version in [1u8, 2] {
+            let mut payload = vec![version, TAG_QUERY_VOLUME];
+            payload.extend_from_slice(&9u64.to_le_bytes());
+            payload.extend_from_slice(&4u32.to_le_bytes());
+            let decoded = decode_request(&payload).expect("old version decodes");
+            assert_eq!(decoded.version, version);
+            assert_eq!(decoded.trace, None);
+            assert_eq!(
+                decoded.request,
+                Request::QueryVolume {
+                    location: LocationId::new(9),
+                    period: PeriodId::new(4),
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn responses_encode_in_requester_version() {
+        let response = Response::Overloaded { retry_after_ms: 9 };
+        let v2 = encode_response_for(2, &response);
+        assert_eq!(v2[0], 2);
+        assert_eq!(v2.len(), 2 + 4, "v2 header has no flags byte");
+        assert_eq!(decode_response(&v2), Ok(response.clone()));
+        let v3 = encode_response_for(3, &response);
+        assert_eq!(v3[0], 3);
+        assert_eq!(v3.len(), 3 + 4, "v3 header has a flags byte");
+        assert_eq!(decode_response(&v3), Ok(response));
+    }
+
+    #[test]
+    fn unknown_flag_bits_rejected() {
+        let mut payload = encode_request(&Request::Ping);
+        payload[2] = 0b0000_0010;
+        assert_eq!(
+            decode_request(&payload),
+            Err(ProtoError::UnknownFlags(0b0000_0010))
+        );
     }
 
     #[test]
@@ -588,6 +763,7 @@ mod tests {
             Response::Overloaded {
                 retry_after_ms: 250,
             },
+            Response::Stats("{\"counters\":{}}".into()),
         ];
         for response in responses {
             let payload = encode_response(&response);
@@ -643,18 +819,18 @@ mod tests {
     #[test]
     fn unknown_tags_and_codes_rejected() {
         assert_eq!(
-            decode_request(&[PROTOCOL_VERSION, 42]),
+            decode_request(&[PROTOCOL_VERSION, 42, 0]),
             Err(ProtoError::UnknownTag(42))
         );
         assert_eq!(
-            decode_response(&[PROTOCOL_VERSION, 42]),
+            decode_response(&[PROTOCOL_VERSION, 42, 0]),
             Err(ProtoError::UnknownTag(42))
         );
         let mut payload = encode_response(&Response::Error {
             code: ErrorCode::Internal,
             message: String::new(),
         });
-        payload[2] = 200;
+        payload[3] = 200;
         assert_eq!(
             decode_response(&payload),
             Err(ProtoError::UnknownErrorCode(200))
@@ -664,14 +840,14 @@ mod tests {
     #[test]
     fn oversized_counts_rejected() {
         // Batch count beyond the ceiling.
-        let mut payload = header(TAG_UPLOAD_BATCH);
+        let mut payload = header_for(PROTOCOL_VERSION, TAG_UPLOAD_BATCH, None);
         payload.extend_from_slice(&(MAX_BATCH_RECORDS as u32 + 1).to_le_bytes());
         assert_eq!(
             decode_request(&payload),
             Err(ProtoError::BadLength(MAX_BATCH_RECORDS + 1))
         );
         // Period count beyond the ceiling.
-        let mut payload = header(TAG_QUERY_POINT);
+        let mut payload = header_for(PROTOCOL_VERSION, TAG_QUERY_POINT, None);
         payload.extend_from_slice(&7u64.to_le_bytes());
         payload.extend_from_slice(&(MAX_QUERY_PERIODS as u16 + 1).to_le_bytes());
         assert_eq!(
@@ -682,7 +858,7 @@ mod tests {
 
     #[test]
     fn malformed_embedded_record_reported() {
-        let mut payload = header(TAG_UPLOAD);
+        let mut payload = header_for(PROTOCOL_VERSION, TAG_UPLOAD, None);
         payload.extend_from_slice(&[1, 2, 3]);
         assert!(matches!(
             decode_request(&payload),
@@ -696,6 +872,6 @@ mod tests {
         // what the daemon archives is byte-identical to what was sent.
         let record = sample_record(5, 3);
         let payload = encode_request(&Request::Upload(record.clone()));
-        assert_eq!(&payload[2..], encode_record(&record).as_slice());
+        assert_eq!(&payload[3..], encode_record(&record).as_slice());
     }
 }

@@ -46,7 +46,8 @@ use crate::frame::{
     read_frame_with_stall, write_frame, FrameError, ReadOutcome, DEFAULT_MAX_FRAME_LEN,
 };
 use crate::proto::{
-    decode_request, encode_response, ErrorCode, ProtoError, Request, Response, PROTOCOL_VERSION,
+    decode_request, encode_response, encode_response_for, ErrorCode, ProtoError, Request, Response,
+    PROTOCOL_VERSION,
 };
 use ptm_core::record::TrafficRecord;
 use ptm_core::{LocationId, PeriodId};
@@ -98,6 +99,14 @@ pub struct ServerConfig {
     pub degraded_cooldown: Duration,
     /// Durability level for archive commits.
     pub sync_policy: SyncPolicy,
+    /// Where the flight recorder dumps its JSONL tail on entry into
+    /// degraded mode and on a caught handler panic; `None` disables
+    /// automatic dumps (an explicit `Request::Stats` still reads the ring).
+    pub recorder_dump: Option<PathBuf>,
+    /// Metrics snapshot written on degraded-mode transitions and at
+    /// shutdown, so operators get numbers at the moment something went
+    /// wrong rather than only on clean exit; `None` disables.
+    pub metrics_snapshot: Option<PathBuf>,
     /// Deterministic fault-injection plan threaded into the archive
     /// backend and connection streams; `None` (the default) compiles every
     /// hook down to a no-op check. Test/chaos use only.
@@ -123,6 +132,8 @@ impl Default for ServerConfig {
             degraded_after_failures: 3,
             degraded_cooldown: Duration::from_secs(2),
             sync_policy: SyncPolicy::Flush,
+            recorder_dump: None,
+            metrics_snapshot: None,
             fault_plan: None,
             fault_ingest_panic: Arc::new(AtomicBool::new(false)),
         }
@@ -316,10 +327,13 @@ impl Drop for ConnGuard {
 /// them) — record framing itself is a single buffered `write_all` per
 /// record, and the in-memory store is mutated with single inserts.
 fn lock_writer(writer: &Mutex<Archive>) -> MutexGuard<'_, Archive> {
-    let start = ptm_obs::metrics_enabled().then(Instant::now);
+    let start = (ptm_obs::metrics_enabled() || ptm_obs::tracing_enabled()).then(Instant::now);
     let guard = writer.lock().unwrap_or_else(PoisonError::into_inner);
     if let Some(start) = start {
-        ptm_obs::histogram!("rpc.shard.writer_wait").record(start.elapsed().as_nanos() as u64);
+        if ptm_obs::metrics_enabled() {
+            ptm_obs::histogram!("rpc.shard.writer_wait").record(start.elapsed().as_nanos() as u64);
+        }
+        ptm_obs::tspan!("rpc.server.lock_wait", elapsed = start);
     }
     guard
 }
@@ -364,6 +378,7 @@ impl RpcServer {
             ),
         };
         let (archive, replay) = if archive_path.exists() {
+            let _replay_span = ptm_obs::tspan!("rpc.server.replay");
             let recovered =
                 Archive::open_opts(&archive_path, store_hooks.clone(), config.sync_policy)?;
             let report = ReplayReport {
@@ -479,6 +494,7 @@ impl RpcServer {
         }
         let mut archive = lock_writer(&self.shared.writer);
         archive.sync()?;
+        flush_observability(&self.shared.config, "shutdown");
         ptm_obs::info!("rpc.server", "daemon stopped";
             records = self.shared.central.record_count());
         Ok(())
@@ -569,29 +585,41 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
             }
             Ok(ReadOutcome::Closed) => break,
             Ok(ReadOutcome::Frame(payload)) => {
-                last_frame = Instant::now();
+                let arrived = Instant::now();
+                last_frame = arrived;
                 ptm_obs::counter!("rpc.server.frames.in").inc();
                 ptm_obs::counter!("rpc.server.bytes.in").add(payload.len() as u64 + 8);
                 // A panicking handler is caught and answered, not allowed
                 // to unwind the thread: every shared lock recovers from
                 // poisoning, so the daemon keeps serving afterwards.
-                let (response, close) = match std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    dispatch(&payload, &shared)
+                let outcome = match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    dispatch(&payload, &shared, arrived)
                 })) {
                     Ok(result) => result,
                     Err(_) => {
                         ptm_obs::counter!("rpc.server.panics").inc();
                         ptm_obs::error!("rpc.server", "request handler panicked");
-                        (
-                            Response::Error {
+                        // Preserve the evidence: the recorder tail is the
+                        // last trace of what the handler was doing.
+                        dump_recorder(&shared.config, "handler panic");
+                        Dispatched {
+                            response: Response::Error {
                                 code: ErrorCode::Internal,
                                 message: "internal error: request handler panicked".into(),
                             },
-                            true,
-                        )
+                            close: true,
+                            version: PROTOCOL_VERSION,
+                            trace: None,
+                        }
                     }
                 };
-                if !respond(&mut stream, &response) || close {
+                if !respond(
+                    &mut stream,
+                    &outcome.response,
+                    outcome.version,
+                    outcome.trace,
+                ) || outcome.close
+                {
                     break;
                 }
             }
@@ -605,7 +633,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                         code: ErrorCode::Malformed,
                         message: err.to_string(),
                     };
-                    respond(&mut stream, &response);
+                    respond(&mut stream, &response, PROTOCOL_VERSION, None);
                 }
                 break;
             }
@@ -615,8 +643,22 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
 }
 
 /// Writes a response frame; returns false when the connection is dead.
-fn respond<S: io::Write>(stream: &mut S, response: &Response) -> bool {
-    let payload = encode_response(response);
+///
+/// `version` is the requester's protocol version — the reply must never
+/// carry a newer header than the peer can read. `parent` links the
+/// encode-reply span into the request's trace (the dispatch span has
+/// already closed by the time the reply is written).
+fn respond<S: io::Write>(
+    stream: &mut S,
+    response: &Response,
+    version: u8,
+    parent: Option<ptm_obs::TraceContext>,
+) -> bool {
+    let _s = match parent {
+        Some(ctx) => ptm_obs::tspan!("rpc.server.encode_reply", child_of = ctx),
+        None => ptm_obs::tspan!("rpc.server.encode_reply"),
+    };
+    let payload = encode_response_for(version, response);
     match write_frame(stream, &payload) {
         Ok(()) => {
             ptm_obs::counter!("rpc.server.frames.out").inc();
@@ -630,33 +672,64 @@ fn respond<S: io::Write>(stream: &mut S, response: &Response) -> bool {
     }
 }
 
-/// Handles one decoded frame; returns the response and whether the
-/// connection must close afterwards.
-fn dispatch(payload: &[u8], shared: &Shared) -> (Response, bool) {
-    let request = match decode_request(payload) {
-        Ok(request) => request,
+/// Everything [`dispatch`] hands back to the connection loop: the reply,
+/// whether the connection must close, the protocol version to encode the
+/// reply in, and the request's trace context for the encode-reply span.
+struct Dispatched {
+    response: Response,
+    close: bool,
+    version: u8,
+    trace: Option<ptm_obs::TraceContext>,
+}
+
+/// Handles one decoded frame.
+///
+/// `arrived` is when the frame left the socket; the gap to here is the
+/// request's queue wait. The dispatch span joins the trace context carried
+/// in a v3 header, or roots a locally minted trace for v1/v2 peers, so
+/// every downstream stage (lock wait, commit, estimate, encode-reply)
+/// parents into one connected span tree per round trip.
+fn dispatch(payload: &[u8], shared: &Shared, arrived: Instant) -> Dispatched {
+    let decoded = match decode_request(payload) {
+        Ok(decoded) => decoded,
         Err(ProtoError::VersionMismatch { got, want }) => {
             ptm_obs::counter!("rpc.server.version_mismatch").inc();
-            return (
-                Response::Error {
+            return Dispatched {
+                response: Response::Error {
                     code: ErrorCode::VersionMismatch,
                     message: format!("client speaks version {got}, server speaks {want}"),
                 },
-                true,
-            );
+                close: true,
+                version: PROTOCOL_VERSION,
+                trace: None,
+            };
         }
         Err(err) => {
             ptm_obs::counter!("rpc.server.decode_errors").inc();
-            return (
-                Response::Error {
+            return Dispatched {
+                response: Response::Error {
                     code: ErrorCode::Malformed,
                     message: err.to_string(),
                 },
-                true,
-            );
+                close: true,
+                version: PROTOCOL_VERSION,
+                trace: None,
+            };
         }
     };
-    let response = match request {
+    let root = match decoded.trace {
+        Some(wire) => ptm_obs::tspan!(
+            "rpc.server.dispatch",
+            child_of = ptm_obs::TraceContext {
+                trace_id: wire.trace_id,
+                span_id: wire.parent_span,
+            }
+        ),
+        None => ptm_obs::tspan!("rpc.server.dispatch"),
+    };
+    ptm_obs::tspan!("rpc.server.queue_wait", elapsed = arrived);
+    let trace = root.context();
+    let response = match decoded.request {
         Request::Ping => Response::Pong {
             version: PROTOCOL_VERSION,
             s: shared.config.s,
@@ -696,8 +769,73 @@ fn dispatch(payload: &[u8], shared: &Shared) -> (Response, bool) {
                 central.estimate_p2p_persistent(location_a, location_b, &periods)
             })
         }
+        Request::Stats => Response::Stats(stats_json(shared)),
     };
-    (response, false)
+    Dispatched {
+        response,
+        close: false,
+        version: decoded.version,
+        trace,
+    }
+}
+
+/// Renders the live introspection document answered to [`Request::Stats`]
+/// (schema documented in `docs/OBSERVABILITY.md` § Live introspection):
+/// engine totals, per-shard depths/epochs, histogram percentiles, the full
+/// metrics snapshot, and the flight-recorder tail.
+fn stats_json(shared: &Shared) -> String {
+    let snapshot = ptm_obs::snapshot();
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\"records\":");
+    out.push_str(&shared.central.record_count().to_string());
+    out.push_str(",\"locations\":");
+    out.push_str(&shared.central.location_count().to_string());
+    out.push_str(",\"connections\":");
+    out.push_str(&shared.conn_count.load(Ordering::SeqCst).to_string());
+    out.push_str(",\"degraded\":");
+    out.push_str(if shared.degraded.flag.load(Ordering::SeqCst) {
+        "true"
+    } else {
+        "false"
+    });
+    out.push_str(",\"shards\":[");
+    for (i, (location, records, epoch)) in shared.central.shard_stats().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"location\":{},\"records\":{records},\"epoch\":{epoch}}}",
+            location.get()
+        ));
+    }
+    out.push_str("],\"percentiles\":{");
+    for (i, (name, hist)) in snapshot.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let q = |q: f64| {
+            hist.quantile(q)
+                .map_or_else(|| "null".to_string(), |v| v.to_string())
+        };
+        out.push_str(&format!(
+            "\"{name}\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            hist.count,
+            q(0.5),
+            q(0.9),
+            q(0.99)
+        ));
+    }
+    out.push_str("},\"metrics\":");
+    out.push_str(&snapshot.to_json_pretty());
+    out.push_str(",\"recorder\":[");
+    for (i, entry) in ptm_obs::trace::recorder::entries().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&entry.to_json());
+    }
+    out.push_str("]}");
+    out
 }
 
 /// The read-only query path: serve from the epoch-validated cache when
@@ -712,8 +850,11 @@ fn answer_cached(
     key: QueryKey,
     compute: impl FnOnce(&CentralServer) -> Result<f64, ServerError>,
 ) -> Response {
-    if let Some(value) = shared.cache.lookup(&key, |loc| shared.central.epoch(loc)) {
-        return Response::Estimate(value);
+    {
+        let _s = ptm_obs::tspan!("rpc.server.cache_lookup");
+        if let Some(value) = shared.cache.lookup(&key, |loc| shared.central.epoch(loc)) {
+            return Response::Estimate(value);
+        }
     }
     // Only uncached computations count against the in-flight gate: a
     // cache hit costs nothing, so it is never shed.
@@ -739,6 +880,7 @@ fn answer_cached(
         .into_iter()
         .map(|loc| (loc, shared.central.epoch(loc)))
         .collect();
+    let _s = ptm_obs::tspan!("rpc.server.estimate");
     match compute(&shared.central) {
         Ok(value) => {
             shared.cache.store(key, value, epochs);
@@ -843,7 +985,10 @@ fn ingest(shared: &Shared, records: Vec<TrafficRecord>) -> Response {
     // durable and nothing gets published or acked — the client's retry
     // starts from a consistent store. The answer is Overloaded, not a
     // fatal error: retrying genuinely can help once the backend recovers.
-    if let Err(err) = archive.append_all(fresh.iter()) {
+    let commit_span = ptm_obs::tspan!("rpc.server.commit");
+    let commit_result = archive.append_all(fresh.iter());
+    drop(commit_span);
+    if let Err(err) = commit_result {
         let failures = shared.degraded.failures.fetch_add(1, Ordering::SeqCst) + 1;
         ptm_obs::counter!("store.fault.append_errors").inc();
         ptm_obs::error!("rpc.server", "archive append failed; batch rolled back";
@@ -897,7 +1042,43 @@ fn enter_degraded(shared: &Shared) {
         ptm_obs::gauge!("rpc.server.degraded").set(1);
         ptm_obs::error!("rpc.server", "entering degraded mode: uploads shed, queries served";
             cooldown_ms = shared.config.degraded_cooldown.as_millis() as u64);
+        // Capture the evidence at the moment of failure, not at exit.
+        flush_observability(&shared.config, "degraded entry");
     }
+}
+
+/// Best-effort flight-recorder dump to the configured path; failures are
+/// logged and swallowed (a broken dump path must not worsen the incident).
+fn dump_recorder(config: &ServerConfig, why: &str) {
+    let Some(path) = &config.recorder_dump else {
+        return;
+    };
+    match ptm_obs::trace::recorder::dump_to(path) {
+        Ok(entries) => {
+            ptm_obs::info!("rpc.server", "flight recorder dumped";
+                why = why, entries = entries, path = path.display().to_string());
+        }
+        Err(err) => {
+            ptm_obs::warn!("rpc.server", "flight recorder dump failed";
+                why = why, error = err.to_string());
+        }
+    }
+}
+
+/// Flushes the metrics snapshot and flight recorder to their configured
+/// paths on a lifecycle transition (degraded entry/exit, shutdown), so the
+/// on-disk picture is current when something goes wrong — not only after a
+/// clean exit.
+fn flush_observability(config: &ServerConfig, why: &str) {
+    if let Some(path) = &config.metrics_snapshot {
+        if ptm_obs::metrics_enabled() {
+            if let Err(err) = std::fs::write(path, ptm_obs::snapshot().to_json_pretty()) {
+                ptm_obs::warn!("rpc.server", "metrics snapshot flush failed";
+                    why = why, error = err.to_string());
+            }
+        }
+    }
+    dump_recorder(config, why);
 }
 
 /// Degraded-mode reopen probe, called under the writer lock. At most one
@@ -959,6 +1140,7 @@ fn try_recover(shared: &Shared, archive: &mut MutexGuard<'_, Archive>) -> bool {
     ptm_obs::gauge!("rpc.server.degraded").set(0);
     ptm_obs::info!("rpc.server", "left degraded mode; archive reopened";
         records = recovered.records.len(), torn_bytes = recovered.torn_bytes);
+    flush_observability(&shared.config, "degraded exit");
     true
 }
 

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Micro-benchmark snapshot: runs the stub-criterion benches that this
+# repo tracks release-over-release and distills their medians into a
+# committed JSON file (BENCH_6.json by default).
+#
+#   ./scripts/bench.sh [output.json]
+#
+# Tracked medians (ns per iteration):
+#   encoding/encode_10k_vehicles     vehicle encoding, 10k per iteration
+#   bitmap/and_join_10_mixed_sizes   expand + AND join across 10 bitmaps
+#   rpc/frame_roundtrip_4k_record    frame write + CRC-checked read back
+#   trace/ingest_untraced            loopback upload, tracing disabled
+#   trace/ingest_traced              loopback upload, full span tree on
+#
+# The traced-vs-untraced pair is the disabled-path guarantee in numbers:
+# ingest_untraced must sit within noise of the pre-tracing baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_6.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "==> cargo bench -p ptm-bench (tracked subset)"
+cargo bench -p ptm-bench --bench micro -- encoding/encode_10k_vehicles | tee -a "$raw"
+cargo bench -p ptm-bench --bench micro -- bitmap/and_join_10_mixed_sizes | tee -a "$raw"
+cargo bench -p ptm-bench --bench micro -- rpc/frame_roundtrip_4k_record | tee -a "$raw"
+cargo bench -p ptm-bench --bench obs_overhead -- trace/ingest | tee -a "$raw"
+
+awk -v out="$out" '
+/^bench: / { median[$2] = $4 }
+END {
+    n = split("encoding/encode_10k_vehicles bitmap/and_join_10_mixed_sizes " \
+              "rpc/frame_roundtrip_4k_record trace/ingest_untraced " \
+              "trace/ingest_traced", keys, " ")
+    printf "{\n  \"units\": \"median_ns_per_iter\"" > out
+    for (i = 1; i <= n; i++) {
+        if (!(keys[i] in median)) {
+            printf "bench.sh: no median captured for %s\n", keys[i] > "/dev/stderr"
+            exit 1
+        }
+        printf ",\n  \"%s\": %s", keys[i], median[keys[i]] > out
+    }
+    print "\n}" > out
+}' "$raw"
+
+echo "==> wrote $out"
+cat "$out"

@@ -44,4 +44,22 @@ timeout 300 cargo test --quiet -p ptm-integration-tests --test shard_stress
 echo "==> chaos suite (bounded, fixed seeds)"
 timeout 300 cargo test --quiet -p ptm-integration-tests --test chaos
 
+# Traced loopback smoke: a real daemon with tracing on, one upload and one
+# query against it, then the span JSONL checked against the schema
+# documented in docs/OBSERVABILITY.md. The sample is archived as a CI
+# artifact (out/trace-sample.jsonl) so a schema change shows up in review.
+echo "==> traced loopback smoke"
+ptm="target/release/ptm"
+rm -f out/trace-sample.jsonl out/trace-smoke.ptma
+"$ptm" serve --archive out/trace-smoke.ptma --addr 127.0.0.1:17171 \
+    --duration-secs 4 --trace out/trace-sample.jsonl --quiet &
+serve_pid=$!
+# The client retries refused connections, so no startup sleep is needed.
+"$ptm" upload --addr 127.0.0.1:17171 --location 5 --periods 3 \
+    --vehicles 80 --persistent 20 --quiet
+"$ptm" query --addr 127.0.0.1:17171 --kind point --location 5 --periods 3 --quiet
+wait "$serve_pid"
+"$ptm" trace-validate --file out/trace-sample.jsonl
+rm -f out/trace-smoke.ptma
+
 echo "ci: all green"

@@ -1,0 +1,526 @@
+//! Vendored stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build container has no network access, so the handful of external
+//! dependencies are vendored as small std-only crates under `stubs/`. This
+//! one covers exactly the surface the workspace uses: `RngCore`,
+//! `SeedableRng` (with the rand_core 0.6 `seed_from_u64` expansion),
+//! `Rng::{gen, gen_range, gen_bool, fill}`, `rngs::StdRng`, and
+//! `rngs::mock::StepRng`. Algorithms follow the upstream implementations
+//! closely (PCG-based seed expansion, Lemire-style range sampling, 53-bit
+//! float conversion) so seeded streams are high quality and stable.
+
+#![forbid(unsafe_code)]
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Seed type, a byte array.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates the generator from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with the same PCG-based routine
+    /// rand_core 0.6 uses, then seeds the generator.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod distributions {
+    //! The `Standard` distribution backing `Rng::gen`.
+
+    use crate::RngCore;
+
+    /// Uniform distribution over a type's full value range (floats: `[0, 1)`).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    /// Types samplable from a distribution.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    macro_rules! impl_std_int32 {
+        ($($ty:ty),*) => {$(
+            impl Distribution<$ty> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                    rng.next_u32() as $ty
+                }
+            }
+        )*};
+    }
+    impl_std_int32!(u8, u16, u32, i8, i16, i32);
+
+    macro_rules! impl_std_int64 {
+        ($($ty:ty),*) => {$(
+            impl Distribution<$ty> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+    impl_std_int64!(u64, i64, usize, isize, u128, i128);
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() >> 31 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 significant bits, matching rand 0.8's Standard for f64.
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl<T, const N: usize> Distribution<[T; N]> for Standard
+    where
+        Standard: Distribution<T>,
+    {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> [T; N] {
+            core::array::from_fn(|_| self.sample(rng))
+        }
+    }
+
+    pub mod uniform {
+        //! Range sampling for `Rng::gen_range`.
+
+        use crate::RngCore;
+
+        /// A range form `gen_range` accepts for element type `T`.
+        pub trait SampleRange<T> {
+            /// Draws one value from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        /// Uniform sampling of `T` over half-open and inclusive ranges.
+        pub trait SampleUniform: Sized {
+            /// Draws from `[low, high)`; panics if the range is empty.
+            fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+            /// Draws from `[low, high]`; panics if `low > high`.
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_half_open(self.start, self.end, rng)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (low, high) = self.into_inner();
+                T::sample_inclusive(low, high, rng)
+            }
+        }
+
+        // Lemire-style widening-multiply rejection sampling, as in rand 0.8's
+        // UniformInt::sample_single: unbiased and one multiply per accepted
+        // draw. The helpers live on a private trait because primitives can't
+        // take inherent impls outside core.
+        trait UniformCore: Sized {
+            fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+            fn sample_span<R: RngCore + ?Sized>(low: Self, span: Self, rng: &mut R) -> Self;
+        }
+
+        macro_rules! impl_uniform_uint {
+            ($ty:ty, $wide:ty, $bits:expr) => {
+                impl UniformCore for $ty {
+                    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> $ty {
+                        if $bits <= 32 {
+                            rng.next_u32() as $ty
+                        } else {
+                            rng.next_u64() as $ty
+                        }
+                    }
+                    fn sample_span<R: RngCore + ?Sized>(low: $ty, span: $ty, rng: &mut R) -> $ty {
+                        let zone = (span << span.leading_zeros()).wrapping_sub(1);
+                        loop {
+                            let v = <$ty as UniformCore>::draw(rng);
+                            let m = (v as $wide).wrapping_mul(span as $wide);
+                            let lo = m as $ty;
+                            if lo <= zone {
+                                return low.wrapping_add((m >> $bits) as $ty);
+                            }
+                        }
+                    }
+                }
+                impl SampleUniform for $ty {
+                    fn sample_half_open<R: RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        rng: &mut R,
+                    ) -> Self {
+                        assert!(low < high, "gen_range: empty range");
+                        <$ty as UniformCore>::sample_span(low, high - low, rng)
+                    }
+                    fn sample_inclusive<R: RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        rng: &mut R,
+                    ) -> Self {
+                        assert!(low <= high, "gen_range: empty range");
+                        match (high - low).checked_add(1) {
+                            Some(span) => <$ty as UniformCore>::sample_span(low, span, rng),
+                            // Full domain: every raw draw is acceptable.
+                            None => <$ty as UniformCore>::draw(rng),
+                        }
+                    }
+                }
+            };
+        }
+        impl_uniform_uint!(u32, u64, 32);
+        impl_uniform_uint!(u64, u128, 64);
+        impl_uniform_uint!(usize, u128, 64);
+
+        macro_rules! impl_uniform_small_uint {
+            ($($ty:ty),*) => {$(
+                impl SampleUniform for $ty {
+                    fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                        u32::sample_half_open(low as u32, high as u32, rng) as $ty
+                    }
+                    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                        u32::sample_inclusive(low as u32, high as u32, rng) as $ty
+                    }
+                }
+            )*};
+        }
+        impl_uniform_small_uint!(u8, u16);
+
+        macro_rules! impl_uniform_int {
+            ($ty:ty, $uty:ty) => {
+                impl SampleUniform for $ty {
+                    fn sample_half_open<R: RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        rng: &mut R,
+                    ) -> Self {
+                        assert!(low < high, "gen_range: empty range");
+                        let span = high.wrapping_sub(low) as $uty;
+                        let off = <$uty>::sample_half_open(0, span, rng);
+                        low.wrapping_add(off as $ty)
+                    }
+                    fn sample_inclusive<R: RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        rng: &mut R,
+                    ) -> Self {
+                        assert!(low <= high, "gen_range: empty range");
+                        match (high.wrapping_sub(low) as $uty).checked_add(1) {
+                            Some(span) => {
+                                let off = <$uty>::sample_half_open(0, span, rng);
+                                low.wrapping_add(off as $ty)
+                            }
+                            None => <$uty>::sample_inclusive(0, <$uty>::MAX, rng) as $ty,
+                        }
+                    }
+                }
+            };
+        }
+        impl_uniform_int!(i8, u8);
+        impl_uniform_int!(i16, u16);
+        impl_uniform_int!(i32, u32);
+        impl_uniform_int!(i64, u64);
+        impl_uniform_int!(isize, usize);
+
+        macro_rules! impl_uniform_float {
+            ($($ty:ty),*) => {$(
+                impl SampleUniform for $ty {
+                    fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                        assert!(low < high, "gen_range: empty range");
+                        let unit: $ty = crate::distributions::Distribution::sample(
+                            &crate::distributions::Standard, rng);
+                        low + (high - low) * unit
+                    }
+                    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                        assert!(low <= high, "gen_range: empty range");
+                        let unit: $ty = crate::distributions::Distribution::sample(
+                            &crate::distributions::Standard, rng);
+                        low + (high - low) * unit
+                    }
+                }
+            )*};
+        }
+        impl_uniform_float!(f32, f64);
+    }
+}
+
+/// Types fillable with random data via `Rng::fill`.
+pub trait Fill {
+    /// Fills `self` from `rng`.
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+impl<const N: usize> Fill for [u8; N] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+/// Convenience sampling methods layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of any `Standard`-samplable type.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Draws uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R: distributions::uniform::SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p not a probability");
+        if p >= 1.0 {
+            return true;
+        }
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        self.next_u64() < (p * SCALE) as u64
+    }
+
+    /// Fills a byte buffer with random data.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.fill_from(self);
+    }
+
+    /// Draws from an explicit distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use crate::{RngCore, SeedableRng};
+
+    /// The workspace's default seeded generator: xoshiro256++, seeded via
+    /// [`SeedableRng::seed_from_u64`]'s PCG expansion. Fast, passes BigCrush,
+    /// and fully deterministic from its seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn next(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // An all-zero state would be a fixed point; nudge it with
+            // splitmix64 outputs as the xoshiro authors recommend.
+            if s == [0; 4] {
+                let mut x = 0x9E37_79B9_7F4A_7C15u64;
+                for w in &mut s {
+                    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    let mut z = x;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    *w = z ^ (z >> 31);
+                }
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.next()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            crate::util::fill_bytes_via_u64(self, dest);
+        }
+    }
+
+    pub mod mock {
+        //! Deterministic mock generators for tests.
+
+        use crate::RngCore;
+
+        /// Returns an arithmetic sequence: `initial`, `initial + increment`, …
+        #[derive(Debug, Clone)]
+        pub struct StepRng {
+            v: u64,
+            increment: u64,
+        }
+
+        impl StepRng {
+            /// Creates the sequence starting at `initial`.
+            pub fn new(initial: u64, increment: u64) -> Self {
+                Self {
+                    v: initial,
+                    increment,
+                }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u32(&mut self) -> u32 {
+                self.next_u64() as u32
+            }
+            fn next_u64(&mut self) -> u64 {
+                let out = self.v;
+                self.v = self.v.wrapping_add(self.increment);
+                out
+            }
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                crate::util::fill_bytes_via_u64(self, dest);
+            }
+        }
+    }
+}
+
+pub(crate) mod util {
+    use crate::RngCore;
+
+    /// Fills a byte slice from successive `next_u64` words, little-endian,
+    /// matching rand_core's `fill_bytes_via_next`.
+    pub fn fill_bytes_via_u64<R: RngCore + ?Sized>(rng: &mut R, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = rng.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+/// Frequently used items.
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: usize = rng.gen_range(0..3);
+            assert!(w < 3);
+            let x: u64 = rng.gen_range(5..=5);
+            assert_eq!(x, 5);
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges_roughly_uniformly() {
+        let mut rng = rngs::StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[rng.gen_range(0usize..4)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn step_rng_steps() {
+        let mut r = rngs::mock::StepRng::new(1, 1);
+        assert_eq!(r.next_u64(), 1);
+        assert_eq!(r.next_u64(), 2);
+    }
+
+    #[test]
+    fn fill_fills() {
+        let mut rng = rngs::StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 6];
+        rng.fill(&mut buf);
+        assert_ne!(buf, [0u8; 6]);
+    }
+}

@@ -1,0 +1,496 @@
+//! Vendored hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! for the serde stub. Parses the item's token stream directly (no
+//! syn/quote) and emits impls of the stub's `to_content` / `from_content`
+//! traits. Supported shapes — the ones this workspace actually derives:
+//! named structs (with `#[serde(skip)]` fields and `Option` defaults),
+//! tuple structs (newtypes serialize transparently), unit-variant and
+//! newtype-variant enums, and the `#[serde(try_from = "…", into = "…")]`
+//! container attribute. Anything else panics with a clear message at
+//! compile time rather than miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---- item model ------------------------------------------------------------
+
+struct Field {
+    name: String,
+    ty: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with this many fields (1 = transparent newtype).
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+/// Extracts `skip` / `try_from` / `into` settings from one `#[serde(...)]`
+/// attribute body, if the bracket group is a serde attribute at all.
+fn parse_serde_attr(group: &proc_macro::Group, out: &mut SerdeAttrs) {
+    let mut trees = group.stream().into_iter();
+    match trees.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = trees.next() else {
+        return;
+    };
+    let mut args = args.stream().into_iter().peekable();
+    while let Some(tree) = args.next() {
+        let TokenTree::Ident(key) = tree else {
+            continue;
+        };
+        let key = key.to_string();
+        let value = match args.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                args.next();
+                match args.next() {
+                    Some(TokenTree::Literal(lit)) => {
+                        let s = lit.to_string();
+                        Some(s.trim_matches('"').to_string())
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        match (key.as_str(), value) {
+            ("skip", _) => out.skip = true,
+            ("try_from", Some(v)) => out.try_from = Some(v),
+            ("into", Some(v)) => out.into = Some(v),
+            (other, _) => panic!("serde stub derive: unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+#[derive(Default)]
+struct SerdeAttrs {
+    skip: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+/// Parses the fields of a `struct { ... }` body.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut trees = stream.into_iter().peekable();
+    loop {
+        let mut attrs = SerdeAttrs::default();
+        // Leading attributes (docs, serde) and visibility.
+        loop {
+            match trees.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    trees.next();
+                    if let Some(TokenTree::Group(g)) = trees.next() {
+                        parse_serde_attr(&g, &mut attrs);
+                    }
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    trees.next();
+                    if let Some(TokenTree::Group(g)) = trees.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            trees.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(name)) = trees.next() else {
+            break;
+        };
+        match trees.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:` after field name, got {other:?}"),
+        }
+        // The type: consume until a comma at angle-bracket depth zero.
+        let mut ty = String::new();
+        let mut depth = 0i32;
+        while let Some(tree) = trees.peek() {
+            if let TokenTree::Punct(p) = tree {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        trees.next();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            ty.push_str(&trees.next().expect("peeked").to_string());
+        }
+        fields.push(Field {
+            name: name.to_string(),
+            ty,
+            skip: attrs.skip,
+        });
+    }
+    fields
+}
+
+/// Parses the variants of an `enum { ... }` body.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut trees = stream.into_iter().peekable();
+    while let Some(tree) = trees.next() {
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                trees.next();
+            }
+            TokenTree::Ident(name) => {
+                let kind = match trees.peek() {
+                    Some(TokenTree::Group(g)) => {
+                        let delim = g.delimiter();
+                        let inner_has_comma = top_level_comma_count(&g.stream()) > 0;
+                        trees.next();
+                        match delim {
+                            Delimiter::Parenthesis if !inner_has_comma => VariantKind::Newtype,
+                            Delimiter::Parenthesis => panic!(
+                                "serde stub derive: multi-field tuple variants are unsupported"
+                            ),
+                            _ => panic!(
+                                "serde stub derive: struct-style enum variants are unsupported"
+                            ),
+                        }
+                    }
+                    _ => VariantKind::Unit,
+                };
+                // Trailing separator, if present.
+                if let Some(TokenTree::Punct(p)) = trees.peek() {
+                    if p.as_char() == ',' {
+                        trees.next();
+                    }
+                }
+                variants.push(Variant {
+                    name: name.to_string(),
+                    kind,
+                });
+            }
+            other => panic!("serde stub derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+/// Commas at angle-depth zero — trailing commas don't count as separators
+/// unless content follows, but for field counting a trailing comma is
+/// harmless because we only compare against zero / use count+1 on content.
+fn top_level_comma_count(stream: &TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing = false;
+    for tree in stream.clone() {
+        trailing = false;
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    commas - usize::from(trailing)
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut attrs = SerdeAttrs::default();
+    let mut trees = input.into_iter().peekable();
+    loop {
+        match trees.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                trees.next();
+                if let Some(TokenTree::Group(g)) = trees.next() {
+                    parse_serde_attr(&g, &mut attrs);
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                trees.next();
+                if let Some(TokenTree::Group(g)) = trees.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        trees.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let keyword = match trees.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde stub derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match trees.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde stub derive: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = trees.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic types are unsupported (deriving {name})");
+        }
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match trees.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let stream = g.stream();
+                if stream.is_empty() {
+                    panic!("serde stub derive: empty tuple structs are unsupported");
+                }
+                Shape::TupleStruct(top_level_comma_count(&stream) + 1)
+            }
+            other => panic!("serde stub derive: unsupported struct body: {other:?}"),
+        },
+        "enum" => match trees.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde stub derive: unsupported enum body: {other:?}"),
+        },
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    };
+    Item {
+        name,
+        shape,
+        try_from: attrs.try_from,
+        into: attrs.into,
+    }
+}
+
+// ---- codegen ---------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(proxy) = &item.into {
+        format!(
+            "let proxy: {proxy} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_content(&proxy)"
+        )
+    } else {
+        match &item.shape {
+            Shape::NamedStruct(fields) => {
+                let mut s = String::from(
+                    "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Content)> \
+                     = ::std::vec::Vec::new();\n",
+                );
+                for f in fields.iter().filter(|f| !f.skip) {
+                    s.push_str(&format!(
+                        "fields.push((::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_content(&self.{0})));\n",
+                        f.name
+                    ));
+                }
+                s.push_str("::serde::Content::Map(fields)");
+                s
+            }
+            Shape::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+            Shape::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                    .collect();
+                format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+            }
+            Shape::Enum(variants) => {
+                let mut s = String::from("match self {\n");
+                for v in variants {
+                    match v.kind {
+                        VariantKind::Unit => s.push_str(&format!(
+                            "{name}::{0} => ::serde::Content::Str(\
+                             ::std::string::String::from(\"{0}\")),\n",
+                            v.name
+                        )),
+                        VariantKind::Newtype => s.push_str(&format!(
+                            "{name}::{0}(inner) => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from(\"{0}\"), \
+                             ::serde::Serialize::to_content(inner))]),\n",
+                            v.name
+                        )),
+                    }
+                }
+                s.push('}');
+                s
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(proxy) = &item.try_from {
+        format!(
+            "let proxy: {proxy} = ::serde::Deserialize::from_content(c)?;\n\
+             ::core::convert::TryFrom::try_from(proxy)\n\
+             .map_err(|e| ::serde::DeError(::std::format!(\"{name}: {{e}}\")))"
+        )
+    } else {
+        match &item.shape {
+            Shape::NamedStruct(fields) => {
+                let mut s = format!(
+                    "let map = match c {{\n\
+                     ::serde::Content::Map(m) => m,\n\
+                     other => return ::std::result::Result::Err(\
+                     ::serde::DeError::expected(\"map for {name}\", other)),\n}};\n\
+                     ::std::result::Result::Ok({name} {{\n"
+                );
+                for f in fields {
+                    if f.skip {
+                        s.push_str(&format!(
+                            "{}: ::core::default::Default::default(),\n",
+                            f.name
+                        ));
+                        continue;
+                    }
+                    // Real serde treats a missing `Option` field as `None`.
+                    let missing = if f.ty.starts_with("Option<")
+                        || f.ty.starts_with("::core::option::Option<")
+                        || f.ty.starts_with("::std::option::Option<")
+                        || f.ty.starts_with("core::option::Option<")
+                        || f.ty.starts_with("std::option::Option<")
+                    {
+                        "::core::option::Option::None".to_string()
+                    } else {
+                        format!(
+                            "return ::std::result::Result::Err(::serde::DeError(\
+                             ::std::string::String::from(\
+                             \"missing field `{0}` in {name}\")))",
+                            f.name
+                        )
+                    };
+                    s.push_str(&format!(
+                        "{0}: match map.iter().find(|kv| kv.0 == \"{0}\") {{\n\
+                         ::std::option::Option::Some(kv) => \
+                         ::serde::Deserialize::from_content(&kv.1)?,\n\
+                         ::std::option::Option::None => {missing},\n}},\n",
+                        f.name
+                    ));
+                }
+                s.push_str("})");
+                s
+            }
+            Shape::TupleStruct(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))"
+            ),
+            Shape::TupleStruct(n) => {
+                let mut s = format!(
+                    "let items = match c {{\n\
+                     ::serde::Content::Seq(items) => items,\n\
+                     other => return ::std::result::Result::Err(\
+                     ::serde::DeError::expected(\"sequence for {name}\", other)),\n}};\n\
+                     if items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError(\
+                     ::std::format!(\"expected {n} elements for {name}, found {{}}\", \
+                     items.len())));\n}}\n\
+                     ::std::result::Result::Ok({name}(\n"
+                );
+                for i in 0..*n {
+                    s.push_str(&format!(
+                        "::serde::Deserialize::from_content(&items[{i}])?,\n"
+                    ));
+                }
+                s.push_str("))");
+                s
+            }
+            Shape::Enum(variants) => {
+                let units: Vec<&Variant> = variants
+                    .iter()
+                    .filter(|v| matches!(v.kind, VariantKind::Unit))
+                    .collect();
+                let newtypes: Vec<&Variant> = variants
+                    .iter()
+                    .filter(|v| matches!(v.kind, VariantKind::Newtype))
+                    .collect();
+                let mut s = String::from("match c {\n");
+                if !units.is_empty() {
+                    s.push_str("::serde::Content::Str(s) => match s.as_str() {\n");
+                    for v in &units {
+                        s.push_str(&format!(
+                            "\"{0}\" => ::std::result::Result::Ok({name}::{0}),\n",
+                            v.name
+                        ));
+                    }
+                    s.push_str(&format!(
+                        "other => ::std::result::Result::Err(::serde::DeError(\
+                         ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n}},\n"
+                    ));
+                }
+                if !newtypes.is_empty() {
+                    s.push_str(
+                        "::serde::Content::Map(m) if m.len() == 1 => match m[0].0.as_str() {\n",
+                    );
+                    for v in &newtypes {
+                        s.push_str(&format!(
+                            "\"{0}\" => ::std::result::Result::Ok({name}::{0}(\
+                             ::serde::Deserialize::from_content(&m[0].1)?)),\n",
+                            v.name
+                        ));
+                    }
+                    s.push_str(&format!(
+                        "other => ::std::result::Result::Err(::serde::DeError(\
+                         ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n}},\n"
+                    ));
+                }
+                s.push_str(&format!(
+                    "other => ::std::result::Result::Err(\
+                     ::serde::DeError::expected(\"variant of {name}\", other)),\n}}"
+                ));
+                s
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(c: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---- entry points ----------------------------------------------------------
+
+/// Derives the serde stub's `Serialize` (a `to_content` impl).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde stub derive: generated Serialize impl parses")
+}
+
+/// Derives the serde stub's `Deserialize` (a `from_content` impl).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde stub derive: generated Deserialize impl parses")
+}

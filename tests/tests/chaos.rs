@@ -586,3 +586,68 @@ fn degraded_mode_sheds_uploads_serves_queries_then_recovers() {
     server.shutdown().expect("shutdown");
     std::fs::remove_file(&path).ok();
 }
+
+// ---------------------------------------------------------------------------
+// 5. Crash forensics: a handler panic dumps the flight recorder.
+// ---------------------------------------------------------------------------
+
+/// A panicking ingest (the injected poisoned-lock fault) must leave the
+/// flight recorder on disk *before* answering `Internal`: the last spans
+/// and events leading up to the crash are the whole point of the ring.
+#[test]
+fn handler_panic_dumps_a_nonempty_flight_recorder() {
+    let _guard = lock();
+    // Spans and mirrored events only reach the recorder while tracing is
+    // on; no writer is needed — the ring is independent of the JSONL sink.
+    ptm_obs::enable_tracing();
+
+    let dump = std::env::temp_dir().join(format!(
+        "ptm-chaos-{}-recorder-dump.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&dump);
+    let path = temp_archive("recorder");
+    let config = ServerConfig {
+        recorder_dump: Some(dump.clone()),
+        ..storm_server_config(None, false)
+    };
+    let panic_flag = config.fault_ingest_panic.clone();
+    let server = RpcServer::start("127.0.0.1:0", &path, config).expect("daemon");
+    let mut client =
+        RpcClient::connect(server.local_addr(), storm_client_config(77)).expect("client");
+
+    let records = small_campaign(21, 2, 77);
+    upload_acked(&mut client, &records[0], "pre-panic upload");
+    panic_flag.store(true, std::sync::atomic::Ordering::SeqCst);
+    match client.upload(&records[1]) {
+        Err(ClientError::Server {
+            code: ErrorCode::Internal,
+            ..
+        }) => {}
+        other => panic!("expected Internal after the injected panic, got {other:?}"),
+    }
+
+    // Read the dump before shutdown: this is the panic-time snapshot, not
+    // the clean-exit one (shutdown re-dumps over it).
+    let dumped = std::fs::read_to_string(&dump).expect("panic dumped the flight recorder");
+    assert!(
+        !dumped.trim().is_empty(),
+        "flight-recorder dump must not be empty"
+    );
+    for line in dumped.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "dump is JSONL, got line {line:?}"
+        );
+    }
+    assert!(
+        dumped.contains("rpc.server.dispatch"),
+        "the spans leading up to the panic are in the dump: {dumped}"
+    );
+
+    drop(client);
+    server.shutdown().expect("clean shutdown");
+    ptm_obs::set_tracing_enabled(false);
+    let _ = std::fs::remove_file(&dump);
+    let _ = std::fs::remove_file(&path);
+}
