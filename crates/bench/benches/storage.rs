@@ -1,0 +1,111 @@
+//! Storage-engine benchmarks: v1 full-replay open vs v2 manifest+index
+//! open on the same 100k-record archive, plus page-cache hit/miss read
+//! latency. `scripts/bench.sh` distills these into `BENCH_7.json`.
+//!
+//! The archives are built once, outside the timed loops: records carry
+//! 1 Kibit bitmaps with no encodes, so the setup writes ~16 MB instead of
+//! gigabytes while keeping the ratio that matters honest — a record frame
+//! is ~10× the size of its 17-byte index entry, so a v1 open replays every
+//! frame byte while a v2 open reads only manifest + footer indexes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptm_core::encoding::LocationId;
+use ptm_core::params::BitmapSize;
+use ptm_core::record::{PeriodId, TrafficRecord};
+use ptm_store::{Archive, SegmentStore, StoreOptions};
+use std::path::PathBuf;
+
+const LOCATIONS: u64 = 100;
+const PERIODS: u32 = 1000;
+
+fn tiny_records() -> Vec<TrafficRecord> {
+    let size = BitmapSize::new(1024).expect("pow2");
+    let mut records = Vec::with_capacity((LOCATIONS as usize) * (PERIODS as usize));
+    for location in 1..=LOCATIONS {
+        for period in 0..PERIODS {
+            records.push(TrafficRecord::new(
+                LocationId::new(location),
+                PeriodId::new(period),
+                size,
+            ));
+        }
+    }
+    records
+}
+
+fn build_v1(path: &PathBuf, records: &[TrafficRecord]) {
+    let mut archive = Archive::create(path).expect("v1 create");
+    for chunk in records.chunks(1024) {
+        archive.append_all(chunk.iter()).expect("v1 append");
+    }
+}
+
+fn build_v2(dir: &PathBuf, opts: &StoreOptions, records: &[TrafficRecord]) {
+    let mut store = SegmentStore::open(dir, opts.clone())
+        .expect("v2 create")
+        .store;
+    for chunk in records.chunks(1024) {
+        store.append_all(chunk.iter()).expect("v2 append");
+    }
+    // Clean shutdown: seal the tail so reopen is pure manifest + indexes.
+    store.checkpoint().expect("checkpoint");
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let base = std::env::temp_dir().join(format!("ptm-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("bench dir");
+    let records = tiny_records();
+    let opts = StoreOptions {
+        rotate_bytes: 1 << 20,
+        ..StoreOptions::default()
+    };
+
+    let v1_path = base.join("archive-v1.ptma");
+    build_v1(&v1_path, &records);
+    let v2_dir = base.join("archive-v2.ptma");
+    build_v2(&v2_dir, &opts, &records);
+
+    let mut group = c.benchmark_group("store");
+    group.bench_function("v1_open_100k", |b| {
+        b.iter(|| Archive::open(&v1_path).expect("v1 open").records.len())
+    });
+    group.bench_function("v2_open_100k", |b| {
+        b.iter(|| {
+            SegmentStore::open(&v2_dir, opts.clone())
+                .expect("v2 open")
+                .store
+                .record_count()
+        })
+    });
+
+    let location = LocationId::new(LOCATIONS / 2);
+    let period = PeriodId::new(PERIODS / 2);
+    let mut hit_store = SegmentStore::open(&v2_dir, opts.clone())
+        .expect("open")
+        .store;
+    hit_store
+        .get(location, period)
+        .expect("warm read")
+        .expect("record present");
+    group.bench_function("read_hit", |b| {
+        b.iter(|| hit_store.get(location, period).expect("cached read"))
+    });
+
+    // Capacity zero disables admission, so every read walks the index and
+    // re-reads the frame from disk: the pure miss path.
+    let miss_opts = StoreOptions {
+        cache_capacity: 0,
+        ..opts.clone()
+    };
+    let mut miss_store = SegmentStore::open(&v2_dir, miss_opts).expect("open").store;
+    group.bench_function("read_miss", |b| {
+        b.iter(|| miss_store.get(location, period).expect("uncached read"))
+    });
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -87,6 +87,9 @@ COMMANDS:
                  [--inflight N: uncached estimates per location; default 8]
                  [--retry-after-ms N: shed-response hint; default 250]
                  [--sync flush|fsync: archive durability; default flush]
+                 [--rotate-bytes N: segment rotation threshold; default 8 MiB]
+                 [--compact-ms N: background compaction interval, 0 disables;
+                  default 30000]
                  [--recorder-dump P: dump the flight recorder as JSONL to P
                   on panic, degraded transitions, and shutdown]
                  [--faults SPEC --fault-seed N: deterministic fault plan,

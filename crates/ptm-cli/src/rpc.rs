@@ -96,6 +96,12 @@ pub fn cmd_serve(options: &Options) -> Result<(), String> {
     if let Some(hint) = opt_u64(options, "retry-after-ms")? {
         config.retry_after_ms = hint as u32;
     }
+    if let Some(bytes) = opt_u64(options, "rotate-bytes")? {
+        config.rotate_bytes = bytes;
+    }
+    if let Some(ms) = opt_u64(options, "compact-ms")? {
+        config.compact_interval = Duration::from_millis(ms);
+    }
     match options.get("sync").map(String::as_str) {
         None | Some("flush") => {}
         Some("fsync") => config.sync_policy = ptm_store::SyncPolicy::Fsync,
@@ -264,6 +270,31 @@ pub fn cmd_top(options: &Options) -> Result<(), String> {
         uint("locations"),
         uint("connections"),
     );
+
+    // Storage-engine gauges ("store": null means the writer was busy when
+    // the snapshot was taken — nothing to show, not an error).
+    if let Some(Content::Map(store)) = field("store") {
+        let cell = |name: &str| {
+            store
+                .iter()
+                .find(|(k, _)| k == name)
+                .map_or_else(|| "?".to_owned(), |(_, v)| render_scalar(v))
+        };
+        let wedged = store
+            .iter()
+            .any(|(k, v)| k == "wedged" && matches!(v, Content::Bool(true)));
+        println!(
+            "store: {} segments ({} sealed), active {} B, cache {} hits / {} misses, \
+             {} compactions{}",
+            cell("segments"),
+            cell("sealed"),
+            cell("active_bytes"),
+            cell("cache_hits"),
+            cell("cache_misses"),
+            cell("compactions"),
+            if wedged { " — WEDGED" } else { "" },
+        );
+    }
 
     if let Some(Content::Seq(shards)) = field("shards") {
         if !shards.is_empty() {

@@ -55,6 +55,12 @@ pub mod sites {
     pub const STORE_SYNC: &str = "store.sync";
     /// Archive truncations during rollback (`File::set_len`).
     pub const STORE_SET_LEN: &str = "store.set_len";
+    /// Segment-store manifest commits (the atomic temp-write + rename that
+    /// publishes a new segment set).
+    pub const STORE_MANIFEST: &str = "store.manifest";
+    /// Segment seals (the footer index frame + trailer written when an
+    /// active segment rotates out).
+    pub const STORE_SEAL: &str = "store.seal";
     /// RPC server stream reads (request frames arriving).
     pub const RPC_READ: &str = "rpc.read";
     /// RPC server stream writes (response frames leaving).
@@ -69,6 +75,8 @@ pub mod sites {
         STORE_FLUSH,
         STORE_SYNC,
         STORE_SET_LEN,
+        STORE_MANIFEST,
+        STORE_SEAL,
         RPC_READ,
         RPC_WRITE,
         RPC_ESTIMATE,

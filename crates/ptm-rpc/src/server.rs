@@ -3,9 +3,15 @@
 //!
 //! Lifecycle:
 //!
-//! 1. **Startup** — open (or create) the [`ptm_store::Archive`] at the
-//!    configured path and replay every archived record into the in-memory
-//!    query engine, so a restarted daemon answers queries identically.
+//! 1. **Startup** — open (or create) the [`ptm_store::SegmentStore`] at
+//!    the configured path (transparently migrating a v1 single-file
+//!    archive into a segment directory first). Startup is **O(index)**:
+//!    the store reads its manifest and per-segment footer indexes instead
+//!    of decoding every record, and records are *hydrated* into the
+//!    in-memory query engine lazily, per location, the first time ingest
+//!    validation or a query touches that location — so a restarted daemon
+//!    still answers queries identically, it just loads each location's
+//!    history on first touch instead of all of it up front.
 //! 2. **Ingest** — each accepted batch is validated whole, appended to the
 //!    archive and flushed, *then* published to the query engine, and only
 //!    then acked (write-ahead). An identical re-send of an already-stored
@@ -21,12 +27,16 @@
 //! The query engine is [`ptm_net::CentralServer`]'s per-location sharded
 //! store, so read-only estimate queries run **concurrently** — with each
 //! other and with uploads to locations they are not reading. Uploads go
-//! through a dedicated **writer path**: one mutex guarding the archive
-//! serializes ingest (the archive is a single append-only file, so writes
-//! serialize anyway) and doubles as the batch-atomicity lock — a batch is
+//! through a dedicated **writer path**: one mutex guarding the segment
+//! store serializes ingest (appends go to a single active segment, so
+//! writes serialize anyway) and doubles as the batch-atomicity lock — a batch is
 //! validated and applied under it, so a conflict anywhere rejects the
-//! batch whole and a retry can never half-apply. Queries never touch the
-//! writer path, so archive I/O is out of the estimation path entirely.
+//! batch whole and a retry can never half-apply. Queries touch the
+//! writer path only for a location's *first* read (lazy hydration); after
+//! that, archive I/O is out of the estimation path entirely. A background
+//! maintenance thread compacts small/superseded segments and, while
+//! degraded, retries the store reopen automatically under the configured
+//! cooldown.
 //!
 //! Query answers are cached in an epoch-invalidated [`QueryCache`]: each
 //! accepted record bumps its location's epoch, and a cached answer is
@@ -54,8 +64,8 @@ use ptm_core::{LocationId, PeriodId};
 use ptm_fault::{sites, FaultAction, FaultPlan, FaultyStream, SiteHandle};
 use ptm_net::server::ServerError;
 use ptm_net::CentralServer;
-use ptm_store::{Archive, StoreError, StoreHooks, SyncPolicy};
-use std::collections::HashMap;
+use ptm_store::{SegmentStore, StoreError, StoreHooks, StoreOptions, SyncPolicy};
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
@@ -99,6 +109,14 @@ pub struct ServerConfig {
     pub degraded_cooldown: Duration,
     /// Durability level for archive commits.
     pub sync_policy: SyncPolicy,
+    /// The active segment rotates (seals + fresh file) once its committed
+    /// bytes reach this.
+    pub rotate_bytes: u64,
+    /// How often the background maintenance thread wakes to compact
+    /// small/superseded segments — and, while degraded, to retry the store
+    /// reopen under [`ServerConfig::degraded_cooldown`]. Zero disables the
+    /// thread entirely.
+    pub compact_interval: Duration,
     /// Where the flight recorder dumps its JSONL tail on entry into
     /// degraded mode and on a caught handler panic; `None` disables
     /// automatic dumps (an explicit `Request::Stats` still reads the ring).
@@ -132,6 +150,8 @@ impl Default for ServerConfig {
             degraded_after_failures: 3,
             degraded_cooldown: Duration::from_secs(2),
             sync_policy: SyncPolicy::Flush,
+            rotate_bytes: 8 * 1024 * 1024,
+            compact_interval: Duration::from_secs(30),
             recorder_dump: None,
             metrics_snapshot: None,
             fault_plan: None,
@@ -283,12 +303,23 @@ struct DegradedState {
 }
 
 struct Shared {
-    /// The sharded query engine. Internally locked per location; queries
-    /// need no lock here at all.
+    /// The sharded query engine. Internally locked per location; hydrated
+    /// lazily from the segment store.
     central: CentralServer,
     /// The dedicated writer path: serializes ingest and guards the
-    /// append-only archive. Queries never take this lock.
-    writer: Mutex<Archive>,
+    /// segment store. Queries take this lock only to hydrate a location
+    /// they are reading for the first time.
+    writer: Mutex<SegmentStore>,
+    /// Locations whose archived history has been published into `central`.
+    /// Grows monotonically; guarded by its own lock so the hydrated-check
+    /// fast path never touches the writer lock. Lock order: writer, then
+    /// hydrated.
+    hydrated: Mutex<HashSet<LocationId>>,
+    /// Store-derived record total, kept current by startup/ingest/recovery
+    /// so Ping and stats need no writer lock.
+    record_total: AtomicUsize,
+    /// Store-derived location total (same discipline as `record_total`).
+    location_total: AtomicUsize,
     /// Epoch-invalidated query-result cache.
     cache: QueryCache,
     shutdown: AtomicBool,
@@ -297,11 +328,11 @@ struct Shared {
     conn_count: AtomicUsize,
     estimate_gate: EstimateGate,
     degraded: DegradedState,
-    /// Where the archive lives, for degraded-mode reopen probes.
+    /// Where the store lives, for degraded-mode reopen probes.
     archive_path: PathBuf,
-    /// Storage fault hooks (shared with the live archive so reopened
-    /// archives continue the same fault schedules).
-    store_hooks: StoreHooks,
+    /// Store options (fault hooks included) shared with the live store so
+    /// reopened stores continue the same fault schedules.
+    store_opts: StoreOptions,
     /// Connection-stream fault sites (no-ops without a plan).
     read_site: SiteHandle,
     write_site: SiteHandle,
@@ -326,7 +357,7 @@ impl Drop for ConnGuard {
 /// only leave buffered-but-unflushed archive bytes (the next flush writes
 /// them) — record framing itself is a single buffered `write_all` per
 /// record, and the in-memory store is mutated with single inserts.
-fn lock_writer(writer: &Mutex<Archive>) -> MutexGuard<'_, Archive> {
+fn lock_writer(writer: &Mutex<SegmentStore>) -> MutexGuard<'_, SegmentStore> {
     let start = (ptm_obs::metrics_enabled() || ptm_obs::tracing_enabled()).then(Instant::now);
     let guard = writer.lock().unwrap_or_else(PoisonError::into_inner);
     if let Some(start) = start {
@@ -345,6 +376,7 @@ pub struct RpcServer {
     shared: Arc<Shared>,
     local_addr: std::net::SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
+    maintenance_thread: Option<JoinHandle<()>>,
     replay: ReplayReport,
     archive_path: PathBuf,
 }
@@ -377,38 +409,35 @@ impl RpcServer {
                 SiteHandle::disabled(),
             ),
         };
-        let (archive, replay) = if archive_path.exists() {
+        let store_opts = StoreOptions {
+            hooks: store_hooks,
+            sync_policy: config.sync_policy,
+            rotate_bytes: config.rotate_bytes,
+            ..StoreOptions::default()
+        };
+        // O(index) startup: the store reads its manifest and footer
+        // indexes (scanning only the unsealed active segment); records are
+        // hydrated into the query engine lazily, per location, on first
+        // touch. A v1 single-file archive is migrated into segments here,
+        // once.
+        let opened = {
             let _replay_span = ptm_obs::tspan!("rpc.server.replay");
-            let recovered =
-                Archive::open_opts(&archive_path, store_hooks.clone(), config.sync_policy)?;
-            let report = ReplayReport {
-                records: recovered.records.len(),
-                torn_bytes: recovered.torn_bytes,
-            };
-            for record in recovered.records {
-                let key = (record.location(), record.period());
-                central.submit(record).map_err(|err| {
-                    DaemonError::ReplayConflict(format!(
-                        "location {} period {}: {err}",
-                        key.0.get(),
-                        key.1.get()
-                    ))
-                })?;
-            }
-            (recovered.archive, report)
-        } else {
-            (
-                Archive::create_opts(&archive_path, store_hooks.clone(), config.sync_policy)?,
-                ReplayReport {
-                    records: 0,
-                    torn_bytes: 0,
-                },
-            )
+            SegmentStore::open_or_migrate(&archive_path, store_opts.clone())?
+        };
+        let replay = ReplayReport {
+            records: opened.store.record_count(),
+            torn_bytes: opened.torn_bytes,
         };
         if replay.torn_bytes > 0 {
             ptm_obs::warn!("rpc.server", "archive had a torn tail";
                 torn_bytes = replay.torn_bytes, path = archive_path.display().to_string());
         }
+        if opened.migrated_records > 0 {
+            ptm_obs::info!("rpc.server", "migrated v1 archive into segment store";
+                records = opened.migrated_records,
+                path = archive_path.display().to_string());
+        }
+        let location_total = opened.store.location_count();
         ptm_obs::counter!("rpc.server.replay.records").add(replay.records as u64);
 
         let listener = TcpListener::bind(addr)?;
@@ -419,7 +448,10 @@ impl RpcServer {
         let estimate_gate = EstimateGate::new(config.max_inflight_estimates);
         let shared = Arc::new(Shared {
             central,
-            writer: Mutex::new(archive),
+            writer: Mutex::new(opened.store),
+            hydrated: Mutex::new(HashSet::new()),
+            record_total: AtomicUsize::new(replay.records),
+            location_total: AtomicUsize::new(location_total),
             cache,
             shutdown: AtomicBool::new(false),
             config,
@@ -427,7 +459,7 @@ impl RpcServer {
             estimate_gate,
             degraded: DegradedState::default(),
             archive_path: archive_path.clone(),
-            store_hooks,
+            store_opts,
             read_site,
             write_site,
             estimate_site,
@@ -436,6 +468,16 @@ impl RpcServer {
         let accept_thread = std::thread::Builder::new()
             .name("ptm-rpc-accept".into())
             .spawn(move || accept_loop(listener, accept_shared))?;
+        let maintenance_thread = if shared.config.compact_interval.is_zero() {
+            None
+        } else {
+            let maint_shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("ptm-rpc-maint".into())
+                    .spawn(move || maintenance_loop(maint_shared))?,
+            )
+        };
 
         ptm_obs::info!("rpc.server", "daemon listening";
             addr = local_addr.to_string(),
@@ -445,6 +487,7 @@ impl RpcServer {
             shared,
             local_addr,
             accept_thread: Some(accept_thread),
+            maintenance_thread,
             replay,
             archive_path,
         })
@@ -465,9 +508,10 @@ impl RpcServer {
         &self.archive_path
     }
 
-    /// Records currently held by the query engine.
+    /// Live records held by the store (lazy hydration means the in-memory
+    /// query engine may hold a subset until every location is touched).
     pub fn record_count(&self) -> usize {
-        self.shared.central.record_count()
+        self.shared.record_total.load(Ordering::SeqCst)
     }
 
     /// Whether ingest is currently degraded (shedding uploads because the
@@ -478,25 +522,29 @@ impl RpcServer {
 
     /// Every location with at least one stored record, sorted by id.
     pub fn locations(&self) -> Vec<LocationId> {
-        self.shared.central.locations()
+        lock_writer(&self.shared.writer).locations()
     }
 
     /// Graceful shutdown: stop accepting, drain every connection thread,
-    /// then flush and fsync the archive.
+    /// then checkpoint the store — pending frames committed and fsynced,
+    /// the active segment sealed, so the next open is pure O(index).
     ///
     /// # Errors
     ///
-    /// Archive flush/sync failures (connections are already drained).
+    /// Store flush/sync failures (connections are already drained).
     pub fn shutdown(mut self) -> Result<(), DaemonError> {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
-        let mut archive = lock_writer(&self.shared.writer);
-        archive.sync()?;
+        if let Some(handle) = self.maintenance_thread.take() {
+            let _ = handle.join();
+        }
+        let mut store = lock_writer(&self.shared.writer);
+        store.checkpoint()?;
         flush_observability(&self.shared.config, "shutdown");
         ptm_obs::info!("rpc.server", "daemon stopped";
-            records = self.shared.central.record_count());
+            records = store.record_count());
         Ok(())
     }
 }
@@ -555,6 +603,42 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
     for handle in connections {
         let _ = handle.join();
+    }
+}
+
+/// The background maintenance thread: every `compact_interval` it either
+/// retries the degraded-mode store reopen (so recovery does not have to
+/// wait for the next upload to probe) or runs a compaction pass merging
+/// small/superseded sealed segments. Polls the shutdown flag at
+/// `poll_interval` granularity so shutdown never waits a full interval.
+fn maintenance_loop(shared: Arc<Shared>) {
+    let mut since_tick = Duration::ZERO;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(shared.config.poll_interval);
+        since_tick += shared.config.poll_interval;
+        if since_tick < shared.config.compact_interval {
+            continue;
+        }
+        since_tick = Duration::ZERO;
+        if shared.degraded.flag.load(Ordering::SeqCst) {
+            // Automatic reopen: same probe ingest uses, same cooldown
+            // (try_recover enforces it), no upload required to trigger it.
+            let mut store = lock_writer(&shared.writer);
+            let _ = try_recover(&shared, &mut store);
+            continue;
+        }
+        let mut store = lock_writer(&shared.writer);
+        match store.compact() {
+            Ok(report) if report.new_segment.is_some() => {
+                ptm_obs::debug!("rpc.server", "background compaction ran";
+                    merged = report.merged_segments as u64,
+                    dropped = report.dropped_frames);
+            }
+            Ok(_) => {}
+            // compact() already counted and logged the failure; the old
+            // segment set is intact, so just try again next interval.
+            Err(_) => {}
+        }
     }
 }
 
@@ -733,7 +817,7 @@ fn dispatch(payload: &[u8], shared: &Shared, arrived: Instant) -> Dispatched {
         Request::Ping => Response::Pong {
             version: PROTOCOL_VERSION,
             s: shared.config.s,
-            records: shared.central.record_count() as u64,
+            records: shared.record_total.load(Ordering::SeqCst) as u64,
             degraded: shared.degraded.flag.load(Ordering::SeqCst),
         },
         Request::Upload(record) => ingest(shared, vec![record]),
@@ -787,9 +871,9 @@ fn stats_json(shared: &Shared) -> String {
     let snapshot = ptm_obs::snapshot();
     let mut out = String::with_capacity(2048);
     out.push_str("{\"records\":");
-    out.push_str(&shared.central.record_count().to_string());
+    out.push_str(&shared.record_total.load(Ordering::SeqCst).to_string());
     out.push_str(",\"locations\":");
-    out.push_str(&shared.central.location_count().to_string());
+    out.push_str(&shared.location_total.load(Ordering::SeqCst).to_string());
     out.push_str(",\"connections\":");
     out.push_str(&shared.conn_count.load(Ordering::SeqCst).to_string());
     out.push_str(",\"degraded\":");
@@ -798,6 +882,29 @@ fn stats_json(shared: &Shared) -> String {
     } else {
         "false"
     });
+    // Storage-engine gauges, read under a non-blocking writer probe so an
+    // introspection request never queues behind a stalled commit. `null`
+    // means "writer busy right now" — ask again.
+    out.push_str(",\"store\":");
+    let store_guard = match shared.writer.try_lock() {
+        Ok(guard) => Some(guard),
+        Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+        Err(std::sync::TryLockError::WouldBlock) => None,
+    };
+    match store_guard {
+        Some(store) => out.push_str(&format!(
+            "{{\"segments\":{},\"sealed\":{},\"active_bytes\":{},\"cache_hits\":{},\
+             \"cache_misses\":{},\"compactions\":{},\"wedged\":{}}}",
+            store.segment_count(),
+            store.sealed_count(),
+            store.active_bytes(),
+            store.cache_hits(),
+            store.cache_misses(),
+            store.compaction_count(),
+            store.is_wedged(),
+        )),
+        None => out.push_str("null"),
+    }
     out.push_str(",\"shards\":[");
     for (i, (location, records, epoch)) in shared.central.shard_stats().iter().enumerate() {
         if i > 0 {
@@ -859,6 +966,16 @@ fn answer_cached(
     // Only uncached computations count against the in-flight gate: a
     // cache hit costs nothing, so it is never shed.
     let locations = key.locations();
+    // Lazy hydration: a cache miss computes against the query engine, so
+    // any location being read for the first time since startup loads its
+    // archived history now (a no-op HashSet probe once hydrated).
+    if let Err(detail) = ensure_hydrated(shared, &locations) {
+        ptm_obs::error!("rpc.server", "hydration before query failed"; detail = detail.clone());
+        return Response::Error {
+            code: ErrorCode::Internal,
+            message: detail,
+        };
+    }
     let Some(_permit) = shared.estimate_gate.try_acquire(&locations) else {
         ptm_obs::counter!("rpc.shed.estimates").inc();
         return Response::Overloaded {
@@ -908,6 +1025,87 @@ fn estimate_response(result: Result<f64, ServerError>) -> Response {
     }
 }
 
+/// Publishes the archived history of any not-yet-hydrated `locations`
+/// into the query engine, under the already-held writer lock. Idempotent
+/// per location (the hydrated set is checked first) and cheap once
+/// hydrated: the fast path is a `HashSet` probe.
+///
+/// Returns an error message when the store contradicts the engine — two
+/// different records for the same `(location, period)` — which, given
+/// write-ahead ordering, means the store was swapped out from under us.
+fn ensure_hydrated_locked(
+    shared: &Shared,
+    store: &mut SegmentStore,
+    locations: &[LocationId],
+) -> Result<(), String> {
+    let missing: Vec<LocationId> = {
+        let hydrated = shared
+            .hydrated
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        locations
+            .iter()
+            .filter(|loc| !hydrated.contains(loc))
+            .copied()
+            .collect()
+    };
+    if missing.is_empty() {
+        return Ok(());
+    }
+    for location in missing {
+        let records = store
+            .records_for_location(location)
+            .map_err(|err| format!("hydration read failed: {err}"))?;
+        let count = records.len();
+        for record in records {
+            match shared.central.record(record.location(), record.period()) {
+                Some(existing) if existing == *record => {}
+                Some(_) => {
+                    return Err(format!(
+                        "store contradicts query engine at location {} period {}",
+                        record.location().get(),
+                        record.period().get()
+                    ));
+                }
+                None => {
+                    shared
+                        .central
+                        .submit((*record).clone())
+                        .map_err(|err| format!("hydration publish failed: {err}"))?;
+                }
+            }
+        }
+        shared
+            .hydrated
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(location);
+        if count > 0 {
+            ptm_obs::counter!("rpc.server.hydrations").inc();
+            ptm_obs::debug!("rpc.server", "location hydrated from store";
+                location = location.get(), records = count);
+        }
+    }
+    Ok(())
+}
+
+/// [`ensure_hydrated_locked`] for callers not holding the writer lock
+/// (the query path): probes the hydrated set first so the common case —
+/// already hydrated — takes no writer lock at all.
+fn ensure_hydrated(shared: &Shared, locations: &[LocationId]) -> Result<(), String> {
+    {
+        let hydrated = shared
+            .hydrated
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if locations.iter().all(|loc| hydrated.contains(loc)) {
+            return Ok(());
+        }
+    }
+    let mut store = lock_writer(&shared.writer);
+    ensure_hydrated_locked(shared, &mut store, locations)
+}
+
 /// The write-ahead ingest path, under the exclusive writer lock: validate
 /// the whole batch (against the store *and* against itself), persist every
 /// fresh record with a single flush, publish them to the sharded query
@@ -918,7 +1116,7 @@ fn estimate_response(result: Result<f64, ServerError>) -> Response {
 /// starts from a consistent store.
 fn ingest(shared: &Shared, records: Vec<TrafficRecord>) -> Response {
     let _t = ptm_obs::span!("rpc.server.ingest");
-    let mut archive = lock_writer(&shared.writer);
+    let mut store = lock_writer(&shared.writer);
     if shared
         .config
         .fault_ingest_panic
@@ -930,10 +1128,28 @@ fn ingest(shared: &Shared, records: Vec<TrafficRecord>) -> Response {
     // Degraded (read-only) mode: the archive backend kept failing. Shed
     // uploads fast — or, if the cooldown has passed, probe a reopen and
     // resume ingest on success. Queries never reach this path.
-    if shared.degraded.flag.load(Ordering::SeqCst) && !try_recover(shared, &mut archive) {
+    if shared.degraded.flag.load(Ordering::SeqCst) && !try_recover(shared, &mut store) {
         ptm_obs::counter!("rpc.shed.uploads").inc();
         return Response::Overloaded {
             retry_after_ms: shared.config.retry_after_ms,
+        };
+    }
+    // Duplicate validation consults the query engine, so every location
+    // this batch touches must be hydrated first.
+    let touched: Vec<LocationId> = {
+        let mut seen: Vec<LocationId> = Vec::new();
+        for record in &records {
+            if !seen.contains(&record.location()) {
+                seen.push(record.location());
+            }
+        }
+        seen
+    };
+    if let Err(detail) = ensure_hydrated_locked(shared, &mut store, &touched) {
+        ptm_obs::error!("rpc.server", "hydration before ingest failed"; detail = detail.clone());
+        return Response::Error {
+            code: ErrorCode::Internal,
+            message: detail,
         };
     }
     let mut fresh: Vec<TrafficRecord> = Vec::with_capacity(records.len());
@@ -986,14 +1202,14 @@ fn ingest(shared: &Shared, records: Vec<TrafficRecord>) -> Response {
     // starts from a consistent store. The answer is Overloaded, not a
     // fatal error: retrying genuinely can help once the backend recovers.
     let commit_span = ptm_obs::tspan!("rpc.server.commit");
-    let commit_result = archive.append_all(fresh.iter());
+    let commit_result = store.append_all(fresh.iter());
     drop(commit_span);
     if let Err(err) = commit_result {
         let failures = shared.degraded.failures.fetch_add(1, Ordering::SeqCst) + 1;
         ptm_obs::counter!("store.fault.append_errors").inc();
         ptm_obs::error!("rpc.server", "archive append failed; batch rolled back";
             error = err.to_string(), consecutive = failures);
-        if archive.is_wedged() || failures >= shared.config.degraded_after_failures {
+        if store.is_wedged() || failures >= shared.config.degraded_after_failures {
             enter_degraded(shared);
         }
         ptm_obs::counter!("rpc.shed.uploads").inc();
@@ -1015,9 +1231,15 @@ fn ingest(shared: &Shared, records: Vec<TrafficRecord>) -> Response {
             };
         }
     }
+    shared
+        .record_total
+        .store(store.record_count(), Ordering::SeqCst);
+    shared
+        .location_total
+        .store(store.location_count(), Ordering::SeqCst);
     if ptm_obs::metrics_enabled() {
-        ptm_obs::gauge!("rpc.shard.records").set(shared.central.record_count() as i64);
-        ptm_obs::gauge!("rpc.shard.locations").set(shared.central.location_count() as i64);
+        ptm_obs::gauge!("rpc.shard.records").set(store.record_count() as i64);
+        ptm_obs::gauge!("rpc.shard.locations").set(store.location_count() as i64);
     }
     ptm_obs::counter!("rpc.server.ingest.accepted").add(fresh.len() as u64);
     ptm_obs::counter!("rpc.server.ingest.duplicates").add(u64::from(duplicates));
@@ -1082,9 +1304,10 @@ fn flush_observability(config: &ServerConfig, why: &str) {
 }
 
 /// Degraded-mode reopen probe, called under the writer lock. At most one
-/// probe per cooldown: reopen the archive from disk, reconcile it against
-/// the query engine, and swap it in. Returns whether ingest may resume.
-fn try_recover(shared: &Shared, archive: &mut MutexGuard<'_, Archive>) -> bool {
+/// probe per cooldown: reopen the segment store from disk, reconcile the
+/// hydrated working set against the query engine, and swap it in. Returns
+/// whether ingest may resume.
+fn try_recover(shared: &Shared, store: &mut MutexGuard<'_, SegmentStore>) -> bool {
     {
         let mut last = shared
             .degraded
@@ -1098,48 +1321,71 @@ fn try_recover(shared: &Shared, archive: &mut MutexGuard<'_, Archive>) -> bool {
     }
     // Reopen from disk through the same hooks, so chaos schedules carry
     // across the swap. Open re-runs torn-tail recovery, which is what
-    // heals a wedged archive whose rollback truncate failed.
-    let recovered = match Archive::open_opts(
-        &shared.archive_path,
-        shared.store_hooks.clone(),
-        shared.config.sync_policy,
-    ) {
-        Ok(recovered) => recovered,
-        Err(err) => {
-            ptm_obs::warn!("rpc.server", "degraded-mode reopen probe failed";
-                error = err.to_string());
-            return false;
-        }
-    };
-    // The archive is written ahead of the query engine, so durable state
-    // can only ever trail what is in memory — never contradict it. A
-    // record on disk but not in memory (a crash squeezed between commit
-    // and publish) is re-published idempotently; a contradiction means
-    // the file was swapped out from under us, and ingest stays down.
-    for record in &recovered.records {
-        match shared.central.record(record.location(), record.period()) {
-            Some(existing) if existing == *record => {}
-            Some(_) => {
-                ptm_obs::error!("rpc.server", "reopened archive contradicts the query engine";
-                    location = record.location().get(), period = record.period().get());
+    // heals a wedged store whose rollback truncate failed.
+    let mut recovered =
+        match SegmentStore::open_or_migrate(&shared.archive_path, shared.store_opts.clone()) {
+            Ok(opened) => opened,
+            Err(err) => {
+                ptm_obs::warn!("rpc.server", "degraded-mode reopen probe failed";
+                    error = err.to_string());
                 return false;
             }
-            None => {
-                if let Err(err) = shared.central.submit(record.clone()) {
-                    ptm_obs::error!("rpc.server", "republish during recovery failed";
-                        error = err.to_string());
+        };
+    // The store is written ahead of the query engine, so durable state can
+    // only ever trail what is in memory — never contradict it. Only the
+    // hydrated working set needs checking: locations the query engine has
+    // never loaded re-hydrate lazily from the fresh store on next touch. A
+    // record on disk but not in memory (a crash squeezed between commit
+    // and publish) is re-published idempotently; a contradiction means the
+    // directory was swapped out from under us, and ingest stays down.
+    let hydrated: Vec<LocationId> = {
+        let set = shared
+            .hydrated
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        set.iter().copied().collect()
+    };
+    for location in hydrated {
+        let records = match recovered.store.records_for_location(location) {
+            Ok(records) => records,
+            Err(err) => {
+                ptm_obs::error!("rpc.server", "reading reopened store during recovery failed";
+                    location = location.get(), error = err.to_string());
+                return false;
+            }
+        };
+        for record in records {
+            match shared.central.record(record.location(), record.period()) {
+                Some(existing) if existing == *record => {}
+                Some(_) => {
+                    ptm_obs::error!("rpc.server", "reopened store contradicts the query engine";
+                        location = record.location().get(), period = record.period().get());
                     return false;
+                }
+                None => {
+                    if let Err(err) = shared.central.submit((*record).clone()) {
+                        ptm_obs::error!("rpc.server", "republish during recovery failed";
+                            error = err.to_string());
+                        return false;
+                    }
                 }
             }
         }
     }
-    **archive = recovered.archive;
+    let (records, locations, torn_bytes) = (
+        recovered.store.record_count(),
+        recovered.store.location_count(),
+        recovered.torn_bytes,
+    );
+    **store = recovered.store;
+    shared.record_total.store(records, Ordering::SeqCst);
+    shared.location_total.store(locations, Ordering::SeqCst);
     shared.degraded.failures.store(0, Ordering::SeqCst);
     shared.degraded.flag.store(false, Ordering::SeqCst);
     ptm_obs::counter!("store.recovery.reopens").inc();
     ptm_obs::gauge!("rpc.server.degraded").set(0);
-    ptm_obs::info!("rpc.server", "left degraded mode; archive reopened";
-        records = recovered.records.len(), torn_bytes = recovered.torn_bytes);
+    ptm_obs::info!("rpc.server", "left degraded mode; store reopened";
+        records = records, torn_bytes = torn_bytes);
     flush_observability(&shared.config, "degraded exit");
     true
 }
@@ -1158,8 +1404,21 @@ mod tests {
     fn temp_archive(name: &str) -> PathBuf {
         let mut path = std::env::temp_dir();
         path.push(format!("ptm-rpc-server-{}-{name}.ptma", std::process::id()));
+        // The path may hold a leftover v1 file or a v2 segment directory.
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&path);
         path
+    }
+
+    fn cleanup_archive(path: &PathBuf) {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_dir_all(path);
+    }
+
+    /// Post-shutdown durable record count, read straight off the disk.
+    fn archived_records(path: &PathBuf) -> usize {
+        let opened = SegmentStore::open_or_migrate(path, StoreOptions::default()).expect("open");
+        opened.store.record_count()
     }
 
     fn sample_record(location: u64, period: u32) -> TrafficRecord {
@@ -1234,7 +1493,7 @@ mod tests {
         assert_eq!(server.replay_report().records, 2);
         assert_eq!(server.record_count(), 2);
         server.shutdown().expect("shutdown");
-        std::fs::remove_file(&path).ok();
+        cleanup_archive(&path);
     }
 
     #[test]
@@ -1275,9 +1534,8 @@ mod tests {
         }
         server.shutdown().expect("shutdown");
         // Only the first record reached the archive.
-        let recovered = Archive::open(&path).expect("open");
-        assert_eq!(recovered.records.len(), 1);
-        std::fs::remove_file(&path).ok();
+        assert_eq!(archived_records(&path), 1);
+        cleanup_archive(&path);
     }
 
     #[test]
@@ -1325,7 +1583,7 @@ mod tests {
             }
         );
         server.shutdown().expect("shutdown");
-        std::fs::remove_file(&path).ok();
+        cleanup_archive(&path);
     }
 
     #[test]
@@ -1389,9 +1647,8 @@ mod tests {
         server.shutdown().expect("shutdown");
 
         // The poisoned-then-recovered writer still archived correctly.
-        let recovered = Archive::open(&path).expect("open");
-        assert_eq!(recovered.records.len(), 1);
-        std::fs::remove_file(&path).ok();
+        assert_eq!(archived_records(&path), 1);
+        cleanup_archive(&path);
     }
 
     #[test]
@@ -1430,7 +1687,7 @@ mod tests {
             other => panic!("expected upload ack, got {other:?}"),
         }
         server.shutdown().expect("shutdown");
-        std::fs::remove_file(&path).ok();
+        cleanup_archive(&path);
     }
 
     #[test]
@@ -1531,7 +1788,7 @@ mod tests {
             }
         }
         server.shutdown().expect("shutdown");
-        std::fs::remove_file(&path).ok();
+        cleanup_archive(&path);
     }
 
     #[test]
@@ -1585,6 +1842,6 @@ mod tests {
         };
         assert_eq!(first.to_bits(), third.to_bits());
         server.shutdown().expect("shutdown");
-        std::fs::remove_file(&path).ok();
+        cleanup_archive(&path);
     }
 }

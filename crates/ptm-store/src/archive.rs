@@ -89,7 +89,7 @@ fn le_u32(bytes: &[u8]) -> u32 {
     u32::from_le_bytes(raw)
 }
 
-fn build_io(file: File, hooks: &StoreHooks) -> Box<dyn StorageIo> {
+pub(crate) fn build_io(file: File, hooks: &StoreHooks) -> Box<dyn StorageIo> {
     if hooks.is_active() {
         Box::new(HookedIo::new(FileIo::new(file), hooks.clone()))
     } else {
@@ -416,6 +416,7 @@ impl Archive {
             Err(err) => {
                 self.wedged = true;
                 ptm_obs::counter!("store.recovery.wedged").inc();
+                ptm_obs::gauge!("store.archive.wedged").set(1);
                 ptm_obs::error!(
                     "store.archive",
                     "rollback truncate failed; archive wedged until compact/reopen";
@@ -471,18 +472,22 @@ impl Archive {
         self.committed_len = new_len;
         self.committed_records = records.len();
         self.wedged = false;
+        ptm_obs::gauge!("store.archive.wedged").set(0);
         ptm_obs::counter!("store.recovery.compactions").inc();
         Ok(old_len.saturating_sub(new_len))
     }
 }
 
-enum ReadOutcome {
+pub(crate) enum ReadOutcome {
     Full,
     Partial(usize),
     Eof,
 }
 
-fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<ReadOutcome, StoreError> {
+pub(crate) fn read_exact_or_eof<R: Read>(
+    reader: &mut R,
+    buf: &mut [u8],
+) -> Result<ReadOutcome, StoreError> {
     let mut filled = 0usize;
     while filled < buf.len() {
         let n = reader.read(&mut buf[filled..])?;

@@ -1,0 +1,230 @@
+//! Fixed-capacity page cache for decoded record frames.
+//!
+//! Historical-period reads land here instead of requiring the whole
+//! archive to be memory-resident: a hit hands back the already-decoded
+//! record ([`std::sync::Arc`]-shared, so callers hold it as long as they
+//! like); a miss is loaded by the caller and [`PageCache::insert`]ed.
+//! Replacement is LRU by a logical tick (no wall clock — eviction order is
+//! deterministic for a given access sequence). Pinned entries are never
+//! evicted: a multi-frame read (location hydration, compaction) pins what
+//! it is iterating so interleaved reads cannot thrash its working set.
+//! When every resident entry is pinned the cache admits over capacity
+//! rather than failing the read — capacity is a target, not a hard wall.
+//!
+//! Metrics: `store.cache.hits` / `store.cache.misses` /
+//! `store.cache.evictions` counters and the `store.cache.entries` gauge.
+
+use ptm_core::record::TrafficRecord;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: a frame is identified by its segment and byte offset.
+pub type PageKey = (u64, u64);
+
+#[derive(Debug)]
+struct CacheEntry {
+    record: Arc<TrafficRecord>,
+    pins: u32,
+    last_use: u64,
+}
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct PageCache {
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    entries: HashMap<PageKey, CacheEntry>,
+}
+
+impl PageCache {
+    /// A cache holding at most `capacity` decoded records (0 disables
+    /// caching entirely: every lookup misses and inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Looks up a frame, bumping its recency on a hit.
+    pub fn get(&mut self, key: PageKey) -> Option<Arc<TrafficRecord>> {
+        self.tick += 1;
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.last_use = self.tick;
+                self.hits += 1;
+                ptm_obs::counter!("store.cache.hits").inc();
+                Some(Arc::clone(&entry.record))
+            }
+            None => {
+                self.misses += 1;
+                ptm_obs::counter!("store.cache.misses").inc();
+                None
+            }
+        }
+    }
+
+    /// Caches a freshly loaded frame, evicting the least-recently-used
+    /// unpinned entry if over capacity.
+    pub fn insert(&mut self, key: PageKey, record: Arc<TrafficRecord>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries
+            .entry(key)
+            .and_modify(|entry| entry.last_use = tick)
+            .or_insert(CacheEntry {
+                record,
+                pins: 0,
+                last_use: tick,
+            });
+        while self.entries.len() > self.capacity {
+            // Never evict the entry being inserted: the caller is about to
+            // use (and possibly pin) it.
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, entry)| entry.pins == 0 && **k != key)
+                .min_by_key(|(_, entry)| entry.last_use)
+                .map(|(key, _)| *key);
+            let Some(victim) = victim else {
+                break; // everything pinned: admit over capacity
+            };
+            self.entries.remove(&victim);
+            ptm_obs::counter!("store.cache.evictions").inc();
+        }
+        self.publish_entries();
+    }
+
+    /// Pins a resident entry, exempting it from eviction until unpinned.
+    /// Pinning a non-resident key is a no-op.
+    pub fn pin(&mut self, key: PageKey) {
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.pins += 1;
+        }
+    }
+
+    /// Releases one pin on `key`.
+    pub fn unpin(&mut self, key: PageKey) {
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.pins = entry.pins.saturating_sub(1);
+        }
+    }
+
+    /// Drops every cached frame belonging to `segment` (used when
+    /// compaction retires a segment, so stale keys do not linger).
+    pub fn evict_segment(&mut self, segment: u64) {
+        self.entries.retain(|(seg, _), _| *seg != segment);
+        self.publish_entries();
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn publish_entries(&self) {
+        if ptm_obs::metrics_enabled() {
+            ptm_obs::gauge!("store.cache.entries").set(self.entries.len() as i64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptm_core::params::BitmapSize;
+    use ptm_core::record::PeriodId;
+    use ptm_core::LocationId;
+
+    fn record(period: u32) -> Arc<TrafficRecord> {
+        Arc::new(TrafficRecord::new(
+            LocationId::new(1),
+            PeriodId::new(period),
+            BitmapSize::new(64).expect("pow2"),
+        ))
+    }
+
+    #[test]
+    fn hit_miss_and_lru_eviction() {
+        let mut cache = PageCache::new(2);
+        assert!(cache.get((0, 8)).is_none());
+        cache.insert((0, 8), record(0));
+        cache.insert((0, 90), record(1));
+        assert!(cache.get((0, 8)).is_some(), "hit bumps recency");
+        cache.insert((0, 200), record(2));
+        assert_eq!(cache.len(), 2);
+        assert!(
+            cache.get((0, 90)).is_none(),
+            "LRU entry (untouched since insert) was evicted"
+        );
+        assert!(cache.get((0, 8)).is_some());
+        assert!(cache.get((0, 200)).is_some());
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn pinned_entries_survive_pressure() {
+        let mut cache = PageCache::new(2);
+        cache.insert((0, 8), record(0));
+        cache.pin((0, 8));
+        cache.insert((0, 90), record(1));
+        cache.insert((0, 200), record(2));
+        assert!(cache.get((0, 8)).is_some(), "pinned entry stays");
+        cache.unpin((0, 8));
+        cache.insert((1, 8), record(3));
+        cache.insert((1, 90), record(4));
+        assert!(
+            cache.get((0, 8)).is_none(),
+            "after unpin the entry is evictable again"
+        );
+    }
+
+    #[test]
+    fn all_pinned_admits_over_capacity() {
+        let mut cache = PageCache::new(1);
+        cache.insert((0, 8), record(0));
+        cache.pin((0, 8));
+        cache.insert((0, 90), record(1));
+        cache.pin((0, 90));
+        assert_eq!(cache.len(), 2, "pinned working set may exceed capacity");
+    }
+
+    #[test]
+    fn segment_eviction_and_zero_capacity() {
+        let mut cache = PageCache::new(4);
+        cache.insert((0, 8), record(0));
+        cache.insert((1, 8), record(1));
+        cache.evict_segment(0);
+        assert!(cache.get((0, 8)).is_none());
+        assert!(cache.get((1, 8)).is_some());
+
+        let mut disabled = PageCache::new(0);
+        disabled.insert((0, 8), record(0));
+        assert!(disabled.is_empty());
+        assert!(disabled.get((0, 8)).is_none());
+    }
+}

@@ -92,6 +92,26 @@ pub fn encode_record(record: &TrafficRecord) -> Vec<u8> {
     out
 }
 
+/// Reads just the `(location, period)` key from an encoded payload without
+/// decoding the bitmap — the segment store's index builder scans committed
+/// frames with this, so recovery cost is independent of bitmap size.
+///
+/// # Errors
+///
+/// [`StoreError::MalformedRecord`] if the payload is shorter than the
+/// fixed-width key prefix.
+pub fn peek_key(payload: &[u8]) -> Result<(LocationId, PeriodId), StoreError> {
+    if payload.len() < 20 {
+        return Err(StoreError::MalformedRecord {
+            reason: format!("{} byte payload", payload.len()),
+        });
+    }
+    Ok((
+        LocationId::new(le_u64(&payload[0..8])),
+        PeriodId::new(le_u32(&payload[8..12])),
+    ))
+}
+
 /// Decodes a record payload.
 ///
 /// # Errors

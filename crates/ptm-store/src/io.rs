@@ -77,6 +77,11 @@ pub struct StoreHooks {
     pub sync: SiteHandle,
     /// Fires on every backend `set_len` (rollback truncate) call.
     pub set_len: SiteHandle,
+    /// Fires on every segment-store manifest commit (v2 store only).
+    pub manifest: SiteHandle,
+    /// Fires on every segment seal — the footer index frame + trailer
+    /// written at rotation (v2 store only).
+    pub seal: SiteHandle,
 }
 
 impl StoreHooks {
@@ -85,13 +90,15 @@ impl StoreHooks {
         Self::default()
     }
 
-    /// Resolves the four `store.*` sites from a plan.
+    /// Resolves the `store.*` sites from a plan.
     pub fn from_plan(plan: &FaultPlan) -> Self {
         Self {
             write: plan.site(sites::STORE_WRITE),
             flush: plan.site(sites::STORE_FLUSH),
             sync: plan.site(sites::STORE_SYNC),
             set_len: plan.site(sites::STORE_SET_LEN),
+            manifest: plan.site(sites::STORE_MANIFEST),
+            seal: plan.site(sites::STORE_SEAL),
         }
     }
 
@@ -101,6 +108,8 @@ impl StoreHooks {
             || self.flush.is_active()
             || self.sync.is_active()
             || self.set_len.is_active()
+            || self.manifest.is_active()
+            || self.seal.is_active()
     }
 }
 
@@ -139,6 +148,16 @@ fn apply_control(action: FaultAction, what: &str) -> io::Result<()> {
         FaultAction::Short(_) | FaultAction::Corrupt(_) | FaultAction::Truncate => {
             Err(io::Error::other(format!("injected {what} fault")))
         }
+    }
+}
+
+/// Consults a non-stream fault site (manifest commit, segment seal) before
+/// the guarded operation runs. `Delay` pauses and proceeds; every other
+/// action fails the operation.
+pub(crate) fn check_site(handle: &SiteHandle, what: &str) -> io::Result<()> {
+    match handle.check() {
+        None => Ok(()),
+        Some(action) => apply_control(action, what),
     }
 }
 

@@ -17,6 +17,25 @@
 //! * [`io`] — the pluggable [`io::StorageIo`] backend the archive writes
 //!   through, with a fault-injecting decorator ([`io::HookedIo`]) wired to
 //!   [`ptm_fault`] for chaos testing (see `docs/FAULTS.md`).
+//!
+//! Storage engine v2 — the segmented archive (`docs/STORAGE.md`) — layers
+//! on top of the same codec and fault boundary:
+//!
+//! * [`segment`] — the [`segment::SegmentStore`]: writes rotate through
+//!   size-bounded segment files, sealed segments carry a footer
+//!   [`index::SegmentIndex`], and `open()` reads manifest + indexes instead
+//!   of replaying every record;
+//! * [`manifest`] — the CRC-checked [`manifest::Manifest`] naming the live
+//!   segment set, committed atomically (temp file + rename);
+//! * [`index`] — per-segment `location → period → frame offset` maps;
+//! * [`cache`] — the fixed-capacity [`cache::PageCache`] historical reads
+//!   go through (pin/unpin, deterministic LRU, hit/miss metrics);
+//! * [`compact`] — crash-safe background compaction: small or superseded
+//!   segments merge into one, published by a single manifest swap.
+//!
+//! The v1 [`Archive`] remains fully supported; [
+//! `segment::SegmentStore::open_or_migrate`] upgrades a v1 file into a
+//! segment directory in one shot.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,10 +45,20 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod archive;
+pub mod cache;
 pub mod codec;
+pub mod compact;
 pub mod crc32;
+pub mod index;
 pub mod io;
+pub mod manifest;
+pub mod segment;
 
 pub use archive::{Archive, RecoveredArchive, SyncPolicy};
+pub use cache::PageCache;
 pub use codec::StoreError;
+pub use compact::CompactionReport;
+pub use index::SegmentIndex;
 pub use io::{StorageIo, StoreHooks};
+pub use manifest::Manifest;
+pub use segment::{OpenedStore, SegmentStore, StoreOptions};

@@ -1,25 +1,35 @@
 #!/usr/bin/env bash
 # Micro-benchmark snapshot: runs the stub-criterion benches that this
-# repo tracks release-over-release and distills their medians into a
-# committed JSON file (BENCH_6.json by default).
+# repo tracks release-over-release and distills their medians into two
+# committed JSON files (BENCH_6.json and BENCH_7.json by default).
 #
-#   ./scripts/bench.sh [output.json]
+#   ./scripts/bench.sh [output.json] [storage-output.json]
 #
-# Tracked medians (ns per iteration):
+# Tracked medians (ns per iteration), first file:
 #   encoding/encode_10k_vehicles     vehicle encoding, 10k per iteration
 #   bitmap/and_join_10_mixed_sizes   expand + AND join across 10 bitmaps
 #   rpc/frame_roundtrip_4k_record    frame write + CRC-checked read back
 #   trace/ingest_untraced            loopback upload, tracing disabled
 #   trace/ingest_traced              loopback upload, full span tree on
 #
+# Second file (the storage-engine-v2 cold-start and read-path numbers):
+#   store/v1_open_100k               v1 full replay of a 100k-record archive
+#   store/v2_open_100k               v2 manifest+index open, same records
+#   store/read_hit                   historical read served by the page cache
+#   store/read_miss                  historical read walking index + disk
+#
 # The traced-vs-untraced pair is the disabled-path guarantee in numbers:
-# ingest_untraced must sit within noise of the pre-tracing baseline.
+# ingest_untraced must sit within noise of the pre-tracing baseline. The
+# v1-vs-v2 open pair is the O(index) startup guarantee: v2 must open the
+# same archive several times faster than a full replay.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_6.json}"
+store_out="${2:-BENCH_7.json}"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+store_raw="$(mktemp)"
+trap 'rm -f "$raw" "$store_raw"' EXIT
 
 echo "==> cargo bench -p ptm-bench (tracked subset)"
 cargo bench -p ptm-bench --bench micro -- encoding/encode_10k_vehicles | tee -a "$raw"
@@ -46,3 +56,25 @@ END {
 
 echo "==> wrote $out"
 cat "$out"
+
+echo "==> cargo bench -p ptm-bench --bench storage"
+cargo bench -p ptm-bench --bench storage | tee -a "$store_raw"
+
+awk -v out="$store_out" '
+/^bench: / { median[$2] = $4 }
+END {
+    n = split("store/v1_open_100k store/v2_open_100k " \
+              "store/read_hit store/read_miss", keys, " ")
+    printf "{\n  \"units\": \"median_ns_per_iter\"" > out
+    for (i = 1; i <= n; i++) {
+        if (!(keys[i] in median)) {
+            printf "bench.sh: no median captured for %s\n", keys[i] > "/dev/stderr"
+            exit 1
+        }
+        printf ",\n  \"%s\": %s", keys[i], median[keys[i]] > out
+    }
+    print "\n}" > out
+}' "$store_raw"
+
+echo "==> wrote $store_out"
+cat "$store_out"

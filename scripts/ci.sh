@@ -44,13 +44,20 @@ timeout 300 cargo test --quiet -p ptm-integration-tests --test shard_stress
 echo "==> chaos suite (bounded, fixed seeds)"
 timeout 300 cargo test --quiet -p ptm-integration-tests --test chaos
 
+# Segment-lifecycle kill storms, called out separately so a storage-engine
+# regression fails with its own banner: kills landing inside rotation and
+# compaction must lose no acked record and answer bit-exactly after reopen.
+echo "==> storage-engine kill storms (bounded, fixed seeds)"
+timeout 300 cargo test --quiet -p ptm-integration-tests --test chaos kill_during
+
 # Traced loopback smoke: a real daemon with tracing on, one upload and one
 # query against it, then the span JSONL checked against the schema
 # documented in docs/OBSERVABILITY.md. The sample is archived as a CI
 # artifact (out/trace-sample.jsonl) so a schema change shows up in review.
 echo "==> traced loopback smoke"
 ptm="target/release/ptm"
-rm -f out/trace-sample.jsonl out/trace-smoke.ptma
+rm -f out/trace-sample.jsonl
+rm -rf out/trace-smoke.ptma
 "$ptm" serve --archive out/trace-smoke.ptma --addr 127.0.0.1:17171 \
     --duration-secs 4 --trace out/trace-sample.jsonl --quiet &
 serve_pid=$!
@@ -60,6 +67,26 @@ serve_pid=$!
 "$ptm" query --addr 127.0.0.1:17171 --kind point --location 5 --periods 3 --quiet
 wait "$serve_pid"
 "$ptm" trace-validate --file out/trace-sample.jsonl
-rm -f out/trace-smoke.ptma
+
+# Cold-start smoke for storage engine v2: populate an archive with enough
+# uploads to rotate a few segments, kill the daemon, reopen with tracing on,
+# and assert the startup went through the indexed path (a recorded
+# `store.index.load` span) instead of a full replay.
+echo "==> cold-start smoke (O(index) reopen)"
+rm -f out/trace-coldstart.jsonl
+rm -rf out/coldstart.ptma
+"$ptm" serve --archive out/coldstart.ptma --addr 127.0.0.1:17172 \
+    --rotate-bytes 1024 --duration-secs 4 --quiet &
+serve_pid=$!
+"$ptm" upload --addr 127.0.0.1:17172 --location 7 --periods 12 \
+    --vehicles 400 --persistent 100 --quiet
+wait "$serve_pid"
+# The shutdown checkpoint seals the tail, so this reopen must go through
+# sealed-index loads only — no record replay.
+"$ptm" serve --archive out/coldstart.ptma --addr 127.0.0.1:17172 \
+    --duration-secs 1 --trace out/trace-coldstart.jsonl --quiet
+grep -q 'store.index.load' out/trace-coldstart.jsonl \
+    || { echo "ci: cold start did not record a store.index.load span" >&2; exit 1; }
+rm -rf out/trace-smoke.ptma out/coldstart.ptma
 
 echo "ci: all green"

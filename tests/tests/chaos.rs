@@ -50,8 +50,34 @@ fn lock() -> MutexGuard<'static, ()> {
 fn temp_archive(name: &str) -> PathBuf {
     let mut path = std::env::temp_dir();
     path.push(format!("ptm-chaos-{}-{name}.ptma", std::process::id()));
+    // The path may hold a leftover v1 file or a v2 segment directory.
     let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&path);
     path
+}
+
+fn cleanup_archive(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_dir_all(path);
+}
+
+/// Every `seg-*.ptms` file in the archive directory, lowest id first (the
+/// zero-padded names sort numerically). The last entry is the active
+/// segment — crash simulations tear its tail, exactly where a dying
+/// process would leave a half-written frame.
+fn segment_files(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("archive dir")
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|path| {
+            path.file_name()
+                .and_then(|name| name.to_str())
+                .is_some_and(|name| name.starts_with("seg-") && name.ends_with(".ptms"))
+        })
+        .collect();
+    segments.sort();
+    segments
 }
 
 /// A small deterministic campaign (chaos runs restart daemons repeatedly,
@@ -250,13 +276,14 @@ fn run_storm(seed: u64) {
         server.shutdown().expect("shutdown");
     }
 
-    // Crash simulation: a torn frame header lands on the tail of the file,
-    // as if the process died mid-append.
+    // Crash simulation: a torn frame header lands on the tail of the
+    // active segment, as if the process died mid-append.
     {
         use std::io::Write as _;
+        let active = segment_files(&path).pop().expect("active segment");
         let mut file = std::fs::OpenOptions::new()
             .append(true)
-            .open(&path)
+            .open(active)
             .expect("open for tearing");
         file.write_all(&[0x40, 0x00, 0x00, 0x00, 0xAB, 0xCD])
             .expect("torn tail");
@@ -318,7 +345,7 @@ fn run_storm(seed: u64) {
         );
         server.shutdown().expect("shutdown");
     }
-    std::fs::remove_file(&path).ok();
+    cleanup_archive(&path);
 }
 
 #[test]
@@ -442,7 +469,7 @@ fn overload_burst_sheds_explicitly_and_answers_the_rest_exactly() {
         .expect("post-burst query");
     assert_eq!(over_wire.to_bits(), expected.to_bits());
     server.shutdown().expect("shutdown");
-    std::fs::remove_file(&path).ok();
+    cleanup_archive(&path);
 }
 
 // ---------------------------------------------------------------------------
@@ -584,7 +611,239 @@ fn degraded_mode_sheds_uploads_serves_queries_then_recovers() {
         RpcClient::connect(server.local_addr(), ClientConfig::default()).expect("client");
     assert_estimates_exact(&mut client, &reference, &[21], 2, "post-degraded recovery");
     server.shutdown().expect("shutdown");
-    std::fs::remove_file(&path).ok();
+    cleanup_archive(&path);
+}
+
+// ---------------------------------------------------------------------------
+// 4. Segment-lifecycle storms: kills landing inside rotation (seal) and
+//    compaction (manifest swap) must never lose an acked record.
+// ---------------------------------------------------------------------------
+
+/// Server config for the segment-lifecycle storms: a tiny rotation
+/// threshold (frames are ~150 bytes, so every third commit rotates) and,
+/// when `compact_ms` is set, an aggressive maintenance cadence.
+fn lifecycle_server_config(
+    plan: Option<&FaultPlan>,
+    rotate_bytes: u64,
+    compact_ms: u64,
+) -> ServerConfig {
+    ServerConfig {
+        rotate_bytes,
+        compact_interval: Duration::from_millis(compact_ms),
+        ..storm_server_config(plan, false)
+    }
+}
+
+fn run_rotation_storm(seed: u64) {
+    let path = temp_archive(&format!("rotate-{seed}"));
+    // The first two seal attempts fail: those rotations defer (the commit
+    // that triggered them still acks) and retry on a later commit.
+    let plan = FaultPlan::builder(seed)
+        .rule(
+            sites::STORE_SEAL,
+            Rule::every(1, 1, FaultAction::Error(io::ErrorKind::Other)).times(2),
+        )
+        .build()
+        .expect("rotation plan");
+    let locations: Vec<u64> = vec![41, 42];
+    let all: Vec<TrafficRecord> = locations
+        .iter()
+        .flat_map(|&loc| small_campaign(loc, 4, seed.wrapping_mul(77) + loc))
+        .collect();
+
+    // Phase 1: upload one record at a time so every commit is a rotation
+    // candidate; every upload must end acked despite the failing seals.
+    {
+        let server = RpcServer::start(
+            "127.0.0.1:0",
+            &path,
+            lifecycle_server_config(Some(&plan), 400, 0),
+        )
+        .expect("start");
+        let mut client =
+            RpcClient::connect(server.local_addr(), storm_client_config(seed)).expect("client");
+        for record in &all {
+            upload_acked(&mut client, record, &format!("rotation seed {seed}"));
+        }
+        assert!(
+            !server.degraded(),
+            "deferred rotations must not trip degraded mode (seed {seed})"
+        );
+        server.shutdown().expect("shutdown");
+    }
+
+    // Crash simulation for a kill mid-rotation: the last sealed segment
+    // loses half its trailer (as if the process died inside seal) and the
+    // active segment gains a torn frame (as if it died mid-append).
+    {
+        use std::io::Write as _;
+        let segments = segment_files(&path);
+        assert!(
+            segments.len() >= 3,
+            "tiny threshold forces rotations (seed {seed}): {segments:?}"
+        );
+        let sealed = &segments[segments.len() - 2];
+        let len = std::fs::metadata(sealed).expect("sealed metadata").len();
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(sealed)
+            .expect("open sealed for tearing");
+        file.set_len(len - 7).expect("chop trailer");
+        let mut active = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&segments[segments.len() - 1])
+            .expect("open active for tearing");
+        active
+            .write_all(&[0x40, 0x00, 0x00, 0x00, 0xAB])
+            .expect("torn tail");
+    }
+
+    // Phase 2: a clean daemon reopens the damaged directory. The chopped
+    // trailer forces the scan fallback; no acked record may be missing and
+    // every estimate must match the in-process reference bit for bit.
+    {
+        let server = RpcServer::start("127.0.0.1:0", &path, lifecycle_server_config(None, 400, 0))
+            .expect("restart");
+        let replay = server.replay_report();
+        assert_eq!(
+            replay.records,
+            all.len(),
+            "zero acked-record loss across the rotation kill (seed {seed})"
+        );
+        assert!(
+            replay.torn_bytes > 0,
+            "the torn active tail must be detected (seed {seed})"
+        );
+        let reference = reference_for(&all);
+        let mut client =
+            RpcClient::connect(server.local_addr(), storm_client_config(seed)).expect("client");
+        assert_estimates_exact(
+            &mut client,
+            &reference,
+            &locations,
+            4,
+            &format!("rotation seed {seed} post-recovery"),
+        );
+        server.shutdown().expect("shutdown");
+    }
+    cleanup_archive(&path);
+}
+
+#[test]
+fn kill_during_rotation_storm_loses_no_acked_record() {
+    let _guard = lock();
+    for seed in [5, 71] {
+        run_rotation_storm(seed);
+    }
+}
+
+fn run_compaction_storm(seed: u64) {
+    let path = temp_archive(&format!("compact-{seed}"));
+    // Two manifest commits fail mid-storm: a rotation's commit failure is
+    // swallowed (the reopen scan reconciles it) and a compaction's rolls
+    // the whole merge back. The budget then runs dry, so a later
+    // compaction pass succeeds.
+    let plan = FaultPlan::builder(seed)
+        .rule(
+            sites::STORE_MANIFEST,
+            Rule::every(2, 2, FaultAction::Error(io::ErrorKind::Other)).times(2),
+        )
+        .build()
+        .expect("compaction plan");
+    let locations: Vec<u64> = vec![51, 52];
+    let all: Vec<TrafficRecord> = locations
+        .iter()
+        .flat_map(|&loc| small_campaign(loc, 4, seed.wrapping_mul(131) + loc))
+        .collect();
+    let reference = reference_for(&all);
+
+    ptm_obs::enable_metrics();
+    let runs_before = ptm_obs::registry().counter("store.compact.runs").get();
+
+    // Phase 1: per-record commits against a 400-byte rotation threshold
+    // fragment the archive while the maintenance thread compacts every
+    // 40 ms under manifest fire.
+    {
+        let server = RpcServer::start(
+            "127.0.0.1:0",
+            &path,
+            lifecycle_server_config(Some(&plan), 400, 40),
+        )
+        .expect("start");
+        let mut client =
+            RpcClient::connect(server.local_addr(), storm_client_config(seed)).expect("client");
+        for record in &all {
+            upload_acked(&mut client, record, &format!("compaction seed {seed}"));
+        }
+        // Give the maintenance thread a few intervals: at least one
+        // compaction must land once the injected faults are spent.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while ptm_obs::registry().counter("store.compact.runs").get() == runs_before {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "compaction never succeeded (seed {seed})"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(!server.degraded(), "compaction faults stay internal");
+        // Reads through the compacted layout stay bit-exact while the
+        // daemon is live.
+        assert_estimates_exact(
+            &mut client,
+            &reference,
+            &locations,
+            4,
+            &format!("compaction seed {seed} live"),
+        );
+        server.shutdown().expect("shutdown");
+    }
+    ptm_obs::set_metrics_enabled(false);
+
+    // Crash simulation: a kill right after compaction, mid-append — the
+    // active segment gets a torn frame tail.
+    {
+        use std::io::Write as _;
+        let active = segment_files(&path).pop().expect("active segment");
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(active)
+            .expect("open for tearing");
+        file.write_all(&[0x40, 0x00, 0x00, 0x00, 0xAB, 0xCD])
+            .expect("torn tail");
+    }
+
+    // Phase 2: clean reopen. The merged layout plus torn tail must still
+    // hold every acked record and answer exactly.
+    {
+        let server = RpcServer::start("127.0.0.1:0", &path, lifecycle_server_config(None, 400, 0))
+            .expect("restart");
+        let replay = server.replay_report();
+        assert_eq!(
+            replay.records,
+            all.len(),
+            "zero acked-record loss across the compaction kill (seed {seed})"
+        );
+        assert!(replay.torn_bytes > 0, "torn tail detected (seed {seed})");
+        let mut client =
+            RpcClient::connect(server.local_addr(), storm_client_config(seed)).expect("client");
+        assert_estimates_exact(
+            &mut client,
+            &reference,
+            &locations,
+            4,
+            &format!("compaction seed {seed} post-recovery"),
+        );
+        server.shutdown().expect("shutdown");
+    }
+    cleanup_archive(&path);
+}
+
+#[test]
+fn kill_during_compaction_storm_loses_no_acked_record() {
+    let _guard = lock();
+    for seed in [13, 902] {
+        run_compaction_storm(seed);
+    }
 }
 
 // ---------------------------------------------------------------------------

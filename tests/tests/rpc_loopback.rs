@@ -15,7 +15,7 @@ use ptm_net::CentralServer;
 use ptm_rpc::{
     ClientConfig, ClientError, ErrorCode, RpcClient, RpcServer, ServerConfig, PROTOCOL_VERSION,
 };
-use ptm_store::Archive;
+use ptm_store::{SegmentStore, StoreOptions};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::path::PathBuf;
@@ -33,8 +33,15 @@ fn lock() -> MutexGuard<'static, ()> {
 fn temp_archive(name: &str) -> PathBuf {
     let mut path = std::env::temp_dir();
     path.push(format!("ptm-rpc-it-{}-{name}.ptma", std::process::id()));
+    // The path may hold a leftover v1 file or a v2 segment directory.
     let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&path);
     path
+}
+
+fn cleanup_archive(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_dir_all(path);
 }
 
 fn server_config() -> ServerConfig {
@@ -140,7 +147,7 @@ fn concurrent_uploads_match_in_process_estimates_bit_for_bit() {
     assert_eq!(over_wire.to_bits(), in_process.to_bits(), "p2p");
 
     server.shutdown().expect("shutdown");
-    std::fs::remove_file(&path).ok();
+    cleanup_archive(&path);
 }
 
 #[test]
@@ -167,7 +174,7 @@ fn restart_replays_archive_and_answers_identically() {
     let second_answer = client.query_point(location, &periods).expect("query");
     assert_eq!(first_answer.to_bits(), second_answer.to_bits());
     server.shutdown().expect("shutdown");
-    std::fs::remove_file(&path).ok();
+    cleanup_archive(&path);
 }
 
 #[test]
@@ -193,18 +200,18 @@ fn retry_after_server_killed_mid_campaign_leaves_no_duplicate_frames() {
     assert_eq!(summary.duplicates, 4, "the acked prefix is idempotent");
     server.shutdown().expect("shutdown");
 
-    // The archive holds exactly one frame per record — no duplicates.
-    let recovered = Archive::open(&path).expect("open");
-    assert_eq!(recovered.records.len(), records.len());
-    let mut keys: Vec<_> = recovered
-        .records
-        .iter()
-        .map(|r| (r.location().get(), r.period().get()))
-        .collect();
-    keys.sort_unstable();
-    keys.dedup();
-    assert_eq!(keys.len(), records.len(), "every archived frame is unique");
-    std::fs::remove_file(&path).ok();
+    // The store holds exactly one live frame per record — no duplicates
+    // (a re-archived duplicate would supersede, not coexist, so the key
+    // count equals the record count exactly).
+    let opened = SegmentStore::open_or_migrate(&path, StoreOptions::default()).expect("open");
+    let store = opened.store;
+    assert_eq!(store.record_count(), records.len());
+    let mut keys = 0usize;
+    for location in store.locations() {
+        keys += store.periods_for_location(location).len();
+    }
+    assert_eq!(keys, records.len(), "every archived frame is unique");
+    cleanup_archive(&path);
 }
 
 #[test]
@@ -229,7 +236,7 @@ fn client_retries_transparently_after_idle_disconnect() {
         .expect("upload after disconnect");
     assert_eq!(summary.accepted as usize, records.len());
     server.shutdown().expect("shutdown");
-    std::fs::remove_file(&path).ok();
+    cleanup_archive(&path);
 }
 
 #[test]
@@ -289,7 +296,7 @@ fn corrupt_and_oversized_frames_close_the_connection_not_the_daemon() {
     let mut client = RpcClient::connect(addr, client_config()).expect("client");
     assert_eq!(client.ping().expect("ping").version, PROTOCOL_VERSION);
     server.shutdown().expect("shutdown");
-    std::fs::remove_file(&path).ok();
+    cleanup_archive(&path);
 }
 
 #[test]
@@ -317,5 +324,5 @@ fn conflicting_record_is_fatal_not_retried() {
         .expect("volume");
     assert!(vol.is_finite());
     server.shutdown().expect("shutdown");
-    std::fs::remove_file(&path).ok();
+    cleanup_archive(&path);
 }

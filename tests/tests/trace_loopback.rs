@@ -32,8 +32,15 @@ fn lock() -> MutexGuard<'static, ()> {
 fn temp_archive(name: &str) -> PathBuf {
     let mut path = std::env::temp_dir();
     path.push(format!("ptm-trace-it-{}-{name}.ptma", std::process::id()));
+    // The path may hold a leftover v1 file or a v2 segment directory.
     let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&path);
     path
+}
+
+fn cleanup_archive(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_dir_all(path);
 }
 
 /// A `Write` sink the test can read back after the daemon wrote to it.
@@ -177,7 +184,7 @@ fn traced_upload_and_query_each_yield_one_connected_span_tree() {
     server.shutdown().expect("clean shutdown");
     ptm_obs::set_tracing_enabled(false);
     ptm_obs::set_trace_writer(None);
-    let _ = std::fs::remove_file(&archive);
+    cleanup_archive(&archive);
 
     let spans = parse_spans(&sink.take_string());
     let mut by_trace: BTreeMap<String, Vec<Span>> = BTreeMap::new();
@@ -278,7 +285,7 @@ fn stats_snapshot_reports_shards_percentiles_and_recorder() {
     server.shutdown().expect("clean shutdown");
     ptm_obs::set_tracing_enabled(false);
     ptm_obs::set_metrics_enabled(false);
-    let _ = std::fs::remove_file(&archive);
+    cleanup_archive(&archive);
 
     assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
     assert!(json.contains("\"records\":2"), "{json}");
@@ -318,7 +325,7 @@ fn untraced_clients_still_get_local_server_traces() {
     server.shutdown().expect("clean shutdown");
     ptm_obs::set_tracing_enabled(false);
     ptm_obs::set_trace_writer(None);
-    let _ = std::fs::remove_file(&archive);
+    cleanup_archive(&archive);
 
     let spans = parse_spans(&sink.take_string());
     let dispatch = spans
