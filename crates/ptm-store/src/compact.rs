@@ -9,11 +9,14 @@
 //! fault) at any point leaves the previous segment set fully intact and
 //! the merged file an orphan the next `open()` sweeps away.
 //!
-//! Correctness of the swap: the merged segment's id exceeds every victim's
-//! id, and at compaction time its keys are exactly the victims' live keys —
-//! disjoint from every surviving segment (a key can be live in only one
-//! segment). The ascending-id, active-last lookup rebuild therefore
-//! resolves every key identically before and after the swap.
+//! Correctness of the swap: at compaction time the merged segment's keys
+//! are exactly the victims' live keys — disjoint from every surviving
+//! segment (a key can be live in only one segment). The merged segment's
+//! *id* is freshly allocated (it exceeds even the active segment's), but
+//! its **supersession rank** is the maximum victim rank: the reopen
+//! lookup rebuild orders segments by rank, so frames appended to the
+//! active segment after the merge — which carry a higher rank once that
+//! segment seals — keep superseding the merged copies across a restart.
 
 use crate::archive::build_io;
 use crate::codec::StoreError;
@@ -95,7 +98,15 @@ impl SegmentStore {
         }
 
         let new_id = self.manifest.next_segment_id;
-        let merged = match self.write_merged_segment(&victims, new_id) {
+        // The merged frames are copies of the victims' — they must rank
+        // exactly where the newest victim ranked, below any segment whose
+        // appends postdate this merge.
+        let rank = victims
+            .iter()
+            .filter_map(|id| self.sealed.get(id).map(|s| s.rank))
+            .max()
+            .unwrap_or(new_id);
+        let merged = match self.write_merged_segment(&victims, new_id, rank) {
             Ok(merged) => merged,
             Err(err) => {
                 let _ =
@@ -121,6 +132,7 @@ impl SegmentStore {
                 id: new_id,
                 sealed: true,
                 records: merged.records,
+                rank,
             },
         );
         manifest.next_segment_id = new_id + 1;
@@ -183,6 +195,7 @@ impl SegmentStore {
         &self,
         victims: &[u64],
         new_id: u64,
+        rank: u64,
     ) -> Result<SealedSegment, StoreError> {
         // Gather live keys per victim, ordered by (segment, location,
         // period) for a deterministic merged layout.
@@ -254,6 +267,7 @@ impl SegmentStore {
             index,
             records,
             bytes,
+            rank,
         })
     }
 }
@@ -359,6 +373,52 @@ mod tests {
         assert!(report.dropped_frames >= 5, "dead frames must be dropped");
         assert_eq!(store.record_count(), records.len());
         for record in &records {
+            let got = store
+                .get(record.location(), record.period())
+                .expect("read")
+                .expect("present");
+            assert_eq!(*got, *record);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_after_compaction_supersedes_across_reopen() {
+        let dir = temp_dir("post-compact-supersede");
+        let (mut store, records) = fragmented_store(&dir, 400);
+        let report = store.compact().expect("compact");
+        assert!(report.new_segment.is_some(), "setup must actually merge");
+
+        // The merged segment's id exceeds the active segment's. Supersede
+        // a key that was copied into the merged segment, then seal the
+        // active segment behind it: the newer frame now lives in a
+        // *lower-id* (but higher-ranked) sealed segment.
+        let altered = TrafficRecord::new(
+            records[0].location(),
+            records[0].period(),
+            BitmapSize::new(1024).expect("pow2"),
+        );
+        assert_ne!(altered, records[0], "the superseding frame must differ");
+        store.append_all([&altered]).expect("supersede");
+        store.checkpoint().expect("seal the superseding frame");
+        let got = store
+            .get(altered.location(), altered.period())
+            .expect("read")
+            .expect("present");
+        assert_eq!(*got, altered, "live lookup sees the newest frame");
+
+        // Recovery must be exact: the reopen rebuild may not resurrect
+        // the merged segment's stale copy just because its id is larger.
+        drop(store);
+        let mut store = SegmentStore::open(&dir, StoreOptions::default())
+            .expect("reopen")
+            .store;
+        let got = store
+            .get(altered.location(), altered.period())
+            .expect("read")
+            .expect("present");
+        assert_eq!(*got, altered, "newest frame still wins after reopen");
+        for record in records.iter().skip(1) {
             let got = store
                 .get(record.location(), record.period())
                 .expect("read")

@@ -3,12 +3,19 @@
 //! One `MANIFEST` file per store directory:
 //!
 //! ```text
-//! "PTMM" (4) | version u16 = 1 | reserved u16
+//! "PTMM" (4) | version u16 = 2 | reserved u16
 //! u64 next segment id
 //! u32 segment count
 //! per segment: u64 id | u8 sealed | u64 committed record count
+//!              u64 supersession rank
 //! u32 crc32 of everything above
 //! ```
+//!
+//! The **rank** orders segments by frame recency for the reopen lookup
+//! rebuild. Rotation-sealed segments rank at their own id; a compacted
+//! segment inherits its newest victim's rank, because its frames are
+//! copies of data appended back then — a merged segment must never
+//! outrank a segment whose appends postdate the compaction's victims.
 //!
 //! Commits are atomic: the new manifest is written to a sibling temp file,
 //! fsynced, then renamed over `MANIFEST`. A crash (or injected
@@ -26,7 +33,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 const MAGIC: [u8; 4] = *b"PTMM";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
 /// The manifest file name inside a store directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
@@ -45,6 +52,12 @@ pub struct SegmentMeta {
     /// segments; a floor for the active one (appends since the last
     /// rotation are recovered by scanning).
     pub records: u64,
+    /// Supersession rank: the reopen lookup rebuild resolves duplicate
+    /// keys by ascending rank (active segment last), so higher-ranked
+    /// frames win. Equal to `id` for rotation-sealed segments; a
+    /// compacted segment inherits the maximum rank of its victims, which
+    /// keeps it *below* every segment whose appends postdate the merge.
+    pub rank: u64,
 }
 
 /// The live segment set plus the id allocator.
@@ -82,7 +95,7 @@ impl Manifest {
 
     /// Serializes the manifest, CRC included.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(20 + self.segments.len() * 17);
+        let mut out = Vec::with_capacity(20 + self.segments.len() * 25);
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
         out.extend_from_slice(&0u16.to_le_bytes());
@@ -92,6 +105,7 @@ impl Manifest {
             out.extend_from_slice(&segment.id.to_le_bytes());
             out.push(u8::from(segment.sealed));
             out.extend_from_slice(&segment.records.to_le_bytes());
+            out.extend_from_slice(&segment.rank.to_le_bytes());
         }
         let crc = crc32(&out);
         out.extend_from_slice(&crc.to_le_bytes());
@@ -122,7 +136,7 @@ impl Manifest {
         let next_segment_id = le_u64(&body[8..16]);
         let count = le_u32(&body[16..20]) as usize;
         let entries = &body[20..];
-        if entries.len() != count * 17 {
+        if entries.len() != count * 25 {
             return Err(StoreError::MalformedRecord {
                 reason: format!(
                     "manifest claims {count} segments but carries {} entry bytes",
@@ -131,11 +145,12 @@ impl Manifest {
             });
         }
         let mut segments = Vec::with_capacity(count);
-        for chunk in entries.chunks_exact(17) {
+        for chunk in entries.chunks_exact(25) {
             segments.push(SegmentMeta {
                 id: le_u64(&chunk[0..8]),
                 sealed: chunk[8] != 0,
                 records: le_u64(&chunk[9..17]),
+                rank: le_u64(&chunk[17..25]),
             });
         }
         let ids_ascend = segments.windows(2).all(|w| w[0].id < w[1].id);
@@ -143,6 +158,15 @@ impl Manifest {
         if !ids_ascend || !ids_allocated {
             return Err(StoreError::MalformedRecord {
                 reason: "manifest segment ids out of order or unallocated".into(),
+            });
+        }
+        let mut ranks: Vec<u64> = segments.iter().map(|s| s.rank).collect();
+        ranks.sort_unstable();
+        let ranks_unique = ranks.windows(2).all(|w| w[0] < w[1]);
+        let ranks_allocated = ranks.iter().all(|r| *r < next_segment_id);
+        if !ranks_unique || !ranks_allocated {
+            return Err(StoreError::MalformedRecord {
+                reason: "manifest segment ranks duplicated or unallocated".into(),
             });
         }
         Ok(Self {
@@ -215,11 +239,13 @@ mod tests {
                     id: 0,
                     sealed: true,
                     records: 120,
+                    rank: 0,
                 },
                 SegmentMeta {
                     id: 2,
                     sealed: false,
                     records: 5,
+                    rank: 2,
                 },
             ],
         }
@@ -263,6 +289,21 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_or_unallocated_ranks_rejected() {
+        let mut manifest = sample();
+        manifest.segments[0].rank = 2;
+        assert!(
+            Manifest::decode(&manifest.encode()).is_err(),
+            "two segments must never share a supersession rank"
+        );
+        manifest.segments[0].rank = 7;
+        assert!(
+            Manifest::decode(&manifest.encode()).is_err(),
+            "ranks come from the id allocator and must stay below it"
+        );
+    }
+
+    #[test]
     fn commit_then_load() {
         let dir = temp_dir("commit");
         assert!(Manifest::load(&dir).expect("empty load").is_none());
@@ -285,6 +326,7 @@ mod tests {
                 id: 0,
                 sealed: false,
                 records: 0,
+                rank: 0,
             }],
         };
         old.commit(&dir, &SiteHandle::disabled()).expect("seed");

@@ -123,6 +123,10 @@ pub(crate) struct SealedSegment {
     pub(crate) records: u64,
     /// File length in bytes.
     pub(crate) bytes: u64,
+    /// Supersession rank (see [`SegmentMeta::rank`]): the lookup rebuild
+    /// resolves duplicate keys by ascending rank, not raw id, because a
+    /// compacted segment's id exceeds segments holding *newer* frames.
+    pub(crate) rank: u64,
 }
 
 /// The write head: one unsealed segment with v1-style buffered commits.
@@ -321,6 +325,27 @@ impl ActiveSegment {
         self.committed_len += footer.len() as u64;
         Ok(())
     }
+
+    /// Truncates a just-written footer back off, returning the segment to
+    /// active duty — the undo of [`ActiveSegment::seal`] for a rotation
+    /// that could not be published. Wedges on a failed truncate, exactly
+    /// like the other rollback paths.
+    fn unseal(&mut self, committed_len: u64) {
+        match self.io.set_len(committed_len) {
+            Ok(()) => self.committed_len = committed_len,
+            Err(err) => {
+                self.wedged = true;
+                ptm_obs::counter!("store.recovery.wedged").inc();
+                ptm_obs::gauge!("store.archive.wedged").set(1);
+                ptm_obs::error!(
+                    "store.archive",
+                    "unseal truncate failed; store wedged until reopen";
+                    segment = self.id,
+                    error = format!("{err}")
+                );
+            }
+        }
+    }
 }
 
 /// What scanning a segment file found.
@@ -447,8 +472,12 @@ fn load_sealed_index(path: &Path) -> Result<Option<(SegmentIndex, u64)>, StoreEr
         return Ok(None);
     }
     let index_offset = le_u64(&trailer[0..8]);
-    if index_offset < HEADER_LEN || index_offset + 8 + TRAILER_LEN > file_len {
-        return Ok(None);
+    // checked_add: a corrupt trailer can carry an offset near u64::MAX,
+    // and a wrapped sum here would pass validation and turn the scan
+    // fallback into a hard open() failure.
+    match index_offset.checked_add(8 + TRAILER_LEN) {
+        Some(end) if index_offset >= HEADER_LEN && end <= file_len => {}
+        _ => return Ok(None),
     }
     file.seek(SeekFrom::Start(index_offset))?;
     let mut frame_header = [0u8; 8];
@@ -562,6 +591,7 @@ impl SegmentStore {
                             index,
                             records,
                             bytes,
+                            rank: meta.rank,
                         },
                     );
                     continue;
@@ -582,6 +612,7 @@ impl SegmentStore {
                                 index,
                                 records,
                                 bytes,
+                                rank: meta.rank,
                             },
                         );
                         for slot in &mut manifest.segments {
@@ -622,6 +653,7 @@ impl SegmentStore {
                     id,
                     sealed: false,
                     records: 0,
+                    rank: id,
                 });
                 manifest_dirty = true;
                 active
@@ -866,11 +898,18 @@ impl SegmentStore {
     }
 
     /// Seals the active segment and swings the write head to a fresh one.
-    /// Entirely best-effort: every failure mode leaves a state the scanning
-    /// recovery in [`SegmentStore::open`] repairs, so a failed rotation
-    /// never un-acks committed data.
+    /// Entirely best-effort: every failure mode either defers the rotation
+    /// (the footer is truncated back off and the segment keeps accepting
+    /// appends) or wedges the store, so a failed rotation never un-acks
+    /// committed data.
+    ///
+    /// Ordering is load-bearing: the new segment file is created and the
+    /// manifest naming it is committed *before* the write head swings.
+    /// Acking appends into a segment the durable manifest does not own
+    /// would hand them to `open()`'s orphan sweep on the next start.
     fn rotate(&mut self) {
         let _s = ptm_obs::tspan!("store.segment.rotate");
+        let unsealed_len = self.active.committed_len;
         if let Err(err) = self.active.seal(&self.opts.hooks) {
             ptm_obs::counter!("store.segment.seal_failures").inc();
             ptm_obs::warn!("store.archive", "segment seal failed; rotation deferred";
@@ -881,20 +920,46 @@ impl SegmentStore {
         let new_active = match ActiveSegment::create(&self.dir, new_id, &self.opts.hooks) {
             Ok(active) => active,
             Err(err) => {
-                // The old segment is sealed on disk; appending past its
-                // footer would be invisible to recovery. Refuse appends
-                // until a reopen rebuilds the write head.
-                self.active.wedged = true;
-                ptm_obs::counter!("store.recovery.wedged").inc();
-                ptm_obs::gauge!("store.archive.wedged").set(1);
-                ptm_obs::error!("store.archive",
-                    "segment create after seal failed; store wedged until reopen";
+                ptm_obs::counter!("store.segment.rotation_deferrals").inc();
+                ptm_obs::warn!("store.archive",
+                    "segment create after seal failed; rotation deferred";
                     segment = new_id, error = err.to_string());
+                let _ = std::fs::remove_file(self.dir.join(segment_file_name(new_id)));
+                self.active.unseal(unsealed_len);
                 return;
             }
         };
+        let mut manifest = self.manifest.clone();
+        let records = self.active.committed_records;
+        for slot in &mut manifest.segments {
+            if slot.id == self.active.id {
+                slot.sealed = true;
+                slot.records = records;
+            }
+        }
+        manifest.next_segment_id = new_id + 1;
+        manifest.segments.push(SegmentMeta {
+            id: new_id,
+            sealed: false,
+            records: 0,
+            rank: new_id,
+        });
+        if let Err(err) = manifest.commit(&self.dir, &self.opts.hooks.manifest) {
+            // Unpublished: the new file is an orphan the next open would
+            // sweep, so nothing may be acked into it. Unseal the old
+            // segment and keep writing there; rotation retries on a later
+            // flush.
+            ptm_obs::counter!("store.segment.rotation_deferrals").inc();
+            ptm_obs::warn!("store.archive",
+                "manifest commit failed; rotation deferred";
+                segment = self.active.id, error = err.to_string());
+            drop(new_active);
+            let _ = std::fs::remove_file(self.dir.join(segment_file_name(new_id)));
+            self.active.unseal(unsealed_len);
+            return;
+        }
         let retired = std::mem::replace(&mut self.active, new_active);
-        let records = retired.committed_records;
+        let rank = retired.id;
         self.sealed.insert(
             retired.id,
             SealedSegment {
@@ -902,30 +967,13 @@ impl SegmentStore {
                 index: retired.index,
                 records,
                 bytes: retired.committed_len,
+                rank,
             },
         );
-        for slot in &mut self.manifest.segments {
-            if slot.id == retired.id {
-                slot.sealed = true;
-                slot.records = records;
-            }
-        }
-        self.manifest.next_segment_id = new_id + 1;
-        self.manifest.segments.push(SegmentMeta {
-            id: new_id,
-            sealed: false,
-            records: 0,
-        });
+        self.manifest = manifest;
         ptm_obs::counter!("store.segment.rotations").inc();
         ptm_obs::info!("store.archive", "segment rotated";
             sealed_segment = retired.id, new_segment = new_id, records = records);
-        if let Err(err) = self.manifest.commit(&self.dir, &self.opts.hooks.manifest) {
-            // The stale manifest still names the retired segment as
-            // active; reopen-time scanning spots the footer and repairs
-            // it, so this is a deferral, not a loss.
-            ptm_obs::warn!("store.archive", "manifest commit after rotation failed";
-                error = err.to_string());
-        }
     }
 
     /// Reads the live record for `(location, period)` through the page
@@ -1027,13 +1075,18 @@ impl SegmentStore {
         Ok(payload)
     }
 
-    /// Rebuilds the store-wide lookup from segment indexes, ascending id
-    /// with the active segment last — later segments supersede earlier
-    /// frames for the same key.
+    /// Rebuilds the store-wide lookup from segment indexes, ascending
+    /// *rank* with the active segment last — higher-ranked segments
+    /// supersede earlier frames for the same key. Rank, not raw id: a
+    /// compacted segment's id exceeds the id of the segment that was
+    /// active during the merge, but its frames are older than anything
+    /// appended there afterwards.
     fn rebuild_lookup(&mut self) {
         self.lookup.clear();
         self.location_set.clear();
-        for (id, segment) in &self.sealed {
+        let mut by_rank: Vec<(&u64, &SealedSegment)> = self.sealed.iter().collect();
+        by_rank.sort_by_key(|(id, segment)| (segment.rank, **id));
+        for (id, segment) in by_rank {
             for (location, entry) in segment.index.iter() {
                 self.lookup.insert(
                     (location, entry.period),
@@ -1349,6 +1402,96 @@ mod tests {
         drop(store);
         let opened = SegmentStore::open(&dir, StoreOptions::default()).expect("reopen");
         assert_eq!(opened.store.record_count(), 6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_rotation_manifest_commit_defers_and_loses_nothing() {
+        let dir = temp_dir("rotate-manifest-fault");
+        // Manifest commit #1 is open()'s store creation; #2 is the first
+        // rotation's publish. Failing it must defer the rotation — the
+        // write head may not swing to a segment the durable manifest does
+        // not own, or the records acked there would be swept as an orphan
+        // by the next open.
+        let plan = FaultPlan::builder(31)
+            .rule(
+                sites::STORE_MANIFEST,
+                Rule::nth(2, FaultAction::Error(ErrorKind::Other)),
+            )
+            .build()
+            .expect("plan");
+        let opts = StoreOptions {
+            hooks: StoreHooks::from_plan(&plan),
+            rotate_bytes: 400,
+            ..StoreOptions::default()
+        };
+        let records = sample_records(13, 6);
+        let mut store = SegmentStore::open(&dir, opts).expect("open").store;
+        for record in &records {
+            store.append_all([record]).expect("appends still ack");
+        }
+        assert!(!store.is_wedged(), "a deferred rotation is not a wedge");
+        assert!(
+            store.sealed_count() >= 1,
+            "the rotation retries once the fault budget is spent"
+        );
+        // Kill: no checkpoint, cold reopen. The orphan sweep must not
+        // find any acked record in an unowned segment file.
+        drop(store);
+        let mut store = SegmentStore::open(&dir, StoreOptions::default())
+            .expect("reopen")
+            .store;
+        assert_eq!(
+            store.record_count(),
+            records.len(),
+            "zero acked-record loss across the failed manifest commit"
+        );
+        for record in &records {
+            let got = store
+                .get(record.location(), record.period())
+                .expect("read")
+                .expect("present");
+            assert_eq!(*got, *record);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn implausible_trailer_offset_falls_back_to_scan() {
+        let dir = temp_dir("bogus-trailer");
+        let records = sample_records(4, 3);
+        {
+            let mut store = SegmentStore::open(&dir, StoreOptions::default())
+                .expect("open")
+                .store;
+            store.append_all(&records).expect("batch");
+            store.checkpoint().expect("seal");
+        }
+        // Corrupt the trailer's index offset to u64::MAX: the fast-path
+        // offset arithmetic must not wrap into a "plausible" value — the
+        // open falls back to the frame scan (which still finds the intact
+        // footer) instead of erroring out.
+        let seg_path = dir.join(segment_file_name(0));
+        let len = std::fs::metadata(&seg_path).expect("meta").len();
+        {
+            let mut file = OpenOptions::new()
+                .write(true)
+                .open(&seg_path)
+                .expect("open rw");
+            file.seek(SeekFrom::Start(len - TRAILER_LEN)).expect("seek");
+            file.write_all(&u64::MAX.to_le_bytes()).expect("poison");
+        }
+        let mut store = SegmentStore::open(&dir, StoreOptions::default())
+            .expect("open survives a bogus trailer offset")
+            .store;
+        assert_eq!(store.record_count(), records.len());
+        for record in &records {
+            let got = store
+                .get(record.location(), record.period())
+                .expect("read")
+                .expect("present");
+            assert_eq!(*got, *record);
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

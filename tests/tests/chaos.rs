@@ -35,7 +35,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::io;
 use std::net::TcpStream;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::{Barrier, Mutex, MutexGuard};
 use std::time::Duration;
 
@@ -78,6 +78,21 @@ fn segment_files(dir: &PathBuf) -> Vec<PathBuf> {
         .collect();
     segments.sort();
     segments
+}
+
+/// The unsealed (active) segment's file, per the durable manifest. Not
+/// simply the highest-numbered file: a compacted segment's id exceeds the
+/// active segment's, so after a merge the write head is mid-list.
+fn active_segment_file(dir: &Path) -> PathBuf {
+    let manifest = ptm_store::Manifest::load(dir)
+        .expect("manifest readable")
+        .expect("manifest present");
+    let active = manifest
+        .segments
+        .iter()
+        .find(|s| !s.sealed)
+        .expect("an active segment");
+    dir.join(format!("seg-{:08}.ptms", active.id))
 }
 
 /// A small deterministic campaign (chaos runs restart daemons repeatedly,
@@ -739,10 +754,11 @@ fn kill_during_rotation_storm_loses_no_acked_record() {
 
 fn run_compaction_storm(seed: u64) {
     let path = temp_archive(&format!("compact-{seed}"));
-    // Two manifest commits fail mid-storm: a rotation's commit failure is
-    // swallowed (the reopen scan reconciles it) and a compaction's rolls
-    // the whole merge back. The budget then runs dry, so a later
-    // compaction pass succeeds.
+    // Two manifest commits fail mid-storm: a rotation's commit failure
+    // defers the rotation (the footer is truncated back off and the
+    // segment stays the write head) and a compaction's rolls the whole
+    // merge back. The budget then runs dry, so a later compaction pass
+    // succeeds.
     let plan = FaultPlan::builder(seed)
         .rule(
             sites::STORE_MANIFEST,
@@ -803,7 +819,7 @@ fn run_compaction_storm(seed: u64) {
     // active segment gets a torn frame tail.
     {
         use std::io::Write as _;
-        let active = segment_files(&path).pop().expect("active segment");
+        let active = active_segment_file(&path);
         let mut file = std::fs::OpenOptions::new()
             .append(true)
             .open(active)
