@@ -85,6 +85,7 @@ COMMANDS:
                  [--cache N: query-cache entries, 0 disables; default 1024]
                  [--max-connections N: 0 removes the cap; default 256]
                  [--inflight N: uncached estimates per location; default 8]
+                 [--workers N: reactor worker threads; default 4]
                  [--retry-after-ms N: shed-response hint; default 250]
                  [--sync flush|fsync: archive durability; default flush]
                  [--rotate-bytes N: segment rotation threshold; default 8 MiB]
@@ -98,7 +99,9 @@ COMMANDS:
                 it answers and is not degraded)
     upload      Synthesise a campaign and upload it to a daemon
                 (--location L [--addr A] [--periods T] [--vehicles N]
-                 [--persistent N] [--seed S])
+                 [--persistent N] [--seed S]
+                 [--pipeline W: pipeline W single-record frames per wave
+                  instead of one batch frame; max 256])
     query       Query a daemon (--kind volume|point|p2p --location L
                 [--location-b B] [--periods T] [--period P] [--addr A])
     top         Live daemon introspection: records, per-shard depths and

@@ -93,6 +93,12 @@ pub fn cmd_serve(options: &Options) -> Result<(), String> {
     if let Some(inflight) = opt_usize(options, "inflight")? {
         config.max_inflight_estimates = inflight;
     }
+    if let Some(workers) = opt_usize(options, "workers")? {
+        if workers == 0 {
+            return Err("--workers must be at least 1".to_owned());
+        }
+        config.workers = workers;
+    }
     if let Some(hint) = opt_u64(options, "retry-after-ms")? {
         config.retry_after_ms = hint as u32;
     }
@@ -222,7 +228,14 @@ pub fn cmd_upload(options: &Options) -> Result<(), String> {
         info.version,
         info.s
     );
-    let summary = client.upload_batch(&records).map_err(|e| e.to_string())?;
+    let summary = match opt_usize(options, "pipeline")? {
+        // Pipelined single-record frames: the reactor coalesces the wave
+        // into one commit and batches the acks into one write.
+        Some(window) => client
+            .upload_pipelined(&records, window)
+            .map_err(|e| e.to_string())?,
+        None => client.upload_batch(&records).map_err(|e| e.to_string())?,
+    };
     println!(
         "uploaded {} records for location {} ({} accepted, {} idempotent duplicates); \
          true persistent count is {persistent}",

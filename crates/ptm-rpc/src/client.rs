@@ -26,7 +26,8 @@
 //!   cooldown passes and one half-open probe call is let through.
 
 use crate::frame::{
-    read_frame_with_stall, write_frame, FrameError, ReadOutcome, DEFAULT_MAX_FRAME_LEN,
+    append_frame_with, read_frame_with_stall, write_frame_vectored, FrameError, ReadOutcome,
+    DEFAULT_MAX_FRAME_LEN,
 };
 use crate::proto::{
     decode_response, encode_request_traced, ErrorCode, ProtoError, Request, Response, WireTrace,
@@ -34,9 +35,14 @@ use crate::proto::{
 };
 use ptm_core::record::TrafficRecord;
 use ptm_core::{LocationId, PeriodId};
-use std::io;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
+
+/// Largest number of upload frames [`RpcClient::upload_pipelined`] keeps in
+/// flight before pausing to drain acks. Caps the daemon-side reply queue a
+/// single connection can build up.
+pub const MAX_PIPELINE_WINDOW: usize = 256;
 
 /// Tuning knobs for [`RpcClient`].
 #[derive(Debug, Clone)]
@@ -335,6 +341,196 @@ impl RpcClient {
         }
     }
 
+    /// Uploads `records` as pipelined single-record frames: up to `window`
+    /// frames (clamped to 1..=[`MAX_PIPELINE_WINDOW`]) are written in one
+    /// batched wave before the matching acks are drained in order. The
+    /// reactor daemon coalesces consecutive pipelined uploads into a single
+    /// commit and batches their acks into one write, so this is the
+    /// high-throughput ingest path for an RSU draining a backlog.
+    ///
+    /// Outcome semantics match issuing [`RpcClient::upload`] per record:
+    /// acks are counted per record, an `Overloaded` shed pauses the
+    /// pipeline and retries only the unacked records after the server's
+    /// hint, and a transport failure reconnects and re-sends every unacked
+    /// record (safe because ingest is idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; the first server `Error` frame (e.g. a
+    /// conflicting duplicate) fails the call, with already-acked records
+    /// staying persisted.
+    pub fn upload_pipelined(
+        &mut self,
+        records: &[TrafficRecord],
+        window: usize,
+    ) -> Result<UploadSummary, ClientError> {
+        if records.is_empty() {
+            return Ok(UploadSummary {
+                accepted: 0,
+                duplicates: 0,
+            });
+        }
+        let window = window.clamp(1, MAX_PIPELINE_WINDOW);
+        if let Some(until) = self.open_until {
+            let now = Instant::now();
+            if now < until {
+                ptm_obs::counter!("rpc.client.breaker.rejected").inc();
+                return Err(ClientError::CircuitOpen {
+                    retry_after: until - now,
+                });
+            }
+            self.open_until = None;
+        }
+        let call_span = ptm_obs::tspan!("rpc.client.request");
+        let wire = call_span.context().map(|ctx| WireTrace {
+            trace_id: ctx.trace_id,
+            parent_span: ctx.span_id,
+        });
+        // Each record is encoded once; retries re-send the same bytes, so
+        // the daemon's duplicate detection sees bit-identical payloads.
+        let payloads: Vec<Vec<u8>> = records
+            .iter()
+            .map(|record| encode_request_traced(&Request::Upload(record.clone()), wire))
+            .collect();
+        let mut acked = vec![false; records.len()];
+        let mut summary = UploadSummary {
+            accepted: 0,
+            duplicates: 0,
+        };
+        let attempts = self.config.max_attempts.max(1);
+        let started = Instant::now();
+        let mut last = String::new();
+        let mut retry_hint: Option<Duration> = None;
+        let mut last_hint: Option<u32> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let backoff = self.backoff(attempt);
+                let delay = retry_hint.take().map_or(backoff, |hint| hint.max(backoff));
+                if let Some(budget) = self.config.deadline {
+                    if started.elapsed() + delay >= budget {
+                        ptm_obs::counter!("rpc.client.deadline_exceeded").inc();
+                        self.record_failure(last_hint);
+                        return Err(ClientError::DeadlineExceeded {
+                            attempts: attempt,
+                            last,
+                        });
+                    }
+                }
+                ptm_obs::counter!("rpc.client.retries").inc();
+                std::thread::sleep(delay);
+            }
+            match self.pipeline_attempt(&payloads, &mut acked, window, &mut summary) {
+                Ok(None) => {
+                    self.on_success();
+                    return Ok(summary);
+                }
+                Ok(Some(retry_after_ms)) => {
+                    ptm_obs::counter!("rpc.client.overloaded").inc();
+                    retry_hint = Some(Duration::from_millis(u64::from(retry_after_ms)));
+                    last_hint = Some(retry_after_ms);
+                    last = format!("server overloaded; asked to retry after {retry_after_ms} ms");
+                }
+                Err(AttemptError::Fatal(err)) => {
+                    self.record_failure(None);
+                    return Err(err);
+                }
+                Err(AttemptError::Retryable(detail)) => {
+                    ptm_obs::debug!("rpc.client", "pipelined attempt failed";
+                        attempt = attempt + 1, error = detail.clone());
+                    self.stream = None;
+                    last = detail;
+                }
+            }
+        }
+        ptm_obs::counter!("rpc.client.exhausted").inc();
+        self.record_failure(last_hint);
+        Err(ClientError::Exhausted { attempts, last })
+    }
+
+    /// One pipelined pass over every record not yet acked: frames are
+    /// written in `window`-sized waves (one batched vectored write per
+    /// wave), then the wave's acks are drained in order. Returns `Ok(None)`
+    /// when every record is acked, `Ok(Some(hint))` when the server shed
+    /// part of the pass with `Overloaded`.
+    fn pipeline_attempt(
+        &mut self,
+        payloads: &[Vec<u8>],
+        acked: &mut [bool],
+        window: usize,
+        summary: &mut UploadSummary,
+    ) -> Result<Option<u32>, AttemptError> {
+        let io_timeout = self.config.io_timeout;
+        let max_frame_len = self.config.max_frame_len;
+        let stream = self.ensure_stream()?;
+        let pending: Vec<usize> = (0..payloads.len()).filter(|&i| !acked[i]).collect();
+        let mut wave_buf = Vec::new();
+        let mut shed_hint: Option<u32> = None;
+        for wave in pending.chunks(window) {
+            wave_buf.clear();
+            for &index in wave {
+                append_frame_with(&mut wave_buf, |out| {
+                    out.extend_from_slice(&payloads[index]);
+                });
+            }
+            stream.write_all(&wave_buf).map_err(|err| {
+                if retryable_io(err.kind()) {
+                    AttemptError::Retryable(format!("send: {err}"))
+                } else {
+                    AttemptError::Fatal(ClientError::Exhausted {
+                        attempts: 0,
+                        last: format!("send: {err}"),
+                    })
+                }
+            })?;
+            ptm_obs::counter!("rpc.client.frames.out").add(wave.len() as u64);
+            for &index in wave {
+                let bytes = match read_frame_with_stall(stream, max_frame_len, Some(io_timeout)) {
+                    Ok(ReadOutcome::Frame(bytes)) => bytes,
+                    Ok(ReadOutcome::Idle) => {
+                        return Err(AttemptError::Retryable("response timed out".into()))
+                    }
+                    Ok(ReadOutcome::Closed) => {
+                        return Err(AttemptError::Retryable(
+                            "connection closed awaiting response".into(),
+                        ))
+                    }
+                    Err(err) => return Err(classify_frame_error(err)),
+                };
+                ptm_obs::counter!("rpc.client.frames.in").inc();
+                let response = decode_response(&bytes)
+                    .map_err(|err| AttemptError::Fatal(ClientError::Proto(err)))?;
+                match response {
+                    Response::UploadOk {
+                        accepted,
+                        duplicates,
+                    } => {
+                        acked[index] = true;
+                        summary.accepted += accepted;
+                        summary.duplicates += duplicates;
+                    }
+                    Response::Overloaded { retry_after_ms } => {
+                        shed_hint = Some(retry_after_ms);
+                    }
+                    Response::Error { code, message } => {
+                        if code == ErrorCode::VersionMismatch {
+                            ptm_obs::counter!("rpc.client.version_mismatch").inc();
+                        }
+                        return Err(AttemptError::Fatal(ClientError::Server { code, message }));
+                    }
+                    other => {
+                        return Err(AttemptError::Fatal(unexpected("UploadOk", &other)));
+                    }
+                }
+            }
+            if shed_hint.is_some() {
+                // The server is shedding: stop pushing more waves and let
+                // the caller back off before retrying the unacked tail.
+                break;
+            }
+        }
+        Ok(shed_hint)
+    }
+
     /// Queries the traffic-volume estimate for one location and period.
     ///
     /// # Errors
@@ -519,7 +715,8 @@ impl RpcClient {
         }
     }
 
-    fn attempt(&mut self, payload: &[u8]) -> Result<Response, AttemptError> {
+    /// Opens the TCP stream if none is cached, classifying connect failures.
+    fn ensure_stream(&mut self) -> Result<&mut TcpStream, AttemptError> {
         if self.stream.is_none() {
             let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)
                 .map_err(|err| {
@@ -538,13 +735,20 @@ impl RpcClient {
             ptm_obs::counter!("rpc.client.connects").inc();
             self.stream = Some(stream);
         }
-        let Some(stream) = self.stream.as_mut() else {
+        match self.stream.as_mut() {
+            Some(stream) => Ok(stream),
             // Unreachable: the branch above just ensured the stream.
-            return Err(AttemptError::Retryable(
+            None => Err(AttemptError::Retryable(
                 "stream missing after connect".into(),
-            ));
-        };
-        write_frame(stream, payload).map_err(|err| {
+            )),
+        }
+    }
+
+    fn attempt(&mut self, payload: &[u8]) -> Result<Response, AttemptError> {
+        let io_timeout = self.config.io_timeout;
+        let max_frame_len = self.config.max_frame_len;
+        let stream = self.ensure_stream()?;
+        write_frame_vectored(stream, payload).map_err(|err| {
             if retryable_io(err.kind()) {
                 AttemptError::Retryable(format!("send: {err}"))
             } else {
@@ -558,11 +762,7 @@ impl RpcClient {
         // The stall budget lets a response that is already arriving keep
         // dribbling in for up to another io_timeout, instead of failing
         // the attempt at the first mid-frame timeout.
-        let bytes = match read_frame_with_stall(
-            stream,
-            self.config.max_frame_len,
-            Some(self.config.io_timeout),
-        ) {
+        let bytes = match read_frame_with_stall(stream, max_frame_len, Some(io_timeout)) {
             Ok(ReadOutcome::Frame(bytes)) => bytes,
             // The io_timeout read deadline surfaces as Idle when it fires
             // before the first response byte; for a client awaiting an
@@ -760,7 +960,7 @@ mod tests {
 
     #[test]
     fn breaker_half_open_probe_recovers_on_success() {
-        use crate::frame::{read_frame, ReadOutcome};
+        use crate::frame::{read_frame, write_frame, ReadOutcome};
         use crate::proto::{encode_response, PROTOCOL_VERSION};
 
         // A one-shot responder: answer the first framed request with Pong.
@@ -809,6 +1009,137 @@ mod tests {
         );
         assert_eq!(client.consecutive_failures, 0);
         assert!(client.open_until.is_none());
+        responder.join().expect("responder");
+    }
+
+    fn test_record(period: u32) -> TrafficRecord {
+        TrafficRecord::new(
+            LocationId::new(9),
+            PeriodId::new(period),
+            ptm_core::params::BitmapSize::new(64).expect("pow2"),
+        )
+    }
+
+    #[test]
+    fn empty_pipelined_upload_is_a_local_no_op() {
+        let mut client = RpcClient::connect("127.0.0.1:1", test_config()).expect("client");
+        let summary = client.upload_pipelined(&[], 8).expect("empty pipeline");
+        assert_eq!(
+            summary,
+            UploadSummary {
+                accepted: 0,
+                duplicates: 0
+            }
+        );
+    }
+
+    #[test]
+    fn pipelined_upload_drains_acks_per_wave() {
+        use crate::frame::{read_frame, write_frame, ReadOutcome};
+        use crate::proto::encode_response;
+
+        // A frame-for-frame responder: ack every upload it can read.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let responder = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut acked = 0u32;
+            while let Ok(ReadOutcome::Frame(_)) = read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN) {
+                let payload = encode_response(&Response::UploadOk {
+                    accepted: 1,
+                    duplicates: 0,
+                });
+                if write_frame(&mut stream, &payload).is_err() {
+                    break;
+                }
+                acked += 1;
+            }
+            acked
+        });
+
+        let mut client = RpcClient::connect(addr, test_config()).expect("client");
+        let records: Vec<TrafficRecord> = (0..7).map(test_record).collect();
+        let summary = client.upload_pipelined(&records, 3).expect("pipeline");
+        assert_eq!(
+            summary,
+            UploadSummary {
+                accepted: 7,
+                duplicates: 0
+            }
+        );
+        drop(client);
+        assert_eq!(responder.join().expect("responder"), 7);
+    }
+
+    #[test]
+    fn pipelined_upload_retries_only_the_shed_tail() {
+        use crate::frame::{read_frame, write_frame, ReadOutcome};
+        use crate::proto::encode_response;
+
+        // Shed the very first frame, ack everything after it: the client
+        // must retry exactly the shed record, not re-upload the acked ones.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let responder = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut seen = 0u32;
+            while let Ok(ReadOutcome::Frame(_)) = read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN) {
+                seen += 1;
+                let response = if seen == 1 {
+                    Response::Overloaded { retry_after_ms: 5 }
+                } else {
+                    Response::UploadOk {
+                        accepted: 1,
+                        duplicates: 0,
+                    }
+                };
+                if write_frame(&mut stream, &encode_response(&response)).is_err() {
+                    break;
+                }
+            }
+            seen
+        });
+
+        let mut client = RpcClient::connect(addr, test_config()).expect("client");
+        let records: Vec<TrafficRecord> = (0..3).map(test_record).collect();
+        let summary = client.upload_pipelined(&records, 3).expect("pipeline");
+        assert_eq!(
+            summary,
+            UploadSummary {
+                accepted: 3,
+                duplicates: 0
+            }
+        );
+        drop(client);
+        // 3 frames in the first wave + 1 retried shed record.
+        assert_eq!(responder.join().expect("responder"), 4);
+    }
+
+    #[test]
+    fn pipelined_window_is_clamped() {
+        use crate::frame::{read_frame, write_frame, ReadOutcome};
+        use crate::proto::encode_response;
+
+        // A window of 0 still makes progress (clamped up to 1).
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let responder = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            while let Ok(ReadOutcome::Frame(_)) = read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN) {
+                let payload = encode_response(&Response::UploadOk {
+                    accepted: 1,
+                    duplicates: 0,
+                });
+                if write_frame(&mut stream, &payload).is_err() {
+                    break;
+                }
+            }
+        });
+        let mut client = RpcClient::connect(addr, test_config()).expect("client");
+        let records: Vec<TrafficRecord> = (0..2).map(test_record).collect();
+        let summary = client.upload_pipelined(&records, 0).expect("pipeline");
+        assert_eq!(summary.accepted, 2);
+        drop(client);
         responder.join().expect("responder");
     }
 

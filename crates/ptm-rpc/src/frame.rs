@@ -19,7 +19,7 @@
 //!   is unusable and must be closed.
 
 use ptm_store::crc32::crc32;
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::time::{Duration, Instant};
 
 /// Bytes in the fixed frame header (length + checksum).
@@ -267,6 +267,229 @@ pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> Result<(), io::Er
     writer.flush()
 }
 
+/// Writes one frame with a vectored write — header and payload go out in a
+/// single syscall with no staging copy of the payload — and flushes.
+///
+/// Behaviorally identical to [`write_frame`]; this is the zero-copy
+/// variant for hot paths that already hold the encoded payload.
+///
+/// # Errors
+///
+/// Underlying I/O failures (a `write` that makes no progress surfaces as
+/// [`io::ErrorKind::WriteZero`]).
+pub fn write_frame_vectored(writer: &mut impl Write, payload: &[u8]) -> Result<(), io::Error> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+    let total = FRAME_HEADER_LEN + payload.len();
+    let mut written = 0usize;
+    while written < total {
+        let result = if written < FRAME_HEADER_LEN {
+            writer.write_vectored(&[IoSlice::new(&header[written..]), IoSlice::new(payload)])
+        } else {
+            writer.write(&payload[written - FRAME_HEADER_LEN..])
+        };
+        match result {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "frame write made no progress",
+                ))
+            }
+            Ok(n) => written += n,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(err) => return Err(err),
+        }
+    }
+    writer.flush()
+}
+
+/// Appends one frame to `out`, letting `build` encode the payload directly
+/// into the buffer — no intermediate payload `Vec`. The 8-byte header is
+/// reserved up front and backfilled with the length and CRC once the
+/// payload is in place.
+///
+/// This is the write-side half of the zero-copy wire path: a connection's
+/// reusable output buffer accumulates any number of frames (ack batching)
+/// and ships them with one write.
+pub fn append_frame_with<F: FnOnce(&mut Vec<u8>)>(out: &mut Vec<u8>, build: F) {
+    let header_at = out.len();
+    out.extend_from_slice(&[0u8; FRAME_HEADER_LEN]);
+    build(out);
+    let payload_len = out.len() - header_at - FRAME_HEADER_LEN;
+    let crc = crc32(&out[header_at + FRAME_HEADER_LEN..]);
+    out[header_at..header_at + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    out[header_at + 4..header_at + FRAME_HEADER_LEN].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Bytes each [`FrameDecoder::read_from`] call asks the stream for, and
+/// the spare capacity the decoder keeps available between reads.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Buffer size above which [`FrameDecoder::reclaim`] shrinks an emptied
+/// decoder back down, so one oversized frame does not pin its high-water
+/// mark forever.
+const RECLAIM_ABOVE: usize = 256 * 1024;
+
+/// An incremental, zero-copy frame decoder over one reusable buffer.
+///
+/// Where [`read_frame`] pulls a frame out of a blocking stream — blocking
+/// until it completes and allocating a fresh payload `Vec` — the decoder
+/// is the nonblocking half of the same protocol: feed it whatever bytes
+/// the socket has right now with [`FrameDecoder::read_from`], then drain
+/// complete frames with [`FrameDecoder::next_frame`], which yields each
+/// CRC-checked payload **in place** as a slice of the buffer. In steady
+/// state (frames no larger than the buffer's high-water mark) the decode
+/// path performs no allocation per frame; consumed bytes are compacted
+/// away lazily before the next read.
+///
+/// The caller owns the idle/stalled policy: [`FrameDecoder::has_partial`]
+/// says whether a frame has started arriving, which is what distinguishes
+/// a quiet-but-healthy connection from a peer stalled mid-frame (the
+/// [`StallClock`] distinction, externalized).
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// First unconsumed byte.
+    start: usize,
+    /// One past the last buffered byte.
+    end: usize,
+    max_len: u32,
+}
+
+impl FrameDecoder {
+    /// Creates a decoder accepting payloads up to `max_len` bytes.
+    pub fn new(max_len: u32) -> Self {
+        Self {
+            buf: Vec::new(),
+            start: 0,
+            end: 0,
+            max_len,
+        }
+    }
+
+    /// Bytes buffered but not yet consumed by [`FrameDecoder::next_frame`].
+    pub fn buffered(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when part of a frame has arrived — after draining complete
+    /// frames, any leftover bytes are a frame still in flight. This is the
+    /// idle-versus-stalled discriminator: a timeout with `has_partial()`
+    /// false is a healthy idle connection; with it true, a peer that has
+    /// exhausted its stall budget is stuck mid-frame.
+    pub fn has_partial(&self) -> bool {
+        self.end > self.start
+    }
+
+    /// Makes room for the next read: compacts consumed bytes to the front
+    /// when the tail is short on space, and grows the buffer only when a
+    /// frame genuinely needs more than the current capacity.
+    fn ensure_spare(&mut self) {
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+        }
+        if self.buf.len() - self.end >= READ_CHUNK {
+            return;
+        }
+        if self.start > 0 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        // If a frame header is already buffered, size for the whole frame;
+        // otherwise a chunk of spare is plenty.
+        let mut target = self.end + READ_CHUNK;
+        if self.end >= 4 {
+            let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+            if len <= self.max_len {
+                target = target.max(FRAME_HEADER_LEN + len as usize);
+            }
+        }
+        if self.buf.len() < target {
+            self.buf.resize(target, 0);
+        }
+    }
+
+    /// Reads once from `reader` into the buffer, returning how many bytes
+    /// arrived. `Ok(0)` is end-of-stream; `WouldBlock`/`TimedOut` errors
+    /// pass through untouched for the caller's idle/stall policy.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the underlying read reports.
+    pub fn read_from(&mut self, reader: &mut impl Read) -> io::Result<usize> {
+        self.ensure_spare();
+        let n = reader.read(&mut self.buf[self.end..])?;
+        self.end += n;
+        Ok(n)
+    }
+
+    /// Yields the next complete, CRC-checked frame payload as an in-place
+    /// slice, `Ok(None)` when more bytes are needed first.
+    ///
+    /// The returned slice borrows the decoder's buffer; it stays valid
+    /// until the next call that touches the decoder (the borrow checker
+    /// enforces exactly that).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::TooLarge`] or [`FrameError::BadCrc`]; both leave the
+    /// stream unusable, matching [`read_frame`].
+    pub fn next_frame(&mut self) -> Result<Option<&[u8]>, FrameError> {
+        let avail = self.end - self.start;
+        if avail < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let h = self.start;
+        let len = u32::from_le_bytes([
+            self.buf[h],
+            self.buf[h + 1],
+            self.buf[h + 2],
+            self.buf[h + 3],
+        ]);
+        let expected = u32::from_le_bytes([
+            self.buf[h + 4],
+            self.buf[h + 5],
+            self.buf[h + 6],
+            self.buf[h + 7],
+        ]);
+        if len > self.max_len {
+            return Err(FrameError::TooLarge {
+                len,
+                max: self.max_len,
+            });
+        }
+        let total = FRAME_HEADER_LEN + len as usize;
+        if avail < total {
+            return Ok(None);
+        }
+        let payload_start = h + FRAME_HEADER_LEN;
+        let payload_end = payload_start + len as usize;
+        let actual = crc32(&self.buf[payload_start..payload_end]);
+        if actual != expected {
+            return Err(FrameError::BadCrc { expected, actual });
+        }
+        self.start += total;
+        Ok(Some(&self.buf[payload_start..payload_end]))
+    }
+
+    /// Releases an oversized buffer once it has fully drained, so one
+    /// large frame does not pin hundreds of kilobytes per connection for
+    /// the rest of its life. A no-op while bytes are buffered or while the
+    /// buffer is already modest (the steady state stays allocation-free).
+    pub fn reclaim(&mut self) {
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+            if self.buf.len() > RECLAIM_ABOVE {
+                self.buf = Vec::new();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,5 +680,136 @@ mod tests {
         assert!(err.to_string().contains("crc"));
         let err = FrameError::Io(io::Error::new(io::ErrorKind::BrokenPipe, "x"));
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn decoder_extracts_multiple_frames_from_one_feed() {
+        let mut wire = frame_bytes(b"first");
+        wire.extend_from_slice(&frame_bytes(b"second"));
+        wire.extend_from_slice(&frame_bytes(b""));
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        let mut cursor = io::Cursor::new(wire);
+        assert!(decoder.read_from(&mut cursor).expect("read") > 0);
+        assert_eq!(decoder.next_frame().expect("f1"), Some(&b"first"[..]));
+        assert_eq!(decoder.next_frame().expect("f2"), Some(&b"second"[..]));
+        assert_eq!(decoder.next_frame().expect("f3"), Some(&b""[..]));
+        assert_eq!(decoder.next_frame().expect("empty"), None);
+        assert!(!decoder.has_partial());
+    }
+
+    #[test]
+    fn decoder_handles_byte_at_a_time_feeds() {
+        let wire = frame_bytes(b"dribbled in slowly");
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        let mut done = false;
+        for byte in wire {
+            let mut one = io::Cursor::new([byte]);
+            decoder.read_from(&mut one).expect("read");
+            if let Some(payload) = decoder.next_frame().expect("decode") {
+                assert_eq!(payload, b"dribbled in slowly");
+                done = true;
+            }
+        }
+        assert!(done);
+        assert!(!decoder.has_partial());
+    }
+
+    #[test]
+    fn decoder_partial_flag_tracks_in_flight_frames() {
+        let wire = frame_bytes(b"half");
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        assert!(!decoder.has_partial());
+        let mut head = io::Cursor::new(&wire[..3]);
+        decoder.read_from(&mut head).expect("read");
+        assert!(decoder.next_frame().expect("incomplete").is_none());
+        assert!(decoder.has_partial());
+        let mut tail = io::Cursor::new(&wire[3..]);
+        decoder.read_from(&mut tail).expect("read");
+        assert_eq!(decoder.next_frame().expect("frame"), Some(&b"half"[..]));
+        assert!(!decoder.has_partial());
+    }
+
+    #[test]
+    fn decoder_rejects_bad_crc_and_oversized_frames() {
+        let mut corrupted = frame_bytes(b"payload");
+        let last = corrupted.len() - 1;
+        corrupted[last] ^= 0xff;
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        let mut cursor = io::Cursor::new(corrupted);
+        decoder.read_from(&mut cursor).expect("read");
+        assert!(matches!(
+            decoder.next_frame(),
+            Err(FrameError::BadCrc { .. })
+        ));
+
+        let mut decoder = FrameDecoder::new(4);
+        let mut cursor = io::Cursor::new(frame_bytes(b"too large for the cap"));
+        decoder.read_from(&mut cursor).expect("read");
+        assert!(matches!(
+            decoder.next_frame(),
+            Err(FrameError::TooLarge { max: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn decoder_steady_state_is_allocation_free() {
+        // After the first frame sizes the buffer, decoding same-sized
+        // frames forever must never grow it again: capacity is stable and
+        // the payload slice is borrowed in place.
+        let wire = frame_bytes(&[7u8; 1024]);
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        let mut cursor = io::Cursor::new(wire.clone());
+        decoder.read_from(&mut cursor).expect("read");
+        assert!(decoder.next_frame().expect("first").is_some());
+        let steady = decoder.buf.len();
+        for _ in 0..64 {
+            let mut cursor = io::Cursor::new(wire.clone());
+            decoder.read_from(&mut cursor).expect("read");
+            assert!(decoder.next_frame().expect("frame").is_some());
+            assert_eq!(decoder.buf.len(), steady, "buffer grew in steady state");
+        }
+    }
+
+    #[test]
+    fn decoder_reclaim_shrinks_oversized_buffer_when_drained() {
+        let wire = frame_bytes(&vec![3u8; 512 * 1024]);
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        let mut cursor = io::Cursor::new(wire);
+        loop {
+            decoder.read_from(&mut cursor).expect("read");
+            if decoder.next_frame().expect("decode").is_some() {
+                break;
+            }
+        }
+        assert!(decoder.buf.len() > RECLAIM_ABOVE);
+        decoder.reclaim();
+        assert_eq!(decoder.buf.len(), 0);
+        // Reclaim with bytes buffered is a no-op.
+        let wire = frame_bytes(b"still here");
+        let mut head = io::Cursor::new(&wire[..4]);
+        decoder.read_from(&mut head).expect("read");
+        decoder.reclaim();
+        assert!(decoder.has_partial());
+    }
+
+    #[test]
+    fn append_frame_with_matches_write_frame_bytes() {
+        let mut out = Vec::new();
+        append_frame_with(&mut out, |buf| buf.extend_from_slice(b"identical"));
+        append_frame_with(&mut out, |buf| buf.extend_from_slice(b""));
+        let mut expected = frame_bytes(b"identical");
+        expected.extend_from_slice(&frame_bytes(b""));
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn vectored_write_round_trips_through_read_frame() {
+        let mut wire = Vec::new();
+        write_frame_vectored(&mut wire, b"vectored payload").expect("write");
+        let mut reader = SlowReader::new(&wire, wire.len());
+        match read_frame(&mut reader, DEFAULT_MAX_FRAME_LEN).expect("read") {
+            ReadOutcome::Frame(payload) => assert_eq!(payload, b"vectored payload"),
+            other => panic!("expected frame, got {other:?}"),
+        }
     }
 }

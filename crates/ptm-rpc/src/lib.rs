@@ -8,18 +8,27 @@
 //!
 //! * [`frame`] — the transport: `len | crc32 | payload` frames, with an
 //!   idle/closed/hard-error taxonomy that lets servers poll shutdown flags
-//!   and clients classify retryability.
+//!   and clients classify retryability. [`FrameDecoder`] is the zero-copy
+//!   nonblocking half: one reusable buffer per connection, complete frames
+//!   decoded in place with no per-frame allocation in steady state, and
+//!   [`frame::append_frame_with`] / [`frame::write_frame_vectored`] the
+//!   matching write-side buffer reuse.
 //! * [`proto`] — the messages: version-tagged requests (ping, upload,
 //!   batch upload, volume/point/point-to-point queries) and responses,
 //!   embedding records as exact `ptm-store` codec payloads so the bytes a
 //!   daemon archives are the bytes the RSU sent.
-//! * [`server`] — [`RpcServer`]: thread-per-connection daemon wrapping
+//! * [`server`] — [`RpcServer`]: a readiness-driven reactor daemon — one
+//!   event-loop thread owns every connection's nonblocking socket and
+//!   buffers, and a bounded worker pool runs estimate/commit work so slow
+//!   storage never stalls the wire — wrapping
 //!   [`ptm_net::CentralServer`]'s location-sharded store, write-ahead
 //!   persistence into a [`ptm_store::Archive`] (append + flush before the
 //!   records become queryable, replayed on restart), idempotent duplicate
 //!   handling, panic containment with poison-recovering locks, graceful
-//!   drain on shutdown. Queries run concurrently with each other and with
-//!   uploads to locations they are not reading.
+//!   drain on shutdown. Consecutive pipelined uploads from one connection
+//!   coalesce into a single commit and their acks batch into one write.
+//!   Queries run concurrently with each other and with uploads to
+//!   locations they are not reading.
 //! * [`cache`] — [`QueryCache`]: a bounded, epoch-invalidated cache of
 //!   query answers; an upload to one location invalidates only that
 //!   location's cached answers, and cached answers stay bit-for-bit
@@ -71,13 +80,16 @@ pub mod cache;
 pub mod client;
 pub mod frame;
 pub mod proto;
+mod reactor;
 pub mod server;
 
 pub use cache::{QueryCache, QueryKey};
-pub use client::{ClientConfig, ClientError, RpcClient, ServerInfo, UploadSummary};
+pub use client::{
+    ClientConfig, ClientError, RpcClient, ServerInfo, UploadSummary, MAX_PIPELINE_WINDOW,
+};
 pub use frame::{
-    read_frame, read_frame_with_stall, write_frame, FrameError, ReadOutcome, DEFAULT_MAX_FRAME_LEN,
-    FRAME_HEADER_LEN,
+    append_frame_with, read_frame, read_frame_with_stall, write_frame, write_frame_vectored,
+    FrameDecoder, FrameError, ReadOutcome, DEFAULT_MAX_FRAME_LEN, FRAME_HEADER_LEN,
 };
 pub use proto::{ErrorCode, ProtoError, Request, Response, PROTOCOL_VERSION};
 pub use server::{DaemonError, ReplayReport, RpcServer, ServerConfig};

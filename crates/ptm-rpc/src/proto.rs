@@ -356,7 +356,16 @@ impl<'a> Reader<'a> {
 /// `version | tag`, v3 appends the flags byte and, when a trace context is
 /// given, the 16-byte trace header.
 fn header_for(version: u8, tag: u8, trace: Option<WireTrace>) -> Vec<u8> {
-    let mut out = vec![version, tag];
+    let mut out = Vec::new();
+    header_into(version, tag, trace, &mut out);
+    out
+}
+
+/// Appends the header for the requested version to `out` — the
+/// buffer-reuse form of [`header_for`].
+fn header_into(version: u8, tag: u8, trace: Option<WireTrace>, out: &mut Vec<u8>) {
+    out.push(version);
+    out.push(tag);
     if version >= 3 {
         match trace {
             Some(t) => {
@@ -367,7 +376,13 @@ fn header_for(version: u8, tag: u8, trace: Option<WireTrace>) -> Vec<u8> {
             None => out.push(0),
         }
     }
-    out
+}
+
+/// Reads the protocol version a buffered payload claims to speak without
+/// decoding the rest, `None` on an empty payload. The shed path uses this
+/// to pick an encoding every peer version survives before any full decode.
+pub fn peek_version(payload: &[u8]) -> Option<u8> {
+    payload.first().copied()
 }
 
 /// Reads `version | tag | [flags | trace]`, accepting every version in
@@ -529,6 +544,15 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
 /// Encodes a response payload in the given protocol version, so a reply
 /// never carries a header newer than what the requester speaks.
 pub fn encode_response_for(version: u8, response: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_response_into(version, response, &mut out);
+    out
+}
+
+/// Encodes a response payload in the given protocol version directly into
+/// `out` — the zero-allocation form of [`encode_response_for`] used by the
+/// reactor's reusable per-connection write buffers.
+pub fn encode_response_into(version: u8, response: &Response, out: &mut Vec<u8>) {
     match response {
         Response::Pong {
             version: peer,
@@ -536,45 +560,39 @@ pub fn encode_response_for(version: u8, response: &Response) -> Vec<u8> {
             records,
             degraded,
         } => {
-            let mut out = header_for(version, TAG_PONG, None);
+            header_into(version, TAG_PONG, None, out);
             out.push(*peer);
             out.extend_from_slice(&s.to_le_bytes());
             out.extend_from_slice(&records.to_le_bytes());
             out.push(u8::from(*degraded));
-            out
         }
         Response::UploadOk {
             accepted,
             duplicates,
         } => {
-            let mut out = header_for(version, TAG_UPLOAD_OK, None);
+            header_into(version, TAG_UPLOAD_OK, None, out);
             out.extend_from_slice(&accepted.to_le_bytes());
             out.extend_from_slice(&duplicates.to_le_bytes());
-            out
         }
         Response::Estimate(value) => {
-            let mut out = header_for(version, TAG_ESTIMATE, None);
+            header_into(version, TAG_ESTIMATE, None, out);
             out.extend_from_slice(&value.to_bits().to_le_bytes());
-            out
         }
         Response::Error { code, message } => {
-            let mut out = header_for(version, TAG_ERROR, None);
+            header_into(version, TAG_ERROR, None, out);
             out.push(*code as u8);
             let bytes = message.as_bytes();
             let len = bytes.len().min(u16::MAX as usize);
             out.extend_from_slice(&(len as u16).to_le_bytes());
             out.extend_from_slice(&bytes[..len]);
-            out
         }
         Response::Overloaded { retry_after_ms } => {
-            let mut out = header_for(version, TAG_OVERLOADED, None);
+            header_into(version, TAG_OVERLOADED, None, out);
             out.extend_from_slice(&retry_after_ms.to_le_bytes());
-            out
         }
         Response::Stats(json) => {
-            let mut out = header_for(version, TAG_STATS_REPLY, None);
+            header_into(version, TAG_STATS_REPLY, None, out);
             out.extend_from_slice(json.as_bytes());
-            out
         }
     }
 }

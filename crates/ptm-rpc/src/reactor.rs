@@ -1,0 +1,195 @@
+//! Bounded worker pool backing the reactor daemon.
+//!
+//! The event loop in [`crate::server`] owns every socket; CPU- and
+//! storage-bound work (estimates, commits, stats snapshots) is handed to
+//! this pool so a slow disk or an expensive query never stalls the wire.
+//! Jobs go in over a condvar-woken queue; completions come back through a
+//! mutex-guarded vector the reactor drains each sweep, which keeps every
+//! socket write on the event-loop thread.
+
+use std::collections::VecDeque;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// A fixed-size pool of worker threads mapping jobs `J` to completions `C`.
+///
+/// `inflight()` counts jobs submitted whose completions have not yet been
+/// produced, letting the reactor spin hot while work is pending and sleep
+/// when the daemon is idle.
+pub(crate) struct WorkerPool<J, C> {
+    shared: Arc<PoolShared<J, C>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+struct PoolShared<J, C> {
+    queue: Mutex<VecDeque<J>>,
+    wake: Condvar,
+    completions: Mutex<Vec<C>>,
+    inflight: AtomicUsize,
+    stop: AtomicBool,
+}
+
+impl<J: Send + 'static, C: Send + 'static> WorkerPool<J, C> {
+    /// Spawns `workers` threads (at least one) running `run` over submitted
+    /// jobs.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] when a worker thread cannot be spawned.
+    pub fn new<F>(workers: usize, name: &str, run: F) -> io::Result<Self>
+    where
+        F: Fn(J) -> C + Send + Sync + 'static,
+    {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
+            inflight: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let run = Arc::new(run);
+        let count = workers.max(1);
+        let mut handles = Vec::with_capacity(count);
+        for index in 0..count {
+            let shared = Arc::clone(&shared);
+            let run = Arc::clone(&run);
+            let handle = std::thread::Builder::new()
+                .name(format!("{name}-{index}"))
+                .spawn(move || worker_loop(&shared, run.as_ref()))?;
+            handles.push(handle);
+        }
+        Ok(Self { shared, handles })
+    }
+
+    /// Enqueues one job and wakes a worker.
+    pub fn submit(&self, job: J) {
+        self.shared.inflight.fetch_add(1, Ordering::AcqRel);
+        let mut queue = self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        queue.push_back(job);
+        drop(queue);
+        self.shared.wake.notify_one();
+    }
+
+    /// Moves every pending completion into `out` (preserving production
+    /// order within each worker) without blocking on in-progress jobs.
+    pub fn drain_completions(&self, out: &mut Vec<C>) {
+        let mut done = self
+            .shared
+            .completions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        out.append(&mut done);
+    }
+
+    /// Jobs submitted whose completions have not yet been produced.
+    pub fn inflight(&self) -> usize {
+        self.shared.inflight.load(Ordering::Acquire)
+    }
+
+    /// Signals every worker to exit once the queue drains and joins them.
+    pub fn shutdown_and_join(mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.wake.notify_all();
+        for handle in self.handles.drain(..) {
+            // A worker that panicked already contained the panic in its
+            // job runner; a join error here has nothing left to report.
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop<J, C>(shared: &PoolShared<J, C>, run: &(dyn Fn(J) -> C + Send + Sync)) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.stop.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = shared
+                    .wake
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(job) = job else { return };
+        // Job runners contain their own panics (the daemon answers
+        // Error{Internal} and closes only the affected connection); this
+        // guard is the last resort that keeps the worker thread alive and
+        // the inflight count accurate even if that containment slips.
+        if let Ok(completion) = catch_unwind(AssertUnwindSafe(|| run(job))) {
+            let mut done = shared
+                .completions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            done.push(completion);
+        }
+        shared.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    fn drain_until<C: Send + 'static>(pool: &WorkerPool<u32, C>, want: usize) -> Vec<C> {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut out = Vec::new();
+        while out.len() < want {
+            pool.drain_completions(&mut out);
+            assert!(
+                Instant::now() < deadline,
+                "pool never produced {want} completions"
+            );
+            std::thread::yield_now();
+        }
+        out
+    }
+
+    #[test]
+    fn jobs_round_trip_and_inflight_drains() {
+        let pool = WorkerPool::new(3, "test-pool", |job: u32| job * 2).expect("spawn");
+        for job in 0..16u32 {
+            pool.submit(job);
+        }
+        let mut out = drain_until(&pool, 16);
+        out.sort_unstable();
+        assert_eq!(out, (0..16).map(|j| j * 2).collect::<Vec<_>>());
+        assert_eq!(pool.inflight(), 0);
+        pool.shutdown_and_join();
+    }
+
+    #[test]
+    fn panicking_job_keeps_workers_alive() {
+        let pool = WorkerPool::new(1, "test-panic", |job: u32| {
+            assert!(job != 7, "injected panic");
+            job
+        })
+        .expect("spawn");
+        pool.submit(7);
+        pool.submit(8);
+        let out = drain_until(&pool, 1);
+        assert_eq!(out, vec![8]);
+        assert_eq!(pool.inflight(), 0);
+        pool.shutdown_and_join();
+    }
+
+    #[test]
+    fn zero_worker_request_still_gets_one_thread() {
+        let pool = WorkerPool::new(0, "test-min", |job: u32| job + 1).expect("spawn");
+        pool.submit(41);
+        assert_eq!(drain_until(&pool, 1), vec![42]);
+        pool.shutdown_and_join();
+    }
+}

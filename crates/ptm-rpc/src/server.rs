@@ -1,5 +1,11 @@
-//! The record-ingest daemon: a thread-per-connection TCP server wrapping
+//! The record-ingest daemon: a readiness-driven reactor wrapping
 //! [`ptm_net::CentralServer`] with write-ahead persistence.
+//!
+//! One event-loop thread owns the nonblocking listener and every
+//! connection's socket, read decoder, and write buffer; a bounded worker
+//! pool runs the estimate/commit work so a slow disk or an expensive
+//! query never stalls the wire. Connection scale is bounded by file
+//! descriptors and per-connection buffers, not OS threads.
 //!
 //! Lifecycle:
 //!
@@ -18,18 +24,34 @@
 //!    record is acked as an idempotent duplicate without touching the
 //!    archive, which is what makes the client's at-least-once retry loop
 //!    safe.
-//! 3. **Shutdown** — [`RpcServer::shutdown`] stops the accept loop, drains
-//!    every connection thread (in-flight requests finish; the per-frame
-//!    read timeout bounds the wait), then flushes and fsyncs the archive.
+//! 3. **Shutdown** — [`RpcServer::shutdown`] stops the event loop, waits
+//!    for in-flight jobs to finish (bounded), flushes their replies, then
+//!    flushes and fsyncs the archive.
+//!
+//! # The wire path
+//!
+//! The reactor sweeps every connection each loop iteration: a nonblocking
+//! read *is* the readiness check on a std-only build (no `epoll` without
+//! `unsafe`), and the sweep cost is what the 1k-connection smoke test
+//! bounds. Each connection owns a reusable [`FrameDecoder`] — frames are
+//! CRC-checked and decoded **in place**, with no per-frame allocation in
+//! steady state — and a reusable output buffer that accumulates any
+//! number of reply frames ([`append_frame_with`]) before a single write,
+//! which is what batches acks across a client's pipelined uploads.
+//! Consecutive upload frames queued on one connection coalesce into a
+//! single worker job and a single archive commit; replies stay in request
+//! order per connection because a connection has at most one job in
+//! flight at a time.
 //!
 //! # Concurrency
 //!
 //! The query engine is [`ptm_net::CentralServer`]'s per-location sharded
 //! store, so read-only estimate queries run **concurrently** — with each
-//! other and with uploads to locations they are not reading. Uploads go
-//! through a dedicated **writer path**: one mutex guarding the segment
-//! store serializes ingest (appends go to a single active segment, so
-//! writes serialize anyway) and doubles as the batch-atomicity lock — a batch is
+//! other and with uploads to locations they are not reading — across the
+//! [`ServerConfig::workers`] pool threads. Uploads go through a dedicated
+//! **writer path**: one mutex guarding the segment store serializes
+//! ingest (appends go to a single active segment, so writes serialize
+//! anyway) and doubles as the batch-atomicity lock — a batch is
 //! validated and applied under it, so a conflict anywhere rejects the
 //! batch whole and a retry can never half-apply. Queries touch the
 //! writer path only for a location's *first* read (lazy hydration); after
@@ -37,6 +59,18 @@
 //! maintenance thread compacts small/superseded segments and, while
 //! degraded, retries the store reopen automatically under the configured
 //! cooldown.
+//!
+//! # Shedding
+//!
+//! At the connection cap, new sockets are accepted into a bounded *shed*
+//! backlog instead of being answered inline on the accept path (which
+//! used to stall every other accept behind one slow peer). A shed
+//! connection costs no worker and sends nothing unsolicited; when its
+//! first frame arrives, the reactor peeks the protocol version and
+//! answers `Overloaded` encoded no newer than the peer speaks — or, for a
+//! v1 peer (whose decoder predates the `Overloaded` tag), closes cleanly
+//! without a byte, which its retry loop handles as a transport error.
+//! Beyond the backlog bound, excess sockets are dropped immediately.
 //!
 //! Query answers are cached in an epoch-invalidated [`QueryCache`]: each
 //! accepted record bumps its location's epoch, and a cached answer is
@@ -52,22 +86,21 @@
 //! bad request must never turn into a whole-daemon outage.
 
 use crate::cache::{QueryCache, QueryKey};
-use crate::frame::{
-    read_frame_with_stall, write_frame, FrameError, ReadOutcome, DEFAULT_MAX_FRAME_LEN,
-};
+use crate::frame::{append_frame_with, FrameDecoder, FrameError, DEFAULT_MAX_FRAME_LEN};
 use crate::proto::{
-    decode_request, encode_response, encode_response_for, ErrorCode, ProtoError, Request, Response,
-    PROTOCOL_VERSION,
+    decode_request, encode_response_into, peek_version, ErrorCode, ProtoError, Request, Response,
+    WireTrace, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
+use crate::reactor::WorkerPool;
 use ptm_core::record::TrafficRecord;
 use ptm_core::{LocationId, PeriodId};
 use ptm_fault::{sites, FaultAction, FaultPlan, FaultyStream, SiteHandle};
 use ptm_net::server::ServerError;
 use ptm_net::CentralServer;
 use ptm_store::{SegmentStore, StoreError, StoreHooks, StoreOptions, SyncPolicy};
-use std::collections::{HashMap, HashSet};
-use std::io;
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
@@ -93,9 +126,13 @@ pub struct ServerConfig {
     /// Entries held by the epoch-invalidated query-result cache; 0
     /// disables caching.
     pub cache_capacity: usize,
-    /// Connections served concurrently before new ones are shed with an
-    /// [`Response::Overloaded`] frame; 0 removes the cap.
+    /// Connections served concurrently before new ones are shed (answered
+    /// with [`Response::Overloaded`] once they speak, or closed cleanly
+    /// for peers too old to decode it); 0 removes the cap.
     pub max_connections: usize,
+    /// Worker threads running estimate/commit jobs off the event loop; at
+    /// least one is always spawned.
+    pub workers: usize,
     /// Uncached estimate computations allowed in flight *per location*
     /// before further queries touching that location are shed; 0 removes
     /// the cap. Cache hits are never shed.
@@ -145,6 +182,7 @@ impl Default for ServerConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             cache_capacity: 1024,
             max_connections: 256,
+            workers: 4,
             max_inflight_estimates: 8,
             retry_after_ms: 250,
             degraded_after_failures: 3,
@@ -339,17 +377,6 @@ struct Shared {
     estimate_site: SiteHandle,
 }
 
-/// Decrements the live-connection count when a connection thread ends,
-/// however it ends (drop-based so a panicking handler still releases its
-/// slot).
-struct ConnGuard(Arc<Shared>);
-
-impl Drop for ConnGuard {
-    fn drop(&mut self) {
-        self.0.conn_count.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
 /// Locks the writer path, recovering from poisoning and recording the
 /// wait when metrics are enabled.
 ///
@@ -370,12 +397,12 @@ fn lock_writer(writer: &Mutex<SegmentStore>) -> MutexGuard<'_, SegmentStore> {
 }
 
 /// A running daemon. Dropping it without calling [`RpcServer::shutdown`]
-/// detaches the accept thread (the process keeps serving); tests and the
+/// detaches the reactor thread (the process keeps serving); tests and the
 /// CLI always shut down explicitly.
 pub struct RpcServer {
     shared: Arc<Shared>,
     local_addr: std::net::SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor_thread: Option<JoinHandle<()>>,
     maintenance_thread: Option<JoinHandle<()>>,
     replay: ReplayReport,
     archive_path: PathBuf,
@@ -464,10 +491,15 @@ impl RpcServer {
             write_site,
             estimate_site,
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::Builder::new()
-            .name("ptm-rpc-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared))?;
+        let job_shared = Arc::clone(&shared);
+        let pool: WorkerPool<Job, Completion> =
+            WorkerPool::new(shared.config.workers, "ptm-rpc-worker", move |job| {
+                run_job(&job_shared, job)
+            })?;
+        let reactor_shared = Arc::clone(&shared);
+        let reactor_thread = std::thread::Builder::new()
+            .name("ptm-rpc-reactor".into())
+            .spawn(move || reactor_loop(listener, reactor_shared, pool))?;
         let maintenance_thread = if shared.config.compact_interval.is_zero() {
             None
         } else {
@@ -486,7 +518,7 @@ impl RpcServer {
         Ok(Self {
             shared,
             local_addr,
-            accept_thread: Some(accept_thread),
+            reactor_thread: Some(reactor_thread),
             maintenance_thread,
             replay,
             archive_path,
@@ -520,21 +552,30 @@ impl RpcServer {
         self.shared.degraded.flag.load(Ordering::SeqCst)
     }
 
+    /// Live admitted connections (shed connections are not counted). The
+    /// reactor retires a closed connection's state on its next sweep, so
+    /// teardown is reflected here promptly whether or not anyone is
+    /// connecting.
+    pub fn connection_count(&self) -> usize {
+        self.shared.conn_count.load(Ordering::SeqCst)
+    }
+
     /// Every location with at least one stored record, sorted by id.
     pub fn locations(&self) -> Vec<LocationId> {
         lock_writer(&self.shared.writer).locations()
     }
 
-    /// Graceful shutdown: stop accepting, drain every connection thread,
-    /// then checkpoint the store — pending frames committed and fsynced,
-    /// the active segment sealed, so the next open is pure O(index).
+    /// Graceful shutdown: stop the event loop (in-flight jobs finish and
+    /// their replies flush, within a bound), then checkpoint the store —
+    /// pending frames committed and fsynced, the active segment sealed,
+    /// so the next open is pure O(index).
     ///
     /// # Errors
     ///
     /// Store flush/sync failures (connections are already drained).
     pub fn shutdown(mut self) -> Result<(), DaemonError> {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept_thread.take() {
+        if let Some(handle) = self.reactor_thread.take() {
             let _ = handle.join();
         }
         if let Some(handle) = self.maintenance_thread.take() {
@@ -549,61 +590,621 @@ impl RpcServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    let mut connections: Vec<JoinHandle<()>> = Vec::new();
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((mut stream, peer)) => {
-                let cap = shared.config.max_connections;
-                if cap != 0 && shared.conn_count.load(Ordering::SeqCst) >= cap {
-                    // Shed explicitly: a best-effort Overloaded frame tells
-                    // the peer to back off instead of leaving it to infer
-                    // the state from a silent close.
-                    ptm_obs::counter!("rpc.shed.connections").inc();
-                    ptm_obs::warn!("rpc.server", "connection shed at capacity";
-                        peer = peer.to_string(), cap = cap);
-                    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-                    let payload = encode_response(&Response::Overloaded {
-                        retry_after_ms: shared.config.retry_after_ms,
-                    });
-                    let _ = write_frame(&mut stream, &payload);
-                    continue;
-                }
-                shared.conn_count.fetch_add(1, Ordering::SeqCst);
-                let guard = ConnGuard(Arc::clone(&shared));
-                ptm_obs::counter!("rpc.server.connections.accepted").inc();
-                ptm_obs::debug!("rpc.server", "connection accepted"; peer = peer.to_string());
-                let conn_shared = Arc::clone(&shared);
-                match std::thread::Builder::new()
-                    .name("ptm-rpc-conn".into())
-                    .spawn(move || {
-                        let _guard = guard;
-                        handle_connection(stream, conn_shared);
-                    }) {
-                    Ok(handle) => connections.push(handle),
-                    // A failed spawn drops the closure, and the guard with
-                    // it, so the slot is released.
-                    Err(err) => {
-                        ptm_obs::error!("rpc.server", "spawn failed"; error = err.to_string());
-                    }
-                }
-                // Opportunistically reap finished connections so a
-                // long-lived daemon does not accumulate handles.
-                connections.retain(|h| !h.is_finished());
-            }
-            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(shared.config.poll_interval);
+/// Decoded frames queued on one connection before further reads pause
+/// (backpressure: the socket buffer, and eventually the peer, absorb the
+/// excess).
+const PENDING_CAP: usize = 512;
+
+/// Upload frames coalesced into a single worker job / archive commit.
+const MAX_COALESCED_FRAMES: usize = 64;
+
+/// How long after the last activity the reactor keeps spin-yielding
+/// before idle sleeps start escalating. Request/response exchanges with
+/// sub-millisecond think time stay inside this window and never eat a
+/// sleep-wakeup latency penalty; a truly idle daemon burns at most one
+/// window per activity burst before backing off.
+const IDLE_SPIN_WINDOW: Duration = Duration::from_millis(2);
+
+/// Output buffers larger than this are released once fully flushed.
+const OUT_RECLAIM_ABOVE: usize = 256 * 1024;
+
+/// One decoded request frame, queued per connection until a worker picks
+/// it up.
+struct DecodedFrame {
+    request: Request,
+    version: u8,
+    trace: Option<WireTrace>,
+    /// When the frame left the socket; the gap to dispatch is the
+    /// request's queue wait.
+    arrived: Instant,
+}
+
+/// Work handed to the pool: everything needed to compute replies for one
+/// connection's next frame (or run of coalesced upload frames).
+struct Job {
+    conn_id: u64,
+    kind: JobKind,
+}
+
+enum JobKind {
+    /// One non-upload frame (ping, query, stats).
+    Single(DecodedFrame),
+    /// A run of consecutive upload frames from one connection, committed
+    /// together and acked individually.
+    Ingest(Vec<DecodedFrame>),
+}
+
+/// One reply frame, carried back to the reactor for encoding into the
+/// connection's output buffer.
+struct Reply {
+    response: Response,
+    version: u8,
+    trace: Option<ptm_obs::TraceContext>,
+}
+
+/// What a worker hands back: in-order replies for the job's frames, plus
+/// whether the connection must close (handler panic).
+struct Completion {
+    conn_id: u64,
+    replies: Vec<Reply>,
+    close: bool,
+}
+
+/// Why a connection is being retired, deciding which counter it bumps.
+enum CloseKind {
+    /// Peer closed, idle cutoff, or server-initiated after a reply.
+    Normal,
+    /// Peer stopped mid-frame past the stall budget.
+    Stalled,
+    /// Sat idle past the read timeout with no frame in flight.
+    IdleTimeout,
+}
+
+/// Per-connection reactor state: the nonblocking socket plus reusable
+/// read/write buffers and the pipelining queue.
+struct Conn {
+    id: u64,
+    stream: FaultyStream<TcpStream>,
+    peer: SocketAddr,
+    decoder: FrameDecoder,
+    /// Reusable output buffer; frames append here and flush with one
+    /// write, which is what batches acks across pipelined uploads.
+    out: Vec<u8>,
+    /// Bytes of `out` already written to the socket.
+    written: usize,
+    /// Decoded frames awaiting dispatch (one job in flight at a time
+    /// keeps replies in request order without request ids).
+    pending: VecDeque<DecodedFrame>,
+    job_inflight: bool,
+    /// True for connections admitted over the cap: no worker touches
+    /// them, nothing unsolicited is sent, and their first frame is
+    /// answered with a version-appropriate shed (or a clean close).
+    shed: bool,
+    /// When the last complete frame finished (idle cutoff baseline).
+    last_frame: Instant,
+    /// When the current partial frame started arriving (stall budget).
+    frame_start: Option<Instant>,
+    /// When the current unflushed output started waiting on the socket.
+    write_start: Option<Instant>,
+    /// Close once `out` drains and no job is in flight.
+    close_after_flush: bool,
+    /// Peer hung up; stop reading, finish any in-flight job, then close.
+    read_closed: bool,
+}
+
+impl Conn {
+    fn new(
+        id: u64,
+        stream: FaultyStream<TcpStream>,
+        peer: SocketAddr,
+        shed: bool,
+        max_frame_len: u32,
+    ) -> Self {
+        Self {
+            id,
+            stream,
+            peer,
+            decoder: FrameDecoder::new(max_frame_len),
+            out: Vec::new(),
+            written: 0,
+            pending: VecDeque::new(),
+            job_inflight: false,
+            shed,
+            last_frame: Instant::now(),
+            frame_start: None,
+            write_start: None,
+            close_after_flush: false,
+            read_closed: false,
+        }
+    }
+
+    fn has_unflushed(&self) -> bool {
+        self.written < self.out.len()
+    }
+}
+
+/// Encodes one reply frame into the connection's output buffer (no
+/// allocation in steady state — the buffer is reused across frames) and
+/// counts it. The actual socket write happens in the flush pass, possibly
+/// batched with other replies.
+fn queue_reply(conn: &mut Conn, reply: &Reply) {
+    let _s = match reply.trace {
+        Some(ctx) => ptm_obs::tspan!("rpc.server.encode_reply", child_of = ctx),
+        None => ptm_obs::tspan!("rpc.server.encode_reply"),
+    };
+    let before = conn.out.len();
+    append_frame_with(&mut conn.out, |buf| {
+        encode_response_into(reply.version, &reply.response, buf);
+    });
+    ptm_obs::counter!("rpc.server.frames.out").inc();
+    ptm_obs::counter!("rpc.server.bytes.out").add((conn.out.len() - before) as u64);
+}
+
+/// Queues an untraced reply in the server's own protocol version — the
+/// reactor's inline path for decode errors and malformed frames.
+fn queue_error_reply(conn: &mut Conn, response: Response) {
+    queue_reply(
+        conn,
+        &Reply {
+            response,
+            version: PROTOCOL_VERSION,
+            trace: None,
+        },
+    );
+}
+
+/// Flushes as much buffered output as the socket accepts right now.
+/// Returns `Err(kind)` when the connection must close (write error, no
+/// progress, or a peer that stopped draining past the stall budget).
+fn flush_conn(conn: &mut Conn, stall_budget: Duration) -> Result<(), CloseKind> {
+    while conn.has_unflushed() {
+        match conn.stream.write(&conn.out[conn.written..]) {
+            Ok(0) => return Err(CloseKind::Normal),
+            Ok(n) => {
+                conn.written += n;
+                conn.write_start = None;
             }
             Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(err)
+                if err.kind() == io::ErrorKind::WouldBlock
+                    || err.kind() == io::ErrorKind::TimedOut =>
+            {
+                match conn.write_start {
+                    Some(start) if start.elapsed() > stall_budget => {
+                        ptm_obs::counter!("rpc.server.connections.stalled").inc();
+                        ptm_obs::warn!("rpc.server", "peer stopped draining replies";
+                            peer = conn.peer.to_string());
+                        return Err(CloseKind::Normal);
+                    }
+                    Some(_) => {}
+                    None => conn.write_start = Some(Instant::now()),
+                }
+                return Ok(());
+            }
             Err(err) => {
-                ptm_obs::error!("rpc.server", "accept failed"; error = err.to_string());
-                std::thread::sleep(shared.config.poll_interval);
+                ptm_obs::debug!("rpc.server", "response write failed"; error = err.to_string());
+                return Err(CloseKind::Normal);
             }
         }
     }
-    for handle in connections {
-        let _ = handle.join();
+    if !conn.out.is_empty() {
+        conn.written = 0;
+        conn.out.clear();
+        if conn.out.capacity() > OUT_RECLAIM_ABOVE {
+            conn.out = Vec::new();
+        }
     }
+    Ok(())
+}
+
+/// A shed connection's first complete frame decides its goodbye: peers on
+/// a version that knows the `Overloaded` tag (v2+) get it encoded no
+/// newer than they speak; v1 peers (or garbage) get a clean close — never
+/// a frame their decoder cannot read.
+fn answer_shed_hello(conn: &mut Conn, payload: &[u8], retry_after_ms: u32) {
+    match peek_version(payload) {
+        Some(version) if version > MIN_PROTOCOL_VERSION => {
+            let floor = version.min(PROTOCOL_VERSION);
+            queue_reply(
+                conn,
+                &Reply {
+                    response: Response::Overloaded { retry_after_ms },
+                    version: floor,
+                    trace: None,
+                },
+            );
+        }
+        _ => {}
+    }
+    conn.close_after_flush = true;
+}
+
+/// Reads whatever the socket has, decodes complete frames in place, and
+/// queues them for dispatch. Returns `Err` when the connection must
+/// close.
+fn read_conn(conn: &mut Conn, shared: &Shared, activity: &mut bool) -> Result<(), CloseKind> {
+    if conn.read_closed || conn.close_after_flush {
+        return Ok(());
+    }
+    // Backpressure: a peer that pipelines faster than workers drain waits
+    // in its socket buffer, not in server memory.
+    if conn.pending.len() >= PENDING_CAP {
+        return Ok(());
+    }
+    let now = Instant::now();
+    match conn.decoder.read_from(&mut conn.stream) {
+        Ok(0) => {
+            if conn.decoder.has_partial() {
+                // EOF mid-frame: the old blocking reader called this
+                // Truncated; same counter, same best-effort close.
+                ptm_obs::counter!("rpc.server.frames.bad").inc();
+                ptm_obs::warn!("rpc.server", "bad frame";
+                    error = FrameError::Truncated.to_string());
+                return Err(CloseKind::Normal);
+            }
+            conn.read_closed = true;
+            if conn.job_inflight || conn.has_unflushed() {
+                return Ok(());
+            }
+            Err(CloseKind::Normal)
+        }
+        Ok(_) => {
+            *activity = true;
+            loop {
+                match conn.decoder.next_frame() {
+                    Ok(Some(payload)) => {
+                        conn.last_frame = now;
+                        conn.frame_start = None;
+                        ptm_obs::counter!("rpc.server.frames.in").inc();
+                        ptm_obs::counter!("rpc.server.bytes.in").add(payload.len() as u64 + 8);
+                        if conn.shed {
+                            let payload = payload.to_vec();
+                            answer_shed_hello(conn, &payload, shared.config.retry_after_ms);
+                            return Ok(());
+                        }
+                        match decode_request(payload) {
+                            Ok(decoded) => {
+                                conn.pending.push_back(DecodedFrame {
+                                    request: decoded.request,
+                                    version: decoded.version,
+                                    trace: decoded.trace,
+                                    arrived: now,
+                                });
+                                if conn.pending.len() >= PENDING_CAP {
+                                    break;
+                                }
+                            }
+                            Err(ProtoError::VersionMismatch { got, want }) => {
+                                ptm_obs::counter!("rpc.server.version_mismatch").inc();
+                                queue_error_reply(
+                                    conn,
+                                    Response::Error {
+                                        code: ErrorCode::VersionMismatch,
+                                        message: format!(
+                                            "client speaks version {got}, server speaks {want}"
+                                        ),
+                                    },
+                                );
+                                conn.close_after_flush = true;
+                                return Ok(());
+                            }
+                            Err(err) => {
+                                ptm_obs::counter!("rpc.server.decode_errors").inc();
+                                queue_error_reply(
+                                    conn,
+                                    Response::Error {
+                                        code: ErrorCode::Malformed,
+                                        message: err.to_string(),
+                                    },
+                                );
+                                conn.close_after_flush = true;
+                                return Ok(());
+                            }
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(err) => {
+                        // Oversized or corrupt frame: best-effort error
+                        // reply, then close — the stream cannot be
+                        // resynchronized.
+                        ptm_obs::counter!("rpc.server.frames.bad").inc();
+                        ptm_obs::warn!("rpc.server", "bad frame"; error = err.to_string());
+                        queue_error_reply(
+                            conn,
+                            Response::Error {
+                                code: ErrorCode::Malformed,
+                                message: err.to_string(),
+                            },
+                        );
+                        conn.close_after_flush = true;
+                        return Ok(());
+                    }
+                }
+            }
+            if conn.decoder.has_partial() {
+                if conn.frame_start.is_none() {
+                    conn.frame_start = Some(now);
+                }
+            } else {
+                conn.frame_start = None;
+                conn.decoder.reclaim();
+            }
+            Ok(())
+        }
+        Err(err)
+            if err.kind() == io::ErrorKind::WouldBlock || err.kind() == io::ErrorKind::TimedOut =>
+        {
+            // Quiet socket: idle and stall cutoffs both key off the read
+            // timeout, but mean different things — mid-frame silence is a
+            // stall (the peer owes us bytes), between-frame silence is
+            // just idleness.
+            if conn.decoder.has_partial() {
+                let started = conn.frame_start.get_or_insert_with(Instant::now);
+                if started.elapsed() > shared.config.read_timeout {
+                    ptm_obs::counter!("rpc.server.frames.bad").inc();
+                    ptm_obs::warn!("rpc.server", "bad frame";
+                        error = FrameError::Stalled.to_string());
+                    queue_error_reply(
+                        conn,
+                        Response::Error {
+                            code: ErrorCode::Malformed,
+                            message: FrameError::Stalled.to_string(),
+                        },
+                    );
+                    conn.close_after_flush = true;
+                    return Err(CloseKind::Stalled);
+                }
+            } else if conn.last_frame.elapsed() > shared.config.read_timeout
+                && !conn.job_inflight
+                && conn.pending.is_empty()
+            {
+                return Err(CloseKind::IdleTimeout);
+            }
+            Ok(())
+        }
+        Err(err) if err.kind() == io::ErrorKind::Interrupted => Ok(()),
+        Err(err) => {
+            ptm_obs::counter!("rpc.server.frames.bad").inc();
+            ptm_obs::warn!("rpc.server", "bad frame"; error = err.to_string());
+            Err(CloseKind::Normal)
+        }
+    }
+}
+
+/// Submits the connection's next job: a run of consecutive upload frames
+/// coalesces into one ingest job (single commit, per-frame acks); any
+/// other frame dispatches alone. At most one job per connection keeps
+/// replies in request order.
+fn maybe_dispatch(conn: &mut Conn, pool: &WorkerPool<Job, Completion>) {
+    if conn.job_inflight || conn.close_after_flush || conn.shed {
+        return;
+    }
+    let Some(front) = conn.pending.front() else {
+        return;
+    };
+    let is_upload =
+        |request: &Request| matches!(request, Request::Upload(_) | Request::UploadBatch(_));
+    let kind = if is_upload(&front.request) {
+        let mut frames = Vec::new();
+        while frames.len() < MAX_COALESCED_FRAMES {
+            match conn.pending.front() {
+                Some(f) if is_upload(&f.request) => {
+                    if let Some(f) = conn.pending.pop_front() {
+                        frames.push(f);
+                    }
+                }
+                _ => break,
+            }
+        }
+        JobKind::Ingest(frames)
+    } else {
+        match conn.pending.pop_front() {
+            Some(f) => JobKind::Single(f),
+            None => return,
+        }
+    };
+    conn.job_inflight = true;
+    pool.submit(Job {
+        conn_id: conn.id,
+        kind,
+    });
+}
+
+/// Applies a worker's completion: replies are encoded into the output
+/// buffer (ack batching happens here — one flush ships them all) and the
+/// next pending job dispatches.
+fn apply_completion(
+    conn: &mut Conn,
+    completion: Completion,
+    pool: &WorkerPool<Job, Completion>,
+    dispatch_more: bool,
+) {
+    conn.job_inflight = false;
+    for reply in &completion.replies {
+        queue_reply(conn, reply);
+    }
+    if completion.close {
+        conn.close_after_flush = true;
+    }
+    if dispatch_more {
+        maybe_dispatch(conn, pool);
+    }
+}
+
+/// Retires a connection: counters, the admitted-count slot, and the map
+/// entry.
+fn finish_conn(conns: &mut HashMap<u64, Conn>, shared: &Shared, id: u64, kind: CloseKind) {
+    let Some(conn) = conns.remove(&id) else {
+        return;
+    };
+    match kind {
+        CloseKind::IdleTimeout => {
+            ptm_obs::counter!("rpc.server.connections.idle_timeout").inc();
+        }
+        CloseKind::Stalled | CloseKind::Normal => {}
+    }
+    ptm_obs::counter!("rpc.server.connections.closed").inc();
+    if !conn.shed {
+        shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The event loop: accepts, sweeps every connection (a nonblocking read
+/// is the readiness check), drains worker completions into output
+/// buffers, and flushes — all on one thread, so connection state needs no
+/// locks. Spins hot while work is in flight and backs off to
+/// `poll_interval` sleeps when idle.
+fn reactor_loop(listener: TcpListener, shared: Arc<Shared>, pool: WorkerPool<Job, Completion>) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_id = 0u64;
+    let mut completions: Vec<Completion> = Vec::new();
+    let mut closing: Vec<(u64, CloseKind)> = Vec::new();
+    let mut last_activity = Instant::now();
+    let mut idle_sleeps = 0u32;
+    let shed_backlog_cap = shared.config.max_connections.max(64);
+
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let mut activity = false;
+
+        // Accept everything ready. Shedding never writes here — at
+        // capacity the socket parks in the shed backlog and is answered
+        // (or silently closed) from the sweep once it speaks, so one slow
+        // peer cannot stall other accepts.
+        loop {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    activity = true;
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let cap = shared.config.max_connections;
+                    let shed = cap != 0 && shared.conn_count.load(Ordering::SeqCst) >= cap;
+                    if shed {
+                        ptm_obs::counter!("rpc.shed.connections").inc();
+                        ptm_obs::warn!("rpc.server", "connection shed at capacity";
+                            peer = peer.to_string(), cap = cap);
+                        let backlog = conns.values().filter(|c| c.shed).count();
+                        if backlog >= shed_backlog_cap {
+                            // Beyond the bounded backlog: drop without a
+                            // goodbye rather than hold unbounded state.
+                            continue;
+                        }
+                    } else {
+                        shared.conn_count.fetch_add(1, Ordering::SeqCst);
+                        ptm_obs::counter!("rpc.server.connections.accepted").inc();
+                        ptm_obs::debug!("rpc.server", "connection accepted";
+                            peer = peer.to_string());
+                    }
+                    let stream = FaultyStream::new(
+                        stream,
+                        shared.read_site.clone(),
+                        shared.write_site.clone(),
+                    );
+                    next_id += 1;
+                    conns.insert(
+                        next_id,
+                        Conn::new(next_id, stream, peer, shed, shared.config.max_frame_len),
+                    );
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+                Err(err) => {
+                    ptm_obs::error!("rpc.server", "accept failed"; error = err.to_string());
+                    break;
+                }
+            }
+        }
+
+        // Worker completions → reply frames in output buffers.
+        pool.drain_completions(&mut completions);
+        for completion in completions.drain(..) {
+            activity = true;
+            // The connection may already be gone (write error while its
+            // job ran); the work is durable either way, the reply just
+            // has nowhere to go.
+            if let Some(conn) = conns.get_mut(&completion.conn_id) {
+                apply_completion(conn, completion, &pool, true);
+            }
+        }
+
+        // Sweep: read, dispatch, flush, decide closes.
+        for conn in conns.values_mut() {
+            let result = read_conn(conn, &shared, &mut activity)
+                .and_then(|()| {
+                    maybe_dispatch(conn, &pool);
+                    flush_conn(conn, shared.config.read_timeout)
+                })
+                .and_then(|()| {
+                    let drained = !conn.has_unflushed();
+                    if drained && !conn.job_inflight {
+                        if conn.close_after_flush {
+                            return Err(CloseKind::Normal);
+                        }
+                        if conn.read_closed && conn.pending.is_empty() {
+                            return Err(CloseKind::Normal);
+                        }
+                    }
+                    Ok(())
+                });
+            if let Err(kind) = result {
+                closing.push((conn.id, kind));
+            }
+        }
+        for (id, kind) in closing.drain(..) {
+            activity = true;
+            finish_conn(&mut conns, &shared, id, kind);
+        }
+
+        // Idle policy: spin hot while anything is moving or in flight
+        // (yield_now lets workers run on small machines), keep spinning
+        // through the short post-activity window so ping-pong workloads
+        // never pay a sleep wakeup, then escalate to sleeps capped at the
+        // shutdown-poll interval.
+        if activity || pool.inflight() > 0 {
+            last_activity = Instant::now();
+            idle_sleeps = 0;
+            std::thread::yield_now();
+        } else if last_activity.elapsed() < IDLE_SPIN_WINDOW {
+            std::thread::yield_now();
+        } else {
+            idle_sleeps = idle_sleeps.saturating_add(1);
+            let step = Duration::from_micros(50)
+                .saturating_mul(idle_sleeps)
+                .min(shared.config.poll_interval);
+            std::thread::sleep(step);
+        }
+    }
+
+    // Drain: in-flight jobs finish (bounded) and their replies flush, so
+    // a request the daemon already accepted is answered before the store
+    // checkpoints.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while pool.inflight() > 0 && Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    pool.drain_completions(&mut completions);
+    for completion in completions.drain(..) {
+        if let Some(conn) = conns.get_mut(&completion.conn_id) {
+            apply_completion(conn, completion, &pool, false);
+        }
+    }
+    for conn in conns.values_mut() {
+        let flush_deadline = Instant::now() + Duration::from_millis(500);
+        while conn.has_unflushed() && Instant::now() < flush_deadline {
+            if flush_conn(conn, Duration::from_millis(500)).is_err() {
+                break;
+            }
+            if conn.has_unflushed() {
+                std::thread::yield_now();
+            }
+        }
+    }
+    let ids: Vec<u64> = conns.keys().copied().collect();
+    for id in ids {
+        finish_conn(&mut conns, &shared, id, CloseKind::Normal);
+    }
+    pool.shutdown_and_join();
 }
 
 /// The background maintenance thread: every `compact_interval` it either
@@ -642,166 +1243,48 @@ fn maintenance_loop(shared: Arc<Shared>) {
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
-    // The fault wrapper is a transparent passthrough unless a plan put
-    // rules on the rpc.read / rpc.write sites.
-    let mut stream = FaultyStream::new(stream, shared.read_site.clone(), shared.write_site.clone());
-    let mut last_frame = Instant::now();
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        // The socket's read timeout is the short shutdown-poll interval; a
-        // frame already arriving gets the full idle cutoff as its stall
-        // budget, so a slow writer is not disconnected mid-frame.
-        match read_frame_with_stall(
-            &mut stream,
-            shared.config.max_frame_len,
-            Some(shared.config.read_timeout),
-        ) {
-            Ok(ReadOutcome::Idle) => {
-                if last_frame.elapsed() > shared.config.read_timeout {
-                    ptm_obs::counter!("rpc.server.connections.idle_timeout").inc();
-                    break;
-                }
+/// Runs one job on a pool worker. A panicking handler is caught and
+/// answered, not allowed to unwind: every shared lock recovers from
+/// poisoning, so the daemon keeps serving afterwards — only the affected
+/// connection closes.
+fn run_job(shared: &Shared, job: Job) -> Completion {
+    let conn_id = job.conn_id;
+    match std::panic::catch_unwind(AssertUnwindSafe(|| match job.kind {
+        JobKind::Single(frame) => vec![run_single(shared, frame)],
+        JobKind::Ingest(frames) => ingest_frames(shared, frames),
+    })) {
+        Ok(replies) => Completion {
+            conn_id,
+            replies,
+            close: false,
+        },
+        Err(_) => {
+            ptm_obs::counter!("rpc.server.panics").inc();
+            ptm_obs::error!("rpc.server", "request handler panicked");
+            // Preserve the evidence: the recorder tail is the last trace
+            // of what the handler was doing.
+            dump_recorder(&shared.config, "handler panic");
+            Completion {
+                conn_id,
+                replies: vec![Reply {
+                    response: Response::Error {
+                        code: ErrorCode::Internal,
+                        message: "internal error: request handler panicked".into(),
+                    },
+                    version: PROTOCOL_VERSION,
+                    trace: None,
+                }],
+                close: true,
             }
-            Ok(ReadOutcome::Closed) => break,
-            Ok(ReadOutcome::Frame(payload)) => {
-                let arrived = Instant::now();
-                last_frame = arrived;
-                ptm_obs::counter!("rpc.server.frames.in").inc();
-                ptm_obs::counter!("rpc.server.bytes.in").add(payload.len() as u64 + 8);
-                // A panicking handler is caught and answered, not allowed
-                // to unwind the thread: every shared lock recovers from
-                // poisoning, so the daemon keeps serving afterwards.
-                let outcome = match std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    dispatch(&payload, &shared, arrived)
-                })) {
-                    Ok(result) => result,
-                    Err(_) => {
-                        ptm_obs::counter!("rpc.server.panics").inc();
-                        ptm_obs::error!("rpc.server", "request handler panicked");
-                        // Preserve the evidence: the recorder tail is the
-                        // last trace of what the handler was doing.
-                        dump_recorder(&shared.config, "handler panic");
-                        Dispatched {
-                            response: Response::Error {
-                                code: ErrorCode::Internal,
-                                message: "internal error: request handler panicked".into(),
-                            },
-                            close: true,
-                            version: PROTOCOL_VERSION,
-                            trace: None,
-                        }
-                    }
-                };
-                if !respond(
-                    &mut stream,
-                    &outcome.response,
-                    outcome.version,
-                    outcome.trace,
-                ) || outcome.close
-                {
-                    break;
-                }
-            }
-            Err(err) => {
-                ptm_obs::counter!("rpc.server.frames.bad").inc();
-                ptm_obs::warn!("rpc.server", "bad frame"; error = err.to_string());
-                // Best-effort error response; the connection closes either
-                // way, so a peer stuck mid-frame is simply dropped.
-                if !matches!(err, FrameError::Io(_)) {
-                    let response = Response::Error {
-                        code: ErrorCode::Malformed,
-                        message: err.to_string(),
-                    };
-                    respond(&mut stream, &response, PROTOCOL_VERSION, None);
-                }
-                break;
-            }
-        }
-    }
-    ptm_obs::counter!("rpc.server.connections.closed").inc();
-}
-
-/// Writes a response frame; returns false when the connection is dead.
-///
-/// `version` is the requester's protocol version — the reply must never
-/// carry a newer header than the peer can read. `parent` links the
-/// encode-reply span into the request's trace (the dispatch span has
-/// already closed by the time the reply is written).
-fn respond<S: io::Write>(
-    stream: &mut S,
-    response: &Response,
-    version: u8,
-    parent: Option<ptm_obs::TraceContext>,
-) -> bool {
-    let _s = match parent {
-        Some(ctx) => ptm_obs::tspan!("rpc.server.encode_reply", child_of = ctx),
-        None => ptm_obs::tspan!("rpc.server.encode_reply"),
-    };
-    let payload = encode_response_for(version, response);
-    match write_frame(stream, &payload) {
-        Ok(()) => {
-            ptm_obs::counter!("rpc.server.frames.out").inc();
-            ptm_obs::counter!("rpc.server.bytes.out").add(payload.len() as u64 + 8);
-            true
-        }
-        Err(err) => {
-            ptm_obs::debug!("rpc.server", "response write failed"; error = err.to_string());
-            false
         }
     }
 }
 
-/// Everything [`dispatch`] hands back to the connection loop: the reply,
-/// whether the connection must close, the protocol version to encode the
-/// reply in, and the request's trace context for the encode-reply span.
-struct Dispatched {
-    response: Response,
-    close: bool,
-    version: u8,
-    trace: Option<ptm_obs::TraceContext>,
-}
-
-/// Handles one decoded frame.
-///
-/// `arrived` is when the frame left the socket; the gap to here is the
-/// request's queue wait. The dispatch span joins the trace context carried
-/// in a v3 header, or roots a locally minted trace for v1/v2 peers, so
-/// every downstream stage (lock wait, commit, estimate, encode-reply)
-/// parents into one connected span tree per round trip.
-fn dispatch(payload: &[u8], shared: &Shared, arrived: Instant) -> Dispatched {
-    let decoded = match decode_request(payload) {
-        Ok(decoded) => decoded,
-        Err(ProtoError::VersionMismatch { got, want }) => {
-            ptm_obs::counter!("rpc.server.version_mismatch").inc();
-            return Dispatched {
-                response: Response::Error {
-                    code: ErrorCode::VersionMismatch,
-                    message: format!("client speaks version {got}, server speaks {want}"),
-                },
-                close: true,
-                version: PROTOCOL_VERSION,
-                trace: None,
-            };
-        }
-        Err(err) => {
-            ptm_obs::counter!("rpc.server.decode_errors").inc();
-            return Dispatched {
-                response: Response::Error {
-                    code: ErrorCode::Malformed,
-                    message: err.to_string(),
-                },
-                close: true,
-                version: PROTOCOL_VERSION,
-                trace: None,
-            };
-        }
-    };
-    let root = match decoded.trace {
+/// Opens the request's dispatch span — joining the trace context carried
+/// in a v3 header, or rooting a locally minted trace for v1/v2 peers — and
+/// records the queue wait since the frame left the socket.
+fn open_dispatch(trace: Option<WireTrace>, arrived: Instant) -> ptm_obs::trace::SpanGuard {
+    let root = match trace {
         Some(wire) => ptm_obs::tspan!(
             "rpc.server.dispatch",
             child_of = ptm_obs::TraceContext {
@@ -812,16 +1295,45 @@ fn dispatch(payload: &[u8], shared: &Shared, arrived: Instant) -> Dispatched {
         None => ptm_obs::tspan!("rpc.server.dispatch"),
     };
     ptm_obs::tspan!("rpc.server.queue_wait", elapsed = arrived);
+    root
+}
+
+/// Handles one non-upload frame (ping, query, stats). Every downstream
+/// stage (lock wait, estimate, encode-reply) parents into the dispatch
+/// span, so one round trip is one connected span tree.
+fn run_single(shared: &Shared, frame: DecodedFrame) -> Reply {
+    let root = open_dispatch(frame.trace, frame.arrived);
     let trace = root.context();
-    let response = match decoded.request {
+    let version = frame.version;
+    let response = match frame.request {
         Request::Ping => Response::Pong {
             version: PROTOCOL_VERSION,
             s: shared.config.s,
             records: shared.record_total.load(Ordering::SeqCst) as u64,
             degraded: shared.degraded.flag.load(Ordering::SeqCst),
         },
-        Request::Upload(record) => ingest(shared, vec![record]),
-        Request::UploadBatch(records) => ingest(shared, records),
+        // Uploads route through ingest jobs; this arm only exists so a
+        // misrouted frame still gets a correct (if uncoalesced) answer.
+        request @ (Request::Upload(_) | Request::UploadBatch(_)) => {
+            drop(root);
+            let mut replies = ingest_frames(
+                shared,
+                vec![DecodedFrame {
+                    request,
+                    version,
+                    trace: frame.trace,
+                    arrived: frame.arrived,
+                }],
+            );
+            return replies.pop().unwrap_or(Reply {
+                response: Response::Error {
+                    code: ErrorCode::Internal,
+                    message: "ingest produced no reply".into(),
+                },
+                version,
+                trace: None,
+            });
+        }
         Request::QueryVolume { location, period } => {
             ptm_obs::counter!("rpc.server.queries").inc();
             answer_cached(shared, QueryKey::Volume { location, period }, |central| {
@@ -855,10 +1367,9 @@ fn dispatch(payload: &[u8], shared: &Shared, arrived: Instant) -> Dispatched {
         }
         Request::Stats => Response::Stats(stats_json(shared)),
     };
-    Dispatched {
+    Reply {
         response,
-        close: false,
-        version: decoded.version,
+        version,
         trace,
     }
 }
@@ -1106,16 +1617,61 @@ fn ensure_hydrated(shared: &Shared, locations: &[LocationId]) -> Result<(), Stri
     ensure_hydrated_locked(shared, &mut store, locations)
 }
 
-/// The write-ahead ingest path, under the exclusive writer lock: validate
-/// the whole batch (against the store *and* against itself), persist every
-/// fresh record with a single flush, publish them to the sharded query
-/// engine, then ack. A conflicting duplicate anywhere in the batch rejects
-/// the batch whole — nothing is applied, so a client retry cannot
-/// half-apply. Because the archive is appended *before* the records become
-/// queryable, a storage failure leaves the engine untouched and a retry
-/// starts from a consistent store.
-fn ingest(shared: &Shared, records: Vec<TrafficRecord>) -> Response {
+/// How one coalesced upload frame fared through validation.
+enum FrameVerdict {
+    /// Validated clean: `range` indexes its fresh records in the staged
+    /// vector, `duplicates` its idempotent re-sends.
+    Staged {
+        range: std::ops::Range<usize>,
+        duplicates: u32,
+    },
+    /// Rejected (conflicting duplicate or hydration failure); carries the
+    /// error reply. Its records were un-staged — other frames commit.
+    Rejected(Response),
+}
+
+/// The write-ahead ingest path for a run of coalesced upload frames from
+/// one connection, under the exclusive writer lock: validate each frame's
+/// batch whole (against the store, against itself, and against the frames
+/// staged ahead of it — exactly what committing them one at a time would
+/// have seen), persist every fresh record with a **single** append+flush,
+/// publish, then ack each frame individually. A conflicting duplicate
+/// anywhere in a frame rejects that frame whole and un-stages its records
+/// — frames before and after it still commit, matching sequential
+/// semantics. Because the archive is appended *before* the records become
+/// queryable, a storage failure leaves the engine untouched: every
+/// validated frame is answered `Overloaded` (retry genuinely helps once
+/// the backend recovers) and nothing is acked.
+fn ingest_frames(shared: &Shared, frames: Vec<DecodedFrame>) -> Vec<Reply> {
     let _t = ptm_obs::span!("rpc.server.ingest");
+    if frames.len() > 1 {
+        ptm_obs::counter!("rpc.server.frames.coalesced").add(frames.len() as u64);
+    }
+    // Open every frame's dispatch span up front. The first frame's span
+    // stays open across the whole commit so lock-wait and commit spans
+    // (which parent off the thread-local current span) land inside it;
+    // later frames get their queue wait recorded and their trace context
+    // captured for the encode-reply stage.
+    let mut metas: Vec<(u8, Option<ptm_obs::TraceContext>)> = Vec::with_capacity(frames.len());
+    let mut requests: Vec<Request> = Vec::with_capacity(frames.len());
+    let mut root0: Option<ptm_obs::trace::SpanGuard> = None;
+    for (i, frame) in frames.into_iter().enumerate() {
+        let root = open_dispatch(frame.trace, frame.arrived);
+        metas.push((frame.version, root.context()));
+        requests.push(frame.request);
+        if i == 0 {
+            root0 = Some(root);
+        }
+    }
+    let _root0 = root0;
+    let shed_reply = |(version, trace): &(u8, Option<ptm_obs::TraceContext>)| Reply {
+        response: Response::Overloaded {
+            retry_after_ms: shared.config.retry_after_ms,
+        },
+        version: *version,
+        trace: *trace,
+    };
+
     let mut store = lock_writer(&shared.writer);
     if shared
         .config
@@ -1129,80 +1685,132 @@ fn ingest(shared: &Shared, records: Vec<TrafficRecord>) -> Response {
     // uploads fast — or, if the cooldown has passed, probe a reopen and
     // resume ingest on success. Queries never reach this path.
     if shared.degraded.flag.load(Ordering::SeqCst) && !try_recover(shared, &mut store) {
-        ptm_obs::counter!("rpc.shed.uploads").inc();
-        return Response::Overloaded {
-            retry_after_ms: shared.config.retry_after_ms,
-        };
+        return metas
+            .iter()
+            .map(|meta| {
+                ptm_obs::counter!("rpc.shed.uploads").inc();
+                shed_reply(meta)
+            })
+            .collect();
     }
-    // Duplicate validation consults the query engine, so every location
-    // this batch touches must be hydrated first.
-    let touched: Vec<LocationId> = {
-        let mut seen: Vec<LocationId> = Vec::new();
-        for record in &records {
-            if !seen.contains(&record.location()) {
-                seen.push(record.location());
-            }
-        }
-        seen
-    };
-    if let Err(detail) = ensure_hydrated_locked(shared, &mut store, &touched) {
-        ptm_obs::error!("rpc.server", "hydration before ingest failed"; detail = detail.clone());
-        return Response::Error {
-            code: ErrorCode::Internal,
-            message: detail,
-        };
-    }
-    let mut fresh: Vec<TrafficRecord> = Vec::with_capacity(records.len());
+
+    // Validate frame by frame, staging fresh records into one commit.
+    // `batch_index` spans the whole staged set so cross-frame duplicates
+    // resolve exactly as sequential commits would: identical re-send →
+    // idempotent duplicate, different contents → that frame rejected.
+    let mut staged: Vec<TrafficRecord> = Vec::new();
     let mut batch_index: HashMap<(LocationId, PeriodId), usize> = HashMap::new();
-    let mut duplicates = 0u32;
-    for record in records {
-        let key = (record.location(), record.period());
-        match shared.central.record(key.0, key.1) {
-            Some(existing) if existing == record => {
-                duplicates += 1;
-                continue;
+    let mut verdicts: Vec<FrameVerdict> = Vec::with_capacity(requests.len());
+    for request in requests {
+        let records = match request {
+            Request::Upload(record) => vec![record],
+            Request::UploadBatch(records) => records,
+            // maybe_dispatch only coalesces upload frames.
+            _ => Vec::new(),
+        };
+        let staged_start = staged.len();
+        let mut added_keys: Vec<(LocationId, PeriodId)> = Vec::new();
+        let mut duplicates = 0u32;
+        let mut rejection: Option<Response> = None;
+        // Duplicate validation consults the query engine, so every
+        // location this frame touches must be hydrated first.
+        let touched: Vec<LocationId> = {
+            let mut seen: Vec<LocationId> = Vec::new();
+            for record in &records {
+                if !seen.contains(&record.location()) {
+                    seen.push(record.location());
+                }
             }
-            Some(_) => {
-                ptm_obs::counter!("rpc.server.ingest.conflicts").inc();
-                return Response::Error {
-                    code: ErrorCode::DuplicateConflict,
-                    message: format!(
-                        "location {} period {} already holds different contents",
-                        key.0.get(),
-                        key.1.get()
-                    ),
-                };
-            }
-            None => {}
+            seen
+        };
+        if let Err(detail) = ensure_hydrated_locked(shared, &mut store, &touched) {
+            ptm_obs::error!("rpc.server", "hydration before ingest failed";
+                detail = detail.clone());
+            verdicts.push(FrameVerdict::Rejected(Response::Error {
+                code: ErrorCode::Internal,
+                message: detail,
+            }));
+            continue;
         }
-        match batch_index.get(&key) {
-            Some(&index) if fresh[index] == record => duplicates += 1,
-            Some(_) => {
-                ptm_obs::counter!("rpc.server.ingest.conflicts").inc();
-                return Response::Error {
-                    code: ErrorCode::DuplicateConflict,
-                    message: format!(
-                        "location {} period {} repeated within one batch with different \
-                         contents",
-                        key.0.get(),
-                        key.1.get()
-                    ),
-                };
+        for record in records {
+            let key = (record.location(), record.period());
+            match shared.central.record(key.0, key.1) {
+                Some(existing) if existing == record => {
+                    duplicates += 1;
+                    continue;
+                }
+                Some(_) => {
+                    ptm_obs::counter!("rpc.server.ingest.conflicts").inc();
+                    rejection = Some(Response::Error {
+                        code: ErrorCode::DuplicateConflict,
+                        message: format!(
+                            "location {} period {} already holds different contents",
+                            key.0.get(),
+                            key.1.get()
+                        ),
+                    });
+                    break;
+                }
+                None => {}
             }
-            None => {
-                batch_index.insert(key, fresh.len());
-                fresh.push(record);
+            match batch_index.get(&key) {
+                Some(&index) if staged[index] == record => duplicates += 1,
+                Some(&index) => {
+                    ptm_obs::counter!("rpc.server.ingest.conflicts").inc();
+                    let message = if index >= staged_start {
+                        format!(
+                            "location {} period {} repeated within one batch with different \
+                             contents",
+                            key.0.get(),
+                            key.1.get()
+                        )
+                    } else {
+                        // Staged by an earlier pipelined frame: to this
+                        // frame it is indistinguishable from an already
+                        // committed record.
+                        format!(
+                            "location {} period {} already holds different contents",
+                            key.0.get(),
+                            key.1.get()
+                        )
+                    };
+                    rejection = Some(Response::Error {
+                        code: ErrorCode::DuplicateConflict,
+                        message,
+                    });
+                    break;
+                }
+                None => {
+                    batch_index.insert(key, staged.len());
+                    added_keys.push(key);
+                    staged.push(record);
+                }
             }
+        }
+        match rejection {
+            Some(response) => {
+                // Un-stage only this frame's records; earlier frames'
+                // staging is untouched.
+                staged.truncate(staged_start);
+                for key in added_keys {
+                    batch_index.remove(&key);
+                }
+                verdicts.push(FrameVerdict::Rejected(response));
+            }
+            None => verdicts.push(FrameVerdict::Staged {
+                range: staged_start..staged.len(),
+                duplicates,
+            }),
         }
     }
-    // Write-ahead: disk first, then the query engine, then the ack. A
-    // failed append rolled the archive back to its last committed frame
-    // (ptm-store's transactional commit), so nothing from this batch is
-    // durable and nothing gets published or acked — the client's retry
-    // starts from a consistent store. The answer is Overloaded, not a
-    // fatal error: retrying genuinely can help once the backend recovers.
+
+    // Write-ahead: disk first, then the query engine, then the acks. One
+    // append+flush covers every staged frame — the batching win of the
+    // pipelined path. A failed append rolled the archive back to its last
+    // committed frame (ptm-store's transactional commit), so nothing from
+    // any frame is durable and no validated frame is acked.
     let commit_span = ptm_obs::tspan!("rpc.server.commit");
-    let commit_result = store.append_all(fresh.iter());
+    let commit_result = store.append_all(staged.iter());
     drop(commit_span);
     if let Err(err) = commit_result {
         let failures = shared.degraded.failures.fetch_add(1, Ordering::SeqCst) + 1;
@@ -1212,25 +1820,72 @@ fn ingest(shared: &Shared, records: Vec<TrafficRecord>) -> Response {
         if store.is_wedged() || failures >= shared.config.degraded_after_failures {
             enter_degraded(shared);
         }
-        ptm_obs::counter!("rpc.shed.uploads").inc();
-        return Response::Overloaded {
-            retry_after_ms: shared.config.retry_after_ms,
-        };
+        return verdicts
+            .iter()
+            .zip(&metas)
+            .map(|(verdict, meta)| match verdict {
+                FrameVerdict::Staged { .. } => {
+                    ptm_obs::counter!("rpc.shed.uploads").inc();
+                    shed_reply(meta)
+                }
+                FrameVerdict::Rejected(response) => Reply {
+                    response: response.clone(),
+                    version: meta.0,
+                    trace: meta.1,
+                },
+            })
+            .collect();
     }
     shared.degraded.failures.store(0, Ordering::SeqCst);
-    for record in &fresh {
-        // Validation plus the exclusive writer lock make conflicts here
-        // impossible; answer defensively rather than panic if that
-        // invariant is ever broken.
-        if let Err(err) = shared.central.submit(record.clone()) {
-            ptm_obs::error!("rpc.server", "publish after archive failed";
-                error = err.to_string());
-            return Response::Error {
-                code: ErrorCode::Internal,
-                message: err.to_string(),
+
+    // Publish and ack per frame. Validation plus the exclusive writer
+    // lock make publish conflicts impossible; answer that frame
+    // defensively rather than panic if the invariant is ever broken (its
+    // records are already durable, so the remaining frames still
+    // publish).
+    let mut accepted_total = 0u64;
+    let mut duplicates_total = 0u64;
+    let replies: Vec<Reply> = verdicts
+        .into_iter()
+        .zip(&metas)
+        .map(|(verdict, meta)| {
+            let response = match verdict {
+                FrameVerdict::Rejected(response) => response,
+                FrameVerdict::Staged { range, duplicates } => {
+                    let accepted = range.len() as u32;
+                    let mut failed = None;
+                    for record in &staged[range] {
+                        if let Err(err) = shared.central.submit(record.clone()) {
+                            ptm_obs::error!("rpc.server", "publish after archive failed";
+                                error = err.to_string());
+                            failed = Some(Response::Error {
+                                code: ErrorCode::Internal,
+                                message: err.to_string(),
+                            });
+                            break;
+                        }
+                    }
+                    match failed {
+                        Some(response) => response,
+                        None => {
+                            accepted_total += u64::from(accepted);
+                            duplicates_total += u64::from(duplicates);
+                            Response::UploadOk {
+                                accepted,
+                                duplicates,
+                            }
+                        }
+                    }
+                }
             };
-        }
-    }
+            Reply {
+                response,
+                version: meta.0,
+                trace: meta.1,
+            }
+        })
+        .collect();
+
     shared
         .record_total
         .store(store.record_count(), Ordering::SeqCst);
@@ -1241,12 +1896,9 @@ fn ingest(shared: &Shared, records: Vec<TrafficRecord>) -> Response {
         ptm_obs::gauge!("rpc.shard.records").set(store.record_count() as i64);
         ptm_obs::gauge!("rpc.shard.locations").set(store.location_count() as i64);
     }
-    ptm_obs::counter!("rpc.server.ingest.accepted").add(fresh.len() as u64);
-    ptm_obs::counter!("rpc.server.ingest.duplicates").add(u64::from(duplicates));
-    Response::UploadOk {
-        accepted: fresh.len() as u32,
-        duplicates,
-    }
+    ptm_obs::counter!("rpc.server.ingest.accepted").add(accepted_total);
+    ptm_obs::counter!("rpc.server.ingest.duplicates").add(duplicates_total);
+    replies
 }
 
 /// Flips ingest into degraded (read-only) mode. Idempotent.
@@ -1393,7 +2045,7 @@ fn try_recover(shared: &Shared, store: &mut MutexGuard<'_, SegmentStore>) -> boo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::frame::read_frame;
+    use crate::frame::{read_frame, write_frame, ReadOutcome};
     use ptm_core::encoding::{EncodingScheme, LocationId, VehicleSecrets};
     use ptm_core::params::BitmapSize;
     use ptm_core::record::PeriodId;
@@ -1740,52 +2392,186 @@ mod tests {
             Response::Pong { .. }
         ));
 
-        // The third connection is answered with Overloaded and closed.
+        // The third connection receives nothing unsolicited; its first
+        // request is answered with Overloaded and the connection closes.
         let mut shed = connect(addr);
-        match read_frame(&mut shed, DEFAULT_MAX_FRAME_LEN).expect("read shed frame") {
-            ReadOutcome::Frame(bytes) => {
-                let response = crate::proto::decode_response(&bytes).expect("decode");
-                assert_eq!(response, Response::Overloaded { retry_after_ms: 33 });
-            }
-            other => panic!("expected Overloaded frame, got {other:?}"),
-        }
+        assert_eq!(
+            exchange(&mut shed, &Request::Ping),
+            Response::Overloaded { retry_after_ms: 33 }
+        );
+        assert!(matches!(
+            read_frame(&mut shed, DEFAULT_MAX_FRAME_LEN),
+            Ok(ReadOutcome::Closed)
+        ));
         drop(shed);
 
-        // Releasing one slot lets a new connection in (the count drops
-        // when the connection thread exits, so poll briefly).
+        // Releasing one slot lets a new connection in (the reactor
+        // retires the closed connection on its next sweep, so poll
+        // briefly): a Pong instead of Overloaded means admitted.
         drop(held_a);
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
             let mut retry = connect(addr);
-            // Short timeout: a shed frame arrives immediately; silence
-            // means we were admitted.
-            retry
-                .set_read_timeout(Some(Duration::from_millis(200)))
-                .expect("timeout");
-            match read_frame(&mut retry, DEFAULT_MAX_FRAME_LEN).expect("read") {
-                ReadOutcome::Frame(bytes) => {
-                    match crate::proto::decode_response(&bytes).expect("decode") {
-                        Response::Overloaded { .. } => {
-                            assert!(Instant::now() < deadline, "slot never released");
-                            std::thread::sleep(Duration::from_millis(10));
-                        }
-                        other => panic!("unsolicited frame {other:?}"),
-                    }
+            match exchange(&mut retry, &Request::Ping) {
+                Response::Overloaded { .. } => {
+                    assert!(Instant::now() < deadline, "slot never released");
+                    std::thread::sleep(Duration::from_millis(10));
                 }
-                ReadOutcome::Idle => {
-                    // No unsolicited frame: we were admitted. Prove it
-                    // with a full exchange.
-                    retry
-                        .set_read_timeout(Some(Duration::from_secs(5)))
-                        .expect("timeout");
-                    assert!(matches!(
-                        exchange(&mut retry, &Request::Ping),
-                        Response::Pong { .. }
-                    ));
-                    break;
-                }
-                ReadOutcome::Closed => panic!("connection closed without a frame"),
+                Response::Pong { .. } => break,
+                other => panic!("unexpected response {other:?}"),
             }
+        }
+        server.shutdown().expect("shutdown");
+        cleanup_archive(&path);
+    }
+
+    #[test]
+    fn shed_path_never_writes_unsolicited_or_blocks_other_accepts() {
+        // Regression for the accept-loop head-of-line blocking bug: the
+        // old accept thread wrote the Overloaded frame inline with a 1 s
+        // write timeout, so one slow shed peer could stall every other
+        // accept — and the unsolicited frame raced the client's first
+        // request. Now shed connections park silently until they speak.
+        let path = temp_archive("shed-hol");
+        let config = ServerConfig {
+            max_connections: 1,
+            retry_after_ms: 21,
+            // Long idle cutoff: the sequential no-bytes check below takes
+            // ~2 s across 20 lingerers, and none may be idle-closed before
+            // its turn.
+            read_timeout: Duration::from_secs(10),
+            ..test_config()
+        };
+        let server = RpcServer::start("127.0.0.1:0", &path, config).expect("start");
+        let addr = server.local_addr();
+
+        let mut held = connect(addr);
+        assert!(matches!(
+            exchange(&mut held, &Request::Ping),
+            Response::Pong { .. }
+        ));
+
+        // A pile of shed connections that never read and never speak.
+        // Under the old inline write they would each have received an
+        // unsolicited frame (and, unread, could stall the accept thread).
+        let lingerers: Vec<TcpStream> = (0..20).map(|_| connect(addr)).collect();
+        std::thread::sleep(Duration::from_millis(100));
+
+        // While they linger, the admitted connection is served promptly.
+        let start = Instant::now();
+        assert!(matches!(
+            exchange(&mut held, &Request::Ping),
+            Response::Pong { .. }
+        ));
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "admitted connection stalled behind shed peers: {:?}",
+            start.elapsed()
+        );
+
+        // No shed connection received a single unsolicited byte.
+        for mut lingerer in lingerers {
+            lingerer
+                .set_read_timeout(Some(Duration::from_millis(100)))
+                .expect("timeout");
+            assert!(
+                matches!(
+                    read_frame(&mut lingerer, DEFAULT_MAX_FRAME_LEN),
+                    Ok(ReadOutcome::Idle)
+                ),
+                "shed connection received unsolicited bytes"
+            );
+        }
+
+        // A shed connection that does speak gets its Overloaded answer.
+        let mut polite = connect(addr);
+        assert_eq!(
+            exchange(&mut polite, &Request::Ping),
+            Response::Overloaded { retry_after_ms: 21 }
+        );
+        server.shutdown().expect("shutdown");
+        cleanup_archive(&path);
+    }
+
+    #[test]
+    fn v1_client_at_capacity_gets_clean_close_not_undecodable_frame() {
+        // Regression for the shed-path versioning bug: the Overloaded
+        // response used to be encoded in the server's own protocol
+        // version before any peer bytes were read, so a v1 client at
+        // capacity received a frame its decoder rejects (v1 predates the
+        // Overloaded tag). Now the reactor peeks the hello's version
+        // byte: v2+ gets Overloaded encoded no newer than it speaks, v1
+        // gets a clean close with zero bytes.
+        let path = temp_archive("shed-v1");
+        let config = ServerConfig {
+            max_connections: 1,
+            retry_after_ms: 44,
+            ..test_config()
+        };
+        let server = RpcServer::start("127.0.0.1:0", &path, config).expect("start");
+        let addr = server.local_addr();
+
+        let mut held = connect(addr);
+        assert!(matches!(
+            exchange(&mut held, &Request::Ping),
+            Response::Pong { .. }
+        ));
+
+        // Hand-crafted v1 ping: `version | tag` (tag 1 = Ping), no flags
+        // byte.
+        let mut v1 = connect(addr);
+        write_frame(&mut v1, &[1, 1]).expect("write v1 ping");
+        match read_frame(&mut v1, DEFAULT_MAX_FRAME_LEN).expect("read") {
+            ReadOutcome::Closed => {}
+            other => panic!("v1 shed must close cleanly with zero bytes, got {other:?}"),
+        }
+
+        // A v2 peer gets Overloaded carried in a v2 header, never v3.
+        let mut v2 = connect(addr);
+        write_frame(&mut v2, &[2, 1]).expect("write v2 ping");
+        match read_frame(&mut v2, DEFAULT_MAX_FRAME_LEN).expect("read") {
+            ReadOutcome::Frame(bytes) => {
+                assert_eq!(bytes[0], 2, "reply header newer than the peer speaks");
+                assert_eq!(
+                    crate::proto::decode_response(&bytes).expect("decode"),
+                    Response::Overloaded { retry_after_ms: 44 }
+                );
+            }
+            other => panic!("expected a v2 Overloaded frame, got {other:?}"),
+        }
+        server.shutdown().expect("shutdown");
+        cleanup_archive(&path);
+    }
+
+    #[test]
+    fn connection_teardown_releases_slots_without_new_accepts() {
+        // Regression for the reaping bug: the old accept loop only reaped
+        // finished connection handles on a *successful accept*, so
+        // resources from closed connections lingered while the listener
+        // idled. The reactor retires closed connections on its sweep —
+        // the count must drop promptly with nobody connecting.
+        let path = temp_archive("reap");
+        let server = RpcServer::start("127.0.0.1:0", &path, test_config()).expect("start");
+        let addr = server.local_addr();
+
+        let mut conns: Vec<TcpStream> = (0..5).map(|_| connect(addr)).collect();
+        for stream in &mut conns {
+            assert!(matches!(
+                exchange(stream, &Request::Ping),
+                Response::Pong { .. }
+            ));
+        }
+        assert_eq!(server.connection_count(), 5);
+
+        drop(conns);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.connection_count() > 0 {
+            assert!(
+                Instant::now() < deadline,
+                "closed connections never reaped: {} still counted",
+                server.connection_count()
+            );
+            std::thread::sleep(Duration::from_millis(5));
         }
         server.shutdown().expect("shutdown");
         cleanup_archive(&path);

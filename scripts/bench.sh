@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Micro-benchmark snapshot: runs the stub-criterion benches that this
-# repo tracks release-over-release and distills their medians into two
-# committed JSON files (BENCH_6.json and BENCH_7.json by default).
+# repo tracks release-over-release and distills their medians into three
+# committed JSON files (BENCH_6.json, BENCH_7.json, and BENCH_8.json by
+# default).
 #
-#   ./scripts/bench.sh [output.json] [storage-output.json]
+#   ./scripts/bench.sh [output.json] [storage-output.json] [reactor-output.json]
 #
 # Tracked medians (ns per iteration), first file:
 #   encoding/encode_10k_vehicles     vehicle encoding, 10k per iteration
@@ -18,18 +19,30 @@
 #   store/read_hit                   historical read served by the page cache
 #   store/read_miss                  historical read walking index + disk
 #
+# Third file (the reactor wire-path numbers):
+#   frame/decode_in_place            FrameDecoder: reusable buffer, borrowed payload
+#   frame/decode_copy                read_frame baseline: fresh Vec per frame
+#   reactor/pipelined_ingest         16-record pipelined wave, coalesced commit
+#   reactor/accept_latency           connect + ping with 512 idle connections held
+#   trace/ingest_untraced            single-upload round trip, tracing off (same
+#   trace/ingest_traced               runs as the first file — no re-measurement)
+#
 # The traced-vs-untraced pair is the disabled-path guarantee in numbers:
 # ingest_untraced must sit within noise of the pre-tracing baseline. The
 # v1-vs-v2 open pair is the O(index) startup guarantee: v2 must open the
-# same archive several times faster than a full replay.
+# same archive several times faster than a full replay. The in-place-vs-
+# copy decode pair is the zero-copy guarantee: decode_in_place must not
+# lose to the allocating baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_6.json}"
 store_out="${2:-BENCH_7.json}"
+reactor_out="${3:-BENCH_8.json}"
 raw="$(mktemp)"
 store_raw="$(mktemp)"
-trap 'rm -f "$raw" "$store_raw"' EXIT
+reactor_raw="$(mktemp)"
+trap 'rm -f "$raw" "$store_raw" "$reactor_raw"' EXIT
 
 echo "==> cargo bench -p ptm-bench (tracked subset)"
 cargo bench -p ptm-bench --bench micro -- encoding/encode_10k_vehicles | tee -a "$raw"
@@ -78,3 +91,30 @@ END {
 
 echo "==> wrote $store_out"
 cat "$store_out"
+
+echo "==> cargo bench -p ptm-bench --bench reactor"
+cargo bench -p ptm-bench --bench reactor | tee -a "$reactor_raw"
+
+# The trace/ingest medians are reused from the first run above ($raw), so
+# the reactor snapshot shares the exact numbers the first file committed.
+cat "$raw" >> "$reactor_raw"
+
+awk -v out="$reactor_out" '
+/^bench: / { median[$2] = $4 }
+END {
+    n = split("frame/decode_in_place frame/decode_copy " \
+              "reactor/pipelined_ingest reactor/accept_latency " \
+              "trace/ingest_untraced trace/ingest_traced", keys, " ")
+    printf "{\n  \"units\": \"median_ns_per_iter\"" > out
+    for (i = 1; i <= n; i++) {
+        if (!(keys[i] in median)) {
+            printf "bench.sh: no median captured for %s\n", keys[i] > "/dev/stderr"
+            exit 1
+        }
+        printf ",\n  \"%s\": %s", keys[i], median[keys[i]] > out
+    }
+    print "\n}" > out
+}' "$reactor_raw"
+
+echo "==> wrote $reactor_out"
+cat "$reactor_out"

@@ -50,6 +50,13 @@ timeout 300 cargo test --quiet -p ptm-integration-tests --test chaos
 echo "==> storage-engine kill storms (bounded, fixed seeds)"
 timeout 300 cargo test --quiet -p ptm-integration-tests --test chaos kill_during
 
+# Connection-scale storms against the reactor: hundreds of slow-loris
+# dribblers must not starve healthy clients, a thousand concurrent
+# connections must all be answered, and the pipelined upload path must be
+# bit-for-bit equivalent to the batch path.
+echo "==> reactor storms (bounded)"
+timeout 300 cargo test --quiet -p ptm-integration-tests --test reactor_storm
+
 # Traced loopback smoke: a real daemon with tracing on, one upload and one
 # query against it, then the span JSONL checked against the schema
 # documented in docs/OBSERVABILITY.md. The sample is archived as a CI
