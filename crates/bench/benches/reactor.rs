@@ -1,9 +1,11 @@
 //! Reactor wire-path benchmarks: in-place frame decoding against the
 //! copying baseline, pipelined (coalesced-commit, batched-ack) ingest
-//! throughput, and accept latency while the daemon already holds hundreds
-//! of idle connections.
+//! throughput, accept latency while the daemon already holds hundreds
+//! of idle connections, and the cost of stamping a deadline budget into
+//! the v3 request header.
 //!
-//! `scripts/bench.sh` distills these medians into `BENCH_8.json`.
+//! `scripts/bench.sh` distills these medians into `BENCH_8.json` and the
+//! deadline pair into `BENCH_9.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ptm_core::encoding::{EncodingScheme, LocationId, VehicleSecrets};
@@ -176,10 +178,43 @@ fn bench_accept_latency(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&archive);
 }
 
+/// Deadline-stamping overhead: encoding the same ~4 KiB upload request
+/// with and without the `FLAG_DEADLINE` budget stamp. The stamp is one
+/// flag bit plus four little-endian bytes; this pair pins that adding it
+/// to every client attempt stays within noise of the unstamped encode.
+fn bench_deadline_stamp(c: &mut Criterion) {
+    let scheme = EncodingScheme::new(77, 3);
+    let mut rng = ChaCha12Rng::seed_from_u64(77);
+    let size = BitmapSize::new(4096).expect("pow2");
+    let mut record = TrafficRecord::new(LocationId::new(5), PeriodId::new(0), size);
+    for _ in 0..64 {
+        let v = VehicleSecrets::generate(&mut rng, 3);
+        record.encode(&scheme, &v);
+    }
+    let request = Request::Upload(record);
+
+    let mut group = c.benchmark_group("deadline");
+    group.bench_function("encode_unstamped", |b| {
+        b.iter(|| black_box(ptm_rpc::proto::encode_request_with(&request, None, None)).len());
+    });
+    group.bench_function("encode_stamped", |b| {
+        b.iter(|| {
+            black_box(ptm_rpc::proto::encode_request_with(
+                &request,
+                None,
+                Some(5000),
+            ))
+            .len()
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_frame_decode,
     bench_pipelined_ingest,
-    bench_accept_latency
+    bench_accept_latency,
+    bench_deadline_stamp
 );
 criterion_main!(benches);

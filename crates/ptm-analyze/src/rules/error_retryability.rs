@@ -1,0 +1,246 @@
+//! `error-retryability`: every error-range RPC response variant must have
+//! an explicit client retry classification.
+//!
+//! `crates/ptm-rpc/src/proto.rs` declares the authoritative error range in
+//! `Response::is_error` — the variants a server can answer *instead of* the
+//! requested payload. The client steers its retry loop off
+//! `classify_response` in `crates/ptm-rpc/src/client.rs`. A protocol change
+//! that adds an error variant without deciding whether the client retries
+//! it falls through `classify_response`'s catch-all as "Done" and gets
+//! handed to callers as a success-shaped answer. This rule re-derives both
+//! variant sets from the two function bodies and fails when the client's
+//! set does not cover the protocol's.
+
+use super::Rule;
+use crate::findings::Finding;
+use crate::scanner::{Token, TokenKind};
+use crate::workspace::Workspace;
+use std::collections::BTreeSet;
+
+/// See module docs.
+pub struct ErrorRetryability;
+
+const PROTO_FILE: &str = "crates/ptm-rpc/src/proto.rs";
+const CLIENT_FILE: &str = "crates/ptm-rpc/src/client.rs";
+
+impl Rule for ErrorRetryability {
+    fn id(&self) -> &'static str {
+        "error-retryability"
+    }
+
+    fn description(&self) -> &'static str {
+        "every Response error variant appears in the client's retryable-vs-fatal match"
+    }
+
+    fn check(&self, ws: &Workspace, findings: &mut Vec<Finding>) {
+        let missing_anchor = |path: &str, what: &str, hint: &str| Finding {
+            rule: "error-retryability",
+            path: path.to_string(),
+            line: 1,
+            message: format!("{what} not found; the error-retryability invariant is unchecked"),
+            hint: hint.to_string(),
+        };
+        let Some(proto) = ws.files.iter().find(|f| f.rel_path == PROTO_FILE) else {
+            findings.push(missing_anchor(
+                PROTO_FILE,
+                "crates/ptm-rpc/src/proto.rs",
+                "update the error-retryability rule if the protocol module moved",
+            ));
+            return;
+        };
+        let Some(client) = ws.files.iter().find(|f| f.rel_path == CLIENT_FILE) else {
+            findings.push(missing_anchor(
+                CLIENT_FILE,
+                "crates/ptm-rpc/src/client.rs",
+                "update the error-retryability rule if the client module moved",
+            ));
+            return;
+        };
+        let Some((error_variants, _)) = response_variants(&proto.tokens, "is_error") else {
+            findings.push(missing_anchor(
+                PROTO_FILE,
+                "`fn is_error` (the authoritative Response error range)",
+                "keep the error range declared in Response::is_error, or update this rule",
+            ));
+            return;
+        };
+        let Some((classified, classify_line)) =
+            response_variants(&client.tokens, "classify_response")
+        else {
+            findings.push(missing_anchor(
+                CLIENT_FILE,
+                "`fn classify_response` (the client's retryable-vs-fatal match)",
+                "keep the client's retry decisions centralized in classify_response, or \
+                 update this rule",
+            ));
+            return;
+        };
+        for variant in &error_variants {
+            if !classified.contains(variant.as_str()) {
+                findings.push(Finding {
+                    rule: "error-retryability",
+                    path: CLIENT_FILE.to_string(),
+                    line: classify_line,
+                    message: format!(
+                        "`Response::{variant}` is in the protocol's error range \
+                         (Response::is_error) but has no arm in classify_response"
+                    ),
+                    hint: "decide whether the client retries this error and add an explicit \
+                           arm; the catch-all would misreport it as a successful answer"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// The set of `Response::X` variant names referenced inside the body of
+/// `fn <name>`, plus the line the function starts on. `None` when the
+/// function is absent.
+fn response_variants(tokens: &[Token], name: &str) -> Option<(BTreeSet<String>, u32)> {
+    let fn_pos = tokens
+        .windows(2)
+        .position(|w| w[0].is_ident("fn") && w[1].is_ident(name) && !w[0].in_test)?;
+    let line = tokens[fn_pos].line;
+    // Find the body `{`, skipping the parameter list and return type.
+    let mut depth = 0i32;
+    let mut k = fn_pos + 2;
+    let open = loop {
+        let t = tokens.get(k)?;
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') && depth == 0 {
+            break k;
+        }
+        k += 1;
+    };
+    let mut out = BTreeSet::new();
+    let mut brace = 0i32;
+    let mut i = open;
+    while let Some(t) = tokens.get(i) {
+        if t.is_punct('{') {
+            brace += 1;
+        } else if t.is_punct('}') {
+            brace -= 1;
+            if brace == 0 {
+                break;
+            }
+        } else if t.is_ident("Response") {
+            // Match `Response :: Variant` however the scanner split `::`.
+            let mut j = i + 1;
+            let mut colons = 0;
+            while tokens.get(j).is_some_and(|c| c.is_punct(':')) {
+                colons += 1;
+                j += 1;
+            }
+            if colons >= 1 {
+                if let Some(variant) = tokens.get(j) {
+                    if variant.kind == TokenKind::Ident {
+                        out.insert(variant.text.clone());
+                        i = j;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    Some((out, line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::{FileKind, SourceFile};
+
+    fn run(proto_src: &str, client_src: &str) -> Vec<Finding> {
+        let proto = SourceFile::from_source("ptm-rpc", PROTO_FILE, FileKind::Src, proto_src);
+        let client = SourceFile::from_source("ptm-rpc", CLIENT_FILE, FileKind::Src, client_src);
+        let ws = Workspace::in_memory(vec![proto, client], vec![]);
+        let mut findings = Vec::new();
+        ErrorRetryability.check(&ws, &mut findings);
+        findings
+    }
+
+    const PROTO: &str = r#"
+        impl Response {
+            pub fn is_error(&self) -> bool {
+                matches!(
+                    self,
+                    Response::Error { .. }
+                        | Response::Overloaded { .. }
+                        | Response::DeadlineExceeded
+                )
+            }
+        }
+    "#;
+
+    #[test]
+    fn full_coverage_passes() {
+        let client = r#"
+            fn classify_response(response: &Response) -> Disposition {
+                match response {
+                    Response::Overloaded { retry_after_ms } => Disposition::RetryAfter(*retry_after_ms),
+                    Response::DeadlineExceeded => Disposition::RetryDoomed,
+                    Response::Error { .. } => Disposition::Fatal,
+                    _ => Disposition::Done,
+                }
+            }
+        "#;
+        let findings = run(PROTO, client);
+        assert!(findings.is_empty(), "got: {findings:?}");
+    }
+
+    #[test]
+    fn uncovered_error_variant_fires() {
+        let client = r#"
+            fn classify_response(response: &Response) -> Disposition {
+                match response {
+                    Response::Error { .. } => Disposition::Fatal,
+                    Response::Overloaded { retry_after_ms } => Disposition::RetryAfter(*retry_after_ms),
+                    _ => Disposition::Done,
+                }
+            }
+        "#;
+        let findings = run(PROTO, client);
+        assert_eq!(findings.len(), 1, "got: {findings:?}");
+        assert!(
+            findings[0].message.contains("DeadlineExceeded"),
+            "got: {findings:?}"
+        );
+        assert_eq!(findings[0].path, CLIENT_FILE);
+    }
+
+    #[test]
+    fn missing_classifier_fires() {
+        let findings = run(PROTO, "fn other() {}");
+        assert_eq!(findings.len(), 1, "got: {findings:?}");
+        assert!(findings[0].message.contains("classify_response"));
+    }
+
+    #[test]
+    fn missing_error_range_fires() {
+        let findings = run("fn nothing() {}", "fn classify_response() {}");
+        assert_eq!(findings.len(), 1, "got: {findings:?}");
+        assert!(findings[0].message.contains("is_error"));
+    }
+
+    #[test]
+    fn extra_client_arms_are_fine() {
+        // The client may classify more than the protocol's current error
+        // range (e.g. a variant behind a feature gate); only gaps fire.
+        let client = r#"
+            fn classify_response(response: &Response) -> Disposition {
+                match response {
+                    Response::Error { .. } => Disposition::Fatal,
+                    Response::Overloaded { .. } => Disposition::RetryAfter(0),
+                    Response::DeadlineExceeded => Disposition::RetryDoomed,
+                    Response::GoingAway { .. } => Disposition::RetryElsewhere(0),
+                    _ => Disposition::Done,
+                }
+            }
+        "#;
+        assert!(run(PROTO, client).is_empty());
+    }
+}

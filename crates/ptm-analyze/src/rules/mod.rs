@@ -7,6 +7,7 @@ use crate::workspace::Workspace;
 
 mod crate_header;
 mod determinism;
+mod error_retryability;
 mod fault_site_registry;
 mod metric_registry;
 mod no_unwrap;
@@ -15,6 +16,7 @@ mod proto_tags;
 
 pub use crate_header::CrateHeader;
 pub use determinism::Determinism;
+pub use error_retryability::ErrorRetryability;
 pub use fault_site_registry::FaultSiteRegistry;
 pub use metric_registry::MetricRegistry;
 pub use no_unwrap::NoUnwrap;
@@ -46,6 +48,7 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(MetricRegistry),
         Box::new(FaultSiteRegistry),
         Box::new(ProtoTags),
+        Box::new(ErrorRetryability),
         Box::new(Determinism),
         Box::new(CrateHeader),
     ]

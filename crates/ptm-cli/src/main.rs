@@ -93,6 +93,9 @@ COMMANDS:
                   default 30000]
                  [--recorder-dump P: dump the flight recorder as JSONL to P
                   on panic, degraded transitions, and shutdown]
+                 [--drain-file P: graceful-drain hook — when P appears the
+                  daemon stops accepting, answers GoingAway, finishes
+                  in-flight work, checkpoints, and exits]
                  [--faults SPEC --fault-seed N: deterministic fault plan,
                   see docs/FAULTS.md])
                 With --health: probe a running daemon instead (exit 0 iff

@@ -148,16 +148,50 @@ pub fn cmd_serve(options: &Options) -> Result<(), String> {
             String::new()
         }
     );
-    match duration {
-        Some(secs) => {
+    let drain_file = options.get("drain-file").map(PathBuf::from);
+    let poll = Duration::from_millis(100);
+    match (duration, &drain_file) {
+        (Some(secs), Some(file)) => {
+            println!(
+                "serving for {secs}s (touch {} to drain early) ...",
+                file.display()
+            );
+            let until = std::time::Instant::now() + Duration::from_secs(secs);
+            while std::time::Instant::now() < until && !file.exists() {
+                std::thread::sleep(poll);
+            }
+        }
+        (Some(secs), None) => {
             println!("serving for {secs}s ...");
             std::thread::sleep(Duration::from_secs(secs));
         }
-        None => {
+        (None, Some(file)) => {
+            println!("touch {} to drain and stop", file.display());
+            while !file.exists() {
+                std::thread::sleep(poll);
+            }
+        }
+        (None, None) => {
             println!("press Enter (or close stdin) to stop");
             let mut line = String::new();
             let _ = std::io::stdin().read_line(&mut line);
         }
+    }
+    if let Some(file) = &drain_file {
+        // Graceful hand-off: stop taking new work (peers get GoingAway
+        // with a reconnect hint), let in-flight jobs finish and their
+        // replies flush, then fall through to the checkpointing shutdown.
+        println!("draining ...");
+        server.drain();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while !server.drain_complete() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        if !server.drain_complete() {
+            eprintln!("drain timed out after 30s; shutting down anyway");
+        }
+        // Consume the marker so the next start does not drain immediately.
+        let _ = std::fs::remove_file(file);
     }
     let records = server.record_count();
     server.shutdown().map_err(|e| e.to_string())?;

@@ -68,6 +68,11 @@ pub mod sites {
     /// Estimate execution inside the server's in-flight gate (latency or
     /// failure while computing a query answer).
     pub const RPC_ESTIMATE: &str = "rpc.estimate";
+    /// Ingest execution under the server's writer lock, checked once per
+    /// coalesced ingest job just after the lock is taken. A `panic` here
+    /// exercises the daemon's catch-unwind and poisoned-lock recovery; a
+    /// `delay` holds the writer lock to back up the upload queue.
+    pub const RPC_INGEST: &str = "rpc.ingest";
 
     /// Every registered site.
     pub const ALL: &[&str] = &[
@@ -80,6 +85,7 @@ pub mod sites {
         RPC_READ,
         RPC_WRITE,
         RPC_ESTIMATE,
+        RPC_INGEST,
     ];
 
     /// Whether `name` is a registered site.

@@ -32,11 +32,25 @@ pub enum FaultAction {
     /// Pretend the stream ended: reads report EOF, writes are silently
     /// swallowed (claimed written, never delivered).
     Truncate,
-    /// Sleep this long, then perform the operation normally (read stall /
-    /// injected latency).
+    /// Stall the operation for this long. [`crate::FaultyStream`] defers
+    /// nonblockingly — the faulted call (and every call until the release
+    /// instant) returns [`io::ErrorKind::WouldBlock`], then the operation
+    /// proceeds — so an injected stall composes with a reactor event loop
+    /// instead of sleeping on (and freezing) the caller's thread. Non-stream
+    /// sites without a nonblocking caller may still sleep in place.
     Delay(Duration),
     /// Fail with [`io::ErrorKind::ConnectionReset`].
     Reset,
+    /// Return [`io::ErrorKind::WouldBlock`] for this one operation: a
+    /// nonblocking-readiness stutter (the kernel saying "not now"), gone by
+    /// the next call.
+    WouldBlock,
+    /// Panic at the fault site. Execution sites (e.g. `rpc.ingest`) invoke
+    /// the panic themselves to exercise catch-unwind/poison-recovery paths;
+    /// [`crate::FaultyStream`] maps it to an [`io::ErrorKind::Other`] error
+    /// instead, because a panic on a reactor's wire path would kill the
+    /// event loop rather than the handler under test.
+    Panic,
 }
 
 /// One scheduled fault: *when* (operation index pattern, fire budget,
@@ -264,8 +278,8 @@ impl FaultPlan {
     /// ```
     ///
     /// Actions: `enospc`, `err`, `timeout`, `broken`, `reset`, `truncate`,
-    /// `short[:bytes]`, `corrupt[:mask]`, `delay:millis`. See
-    /// `docs/FAULTS.md` for the full grammar.
+    /// `short[:bytes]`, `corrupt[:mask]`, `delay:millis`, `wouldblock`,
+    /// `panic`. See `docs/FAULTS.md` for the full grammar.
     ///
     /// # Errors
     ///
@@ -477,6 +491,8 @@ fn parse_action(text: &str) -> Result<FaultAction, String> {
                 .map_err(|_| "delay millis must be an integer")?;
             Ok(FaultAction::Delay(Duration::from_millis(millis)))
         }
+        "wouldblock" => Ok(FaultAction::WouldBlock),
+        "panic" => Ok(FaultAction::Panic),
         other => Err(format!("unknown action {other:?}")),
     }
 }

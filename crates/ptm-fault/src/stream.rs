@@ -2,6 +2,7 @@
 
 use crate::plan::{FaultAction, SiteHandle};
 use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
 
 /// Wraps a stream and applies scheduled [`FaultAction`]s to its reads and
 /// writes.
@@ -9,11 +10,25 @@ use std::io::{self, Read, Write};
 /// With disabled handles (see [`FaultyStream::passthrough`]) every call is a
 /// single-branch delegation to the inner stream, so production paths can keep
 /// the wrapper unconditionally.
+///
+/// Every action is **nonblocking-safe**: a [`FaultAction::Delay`] never
+/// sleeps on the caller's thread (under a reactor that thread owns every
+/// connection, so one injected stall used to freeze them all). Instead the
+/// stream arms a release instant and answers `WouldBlock` until it passes —
+/// exactly what a slow peer looks like to nonblocking I/O — and the deferred
+/// operation then proceeds normally. Blocking callers driving the stream
+/// through a retry loop (e.g. a stall-budgeted frame reader) observe the
+/// same delayed completion.
 #[derive(Debug)]
 pub struct FaultyStream<S> {
     inner: S,
     read_site: SiteHandle,
     write_site: SiteHandle,
+    /// While set, reads answer `WouldBlock` until this instant (an armed
+    /// [`FaultAction::Delay`]); the deferred read then proceeds.
+    read_release: Option<Instant>,
+    /// Write-side counterpart of `read_release`.
+    write_release: Option<Instant>,
 }
 
 impl<S> FaultyStream<S> {
@@ -24,6 +39,8 @@ impl<S> FaultyStream<S> {
             inner,
             read_site,
             write_site,
+            read_release: None,
+            write_release: None,
         }
     }
 
@@ -48,8 +65,37 @@ impl<S> FaultyStream<S> {
     }
 }
 
+/// Resolves an armed delay: still-held stalls answer `WouldBlock`, an
+/// expired one clears and lets the deferred operation proceed.
+fn stall_pending(release: &mut Option<Instant>) -> bool {
+    match release {
+        // ptm-analyze: allow(determinism): stall release is wall-clock by design — the schedule that armed it is seeded; only the stall's duration rides the host clock
+        Some(at) if Instant::now() < *at => true,
+        Some(_) => {
+            *release = None;
+            false
+        }
+        None => false,
+    }
+}
+
+fn would_block(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::WouldBlock, format!("injected {what} stall"))
+}
+
+/// Arms `release` for `pause` from now and answers `WouldBlock`, deferring
+/// the operation instead of sleeping on the caller's thread.
+fn arm_stall(release: &mut Option<Instant>, pause: Duration, what: &str) -> io::Error {
+    // ptm-analyze: allow(determinism): the fault schedule choosing to stall is seeded and deterministic; the release instant merely measures the requested pause
+    *release = Some(Instant::now() + pause);
+    would_block(what)
+}
+
 impl<S: Read> Read for FaultyStream<S> {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if stall_pending(&mut self.read_release) {
+            return Err(would_block("read"));
+        }
         match self.read_site.check() {
             None => self.inner.read(buf),
             Some(FaultAction::Error(kind)) => Err(io::Error::new(kind, "injected read fault")),
@@ -60,9 +106,12 @@ impl<S: Read> Read for FaultyStream<S> {
             // EOF in the middle of whatever the peer was sending.
             Some(FaultAction::Truncate) => Ok(0),
             Some(FaultAction::Delay(pause)) => {
-                std::thread::sleep(pause);
-                self.inner.read(buf)
+                Err(arm_stall(&mut self.read_release, pause, "read"))
             }
+            Some(FaultAction::WouldBlock) => Err(would_block("read")),
+            // A panic on the wire path would unwind the reactor thread, not
+            // the handler under test; surface a hard error instead.
+            Some(FaultAction::Panic) => Err(io::Error::other("injected read fault (panic site)")),
             Some(FaultAction::Short(limit)) => {
                 let limit = limit.min(buf.len());
                 if limit == 0 {
@@ -83,6 +132,9 @@ impl<S: Read> Read for FaultyStream<S> {
 
 impl<S: Write> Write for FaultyStream<S> {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if stall_pending(&mut self.write_release) {
+            return Err(would_block("write"));
+        }
         match self.write_site.check() {
             None => self.inner.write(buf),
             Some(FaultAction::Error(kind)) => Err(io::Error::new(kind, "injected write fault")),
@@ -93,9 +145,10 @@ impl<S: Write> Write for FaultyStream<S> {
             // Claim success without delivering a byte (a half-dead peer).
             Some(FaultAction::Truncate) => Ok(buf.len()),
             Some(FaultAction::Delay(pause)) => {
-                std::thread::sleep(pause);
-                self.inner.write(buf)
+                Err(arm_stall(&mut self.write_release, pause, "write"))
             }
+            Some(FaultAction::WouldBlock) => Err(would_block("write")),
+            Some(FaultAction::Panic) => Err(io::Error::other("injected write fault (panic site)")),
             Some(FaultAction::Short(limit)) => {
                 let limit = limit.min(buf.len());
                 self.inner.write(&buf[..limit])
@@ -226,5 +279,86 @@ mod tests {
         );
         stream.write_all(&[0x00, 0xF0]).expect("write");
         assert_eq!(stream.get_ref().get_ref(), &[0x0F, 0xFF]);
+    }
+
+    #[test]
+    fn wouldblock_stutters_exactly_one_call() {
+        let plan = plan_with(sites::RPC_READ, Rule::nth(1, FaultAction::WouldBlock));
+        let inner = Cursor::new(vec![5u8, 6]);
+        let mut stream =
+            FaultyStream::new(inner, plan.site(sites::RPC_READ), SiteHandle::disabled());
+        let mut buf = [0u8; 2];
+        let err = stream.read(&mut buf).expect_err("stutter");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert_eq!(stream.read(&mut buf).expect("next call clean"), 2);
+        assert_eq!(buf, [5, 6]);
+    }
+
+    #[test]
+    fn delay_defers_with_wouldblock_instead_of_sleeping() {
+        let pause = Duration::from_millis(40);
+        let plan = plan_with(sites::RPC_READ, Rule::nth(1, FaultAction::Delay(pause)));
+        let inner = Cursor::new(vec![1u8, 2, 3]);
+        let mut stream =
+            FaultyStream::new(inner, plan.site(sites::RPC_READ), SiteHandle::disabled());
+        let mut buf = [0u8; 3];
+        // The faulted call returns immediately (no thread sleep) with
+        // WouldBlock, and keeps answering WouldBlock until the release.
+        let started = Instant::now();
+        let err = stream.read(&mut buf).expect_err("deferred");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert!(
+            started.elapsed() < pause,
+            "delay slept on the caller's thread: {:?}",
+            started.elapsed()
+        );
+        let mut stutters = 0u32;
+        let done = loop {
+            match stream.read(&mut buf) {
+                Ok(n) => break n,
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                    stutters += 1;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(err) => panic!("unexpected error during stall: {err}"),
+            }
+        };
+        assert_eq!(done, 3, "deferred read completes after the release");
+        assert!(stutters > 0, "stall window never answered WouldBlock");
+        assert!(
+            started.elapsed() >= pause,
+            "release fired early: {:?}",
+            started.elapsed()
+        );
+        // The stall consumed exactly one scheduled op; later ops are clean
+        // (only the nth(1) rule existed, and it fired once).
+        assert_eq!(plan.site(sites::RPC_READ).fired(), 1);
+    }
+
+    #[test]
+    fn write_delay_defers_independently_of_reads() {
+        let pause = Duration::from_millis(20);
+        let plan = plan_with(sites::RPC_WRITE, Rule::nth(1, FaultAction::Delay(pause)));
+        let inner = Cursor::new(vec![7u8, 8]);
+        let mut stream =
+            FaultyStream::new(inner, SiteHandle::disabled(), plan.site(sites::RPC_WRITE));
+        let err = stream.write(b"xy").expect_err("deferred write");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        // Reads proceed while the write side is stalled.
+        let mut buf = [0u8; 2];
+        assert_eq!(stream.read(&mut buf).expect("read unaffected"), 2);
+        std::thread::sleep(pause + Duration::from_millis(5));
+        stream.write_all(b"xy").expect("write after release");
+    }
+
+    #[test]
+    fn panic_action_surfaces_as_error_on_streams() {
+        let plan = plan_with(sites::RPC_READ, Rule::nth(1, FaultAction::Panic));
+        let inner = Cursor::new(vec![1u8]);
+        let mut stream =
+            FaultyStream::new(inner, plan.site(sites::RPC_READ), SiteHandle::disabled());
+        let mut buf = [0u8; 1];
+        let err = stream.read(&mut buf).expect_err("hard error, not a panic");
+        assert_eq!(err.kind(), io::ErrorKind::Other);
     }
 }

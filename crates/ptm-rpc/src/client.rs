@@ -13,24 +13,34 @@
 //! twice. That at-least-once contract is what lets this client treat every
 //! ambiguous transport failure as "try again".
 //!
-//! Three mechanisms keep a retrying fleet from making a bad situation
+//! Several mechanisms keep a retrying fleet from making a bad situation
 //! worse (see `docs/FAULTS.md`):
 //!
 //! * a server [`Response::Overloaded`] answer is retried after at least
 //!   its `retry_after_ms` hint, not hammered on the normal backoff;
 //! * an optional **deadline budget** ([`ClientConfig::deadline`]) caps the
-//!   total wall-clock a call may spend across all its attempts;
+//!   total wall-clock a call may spend across all its attempts — and each
+//!   attempt stamps its *remaining* budget into the v3 request header, so
+//!   the server can drop the request instead of executing it once this
+//!   client has already given up ([`Response::DeadlineExceeded`]);
+//! * a **retry budget** ([`ClientConfig::retry_budget`]) — a token bucket
+//!   spent one per retry and refilled one per successful call — bounds how
+//!   much retry pressure a persistently failing client adds on top of its
+//!   per-call attempt cap;
 //! * a **circuit breaker** opens after
 //!   [`ClientConfig::breaker_threshold`] consecutive failed calls, failing
 //!   further calls instantly ([`ClientError::CircuitOpen`]) until a
-//!   cooldown passes and one half-open probe call is let through.
+//!   cooldown passes and one half-open probe call is let through;
+//! * a server [`Response::GoingAway`] answer (graceful drain) is a clean
+//!   hand-off: the client drops the doomed connection and retries —
+//!   against the restarted instance — after the server's hint.
 
 use crate::frame::{
     append_frame_with, read_frame_with_stall, write_frame_vectored, FrameError, ReadOutcome,
     DEFAULT_MAX_FRAME_LEN,
 };
 use crate::proto::{
-    decode_response, encode_request_traced, ErrorCode, ProtoError, Request, Response, WireTrace,
+    decode_response, encode_request_with, ErrorCode, ProtoError, Request, Response, WireTrace,
     MAX_BATCH_RECORDS,
 };
 use ptm_core::record::TrafficRecord;
@@ -72,6 +82,12 @@ pub struct ClientConfig {
     /// Minimum time the breaker stays open. A server `retry_after_ms`
     /// hint larger than this extends the hold.
     pub breaker_cooldown: Duration,
+    /// Capacity of the retry token bucket; 0 disables it. Every retry
+    /// sleep spends one token and every successful call refills one (up
+    /// to this capacity), so a client whose calls keep failing runs dry
+    /// and fails fast instead of compounding a server's overload with
+    /// `max_attempts` retries per call, forever.
+    pub retry_budget: u32,
 }
 
 impl Default for ClientConfig {
@@ -87,6 +103,7 @@ impl Default for ClientConfig {
             deadline: None,
             breaker_threshold: 8,
             breaker_cooldown: Duration::from_millis(500),
+            retry_budget: 32,
         }
     }
 }
@@ -187,6 +204,55 @@ enum AttemptError {
     Fatal(ClientError),
 }
 
+/// How one decoded server answer steers the retry loop.
+enum Disposition {
+    /// The call's actual answer (success or payload); hand it to the
+    /// caller.
+    Done,
+    /// A healthy server asking for space: keep the connection, retry
+    /// after at least the hint.
+    RetryAfter(u32),
+    /// The server dropped the queued request past its wire deadline.
+    /// Retryable: the next attempt stamps a fresh remaining-budget
+    /// header, so it only runs if this call still has time left.
+    RetryDoomed,
+    /// Graceful-drain hand-off: drop the doomed connection, retry after
+    /// the hint (against the restarted or replacement instance).
+    RetryElsewhere(u32),
+    /// The server answered with an application error; retrying cannot
+    /// help.
+    Fatal,
+}
+
+/// Classifies a decoded response as retryable or fatal.
+///
+/// Every error-range [`Response`] variant (the set [`Response::is_error`]
+/// matches in `proto.rs`) must have an arm here — the `error-retryability`
+/// rule in ptm-analyze fails the build when a new error variant is added
+/// to the protocol without deciding its retry semantics.
+fn classify_response(response: &Response) -> Disposition {
+    match response {
+        Response::Overloaded { retry_after_ms } => Disposition::RetryAfter(*retry_after_ms),
+        Response::DeadlineExceeded => Disposition::RetryDoomed,
+        Response::GoingAway { retry_after_ms } => Disposition::RetryElsewhere(*retry_after_ms),
+        Response::Error { .. } => Disposition::Fatal,
+        _ => Disposition::Done,
+    }
+}
+
+/// The remaining deadline budget to stamp into this attempt's v3 header
+/// (`None` when the call has no deadline — nothing is stamped and the
+/// server never dooms the request). Clamped up to 1 ms so an attempt the
+/// client is still willing to make is never stamped "already expired".
+fn remaining_budget_ms(started: Instant, deadline: Option<Duration>) -> Option<u32> {
+    deadline.map(|budget| {
+        let remaining = budget.saturating_sub(started.elapsed());
+        u32::try_from(remaining.as_millis())
+            .unwrap_or(u32::MAX)
+            .max(1)
+    })
+}
+
 fn retryable_io(kind: io::ErrorKind) -> bool {
     matches!(
         kind,
@@ -234,6 +300,8 @@ pub struct RpcClient {
     /// While `Some`, the breaker is open and calls before this instant
     /// fail fast; the first call after it is the half-open probe.
     open_until: Option<Instant>,
+    /// Remaining retry tokens (see [`ClientConfig::retry_budget`]).
+    retry_tokens: u32,
 }
 
 impl RpcClient {
@@ -250,6 +318,7 @@ impl RpcClient {
             .next()
             .ok_or_else(|| ClientError::InvalidRequest("address resolved to nothing".into()))?;
         let jitter_state = config.jitter_seed | 1;
+        let retry_tokens = config.retry_budget;
         Ok(Self {
             addr,
             config,
@@ -257,6 +326,7 @@ impl RpcClient {
             jitter_state,
             consecutive_failures: 0,
             open_until: None,
+            retry_tokens,
         })
     }
 
@@ -388,9 +458,13 @@ impl RpcClient {
         });
         // Each record is encoded once; retries re-send the same bytes, so
         // the daemon's duplicate detection sees bit-identical payloads.
+        // The deadline stamp is the full budget (not re-computed per
+        // retry) for the same reason — and because a backlog drain cares
+        // about not losing records, not per-record latency.
+        let stamp = remaining_budget_ms(Instant::now(), self.config.deadline);
         let payloads: Vec<Vec<u8>> = records
             .iter()
-            .map(|record| encode_request_traced(&Request::Upload(record.clone()), wire))
+            .map(|record| encode_request_with(&Request::Upload(record.clone()), wire, stamp))
             .collect();
         let mut acked = vec![false; records.len()];
         let mut summary = UploadSummary {
@@ -415,6 +489,13 @@ impl RpcClient {
                             last,
                         });
                     }
+                }
+                if !self.spend_retry_token() {
+                    self.record_failure(last_hint);
+                    return Err(ClientError::Exhausted {
+                        attempts: attempt,
+                        last: format!("retry budget exhausted ({last})"),
+                    });
                 }
                 ptm_obs::counter!("rpc.client.retries").inc();
                 std::thread::sleep(delay);
@@ -499,27 +580,51 @@ impl RpcClient {
                 ptm_obs::counter!("rpc.client.frames.in").inc();
                 let response = decode_response(&bytes)
                     .map_err(|err| AttemptError::Fatal(ClientError::Proto(err)))?;
-                match response {
-                    Response::UploadOk {
-                        accepted,
-                        duplicates,
-                    } => {
-                        acked[index] = true;
-                        summary.accepted += accepted;
-                        summary.duplicates += duplicates;
-                    }
-                    Response::Overloaded { retry_after_ms } => {
+                match classify_response(&response) {
+                    Disposition::Done => match response {
+                        Response::UploadOk {
+                            accepted,
+                            duplicates,
+                        } => {
+                            acked[index] = true;
+                            summary.accepted += accepted;
+                            summary.duplicates += duplicates;
+                        }
+                        other => {
+                            return Err(AttemptError::Fatal(unexpected("UploadOk", &other)));
+                        }
+                    },
+                    Disposition::RetryAfter(retry_after_ms) => {
                         shed_hint = Some(retry_after_ms);
                     }
-                    Response::Error { code, message } => {
-                        if code == ErrorCode::VersionMismatch {
-                            ptm_obs::counter!("rpc.client.version_mismatch").inc();
+                    // The record's frame sat in the worker queue past the
+                    // stamped deadline; it stays unacked and the next
+                    // pass re-sends it (normal backoff, no hint).
+                    Disposition::RetryDoomed => {
+                        ptm_obs::counter!("rpc.client.deadline_dropped").inc();
+                        shed_hint = Some(shed_hint.unwrap_or(0));
+                    }
+                    // Graceful drain mid-pipeline: the connection is done
+                    // serving. Surface as a transport-style retry so the
+                    // outer loop reconnects and re-sends the unacked tail
+                    // (idempotent ingest makes that safe).
+                    Disposition::RetryElsewhere(retry_after_ms) => {
+                        ptm_obs::counter!("rpc.client.going_away").inc();
+                        return Err(AttemptError::Retryable(format!(
+                            "server going away; asked to hand off after {retry_after_ms} ms"
+                        )));
+                    }
+                    Disposition::Fatal => match response {
+                        Response::Error { code, message } => {
+                            if code == ErrorCode::VersionMismatch {
+                                ptm_obs::counter!("rpc.client.version_mismatch").inc();
+                            }
+                            return Err(AttemptError::Fatal(ClientError::Server { code, message }));
                         }
-                        return Err(AttemptError::Fatal(ClientError::Server { code, message }));
-                    }
-                    other => {
-                        return Err(AttemptError::Fatal(unexpected("UploadOk", &other)));
-                    }
+                        other => {
+                            return Err(AttemptError::Fatal(unexpected("UploadOk", &other)));
+                        }
+                    },
                 }
             }
             if shed_hint.is_some() {
@@ -624,7 +729,6 @@ impl RpcClient {
             trace_id: ctx.trace_id,
             parent_span: ctx.span_id,
         });
-        let payload = encode_request_traced(request, wire);
         let attempts = self.config.max_attempts.max(1);
         let started = Instant::now();
         let mut last = String::new();
@@ -646,32 +750,74 @@ impl RpcClient {
                         });
                     }
                 }
+                if !self.spend_retry_token() {
+                    self.record_failure(last_hint);
+                    return Err(ClientError::Exhausted {
+                        attempts: attempt,
+                        last: format!("retry budget exhausted ({last})"),
+                    });
+                }
                 ptm_obs::counter!("rpc.client.retries").inc();
                 std::thread::sleep(delay);
             }
+            // Re-encoded per attempt: the stamped header carries the
+            // budget still remaining *now*, so the server sees how long
+            // this attempt — not the original call — is worth queueing.
+            let payload = encode_request_with(
+                request,
+                wire,
+                remaining_budget_ms(started, self.config.deadline),
+            );
             match self.attempt(&payload) {
-                // An overload shed is a healthy server asking for space:
-                // keep the connection, honor the hint, try again.
-                Ok(Response::Overloaded { retry_after_ms }) => {
-                    ptm_obs::counter!("rpc.client.overloaded").inc();
-                    retry_hint = Some(Duration::from_millis(u64::from(retry_after_ms)));
-                    last_hint = Some(retry_after_ms);
-                    last = format!("server overloaded; asked to retry after {retry_after_ms} ms");
-                }
-                Ok(response) => {
-                    // Any decoded answer means the transport and server
-                    // are alive — the breaker resets even for an error
-                    // frame, which is the server speaking, and which
-                    // nothing about a retry improves.
-                    self.on_success();
-                    if let Response::Error { code, message } = response {
-                        if code == ErrorCode::VersionMismatch {
-                            ptm_obs::counter!("rpc.client.version_mismatch").inc();
-                        }
-                        return Err(ClientError::Server { code, message });
+                Ok(response) => match classify_response(&response) {
+                    Disposition::Done => {
+                        // Any decoded answer means the transport and
+                        // server are alive: the breaker resets.
+                        self.on_success();
+                        return Ok(response);
                     }
-                    return Ok(response);
-                }
+                    Disposition::Fatal => {
+                        // The breaker resets even for an error frame —
+                        // the server is speaking, and nothing about a
+                        // retry improves its answer.
+                        self.on_success();
+                        if let Response::Error { code, message } = response {
+                            if code == ErrorCode::VersionMismatch {
+                                ptm_obs::counter!("rpc.client.version_mismatch").inc();
+                            }
+                            return Err(ClientError::Server { code, message });
+                        }
+                        return Err(unexpected("a decodable answer", &response));
+                    }
+                    // An overload shed is a healthy server asking for
+                    // space: keep the connection, honor the hint, retry.
+                    Disposition::RetryAfter(retry_after_ms) => {
+                        ptm_obs::counter!("rpc.client.overloaded").inc();
+                        retry_hint = Some(Duration::from_millis(u64::from(retry_after_ms)));
+                        last_hint = Some(retry_after_ms);
+                        last =
+                            format!("server overloaded; asked to retry after {retry_after_ms} ms");
+                    }
+                    // The server dropped the queued request past its wire
+                    // deadline. The next attempt re-stamps whatever
+                    // budget is left; the deadline check above ends the
+                    // call once none remains.
+                    Disposition::RetryDoomed => {
+                        ptm_obs::counter!("rpc.client.deadline_dropped").inc();
+                        last = "server dropped the request past its wire deadline".into();
+                    }
+                    // Graceful drain: this connection is done serving.
+                    // Drop it and retry elsewhere after the hint.
+                    Disposition::RetryElsewhere(retry_after_ms) => {
+                        ptm_obs::counter!("rpc.client.going_away").inc();
+                        self.stream = None;
+                        retry_hint = Some(Duration::from_millis(u64::from(retry_after_ms)));
+                        last_hint = Some(retry_after_ms);
+                        last = format!(
+                            "server going away; asked to hand off after {retry_after_ms} ms"
+                        );
+                    }
+                },
                 Err(AttemptError::Fatal(err)) => {
                     self.record_failure(None);
                     return Err(err);
@@ -689,10 +835,31 @@ impl RpcClient {
         Err(ClientError::Exhausted { attempts, last })
     }
 
-    /// Resets the breaker after any decoded server answer.
+    /// Resets the breaker after any decoded server answer, and refills
+    /// one retry token (successes earn back the right to retry later).
     fn on_success(&mut self) {
         self.consecutive_failures = 0;
         self.open_until = None;
+        if self.config.retry_budget != 0 && self.retry_tokens < self.config.retry_budget {
+            self.retry_tokens += 1;
+            ptm_obs::counter!("rpc.client.retry_budget.refilled").inc();
+        }
+    }
+
+    /// Takes one retry token. `false` means the bucket is dry: the call
+    /// must give up now instead of adding more retry pressure to a
+    /// server that has not answered a success in a long time.
+    fn spend_retry_token(&mut self) -> bool {
+        if self.config.retry_budget == 0 {
+            return true;
+        }
+        if self.retry_tokens == 0 {
+            ptm_obs::counter!("rpc.client.retry_budget.exhausted").inc();
+            return false;
+        }
+        self.retry_tokens -= 1;
+        ptm_obs::counter!("rpc.client.retry_budget.spent").inc();
+        true
     }
 
     /// Counts one failed call toward the breaker, opening it at the
@@ -1141,6 +1308,177 @@ mod tests {
         assert_eq!(summary.accepted, 2);
         drop(client);
         responder.join().expect("responder");
+    }
+
+    #[test]
+    fn retry_budget_dries_up_across_calls_and_reports_it() {
+        // 3 tokens against a refused port: call one burns two retries,
+        // call two burns the last token and then fails on the empty
+        // bucket — before its attempt cap.
+        let config = ClientConfig {
+            breaker_threshold: 0,
+            retry_budget: 3,
+            ..test_config()
+        };
+        let mut client = RpcClient::connect("127.0.0.1:1", config).expect("client");
+        match client.ping() {
+            Err(ClientError::Exhausted { attempts: 3, .. }) => {}
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        assert_eq!(client.retry_tokens, 1);
+        match client.ping() {
+            Err(ClientError::Exhausted { attempts: 2, last }) => {
+                assert!(
+                    last.contains("retry budget exhausted"),
+                    "unexpected failure detail: {last}"
+                );
+            }
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+        assert_eq!(client.retry_tokens, 0);
+    }
+
+    #[test]
+    fn successes_refill_the_retry_budget() {
+        use crate::frame::{read_frame, write_frame, ReadOutcome};
+        use crate::proto::{encode_response, PROTOCOL_VERSION};
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let responder = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            while let Ok(ReadOutcome::Frame(_)) = read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN) {
+                let payload = encode_response(&Response::Pong {
+                    version: PROTOCOL_VERSION,
+                    s: 3,
+                    records: 0,
+                    degraded: false,
+                });
+                if write_frame(&mut stream, &payload).is_err() {
+                    break;
+                }
+            }
+        });
+        let config = ClientConfig {
+            retry_budget: 4,
+            ..test_config()
+        };
+        let mut client = RpcClient::connect(addr, config).expect("client");
+        client.retry_tokens = 0;
+        client.ping().expect("ping");
+        client.ping().expect("ping");
+        assert_eq!(client.retry_tokens, 2, "each success refills one token");
+        drop(client);
+        responder.join().expect("responder");
+    }
+
+    #[test]
+    fn going_away_hand_off_reconnects_and_retries() {
+        use crate::frame::{read_frame, write_frame, ReadOutcome};
+        use crate::proto::{encode_response, PROTOCOL_VERSION};
+
+        // First connection answers GoingAway and closes (a draining
+        // server); the retry must arrive on a *new* connection and
+        // succeed there.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let responder = std::thread::spawn(move || {
+            let (mut first, _) = listener.accept().expect("accept");
+            if let Ok(ReadOutcome::Frame(_)) = read_frame(&mut first, DEFAULT_MAX_FRAME_LEN) {
+                let payload = encode_response(&Response::GoingAway { retry_after_ms: 5 });
+                let _ = write_frame(&mut first, &payload);
+            }
+            drop(first);
+            let (mut second, _) = listener.accept().expect("accept second");
+            if let Ok(ReadOutcome::Frame(_)) = read_frame(&mut second, DEFAULT_MAX_FRAME_LEN) {
+                let payload = encode_response(&Response::Pong {
+                    version: PROTOCOL_VERSION,
+                    s: 3,
+                    records: 0,
+                    degraded: false,
+                });
+                let _ = write_frame(&mut second, &payload);
+            }
+        });
+        let mut client = RpcClient::connect(addr, test_config()).expect("client");
+        let info = client.ping().expect("hand-off retry succeeds");
+        assert_eq!(info.s, 3);
+        drop(client);
+        responder.join().expect("responder");
+    }
+
+    #[test]
+    fn deadline_dropped_reply_is_retried_with_a_fresh_stamp() {
+        use crate::frame::{read_frame, write_frame, ReadOutcome};
+        use crate::proto::{decode_request, encode_response, PROTOCOL_VERSION};
+
+        // The server dooms the first attempt; the second succeeds. Both
+        // attempts must carry a deadline stamp, and the second's must not
+        // exceed the first's (the budget only shrinks).
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let responder = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut stamps = Vec::new();
+            for turn in 0..2 {
+                let Ok(ReadOutcome::Frame(bytes)) = read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN)
+                else {
+                    break;
+                };
+                let decoded = decode_request(&bytes).expect("decode request");
+                stamps.push(decoded.deadline_ms.expect("deadline stamped"));
+                let response = if turn == 0 {
+                    Response::DeadlineExceeded
+                } else {
+                    Response::Pong {
+                        version: PROTOCOL_VERSION,
+                        s: 3,
+                        records: 0,
+                        degraded: false,
+                    }
+                };
+                if write_frame(&mut stream, &encode_response(&response)).is_err() {
+                    break;
+                }
+            }
+            stamps
+        });
+        let config = ClientConfig {
+            deadline: Some(Duration::from_secs(30)),
+            ..test_config()
+        };
+        let mut client = RpcClient::connect(addr, config).expect("client");
+        client.ping().expect("retry after doomed reply succeeds");
+        drop(client);
+        let stamps = responder.join().expect("responder");
+        assert_eq!(stamps.len(), 2, "both attempts stamped");
+        assert!(
+            stamps[1] <= stamps[0],
+            "remaining budget grew across attempts: {stamps:?}"
+        );
+    }
+
+    #[test]
+    fn every_error_range_response_has_a_retry_classification() {
+        // Mirror of the error-retryability analyze rule, exercised at
+        // runtime: each is_error() variant classifies to something other
+        // than Done.
+        let cases = [
+            Response::Error {
+                code: ErrorCode::Internal,
+                message: String::new(),
+            },
+            Response::Overloaded { retry_after_ms: 1 },
+            Response::DeadlineExceeded,
+            Response::GoingAway { retry_after_ms: 1 },
+        ];
+        for response in cases {
+            assert!(response.is_error());
+            assert!(
+                !matches!(classify_response(&response), Disposition::Done),
+                "error-range response classified Done: {response:?}"
+            );
+        }
     }
 
     #[test]

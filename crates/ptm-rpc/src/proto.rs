@@ -9,8 +9,10 @@
 //! byte 0: protocol version (this build speaks 3, decodes 1..=3)
 //! byte 1: message tag
 //! v3 only:
-//!   byte 2: flags (bit 0 = trace context present; other bits must be 0)
+//!   byte 2: flags (bit 0 = trace context present, bit 1 = deadline
+//!           present; other bits must be 0)
 //!   if flags bit 0: trace_id u64 | parent_span u64
+//!   if flags bit 1: deadline_ms u32 (remaining caller budget)
 //!
 //! requests:
 //!   1 ping          (empty body)
@@ -28,13 +30,18 @@
 //!   131 error       code u8 | message len u16 | utf-8 message
 //!   132 overloaded  retry_after_ms u32
 //!   133 stats       utf-8 JSON document (runs to frame end)
+//!   134 deadline exceeded  (empty body; the job sat past its wire deadline)
+//!   135 going away  retry_after_ms u32 (server draining; reconnect later)
 //! ```
 //!
 //! Version history: v1 had a `version u8 | s u32` pong body and no
 //! overloaded response. v2 extends the pong with a health summary and adds
 //! tag 132 for load shedding (see `docs/FAULTS.md`). v3 inserts the flags
 //! byte, letting requests carry a trace context (`docs/OBSERVABILITY.md`
-//! § Tracing), and adds the stats introspection pair (tags 7/133).
+//! § Tracing) and a remaining-deadline budget (`docs/RPC.md` § Request
+//! lifecycle under overload), and adds the stats introspection pair
+//! (tags 7/133) plus the deadline/drain responses (tags 134/135 — encoded
+//! as tag 132 for v2 peers, never sent to v1 peers).
 //!
 //! Older peers keep working: v1/v2 payloads (no flags byte) still decode —
 //! the daemon mints a local trace when no context is carried — and replies
@@ -57,6 +64,13 @@ pub const MIN_PROTOCOL_VERSION: u8 = 1;
 
 /// Header flag bit: a `trace_id u64 | parent_span u64` pair follows.
 const FLAG_TRACE: u8 = 0b0000_0001;
+
+/// Header flag bit: a `deadline_ms u32` remaining-budget field follows
+/// (after the trace pair when both flags are set).
+const FLAG_DEADLINE: u8 = 0b0000_0010;
+
+/// Every header flag bit this build understands.
+const KNOWN_FLAGS: u8 = FLAG_TRACE | FLAG_DEADLINE;
 
 /// Ceiling on periods per query (bounds decoder allocations).
 pub const MAX_QUERY_PERIODS: usize = 4096;
@@ -230,6 +244,10 @@ pub struct DecodedRequest {
     /// Trace context from the v3 header (`None` for v1/v2 or flags bit 0
     /// unset — the daemon then mints a local trace).
     pub trace: Option<WireTrace>,
+    /// Remaining caller budget from the v3 header (`None` for v1/v2 or
+    /// flags bit 1 unset). The receiver anchors this at frame arrival to
+    /// drop doomed work instead of executing it.
+    pub deadline_ms: Option<u32>,
 }
 
 /// Server-to-client messages.
@@ -276,6 +294,38 @@ pub enum Response {
     /// Reply to [`Request::Stats`]: a JSON introspection document (schema
     /// in `docs/OBSERVABILITY.md` § Live introspection).
     Stats(String),
+    /// The request's wire deadline expired before a worker picked it up;
+    /// the server dropped it unexecuted. Retryable if the caller still has
+    /// budget left (v3 only; encoded as [`Response::Overloaded`] for v2).
+    DeadlineExceeded,
+    /// The server is draining for shutdown: it finished or will finish
+    /// in-flight work but takes nothing new. Retryable against another
+    /// (or the restarted) instance after `retry_after_ms` (v3 only;
+    /// encoded as [`Response::Overloaded`] for v2, clean close for v1).
+    GoingAway {
+        /// Hand-off hint: how long to wait before reconnecting, ms.
+        retry_after_ms: u32,
+    },
+}
+
+impl Response {
+    /// Whether this variant reports a failure rather than a result.
+    ///
+    /// This list is the authoritative error range of the protocol: the
+    /// ptm-analyze `error-retryability` rule checks that every variant
+    /// named here appears in the client's retryable-vs-fatal
+    /// classification (`classify_response` in `client.rs`), so a future
+    /// error variant cannot silently default to fatal.
+    #[must_use]
+    pub fn is_error(&self) -> bool {
+        matches!(
+            self,
+            Response::Error { .. }
+                | Response::Overloaded { .. }
+                | Response::DeadlineExceeded
+                | Response::GoingAway { .. }
+        )
+    }
 }
 
 const TAG_PING: u8 = 1;
@@ -291,6 +341,8 @@ const TAG_ESTIMATE: u8 = 130;
 const TAG_ERROR: u8 = 131;
 const TAG_OVERLOADED: u8 = 132;
 const TAG_STATS_REPLY: u8 = 133;
+const TAG_DEADLINE_EXCEEDED: u8 = 134;
+const TAG_GOING_AWAY: u8 = 135;
 
 struct Reader<'a> {
     buf: &'a [u8],
@@ -353,27 +405,40 @@ impl<'a> Reader<'a> {
 }
 
 /// Builds a payload header in the requested version: v1/v2 are
-/// `version | tag`, v3 appends the flags byte and, when a trace context is
-/// given, the 16-byte trace header.
-fn header_for(version: u8, tag: u8, trace: Option<WireTrace>) -> Vec<u8> {
+/// `version | tag`, v3 appends the flags byte and, when present, the
+/// 16-byte trace header and the 4-byte remaining-deadline field.
+fn header_for(version: u8, tag: u8, trace: Option<WireTrace>, deadline_ms: Option<u32>) -> Vec<u8> {
     let mut out = Vec::new();
-    header_into(version, tag, trace, &mut out);
+    header_into(version, tag, trace, deadline_ms, &mut out);
     out
 }
 
 /// Appends the header for the requested version to `out` — the
 /// buffer-reuse form of [`header_for`].
-fn header_into(version: u8, tag: u8, trace: Option<WireTrace>, out: &mut Vec<u8>) {
+fn header_into(
+    version: u8,
+    tag: u8,
+    trace: Option<WireTrace>,
+    deadline_ms: Option<u32>,
+    out: &mut Vec<u8>,
+) {
     out.push(version);
     out.push(tag);
     if version >= 3 {
-        match trace {
-            Some(t) => {
-                out.push(FLAG_TRACE);
-                out.extend_from_slice(&t.trace_id.to_le_bytes());
-                out.extend_from_slice(&t.parent_span.to_le_bytes());
-            }
-            None => out.push(0),
+        let mut flags = 0u8;
+        if trace.is_some() {
+            flags |= FLAG_TRACE;
+        }
+        if deadline_ms.is_some() {
+            flags |= FLAG_DEADLINE;
+        }
+        out.push(flags);
+        if let Some(t) = trace {
+            out.extend_from_slice(&t.trace_id.to_le_bytes());
+            out.extend_from_slice(&t.parent_span.to_le_bytes());
+        }
+        if let Some(budget) = deadline_ms {
+            out.extend_from_slice(&budget.to_le_bytes());
         }
     }
 }
@@ -385,9 +450,12 @@ pub fn peek_version(payload: &[u8]) -> Option<u8> {
     payload.first().copied()
 }
 
-/// Reads `version | tag | [flags | trace]`, accepting every version in
-/// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`].
-fn read_header(reader: &mut Reader<'_>) -> Result<(u8, u8, Option<WireTrace>), ProtoError> {
+/// Reads `version | tag | [flags | trace | deadline]`, accepting every
+/// version in [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`].
+#[allow(clippy::type_complexity)]
+fn read_header(
+    reader: &mut Reader<'_>,
+) -> Result<(u8, u8, Option<WireTrace>, Option<u32>), ProtoError> {
     let version = reader.u8()?;
     if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
         return Err(ProtoError::VersionMismatch {
@@ -397,9 +465,10 @@ fn read_header(reader: &mut Reader<'_>) -> Result<(u8, u8, Option<WireTrace>), P
     }
     let tag = reader.u8()?;
     let mut trace = None;
+    let mut deadline_ms = None;
     if version >= 3 {
         let flags = reader.u8()?;
-        if flags & !FLAG_TRACE != 0 {
+        if flags & !KNOWN_FLAGS != 0 {
             return Err(ProtoError::UnknownFlags(flags));
         }
         if flags & FLAG_TRACE != 0 {
@@ -408,8 +477,11 @@ fn read_header(reader: &mut Reader<'_>) -> Result<(u8, u8, Option<WireTrace>), P
                 parent_span: reader.u64()?,
             });
         }
+        if flags & FLAG_DEADLINE != 0 {
+            deadline_ms = Some(reader.u32()?);
+        }
     }
-    Ok((version, tag, trace))
+    Ok((version, tag, trace, deadline_ms))
 }
 
 fn push_periods(out: &mut Vec<u8>, periods: &[PeriodId]) {
@@ -434,23 +506,34 @@ fn read_embedded_record(bytes: &[u8]) -> Result<TrafficRecord, ProtoError> {
 }
 
 /// Encodes a request payload (framing not included), carrying no trace
-/// context.
+/// context or deadline.
 pub fn encode_request(request: &Request) -> Vec<u8> {
-    encode_request_traced(request, None)
+    encode_request_with(request, None, None)
 }
 
 /// Encodes a request payload with an optional trace context in the v3
 /// header (framing not included).
 pub fn encode_request_traced(request: &Request, trace: Option<WireTrace>) -> Vec<u8> {
+    encode_request_with(request, trace, None)
+}
+
+/// Encodes a request payload with optional trace context and remaining
+/// deadline budget in the v3 header (framing not included).
+pub fn encode_request_with(
+    request: &Request,
+    trace: Option<WireTrace>,
+    deadline_ms: Option<u32>,
+) -> Vec<u8> {
+    let header = |tag| header_for(PROTOCOL_VERSION, tag, trace, deadline_ms);
     match request {
-        Request::Ping => header_for(PROTOCOL_VERSION, TAG_PING, trace),
+        Request::Ping => header(TAG_PING),
         Request::Upload(record) => {
-            let mut out = header_for(PROTOCOL_VERSION, TAG_UPLOAD, trace);
+            let mut out = header(TAG_UPLOAD);
             out.extend_from_slice(&encode_record(record));
             out
         }
         Request::UploadBatch(records) => {
-            let mut out = header_for(PROTOCOL_VERSION, TAG_UPLOAD_BATCH, trace);
+            let mut out = header(TAG_UPLOAD_BATCH);
             out.extend_from_slice(&(records.len() as u32).to_le_bytes());
             for record in records {
                 let payload = encode_record(record);
@@ -460,13 +543,13 @@ pub fn encode_request_traced(request: &Request, trace: Option<WireTrace>) -> Vec
             out
         }
         Request::QueryVolume { location, period } => {
-            let mut out = header_for(PROTOCOL_VERSION, TAG_QUERY_VOLUME, trace);
+            let mut out = header(TAG_QUERY_VOLUME);
             out.extend_from_slice(&location.get().to_le_bytes());
             out.extend_from_slice(&period.get().to_le_bytes());
             out
         }
         Request::QueryPoint { location, periods } => {
-            let mut out = header_for(PROTOCOL_VERSION, TAG_QUERY_POINT, trace);
+            let mut out = header(TAG_QUERY_POINT);
             out.extend_from_slice(&location.get().to_le_bytes());
             push_periods(&mut out, periods);
             out
@@ -476,13 +559,13 @@ pub fn encode_request_traced(request: &Request, trace: Option<WireTrace>) -> Vec
             location_b,
             periods,
         } => {
-            let mut out = header_for(PROTOCOL_VERSION, TAG_QUERY_P2P, trace);
+            let mut out = header(TAG_QUERY_P2P);
             out.extend_from_slice(&location_a.get().to_le_bytes());
             out.extend_from_slice(&location_b.get().to_le_bytes());
             push_periods(&mut out, periods);
             out
         }
-        Request::Stats => header_for(PROTOCOL_VERSION, TAG_STATS, trace),
+        Request::Stats => header(TAG_STATS),
     }
 }
 
@@ -495,7 +578,7 @@ pub fn encode_request_traced(request: &Request, trace: Option<WireTrace>) -> Vec
 /// lengths, malformed embedded records, trailing bytes.
 pub fn decode_request(payload: &[u8]) -> Result<DecodedRequest, ProtoError> {
     let mut r = Reader::new(payload);
-    let (version, tag, trace) = read_header(&mut r)?;
+    let (version, tag, trace, deadline_ms) = read_header(&mut r)?;
     let request = match tag {
         TAG_PING => Request::Ping,
         TAG_UPLOAD => Request::Upload(read_embedded_record(r.rest())?),
@@ -532,6 +615,7 @@ pub fn decode_request(payload: &[u8]) -> Result<DecodedRequest, ProtoError> {
         request,
         version,
         trace,
+        deadline_ms,
     })
 }
 
@@ -560,7 +644,7 @@ pub fn encode_response_into(version: u8, response: &Response, out: &mut Vec<u8>)
             records,
             degraded,
         } => {
-            header_into(version, TAG_PONG, None, out);
+            header_into(version, TAG_PONG, None, None, out);
             out.push(*peer);
             out.extend_from_slice(&s.to_le_bytes());
             out.extend_from_slice(&records.to_le_bytes());
@@ -570,16 +654,16 @@ pub fn encode_response_into(version: u8, response: &Response, out: &mut Vec<u8>)
             accepted,
             duplicates,
         } => {
-            header_into(version, TAG_UPLOAD_OK, None, out);
+            header_into(version, TAG_UPLOAD_OK, None, None, out);
             out.extend_from_slice(&accepted.to_le_bytes());
             out.extend_from_slice(&duplicates.to_le_bytes());
         }
         Response::Estimate(value) => {
-            header_into(version, TAG_ESTIMATE, None, out);
+            header_into(version, TAG_ESTIMATE, None, None, out);
             out.extend_from_slice(&value.to_bits().to_le_bytes());
         }
         Response::Error { code, message } => {
-            header_into(version, TAG_ERROR, None, out);
+            header_into(version, TAG_ERROR, None, None, out);
             out.push(*code as u8);
             let bytes = message.as_bytes();
             let len = bytes.len().min(u16::MAX as usize);
@@ -587,12 +671,33 @@ pub fn encode_response_into(version: u8, response: &Response, out: &mut Vec<u8>)
             out.extend_from_slice(&bytes[..len]);
         }
         Response::Overloaded { retry_after_ms } => {
-            header_into(version, TAG_OVERLOADED, None, out);
+            header_into(version, TAG_OVERLOADED, None, None, out);
             out.extend_from_slice(&retry_after_ms.to_le_bytes());
         }
         Response::Stats(json) => {
-            header_into(version, TAG_STATS_REPLY, None, out);
+            header_into(version, TAG_STATS_REPLY, None, None, out);
             out.extend_from_slice(json.as_bytes());
+        }
+        // The v3-only overload answers downgrade to the v2 shed tag so an
+        // older peer still gets a decodable, retryable frame. v1 predates
+        // every overload tag; the server closes those connections cleanly
+        // instead of encoding for them (same discipline as Overloaded).
+        Response::DeadlineExceeded => {
+            if version >= 3 {
+                header_into(version, TAG_DEADLINE_EXCEEDED, None, None, out);
+            } else {
+                header_into(version, TAG_OVERLOADED, None, None, out);
+                out.extend_from_slice(&0u32.to_le_bytes());
+            }
+        }
+        Response::GoingAway { retry_after_ms } => {
+            let tag = if version >= 3 {
+                TAG_GOING_AWAY
+            } else {
+                TAG_OVERLOADED
+            };
+            header_into(version, tag, None, None, out);
+            out.extend_from_slice(&retry_after_ms.to_le_bytes());
         }
     }
 }
@@ -604,7 +709,7 @@ pub fn encode_response_into(version: u8, response: &Response, out: &mut Vec<u8>)
 /// Any [`ProtoError`].
 pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
     let mut r = Reader::new(payload);
-    let (_version, tag, _trace) = read_header(&mut r)?;
+    let (_version, tag, _trace, _deadline) = read_header(&mut r)?;
     let response = match tag {
         TAG_PONG => Response::Pong {
             version: r.u8()?,
@@ -633,6 +738,10 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
                 .map_err(|_| ProtoError::BadUtf8)?
                 .to_owned(),
         ),
+        TAG_DEADLINE_EXCEEDED => Response::DeadlineExceeded,
+        TAG_GOING_AWAY => Response::GoingAway {
+            retry_after_ms: r.u32()?,
+        },
         other => return Err(ProtoError::UnknownTag(other)),
     };
     r.finish()?;
@@ -746,11 +855,85 @@ mod tests {
     #[test]
     fn unknown_flag_bits_rejected() {
         let mut payload = encode_request(&Request::Ping);
-        payload[2] = 0b0000_0010;
+        payload[2] = 0b0000_0100;
         assert_eq!(
             decode_request(&payload),
-            Err(ProtoError::UnknownFlags(0b0000_0010))
+            Err(ProtoError::UnknownFlags(0b0000_0100))
         );
+    }
+
+    #[test]
+    fn deadline_roundtrips_alone_and_with_trace() {
+        let payload = encode_request_with(&Request::Ping, None, Some(750));
+        let decoded = decode_request(&payload).expect("decode");
+        assert_eq!(decoded.deadline_ms, Some(750));
+        assert_eq!(decoded.trace, None);
+
+        let trace = WireTrace {
+            trace_id: 7,
+            parent_span: 9,
+        };
+        let payload = encode_request_with(
+            &Request::QueryVolume {
+                location: LocationId::new(3),
+                period: PeriodId::new(1),
+            },
+            Some(trace),
+            Some(u32::MAX),
+        );
+        let decoded = decode_request(&payload).expect("decode");
+        assert_eq!(decoded.trace, Some(trace));
+        assert_eq!(decoded.deadline_ms, Some(u32::MAX));
+        assert_eq!(
+            decoded.request,
+            Request::QueryVolume {
+                location: LocationId::new(3),
+                period: PeriodId::new(1),
+            }
+        );
+    }
+
+    #[test]
+    fn undeadlined_request_carries_no_deadline() {
+        let payload = encode_request_traced(&Request::Ping, None);
+        let decoded = decode_request(&payload).expect("decode");
+        assert_eq!(decoded.deadline_ms, None);
+    }
+
+    #[test]
+    fn overload_answers_downgrade_to_v2_overloaded() {
+        // A v2 peer never sees tags 134/135: both drain/deadline answers
+        // arrive as the v2 shed tag it already understands.
+        for (response, want_hint) in [
+            (Response::DeadlineExceeded, 0),
+            (Response::GoingAway { retry_after_ms: 80 }, 80),
+        ] {
+            let v2 = encode_response_for(2, &response);
+            assert_eq!(v2[0], 2, "header version");
+            assert_eq!(
+                decode_response(&v2),
+                Ok(Response::Overloaded {
+                    retry_after_ms: want_hint
+                })
+            );
+            let v3 = encode_response_for(3, &response);
+            assert_eq!(v3[0], 3);
+            assert_eq!(decode_response(&v3), Ok(response));
+        }
+    }
+
+    #[test]
+    fn error_range_variants_are_marked() {
+        assert!(Response::DeadlineExceeded.is_error());
+        assert!(Response::GoingAway { retry_after_ms: 1 }.is_error());
+        assert!(Response::Overloaded { retry_after_ms: 1 }.is_error());
+        assert!(Response::Error {
+            code: ErrorCode::Internal,
+            message: String::new()
+        }
+        .is_error());
+        assert!(!Response::Estimate(1.0).is_error());
+        assert!(!Response::Stats(String::new()).is_error());
     }
 
     #[test]
@@ -858,14 +1041,14 @@ mod tests {
     #[test]
     fn oversized_counts_rejected() {
         // Batch count beyond the ceiling.
-        let mut payload = header_for(PROTOCOL_VERSION, TAG_UPLOAD_BATCH, None);
+        let mut payload = header_for(PROTOCOL_VERSION, TAG_UPLOAD_BATCH, None, None);
         payload.extend_from_slice(&(MAX_BATCH_RECORDS as u32 + 1).to_le_bytes());
         assert_eq!(
             decode_request(&payload),
             Err(ProtoError::BadLength(MAX_BATCH_RECORDS + 1))
         );
         // Period count beyond the ceiling.
-        let mut payload = header_for(PROTOCOL_VERSION, TAG_QUERY_POINT, None);
+        let mut payload = header_for(PROTOCOL_VERSION, TAG_QUERY_POINT, None, None);
         payload.extend_from_slice(&7u64.to_le_bytes());
         payload.extend_from_slice(&(MAX_QUERY_PERIODS as u16 + 1).to_le_bytes());
         assert_eq!(
@@ -876,7 +1059,7 @@ mod tests {
 
     #[test]
     fn malformed_embedded_record_reported() {
-        let mut payload = header_for(PROTOCOL_VERSION, TAG_UPLOAD, None);
+        let mut payload = header_for(PROTOCOL_VERSION, TAG_UPLOAD, None, None);
         payload.extend_from_slice(&[1, 2, 3]);
         assert!(matches!(
             decode_request(&payload),

@@ -1,11 +1,20 @@
 //! Bounded worker pool backing the reactor daemon.
 //!
 //! The event loop in [`crate::server`] owns every socket; CPU- and
-//! storage-bound work (estimates, commits, stats snapshots) is handed to
-//! this pool so a slow disk or an expensive query never stalls the wire.
-//! Jobs go in over a condvar-woken queue; completions come back through a
-//! mutex-guarded vector the reactor drains each sweep, which keeps every
-//! socket write on the event-loop thread.
+//! storage-bound work (estimates, commits) is handed to this pool so a
+//! slow disk or an expensive query never stalls the wire. Jobs go in over
+//! a condvar-woken queue; completions come back through a mutex-guarded
+//! vector the reactor drains each sweep, which keeps every socket write on
+//! the event-loop thread.
+//!
+//! Since the overload-control work the pool is **class-aware**: each job
+//! is submitted under a [`JobClass`] into that class's own bounded queue,
+//! workers always drain the highest class first (control > query >
+//! upload), and a full class queue rejects the submission immediately so
+//! the caller can shed with a retry hint instead of letting latency grow
+//! unbounded. Each dequeued job carries its measured queue sojourn, which
+//! the server feeds into its CoDel-style `retry_after_ms` hint and uses to
+//! drop doomed work (jobs whose wire deadline expired while queued).
 
 use std::collections::VecDeque;
 use std::io;
@@ -13,6 +22,36 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Scheduling class of a submitted job, highest priority first.
+///
+/// Control traffic (ping, stats) must stay answerable during an incident,
+/// queries are latency-sensitive, and uploads are throughput work the
+/// RSU fleet retries anyway — so that is the shed order, last first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum JobClass {
+    /// Ping / stats introspection: never starved, smallest queue.
+    Control = 0,
+    /// Estimate queries.
+    Query = 1,
+    /// Upload / upload-batch ingest.
+    Upload = 2,
+}
+
+/// Number of [`JobClass`] values (queue-array size).
+pub(crate) const CLASS_COUNT: usize = 3;
+
+impl JobClass {
+    /// Lowercase name used in metric suffixes (`rpc.shed.by_class.*`).
+    pub fn name(self) -> &'static str {
+        match self {
+            JobClass::Control => "control",
+            JobClass::Query => "query",
+            JobClass::Upload => "upload",
+        }
+    }
+}
 
 /// A fixed-size pool of worker threads mapping jobs `J` to completions `C`.
 ///
@@ -24,30 +63,45 @@ pub(crate) struct WorkerPool<J, C> {
     handles: Vec<JoinHandle<()>>,
 }
 
+struct Queued<J> {
+    job: J,
+    enqueued: Instant,
+}
+
 struct PoolShared<J, C> {
-    queue: Mutex<VecDeque<J>>,
+    queues: Mutex<[VecDeque<Queued<J>>; CLASS_COUNT]>,
+    caps: [usize; CLASS_COUNT],
     wake: Condvar,
     completions: Mutex<Vec<C>>,
     inflight: AtomicUsize,
+    depths: [AtomicUsize; CLASS_COUNT],
     stop: AtomicBool,
 }
 
 impl<J: Send + 'static, C: Send + 'static> WorkerPool<J, C> {
     /// Spawns `workers` threads (at least one) running `run` over submitted
-    /// jobs.
+    /// jobs. `caps` bounds each class queue (0 = unbounded); `run` receives
+    /// each job together with the time it spent queued.
     ///
     /// # Errors
     ///
     /// [`io::Error`] when a worker thread cannot be spawned.
-    pub fn new<F>(workers: usize, name: &str, run: F) -> io::Result<Self>
+    pub fn new<F>(
+        workers: usize,
+        name: &str,
+        caps: [usize; CLASS_COUNT],
+        run: F,
+    ) -> io::Result<Self>
     where
-        F: Fn(J) -> C + Send + Sync + 'static,
+        F: Fn(J, Duration) -> C + Send + Sync + 'static,
     {
         let shared = Arc::new(PoolShared {
-            queue: Mutex::new(VecDeque::new()),
+            queues: Mutex::new(std::array::from_fn(|_| VecDeque::new())),
+            caps,
             wake: Condvar::new(),
             completions: Mutex::new(Vec::new()),
             inflight: AtomicUsize::new(0),
+            depths: std::array::from_fn(|_| AtomicUsize::new(0)),
             stop: AtomicBool::new(false),
         });
         let run = Arc::new(run);
@@ -64,17 +118,33 @@ impl<J: Send + 'static, C: Send + 'static> WorkerPool<J, C> {
         Ok(Self { shared, handles })
     }
 
-    /// Enqueues one job and wakes a worker.
-    pub fn submit(&self, job: J) {
-        self.shared.inflight.fetch_add(1, Ordering::AcqRel);
-        let mut queue = self
+    /// Enqueues one job under `class` and wakes a worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job back when that class's queue is at capacity — the
+    /// admission-control rejection; the caller sheds it with a hint
+    /// instead of queueing doomed work.
+    pub fn submit(&self, class: JobClass, job: J) -> Result<(), J> {
+        let mut queues = self
             .shared
-            .queue
+            .queues
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        queue.push_back(job);
-        drop(queue);
+        let queue = &mut queues[class as usize];
+        let cap = self.shared.caps[class as usize];
+        if cap != 0 && queue.len() >= cap {
+            return Err(job);
+        }
+        queue.push_back(Queued {
+            job,
+            enqueued: Instant::now(),
+        });
+        self.shared.depths[class as usize].fetch_add(1, Ordering::AcqRel);
+        self.shared.inflight.fetch_add(1, Ordering::AcqRel);
+        drop(queues);
         self.shared.wake.notify_one();
+        Ok(())
     }
 
     /// Moves every pending completion into `out` (preserving production
@@ -93,7 +163,12 @@ impl<J: Send + 'static, C: Send + 'static> WorkerPool<J, C> {
         self.shared.inflight.load(Ordering::Acquire)
     }
 
-    /// Signals every worker to exit once the queue drains and joins them.
+    /// Jobs currently waiting in each class queue (not yet dequeued).
+    pub fn depths(&self) -> [usize; CLASS_COUNT] {
+        std::array::from_fn(|i| self.shared.depths[i].load(Ordering::Acquire))
+    }
+
+    /// Signals every worker to exit once the queues drain and joins them.
     pub fn shutdown_and_join(mut self) {
         self.shared.stop.store(true, Ordering::Release);
         self.shared.wake.notify_all();
@@ -102,32 +177,52 @@ impl<J: Send + 'static, C: Send + 'static> WorkerPool<J, C> {
             // job runner; a join error here has nothing left to report.
             let _ = handle.join();
         }
+        // Jobs still queued when the workers exited never ran: settle the
+        // gauges so a shutdown racing queued work cannot leak them.
+        let mut queues = self
+            .shared
+            .queues
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for (class, queue) in queues.iter_mut().enumerate() {
+            let abandoned = queue.len();
+            queue.clear();
+            self.shared.depths[class].fetch_sub(abandoned, Ordering::AcqRel);
+            self.shared.inflight.fetch_sub(abandoned, Ordering::AcqRel);
+        }
     }
 }
 
-fn worker_loop<J, C>(shared: &PoolShared<J, C>, run: &(dyn Fn(J) -> C + Send + Sync)) {
+fn worker_loop<J, C>(shared: &PoolShared<J, C>, run: &(dyn Fn(J, Duration) -> C + Send + Sync)) {
     loop {
-        let job = {
-            let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        let queued = {
+            let mut queues = shared.queues.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
-                if let Some(job) = queue.pop_front() {
-                    break Some(job);
+                // Strict priority: control first, uploads last.
+                if let Some(hit) = (0..CLASS_COUNT)
+                    .find_map(|class| queues[class].pop_front().map(|queued| (queued, class)))
+                {
+                    break Some(hit);
                 }
                 if shared.stop.load(Ordering::Acquire) {
                     break None;
                 }
-                queue = shared
+                queues = shared
                     .wake
-                    .wait(queue)
+                    .wait(queues)
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        let Some(job) = job else { return };
+        let Some((Queued { job, enqueued }, class)) = queued else {
+            return;
+        };
+        shared.depths[class].fetch_sub(1, Ordering::AcqRel);
+        let sojourn = enqueued.elapsed();
         // Job runners contain their own panics (the daemon answers
         // Error{Internal} and closes only the affected connection); this
         // guard is the last resort that keeps the worker thread alive and
         // the inflight count accurate even if that containment slips.
-        if let Ok(completion) = catch_unwind(AssertUnwindSafe(|| run(job))) {
+        if let Ok(completion) = catch_unwind(AssertUnwindSafe(|| run(job, sojourn))) {
             let mut done = shared
                 .completions
                 .lock()
@@ -141,7 +236,8 @@ fn worker_loop<J, C>(shared: &PoolShared<J, C>, run: &(dyn Fn(J) -> C + Send + S
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::{Duration, Instant};
+
+    const OPEN: [usize; CLASS_COUNT] = [0, 0, 0];
 
     fn drain_until<C: Send + 'static>(pool: &WorkerPool<u32, C>, want: usize) -> Vec<C> {
         let deadline = Instant::now() + Duration::from_secs(5);
@@ -159,37 +255,162 @@ mod tests {
 
     #[test]
     fn jobs_round_trip_and_inflight_drains() {
-        let pool = WorkerPool::new(3, "test-pool", |job: u32| job * 2).expect("spawn");
+        let pool =
+            WorkerPool::new(3, "test-pool", OPEN, |job: u32, _queued| job * 2).expect("spawn");
         for job in 0..16u32 {
-            pool.submit(job);
+            pool.submit(JobClass::Upload, job).expect("unbounded");
         }
         let mut out = drain_until(&pool, 16);
         out.sort_unstable();
         assert_eq!(out, (0..16).map(|j| j * 2).collect::<Vec<_>>());
         assert_eq!(pool.inflight(), 0);
+        assert_eq!(pool.depths(), [0, 0, 0]);
         pool.shutdown_and_join();
     }
 
     #[test]
-    fn panicking_job_keeps_workers_alive() {
-        let pool = WorkerPool::new(1, "test-panic", |job: u32| {
+    fn panicking_job_keeps_workers_alive_and_gauges_exact() {
+        let pool = WorkerPool::new(1, "test-panic", OPEN, |job: u32, _queued| {
             assert!(job != 7, "injected panic");
             job
         })
         .expect("spawn");
-        pool.submit(7);
-        pool.submit(8);
+        pool.submit(JobClass::Query, 7).expect("submit");
+        pool.submit(JobClass::Query, 8).expect("submit");
         let out = drain_until(&pool, 1);
         assert_eq!(out, vec![8]);
+        // The panicked job must not leak the inflight gauge or its class
+        // depth (regression: gauges return to zero after a panic).
         assert_eq!(pool.inflight(), 0);
+        assert_eq!(pool.depths(), [0, 0, 0]);
         pool.shutdown_and_join();
     }
 
     #[test]
     fn zero_worker_request_still_gets_one_thread() {
-        let pool = WorkerPool::new(0, "test-min", |job: u32| job + 1).expect("spawn");
-        pool.submit(41);
+        let pool =
+            WorkerPool::new(0, "test-min", OPEN, |job: u32, _queued| job + 1).expect("spawn");
+        pool.submit(JobClass::Control, 41).expect("submit");
         assert_eq!(drain_until(&pool, 1), vec![42]);
         pool.shutdown_and_join();
+    }
+
+    #[test]
+    fn full_class_queue_rejects_without_touching_other_classes() {
+        // No workers draining: park the single worker on a long job first.
+        let gate = Arc::new(Mutex::new(()));
+        let held = gate.lock().expect("gate");
+        let pool = {
+            let gate = Arc::clone(&gate);
+            WorkerPool::new(1, "test-cap", [1, 1, 2], move |job: u32, _queued| {
+                drop(gate.lock().unwrap_or_else(PoisonError::into_inner));
+                job
+            })
+            .expect("spawn")
+        };
+        // First job occupies the worker (blocked on the gate); wait until
+        // it has been dequeued so the queues below fill deterministically.
+        pool.submit(JobClass::Upload, 0).expect("occupies worker");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.depths()[JobClass::Upload as usize] != 0 {
+            assert!(Instant::now() < deadline, "worker never picked up job");
+            std::thread::yield_now();
+        }
+        pool.submit(JobClass::Upload, 1).expect("upload slot 1");
+        pool.submit(JobClass::Upload, 2).expect("upload slot 2");
+        assert_eq!(
+            pool.submit(JobClass::Upload, 3),
+            Err(3),
+            "upload queue at cap rejects"
+        );
+        // Other classes keep their own headroom.
+        pool.submit(JobClass::Query, 10).expect("query admitted");
+        assert_eq!(pool.submit(JobClass::Query, 11), Err(11));
+        pool.submit(JobClass::Control, 20)
+            .expect("control admitted");
+        assert_eq!(pool.depths(), [1, 1, 2]);
+        drop(held);
+        let _ = drain_until(&pool, 5);
+        assert_eq!(pool.depths(), [0, 0, 0]);
+        assert_eq!(pool.inflight(), 0);
+        pool.shutdown_and_join();
+    }
+
+    #[test]
+    fn control_class_drains_before_queued_uploads() {
+        // One worker, blocked; then queue uploads before a control job.
+        let gate = Arc::new(Mutex::new(()));
+        let held = gate.lock().expect("gate");
+        let pool = {
+            let gate = Arc::clone(&gate);
+            WorkerPool::new(1, "test-prio", OPEN, move |job: u32, _queued| {
+                if job == 0 {
+                    drop(gate.lock().unwrap_or_else(PoisonError::into_inner));
+                }
+                job
+            })
+            .expect("spawn")
+        };
+        pool.submit(JobClass::Upload, 0).expect("occupies worker");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.depths()[JobClass::Upload as usize] != 0 {
+            assert!(Instant::now() < deadline, "worker never picked up job");
+            std::thread::yield_now();
+        }
+        for job in [1, 2, 3] {
+            pool.submit(JobClass::Upload, job).expect("queued upload");
+        }
+        pool.submit(JobClass::Control, 99).expect("queued control");
+        drop(held);
+        let out = drain_until(&pool, 5);
+        // The control job ran before every upload that was queued with it.
+        let control_at = out.iter().position(|&j| j == 99).expect("control ran");
+        let first_upload = out.iter().position(|&j| j == 1).expect("upload ran");
+        assert!(
+            control_at < first_upload,
+            "control must preempt queued uploads: {out:?}"
+        );
+        pool.shutdown_and_join();
+    }
+
+    #[test]
+    fn shutdown_racing_queued_jobs_settles_gauges() {
+        let gate = Arc::new(AtomicBool::new(false));
+        let pool = {
+            let gate = Arc::clone(&gate);
+            WorkerPool::new(1, "test-race", OPEN, move |job: u32, _queued| {
+                while !gate.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                job
+            })
+            .expect("spawn")
+        };
+        pool.submit(JobClass::Upload, 0).expect("occupies worker");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.depths()[JobClass::Upload as usize] != 0 {
+            assert!(Instant::now() < deadline, "worker never picked up job");
+            std::thread::yield_now();
+        }
+        for job in [1, 2, 3, 4] {
+            pool.submit(JobClass::Upload, job).expect("queued");
+        }
+        // Shut down while four jobs are still queued. The running job gets
+        // to finish (the gate opens below), the queued ones are abandoned —
+        // and the gauges must land on zero either way.
+        let shared = Arc::clone(&pool.shared);
+        let release = std::thread::spawn({
+            let gate = Arc::clone(&gate);
+            move || {
+                std::thread::sleep(Duration::from_millis(50));
+                gate.store(true, Ordering::Release);
+            }
+        });
+        pool.shutdown_and_join();
+        release.join().expect("release thread");
+        assert_eq!(shared.inflight.load(Ordering::Acquire), 0);
+        for depth in &shared.depths {
+            assert_eq!(depth.load(Ordering::Acquire), 0);
+        }
     }
 }

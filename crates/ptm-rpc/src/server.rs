@@ -91,7 +91,7 @@ use crate::proto::{
     decode_request, encode_response_into, peek_version, ErrorCode, ProtoError, Request, Response,
     WireTrace, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
-use crate::reactor::WorkerPool;
+use crate::reactor::{JobClass, WorkerPool, CLASS_COUNT};
 use ptm_core::record::TrafficRecord;
 use ptm_core::{LocationId, PeriodId};
 use ptm_fault::{sites, FaultAction, FaultPlan, FaultyStream, SiteHandle};
@@ -103,7 +103,7 @@ use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -163,14 +163,10 @@ pub struct ServerConfig {
     /// wrong rather than only on clean exit; `None` disables.
     pub metrics_snapshot: Option<PathBuf>,
     /// Deterministic fault-injection plan threaded into the archive
-    /// backend and connection streams; `None` (the default) compiles every
-    /// hook down to a no-op check. Test/chaos use only.
+    /// backend, connection streams, and the ingest/estimate execution
+    /// sites; `None` (the default) compiles every hook down to a no-op
+    /// check. Test/chaos use only.
     pub fault_plan: Option<FaultPlan>,
-    /// Test-only fault injection: when set, the next ingest panics after
-    /// acquiring the writer lock, then the flag self-clears. Exercises the
-    /// poisoned-lock recovery path; leave it alone in production.
-    #[doc(hidden)]
-    pub fault_ingest_panic: Arc<AtomicBool>,
 }
 
 impl Default for ServerConfig {
@@ -193,7 +189,6 @@ impl Default for ServerConfig {
             recorder_dump: None,
             metrics_snapshot: None,
             fault_plan: None,
-            fault_ingest_panic: Arc::new(AtomicBool::new(false)),
         }
     }
 }
@@ -375,6 +370,48 @@ struct Shared {
     read_site: SiteHandle,
     write_site: SiteHandle,
     estimate_site: SiteHandle,
+    /// Ingest-execution fault site, checked once per ingest job under the
+    /// writer lock (panic/delay injection through the seeded plan).
+    ingest_site: SiteHandle,
+    /// Graceful-drain flag: set by [`RpcServer::drain`]; the reactor stops
+    /// admitting work and answers new requests with
+    /// [`Response::GoingAway`].
+    draining: AtomicBool,
+    /// Set by the reactor once a drain has quiesced: no job in flight, no
+    /// pending frames, every reply flushed.
+    drained: AtomicBool,
+    /// EWMA of worker-queue sojourn in microseconds — the measured queue
+    /// delay behind every shed response's `retry_after_ms` hint
+    /// (CoDel-style: the hint grows as the queue actually gets slower,
+    /// instead of quoting a static number).
+    queue_delay_us: AtomicU64,
+    /// Per-class worker-queue depths, mirrored from the pool each reactor
+    /// sweep so `Stats` can report them without reaching into the pool.
+    queue_depths: [AtomicUsize; CLASS_COUNT],
+    /// Pool jobs in flight, mirrored like `queue_depths`.
+    worker_inflight: AtomicUsize,
+}
+
+/// Returns the `retry_after_ms` hint for a shed response: the configured
+/// floor raised to the *measured* queue delay, so a genuinely backed-up
+/// daemon tells clients to stay away longer — and an idle one never quotes
+/// a stale scary number.
+fn retry_hint_ms(shared: &Shared) -> u32 {
+    let measured_ms = shared.queue_delay_us.load(Ordering::Relaxed) / 1000;
+    let measured_ms = u32::try_from(measured_ms.min(60_000)).unwrap_or(60_000);
+    shared.config.retry_after_ms.max(measured_ms)
+}
+
+/// Folds one measured queue sojourn into the EWMA (α = 1/8) and the
+/// `rpc.server.queue_delay_us` histogram.
+fn note_queue_delay(shared: &Shared, sojourn: Duration) {
+    let us = u64::try_from(sojourn.as_micros()).unwrap_or(u64::MAX);
+    if ptm_obs::metrics_enabled() {
+        ptm_obs::histogram!("rpc.server.queue_delay_us").record(us);
+    }
+    let old = shared.queue_delay_us.load(Ordering::Relaxed);
+    let new = old - old / 8 + us / 8;
+    shared.queue_delay_us.store(new, Ordering::Relaxed);
 }
 
 /// Locks the writer path, recovering from poisoning and recording the
@@ -422,20 +459,23 @@ impl RpcServer {
     ) -> Result<Self, DaemonError> {
         let archive_path = archive_path.as_ref().to_path_buf();
         let central = CentralServer::new(config.s);
-        let (store_hooks, read_site, write_site, estimate_site) = match &config.fault_plan {
-            Some(plan) => (
-                StoreHooks::from_plan(plan),
-                plan.site(sites::RPC_READ),
-                plan.site(sites::RPC_WRITE),
-                plan.site(sites::RPC_ESTIMATE),
-            ),
-            None => (
-                StoreHooks::disabled(),
-                SiteHandle::disabled(),
-                SiteHandle::disabled(),
-                SiteHandle::disabled(),
-            ),
-        };
+        let (store_hooks, read_site, write_site, estimate_site, ingest_site) =
+            match &config.fault_plan {
+                Some(plan) => (
+                    StoreHooks::from_plan(plan),
+                    plan.site(sites::RPC_READ),
+                    plan.site(sites::RPC_WRITE),
+                    plan.site(sites::RPC_ESTIMATE),
+                    plan.site(sites::RPC_INGEST),
+                ),
+                None => (
+                    StoreHooks::disabled(),
+                    SiteHandle::disabled(),
+                    SiteHandle::disabled(),
+                    SiteHandle::disabled(),
+                    SiteHandle::disabled(),
+                ),
+            };
         let store_opts = StoreOptions {
             hooks: store_hooks,
             sync_policy: config.sync_policy,
@@ -490,12 +530,20 @@ impl RpcServer {
             read_site,
             write_site,
             estimate_site,
+            ingest_site,
+            draining: AtomicBool::new(false),
+            drained: AtomicBool::new(false),
+            queue_delay_us: AtomicU64::new(0),
+            queue_depths: std::array::from_fn(|_| AtomicUsize::new(0)),
+            worker_inflight: AtomicUsize::new(0),
         });
         let job_shared = Arc::clone(&shared);
-        let pool: WorkerPool<Job, Completion> =
-            WorkerPool::new(shared.config.workers, "ptm-rpc-worker", move |job| {
-                run_job(&job_shared, job)
-            })?;
+        let pool: WorkerPool<Job, Completion> = WorkerPool::new(
+            shared.config.workers,
+            "ptm-rpc-worker",
+            CLASS_QUEUE_CAPS,
+            move |job, sojourn| run_job(&job_shared, job, sojourn),
+        )?;
         let reactor_shared = Arc::clone(&shared);
         let reactor_thread = std::thread::Builder::new()
             .name("ptm-rpc-reactor".into())
@@ -552,6 +600,35 @@ impl RpcServer {
         self.shared.degraded.flag.load(Ordering::SeqCst)
     }
 
+    /// Begins a graceful drain: the daemon stops admitting new work and
+    /// answers every *new* request with [`Response::GoingAway`] carrying
+    /// the measured `retry_after_ms` hint (downgraded to `Overloaded` for
+    /// v2 peers; v1 peers get a clean close — never an undecodable frame),
+    /// while jobs already dispatched run to completion and their replies
+    /// flush. Once [`RpcServer::drain_complete`] reports quiescence, call
+    /// [`RpcServer::shutdown`] to checkpoint the store and exit.
+    ///
+    /// Idempotent; draining is one-way (there is no undrain).
+    pub fn drain(&self) {
+        if !self.shared.draining.swap(true, Ordering::SeqCst) {
+            ptm_obs::gauge!("rpc.server.draining").set(1);
+            ptm_obs::info!("rpc.server", "drain started: new work refused with GoingAway";
+                inflight = self.shared.worker_inflight.load(Ordering::SeqCst) as u64);
+        }
+    }
+
+    /// Whether [`RpcServer::drain`] has been called.
+    pub fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Whether a started drain has quiesced: no job in flight, no pending
+    /// decoded frames, and every accepted reply flushed to its socket.
+    /// Always `false` before [`RpcServer::drain`].
+    pub fn drain_complete(&self) -> bool {
+        self.shared.drained.load(Ordering::SeqCst)
+    }
+
     /// Live admitted connections (shed connections are not counted). The
     /// reactor retires a closed connection's state on its next sweep, so
     /// teardown is reflected here promptly whether or not anyone is
@@ -598,6 +675,15 @@ const PENDING_CAP: usize = 512;
 /// Upload frames coalesced into a single worker job / archive commit.
 const MAX_COALESCED_FRAMES: usize = 64;
 
+/// Bounded per-class worker-queue capacities (control, query, upload):
+/// admission control's backstop. Control stays tiny because ping/stats are
+/// answered inline on the reactor thread and only ever queue as a
+/// fallback; queries are latency-sensitive so their queue is kept short;
+/// uploads tolerate the deepest backlog because the RSU retry loop
+/// absorbs a shed cheaply. A full queue rejects at submit time and the
+/// requester is answered `Overloaded` with the measured-delay hint.
+const CLASS_QUEUE_CAPS: [usize; CLASS_COUNT] = [64, 128, 512];
+
 /// How long after the last activity the reactor keeps spin-yielding
 /// before idle sleeps start escalating. Request/response exchanges with
 /// sub-millisecond think time stay inside this window and never eat a
@@ -617,6 +703,13 @@ struct DecodedFrame {
     /// When the frame left the socket; the gap to dispatch is the
     /// request's queue wait.
     arrived: Instant,
+    /// The wire deadline: `arrived` plus the remaining-budget
+    /// `deadline_ms` a v3 client stamped behind `FLAG_DEADLINE`. A job
+    /// still queued past this instant is *doomed* — its caller has already
+    /// given up — and is answered [`Response::DeadlineExceeded`] instead
+    /// of executed. `None` (v1/v2 peers, or an unstamped v3 request) never
+    /// dooms.
+    deadline: Option<Instant>,
 }
 
 /// Work handed to the pool: everything needed to compute replies for one
@@ -799,16 +892,25 @@ fn flush_conn(conn: &mut Conn, stall_budget: Duration) -> Result<(), CloseKind> 
 
 /// A shed connection's first complete frame decides its goodbye: peers on
 /// a version that knows the `Overloaded` tag (v2+) get it encoded no
-/// newer than they speak; v1 peers (or garbage) get a clean close — never
-/// a frame their decoder cannot read.
-fn answer_shed_hello(conn: &mut Conn, payload: &[u8], retry_after_ms: u32) {
+/// newer than they speak — `GoingAway` instead when the daemon is
+/// draining (the encoder downgrades it to `Overloaded` for v2) — while v1
+/// peers (or garbage) get a clean close — never a frame their decoder
+/// cannot read.
+fn answer_shed_hello(conn: &mut Conn, shared: &Shared, payload: &[u8]) {
+    let retry_after_ms = retry_hint_ms(shared);
     match peek_version(payload) {
         Some(version) if version > MIN_PROTOCOL_VERSION => {
             let floor = version.min(PROTOCOL_VERSION);
+            let response = if shared.draining.load(Ordering::SeqCst) {
+                ptm_obs::counter!("rpc.server.going_away").inc();
+                Response::GoingAway { retry_after_ms }
+            } else {
+                Response::Overloaded { retry_after_ms }
+            };
             queue_reply(
                 conn,
                 &Reply {
-                    response: Response::Overloaded { retry_after_ms },
+                    response,
                     version: floor,
                     trace: None,
                 },
@@ -859,16 +961,43 @@ fn read_conn(conn: &mut Conn, shared: &Shared, activity: &mut bool) -> Result<()
                         ptm_obs::counter!("rpc.server.bytes.in").add(payload.len() as u64 + 8);
                         if conn.shed {
                             let payload = payload.to_vec();
-                            answer_shed_hello(conn, &payload, shared.config.retry_after_ms);
+                            answer_shed_hello(conn, shared, &payload);
                             return Ok(());
                         }
                         match decode_request(payload) {
                             Ok(decoded) => {
+                                if shared.draining.load(Ordering::SeqCst) {
+                                    // Draining: hand the peer off. v2+
+                                    // gets GoingAway (the encoder
+                                    // downgrades v2 to Overloaded); v1
+                                    // predates every shed tag and gets a
+                                    // clean close instead of an
+                                    // undecodable frame.
+                                    ptm_obs::counter!("rpc.server.going_away").inc();
+                                    if decoded.version > MIN_PROTOCOL_VERSION {
+                                        queue_reply(
+                                            conn,
+                                            &Reply {
+                                                response: Response::GoingAway {
+                                                    retry_after_ms: retry_hint_ms(shared),
+                                                },
+                                                version: decoded.version.min(PROTOCOL_VERSION),
+                                                trace: None,
+                                            },
+                                        );
+                                    }
+                                    conn.close_after_flush = true;
+                                    return Ok(());
+                                }
+                                let deadline = decoded
+                                    .deadline_ms
+                                    .map(|ms| now + Duration::from_millis(u64::from(ms)));
                                 conn.pending.push_back(DecodedFrame {
                                     request: decoded.request,
                                     version: decoded.version,
                                     trace: decoded.trace,
                                     arrived: now,
+                                    deadline,
                                 });
                                 if conn.pending.len() >= PENDING_CAP {
                                     break;
@@ -971,43 +1100,109 @@ fn read_conn(conn: &mut Conn, shared: &Shared, activity: &mut bool) -> Result<()
     }
 }
 
-/// Submits the connection's next job: a run of consecutive upload frames
-/// coalesces into one ingest job (single commit, per-frame acks); any
-/// other frame dispatches alone. At most one job per connection keeps
-/// replies in request order.
-fn maybe_dispatch(conn: &mut Conn, pool: &WorkerPool<Job, Completion>) {
+/// Admission class of one request: control traffic (ping, stats) beats
+/// queries beats uploads — both in worker-queue priority and in shed
+/// order under pressure.
+fn class_of(request: &Request) -> JobClass {
+    match request {
+        Request::Ping | Request::Stats => JobClass::Control,
+        Request::Upload(_) | Request::UploadBatch(_) => JobClass::Upload,
+        Request::QueryVolume { .. } | Request::QueryPoint { .. } | Request::QueryP2p { .. } => {
+            JobClass::Query
+        }
+    }
+}
+
+/// Answers every frame of a rejected job with `Overloaded` carrying the
+/// measured-delay hint (admission control: the class queue was full), in
+/// each requester's own version, and counts the shed per class.
+fn shed_rejected_job(conn: &mut Conn, shared: &Shared, job: Job, class: JobClass) {
+    let frames = match job.kind {
+        JobKind::Single(frame) => vec![frame],
+        JobKind::Ingest(frames) => frames,
+    };
+    let retry_after_ms = retry_hint_ms(shared);
+    if ptm_obs::metrics_enabled() {
+        ptm_obs::registry()
+            .counter(format!("rpc.shed.by_class.{}", class.name()))
+            .add(frames.len() as u64);
+    }
+    for frame in frames {
+        queue_reply(
+            conn,
+            &Reply {
+                response: Response::Overloaded { retry_after_ms },
+                version: frame.version,
+                trace: None,
+            },
+        );
+    }
+}
+
+/// Dispatches the connection's pending work. Control frames (ping, stats)
+/// are answered **inline on the reactor thread** — the introspection an
+/// operator needs most during an incident stays answerable at 100% worker
+/// saturation, because it never enters the worker queue at all
+/// (`stats_json` only ever try-locks the writer, so this cannot stall the
+/// loop). Other work submits to the pool under its class: a run of
+/// consecutive upload frames coalesces into one ingest job (single
+/// commit, per-frame acks); queries dispatch alone. At most one pool job
+/// per connection keeps replies in request order, and a class queue at
+/// capacity rejects the job — answered as an `Overloaded` shed with the
+/// measured-delay hint.
+fn maybe_dispatch(conn: &mut Conn, shared: &Shared, pool: &WorkerPool<Job, Completion>) {
     if conn.job_inflight || conn.close_after_flush || conn.shed {
         return;
     }
-    let Some(front) = conn.pending.front() else {
-        return;
-    };
     let is_upload =
         |request: &Request| matches!(request, Request::Upload(_) | Request::UploadBatch(_));
-    let kind = if is_upload(&front.request) {
-        let mut frames = Vec::new();
-        while frames.len() < MAX_COALESCED_FRAMES {
-            match conn.pending.front() {
-                Some(f) if is_upload(&f.request) => {
-                    if let Some(f) = conn.pending.pop_front() {
-                        frames.push(f);
+    loop {
+        let Some(front) = conn.pending.front() else {
+            return;
+        };
+        let class = class_of(&front.request);
+        if class == JobClass::Control {
+            let Some(frame) = conn.pending.pop_front() else {
+                return;
+            };
+            let reply = run_single(shared, frame);
+            queue_reply(conn, &reply);
+            // Further pending frames may dispatch now — loop, so a ping
+            // queued behind another ping is not stranded until the next
+            // sweep.
+            continue;
+        }
+        let kind = if is_upload(&front.request) {
+            let mut frames = Vec::new();
+            while frames.len() < MAX_COALESCED_FRAMES {
+                match conn.pending.front() {
+                    Some(f) if is_upload(&f.request) => {
+                        if let Some(f) = conn.pending.pop_front() {
+                            frames.push(f);
+                        }
                     }
+                    _ => break,
                 }
-                _ => break,
             }
+            JobKind::Ingest(frames)
+        } else {
+            match conn.pending.pop_front() {
+                Some(f) => JobKind::Single(f),
+                None => return,
+            }
+        };
+        match pool.submit(
+            class,
+            Job {
+                conn_id: conn.id,
+                kind,
+            },
+        ) {
+            Ok(()) => conn.job_inflight = true,
+            Err(job) => shed_rejected_job(conn, shared, job, class),
         }
-        JobKind::Ingest(frames)
-    } else {
-        match conn.pending.pop_front() {
-            Some(f) => JobKind::Single(f),
-            None => return,
-        }
-    };
-    conn.job_inflight = true;
-    pool.submit(Job {
-        conn_id: conn.id,
-        kind,
-    });
+        return;
+    }
 }
 
 /// Applies a worker's completion: replies are encoded into the output
@@ -1016,6 +1211,7 @@ fn maybe_dispatch(conn: &mut Conn, pool: &WorkerPool<Job, Completion>) {
 fn apply_completion(
     conn: &mut Conn,
     completion: Completion,
+    shared: &Shared,
     pool: &WorkerPool<Job, Completion>,
     dispatch_more: bool,
 ) {
@@ -1027,7 +1223,7 @@ fn apply_completion(
         conn.close_after_flush = true;
     }
     if dispatch_more {
-        maybe_dispatch(conn, pool);
+        maybe_dispatch(conn, shared, pool);
     }
 }
 
@@ -1124,7 +1320,7 @@ fn reactor_loop(listener: TcpListener, shared: Arc<Shared>, pool: WorkerPool<Job
             // job ran); the work is durable either way, the reply just
             // has nowhere to go.
             if let Some(conn) = conns.get_mut(&completion.conn_id) {
-                apply_completion(conn, completion, &pool, true);
+                apply_completion(conn, completion, &shared, &pool, true);
             }
         }
 
@@ -1132,7 +1328,7 @@ fn reactor_loop(listener: TcpListener, shared: Arc<Shared>, pool: WorkerPool<Job
         for conn in conns.values_mut() {
             let result = read_conn(conn, &shared, &mut activity)
                 .and_then(|()| {
-                    maybe_dispatch(conn, &pool);
+                    maybe_dispatch(conn, &shared, &pool);
                     flush_conn(conn, shared.config.read_timeout)
                 })
                 .and_then(|()| {
@@ -1154,6 +1350,40 @@ fn reactor_loop(listener: TcpListener, shared: Arc<Shared>, pool: WorkerPool<Job
         for (id, kind) in closing.drain(..) {
             activity = true;
             finish_conn(&mut conns, &shared, id, kind);
+        }
+
+        // Mirror pool gauges into Shared each sweep: Stats is answered
+        // inline on this thread, so the queue depths and in-flight count
+        // it reports come from these atomics, never from locking the pool.
+        let depths = pool.depths();
+        let inflight = pool.inflight();
+        for (slot, depth) in shared.queue_depths.iter().zip(depths.iter()) {
+            slot.store(*depth, Ordering::Relaxed);
+        }
+        shared.worker_inflight.store(inflight, Ordering::Relaxed);
+        ptm_obs::gauge!("rpc.server.worker_inflight").set(inflight as i64);
+        ptm_obs::gauge!("rpc.server.queue_depth.control").set(depths[0] as i64);
+        ptm_obs::gauge!("rpc.server.queue_depth.query").set(depths[1] as i64);
+        ptm_obs::gauge!("rpc.server.queue_depth.upload").set(depths[2] as i64);
+
+        // Drain quiescence: once draining, the loop keeps running —
+        // answering new requests with GoingAway — until every admitted
+        // job has finished, every reply has flushed, and nothing is
+        // pending. `drain_complete()` observes the flag; the caller then
+        // invokes `shutdown()` for the checkpointed exit.
+        if shared.draining.load(Ordering::SeqCst)
+            && !shared.drained.load(Ordering::SeqCst)
+            && inflight == 0
+            && depths.iter().all(|&d| d == 0)
+            && conns
+                .values()
+                .all(|c| !c.job_inflight && c.pending.is_empty() && !c.has_unflushed())
+        {
+            shared.drained.store(true, Ordering::SeqCst);
+            ptm_obs::info!(
+                "rpc.server",
+                "drain complete: in-flight work finished and flushed"
+            );
         }
 
         // Idle policy: spin hot while anything is moving or in flight
@@ -1186,7 +1416,7 @@ fn reactor_loop(listener: TcpListener, shared: Arc<Shared>, pool: WorkerPool<Job
     pool.drain_completions(&mut completions);
     for completion in completions.drain(..) {
         if let Some(conn) = conns.get_mut(&completion.conn_id) {
-            apply_completion(conn, completion, &pool, false);
+            apply_completion(conn, completion, &shared, &pool, false);
         }
     }
     for conn in conns.values_mut() {
@@ -1243,16 +1473,15 @@ fn maintenance_loop(shared: Arc<Shared>) {
     }
 }
 
-/// Runs one job on a pool worker. A panicking handler is caught and
-/// answered, not allowed to unwind: every shared lock recovers from
-/// poisoning, so the daemon keeps serving afterwards — only the affected
-/// connection closes.
-fn run_job(shared: &Shared, job: Job) -> Completion {
+/// Runs one job on a pool worker: records the measured queue delay (the
+/// sojourn feeds the CoDel-style retry hint), drops doomed work, and
+/// executes the rest. A panicking handler is caught and answered, not
+/// allowed to unwind: every shared lock recovers from poisoning, so the
+/// daemon keeps serving afterwards — only the affected connection closes.
+fn run_job(shared: &Shared, job: Job, sojourn: Duration) -> Completion {
+    note_queue_delay(shared, sojourn);
     let conn_id = job.conn_id;
-    match std::panic::catch_unwind(AssertUnwindSafe(|| match job.kind {
-        JobKind::Single(frame) => vec![run_single(shared, frame)],
-        JobKind::Ingest(frames) => ingest_frames(shared, frames),
-    })) {
+    match std::panic::catch_unwind(AssertUnwindSafe(|| execute_job(shared, job.kind))) {
         Ok(replies) => Completion {
             conn_id,
             replies,
@@ -1276,6 +1505,70 @@ fn run_job(shared: &Shared, job: Job) -> Completion {
                 }],
                 close: true,
             }
+        }
+    }
+}
+
+/// Answers a doomed frame: its wire deadline expired while it waited in
+/// the worker queue, so the caller has already given up — executing it
+/// would burn a worker on an answer nobody reads.
+fn doomed_reply(frame: &DecodedFrame) -> Reply {
+    ptm_obs::counter!("rpc.server.deadline_dropped").inc();
+    Reply {
+        response: Response::DeadlineExceeded,
+        version: frame.version,
+        trace: None,
+    }
+}
+
+/// Executes a job's frames, dropping doomed work first (checked once at
+/// job start against each frame's wire deadline). For a coalesced ingest
+/// job only the live frames commit; reply order still matches request
+/// order because live replies are stitched back around the doomed slots.
+fn execute_job(shared: &Shared, kind: JobKind) -> Vec<Reply> {
+    let now = Instant::now();
+    let doomed = |frame: &DecodedFrame| frame.deadline.is_some_and(|d| now > d);
+    match kind {
+        JobKind::Single(frame) => {
+            if doomed(&frame) {
+                vec![doomed_reply(&frame)]
+            } else {
+                vec![run_single(shared, frame)]
+            }
+        }
+        JobKind::Ingest(frames) => {
+            if !frames.iter().any(doomed) {
+                return ingest_frames(shared, frames);
+            }
+            let mut slots: Vec<Option<Reply>> = Vec::with_capacity(frames.len());
+            let mut live = Vec::new();
+            for frame in frames {
+                if doomed(&frame) {
+                    slots.push(Some(doomed_reply(&frame)));
+                } else {
+                    slots.push(None);
+                    live.push(frame);
+                }
+            }
+            let mut live_replies = if live.is_empty() {
+                Vec::new()
+            } else {
+                ingest_frames(shared, live)
+            }
+            .into_iter();
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.or_else(|| live_replies.next()).unwrap_or(Reply {
+                        response: Response::Error {
+                            code: ErrorCode::Internal,
+                            message: "ingest produced no reply".into(),
+                        },
+                        version: PROTOCOL_VERSION,
+                        trace: None,
+                    })
+                })
+                .collect()
         }
     }
 }
@@ -1323,6 +1616,7 @@ fn run_single(shared: &Shared, frame: DecodedFrame) -> Reply {
                     version,
                     trace: frame.trace,
                     arrived: frame.arrived,
+                    deadline: frame.deadline,
                 }],
             );
             return replies.pop().unwrap_or(Reply {
@@ -1393,6 +1687,24 @@ fn stats_json(shared: &Shared) -> String {
     } else {
         "false"
     });
+    out.push_str(",\"draining\":");
+    out.push_str(if shared.draining.load(Ordering::SeqCst) {
+        "true"
+    } else {
+        "false"
+    });
+    // Overload surface: the reactor mirrors pool state into these atomics
+    // every sweep, so Stats — answered inline on the reactor thread —
+    // reports live queue pressure even at 100% worker saturation.
+    out.push_str(&format!(
+        ",\"overload\":{{\"queue_delay_us\":{},\"worker_inflight\":{},\
+         \"queue_depth\":{{\"control\":{},\"query\":{},\"upload\":{}}}}}",
+        shared.queue_delay_us.load(Ordering::Relaxed),
+        shared.worker_inflight.load(Ordering::Relaxed),
+        shared.queue_depths[JobClass::Control as usize].load(Ordering::Relaxed),
+        shared.queue_depths[JobClass::Query as usize].load(Ordering::Relaxed),
+        shared.queue_depths[JobClass::Upload as usize].load(Ordering::Relaxed),
+    ));
     // Storage-engine gauges, read under a non-blocking writer probe so an
     // introspection request never queues behind a stalled commit. `null`
     // means "writer busy right now" — ask again.
@@ -1673,13 +1985,30 @@ fn ingest_frames(shared: &Shared, frames: Vec<DecodedFrame>) -> Vec<Reply> {
     };
 
     let mut store = lock_writer(&shared.writer);
-    if shared
-        .config
-        .fault_ingest_panic
-        .swap(false, Ordering::SeqCst)
-    {
-        // ptm-analyze: allow(no-unwrap): deliberate fault-injection hook; fires only when a test sets fault_ingest_panic
-        panic!("injected ingest fault (test-only)");
+    // Registered execution-site hook: checked once per coalesced ingest
+    // job, just after the writer lock is taken. A scheduled `panic`
+    // exercises the daemon's catch-unwind and poisoned-lock recovery; a
+    // `delay` holds the lock to back the upload queue up; any other
+    // action fails the whole job's frames.
+    if let Some(action) = shared.ingest_site.check() {
+        match action {
+            // ptm-analyze: allow(no-unwrap): deliberate fault-injection site; fires only under a scheduled FaultPlan rule
+            FaultAction::Panic => panic!("injected ingest fault"),
+            FaultAction::Delay(pause) => std::thread::sleep(pause),
+            _ => {
+                return metas
+                    .iter()
+                    .map(|(version, trace)| Reply {
+                        response: Response::Error {
+                            code: ErrorCode::Internal,
+                            message: "injected ingest fault".into(),
+                        },
+                        version: *version,
+                        trace: *trace,
+                    })
+                    .collect();
+            }
+        }
     }
     // Degraded (read-only) mode: the archive backend kept failing. Shed
     // uploads fast — or, if the cooldown has passed, probe a reopen and
@@ -2241,15 +2570,16 @@ mod tests {
     #[test]
     fn panicked_handler_does_not_poison_the_daemon() {
         let path = temp_archive("panic");
-        let config = test_config();
-        let fault = Arc::clone(&config.fault_ingest_panic);
+        let mut config = test_config();
+        // Registered chaos site, not a bespoke backdoor: the first ingest
+        // job panics inside the writer lock.
+        config.fault_plan = Some(FaultPlan::parse("rpc.ingest@1=panic", 7).expect("plan"));
         let server = RpcServer::start("127.0.0.1:0", &path, config).expect("start");
         let addr = server.local_addr();
 
         // First request panics inside ingest while holding the writer
         // lock, poisoning it. The daemon must answer with an Internal
         // error frame instead of unwinding the connection thread.
-        fault.store(true, Ordering::SeqCst);
         let mut stream = connect(addr);
         let response = exchange(&mut stream, &Request::Upload(sample_record(1, 0)));
         assert!(
@@ -2538,6 +2868,163 @@ mod tests {
                 );
             }
             other => panic!("expected a v2 Overloaded frame, got {other:?}"),
+        }
+        server.shutdown().expect("shutdown");
+        cleanup_archive(&path);
+    }
+
+    #[test]
+    fn drain_answers_going_away_then_reports_complete() {
+        let path = temp_archive("drain");
+        let config = ServerConfig {
+            retry_after_ms: 37,
+            ..test_config()
+        };
+        let server = RpcServer::start("127.0.0.1:0", &path, config).expect("start");
+        let addr = server.local_addr();
+
+        // Work accepted before the drain is still answered.
+        let mut stream = connect(addr);
+        assert_eq!(
+            exchange(&mut stream, &Request::Upload(sample_record(1, 0))),
+            Response::UploadOk {
+                accepted: 1,
+                duplicates: 0
+            }
+        );
+        assert!(!server.draining());
+        server.drain();
+        assert!(server.draining());
+
+        // A v3 request after the drain gets the explicit hand-off: the
+        // reactor is still running, it just takes nothing new.
+        let mut late = connect(addr);
+        assert_eq!(
+            exchange(&mut late, &Request::Ping),
+            Response::GoingAway { retry_after_ms: 37 }
+        );
+
+        // With nothing in flight and every reply flushed, quiescence is
+        // published for the caller to observe before shutting down.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !server.drain_complete() {
+            assert!(Instant::now() < deadline, "drain never completed");
+            std::thread::yield_now();
+        }
+        server.shutdown().expect("shutdown");
+
+        // The checkpointed store reopens with the pre-drain upload intact.
+        let reopened = RpcServer::start("127.0.0.1:0", &path, test_config()).expect("restart");
+        let mut stream = connect(reopened.local_addr());
+        match exchange(&mut stream, &Request::Ping) {
+            Response::Pong { records, .. } => assert_eq!(records, 1, "acked record lost"),
+            other => panic!("expected Pong, got {other:?}"),
+        }
+        reopened.shutdown().expect("shutdown");
+        cleanup_archive(&path);
+    }
+
+    #[test]
+    fn draining_server_version_matrix_stays_protocol_clean() {
+        // Same discipline as the shed-path versioning fix: a draining
+        // server must never send a peer a frame its decoder predates. v1
+        // (no GoingAway, no Overloaded) gets a clean close; v2 gets the
+        // hand-off downgraded to the Overloaded tag it understands, in a
+        // v2 header; v3 gets GoingAway itself.
+        let path = temp_archive("drain-matrix");
+        let config = ServerConfig {
+            retry_after_ms: 58,
+            ..test_config()
+        };
+        let server = RpcServer::start("127.0.0.1:0", &path, config).expect("start");
+        let addr = server.local_addr();
+        server.drain();
+
+        let mut v1 = connect(addr);
+        write_frame(&mut v1, &[1, 1]).expect("write v1 ping");
+        match read_frame(&mut v1, DEFAULT_MAX_FRAME_LEN).expect("read") {
+            ReadOutcome::Closed => {}
+            other => panic!("v1 at a draining server must close cleanly, got {other:?}"),
+        }
+
+        let mut v2 = connect(addr);
+        write_frame(&mut v2, &[2, 1]).expect("write v2 ping");
+        match read_frame(&mut v2, DEFAULT_MAX_FRAME_LEN).expect("read") {
+            ReadOutcome::Frame(bytes) => {
+                assert_eq!(bytes[0], 2, "reply header newer than the peer speaks");
+                assert_eq!(
+                    crate::proto::decode_response(&bytes).expect("decode"),
+                    Response::Overloaded { retry_after_ms: 58 }
+                );
+            }
+            other => panic!("expected a v2 Overloaded frame, got {other:?}"),
+        }
+
+        let mut v3 = connect(addr);
+        assert_eq!(
+            exchange(&mut v3, &Request::Ping),
+            Response::GoingAway { retry_after_ms: 58 }
+        );
+        server.shutdown().expect("shutdown");
+        cleanup_archive(&path);
+    }
+
+    #[test]
+    fn doomed_queued_work_is_dropped_not_executed() {
+        // A frame whose wire deadline passed while it waited in the
+        // worker queue is answered DeadlineExceeded, not executed. One
+        // worker is parked on an injected ingest delay; a query stamped
+        // with a 1 ms budget queues behind it and dooms.
+        let path = temp_archive("doomed");
+        let config = ServerConfig {
+            workers: 1,
+            fault_plan: Some(FaultPlan::parse("rpc.ingest@1=delay:300", 7).expect("plan")),
+            ..test_config()
+        };
+        let server = RpcServer::start("127.0.0.1:0", &path, config).expect("start");
+        let addr = server.local_addr();
+
+        // Occupy the lone worker with a delayed ingest on one connection.
+        let mut slow = connect(addr);
+        let payload = crate::proto::encode_request(&Request::Upload(sample_record(1, 0)));
+        write_frame(&mut slow, &payload).expect("write upload");
+
+        // Give the reactor a beat to dispatch the upload into the worker.
+        std::thread::sleep(Duration::from_millis(50));
+
+        // A deadline-stamped query on a second connection queues behind
+        // it; its 1 ms budget is long gone by the time a worker frees up.
+        let mut doomed = connect(addr);
+        let query = crate::proto::encode_request_with(
+            &Request::QueryVolume {
+                location: LocationId::new(1),
+                period: PeriodId::new(0),
+            },
+            None,
+            Some(1),
+        );
+        write_frame(&mut doomed, &query).expect("write query");
+        match read_frame(&mut doomed, DEFAULT_MAX_FRAME_LEN).expect("read") {
+            ReadOutcome::Frame(bytes) => {
+                assert_eq!(
+                    crate::proto::decode_response(&bytes).expect("decode"),
+                    Response::DeadlineExceeded
+                );
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // The parked upload still completes and acks.
+        match read_frame(&mut slow, DEFAULT_MAX_FRAME_LEN).expect("read") {
+            ReadOutcome::Frame(bytes) => {
+                assert_eq!(
+                    crate::proto::decode_response(&bytes).expect("decode"),
+                    Response::UploadOk {
+                        accepted: 1,
+                        duplicates: 0
+                    }
+                );
+            }
+            other => panic!("expected UploadOk, got {other:?}"),
         }
         server.shutdown().expect("shutdown");
         cleanup_archive(&path);

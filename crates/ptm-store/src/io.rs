@@ -145,9 +145,15 @@ fn apply_control(action: FaultAction, what: &str) -> io::Result<()> {
             io::ErrorKind::ConnectionReset,
             format!("injected {what} reset"),
         )),
-        FaultAction::Short(_) | FaultAction::Corrupt(_) | FaultAction::Truncate => {
-            Err(io::Error::other(format!("injected {what} fault")))
-        }
+        // Blocking file I/O has no readiness model and the store must
+        // propagate errors rather than abort, so the stream-oriented
+        // (WouldBlock) and execution-site (Panic) actions degrade to
+        // plain errors here too.
+        FaultAction::Short(_)
+        | FaultAction::Corrupt(_)
+        | FaultAction::Truncate
+        | FaultAction::WouldBlock
+        | FaultAction::Panic => Err(io::Error::other(format!("injected {what} fault"))),
     }
 }
 
@@ -183,6 +189,11 @@ impl<B: StorageIo> Write for HookedIo<B> {
             FaultAction::Corrupt(mask) => {
                 let twisted: Vec<u8> = buf.iter().map(|byte| byte ^ mask).collect();
                 self.inner.write(&twisted)
+            }
+            // No readiness model on blocking file writes: degrade to a
+            // plain error (same policy as apply_control).
+            FaultAction::WouldBlock | FaultAction::Panic => {
+                Err(io::Error::other("injected write fault"))
             }
         }
     }

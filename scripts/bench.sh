@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Micro-benchmark snapshot: runs the stub-criterion benches that this
 # repo tracks release-over-release and distills their medians into three
-# committed JSON files (BENCH_6.json, BENCH_7.json, and BENCH_8.json by
-# default).
+# committed JSON files (BENCH_6.json, BENCH_7.json, BENCH_8.json, and
+# BENCH_9.json by default).
 #
-#   ./scripts/bench.sh [output.json] [storage-output.json] [reactor-output.json]
+#   ./scripts/bench.sh [output.json] [storage-output.json] [reactor-output.json] [deadline-output.json]
 #
 # Tracked medians (ns per iteration), first file:
 #   encoding/encode_10k_vehicles     vehicle encoding, 10k per iteration
@@ -27,6 +27,13 @@
 #   trace/ingest_untraced            single-upload round trip, tracing off (same
 #   trace/ingest_traced               runs as the first file — no re-measurement)
 #
+# Fourth file (the deadline-stamping overhead pair):
+#   deadline/encode_unstamped        encode a ~4 KiB upload request, no deadline
+#   deadline/encode_stamped          same request with the FLAG_DEADLINE budget
+#
+# The stamped-vs-unstamped encode pair is the deadline-propagation
+# guarantee in numbers: stamping the remaining budget into every attempt
+# must cost no more than the four bytes it adds to the header.
 # The traced-vs-untraced pair is the disabled-path guarantee in numbers:
 # ingest_untraced must sit within noise of the pre-tracing baseline. The
 # v1-vs-v2 open pair is the O(index) startup guarantee: v2 must open the
@@ -39,6 +46,7 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_6.json}"
 store_out="${2:-BENCH_7.json}"
 reactor_out="${3:-BENCH_8.json}"
+deadline_out="${4:-BENCH_9.json}"
 raw="$(mktemp)"
 store_raw="$(mktemp)"
 reactor_raw="$(mktemp)"
@@ -118,3 +126,21 @@ END {
 
 echo "==> wrote $reactor_out"
 cat "$reactor_out"
+
+awk -v out="$deadline_out" '
+/^bench: / { median[$2] = $4 }
+END {
+    n = split("deadline/encode_unstamped deadline/encode_stamped", keys, " ")
+    printf "{\n  \"units\": \"median_ns_per_iter\"" > out
+    for (i = 1; i <= n; i++) {
+        if (!(keys[i] in median)) {
+            printf "bench.sh: no median captured for %s\n", keys[i] > "/dev/stderr"
+            exit 1
+        }
+        printf ",\n  \"%s\": %s", keys[i], median[keys[i]] > out
+    }
+    print "\n}" > out
+}' "$reactor_raw"
+
+echo "==> wrote $deadline_out"
+cat "$deadline_out"

@@ -57,6 +57,13 @@ timeout 300 cargo test --quiet -p ptm-integration-tests --test chaos kill_during
 echo "==> reactor storms (bounded)"
 timeout 300 cargo test --quiet -p ptm-integration-tests --test reactor_storm
 
+# Overload storms: a saturated worker pool across five fixed seeds must
+# drop deadline-doomed work without executing it, keep Stats answerable
+# at full saturation, drain with zero acked-record loss, and settle every
+# queue-depth and in-flight gauge back to zero.
+echo "==> overload storms (bounded, fixed seeds)"
+timeout 300 cargo test --quiet -p ptm-integration-tests --test overload_storm
+
 # Traced loopback smoke: a real daemon with tracing on, one upload and one
 # query against it, then the span JSONL checked against the schema
 # documented in docs/OBSERVABILITY.md. The sample is archived as a CI

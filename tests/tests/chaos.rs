@@ -882,18 +882,20 @@ fn handler_panic_dumps_a_nonempty_flight_recorder() {
     ));
     let _ = std::fs::remove_file(&dump);
     let path = temp_archive("recorder");
+    // The panic rides the registered rpc.ingest site: the first ingest
+    // job (the pre-panic upload) passes, the second panics inside the
+    // writer lock.
+    let plan = FaultPlan::parse("rpc.ingest@2=panic", 77).expect("plan");
     let config = ServerConfig {
         recorder_dump: Some(dump.clone()),
-        ..storm_server_config(None, false)
+        ..storm_server_config(Some(&plan), false)
     };
-    let panic_flag = config.fault_ingest_panic.clone();
     let server = RpcServer::start("127.0.0.1:0", &path, config).expect("daemon");
     let mut client =
         RpcClient::connect(server.local_addr(), storm_client_config(77)).expect("client");
 
     let records = small_campaign(21, 2, 77);
     upload_acked(&mut client, &records[0], "pre-panic upload");
-    panic_flag.store(true, std::sync::atomic::Ordering::SeqCst);
     match client.upload(&records[1]) {
         Err(ClientError::Server {
             code: ErrorCode::Internal,

@@ -48,6 +48,27 @@ fn cleanup_archive(path: &PathBuf) {
     let _ = std::fs::remove_dir_all(path);
 }
 
+/// After a storm the worker pool's accounting must settle: nothing in
+/// flight, every class admission queue empty. A leaked gauge here means
+/// a panic or shutdown race lost a decrement.
+fn assert_overload_gauges_settled(addr: std::net::SocketAddr, context: &str) {
+    let mut client = RpcClient::connect(addr, client_config()).expect("gauge client");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let snapshot = client.stats().expect("stats");
+        if snapshot.contains("\"worker_inflight\":0")
+            && snapshot.contains("\"queue_depth\":{\"control\":0,\"query\":0,\"upload\":0}")
+        {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "overload gauges leaked after the storm ({context}): {snapshot}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
 fn client_config() -> ClientConfig {
     ClientConfig {
         connect_timeout: Duration::from_secs(2),
@@ -166,6 +187,7 @@ fn slow_loris_dribblers_do_not_starve_healthy_clients() {
         }
     }
 
+    assert_overload_gauges_settled(addr, "slow loris");
     server.shutdown().expect("shutdown");
     cleanup_archive(&path);
 }
@@ -216,6 +238,7 @@ fn one_thousand_concurrent_connections_all_get_answered() {
     }
     assert_eq!(answered, CONNS);
 
+    assert_overload_gauges_settled(addr, "thousand connections");
     server.shutdown().expect("shutdown");
     cleanup_archive(&path);
 }
@@ -274,6 +297,8 @@ fn pipelined_uploads_are_bit_for_bit_equivalent_to_batched() {
         .expect("p2p b");
     assert_eq!(p2p_a.to_bits(), p2p_b.to_bits());
 
+    assert_overload_gauges_settled(server_a.local_addr(), "pipelined server a");
+    assert_overload_gauges_settled(server_b.local_addr(), "pipelined server b");
     server_a.shutdown().expect("shutdown a");
     server_b.shutdown().expect("shutdown b");
     cleanup_archive(&path_a);

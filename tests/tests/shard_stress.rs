@@ -209,8 +209,13 @@ fn parallel_uploads_and_queries_match_sequential_bit_for_bit() {
 fn panicked_upload_race_does_not_cache_stale_epoch() {
     let _guard = lock();
     let path = temp_archive("panic-epoch");
-    let config = server_config();
-    let panic_flag = std::sync::Arc::clone(&config.fault_ingest_panic);
+    // The second ingest job — the fourth-period upload below — panics via
+    // the registered rpc.ingest site; the first (the 3-record batch) and
+    // the post-panic retry pass untouched.
+    let config = ServerConfig {
+        fault_plan: Some(ptm_fault::FaultPlan::parse("rpc.ingest@2=panic", 41).expect("plan")),
+        ..server_config()
+    };
     let server = RpcServer::start("127.0.0.1:0", &path, config).expect("start");
     let mut client = RpcClient::connect(server.local_addr(), client_config()).expect("client");
 
@@ -236,7 +241,6 @@ fn panicked_upload_race_does_not_cache_stale_epoch() {
 
     // The fourth-period upload panics inside ingest while holding the
     // writer lock. The daemon answers Internal and publishes nothing.
-    panic_flag.store(true, Ordering::SeqCst);
     match client.upload_batch(std::slice::from_ref(&records[3])) {
         Err(ptm_rpc::ClientError::Server {
             code: ptm_rpc::ErrorCode::Internal,
@@ -252,7 +256,7 @@ fn panicked_upload_race_does_not_cache_stale_epoch() {
     assert_eq!(hits.get() - hits0, 2, "panicked upload must not invalidate");
     assert_eq!(stale.get() - stale0, 0);
 
-    // The retry lands for real (the panic flag self-cleared): now the
+    // The retry lands for real (the one-shot rule already fired): now the
     // epoch moves exactly once and the cached entry goes stale.
     let summary = client
         .upload_batch(std::slice::from_ref(&records[3]))
