@@ -2,6 +2,12 @@
 
 use std::fmt::Write as _;
 
+/// Version of the JSON report shape emitted by [`Report::render_json`].
+/// Bump on any breaking change to field names or structure; downstream
+/// tooling (CI artifact consumers) keys on this. The shape is pinned by
+/// `tests/json_schema.rs` and documented in `docs/ANALYSIS.md`.
+pub const JSON_SCHEMA_VERSION: u32 = 2;
+
 /// One violation of one rule at one source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -49,7 +55,7 @@ impl Report {
     /// Deterministic JSON rendering (schema documented in docs/ANALYSIS.md).
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"schema_version\": {},", JSON_SCHEMA_VERSION);
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed);
         let _ = writeln!(out, "  \"finding_count\": {},", self.findings.len());
@@ -127,6 +133,7 @@ mod tests {
         let json = report.render_json();
         assert!(json.contains("\\\"quoted\\\"\\n"));
         assert!(json.contains("\"finding_count\": 1"));
+        assert!(json.contains(&format!("\"schema_version\": {JSON_SCHEMA_VERSION}")));
         // no naked control characters
         assert!(!json.chars().any(|c| (c as u32) < 0x20 && c != '\n'));
     }

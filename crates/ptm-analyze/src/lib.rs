@@ -32,10 +32,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod docnames;
 pub mod findings;
+pub mod locks;
 pub mod rules;
 pub mod scanner;
+pub mod syntax;
 pub mod workspace;
 
 use findings::{Finding, Report};

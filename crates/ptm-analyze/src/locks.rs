@@ -1,0 +1,803 @@
+//! Lock-site extraction and the interprocedural lock-order graph.
+//!
+//! Locks are keyed by the *field or binding name* they are reached
+//! through (`queues` for `self.queues.lock()`, `shards` for
+//! `self.shards.read()`): this workspace names its locks once at the
+//! struct field and threads them by reference, so the name is a stable
+//! proxy for lock identity without type resolution. Two different locks
+//! sharing a name alias onto one node — which is why same-key edges are
+//! never reported as cycles (see `docs/ANALYSIS.md`).
+//!
+//! A guard is held from its acquisition to the end of the innermost
+//! enclosing block for `let`-bound guards (truncated at an explicit
+//! `drop(binding)`), or to the end of the statement for temporaries.
+//! While held, every later acquisition in the extent — direct, or
+//! transitively through a call — adds an ordered edge. A cycle in the
+//! resulting key graph is a potential deadlock.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::CallGraph;
+use crate::scanner::TokenKind;
+use crate::syntax;
+use crate::workspace::Workspace;
+
+/// One lock acquisition inside a function body.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Lock identity: the field/binding name the lock is reached through.
+    pub key: String,
+    /// Id of the acquiring fn in the [`CallGraph`].
+    pub fn_id: usize,
+    /// 1-based source line of the acquisition.
+    pub line: u32,
+    /// Token index of the acquisition in the file's token stream.
+    pub token: usize,
+    /// Last token index (inclusive) while the guard is held.
+    pub extent_end: usize,
+    /// Name of the guard-returning helper when acquired through one
+    /// (`lock_writer`), `None` for a direct `.lock()`/`.read()`/`.write()`.
+    pub via: Option<String>,
+}
+
+/// An ordered edge in the lock-order graph: `from` is held while `to` is
+/// acquired, with a human-readable witness of where.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// Key held first.
+    pub from: String,
+    /// Key acquired while `from` is held.
+    pub to: String,
+    /// Witness: fn names and lines proving the ordering.
+    pub witness: String,
+    /// File of the holding site (for finding anchors).
+    pub path: String,
+    /// Line of the holding site.
+    pub line: u32,
+}
+
+/// A cycle in the lock-order graph — a potential deadlock.
+#[derive(Debug, Clone)]
+pub struct LockCycle {
+    /// The keys on the cycle, in traversal order.
+    pub keys: Vec<String>,
+    /// One witness string per edge of the cycle.
+    pub witnesses: Vec<String>,
+    /// Anchor file/line (the first edge's holding site).
+    pub path: String,
+    /// Anchor line.
+    pub line: u32,
+}
+
+/// The full lock analysis over a call graph's crates.
+pub struct LockAnalysis {
+    /// Lock sites per fn (parallel to the graph's `fns`).
+    pub sites: Vec<Vec<LockSite>>,
+    /// Deduplicated ordered edges.
+    pub edges: Vec<LockEdge>,
+    /// Cycles (excluding single-key self-edges, which are aliasing noise).
+    pub cycles: Vec<LockCycle>,
+}
+
+/// Runs the lock analysis over every fn in `graph`.
+pub fn analyze(ws: &Workspace, graph: &CallGraph) -> LockAnalysis {
+    let sites: Vec<Vec<LockSite>> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .map(|(id, _)| extract_sites(ws, graph, id))
+        .collect();
+
+    // May-acquire fixpoint: fn -> key -> next hop (None = acquired here).
+    let mut may: Vec<BTreeMap<String, Option<usize>>> = sites
+        .iter()
+        .map(|s| {
+            s.iter()
+                .map(|site| (site.key.clone(), None))
+                .collect::<BTreeMap<_, _>>()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for id in 0..graph.fns.len() {
+            let mut add: Vec<(String, usize)> = Vec::new();
+            for &(_, callee) in &graph.edges[id] {
+                for key in may[callee].keys() {
+                    if !may[id].contains_key(key) {
+                        add.push((key.clone(), callee));
+                    }
+                }
+            }
+            for (key, callee) in add {
+                may[id].entry(key).or_insert(Some(callee));
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edge construction: for each held site, every later acquisition in
+    // the extent — a sibling site, or a call whose may-acquire is nonempty.
+    let mut edges: Vec<LockEdge> = Vec::new();
+    let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+    for (id, fn_sites) in sites.iter().enumerate() {
+        let f = &graph.fns[id];
+        let path = ws.files[f.file].rel_path.clone();
+        for s in fn_sites {
+            for s2 in fn_sites {
+                if s2.token > s.token && s2.token <= s.extent_end && s2.key != s.key {
+                    push_edge(
+                        &mut edges,
+                        &mut seen,
+                        &s.key,
+                        &s2.key,
+                        format!(
+                            "{}: holds `{}` (line {}) while locking `{}` (line {})",
+                            f.name, s.key, s.line, s2.key, s2.line
+                        ),
+                        &path,
+                        s.line,
+                    );
+                }
+            }
+            for &(si, callee) in &graph.edges[id] {
+                let call = &graph.calls[id][si];
+                if call.token <= s.token || call.token > s.extent_end {
+                    continue;
+                }
+                for (key, _) in may[callee].iter() {
+                    if *key == s.key {
+                        continue;
+                    }
+                    let chain = hop_chain(graph, &may, callee, key);
+                    push_edge(
+                        &mut edges,
+                        &mut seen,
+                        &s.key,
+                        key,
+                        format!(
+                            "{}: holds `{}` (line {}) while calling {} (line {}); {} locks `{}`",
+                            f.name, s.key, s.line, call.name, call.line, chain, key
+                        ),
+                        &path,
+                        s.line,
+                    );
+                }
+            }
+        }
+    }
+
+    let cycles = find_cycles(&edges);
+    LockAnalysis {
+        sites,
+        edges,
+        cycles,
+    }
+}
+
+/// Renders the lock graph as the `out/lockgraph.json` CI artifact.
+pub fn render_lockgraph_json(analysis: &LockAnalysis, graph: &CallGraph) -> String {
+    use std::fmt::Write as _;
+    let mut acquisitions: BTreeMap<&str, usize> = BTreeMap::new();
+    for per_fn in &analysis.sites {
+        for s in per_fn {
+            *acquisitions.entry(s.key.as_str()).or_default() += 1;
+        }
+    }
+    let mut out = String::from("{\n  \"schema_version\": 1,\n  \"nodes\": [\n");
+    let node_count = acquisitions.len();
+    for (i, (key, count)) in acquisitions.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"key\": {}, \"acquisitions\": {}}}{}",
+            json_str(key),
+            count,
+            if i + 1 < node_count { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n  \"edges\": [\n");
+    for (i, e) in analysis.edges.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"from\": {}, \"to\": {}, \"at\": {}, \"witness\": {}}}{}",
+            json_str(&e.from),
+            json_str(&e.to),
+            json_str(&format!("{}:{}", e.path, e.line)),
+            json_str(&e.witness),
+            if i + 1 < analysis.edges.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    out.push_str("  ],\n  \"cycles\": [\n");
+    for (i, c) in analysis.cycles.iter().enumerate() {
+        let keys: Vec<String> = c.keys.iter().map(|k| json_str(k)).collect();
+        let witnesses: Vec<String> = c.witnesses.iter().map(|w| json_str(w)).collect();
+        let _ = writeln!(
+            out,
+            "    {{\"keys\": [{}], \"witnesses\": [{}]}}{}",
+            keys.join(", "),
+            witnesses.join(", "),
+            if i + 1 < analysis.cycles.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    let _ = write!(out, "  ],\n  \"fns_analyzed\": {}\n}}\n", graph.fns.len());
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn push_edge(
+    edges: &mut Vec<LockEdge>,
+    seen: &mut BTreeSet<(String, String)>,
+    from: &str,
+    to: &str,
+    witness: String,
+    path: &str,
+    line: u32,
+) {
+    if seen.insert((from.to_string(), to.to_string())) {
+        edges.push(LockEdge {
+            from: from.to_string(),
+            to: to.to_string(),
+            witness,
+            path: path.to_string(),
+            line,
+        });
+    }
+}
+
+/// Renders the call chain through which `fn_id` may acquire `key`
+/// (`lock_writer -> acquire`, or just the fn name for a direct site).
+fn hop_chain(
+    graph: &CallGraph,
+    may: &[BTreeMap<String, Option<usize>>],
+    fn_id: usize,
+    key: &str,
+) -> String {
+    let mut names = vec![graph.fns[fn_id].name.clone()];
+    let mut cur = fn_id;
+    let mut fuel = 32;
+    while let Some(Some(next)) = may[cur].get(key) {
+        names.push(graph.fns[*next].name.clone());
+        cur = *next;
+        fuel -= 1;
+        if fuel == 0 {
+            break;
+        }
+    }
+    names.join(" -> ")
+}
+
+/// Extracts lock sites from one fn: direct arity-0 `.lock()` / `.read()` /
+/// `.write()` calls, plus `let`-bound calls to guard-returning helpers.
+fn extract_sites(ws: &Workspace, graph: &CallGraph, fn_id: usize) -> Vec<LockSite> {
+    let f = &graph.fns[fn_id];
+    if f.in_test {
+        return Vec::new();
+    }
+    let toks = &ws.files[f.file].tokens;
+    let mut skip = syntax::nested_spans(&graph.fns, f);
+    skip.extend(syntax::spawn_arg_spans(toks, f.body));
+    let mut out = Vec::new();
+    let (start, end) = f.body;
+    for i in start..=end.min(toks.len().saturating_sub(1)) {
+        if syntax::in_spans(&skip, i) {
+            continue;
+        }
+        let t = &toks[i];
+        let is_acquire_name = t.is_ident("lock") || t.is_ident("read") || t.is_ident("write");
+        if is_acquire_name
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(')'))
+        {
+            // Arity-0 method call: a blocking Mutex/RwLock acquisition
+            // (io::Read::read / Write::write always take arguments).
+            let Some(key) = receiver_key(toks, i - 1) else {
+                continue;
+            };
+            let (extent_end, binding) = extent(toks, i, end);
+            let extent_end = truncate_at_drop(toks, i, extent_end, binding.as_deref());
+            out.push(LockSite {
+                key,
+                fn_id,
+                line: t.line,
+                token: i,
+                extent_end,
+                via: None,
+            });
+        }
+    }
+    // `let`-bound calls to guard-returning helpers hand the callee's lock
+    // to this fn for the binding's extent.
+    for &(si, callee) in &graph.edges[fn_id] {
+        let call = &graph.calls[fn_id][si];
+        let callee_fn = &graph.fns[callee];
+        if !callee_fn.returns_guard {
+            continue;
+        }
+        let (extent_end, binding) = extent(toks, call.token, end);
+        let extent_end = truncate_at_drop(toks, call.token, extent_end, binding.as_deref());
+        // The helper's own direct keys are what the caller now holds.
+        for key in direct_keys(ws, graph, callee) {
+            out.push(LockSite {
+                key,
+                fn_id,
+                line: call.line,
+                token: call.token,
+                extent_end,
+                via: Some(callee_fn.name.clone()),
+            });
+        }
+    }
+    out.sort_by_key(|s| s.token);
+    out
+}
+
+/// Direct lock keys of a fn (no transitive closure) — used for
+/// guard-returning helpers, whose body *is* the acquisition.
+fn direct_keys(ws: &Workspace, graph: &CallGraph, fn_id: usize) -> Vec<String> {
+    let f = &graph.fns[fn_id];
+    let toks = &ws.files[f.file].tokens;
+    let mut keys = Vec::new();
+    let (start, end) = f.body;
+    for i in start..=end.min(toks.len().saturating_sub(1)) {
+        let t = &toks[i];
+        if (t.is_ident("lock") || t.is_ident("read") || t.is_ident("write"))
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(')'))
+        {
+            if let Some(key) = receiver_key(toks, i - 1) {
+                if !keys.contains(&key) {
+                    keys.push(key);
+                }
+            }
+        }
+    }
+    keys
+}
+
+/// The field/binding name a method call is reached through: for
+/// `self.pool.queues.lock()` the token before the final `.` — the last
+/// path segment, which names the lock field itself.
+fn receiver_key(toks: &[crate::scanner::Token], dot: usize) -> Option<String> {
+    let prev = toks.get(dot.checked_sub(1)?)?;
+    if prev.kind == TokenKind::Ident && !prev.is_ident("self") && !prev.is_ident("Self") {
+        return Some(prev.text.clone());
+    }
+    None
+}
+
+/// Computes the held extent of a guard acquired at token `site` inside a
+/// body ending at `body_end`: `(extent end, let-binding name if any)`.
+fn extent(toks: &[crate::scanner::Token], site: usize, body_end: usize) -> (usize, Option<String>) {
+    let binding = let_binding(toks, site);
+    let mut depth = 0i32;
+    let mut j = site;
+    while j <= body_end && j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+            if depth < 0 {
+                // Innermost enclosing block closed: the guard dies here
+                // whether let-bound or temporary.
+                return (j, binding);
+            }
+        } else if t.is_punct(';') && depth == 0 && binding.is_none() {
+            // Temporary guard: dropped at the end of its statement.
+            return (j, binding);
+        }
+        j += 1;
+    }
+    (body_end, binding)
+}
+
+/// Suffix methods that keep returning the guard, so a `let` through them
+/// still binds it (`.unwrap()`, `.expect("..")`, poison recovery).
+const GUARD_SUFFIXES: &[&str] = &["unwrap", "expect", "unwrap_or_else", "map_err"];
+
+/// Finds the `let` binding that binds the *guard* acquired at `site`, or
+/// `None` when the guard is a temporary. `let v = *a.lock().unwrap();`
+/// binds the copied value — the guard dies at the `;` — so the binding
+/// only counts when the receiver chain starts right after the `=` and
+/// nothing but guard-preserving suffixes follow the acquisition.
+fn let_binding(toks: &[crate::scanner::Token], site: usize) -> Option<String> {
+    // Statement start: previous `;`, `{`, or `}` at depth zero.
+    let mut depth = 0i32;
+    let mut j = site;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth += 1;
+        } else if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+        } else if t.is_punct(';') && depth == 0 {
+            break;
+        }
+    }
+    let mut k = if j == 0 { 0 } else { j + 1 };
+    if !toks.get(k).is_some_and(|t| t.is_ident("let")) {
+        return None;
+    }
+    k += 1;
+    if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+        k += 1;
+    }
+    let name = toks
+        .get(k)
+        .filter(|t| t.kind == TokenKind::Ident)?
+        .text
+        .clone();
+    k += 1;
+    // Optional `: Type` annotation before the `=`.
+    if toks.get(k).is_some_and(|t| t.is_punct(':')) {
+        let mut angle = 0i32;
+        while k < site {
+            let t = &toks[k];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+            } else if t.is_punct('=') && angle <= 0 {
+                break;
+            }
+            k += 1;
+        }
+    }
+    if !toks.get(k).is_some_and(|t| t.is_punct('=')) {
+        return None;
+    }
+    // The receiver chain (`shared . writer .` for `shared.writer.lock()`,
+    // or just the helper name for `lock_writer(..)`) must start right
+    // after the `=` — a `*`, `&`, or operator in between means the
+    // binding holds a derived value, not the guard.
+    let mut chain_start = site;
+    while chain_start >= 2
+        && toks[chain_start - 1].is_punct('.')
+        && toks[chain_start - 2].kind == TokenKind::Ident
+    {
+        chain_start -= 2;
+    }
+    if chain_start != k + 1 {
+        return None;
+    }
+    // Everything after the acquisition's argument list must be a chain of
+    // guard-preserving suffix calls, ending at the statement `;`.
+    let mut p = site + 1;
+    if !toks.get(p).is_some_and(|t| t.is_punct('(')) {
+        return None;
+    }
+    p = skip_balanced(toks, p);
+    loop {
+        match toks.get(p) {
+            Some(t) if t.is_punct(';') => return Some(name),
+            Some(t) if t.is_punct('.') => {
+                let m = toks.get(p + 1)?;
+                if m.kind != TokenKind::Ident
+                    || !GUARD_SUFFIXES.contains(&m.text.as_str())
+                    || !toks.get(p + 2).is_some_and(|t| t.is_punct('('))
+                {
+                    return None;
+                }
+                p = skip_balanced(toks, p + 2);
+            }
+            Some(t) if t.is_punct('?') => p += 1,
+            _ => return None,
+        }
+    }
+}
+
+/// Returns the index just past the group opened at `open` (`(`..`)`).
+fn skip_balanced(toks: &[crate::scanner::Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Truncates a guard extent at an explicit `drop(binding)` call.
+fn truncate_at_drop(
+    toks: &[crate::scanner::Token],
+    site: usize,
+    extent_end: usize,
+    binding: Option<&str>,
+) -> usize {
+    let Some(name) = binding else {
+        return extent_end;
+    };
+    let mut j = site;
+    while j + 3 <= extent_end && j + 3 < toks.len() {
+        j += 1;
+        if toks[j].is_ident("drop")
+            && toks[j + 1].is_punct('(')
+            && toks[j + 2].is_ident(name)
+            && toks[j + 3].is_punct(')')
+        {
+            return j;
+        }
+    }
+    extent_end
+}
+
+/// Finds cycles in the key graph via DFS, skipping same-key self-edges.
+/// At most one cycle is reported per starting key, and each distinct key
+/// set is reported once.
+fn find_cycles(edges: &[LockEdge]) -> Vec<LockCycle> {
+    let mut adj: BTreeMap<&str, Vec<&LockEdge>> = BTreeMap::new();
+    for e in edges {
+        if e.from != e.to {
+            adj.entry(e.from.as_str()).or_default().push(e);
+        }
+    }
+    let mut cycles: Vec<LockCycle> = Vec::new();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for &start in adj.keys().collect::<Vec<_>>().iter() {
+        let mut path: Vec<&LockEdge> = Vec::new();
+        let mut on_path: Vec<&str> = vec![start];
+        if let Some(cycle) = dfs_cycle(start, start, &adj, &mut path, &mut on_path, 0) {
+            let mut keys: Vec<String> = cycle.iter().map(|e| e.from.clone()).collect();
+            let mut sorted = keys.clone();
+            sorted.sort();
+            if reported.insert(sorted) {
+                let witnesses = cycle.iter().map(|e| e.witness.clone()).collect();
+                let anchor = cycle[0];
+                keys.push(keys[0].clone());
+                cycles.push(LockCycle {
+                    keys,
+                    witnesses,
+                    path: anchor.path.clone(),
+                    line: anchor.line,
+                });
+            }
+        }
+    }
+    cycles
+}
+
+fn dfs_cycle<'a>(
+    start: &str,
+    cur: &str,
+    adj: &BTreeMap<&str, Vec<&'a LockEdge>>,
+    path: &mut Vec<&'a LockEdge>,
+    on_path: &mut Vec<&'a str>,
+    depth: usize,
+) -> Option<Vec<&'a LockEdge>> {
+    if depth > 16 {
+        return None;
+    }
+    for e in adj.get(cur).map(|v| v.as_slice()).unwrap_or(&[]) {
+        // Self-edges were filtered out of `adj`, so `e.to == start` always
+        // closes a genuine multi-key cycle.
+        if e.to == start {
+            path.push(e);
+            let found = path.clone();
+            path.pop();
+            return Some(found);
+        }
+        if on_path.iter().any(|k| *k == e.to) {
+            continue;
+        }
+        path.push(e);
+        on_path.push(e.to.as_str());
+        if let Some(found) = dfs_cycle(start, &e.to, adj, path, on_path, depth + 1) {
+            return Some(found);
+        }
+        on_path.pop();
+        path.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::{FileKind, SourceFile, Workspace};
+
+    fn analyzed(src: &str) -> (Workspace, CallGraph) {
+        let file =
+            SourceFile::from_source("ptm-rpc", "crates/ptm-rpc/src/x.rs", FileKind::Src, src);
+        let ws = Workspace::in_memory(vec![file], vec![]);
+        let graph = CallGraph::build(&ws, &["ptm-rpc"]);
+        (ws, graph)
+    }
+
+    #[test]
+    fn nested_acquisitions_produce_an_ordered_edge() {
+        let (ws, g) = analyzed(
+            "fn f(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                 let ga = a.lock().unwrap();\n\
+                 let gb = b.lock().unwrap();\n\
+             }\n",
+        );
+        let an = analyze(&ws, &g);
+        assert!(an.edges.iter().any(|e| e.from == "a" && e.to == "b"));
+        assert!(!an.edges.iter().any(|e| e.from == "b"));
+        assert!(an.cycles.is_empty());
+    }
+
+    #[test]
+    fn inverted_orders_across_fns_form_a_cycle_with_witnesses() {
+        let (ws, g) = analyzed(
+            "fn f(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                 let ga = a.lock().unwrap();\n\
+                 let gb = b.lock().unwrap();\n\
+             }\n\
+             fn g(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                 let gb = b.lock().unwrap();\n\
+                 let ga = a.lock().unwrap();\n\
+             }\n",
+        );
+        let an = analyze(&ws, &g);
+        assert_eq!(an.cycles.len(), 1, "edges: {:?}", an.edges);
+        let c = &an.cycles[0];
+        assert_eq!(c.witnesses.len(), 2);
+        assert!(c.witnesses[0].contains("holds"));
+    }
+
+    #[test]
+    fn scoped_release_prevents_the_edge() {
+        let (ws, g) = analyzed(
+            "fn f(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                 {\n\
+                     let ga = a.lock().unwrap();\n\
+                 }\n\
+                 let gb = b.lock().unwrap();\n\
+             }\n",
+        );
+        let an = analyze(&ws, &g);
+        assert!(
+            !an.edges.iter().any(|e| e.from == "a" && e.to == "b"),
+            "edges: {:?}",
+            an.edges
+        );
+    }
+
+    #[test]
+    fn explicit_drop_truncates_the_extent() {
+        let (ws, g) = analyzed(
+            "fn f(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                 let ga = a.lock().unwrap();\n\
+                 drop(ga);\n\
+                 let gb = b.lock().unwrap();\n\
+             }\n",
+        );
+        let an = analyze(&ws, &g);
+        assert!(
+            !an.edges.iter().any(|e| e.from == "a" && e.to == "b"),
+            "edges: {:?}",
+            an.edges
+        );
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_its_statement() {
+        let (ws, g) = analyzed(
+            "fn f(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                 let v = *a.lock().unwrap();\n\
+                 let gb = b.lock().unwrap();\n\
+             }\n",
+        );
+        let an = analyze(&ws, &g);
+        assert!(
+            !an.edges.iter().any(|e| e.from == "a" && e.to == "b"),
+            "edges: {:?}",
+            an.edges
+        );
+    }
+
+    #[test]
+    fn interprocedural_edges_flow_through_calls() {
+        let (ws, g) = analyzed(
+            "fn f(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                 let ga = a.lock().unwrap();\n\
+                 helper(b);\n\
+             }\n\
+             fn helper(b: &Mutex<u32>) {\n\
+                 let gb = b.lock().unwrap();\n\
+             }\n",
+        );
+        let an = analyze(&ws, &g);
+        let edge = an
+            .edges
+            .iter()
+            .find(|e| e.from == "a" && e.to == "b")
+            .expect("interprocedural edge");
+        assert!(edge.witness.contains("helper"), "witness: {}", edge.witness);
+    }
+
+    #[test]
+    fn guard_returning_helper_counts_as_acquisition_in_the_caller() {
+        let (ws, g) = analyzed(
+            "fn lock_writer(w: &Mutex<u32>) -> MutexGuard<'_, u32> {\n\
+                 w.lock().unwrap()\n\
+             }\n\
+             fn f(w: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                 let guard = lock_writer(w);\n\
+                 let gb = b.lock().unwrap();\n\
+             }\n",
+        );
+        let an = analyze(&ws, &g);
+        assert!(
+            an.edges.iter().any(|e| e.from == "w" && e.to == "b"),
+            "edges: {:?}",
+            an.edges
+        );
+    }
+
+    #[test]
+    fn same_key_self_edges_are_not_cycles() {
+        let (ws, g) = analyzed(
+            "fn f(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                 let ga = a.lock().unwrap();\n\
+                 let gb = b.lock().unwrap();\n\
+             }\n\
+             fn g2(x: &Mutex<u32>) {\n\
+                 let g1 = x.lock().unwrap();\n\
+                 other(x);\n\
+             }\n\
+             fn other(x: &Mutex<u32>) {\n\
+                 let g2 = x.lock().unwrap();\n\
+             }\n",
+        );
+        let an = analyze(&ws, &g);
+        assert!(an.cycles.is_empty(), "cycles: {:?}", an.cycles);
+    }
+
+    #[test]
+    fn lockgraph_json_is_well_formed() {
+        let (ws, g) = analyzed(
+            "fn f(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                 let ga = a.lock().unwrap();\n\
+                 let gb = b.lock().unwrap();\n\
+             }\n",
+        );
+        let an = analyze(&ws, &g);
+        let json = render_lockgraph_json(&an, &g);
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"from\": \"a\""));
+        assert!(json.contains("\"fns_analyzed\": 1"));
+    }
+}

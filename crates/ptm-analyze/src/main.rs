@@ -2,14 +2,18 @@
 //!
 //! ```text
 //! ptm-analyze check [--root DIR] [--format text|json] [--json-out PATH]
+//!                   [--lockgraph-out PATH]
 //! ptm-analyze rules
 //! ```
 //!
 //! `check` scans every `.rs` file in the workspace plus the docs tree and
 //! exits 1 on any finding (0 when clean, 2 on usage or I/O errors).
 //! `--json-out` additionally writes the JSON report to a file so CI can
-//! archive it (`out/analysis.json`) for trend tracking. `rules` lists the
-//! rule catalogue. See `docs/ANALYSIS.md`.
+//! archive it (`out/analysis.json`) for trend tracking; `--lockgraph-out`
+//! writes the server crates' lock-order graph (`out/lockgraph.json`) so
+//! reviewers can see which locks are held across which acquisitions even
+//! when the check is clean. `rules` lists the rule catalogue. See
+//! `docs/ANALYSIS.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +25,7 @@ use ptm_analyze::workspace::Workspace;
 
 const USAGE: &str = "\
 usage: ptm-analyze check [--root DIR] [--format text|json] [--json-out PATH]
+                         [--lockgraph-out PATH]
        ptm-analyze rules
 
 check   scan the workspace and exit 1 on any finding
@@ -58,6 +63,7 @@ fn check(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut format = Format::Text;
     let mut json_out: Option<PathBuf> = None;
+    let mut lockgraph_out: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -73,6 +79,10 @@ fn check(args: &[String]) -> ExitCode {
             "--json-out" => match it.next() {
                 Some(path) => json_out = Some(PathBuf::from(path)),
                 None => return usage_error("--json-out needs a path"),
+            },
+            "--lockgraph-out" => match it.next() {
+                Some(path) => lockgraph_out = Some(PathBuf::from(path)),
+                None => return usage_error("--lockgraph-out needs a path"),
             },
             other => return usage_error(&format!("unknown option `{other}`")),
         }
@@ -98,15 +108,17 @@ fn check(args: &[String]) -> ExitCode {
     let report = ptm_analyze::run(&ws);
 
     if let Some(path) = &json_out {
-        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-            if let Err(err) = std::fs::create_dir_all(parent) {
-                eprintln!("ptm-analyze: cannot create {}: {err}", parent.display());
-                return ExitCode::from(2);
-            }
+        if let Err(code) = write_artifact(path, &report.render_json()) {
+            return code;
         }
-        if let Err(err) = std::fs::write(path, report.render_json()) {
-            eprintln!("ptm-analyze: cannot write {}: {err}", path.display());
-            return ExitCode::from(2);
+    }
+    if let Some(path) = &lockgraph_out {
+        let graph =
+            ptm_analyze::callgraph::CallGraph::build(&ws, ptm_analyze::rules::SERVER_CRATES);
+        let analysis = ptm_analyze::locks::analyze(&ws, &graph);
+        let json = ptm_analyze::locks::render_lockgraph_json(&analysis, &graph);
+        if let Err(code) = write_artifact(path, &json) {
+            return code;
         }
     }
     match format {
@@ -123,6 +135,21 @@ fn check(args: &[String]) -> ExitCode {
 enum Format {
     Text,
     Json,
+}
+
+/// Writes a CI artifact, creating its parent directory first.
+fn write_artifact(path: &Path, contents: &str) -> Result<(), ExitCode> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Err(err) = std::fs::create_dir_all(parent) {
+            eprintln!("ptm-analyze: cannot create {}: {err}", parent.display());
+            return Err(ExitCode::from(2));
+        }
+    }
+    if let Err(err) = std::fs::write(path, contents) {
+        eprintln!("ptm-analyze: cannot write {}: {err}", path.display());
+        return Err(ExitCode::from(2));
+    }
+    Ok(())
 }
 
 fn usage_error(message: &str) -> ExitCode {

@@ -6,6 +6,12 @@
 //! every public item is documented. The pair is easy to forget when a new
 //! crate is stamped out, so this rule checks the crate root
 //! (`src/lib.rs` / `src/main.rs`) of every member under `crates/`.
+//!
+//! Integration-test roots (`tests/tests/*.rs`) are each compiled as their
+//! own crate, so the `forbid(unsafe_code)` guarantee does not flow into
+//! them from any library root — they must carry `#![forbid(unsafe_code)]`
+//! themselves (`missing_docs` is not required there; test helpers are
+//! internal).
 
 use super::{ident_at, punct_at, Rule};
 use crate::findings::Finding;
@@ -16,6 +22,7 @@ use crate::workspace::{FileKind, Workspace};
 pub struct CrateHeader;
 
 const REQUIRED: &[(&str, &str)] = &[("forbid", "unsafe_code"), ("warn", "missing_docs")];
+const TEST_ROOT_REQUIRED: &[(&str, &str)] = &[("forbid", "unsafe_code")];
 
 impl Rule for CrateHeader {
     fn id(&self) -> &'static str {
@@ -23,7 +30,7 @@ impl Rule for CrateHeader {
     }
 
     fn description(&self) -> &'static str {
-        "crate roots carry #![forbid(unsafe_code)] and #![warn(missing_docs)]"
+        "crate and integration-test roots carry the standard header lints"
     }
 
     fn check(&self, ws: &Workspace, findings: &mut Vec<Finding>) {
@@ -31,16 +38,30 @@ impl Rule for CrateHeader {
             let is_crate_root = file.kind == FileKind::Src
                 && (file.file_name == "lib.rs" || file.file_name == "main.rs")
                 && file.rel_path == format!("crates/{}/src/{}", file.crate_name, file.file_name);
-            if !is_crate_root {
+            // Each file directly under `tests/tests/` is its own test
+            // crate root.
+            let is_test_root = file.kind == FileKind::Test
+                && file.rel_path == format!("tests/tests/{}", file.file_name);
+            if !is_crate_root && !is_test_root {
                 continue;
             }
-            for (level, lint) in REQUIRED {
+            let required: &[(&str, &str)] = if is_crate_root {
+                REQUIRED
+            } else {
+                TEST_ROOT_REQUIRED
+            };
+            let what = if is_crate_root {
+                "crate root"
+            } else {
+                "integration-test root"
+            };
+            for (level, lint) in required {
                 if !has_inner_lint(&file.tokens, level, lint) {
                     findings.push(Finding {
                         rule: self.id(),
                         path: file.rel_path.clone(),
                         line: 1,
-                        message: format!("crate root is missing `#![{level}({lint})]`"),
+                        message: format!("{what} is missing `#![{level}({lint})]`"),
                         hint: "add the standard crate header lints right after the module docs"
                             .to_string(),
                     });
@@ -97,5 +118,43 @@ mod tests {
     #[test]
     fn non_root_files_are_exempt() {
         assert!(run("crates/ptm-core/src/bitmap.rs", "fn f() {}").is_empty());
+    }
+
+    fn run_test_root(src: &str) -> Vec<Finding> {
+        let file = SourceFile::from_source(
+            "ptm-integration-tests",
+            "tests/tests/chaos.rs",
+            FileKind::Test,
+            src,
+        );
+        let ws = Workspace::in_memory(vec![file], vec![]);
+        let mut findings = Vec::new();
+        CrateHeader.check(&ws, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn integration_test_root_requires_forbid_unsafe_only() {
+        let findings = run_test_root("#[test]\nfn t() {}\n");
+        assert_eq!(findings.len(), 1, "got: {findings:?}");
+        assert!(findings[0].message.contains("integration-test root"));
+        assert!(findings[0].message.contains("forbid(unsafe_code)"));
+
+        let findings = run_test_root("#![forbid(unsafe_code)]\n#[test]\nfn t() {}\n");
+        assert!(findings.is_empty(), "got: {findings:?}");
+    }
+
+    #[test]
+    fn test_helper_modules_are_exempt() {
+        let file = SourceFile::from_source(
+            "ptm-integration-tests",
+            "tests/tests/helpers/mod.rs",
+            FileKind::Test,
+            "pub fn helper() {}",
+        );
+        let ws = Workspace::in_memory(vec![file], vec![]);
+        let mut findings = Vec::new();
+        CrateHeader.check(&ws, &mut findings);
+        assert!(findings.is_empty(), "got: {findings:?}");
     }
 }

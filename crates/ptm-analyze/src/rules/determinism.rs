@@ -2,14 +2,19 @@
 //!
 //! The chaos suite and the paper-value regression tests are regression
 //! gates precisely because a fixed seed reproduces the same run bit for
-//! bit. `SystemTime::now`, `Instant::now`, and `thread_rng` smuggle
-//! nondeterminism into that guarantee, so they are banned from the
-//! non-test code of `ptm-core`, `ptm-sim`, and `ptm-fault`. Wall-clock
-//! reads that only feed metrics may be suppressed with an allow directive
-//! stating exactly that.
+//! bit. `SystemTime::now`, `Instant::now`, `thread_rng`, and
+//! `rand::random` smuggle nondeterminism into that guarantee, so they are
+//! banned from the non-test code of `ptm-core`, `ptm-sim`, and
+//! `ptm-fault`. Renaming imports does not evade the ban: the rule tracks
+//! `use ... as ...` aliases, so `use std::time::Instant as Clock;` makes
+//! `Clock::now()` a finding too. Wall-clock reads that only feed metrics
+//! may be suppressed with an allow directive stating exactly that.
+
+use std::collections::HashMap;
 
 use super::{ident_at, punct_at, Rule, SEEDED_CRATES};
 use crate::findings::Finding;
+use crate::scanner::{Token, TokenKind};
 use crate::workspace::{FileKind, Workspace};
 
 /// See module docs.
@@ -21,7 +26,7 @@ impl Rule for Determinism {
     }
 
     fn description(&self) -> &'static str {
-        "no SystemTime::now / Instant::now / thread_rng in seeded crates"
+        "no SystemTime::now / Instant::now / thread_rng / rand::random in seeded crates"
     }
 
     fn check(&self, ws: &Workspace, findings: &mut Vec<Finding>) {
@@ -30,22 +35,35 @@ impl Rule for Determinism {
                 continue;
             }
             let toks = &file.tokens;
+            let aliases = use_aliases(toks);
             for (i, tok) in toks.iter().enumerate() {
-                if tok.in_test {
+                if tok.in_test || tok.kind != TokenKind::Ident {
                     continue;
                 }
-                let clock_call = (tok.is_ident("SystemTime") || tok.is_ident("Instant"))
-                    && punct_at(toks, i + 1, ':')
+                let path_now = punct_at(toks, i + 1, ':')
                     && punct_at(toks, i + 2, ':')
                     && ident_at(toks, i + 3, "now");
-                if clock_call {
+                let clock_origin = if tok.is_ident("SystemTime") || tok.is_ident("Instant") {
+                    Some(tok.text.as_str())
+                } else {
+                    aliases
+                        .get(&tok.text)
+                        .map(String::as_str)
+                        .filter(|o| *o == "SystemTime" || *o == "Instant")
+                };
+                if let Some(origin) = clock_origin.filter(|_| path_now) {
+                    let renamed = if origin == tok.text {
+                        String::new()
+                    } else {
+                        format!(" (aliased `{}::now`)", origin)
+                    };
                     findings.push(Finding {
                         rule: self.id(),
                         path: file.rel_path.clone(),
                         line: tok.line,
                         message: format!(
-                            "`{}::now` in seeded crate `{}` breaks fixed-seed reproducibility",
-                            tok.text, file.crate_name
+                            "`{}::now`{} in seeded crate `{}` breaks fixed-seed reproducibility",
+                            tok.text, renamed, file.crate_name
                         ),
                         hint: "thread the time in as a parameter (or allow with a reason if the \
                                value only feeds metrics, never results)"
@@ -65,10 +83,113 @@ impl Rule for Determinism {
                                thread RNG"
                             .to_string(),
                     });
+                    continue;
+                }
+                // `rand::random(...)` path-qualified, plus calls through an
+                // alias/import of `rand::random` or `rand::thread_rng`.
+                let qualified_random = tok.is_ident("random")
+                    && i >= 2
+                    && punct_at(toks, i - 1, ':')
+                    && punct_at(toks, i - 2, ':')
+                    && ident_at(toks, i.wrapping_sub(3), "rand")
+                    && punct_at(toks, i + 1, '(');
+                let rng_origin = aliases
+                    .get(&tok.text)
+                    .map(String::as_str)
+                    .filter(|o| *o == "random" || *o == "thread_rng")
+                    .filter(|_| punct_at(toks, i + 1, '('));
+                if qualified_random || rng_origin.is_some() {
+                    let what = match rng_origin {
+                        Some(origin) if origin != tok.text => {
+                            format!("`{}` (aliased `rand::{}`)", tok.text, origin)
+                        }
+                        _ => format!("`rand::{}`", tok.text),
+                    };
+                    findings.push(Finding {
+                        rule: self.id(),
+                        path: file.rel_path.clone(),
+                        line: tok.line,
+                        message: format!(
+                            "{} in seeded crate `{}` breaks fixed-seed reproducibility",
+                            what, file.crate_name
+                        ),
+                        hint: "derive a ChaCha stream from the run seed instead of the ambient \
+                               thread RNG"
+                            .to_string(),
+                    });
                 }
             }
         }
     }
+}
+
+/// Names the banned origins an alias can resolve to.
+const ALIASABLE: &[&str] = &["Instant", "SystemTime", "thread_rng", "random"];
+
+/// Collects `use`-statement renames and imports relevant to this rule:
+/// maps the in-scope name to its origin (`Clock` → `Instant` for
+/// `use std::time::Instant as Clock;`, `random` → `random` for
+/// `use rand::random;`). Handles grouped imports (`use rand::{random as
+/// r, Rng};`) by tracking the group's path prefix.
+fn use_aliases(toks: &[Token]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("use") {
+            i += 1;
+            continue;
+        }
+        // Walk the use tree up to the `;`, maintaining the current path
+        // and a stack of group base lengths.
+        let mut path: Vec<String> = Vec::new();
+        let mut bases: Vec<usize> = Vec::new();
+        let mut alias: Option<String> = None;
+        let mut j = i + 1;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct(';') {
+                emit(&mut out, &path, alias.take());
+                i = j;
+                break;
+            } else if t.is_punct('{') {
+                bases.push(path.len());
+            } else if t.is_punct(',') {
+                emit(&mut out, &path, alias.take());
+                path.truncate(bases.last().copied().unwrap_or(0));
+            } else if t.is_punct('}') {
+                emit(&mut out, &path, alias.take());
+                bases.pop();
+                path.truncate(bases.last().copied().unwrap_or(0));
+            } else if t.is_ident("as") {
+                if let Some(name) = toks.get(j + 1).filter(|n| n.kind == TokenKind::Ident) {
+                    alias = Some(name.text.clone());
+                    j += 1;
+                }
+            } else if t.kind == TokenKind::Ident {
+                path.push(t.text.clone());
+            }
+            j += 1;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Records one use-tree leaf into the alias map when its origin is one of
+/// the banned names (`random` additionally requires a `rand` path prefix,
+/// so a local module's `random` is not confused with the crate's).
+fn emit(out: &mut HashMap<String, String>, path: &[String], alias: Option<String>) {
+    let Some(origin) = path.last() else {
+        return;
+    };
+    if !ALIASABLE.contains(&origin.as_str()) {
+        return;
+    }
+    if origin == "random" && !path.iter().any(|s| s == "rand") {
+        return;
+    }
+    let name = alias.unwrap_or_else(|| origin.clone());
+    out.insert(name, origin.clone());
 }
 
 #[cfg(test)]
@@ -123,5 +244,68 @@ mod tests {
             "fn f(started: std::time::Instant) -> u128 { started.elapsed().as_nanos() }",
         );
         assert!(findings.is_empty(), "got: {findings:?}");
+    }
+
+    #[test]
+    fn aliased_clock_import_is_flagged() {
+        let findings = run(
+            "ptm-sim",
+            "use std::time::Instant as Clock;\nfn f() { let t = Clock::now(); }\n",
+        );
+        assert_eq!(findings.len(), 1, "got: {findings:?}");
+        assert!(
+            findings[0].message.contains("aliased `Instant::now`"),
+            "message: {}",
+            findings[0].message
+        );
+    }
+
+    #[test]
+    fn grouped_alias_import_is_flagged() {
+        let findings = run(
+            "ptm-core",
+            "use std::time::{Duration, SystemTime as Wall};\nfn f() { let t = Wall::now(); }\n",
+        );
+        assert_eq!(findings.len(), 1, "got: {findings:?}");
+        assert!(findings[0].message.contains("SystemTime"));
+    }
+
+    #[test]
+    fn rand_random_qualified_and_imported_are_flagged() {
+        let findings = run("ptm-sim", "fn f() -> f64 { rand::random() }");
+        assert_eq!(findings.len(), 1, "got: {findings:?}");
+        assert!(findings[0].message.contains("rand::random"));
+
+        let findings = run("ptm-sim", "use rand::random;\nfn f() -> f64 { random() }\n");
+        assert_eq!(findings.len(), 1, "got: {findings:?}");
+
+        let findings = run(
+            "ptm-sim",
+            "use rand::random as roll;\nfn f() -> f64 { roll() }\n",
+        );
+        assert_eq!(findings.len(), 1, "got: {findings:?}");
+        assert!(findings[0].message.contains("aliased `rand::random`"));
+    }
+
+    #[test]
+    fn unrelated_random_and_aliases_are_not_flagged() {
+        // A local `random` helper is not `rand::random`.
+        assert!(run(
+            "ptm-sim",
+            "fn random() -> u64 { 4 }\nfn f() { let x = random(); }"
+        )
+        .is_empty());
+        // An alias of something harmless stays harmless.
+        assert!(run(
+            "ptm-sim",
+            "use std::time::Duration as Span;\nfn f() { let d = Span::from_secs(1); }"
+        )
+        .is_empty());
+        // `started.elapsed()` through an aliased type is still fine.
+        assert!(run(
+            "ptm-sim",
+            "use std::time::Instant as Clock;\nfn f(s: Clock) -> u128 { s.elapsed().as_nanos() }"
+        )
+        .is_empty());
     }
 }

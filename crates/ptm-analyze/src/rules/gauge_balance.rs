@@ -1,0 +1,188 @@
+//! `gauge-balance`: gauge-style counters in server crates must be
+//! decremented somewhere — the static twin of the gauge-leak assertions
+//! in `tests/tests/reactor_storm.rs`.
+
+use std::collections::BTreeMap;
+
+use crate::findings::Finding;
+use crate::rules::{Rule, SERVER_CRATES};
+use crate::scanner::TokenKind;
+use crate::workspace::{FileKind, Workspace};
+
+/// Name fragments that mark a counter as a *gauge* (a level that must go
+/// back down), as opposed to a monotone counter (totals, failures, ops).
+const GAUGE_NAME_HINTS: &[&str] = &[
+    "inflight",
+    "in_flight",
+    "depth",
+    "active",
+    "pending",
+    "outstanding",
+    "conn",
+    "held",
+    "inuse",
+    "in_use",
+];
+
+/// For every gauge-like field in a server crate that is incremented
+/// (`fetch_add`, `.inc()`, `.add(positive)`), requires a matching
+/// decrement (`fetch_sub`, `.add(-..)`) somewhere in the same crate —
+/// a drop guard's `Drop` impl counts. Fields that are only ever `.set()`
+/// are absolute-style gauges and exempt.
+pub struct GaugeBalance;
+
+#[derive(Default)]
+struct KeyOps {
+    incs: Vec<(String, u32, &'static str)>, // (path, line, op)
+    decs: usize,
+    sets: usize,
+}
+
+impl Rule for GaugeBalance {
+    fn id(&self) -> &'static str {
+        "gauge-balance"
+    }
+
+    fn description(&self) -> &'static str {
+        "gauge increments in server crates need a matching decrement or drop guard"
+    }
+
+    fn check(&self, ws: &Workspace, findings: &mut Vec<Finding>) {
+        // (crate, key) -> observed ops, over non-test server-crate code.
+        let mut ops: BTreeMap<(String, String), KeyOps> = BTreeMap::new();
+        for file in &ws.files {
+            if !SERVER_CRATES.contains(&file.crate_name.as_str()) || file.kind != FileKind::Src {
+                continue;
+            }
+            let toks = &file.tokens;
+            for i in 0..toks.len() {
+                let t = &toks[i];
+                if t.kind != TokenKind::Ident || t.in_test {
+                    continue;
+                }
+                if i < 2 || !toks[i - 1].is_punct('.') || toks[i - 2].kind != TokenKind::Ident {
+                    continue;
+                }
+                let key = toks[i - 2].text.clone();
+                if !is_gauge_like(&key) {
+                    continue;
+                }
+                let open = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+                if !open {
+                    continue;
+                }
+                enum Op {
+                    Inc(&'static str),
+                    Dec,
+                    Set,
+                }
+                let op = match t.text.as_str() {
+                    "fetch_add" => Op::Inc("fetch_add"),
+                    "inc" if toks.get(i + 2).is_some_and(|n| n.is_punct(')')) => Op::Inc(".inc()"),
+                    "add" if toks.get(i + 2).is_some_and(|n| n.is_punct('-')) => Op::Dec,
+                    "add" => Op::Inc(".add(..)"),
+                    "fetch_sub" | "sub" | "dec" => Op::Dec,
+                    "set" => Op::Set,
+                    _ => continue,
+                };
+                let entry = ops.entry((file.crate_name.clone(), key)).or_default();
+                match op {
+                    Op::Inc(label) => entry.incs.push((file.rel_path.clone(), t.line, label)),
+                    Op::Dec => entry.decs += 1,
+                    Op::Set => entry.sets += 1,
+                }
+            }
+        }
+        for ((crate_name, key), key_ops) in &ops {
+            if key_ops.decs > 0 || key_ops.sets > 0 || key_ops.incs.is_empty() {
+                continue;
+            }
+            for (path, line, op) in &key_ops.incs {
+                findings.push(Finding {
+                    rule: self.id(),
+                    path: path.clone(),
+                    line: *line,
+                    message: format!(
+                        "gauge `{}` is incremented here ({}) but crate `{}` never \
+                         decrements it (no fetch_sub / .add(-..) / drop guard)",
+                        key, op, crate_name
+                    ),
+                    hint: "decrement on every exit path, or hand the decrement to a \
+                           drop guard so early returns can't leak the level"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+fn is_gauge_like(key: &str) -> bool {
+    let lower = key.to_ascii_lowercase();
+    GAUGE_NAME_HINTS.iter().any(|h| lower.contains(h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::SourceFile;
+
+    fn check(src: &str) -> Vec<Finding> {
+        let file =
+            SourceFile::from_source("ptm-rpc", "crates/ptm-rpc/src/x.rs", FileKind::Src, src);
+        let ws = Workspace::in_memory(vec![file], vec![]);
+        let mut findings = Vec::new();
+        GaugeBalance.check(&ws, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn unbalanced_increment_is_reported() {
+        let findings = check("fn accept(s: &S) { s.conn_count.fetch_add(1, Ordering::SeqCst); }\n");
+        assert_eq!(findings.len(), 1, "findings: {findings:?}");
+        let f = &findings[0];
+        assert!(f.message.contains("conn_count"), "message: {}", f.message);
+        assert!(f.message.contains("never"), "message: {}", f.message);
+    }
+
+    #[test]
+    fn matching_decrement_elsewhere_in_the_crate_balances() {
+        let findings = check(
+            "fn accept(s: &S) { s.conn_count.fetch_add(1, Ordering::SeqCst); }\n\
+             fn close(s: &S) { s.conn_count.fetch_sub(1, Ordering::SeqCst); }\n",
+        );
+        assert!(findings.is_empty(), "findings: {findings:?}");
+    }
+
+    #[test]
+    fn drop_guard_decrement_balances() {
+        let findings = check(
+            "fn start(s: &S) -> Guard { s.inflight.fetch_add(1, Ordering::SeqCst); Guard }\n\
+             impl Drop for Guard {\n\
+                 fn drop(&mut self) { self.inflight.fetch_sub(1, Ordering::SeqCst); }\n\
+             }\n",
+        );
+        assert!(findings.is_empty(), "findings: {findings:?}");
+    }
+
+    #[test]
+    fn monotone_counters_are_not_gauges() {
+        let findings =
+            check("fn count(s: &S) { s.total_records.fetch_add(1, Ordering::SeqCst); }\n");
+        assert!(findings.is_empty(), "findings: {findings:?}");
+    }
+
+    #[test]
+    fn set_style_gauges_are_exempt() {
+        let findings = check("fn publish(g: &Gauges, v: i64) { g.queue_depth.set(v); }\n");
+        assert!(findings.is_empty(), "findings: {findings:?}");
+    }
+
+    #[test]
+    fn gauge_add_of_negative_literal_counts_as_decrement() {
+        let findings = check(
+            "fn enter(g: &G) { g.active_jobs.add(1); }\n\
+             fn exit(g: &G) { g.active_jobs.add(-1); }\n",
+        );
+        assert!(findings.is_empty(), "findings: {findings:?}");
+    }
+}

@@ -9,19 +9,25 @@ mod crate_header;
 mod determinism;
 mod error_retryability;
 mod fault_site_registry;
+mod gauge_balance;
+mod lock_order;
 mod metric_registry;
 mod no_unwrap;
 mod poison_recovery;
 mod proto_tags;
+mod reactor_blocking;
 
 pub use crate_header::CrateHeader;
 pub use determinism::Determinism;
 pub use error_retryability::ErrorRetryability;
 pub use fault_site_registry::FaultSiteRegistry;
+pub use gauge_balance::GaugeBalance;
+pub use lock_order::LockOrder;
 pub use metric_registry::MetricRegistry;
 pub use no_unwrap::NoUnwrap;
 pub use poison_recovery::PoisonRecovery;
 pub use proto_tags::ProtoTags;
+pub use reactor_blocking::ReactorBlocking;
 
 /// One invariant checker over the scanned workspace.
 pub trait Rule {
@@ -51,6 +57,9 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(ErrorRetryability),
         Box::new(Determinism),
         Box::new(CrateHeader),
+        Box::new(LockOrder),
+        Box::new(ReactorBlocking),
+        Box::new(GaugeBalance),
     ]
 }
 

@@ -1,0 +1,200 @@
+//! `reactor-blocking`: nothing that blocks may be reachable from the
+//! reactor event loop without going through the worker pool.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::callgraph::{CallGraph, CallSite};
+use crate::findings::Finding;
+use crate::rules::{Rule, SERVER_CRATES};
+use crate::workspace::Workspace;
+
+/// Condvar waits — blocking at any arity.
+const WAIT_METHODS: &[&str] = &["wait", "wait_timeout", "wait_while"];
+/// Channel receives.
+const RECV_METHODS: &[&str] = &["recv", "recv_timeout"];
+/// Durability syncs (block on the disk).
+const SYNC_METHODS: &[&str] = &["sync_all", "sync_data"];
+/// Qualifiers whose associated fns do file/socket I/O.
+const IO_QUALIFIERS: &[&str] = &["File", "OpenOptions", "fs", "TcpStream", "UnixStream"];
+
+/// Flags blocking operations — lock waits, condvar waits, `thread::sleep`,
+/// file/socket I/O, channel receives — reachable from a fn marked
+/// `// ptm-analyze: reactor-root` without passing through a fn marked
+/// `// ptm-analyze: worker-entry`. The finding carries the call chain from
+/// the root as its witness.
+pub struct ReactorBlocking;
+
+impl Rule for ReactorBlocking {
+    fn id(&self) -> &'static str {
+        "reactor-blocking"
+    }
+
+    fn description(&self) -> &'static str {
+        "no blocking calls reachable from the reactor loop outside the worker pool"
+    }
+
+    fn check(&self, ws: &Workspace, findings: &mut Vec<Finding>) {
+        let graph = CallGraph::build(ws, SERVER_CRATES);
+        let roots = graph.marked("reactor-root");
+        if roots.is_empty() {
+            return;
+        }
+        let cut: HashSet<usize> = graph.marked("worker-entry").into_iter().collect();
+        let reach: HashMap<usize, _> = graph.reach(&roots, &cut);
+        let mut ids: Vec<usize> = reach.keys().copied().collect();
+        ids.sort();
+        for id in ids {
+            // Cut fns are reached but their bodies run on worker threads.
+            if cut.contains(&id) && !roots.contains(&id) {
+                continue;
+            }
+            let f = &graph.fns[id];
+            if f.in_test {
+                continue;
+            }
+            for site in &graph.calls[id] {
+                let Some(what) = blocking_op(ws, &graph, id, site) else {
+                    continue;
+                };
+                let chain = graph.witness(&reach, id);
+                findings.push(Finding {
+                    rule: self.id(),
+                    path: ws.files[f.file].rel_path.clone(),
+                    line: site.line,
+                    message: format!("{} on the reactor thread; reachable via {}", what, chain),
+                    hint: "move the blocking work behind the worker pool (submit a job) \
+                           or use a non-blocking variant (try_lock / try_recv)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Classifies a call site as a blocking operation, returning a short
+/// description, or `None` for non-blocking calls.
+fn blocking_op(ws: &Workspace, graph: &CallGraph, fn_id: usize, site: &CallSite) -> Option<String> {
+    let toks = &ws.files[graph.fns[fn_id].file].tokens;
+    let arity0 = toks.get(site.token + 1).is_some_and(|t| t.is_punct('('))
+        && toks.get(site.token + 2).is_some_and(|t| t.is_punct(')'));
+    let name = site.name.as_str();
+    if site.is_method {
+        if WAIT_METHODS.contains(&name) {
+            return Some(format!("condvar `.{}()` wait", name));
+        }
+        if RECV_METHODS.contains(&name) {
+            return Some(format!("blocking channel `.{}()`", name));
+        }
+        if SYNC_METHODS.contains(&name) {
+            return Some(format!("blocking disk sync `.{}()`", name));
+        }
+        // Arity-0 `.lock()` / `.read()` / `.write()` are Mutex/RwLock
+        // acquisitions; with arguments they are io::Read/Write instead
+        // (those still block, but the reactor's socket I/O is nonblocking
+        // by construction — see docs/ANALYSIS.md).
+        if arity0 && name == "lock" {
+            return Some("blocking mutex `.lock()`".to_string());
+        }
+        if arity0 && (name == "read" || name == "write") {
+            return Some(format!("blocking RwLock `.{}()`", name));
+        }
+        return None;
+    }
+    match site.qualifier.as_deref() {
+        Some("thread") if name == "sleep" => Some("`thread::sleep`".to_string()),
+        Some(q) if IO_QUALIFIERS.contains(&q) => Some(format!("blocking I/O `{}::{}`", q, name)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::{FileKind, SourceFile, Workspace};
+
+    fn check(src: &str) -> Vec<Finding> {
+        let file =
+            SourceFile::from_source("ptm-rpc", "crates/ptm-rpc/src/x.rs", FileKind::Src, src);
+        let ws = Workspace::in_memory(vec![file], vec![]);
+        let mut findings = Vec::new();
+        ReactorBlocking.check(&ws, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn sleep_reachable_from_root_is_reported_with_chain() {
+        let findings = check(
+            "// ptm-analyze: reactor-root\n\
+             fn event_loop() { dispatch(); }\n\
+             fn dispatch() { backoff(); }\n\
+             fn backoff() { thread::sleep(d); }\n",
+        );
+        assert_eq!(findings.len(), 1, "findings: {findings:?}");
+        let f = &findings[0];
+        assert!(
+            f.message.contains("thread::sleep"),
+            "message: {}",
+            f.message
+        );
+        assert!(
+            f.message.contains("event_loop -> dispatch -> backoff"),
+            "message: {}",
+            f.message
+        );
+    }
+
+    #[test]
+    fn worker_entry_cuts_the_reachability() {
+        let findings = check(
+            "// ptm-analyze: reactor-root\n\
+             fn event_loop() { worker_loop(); }\n\
+             // ptm-analyze: worker-entry\n\
+             fn worker_loop() { run_job(); }\n\
+             fn run_job() { thread::sleep(d); }\n",
+        );
+        assert!(findings.is_empty(), "findings: {findings:?}");
+    }
+
+    #[test]
+    fn blocking_locks_and_condvar_waits_are_reported() {
+        let findings = check(
+            "// ptm-analyze: reactor-root\n\
+             fn event_loop(m: &Mutex<u32>, cv: &Condvar) {\n\
+                 let g = m.lock().unwrap();\n\
+                 let g = cv.wait(g).unwrap();\n\
+             }\n",
+        );
+        assert_eq!(findings.len(), 2, "findings: {findings:?}");
+        assert!(findings.iter().any(|f| f.message.contains(".lock()")));
+        assert!(findings.iter().any(|f| f.message.contains("wait")));
+    }
+
+    #[test]
+    fn nonblocking_variants_and_io_read_are_clean() {
+        let findings = check(
+            "// ptm-analyze: reactor-root\n\
+             fn event_loop(m: &Mutex<u32>, sock: &mut TcpStream, buf: &mut [u8]) {\n\
+                 if let Ok(g) = m.try_lock() { use_it(g); }\n\
+                 let n = sock.read(buf);\n\
+             }\n\
+             fn use_it(g: MutexGuard<u32>) {}\n",
+        );
+        assert!(findings.is_empty(), "findings: {findings:?}");
+    }
+
+    #[test]
+    fn unmarked_workspaces_produce_nothing() {
+        let findings = check("fn free_standing() { thread::sleep(d); }");
+        assert!(findings.is_empty(), "findings: {findings:?}");
+    }
+
+    #[test]
+    fn file_io_from_root_is_reported() {
+        let findings = check(
+            "// ptm-analyze: reactor-root\n\
+             fn event_loop() { let f = File::open(path); }\n",
+        );
+        assert_eq!(findings.len(), 1, "findings: {findings:?}");
+        assert!(findings[0].message.contains("File::open"));
+    }
+}

@@ -81,6 +81,21 @@ pub struct AllowDirective {
     pub reason: Option<String>,
 }
 
+/// A `// ptm-analyze: reactor-root` / `// ptm-analyze: worker-entry` comment
+/// marking the next `fn` for the call-graph rules: roots seed the
+/// reactor-reachability traversal, worker entries cut it (work handed to the
+/// pool runs off the reactor thread by construction).
+#[derive(Debug, Clone)]
+pub struct MarkDirective {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// The mark name (`reactor-root` or `worker-entry`).
+    pub name: String,
+}
+
+/// Mark names the scanner recognises; anything else stays a plain comment.
+pub const MARK_NAMES: &[&str] = &["reactor-root", "worker-entry"];
+
 /// The result of scanning one source file.
 #[derive(Debug, Default)]
 pub struct ScanOutput {
@@ -88,6 +103,8 @@ pub struct ScanOutput {
     pub tokens: Vec<Token>,
     /// Every allow directive, malformed ones included.
     pub allows: Vec<AllowDirective>,
+    /// Every call-graph mark directive, in source order.
+    pub marks: Vec<MarkDirective>,
 }
 
 /// Scans Rust source text into tokens plus allow directives.
@@ -118,6 +135,8 @@ pub fn scan(source: &str) -> ScanOutput {
             let body: String = chars[start..i].iter().collect();
             if let Some(directive) = parse_allow(&body, line) {
                 out.allows.push(directive);
+            } else if let Some(mark) = parse_mark(&body, line) {
+                out.marks.push(mark);
             }
             continue;
         }
@@ -378,6 +397,21 @@ fn parse_allow(comment: &str, line: u32) -> Option<AllowDirective> {
         .filter(|r| !r.is_empty())
         .map(str::to_string);
     Some(AllowDirective { line, rule, reason })
+}
+
+/// Parses `// ptm-analyze: reactor-root` (or `worker-entry`) out of a
+/// comment body; an optional trailing `: note` is tolerated and ignored.
+fn parse_mark(comment: &str, line: u32) -> Option<MarkDirective> {
+    let body = comment
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim();
+    let rest = body.strip_prefix("ptm-analyze:")?.trim_start();
+    let name = rest.split(':').next().unwrap_or(rest).trim();
+    MARK_NAMES.contains(&name).then(|| MarkDirective {
+        line,
+        name: name.to_string(),
+    })
 }
 
 /// Flags every token belonging to a `#[cfg(test)]` / `#[test]` item.
@@ -647,6 +681,22 @@ mod tests {
         assert!(out.allows[0].reason.is_none());
         let out = scan("// ptm-analyze: allow(no-unwrap):   \nlet x = 1;");
         assert!(out.allows[0].reason.is_none());
+    }
+
+    #[test]
+    fn mark_directives_parse_and_unknown_names_are_ignored() {
+        let out = scan(
+            "// ptm-analyze: reactor-root\nfn reactor() {}\n\
+             // ptm-analyze: worker-entry: pool boundary\nfn worker() {}\n\
+             // ptm-analyze: not-a-mark\nfn other() {}\n",
+        );
+        assert_eq!(out.marks.len(), 2);
+        assert_eq!(out.marks[0].name, "reactor-root");
+        assert_eq!(out.marks[0].line, 1);
+        assert_eq!(out.marks[1].name, "worker-entry");
+        assert_eq!(out.marks[1].line, 3);
+        // A mark is not an allow (and vice versa).
+        assert!(out.allows.is_empty());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::scanner::{scan, AllowDirective, Token};
+use crate::scanner::{scan, AllowDirective, MarkDirective, Token};
 
 /// Which build role a source file plays — rules scope themselves by kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +37,8 @@ pub struct SourceFile {
     pub tokens: Vec<Token>,
     /// Allow directives found in comments.
     pub allows: Vec<AllowDirective>,
+    /// Call-graph mark directives (`reactor-root` / `worker-entry`).
+    pub marks: Vec<MarkDirective>,
 }
 
 /// A documentation file the registry rules cross-check against code.
@@ -153,6 +155,7 @@ impl SourceFile {
             file_name: rel_path.rsplit('/').next().unwrap_or(rel_path).to_string(),
             tokens: out.tokens,
             allows: out.allows,
+            marks: out.marks,
         }
     }
 }
@@ -197,6 +200,7 @@ fn collect_rs(
                 file_name: dir_name(&path),
                 tokens: scanned.tokens,
                 allows: scanned.allows,
+                marks: scanned.marks,
             });
         }
     }

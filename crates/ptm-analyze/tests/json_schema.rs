@@ -1,0 +1,82 @@
+//! Golden-file pin of the `check --format json` report shape.
+//!
+//! CI archives `out/analysis.json` and downstream tooling parses it, so
+//! the shape is a contract: `schema_version` names the contract revision
+//! and this test freezes the byte-exact rendering of a representative
+//! report. Any change to field names, ordering, or escaping shows up as
+//! a diff against `golden/report.json` — bump
+//! [`ptm_analyze::findings::JSON_SCHEMA_VERSION`] and regenerate the
+//! golden file deliberately, never accidentally.
+
+#![forbid(unsafe_code)]
+
+use ptm_analyze::findings::{Finding, Report, JSON_SCHEMA_VERSION};
+
+/// A fixed report exercising every field plus string escaping.
+fn sample_report() -> Report {
+    Report {
+        findings: vec![
+            Finding {
+                rule: "determinism",
+                path: "crates/ptm-sim/src/runner.rs".into(),
+                line: 12,
+                message: "`Instant::now` in seeded crate `ptm-sim` breaks fixed-seed \
+                          reproducibility"
+                    .into(),
+                hint: "thread the time in as a parameter".into(),
+            },
+            Finding {
+                rule: "no-unwrap",
+                path: "crates/ptm-store/src/segment.rs".into(),
+                line: 7,
+                message: "`.unwrap()` in non-test code — say \"why\"\nor propagate".into(),
+                hint: "propagate the error with `?`".into(),
+            },
+        ],
+        files_scanned: 42,
+        suppressed: 3,
+    }
+}
+
+#[test]
+fn json_report_matches_golden_file() {
+    let expected = include_str!("golden/report.json");
+    let actual = sample_report().render_json();
+    assert_eq!(
+        actual, expected,
+        "JSON report shape drifted from tests/golden/report.json — if the \
+         change is intentional, bump JSON_SCHEMA_VERSION and regenerate the \
+         golden file"
+    );
+}
+
+#[test]
+fn golden_file_declares_the_current_schema_version() {
+    let expected = include_str!("golden/report.json");
+    assert!(
+        expected.contains(&format!("\"schema_version\": {JSON_SCHEMA_VERSION},")),
+        "golden file and JSON_SCHEMA_VERSION are out of sync"
+    );
+}
+
+#[test]
+fn empty_report_keeps_the_same_top_level_fields() {
+    let json = Report {
+        findings: vec![],
+        files_scanned: 0,
+        suppressed: 0,
+    }
+    .render_json();
+    for field in [
+        "schema_version",
+        "files_scanned",
+        "suppressed",
+        "finding_count",
+        "findings",
+    ] {
+        assert!(
+            json.contains(&format!("\"{field}\"")),
+            "empty report is missing `{field}`:\n{json}"
+        );
+    }
+}

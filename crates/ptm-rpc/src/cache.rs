@@ -117,6 +117,7 @@ impl QueryCache {
     /// Entries currently cached.
     pub fn len(&self) -> usize {
         self.inner
+            // ptm-analyze: allow(reactor-blocking): QueryCache lives on pool workers (answer_cached); the reactor edge is `conns.insert` (HashMap) aliasing `QueryCache::insert`
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .entries

@@ -129,6 +129,7 @@ impl<J: Send + 'static, C: Send + 'static> WorkerPool<J, C> {
         let mut queues = self
             .shared
             .queues
+            // ptm-analyze: allow(reactor-blocking): bounded push under the queue mutex; workers hold it only to pop a job, never across execution
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         let queue = &mut queues[class as usize];
@@ -153,6 +154,7 @@ impl<J: Send + 'static, C: Send + 'static> WorkerPool<J, C> {
         let mut done = self
             .shared
             .completions
+            // ptm-analyze: allow(reactor-blocking): bounded vec move under the completions mutex; workers hold it only to push a finished job
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         out.append(&mut done);
@@ -182,6 +184,7 @@ impl<J: Send + 'static, C: Send + 'static> WorkerPool<J, C> {
         let mut queues = self
             .shared
             .queues
+            // ptm-analyze: allow(reactor-blocking): shutdown path — workers have already exited, so nothing contends the queue mutex
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         for (class, queue) in queues.iter_mut().enumerate() {
@@ -193,6 +196,7 @@ impl<J: Send + 'static, C: Send + 'static> WorkerPool<J, C> {
     }
 }
 
+// ptm-analyze: worker-entry
 fn worker_loop<J, C>(shared: &PoolShared<J, C>, run: &(dyn Fn(J, Duration) -> C + Send + Sync)) {
     loop {
         let queued = {

@@ -1165,7 +1165,7 @@ fn maybe_dispatch(conn: &mut Conn, shared: &Shared, pool: &WorkerPool<Job, Compl
             let Some(frame) = conn.pending.pop_front() else {
                 return;
             };
-            let reply = run_single(shared, frame);
+            let reply = run_control(shared, frame);
             queue_reply(conn, &reply);
             // Further pending frames may dispatch now — loop, so a ping
             // queued behind another ping is not stranded until the next
@@ -1250,6 +1250,7 @@ fn finish_conn(conns: &mut HashMap<u64, Conn>, shared: &Shared, id: u64, kind: C
 /// buffers, and flushes — all on one thread, so connection state needs no
 /// locks. Spins hot while work is in flight and backs off to
 /// `poll_interval` sleeps when idle.
+// ptm-analyze: reactor-root
 fn reactor_loop(listener: TcpListener, shared: Arc<Shared>, pool: WorkerPool<Job, Completion>) {
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut next_id = 0u64;
@@ -1402,6 +1403,7 @@ fn reactor_loop(listener: TcpListener, shared: Arc<Shared>, pool: WorkerPool<Job
             let step = Duration::from_micros(50)
                 .saturating_mul(idle_sleeps)
                 .min(shared.config.poll_interval);
+            // ptm-analyze: allow(reactor-blocking): idle-only backoff — sleeps only when no connection has pending work and the pool is empty
             std::thread::sleep(step);
         }
     }
@@ -1591,9 +1593,44 @@ fn open_dispatch(trace: Option<WireTrace>, arrived: Instant) -> ptm_obs::trace::
     root
 }
 
-/// Handles one non-upload frame (ping, query, stats). Every downstream
-/// stage (lock wait, estimate, encode-reply) parents into the dispatch
-/// span, so one round trip is one connected span tree.
+/// Handles one control frame (ping, stats) **inline on the reactor
+/// thread**. This is deliberately a separate entry point from
+/// [`run_single`]: the control path must stay free of blocking work
+/// (query estimation, store commits), and keeping it as its own function
+/// lets `ptm-analyze`'s `reactor-blocking` rule check that statically —
+/// everything reachable from here runs with every connection stalled
+/// behind it.
+fn run_control(shared: &Shared, frame: DecodedFrame) -> Reply {
+    let root = open_dispatch(frame.trace, frame.arrived);
+    let trace = root.context();
+    let version = frame.version;
+    let response = match frame.request {
+        Request::Ping => Response::Pong {
+            version: PROTOCOL_VERSION,
+            s: shared.config.s,
+            records: shared.record_total.load(Ordering::SeqCst) as u64,
+            degraded: shared.degraded.flag.load(Ordering::SeqCst),
+        },
+        Request::Stats => Response::Stats(stats_json(shared)),
+        // Unreachable: `maybe_dispatch` routes only `JobClass::Control`
+        // frames here. Answering instead of delegating to `run_single`
+        // keeps the reactor's static call graph free of the worker-side
+        // query/ingest paths.
+        _ => Response::Error {
+            code: ErrorCode::Internal,
+            message: "non-control frame routed to the control path".into(),
+        },
+    };
+    Reply {
+        response,
+        version,
+        trace,
+    }
+}
+
+/// Handles one non-upload frame (ping, query, stats) on a pool worker.
+/// Every downstream stage (lock wait, estimate, encode-reply) parents
+/// into the dispatch span, so one round trip is one connected span tree.
 fn run_single(shared: &Shared, frame: DecodedFrame) -> Reply {
     let root = open_dispatch(frame.trace, frame.arrived);
     let trace = root.context();

@@ -1060,6 +1060,7 @@ impl SegmentStore {
                 }
             }
         };
+        // ptm-analyze: allow(reactor-blocking): page-cache fills run on worker queries; the reactor edge is `conns.insert` (HashMap) aliasing cache `insert` methods
         let mut file = File::open(path)?;
         file.seek(SeekFrom::Start(loc.offset))?;
         let mut frame_header = [0u8; 8];

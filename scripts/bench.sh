@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Micro-benchmark snapshot: runs the stub-criterion benches that this
-# repo tracks release-over-release and distills their medians into three
-# committed JSON files (BENCH_6.json, BENCH_7.json, BENCH_8.json, and
-# BENCH_9.json by default).
+# repo tracks release-over-release and distills their medians into five
+# committed JSON files (BENCH_6.json, BENCH_7.json, BENCH_8.json,
+# BENCH_9.json, and BENCH_10.json by default).
 #
-#   ./scripts/bench.sh [output.json] [storage-output.json] [reactor-output.json] [deadline-output.json]
+#   ./scripts/bench.sh [output.json] [storage-output.json] [reactor-output.json] [deadline-output.json] [analyze-output.json]
 #
 # Tracked medians (ns per iteration), first file:
 #   encoding/encode_10k_vehicles     vehicle encoding, 10k per iteration
@@ -31,6 +31,13 @@
 #   deadline/encode_unstamped        encode a ~4 KiB upload request, no deadline
 #   deadline/encode_stamped          same request with the FLAG_DEADLINE budget
 #
+# Fifth file (the analyzer's own cost, over this repository's source):
+#   analyze/files_scanned            workspace file count (a count, not ns —
+#                                     files/sec = count * 1e9 / median_ns)
+#   analyze/workspace_load           walk + read + lex the whole workspace
+#   analyze/full_check               every rule over a loaded workspace
+#   analyze/lock_analysis            call-graph build + lock-order analysis
+#
 # The stamped-vs-unstamped encode pair is the deadline-propagation
 # guarantee in numbers: stamping the remaining budget into every attempt
 # must cost no more than the four bytes it adds to the header.
@@ -47,10 +54,12 @@ out="${1:-BENCH_6.json}"
 store_out="${2:-BENCH_7.json}"
 reactor_out="${3:-BENCH_8.json}"
 deadline_out="${4:-BENCH_9.json}"
+analyze_out="${5:-BENCH_10.json}"
 raw="$(mktemp)"
 store_raw="$(mktemp)"
 reactor_raw="$(mktemp)"
-trap 'rm -f "$raw" "$store_raw" "$reactor_raw"' EXIT
+analyze_raw="$(mktemp)"
+trap 'rm -f "$raw" "$store_raw" "$reactor_raw" "$analyze_raw"' EXIT
 
 echo "==> cargo bench -p ptm-bench (tracked subset)"
 cargo bench -p ptm-bench --bench micro -- encoding/encode_10k_vehicles | tee -a "$raw"
@@ -144,3 +153,27 @@ END {
 
 echo "==> wrote $deadline_out"
 cat "$deadline_out"
+
+echo "==> cargo bench -p ptm-bench --bench analyze"
+cargo bench -p ptm-bench --bench analyze | tee -a "$analyze_raw"
+
+# files_scanned is a count, not a median — the bench prints it in the same
+# line shape so one awk pass collects everything.
+awk -v out="$analyze_out" '
+/^bench: / { median[$2] = $4 }
+END {
+    n = split("analyze/files_scanned analyze/workspace_load " \
+              "analyze/full_check analyze/lock_analysis", keys, " ")
+    printf "{\n  \"units\": \"median_ns_per_iter (files_scanned: count)\"" > out
+    for (i = 1; i <= n; i++) {
+        if (!(keys[i] in median)) {
+            printf "bench.sh: no median captured for %s\n", keys[i] > "/dev/stderr"
+            exit 1
+        }
+        printf ",\n  \"%s\": %s", keys[i], median[keys[i]] > out
+    }
+    print "\n}" > out
+}' "$analyze_raw"
+
+echo "==> wrote $analyze_out"
+cat "$analyze_out"

@@ -12,12 +12,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # Workspace invariants beyond what rustc/clippy can see: no-panic server
 # crates, poison recovery on shared locks, metric and fault-site names in
-# sync with their docs, protocol tags in range, fixed-seed determinism.
-# Exit 1 on any finding; the JSON report is archived for trend tracking.
-# See docs/ANALYSIS.md.
+# sync with their docs, protocol tags in range, fixed-seed determinism,
+# lock-order cycles, reactor-blocking reachability, gauge balance.
+# Exit 1 on any finding; the JSON report is archived for trend tracking,
+# and the server crates' lock-order graph (who holds what while acquiring
+# what) is archived even when clean so a new held-across edge shows up in
+# review. See docs/ANALYSIS.md.
 echo "==> ptm-analyze"
 mkdir -p out
-cargo run -q -p ptm-analyze -- check --json-out out/analysis.json
+cargo run -q -p ptm-analyze -- check --json-out out/analysis.json \
+    --lockgraph-out out/lockgraph.json
 
 echo "==> cargo build --release"
 cargo build --workspace --release

@@ -1,6 +1,8 @@
 //! Cross-crate glue: the crypto substrate feeding the protocol layer, and
 //! record round-trips through serialization (RSU → central server uploads).
 
+#![forbid(unsafe_code)]
+
 use ptm_core::encoding::{EncodingScheme, LocationId, VehicleSecrets};
 use ptm_core::params::BitmapSize;
 use ptm_core::record::{PeriodId, TrafficRecord};

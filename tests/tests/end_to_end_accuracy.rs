@@ -1,6 +1,8 @@
 //! End-to-end accuracy: the estimators hit the paper's accuracy regime on
 //! workloads built through the public APIs of `ptm-traffic` + `ptm-core`.
 
+#![forbid(unsafe_code)]
+
 use ptm_core::encoding::{EncodingScheme, LocationId};
 use ptm_core::p2p::PointToPointEstimator;
 use ptm_core::params::SystemParams;

@@ -1,6 +1,8 @@
 //! Integration coverage for the extension features: calendar queries,
 //! route-aware trips, the k-way estimator, error bars, and the city matrix.
 
+#![forbid(unsafe_code)]
+
 use ptm_core::encoding::{EncodingScheme, LocationId};
 use ptm_core::kway::KwayEstimator;
 use ptm_core::params::SystemParams;

@@ -7,6 +7,8 @@
 //! binary; `obs_lock()` serializes them, and each test measures *deltas*
 //! (value after minus value before) rather than absolute counter values.
 
+#![forbid(unsafe_code)]
+
 use ptm_core::encoding::{EncodingScheme, LocationId, VehicleSecrets};
 use ptm_core::params::BitmapSize;
 use ptm_core::record::PeriodId;

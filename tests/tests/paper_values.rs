@@ -1,6 +1,8 @@
 //! Pins every number the paper publishes that this reproduction derives
 //! exactly: the Table I metadata columns and the Table II privacy grid.
 
+#![forbid(unsafe_code)]
+
 use ptm_core::params::SystemParams;
 use ptm_core::privacy;
 use ptm_traffic::network::NodeId;

@@ -1,6 +1,8 @@
 //! Privacy properties verified through the real encoding / protocol stack —
 //! not just the closed forms.
 
+#![forbid(unsafe_code)]
+
 use ptm_core::encoding::{EncodingScheme, LocationId, VehicleId, VehicleSecrets};
 use ptm_core::params::BitmapSize;
 use ptm_core::privacy;

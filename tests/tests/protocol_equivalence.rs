@@ -4,6 +4,8 @@
 //! records — this is what justifies using the fast path for the large
 //! parameter sweeps.
 
+#![forbid(unsafe_code)]
+
 use ptm_core::encoding::{EncodingScheme, LocationId};
 use ptm_core::params::SystemParams;
 use ptm_core::record::PeriodId;
